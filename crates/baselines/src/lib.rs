@@ -1,0 +1,28 @@
+//! # twigbaselines — baseline twig-join algorithms
+//!
+//! The comparison systems from the paper's evaluation, implemented from
+//! their original papers:
+//!
+//! * [`naive`] — an exponential DOM-walk oracle defining GTP semantics;
+//!   the ground truth for differential tests (not a paper baseline);
+//! * [`pathstack`] — PathStack (Bruno et al., SIGMOD 2002) for linear
+//!   paths;
+//! * [`pathjoin`] — root-to-leaf path solutions and their merge-join into
+//!   twig tuples (shared by TwigStack and TJFast);
+//! * [`twigstack`] — TwigStack holistic twig join (Bruno et al. 2002);
+//! * [`tjfast`] — TJFast (Lu et al., VLDB 2005): extended-Dewey leaf
+//!   streams.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod naive;
+pub mod pathjoin;
+pub mod pathstack;
+pub mod tjfast;
+pub mod twigstack;
+
+pub use naive::{evaluate as naive_evaluate, exists as naive_exists, SatTable};
+pub use pathjoin::{merge_join, root_to_leaf_paths, JoinStats, PathSolutions};
+pub use pathstack::{build_streams, path_stack, PathStackStats};
+pub use tjfast::{tj_fast, tj_fast_solutions, DeweyKey, DeweyResolver, TJFastStats};
+pub use twigstack::{twig_stack, twig_stack_solutions, TwigStackStats};

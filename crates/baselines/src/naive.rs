@@ -1,0 +1,483 @@
+//! Naive DOM-walk oracle for GTP evaluation.
+//!
+//! A direct, first-principles implementation of GTP semantics used as the
+//! ground truth for differential testing of every optimized matcher in this
+//! workspace. It favours clarity over speed:
+//!
+//! 1. a dynamic program computes `sat[q][n]` — does element `n` satisfy the
+//!    sub-twig rooted at query node `q` (mandatory edges only)?
+//! 2. a recursive enumerator walks the GTP top-down, carrying for each
+//!    query node the document-ordered, duplicate-free set of *reachable*
+//!    matches, and produces tuples exactly as defined in paper §4.3:
+//!    return nodes multiply rows, group-return nodes fold their matches
+//!    into a list, non-return nodes are projected away (union of their
+//!    "total effects"), and unmatched optional branches yield nulls.
+//!
+//! Row order is the canonical GTP result order: matches of each return node
+//! are visited in document order, outer columns varying slowest.
+
+use gtpquery::{Axis, Cell, Gtp, NodeTest, QNodeId, QueryAnalysis, ResultSet, Role};
+use xmldom::{Document, NodeId};
+
+/// Boolean satisfaction table: `sat(q, n)` ⇔ element `n` matches the
+/// sub-twig of query node `q` (considering mandatory edges only).
+#[derive(Debug)]
+pub struct SatTable {
+    /// `rows[q.index()]` is a bitmap over node ids.
+    rows: Vec<Vec<bool>>,
+}
+
+impl SatTable {
+    /// Compute the table in O(|D|·|Q|·depth).
+    pub fn compute(doc: &Document, gtp: &Gtp) -> Self {
+        let n = doc.len();
+        let mut rows: Vec<Vec<bool>> = vec![vec![false; n]; gtp.len()];
+        for q in gtp.postorder() {
+            // For each mandatory AD child edge we need "some node in the
+            // subtree of n satisfies M"; precompute per child.
+            let mut desc_sat: Vec<(QNodeId, Vec<bool>)> = Vec::new();
+            for &m in gtp.children(q) {
+                let e = gtp.edge(m).expect("child has an edge");
+                if e.optional {
+                    continue;
+                }
+                if e.axis == Axis::Descendant {
+                    desc_sat.push((m, subtree_any(doc, &rows[m.index()])));
+                }
+            }
+            // Mandatory children grouped by OR-group: satisfaction is the
+            // conjunction over groups of the disjunction within each.
+            let kids = gtp.children(q);
+            let mut groups: Vec<Vec<QNodeId>> = Vec::new();
+            for &m in kids {
+                if gtp.edge(m).expect("child has an edge").optional {
+                    continue;
+                }
+                match groups
+                    .iter_mut()
+                    .find(|g| gtp.or_group(g[0]) == gtp.or_group(m))
+                {
+                    Some(g) => g.push(m),
+                    None => groups.push(vec![m]),
+                }
+            }
+            let test = gtp.test(q);
+            let vpred = gtp.value_pred(q);
+            'nodes: for node in doc.iter() {
+                if !node_test_matches(doc, node, test) {
+                    continue;
+                }
+                if let Some(p) = vpred {
+                    if !p.matches(doc.text(node)) {
+                        continue;
+                    }
+                }
+                for group in &groups {
+                    let any = group.iter().any(|&m| {
+                        match gtp.edge(m).expect("child has an edge").axis {
+                            Axis::Child => doc
+                                .children(node)
+                                .any(|c| rows[m.index()][c.index()]),
+                            Axis::Descendant => desc_sat
+                                .iter()
+                                .find(|(id, _)| *id == m)
+                                .map(|(_, v)| v[node.index()])
+                                .unwrap_or(false),
+                        }
+                    });
+                    if !any {
+                        continue 'nodes;
+                    }
+                }
+                rows[q.index()][node.index()] = true;
+            }
+        }
+        SatTable { rows }
+    }
+
+    /// Does `node` satisfy the sub-twig rooted at `q`?
+    #[inline]
+    pub fn get(&self, q: QNodeId, node: NodeId) -> bool {
+        self.rows[q.index()][node.index()]
+    }
+
+    /// All satisfying elements of `q`, in document order.
+    pub fn matches(&self, q: QNodeId) -> Vec<NodeId> {
+        self.rows[q.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+}
+
+fn node_test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Wildcard => true,
+        NodeTest::Name(n) => doc.tag_name(node) == n,
+    }
+}
+
+/// `out[n]` ⇔ some node strictly inside the subtree of `n` has `sat` set.
+fn subtree_any(doc: &Document, sat: &[bool]) -> Vec<bool> {
+    let mut out = vec![false; sat.len()];
+    // Children have larger ids than parents (pre-order), so a reverse scan
+    // sees every child before its parent.
+    for i in (0..sat.len()).rev() {
+        let node = NodeId::from_index(i);
+        if let Some(p) = doc.parent(node) {
+            if sat[i] || out[i] {
+                out[p.index()] = true;
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate `gtp` over `doc`, producing the full GTP result set.
+///
+/// # Panics
+/// Panics if the query is not enumerable (see
+/// [`QueryAnalysis::enumerable`]); callers should validate first.
+pub fn evaluate(doc: &Document, gtp: &Gtp) -> ResultSet {
+    let analysis = QueryAnalysis::new(gtp);
+    assert!(
+        analysis.enumerable(),
+        "query is not enumerable: {:?}",
+        analysis.issues()
+    );
+    let sat = SatTable::compute(doc, gtp);
+    let mut result = ResultSet::new(analysis.columns().to_vec());
+    if result.columns.is_empty() {
+        return result; // pure boolean query: no output schema
+    }
+
+    let root = gtp.root();
+    let mut candidates = sat.matches(root);
+    if gtp.is_rooted() {
+        candidates.retain(|&n| doc.region(n).level == 1);
+    }
+    if candidates.is_empty() {
+        return result;
+    }
+    let ctx = Ctx { doc, gtp, analysis: &analysis, sat: &sat };
+    for row in enum_node(&ctx, root, &candidates) {
+        result.push(row.into_iter().map(|c| c.expect("all columns filled")).collect());
+    }
+    result
+}
+
+/// True iff any element matches the (boolean) query at all — the result for
+/// queries without output nodes.
+pub fn exists(doc: &Document, gtp: &Gtp) -> bool {
+    let sat = SatTable::compute(doc, gtp);
+    let mut candidates = sat.matches(gtp.root());
+    if gtp.is_rooted() {
+        candidates.retain(|&n| doc.region(n).level == 1);
+    }
+    !candidates.is_empty()
+}
+
+struct Ctx<'a> {
+    doc: &'a Document,
+    gtp: &'a Gtp,
+    analysis: &'a QueryAnalysis,
+    sat: &'a SatTable,
+}
+
+type PartialRow = Vec<Option<Cell>>;
+
+/// Elements of `m` related to `e` under `axis` that satisfy `m`'s sub-twig,
+/// in document order.
+fn related(ctx: &Ctx<'_>, e: NodeId, m: QNodeId) -> Vec<NodeId> {
+    let edge = ctx.gtp.edge(m).expect("non-root");
+    match edge.axis {
+        Axis::Child => ctx
+            .doc
+            .children(e)
+            .filter(|&c| ctx.sat.get(m, c))
+            .collect(),
+        Axis::Descendant => ctx
+            .doc
+            .descendants_or_self(e)
+            .skip(1)
+            .filter(|&d| ctx.sat.get(m, d))
+            .collect(),
+    }
+}
+
+/// Rows (partial, full-width) for the sub-GTP rooted at `q` given its
+/// reachable match set `elems` (document-ordered, duplicate-free).
+fn enum_node(ctx: &Ctx<'_>, q: QNodeId, elems: &[NodeId]) -> Vec<PartialRow> {
+    let width = ctx.analysis.columns().len();
+    match ctx.gtp.role(q) {
+        Role::Return => {
+            let col = ctx.analysis.column_of(q).expect("return node is a column");
+            let mut rows = Vec::new();
+            for &e in elems {
+                // Cartesian product over output-bearing children.
+                let mut branch_rows: Vec<PartialRow> = vec![vec![None; width]];
+                for &m in ctx.gtp.children(q) {
+                    if !ctx.analysis.has_output_below(m) {
+                        continue;
+                    }
+                    let mset = related(ctx, e, m);
+                    let mut sub = enum_node(ctx, m, &mset);
+                    if sub.is_empty() {
+                        sub = vec![null_row(ctx, m)];
+                    }
+                    branch_rows = product(branch_rows, sub);
+                }
+                for mut row in branch_rows {
+                    row[col] = Some(Cell::Node(e));
+                    rows.push(row);
+                }
+            }
+            rows
+        }
+        Role::GroupReturn => {
+            let col = ctx.analysis.column_of(q).expect("group node is a column");
+            let mut row = vec![None; width];
+            row[col] = Some(Cell::Group(elems.to_vec()));
+            vec![row]
+        }
+        Role::NonReturn => {
+            // Exactly one output-bearing child (validated); union the
+            // total effects of all elements on it.
+            let m = ctx
+                .gtp
+                .children(q)
+                .iter()
+                .copied()
+                .find(|&c| ctx.analysis.has_output_below(c))
+                .expect("non-return node on an output path has an output child");
+            let mut union: Vec<NodeId> = Vec::new();
+            for &e in elems {
+                union.extend(related(ctx, e, m));
+            }
+            union.sort_unstable();
+            union.dedup();
+            if union.is_empty() {
+                // Possible only below an optional edge.
+                return vec![null_row_for(ctx, m)];
+            }
+            enum_node(ctx, m, &union)
+        }
+    }
+}
+
+/// A row with every output column in the subtree of `m` nulled.
+fn null_row(ctx: &Ctx<'_>, m: QNodeId) -> PartialRow {
+    null_row_for(ctx, m)
+}
+
+fn null_row_for(ctx: &Ctx<'_>, m: QNodeId) -> PartialRow {
+    let width = ctx.analysis.columns().len();
+    let mut row = vec![None; width];
+    fill_nulls(ctx, m, &mut row);
+    row
+}
+
+fn fill_nulls(ctx: &Ctx<'_>, q: QNodeId, row: &mut PartialRow) {
+    if let Some(col) = ctx.analysis.column_of(q) {
+        row[col] = Some(match ctx.gtp.role(q) {
+            Role::GroupReturn => Cell::Group(Vec::new()),
+            _ => Cell::Null,
+        });
+    }
+    for &c in ctx.gtp.children(q) {
+        if ctx.analysis.has_output_below(c) {
+            fill_nulls(ctx, c, row);
+        }
+    }
+}
+
+fn product(a: Vec<PartialRow>, b: Vec<PartialRow>) -> Vec<PartialRow> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for ra in &a {
+        for rb in &b {
+            let merged: PartialRow = ra
+                .iter()
+                .zip(rb.iter())
+                .map(|(x, y)| match (x, y) {
+                    (Some(v), None) => Some(v.clone()),
+                    (None, Some(v)) => Some(v.clone()),
+                    (None, None) => None,
+                    (Some(_), Some(_)) => unreachable!("columns overlap across branches"),
+                })
+                .collect();
+            out.push(merged);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+    use xmldom::parse;
+
+    /// The document of paper Figure 1 (reconstructed from the paper's
+    /// worked examples):
+    /// `a1( a2( a3(b1(c1 d1)) b2( a4(b3(c2 d2(d3))) c3 ) ) b4(d4) )`.
+    fn figure1() -> Document {
+        parse(
+            "<a><a><a><b><c/><d/></b></a><b><a><b><c/><d><d/></d></b></a><c/></b></a>\
+             <b><d/></b></a>",
+        )
+        .unwrap()
+    }
+
+    /// Names of nodes in a single-Node-column result, for readable asserts.
+    fn col_names(doc: &Document, rs: &ResultSet, col: usize) -> Vec<String> {
+        rs.rows
+            .iter()
+            .map(|r| match &r[col] {
+                Cell::Node(n) => format!("{}{}", doc.tag_name(*n), n.index()),
+                Cell::Null => "-".into(),
+                Cell::Group(g) => format!(
+                    "{{{}}}",
+                    g.iter()
+                        .map(|n| format!("{}{}", doc.tag_name(*n), n.index()))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_section2_example_i_full_path_matches() {
+        // //B//D with both return: 6 matches (paper §2 example (i)).
+        let doc = figure1();
+        let rs = evaluate(&doc, &parse_twig("//b//d").unwrap());
+        assert_eq!(rs.len(), 6);
+        assert!(rs.is_duplicate_free());
+    }
+
+    #[test]
+    fn paper_section2_example_ii_single_return_d() {
+        // //B!//D: results are the 4 distinct d elements (example (ii)).
+        let doc = figure1();
+        let rs = evaluate(&doc, &parse_twig("//b!//d").unwrap());
+        assert_eq!(rs.len(), 4);
+        assert!(rs.is_duplicate_free());
+        // All results are d elements in document order.
+        let mut last = None;
+        for row in &rs.rows {
+            let Cell::Node(n) = row[0] else { panic!() };
+            assert_eq!(doc.tag_name(n), "d");
+            if let Some(prev) = last {
+                assert!(prev < n, "document order violated");
+            }
+            last = Some(n);
+        }
+    }
+
+    #[test]
+    fn paper_section2_example_iii_single_return_b() {
+        // //A!/B: the 4 b elements, in document order (example (iii)).
+        let doc = figure1();
+        let rs = evaluate(&doc, &parse_twig("//a!/b").unwrap());
+        assert_eq!(rs.len(), 4);
+        let mut last = None;
+        for row in &rs.rows {
+            let Cell::Node(n) = row[0] else { panic!() };
+            assert_eq!(doc.tag_name(n), "b");
+            if let Some(prev) = last {
+                assert!(prev < n);
+            }
+            last = Some(n);
+        }
+    }
+
+    #[test]
+    fn figure1_twig_query_root_matches() {
+        // //A/B[//D][/C]: exactly a2, a3 and a4 satisfy the twig (paper
+        // Figure 4 shows HS[A] holding those three); a1 fails because b4
+        // has no c child.
+        let doc = figure1();
+        let gtp = parse_twig("//a/b[//d][c]").unwrap();
+        let sat = SatTable::compute(&doc, &gtp);
+        let matches = sat.matches(gtp.root());
+        assert_eq!(matches.len(), 3);
+        assert!(matches.iter().all(|&n| doc.tag_name(n) == "a"));
+        assert!(!matches.contains(&doc.root()), "a1 must not match");
+    }
+
+    #[test]
+    fn rooted_query_restricts_to_document_root() {
+        let doc = parse("<a><a><b/></a><b/></a>").unwrap();
+        let unrooted = evaluate(&doc, &parse_twig("//a/b").unwrap());
+        assert_eq!(unrooted.len(), 2);
+        let rooted = evaluate(&doc, &parse_twig("/a/b").unwrap());
+        assert_eq!(rooted.len(), 1);
+    }
+
+    #[test]
+    fn group_return_folds_matches() {
+        let doc = parse("<r><p><x/><x/></p><p><x/></p><p/></r>").unwrap();
+        // //p[x@] — wait: group must hang off a return node; use //r!/p/x@
+        let gtp = parse_twig("//p[?x@]").unwrap();
+        let rs = evaluate(&doc, &gtp);
+        let names = col_names(&doc, &rs, 1);
+        assert_eq!(rs.len(), 3); // one row per p
+        assert!(names[0].contains(','), "two x grouped: {names:?}");
+        assert_eq!(names[2], "{}"); // empty group for childless p
+    }
+
+    #[test]
+    fn optional_edge_produces_nulls() {
+        let doc = parse("<r><p><x/></p><p/></r>").unwrap();
+        let gtp = parse_twig("//p[?x]").unwrap();
+        let rs = evaluate(&doc, &gtp);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[1][1], Cell::Null);
+        assert!(matches!(rs.rows[0][1], Cell::Node(_)));
+    }
+
+    #[test]
+    fn mandatory_edge_filters() {
+        let doc = parse("<r><p><x/></p><p/></r>").unwrap();
+        let gtp = parse_twig("//p[x]").unwrap();
+        let rs = evaluate(&doc, &gtp);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn boolean_query_exists() {
+        let doc = parse("<r><p><x/></p></r>").unwrap();
+        assert!(exists(&doc, &parse_twig("//p!/x!").unwrap()));
+        assert!(!exists(&doc, &parse_twig("//p!/y!").unwrap()));
+        let rs = evaluate(&doc, &parse_twig("//p!/x!").unwrap());
+        assert!(rs.columns.is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_of_branches() {
+        let doc = parse("<r><p><x/><x/><y/><y/></p></r>").unwrap();
+        let rs = evaluate(&doc, &parse_twig("//p[x][y]").unwrap());
+        assert_eq!(rs.len(), 4); // 2 x × 2 y under the single p
+        assert!(rs.is_duplicate_free());
+    }
+
+    #[test]
+    fn wildcard_query() {
+        let doc = parse("<r><p><x/></p><q><x/></q></r>").unwrap();
+        let rs = evaluate(&doc, &parse_twig("//*/x").unwrap());
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn deep_recursion_same_label() {
+        let doc = parse("<a><a><a><b/></a></a></a>").unwrap();
+        // //a//b: 3 a's each with b descendant.
+        let rs = evaluate(&doc, &parse_twig("//a//b").unwrap());
+        assert_eq!(rs.len(), 3);
+        // //a/a: pairs (a1,a2), (a2,a3).
+        let rs2 = evaluate(&doc, &parse_twig("//a/a").unwrap());
+        assert_eq!(rs2.len(), 2);
+    }
+}

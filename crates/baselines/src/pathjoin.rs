@@ -1,0 +1,278 @@
+//! Root-to-leaf path solutions and their merge-join into twig tuples.
+//!
+//! The decomposition-based twig algorithms (TwigStack \[4\], TJFast \[16\])
+//! both end with the same post-processing: the twig is split into its
+//! root-to-leaf paths, each path produces *path solutions* (one element per
+//! query node on the path), and the solutions of different paths are
+//! joined on their shared prefix nodes. This module implements that shared
+//! machinery, generic over the element identity type (`NodeId` for
+//! region-encoded algorithms, Dewey ids for TJFast).
+//!
+//! The join is a sort-merge join: both sides are sorted by the shared
+//! columns, equal groups are combined pairwise. The paper's point — which
+//! the benchmarks in this workspace reproduce — is that enumerating and
+//! joining these per-path solutions is precisely the cost Twig²Stack
+//! avoids.
+
+use gtpquery::Gtp;
+use gtpquery::QNodeId;
+
+/// The root-to-leaf paths of `gtp`, each as the query-node chain from the
+/// root to one leaf, leaves in pre-order.
+pub fn root_to_leaf_paths(gtp: &Gtp) -> Vec<Vec<QNodeId>> {
+    let mut paths = Vec::new();
+    let mut current = Vec::new();
+    fn walk(gtp: &Gtp, q: QNodeId, current: &mut Vec<QNodeId>, paths: &mut Vec<Vec<QNodeId>>) {
+        current.push(q);
+        if gtp.is_leaf(q) {
+            paths.push(current.clone());
+        } else {
+            for &c in gtp.children(q) {
+                walk(gtp, c, current, paths);
+            }
+        }
+        current.pop();
+    }
+    walk(gtp, gtp.root(), &mut current, &mut paths);
+    paths
+}
+
+/// One set of solutions for one root-to-leaf path: `solutions[i][j]` is the
+/// element bound to `path[j]` in the `i`-th solution.
+#[derive(Debug, Clone)]
+pub struct PathSolutions<T> {
+    /// The query-node chain this set answers.
+    pub path: Vec<QNodeId>,
+    /// Solutions, each of length `path.len()`.
+    pub solutions: Vec<Vec<T>>,
+}
+
+/// Statistics of a merge-join run — the cost the paper attributes to
+/// decomposition-based processing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Total path solutions fed into the join.
+    pub path_solutions: usize,
+    /// Comparisons performed while merging.
+    pub comparisons: usize,
+    /// Twig tuples produced.
+    pub output_tuples: usize,
+}
+
+/// Merge-join per-path solutions into full twig assignments.
+///
+/// Returns assignments as dense vectors indexed by `QNodeId::index()`
+/// (every query node bound), in no particular order.
+pub fn merge_join<T: Ord + Clone>(
+    gtp: &Gtp,
+    mut per_path: Vec<PathSolutions<T>>,
+    stats: &mut JoinStats,
+) -> Vec<Vec<T>> {
+    assert!(!per_path.is_empty(), "a twig has at least one path");
+    stats.path_solutions = per_path.iter().map(|p| p.solutions.len()).sum();
+    // If any path has no solutions, the twig has none.
+    if per_path.iter().any(|p| p.solutions.is_empty()) {
+        return Vec::new();
+    }
+
+    let width = gtp.len();
+    let first = per_path.remove(0);
+    // Accumulated partial assignments and the set of bound query nodes.
+    let mut bound: Vec<QNodeId> = first.path.clone();
+    let mut acc: Vec<Vec<Option<T>>> = first
+        .solutions
+        .into_iter()
+        .map(|sol| {
+            let mut row = vec![None; width];
+            for (q, v) in first.path.iter().zip(sol) {
+                row[q.index()] = Some(v);
+            }
+            row
+        })
+        .collect();
+
+    for ps in per_path {
+        // Shared columns: the prefix of ps.path already bound (paths share
+        // exactly their common prefix in a tree query, but computing the
+        // intersection keeps this robust).
+        let shared: Vec<QNodeId> = ps
+            .path
+            .iter()
+            .copied()
+            .filter(|q| bound.contains(q))
+            .collect();
+        let new_cols: Vec<QNodeId> = ps
+            .path
+            .iter()
+            .copied()
+            .filter(|q| !bound.contains(q))
+            .collect();
+
+        // Sort both sides by the shared key.
+        let key_acc = |row: &Vec<Option<T>>| -> Vec<T> {
+            shared
+                .iter()
+                .map(|q| row[q.index()].clone().expect("shared column bound"))
+                .collect()
+        };
+        let key_sol = |sol: &Vec<T>| -> Vec<T> {
+            shared
+                .iter()
+                .map(|q| {
+                    let pos = ps.path.iter().position(|p| p == q).expect("shared in path");
+                    sol[pos].clone()
+                })
+                .collect()
+        };
+        acc.sort_by_key(|a| key_acc(a));
+        let mut sols = ps.solutions;
+        sols.sort_by_key(|a| key_sol(a));
+
+        let mut out: Vec<Vec<Option<T>>> = Vec::new();
+        let mut i = 0;
+        let mut j = 0;
+        while i < acc.len() && j < sols.len() {
+            stats.comparisons += 1;
+            let ka = key_acc(&acc[i]);
+            let kb = key_sol(&sols[j]);
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Group boundaries on both sides.
+                    let i_end = (i..acc.len())
+                        .take_while(|&x| key_acc(&acc[x]) == ka)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    let j_end = (j..sols.len())
+                        .take_while(|&x| key_sol(&sols[x]) == ka)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    for a in &acc[i..i_end] {
+                        for s in &sols[j..j_end] {
+                            let mut row = a.clone();
+                            for q in &new_cols {
+                                let pos =
+                                    ps.path.iter().position(|p| p == q).expect("col in path");
+                                row[q.index()] = Some(s[pos].clone());
+                            }
+                            out.push(row);
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        acc = out;
+        bound.extend(new_cols);
+        if acc.is_empty() {
+            return Vec::new();
+        }
+    }
+
+    stats.output_tuples = acc.len();
+    acc.into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|v| v.expect("all query nodes bound after joining all paths"))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+
+    #[test]
+    fn paths_of_branching_query() {
+        let gtp = parse_twig("//a/b[//d][c]/e").unwrap();
+        let paths = root_to_leaf_paths(&gtp);
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert_eq!(p[0], gtp.root());
+        }
+        assert_eq!(paths[0].len(), 3); // a/b/d
+        assert_eq!(paths[2].len(), 3); // a/b/e
+    }
+
+    #[test]
+    fn linear_query_single_path() {
+        let gtp = parse_twig("//a/b//c").unwrap();
+        let paths = root_to_leaf_paths(&gtp);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+    }
+
+    #[test]
+    fn join_two_paths_on_shared_prefix() {
+        // Query //a[b][c]: paths a/b and a/c.
+        let gtp = parse_twig("//a[b]/c").unwrap();
+        let paths = root_to_leaf_paths(&gtp);
+        let a = gtp.root();
+        let b = gtp.children(a)[0];
+        let c = gtp.children(a)[1];
+        // a1 has b1, b2, c1; a2 has b3 (no c).
+        let ps = vec![
+            PathSolutions {
+                path: paths[0].clone(),
+                solutions: vec![vec![1, 10], vec![1, 11], vec![2, 12]],
+            },
+            PathSolutions {
+                path: paths[1].clone(),
+                solutions: vec![vec![1, 20]],
+            },
+        ];
+        let mut stats = JoinStats::default();
+        let joined = merge_join(&gtp, ps, &mut stats);
+        assert_eq!(joined.len(), 2); // (a1,b1,c1), (a1,b2,c1)
+        for row in &joined {
+            assert_eq!(row[a.index()], 1);
+            assert_eq!(row[c.index()], 20);
+            assert!(row[b.index()] == 10 || row[b.index()] == 11);
+        }
+        assert_eq!(stats.path_solutions, 4);
+        assert_eq!(stats.output_tuples, 2);
+    }
+
+    #[test]
+    fn empty_side_yields_empty_join() {
+        let gtp = parse_twig("//a[b]/c").unwrap();
+        let paths = root_to_leaf_paths(&gtp);
+        let ps = vec![
+            PathSolutions { path: paths[0].clone(), solutions: vec![vec![1, 10]] },
+            PathSolutions { path: paths[1].clone(), solutions: Vec::<Vec<i32>>::new() },
+        ];
+        let mut stats = JoinStats::default();
+        assert!(merge_join(&gtp, ps, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn three_way_join() {
+        // //a[b][c][d]
+        let gtp = parse_twig("//a[b][c]/d").unwrap();
+        let paths = root_to_leaf_paths(&gtp);
+        let ps = vec![
+            PathSolutions {
+                path: paths[0].clone(),
+                solutions: vec![vec![1, 10], vec![2, 10]],
+            },
+            PathSolutions {
+                path: paths[1].clone(),
+                solutions: vec![vec![1, 20], vec![1, 21]],
+            },
+            PathSolutions {
+                path: paths[2].clone(),
+                solutions: vec![vec![1, 30], vec![2, 31]],
+            },
+        ];
+        let mut stats = JoinStats::default();
+        let joined = merge_join(&gtp, ps, &mut stats);
+        // a=1: 1 b × 2 c × 1 d = 2; a=2 has no c.
+        assert_eq!(joined.len(), 2);
+    }
+}

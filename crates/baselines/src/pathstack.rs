@@ -1,0 +1,241 @@
+//! PathStack (Bruno et al., SIGMOD 2002) — linear path matching.
+//!
+//! The top-down counterpart of Twig²Stack's encoding idea (paper §3.1):
+//! one stack per query node, elements pushed in document order iff the
+//! parent stack still holds an open ancestor; stack positions plus
+//! push-time pointers into the parent stack compactly encode *all* partial
+//! path matches. Solutions are expanded when a leaf-node element is
+//! pushed.
+//!
+//! Used standalone for linear queries and as the top-down half of the
+//! hybrid early-enumeration mode (paper §4.4).
+
+use crate::pathjoin::PathSolutions;
+use gtpquery::{Axis, Gtp, NodeTest};
+use xmlindex::{ElemStream, ElementIndex, IndexedElement};
+use xmldom::{LabelTable, NodeId};
+
+/// Statistics from a PathStack run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStackStats {
+    /// Elements consumed from the streams.
+    pub elements_scanned: usize,
+    /// Elements pushed onto stacks.
+    pub elements_pushed: usize,
+    /// Path solutions emitted.
+    pub solutions: usize,
+}
+
+/// Materialized per-query-node element lists (document order), including
+/// wildcard support (all labels merged). Stream construction is the "IO"
+/// phase; run it outside any timed query-processing region.
+pub fn build_streams(index: &ElementIndex, labels: &LabelTable, gtp: &Gtp) -> Vec<Vec<IndexedElement>> {
+    gtp.iter()
+        .map(|q| match gtp.test(q) {
+            NodeTest::Name(n) => labels
+                .get(n)
+                .map(|l| index.elements(l).to_vec())
+                .unwrap_or_default(),
+            NodeTest::Wildcard => {
+                let mut all: Vec<IndexedElement> = (0..labels.len())
+                    .flat_map(|i| index.elements(xmldom::Label::from_index(i)).iter().copied())
+                    .collect();
+                all.sort_by_key(|e| e.region.left);
+                all
+            }
+        })
+        .collect()
+}
+
+/// Run PathStack over a **linear** path query.
+///
+/// `streams[i]` must hold the elements for the `i`-th query node on the
+/// path (root first), in document order.
+///
+/// # Panics
+/// Panics if the query branches.
+pub fn path_stack<S: ElemStream>(
+    gtp: &Gtp,
+    mut streams: Vec<S>,
+    stats: &mut PathStackStats,
+) -> PathSolutions<NodeId> {
+    // The linear chain of query nodes.
+    let mut path = vec![gtp.root()];
+    let mut q = gtp.root();
+    while let Some(&c) = gtp.children(q).first() {
+        assert!(gtp.children(q).len() == 1, "PathStack handles linear paths only");
+        path.push(c);
+        q = c;
+    }
+    assert_eq!(streams.len(), path.len(), "one stream per path node");
+
+    let axes: Vec<Option<Axis>> = path
+        .iter()
+        .map(|&q| gtp.edge(q).map(|e| e.axis))
+        .collect();
+
+    // Per-node stack: (element, pointer = parent-stack height at push).
+    let mut stacks: Vec<Vec<(IndexedElement, u32)>> = vec![Vec::new(); path.len()];
+    let mut solutions = Vec::new();
+
+    loop {
+        // q_min: stream head with minimal LeftPos; ties (same element
+        // matching several nodes — impossible on a linear path with
+        // distinct positions, but wildcards allow it) break upper-first.
+        let mut q_min: Option<usize> = None;
+        let mut min_left = u32::MAX;
+        for (i, s) in streams.iter_mut().enumerate() {
+            if let Some(e) = s.peek() {
+                if e.region.left < min_left {
+                    min_left = e.region.left;
+                    q_min = Some(i);
+                }
+            }
+        }
+        let Some(qi) = q_min else { break };
+        let e = streams[qi].next_elem().expect("peeked head");
+        stats.elements_scanned += 1;
+
+        // Pop everything that closed before e opens.
+        for st in &mut stacks {
+            while st.last().is_some_and(|(t, _)| t.region.right < e.region.left) {
+                st.pop();
+            }
+        }
+
+        // Push check: root is free (modulo the rooted constraint); other
+        // nodes need a live *proper* ancestor in the parent stack (the
+        // same element may sit there when adjacent query nodes share a
+        // label or a wildcard; it is not its own ancestor). Stacks are
+        // nested chains, so the bottom element has the smallest left.
+        let ok = if qi == 0 {
+            !gtp.is_rooted() || e.region.level == 1
+        } else {
+            stacks[qi - 1]
+                .first()
+                .is_some_and(|(t, _)| t.region.left < e.region.left)
+        };
+        if !ok {
+            continue;
+        }
+        let ptr = if qi == 0 { 0 } else { stacks[qi - 1].len() as u32 };
+        if qi == path.len() - 1 {
+            // Leaf: expand solutions right away; the leaf element itself
+            // never needs to stay (nothing points below it).
+            stats.elements_pushed += 1;
+            expand(&stacks, &axes, qi, &e, ptr, &mut Vec::new(), &mut solutions);
+        } else {
+            stacks[qi].push((e, ptr));
+            stats.elements_pushed += 1;
+        }
+    }
+    stats.solutions = solutions.len();
+    PathSolutions { path, solutions }
+}
+
+/// Expand all path solutions ending at `e` (query position `qi`, parent
+/// pointer `ptr`), appending leaf-to-root partials and emitting reversed
+/// (root-to-leaf) rows.
+fn expand(
+    stacks: &[Vec<(IndexedElement, u32)>],
+    axes: &[Option<Axis>],
+    qi: usize,
+    e: &IndexedElement,
+    ptr: u32,
+    partial: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    partial.push(e.id);
+    if qi == 0 {
+        let mut row: Vec<NodeId> = partial.clone();
+        row.reverse();
+        out.push(row);
+    } else {
+        let pc = axes[qi] == Some(Axis::Child);
+        for idx in 0..ptr as usize {
+            let (p, pptr) = stacks[qi - 1][idx];
+            // Skip the element itself (same element in adjacent stacks).
+            if !p.region.is_ancestor_of(&e.region) {
+                continue;
+            }
+            if !pc || p.region.level + 1 == e.region.level {
+                expand(stacks, axes, qi - 1, &p, pptr, partial, out);
+            }
+        }
+    }
+    partial.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+    use xmlindex::SliceStream;
+    use xmldom::parse;
+
+    fn run(xml: &str, query: &str) -> (PathSolutions<NodeId>, PathStackStats) {
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig(query).unwrap();
+        let index = ElementIndex::build(&doc);
+        let owned = build_streams(&index, doc.labels(), &gtp);
+        let streams: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
+        let mut stats = PathStackStats::default();
+        let sols = path_stack(&gtp, streams, &mut stats);
+        (sols, stats)
+    }
+
+    #[test]
+    fn section31_example() {
+        // Path //A/B//D over the root-to-leaf chain a1,a2,b2,a4,b3,d2,d3
+        // (paper §3.1): d2 and d3 each yield (a2,b2,·) and (a4,b3,·),
+        // four solutions in total.
+        let xml = "<a><a><b><a><b><d><d/></d></b></a></b></a></a>";
+        let (sols, stats) = run(xml, "//a/b//d");
+        assert_eq!(sols.solutions.len(), 4);
+        assert_eq!(stats.solutions, 4);
+        for s in &sols.solutions {
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_linear_paths() {
+        use crate::naive::evaluate as naive;
+        let xml = "<a><a><b><c/><b><c/></b></b></a><b/><c/></a>";
+        let doc = parse(xml).unwrap();
+        for q in ["//a/b/c", "//a//b//c", "//a//b/c", "//a/b//c", "/a/b", "//b/c"] {
+            let gtp = parse_twig(q).unwrap();
+            let (sols, _) = run(xml, q);
+            let mut got: Vec<Vec<NodeId>> = sols.solutions.clone();
+            got.sort();
+            let oracle = naive(&doc, &gtp);
+            let mut expected: Vec<Vec<NodeId>> = oracle
+                .rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|c| match c {
+                            gtpquery::Cell::Node(n) => *n,
+                            _ => unreachable!(),
+                        })
+                        .collect()
+                })
+                .collect();
+            expected.sort();
+            assert_eq!(got, expected, "query {q}");
+        }
+    }
+
+    #[test]
+    fn wildcard_streams() {
+        let (sols, _) = run("<r><p><x/></p><q><x/></q></r>", "//*/x");
+        assert_eq!(sols.solutions.len(), 2); // (p,x1) and (q,x2)
+    }
+
+    #[test]
+    fn empty_result() {
+        let (sols, stats) = run("<a><b/></a>", "//a/c");
+        assert!(sols.solutions.is_empty());
+        assert_eq!(stats.solutions, 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! TJFast (Lu et al., VLDB 2005) — twig joins over extended Dewey labels.
+//!
+//! The strongest baseline in the paper's evaluation. TJFast scans only the
+//! streams of the query's **leaf** labels: each leaf element's extended
+//! Dewey id is run through the schema transducer to recover its whole
+//! ancestor label path, the root-to-leaf query path is matched against
+//! that label path directly (ancestors are identified by Dewey prefixes —
+//! no ancestor streams are ever read), and the per-path solutions are
+//! merge-joined on their shared prefix nodes.
+//!
+//! The IO trade-off this reproduces (paper §5.1): fewer streams than
+//! region-encoded algorithms, but fatter records — which backfires for
+//! queries with many leaves and few internal nodes (XMark-Q3 in the
+//! paper).
+
+use crate::pathjoin::{merge_join, root_to_leaf_paths, JoinStats, PathSolutions};
+use gtpquery::{Axis, Cell, Gtp, NodeTest, QueryAnalysis, ResultSet, Role};
+use std::collections::HashMap;
+use xmlindex::DeweyIndex;
+use xmldom::{LabelTable, NodeId};
+
+/// Statistics from a TJFast run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TJFastStats {
+    /// Leaf-stream elements scanned.
+    pub elements_scanned: usize,
+    /// Bytes those leaf streams occupy in the on-disk record format.
+    pub leaf_stream_bytes: usize,
+    /// Root-to-leaf path solutions emitted.
+    pub path_solutions: usize,
+    /// Merge-join statistics.
+    pub join: JoinStats,
+}
+
+/// A document element identified by its extended Dewey id (the identity
+/// TJFast joins on; lexicographic order = document order).
+pub type DeweyKey = Vec<u32>;
+
+/// Maps Dewey ids back to node ids for result output. Built once per
+/// document (index-construction time, not query time).
+#[derive(Debug, Clone, Default)]
+pub struct DeweyResolver {
+    map: HashMap<DeweyKey, NodeId>,
+}
+
+impl DeweyResolver {
+    /// Build the full reverse map of `index`.
+    pub fn build(index: &DeweyIndex, labels: &LabelTable) -> Self {
+        let mut map = HashMap::new();
+        for (label, _) in labels.iter() {
+            for e in index.elements(label) {
+                map.insert(e.dewey.to_vec(), e.id);
+            }
+        }
+        DeweyResolver { map }
+    }
+
+    /// Resolve one Dewey id.
+    pub fn resolve(&self, dewey: &[u32]) -> Option<NodeId> {
+        self.map.get(dewey).copied()
+    }
+}
+
+/// Compute TJFast path solutions for every root-to-leaf path of `gtp`.
+///
+/// # Panics
+/// Panics on optional edges (TJFast pre-dates GTPs).
+pub fn tj_fast_solutions(
+    gtp: &Gtp,
+    index: &DeweyIndex,
+    labels: &LabelTable,
+    stats: &mut TJFastStats,
+) -> Vec<PathSolutions<DeweyKey>> {
+    assert!(
+        gtp.iter().all(|q| gtp.edge(q).is_none_or(|e| !e.optional)),
+        "TJFast does not support optional edges"
+    );
+    assert!(
+        !gtp.has_or_groups(),
+        "TJFast does not support AND/OR twigs"
+    );
+    assert!(
+        !gtp.has_value_preds(),
+        "TJFast operates on structural indexes without element text"
+    );
+    let paths = root_to_leaf_paths(gtp);
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let leaf = *path.last().expect("non-empty path");
+        // Leaf stream: one label, or all labels merged for a wildcard.
+        let leaf_elems: Vec<(NodeId, Vec<u32>)> = match gtp.test(leaf) {
+            NodeTest::Name(n) => {
+                stats.leaf_stream_bytes += labels
+                    .get(n)
+                    .map(|l| index.stream_bytes(l))
+                    .unwrap_or(0);
+                labels
+                    .get(n)
+                    .map(|l| {
+                        index
+                            .elements(l)
+                            .into_iter()
+                            .map(|e| (e.id, e.dewey.to_vec()))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+            NodeTest::Wildcard => {
+                let mut all: Vec<(NodeId, Vec<u32>)> = labels
+                    .iter()
+                    .flat_map(|(l, _)| {
+                        stats.leaf_stream_bytes += index.stream_bytes(l);
+                        index
+                            .elements(l)
+                            .into_iter()
+                            .map(|e| (e.id, e.dewey.to_vec()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                all.sort_by(|a, b| a.1.cmp(&b.1));
+                all
+            }
+        };
+
+        // Per-step tests and axes along this path.
+        let tests: Vec<&NodeTest> = path.iter().map(|&q| gtp.test(q)).collect();
+        let axes: Vec<Option<Axis>> = path.iter().map(|&q| gtp.edge(q).map(|e| e.axis)).collect();
+
+        let mut solutions = Vec::new();
+        for (_, dewey) in &leaf_elems {
+            stats.elements_scanned += 1;
+            // Decode the ancestor label path from the Dewey id alone.
+            let label_path = index.decode_labels(dewey);
+            let names: Vec<&str> = label_path.iter().map(|&l| labels.name(l)).collect();
+            match_path(
+                &names,
+                dewey,
+                &tests,
+                &axes,
+                gtp.is_rooted(),
+                &mut solutions,
+            );
+        }
+        stats.path_solutions += solutions.len();
+        out.push(PathSolutions { path, solutions });
+    }
+    out
+}
+
+/// Enumerate all assignments of the query path to positions on one decoded
+/// label path. `names[p]` is the label at depth `p` (prefix length `p`);
+/// the leaf query node is pinned to the last position.
+fn match_path(
+    names: &[&str],
+    dewey: &[u32],
+    tests: &[&NodeTest],
+    axes: &[Option<Axis>],
+    rooted: bool,
+    out: &mut Vec<Vec<DeweyKey>>,
+) {
+    let last = names.len() - 1;
+    if !tests[tests.len() - 1].matches(names[last]) {
+        return;
+    }
+    // Backtracking over positions for query nodes 0..k-1; node k = last.
+    let k = tests.len() - 1;
+    let mut positions = vec![0usize; tests.len()];
+    positions[k] = last;
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's recursion state
+    fn rec(
+        i: usize,
+        k: usize,
+        names: &[&str],
+        dewey: &[u32],
+        tests: &[&NodeTest],
+        axes: &[Option<Axis>],
+        rooted: bool,
+        positions: &mut Vec<usize>,
+        out: &mut Vec<Vec<DeweyKey>>,
+    ) {
+        if i == k {
+            // All internal nodes placed; check the final step k-1 → k.
+            if k > 0 {
+                let prev = positions[k - 1];
+                let ok = match axes[k].expect("non-root has an axis") {
+                    Axis::Child => positions[k] == prev + 1,
+                    Axis::Descendant => positions[k] > prev,
+                };
+                if !ok {
+                    return;
+                }
+            } else if rooted && positions[0] != 0 {
+                return;
+            }
+            out.push(
+                positions
+                    .iter()
+                    .map(|&p| dewey[..p].to_vec())
+                    .collect(),
+            );
+            return;
+        }
+        let lo = if i == 0 {
+            0
+        } else {
+            match axes[i].expect("non-root has an axis") {
+                Axis::Child => positions[i - 1] + 1,
+                Axis::Descendant => positions[i - 1] + 1,
+            }
+        };
+        let hi = positions[k]; // internal nodes sit strictly above the leaf
+        for p in lo..hi {
+            if i == 0 && rooted && p != 0 {
+                break;
+            }
+            if !tests[i].matches(names[p]) {
+                continue;
+            }
+            if i > 0 {
+                let prev = positions[i - 1];
+                let ok = match axes[i].expect("non-root") {
+                    Axis::Child => p == prev + 1,
+                    Axis::Descendant => p > prev,
+                };
+                if !ok {
+                    if axes[i] == Some(Axis::Child) && p > prev + 1 {
+                        break; // PC can only sit immediately below
+                    }
+                    continue;
+                }
+            }
+            positions[i] = p;
+            rec(i + 1, k, names, dewey, tests, axes, rooted, positions, out);
+        }
+    }
+    rec(0, k, names, dewey, tests, axes, rooted, &mut positions, out);
+}
+
+/// Full TJFast pipeline: leaf-stream matching + merge-join + resolution
+/// into a [`ResultSet`] over an all-return twig query.
+pub fn tj_fast(
+    gtp: &Gtp,
+    index: &DeweyIndex,
+    labels: &LabelTable,
+    resolver: &DeweyResolver,
+    stats: &mut TJFastStats,
+) -> ResultSet {
+    assert!(
+        gtp.iter().all(|q| gtp.role(q) == Role::Return),
+        "TJFast produces full twig matches only (all-return queries)"
+    );
+    let per_path = tj_fast_solutions(gtp, index, labels, stats);
+    let mut join_stats = JoinStats::default();
+    let tuples = merge_join(gtp, per_path, &mut join_stats);
+    stats.join = join_stats;
+
+    let analysis = QueryAnalysis::new(gtp);
+    let mut rs = ResultSet::new(analysis.columns().to_vec());
+    for t in tuples {
+        rs.push(
+            analysis
+                .columns()
+                .iter()
+                .map(|q| {
+                    Cell::Node(
+                        resolver
+                            .resolve(&t[q.index()])
+                            .expect("every matched Dewey id resolves"),
+                    )
+                })
+                .collect(),
+        );
+    }
+    rs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::evaluate as naive;
+    use gtpquery::parse_twig;
+    use xmldom::parse;
+
+    fn run(xml: &str, query: &str) -> (ResultSet, TJFastStats) {
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig(query).unwrap();
+        let index = DeweyIndex::build(&doc);
+        let resolver = DeweyResolver::build(&index, doc.labels());
+        let mut stats = TJFastStats::default();
+        let rs = tj_fast(&gtp, &index, doc.labels(), &resolver, &mut stats);
+        (rs, stats)
+    }
+
+    const FIG1: &str = "<a><a><a><b><c/><d/></b></a><b><a><b><c/><d><d/></d></b></a><c/></b></a>\
+                        <b><d/></b></a>";
+
+    #[test]
+    fn figure1_twig() {
+        let doc = parse(FIG1).unwrap();
+        let gtp = parse_twig("//a/b[//d][c]").unwrap();
+        let (rs, stats) = run(FIG1, "//a/b[//d][c]");
+        assert_eq!(rs.clone().sorted(), naive(&doc, &gtp).sorted());
+        // Only d and c streams were scanned: 4 + 3 elements.
+        assert_eq!(stats.elements_scanned, 7);
+    }
+
+    #[test]
+    fn matches_oracle_on_twigs() {
+        let docs = [
+            FIG1,
+            "<r><p><x/><y/></p><p><x/></p><p><y/></p></r>",
+            "<a><a><b/><a><b><c/></b></a></a><c/></a>",
+        ];
+        let queries = [
+            "//a/b[//d][c]",
+            "//a//b",
+            "//a/b",
+            "//a/a/b",
+            "//p[x]/y",
+            "//p[x][y]",
+            "//r[p]/p/x",
+            "//a[b]//c",
+            "//a/a[b//c]",
+        ];
+        for xml in docs {
+            let doc = parse(xml).unwrap();
+            for q in queries {
+                let gtp = parse_twig(q).unwrap();
+                let (rs, _) = run(xml, q);
+                assert_eq!(
+                    rs.sorted(),
+                    naive(&doc, &gtp).sorted(),
+                    "query {q} on {xml}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_query() {
+        let xml = "<a><a><b/></a><b/></a>";
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig("/a/b").unwrap();
+        let (rs, _) = run(xml, "/a/b");
+        assert_eq!(rs.clone().sorted(), naive(&doc, &gtp).sorted());
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn scans_only_leaf_streams() {
+        // Query //a/b on Figure 1: only the b stream is scanned (4
+        // elements), not the 4 a's.
+        let (_, stats) = run(FIG1, "//a/b");
+        assert_eq!(stats.elements_scanned, 4);
+        assert!(stats.leaf_stream_bytes > 0);
+    }
+
+    #[test]
+    fn recursive_labels_decode_correctly() {
+        let xml = "<a><a><a><b/></a></a><b/></a>";
+        let doc = parse(xml).unwrap();
+        for q in ["//a/a/b", "//a//b", "//a/a//b", "//a/a/a/b"] {
+            let gtp = parse_twig(q).unwrap();
+            let (rs, _) = run(xml, q);
+            assert_eq!(rs.clone().sorted(), naive(&doc, &gtp).sorted(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn wildcard_leaf() {
+        let xml = "<r><p><x/></p><q><y/></q></r>";
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig("//r/*").unwrap();
+        let (rs, _) = run(xml, "//r/*");
+        assert_eq!(rs.clone().sorted(), naive(&doc, &gtp).sorted());
+    }
+
+    #[test]
+    fn empty_results() {
+        let (rs, stats) = run("<a><b/></a>", "//a/c");
+        assert!(rs.is_empty());
+        assert_eq!(stats.path_solutions, 0);
+    }
+}

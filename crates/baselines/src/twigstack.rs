@@ -1,0 +1,374 @@
+//! TwigStack (Bruno et al., SIGMOD 2002) — holistic twig joins.
+//!
+//! The classic comparison system of the paper's evaluation. One sorted
+//! element stream and one stack per query node; the `getNext` oracle
+//! advances streams so that (for AD-only queries) every pushed element is
+//! guaranteed to contribute to some twig match. Root-to-leaf **path
+//! solutions** are expanded whenever a leaf element is pushed, and a final
+//! merge-join over the shared prefix nodes assembles twig tuples — the
+//! post-processing phase that Twig²Stack eliminates and that the paper's
+//! Figure 16 measures.
+//!
+//! With parent-child edges TwigStack is (famously) suboptimal: `getNext`
+//! reasons with ancestor-descendant relaxations, so useless path solutions
+//! are produced and later dropped by the merge-join. That behaviour is
+//! intentional here — it is the effect the paper evaluates.
+
+use crate::pathjoin::{merge_join, root_to_leaf_paths, JoinStats, PathSolutions};
+use gtpquery::{Axis, Cell, Gtp, QNodeId, QueryAnalysis, ResultSet, Role};
+use xmlindex::{ElemStream, IndexedElement};
+use xmldom::NodeId;
+
+/// Statistics from a TwigStack run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwigStackStats {
+    /// Elements consumed from streams.
+    pub elements_scanned: usize,
+    /// Elements pushed onto stacks.
+    pub elements_pushed: usize,
+    /// Root-to-leaf path solutions emitted.
+    pub path_solutions: usize,
+    /// Merge-join statistics.
+    pub join: JoinStats,
+}
+
+struct Run<'g, S> {
+    gtp: &'g Gtp,
+    streams: Vec<S>,
+    /// Per query node: (element, pointer into parent stack at push time).
+    stacks: Vec<Vec<(IndexedElement, u32)>>,
+    /// Leaf-indexed accumulated path solutions.
+    paths: Vec<Vec<QNodeId>>,
+    solutions: Vec<Vec<Vec<NodeId>>>,
+    stats: TwigStackStats,
+}
+
+impl<S: ElemStream> Run<'_, S> {
+    fn next_l(&mut self, q: QNodeId) -> u32 {
+        self.streams[q.index()]
+            .peek()
+            .map_or(u32::MAX, |e| e.region.left)
+    }
+
+    fn next_r(&mut self, q: QNodeId) -> u32 {
+        self.streams[q.index()]
+            .peek()
+            .map_or(u32::MAX, |e| e.region.right)
+    }
+
+    /// The `getNext` oracle of the TwigStack paper.
+    fn get_next(&mut self, q: QNodeId) -> QNodeId {
+        if self.gtp.is_leaf(q) {
+            return q;
+        }
+        let children: Vec<QNodeId> = self.gtp.children(q).to_vec();
+        let mut n_min = children[0];
+        let mut n_max = children[0];
+        for &c in &children {
+            let r = self.get_next(c);
+            if r != c {
+                return r;
+            }
+            if self.next_l(c) < self.next_l(n_min) {
+                n_min = c;
+            }
+            if self.next_l(c) > self.next_l(n_max) {
+                n_max = c;
+            }
+        }
+        while self.next_r(q) < self.next_l(n_max) {
+            self.streams[q.index()].advance();
+            self.stats.elements_scanned += 1;
+        }
+        if self.next_l(q) < self.next_l(n_min) {
+            q
+        } else {
+            n_min
+        }
+    }
+
+    /// Pop dead elements from one stack. TwigStack cleans only the acting
+    /// node's stack and its parent's — never all stacks: sibling branches
+    /// may lag arbitrarily far behind, and their live elements' ancestors
+    /// must stay on the shared stacks until the lagging branch passes them.
+    fn clean_stack(&mut self, q: QNodeId, left: u32) {
+        let st = &mut self.stacks[q.index()];
+        while st.last().is_some_and(|(t, _)| t.region.right < left) {
+            st.pop();
+        }
+    }
+
+    /// Expand path solutions for a just-pushed leaf element.
+    fn show_solutions(&mut self, leaf_path: usize, e: IndexedElement, ptr: u32) {
+        let path = self.paths[leaf_path].clone();
+        let qi = path.len() - 1;
+        let mut partial = Vec::with_capacity(path.len());
+        let mut rows = Vec::new();
+        self.expand(&path, qi, &e, ptr, &mut partial, &mut rows);
+        self.stats.path_solutions += rows.len();
+        self.solutions[leaf_path].extend(rows);
+    }
+
+    fn expand(
+        &self,
+        path: &[QNodeId],
+        qi: usize,
+        e: &IndexedElement,
+        ptr: u32,
+        partial: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        partial.push(e.id);
+        if qi == 0 {
+            let mut row = partial.clone();
+            row.reverse();
+            out.push(row);
+        } else {
+            let q = path[qi];
+            let pc = self.gtp.edge(q).expect("non-root").axis == Axis::Child;
+            let parent_stack = &self.stacks[path[qi - 1].index()];
+            for &(p, pptr) in &parent_stack[..ptr as usize] {
+                // Skip the element itself (same element in adjacent
+                // stacks via shared labels or wildcards).
+                if !p.region.is_ancestor_of(&e.region) {
+                    continue;
+                }
+                if !pc || p.region.level + 1 == e.region.level {
+                    self.expand(path, qi - 1, &p, pptr, partial, out);
+                }
+            }
+        }
+        partial.pop();
+    }
+}
+
+/// Run TwigStack over per-query-node streams (document order, one per
+/// query node, indexed by `QNodeId::index()`), producing path solutions
+/// per root-to-leaf path.
+///
+/// # Panics
+/// Panics if the query has optional edges (TwigStack pre-dates GTPs).
+pub fn twig_stack_solutions<S: ElemStream>(
+    gtp: &Gtp,
+    streams: Vec<S>,
+    stats: &mut TwigStackStats,
+) -> Vec<PathSolutions<NodeId>> {
+    assert!(
+        gtp.iter().all(|q| gtp.edge(q).is_none_or(|e| !e.optional)),
+        "TwigStack does not support optional edges"
+    );
+    assert!(
+        !gtp.has_or_groups(),
+        "TwigStack does not support AND/OR twigs"
+    );
+    assert!(
+        !gtp.has_value_preds(),
+        "TwigStack operates on structural indexes without element text"
+    );
+    assert_eq!(streams.len(), gtp.len());
+    let paths = root_to_leaf_paths(gtp);
+    let mut run = Run {
+        gtp,
+        streams,
+        stacks: vec![Vec::new(); gtp.len()],
+        solutions: vec![Vec::new(); paths.len()],
+        paths,
+        stats: TwigStackStats::default(),
+    };
+    // Map each leaf query node to its path index.
+    let leaf_path: Vec<Option<usize>> = gtp
+        .iter()
+        .map(|q| run.paths.iter().position(|p| *p.last().unwrap() == q))
+        .collect();
+
+    loop {
+        let mut q = run.get_next(gtp.root());
+        if run.streams[q.index()].peek().is_none() {
+            // The chosen node's stream is dry. If every leaf stream is dry
+            // we are done. Otherwise we are in the endgame: some branch
+            // has exhausted its leaf, so no *new* twig roots can complete,
+            // but elements already on the stacks may still head solutions
+            // of the remaining leaves — keep draining the smallest head
+            // directly (the getNext oracle cannot make progress past a dry
+            // subtree; this fallback trades endgame optimality for
+            // completeness).
+            let all_leaves_dry = gtp
+                .iter()
+                .filter(|&l| gtp.is_leaf(l))
+                .all(|l| run.streams[l.index()].peek().is_none());
+            if all_leaves_dry {
+                break;
+            }
+            q = gtp
+                .iter()
+                .min_by_key(|&n| run.next_l(n))
+                .expect("non-empty query");
+            if run.streams[q.index()].peek().is_none() {
+                break; // only stacks remain; nothing left to scan
+            }
+        }
+        let e = run.streams[q.index()].peek().expect("checked non-dry");
+        run.streams[q.index()].advance();
+        run.stats.elements_scanned += 1;
+        if let Some(p) = gtp.parent(q) {
+            run.clean_stack(p, e.region.left);
+        }
+        run.clean_stack(q, e.region.left);
+        let ok = if q == gtp.root() {
+            !gtp.is_rooted() || e.region.level == 1
+        } else {
+            // Needs a *proper* ancestor in the parent stack (stacks are
+            // nested chains; the bottom element has the smallest left).
+            let parent = gtp.parent(q).expect("non-root");
+            run.stacks[parent.index()]
+                .first()
+                .is_some_and(|(t, _)| t.region.left < e.region.left)
+        };
+        if !ok {
+            continue;
+        }
+        let ptr = gtp
+            .parent(q)
+            .map_or(0, |p| run.stacks[p.index()].len() as u32);
+        run.stats.elements_pushed += 1;
+        if gtp.is_leaf(q) {
+            let lp = leaf_path[q.index()].expect("leaf has a path");
+            run.show_solutions(lp, e, ptr);
+        } else {
+            run.stacks[q.index()].push((e, ptr));
+        }
+    }
+
+    let mut out = Vec::new();
+    for (path, solutions) in run.paths.iter().zip(run.solutions) {
+        out.push(PathSolutions { path: path.clone(), solutions });
+    }
+    *stats = run.stats;
+    out
+}
+
+/// Full TwigStack pipeline: path solutions + merge-join into a
+/// [`ResultSet`] over an all-return twig query.
+pub fn twig_stack<S: ElemStream>(
+    gtp: &Gtp,
+    streams: Vec<S>,
+    stats: &mut TwigStackStats,
+) -> ResultSet {
+    assert!(
+        gtp.iter().all(|q| gtp.role(q) == Role::Return),
+        "TwigStack produces full twig matches only (all-return queries)"
+    );
+    let per_path = twig_stack_solutions(gtp, streams, stats);
+    let mut join_stats = JoinStats::default();
+    let tuples = merge_join(gtp, per_path, &mut join_stats);
+    stats.join = join_stats;
+
+    let analysis = QueryAnalysis::new(gtp);
+    let mut rs = ResultSet::new(analysis.columns().to_vec());
+    for t in tuples {
+        rs.push(
+            analysis
+                .columns()
+                .iter()
+                .map(|q| Cell::Node(t[q.index()]))
+                .collect(),
+        );
+    }
+    rs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::evaluate as naive;
+    use crate::pathstack::build_streams;
+    use gtpquery::parse_twig;
+    use xmlindex::{ElementIndex, SliceStream};
+    use xmldom::parse;
+
+    fn run(xml: &str, query: &str) -> (ResultSet, TwigStackStats) {
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig(query).unwrap();
+        let index = ElementIndex::build(&doc);
+        let owned = build_streams(&index, doc.labels(), &gtp);
+        let streams: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
+        let mut stats = TwigStackStats::default();
+        let rs = twig_stack(&gtp, streams, &mut stats);
+        (rs, stats)
+    }
+
+    const FIG1: &str = "<a><a><a><b><c/><d/></b></a><b><a><b><c/><d><d/></d></b></a><c/></b></a>\
+                        <b><d/></b></a>";
+
+    #[test]
+    fn figure1_twig() {
+        let doc = parse(FIG1).unwrap();
+        let gtp = parse_twig("//a/b[//d][c]").unwrap();
+        let (rs, stats) = run(FIG1, "//a/b[//d][c]");
+        let expected = naive(&doc, &gtp);
+        assert_eq!(rs.clone().sorted(), expected.sorted());
+        assert!(stats.path_solutions >= rs.len());
+    }
+
+    #[test]
+    fn matches_oracle_on_twigs() {
+        let docs = [
+            FIG1,
+            "<r><p><x/><y/></p><p><x/></p><p><y/></p></r>",
+            "<a><a><b/><a><b><c/></b></a></a><c/></a>",
+        ];
+        let queries = [
+            "//a/b[//d][c]",
+            "//a//b",
+            "//a/b",
+            "//p[x]/y",
+            "//p[x][y]",
+            "//r[p]/p/x",
+            "//a[b]//c",
+            "//a/a[b//c]",
+        ];
+        for xml in docs {
+            let doc = parse(xml).unwrap();
+            for q in queries {
+                let gtp = parse_twig(q).unwrap();
+                let (rs, _) = run(xml, q);
+                assert_eq!(
+                    rs.sorted(),
+                    naive(&doc, &gtp).sorted(),
+                    "query {q} on {xml}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_query() {
+        let doc = parse("<a><a><b/></a><b/></a>").unwrap();
+        let gtp = parse_twig("/a/b").unwrap();
+        let (rs, _) = run("<a><a><b/></a><b/></a>", "/a/b");
+        assert_eq!(rs.clone().sorted(), naive(&doc, &gtp).sorted());
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn empty_results() {
+        let (rs, _) = run("<a><b/></a>", "//a[c]/b");
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn suboptimal_for_pc_edges() {
+        // b1 has a c *descendant* but not a c *child*, so getNext (which
+        // reasons with AD relaxations) cannot rule it out: the useless
+        // (a, b1, d1) path solution is emitted and the merge-join drops
+        // it. This is exactly the PC-suboptimality the paper discusses.
+        let xml = "<a><b><x><c/></x><d/></b><b><c/><d/></b></a>";
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig("//a/b[c][d]").unwrap();
+        let (rs, stats) = run(xml, "//a/b[c][d]");
+        assert_eq!(rs.clone().sorted(), naive(&doc, &gtp).sorted());
+        assert_eq!(rs.len(), 1);
+        // 1 c-path + 2 d-path solutions, only 1 surviving tuple.
+        assert_eq!(stats.path_solutions, 3);
+    }
+}

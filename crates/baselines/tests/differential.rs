@@ -1,0 +1,115 @@
+//! Property-based differential testing of the baseline twig joins
+//! (TwigStack, TJFast) against the naive oracle — and, transitively,
+//! against Twig²Stack, which is differentially tested against the same
+//! oracle in its own crate.
+//!
+//! Baselines only support full twig queries (all-return, mandatory
+//! edges), so the query generator is restricted accordingly. Baselines
+//! produce tuples in join order, so comparisons are canonical-sorted.
+
+use gtpquery::{Axis, Gtp, GtpBuilder};
+use proptest::prelude::*;
+use twigbaselines::{
+    naive_evaluate, path_stack, tj_fast, twig_stack, DeweyResolver, PathStackStats,
+    TJFastStats, TwigStackStats,
+};
+use twigbaselines::build_streams;
+use xmlindex::{DeweyIndex, ElementIndex, SliceStream};
+use xmlgen::{generate_random_tree, RandomTreeConfig};
+use xmldom::{write, Document, Indent};
+
+const LABELS: [&str; 5] = ["a", "b", "c", "d", "*"];
+
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    label: usize,
+    parent: prop::sample::Index,
+    pc: bool,
+}
+
+fn node_spec() -> impl Strategy<Value = NodeSpec> {
+    (0usize..LABELS.len(), any::<prop::sample::Index>(), any::<bool>())
+        .prop_map(|(label, parent, pc)| NodeSpec { label, parent, pc })
+}
+
+fn query_strategy() -> impl Strategy<Value = Gtp> {
+    (prop::collection::vec(node_spec(), 1..6), any::<bool>()).prop_map(|(specs, rooted)| {
+        let mut b = GtpBuilder::new(LABELS[specs[0].label], rooted);
+        let root = b.root();
+        let mut ids = vec![root];
+        for s in &specs[1..] {
+            let parent = ids[s.parent.index(ids.len())];
+            let axis = if s.pc { Axis::Child } else { Axis::Descendant };
+            ids.push(b.child(parent, LABELS[s.label], axis));
+        }
+        b.build()
+    })
+}
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    (1usize..50, 1usize..4, 2u32..10, 0u32..100, any::<u64>()).prop_map(
+        |(nodes, alphabet, max_depth, depth_bias, seed)| {
+            generate_random_tree(&RandomTreeConfig { nodes, alphabet, max_depth, depth_bias, seed })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn twigstack_equals_oracle(doc in doc_strategy(), gtp in query_strategy()) {
+        let expected = naive_evaluate(&doc, &gtp).sorted();
+        let index = ElementIndex::build(&doc);
+        let owned = build_streams(&index, doc.labels(), &gtp);
+        let streams: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
+        let mut stats = TwigStackStats::default();
+        let got = twig_stack(&gtp, streams, &mut stats).sorted();
+        prop_assert_eq!(&got, &expected, "doc={} query={}", write(&doc, Indent::None), gtp);
+        prop_assert!(got.is_duplicate_free());
+    }
+
+    #[test]
+    fn tjfast_equals_oracle(doc in doc_strategy(), gtp in query_strategy()) {
+        let expected = naive_evaluate(&doc, &gtp).sorted();
+        let index = DeweyIndex::build(&doc);
+        let resolver = DeweyResolver::build(&index, doc.labels());
+        let mut stats = TJFastStats::default();
+        let got = tj_fast(&gtp, &index, doc.labels(), &resolver, &mut stats).sorted();
+        prop_assert_eq!(&got, &expected, "doc={} query={}", write(&doc, Indent::None), gtp);
+        prop_assert!(got.is_duplicate_free());
+    }
+
+    /// PathStack on linear chains only.
+    #[test]
+    fn pathstack_equals_oracle(
+        doc in doc_strategy(),
+        labels in prop::collection::vec(0usize..LABELS.len(), 1..5),
+        axes in prop::collection::vec(any::<bool>(), 4),
+        rooted in any::<bool>(),
+    ) {
+        let mut b = GtpBuilder::new(LABELS[labels[0]], rooted);
+        let mut cur = b.root();
+        for (i, &l) in labels[1..].iter().enumerate() {
+            let axis = if axes[i] { Axis::Child } else { Axis::Descendant };
+            cur = b.child(cur, LABELS[l], axis);
+        }
+        let gtp = b.build();
+        let expected = naive_evaluate(&doc, &gtp).sorted();
+        let index = ElementIndex::build(&doc);
+        let owned = build_streams(&index, doc.labels(), &gtp);
+        let streams: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
+        let mut stats = PathStackStats::default();
+        let sols = path_stack(&gtp, streams, &mut stats);
+        // Convert path solutions to a sorted ResultSet.
+        let analysis = gtpquery::QueryAnalysis::new(&gtp);
+        let mut rs = gtpquery::ResultSet::new(analysis.columns().to_vec());
+        for s in &sols.solutions {
+            rs.push(s.iter().map(|&n| gtpquery::Cell::Node(n)).collect());
+        }
+        prop_assert_eq!(
+            rs.sorted(), expected,
+            "doc={} query={}", write(&doc, Indent::None), gtp
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the existence-checking optimization (§3.5) on vs off,
+//! * early result enumeration (§4.4) vs pure bottom-up,
+//! * streaming (SAX events, no DOM) vs DOM-driven matching,
+//! * matching vs enumeration cost split (what the hierarchical encoding
+//!   saves vs what tuple materialization costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtpquery::parse_twig;
+use std::time::Duration;
+use twig2stack::{
+    count_results, enumerate, evaluate_early, evaluate_streaming, match_document, MatchOptions,
+};
+use twigbench::workload::{dblp, Profile};
+use xmldom::{write, Indent};
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+}
+
+fn existence_opt(c: &mut Criterion) {
+    let ds = dblp(Profile::Quick);
+    // B-return-only form of DBLP-Q1: title and author become
+    // existence-checking when the optimization is on.
+    let gtp = parse_twig("//dblp!/inproceedings[title!]/author!").unwrap();
+    let mut group = c.benchmark_group("ablation/existence_opt");
+    configure(&mut group);
+    for (label, on) in [("off", false), ("on", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (tm, stats) =
+                    match_document(&ds.doc, &gtp, MatchOptions { existence_opt: on });
+                let rs = enumerate(&tm);
+                (rs.len(), stats.peak_bytes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn early_vs_pure(c: &mut Criterion) {
+    let ds = dblp(Profile::Quick);
+    let gtp = parse_twig("//dblp!/inproceedings[title!]/author").unwrap();
+    let mut group = c.benchmark_group("ablation/early_enumeration");
+    configure(&mut group);
+    group.bench_function("pure_bottom_up", |b| {
+        b.iter(|| {
+            let (tm, _) = match_document(&ds.doc, &gtp, MatchOptions::default());
+            enumerate(&tm).len()
+        })
+    });
+    group.bench_function("early_hybrid", |b| {
+        b.iter(|| {
+            evaluate_early(&ds.doc, &gtp, MatchOptions::default())
+                .expect("query shape supports early mode")
+                .0
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn streaming_vs_dom(c: &mut Criterion) {
+    let ds = dblp(Profile::Quick);
+    let xml = write(&ds.doc, Indent::None);
+    let gtp = parse_twig("//dblp/inproceedings[title]/author").unwrap();
+    let mut group = c.benchmark_group("ablation/streaming");
+    configure(&mut group);
+    group.bench_function("dom_events", |b| {
+        b.iter(|| {
+            let (tm, _) = match_document(&ds.doc, &gtp, MatchOptions::default());
+            enumerate(&tm).len()
+        })
+    });
+    group.bench_function("sax_streaming_no_dom", |b| {
+        b.iter(|| {
+            evaluate_streaming(&xml, &gtp, MatchOptions::default())
+                .expect("well-formed")
+                .0
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn match_vs_enumerate(c: &mut Criterion) {
+    let ds = dblp(Profile::Quick);
+    let gtp = parse_twig("//dblp/inproceedings[title]/author").unwrap();
+    let mut group = c.benchmark_group("ablation/phase_split");
+    configure(&mut group);
+    group.bench_function("match_only", |b| {
+        b.iter(|| match_document(&ds.doc, &gtp, MatchOptions::default()).1.elements_pushed)
+    });
+    group.bench_function("match_plus_enumerate", |b| {
+        b.iter(|| {
+            let (tm, _) = match_document(&ds.doc, &gtp, MatchOptions::default());
+            enumerate(&tm).len()
+        })
+    });
+    group.finish();
+}
+
+fn count_vs_materialize(c: &mut Criterion) {
+    // XMark-Q1's output is quadratic (bidders × reserves through the one
+    // open_auctions container); counting over the factorized encoding is
+    // O(encoding) and stays linear.
+    let ds = twigbench::workload::xmark(Profile::Quick, 2);
+    let gtp = parse_twig("/site/open_auctions[.//bidder/personref]//reserve").unwrap();
+    let mut group = c.benchmark_group("ablation/count_vs_materialize");
+    configure(&mut group);
+    group.bench_function("materialize_tuples", |b| {
+        b.iter(|| {
+            let (tm, _) = match_document(&ds.doc, &gtp, MatchOptions::default());
+            enumerate(&tm).len()
+        })
+    });
+    group.bench_function("count_only", |b| {
+        b.iter(|| {
+            let (tm, _) = match_document(&ds.doc, &gtp, MatchOptions::default());
+            count_results(&tm)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    existence_opt,
+    early_vs_pure,
+    streaming_vs_dom,
+    match_vs_enumerate,
+    count_vs_materialize
+);
+criterion_main!(benches);

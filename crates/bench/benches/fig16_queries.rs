@@ -1,0 +1,45 @@
+//! Criterion benches for paper Figure 16: full twig query processing time
+//! per dataset × query × algorithm.
+//!
+//! One criterion group per dataset; each group benches the nine
+//! (query, algorithm) cells of that dataset's panel. IO time is measured
+//! separately by the `experiments` binary (criterion would just bench the
+//! page cache).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use twigbench::metrics::{tjfast_query_once, twig2stack_query_once, twigstack_query_once};
+use twigbench::workload::{
+    dblp, dblp_queries, treebank, treebank_queries, xmark, xmark_queries, Dataset, NamedQuery,
+    Profile,
+};
+
+fn bench_dataset(c: &mut Criterion, label: &str, ds: &Dataset, queries: &[NamedQuery]) {
+    let mut group = c.benchmark_group(format!("fig16/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for nq in queries {
+        group.bench_function(format!("{}/TwigStack", nq.name), |b| {
+            b.iter(|| twigstack_query_once(ds, &nq.gtp).1.len())
+        });
+        group.bench_function(format!("{}/TJFast", nq.name), |b| {
+            b.iter(|| tjfast_query_once(ds, &nq.gtp).1.len())
+        });
+        group.bench_function(format!("{}/Twig2Stack", nq.name), |b| {
+            b.iter(|| twig2stack_query_once(ds, &nq.gtp).1.len())
+        });
+    }
+    group.finish();
+}
+
+fn fig16(c: &mut Criterion) {
+    let profile = Profile::Quick;
+    bench_dataset(c, "dblp", &dblp(profile), &dblp_queries());
+    bench_dataset(c, "xmark", &xmark(profile, 1), &xmark_queries());
+    bench_dataset(c, "treebank", &treebank(profile), &treebank_queries());
+}
+
+criterion_group!(benches, fig16);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for paper Figure 17: query processing time over
+//! XMark documents of increasing scale factor. The paper's claim is that
+//! all three algorithms grow linearly in document size (with Twig²Stack
+//! lowest); compare the per-scale medians.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use twigbench::metrics::{tjfast_query_once, twig2stack_query_once, twigstack_query_once};
+use twigbench::workload::{xmark, xmark_queries, Profile};
+
+fn fig17(c: &mut Criterion) {
+    for nq in xmark_queries() {
+        let mut group = c.benchmark_group(format!("fig17/{}", nq.name));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        for scale in [1usize, 2, 3] {
+            let ds = xmark(Profile::Quick, scale);
+            group.throughput(Throughput::Elements(ds.doc.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new("TwigStack", scale),
+                &ds,
+                |b, ds| b.iter(|| twigstack_query_once(ds, &nq.gtp).1.len()),
+            );
+            group.bench_with_input(BenchmarkId::new("TJFast", scale), &ds, |b, ds| {
+                b.iter(|| tjfast_query_once(ds, &nq.gtp).1.len())
+            });
+            group.bench_with_input(
+                BenchmarkId::new("Twig2Stack", scale),
+                &ds,
+                |b, ds| b.iter(|| twig2stack_query_once(ds, &nq.gtp).1.len()),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig17);
+criterion_main!(benches);

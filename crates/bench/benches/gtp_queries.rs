@@ -1,0 +1,42 @@
+//! Criterion benches for paper Figures 18 and 19: GTP query processing
+//! with Twig²Stack — non-return nodes, group returns and optional axes.
+//! The baselines are excluded exactly as in the paper (§5.3): they cannot
+//! process GTPs without bolting on post-processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use twigbench::metrics::twig2stack_query_once;
+use twigbench::workload::{dblp, fig18_variants, fig19_variants, xmark, Profile};
+
+fn fig18(c: &mut Criterion) {
+    let ds = dblp(Profile::Quick);
+    let mut group = c.benchmark_group("fig18/dblp_gtp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for nq in fig18_variants() {
+        group.bench_function(nq.name, |b| {
+            b.iter(|| twig2stack_query_once(&ds, &nq.gtp).1.len())
+        });
+    }
+    group.finish();
+}
+
+fn fig19(c: &mut Criterion) {
+    let ds = xmark(Profile::Quick, 1);
+    let mut group = c.benchmark_group("fig19/xmark_gtp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for nq in fig19_variants() {
+        group.bench_function(nq.name, |b| {
+            b.iter(|| twig2stack_query_once(&ds, &nq.gtp).1.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig18, fig19);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerate the paper's evaluation tables and figures.
+//!
+//! Usage:
+//! ```text
+//! experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|table1|all]
+//! ```
+//!
+//! `--quick` uses small documents (seconds); the default "full" profile
+//! uses laptop-scale documents comparable in spirit to the paper's setup.
+
+use twigbench::workload::Profile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+
+    let run_all = what.contains(&"all");
+    let wants = |name: &str| run_all || what.contains(&name);
+
+    if !what.iter().all(|w| {
+        matches!(
+            *w,
+            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "table1"
+        )
+    }) {
+        eprintln!(
+            "usage: experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|table1|all]"
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "Twig2Stack reproduction — evaluation harness (profile: {})\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    if wants("fig14") {
+        println!("{}", twigbench::fig14(profile));
+    }
+    if wants("fig15") {
+        println!("{}", twigbench::fig15());
+    }
+    if wants("fig16") {
+        let (_, report) = twigbench::fig16(profile);
+        println!("{report}");
+    }
+    if wants("fig17") {
+        let (_, report) = twigbench::fig17(profile, &[1, 2, 3, 4, 5]);
+        println!("{report}");
+    }
+    if wants("fig18") {
+        let (_, report) = twigbench::fig18(profile);
+        println!("{report}");
+    }
+    if wants("fig19") {
+        let (_, report) = twigbench::fig19(profile);
+        println!("{report}");
+    }
+    if wants("table1") {
+        let (_, report) = twigbench::table1(profile);
+        println!("{report}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Datasets and queries of the paper's evaluation (§5.1, Figures 14–15).
+//!
+//! Each [`Dataset`] bundles a generated document with every access path the
+//! three algorithms need: the in-memory region-encoded element index, the
+//! extended-Dewey index (TJFast), and — lazily, on request — serialized
+//! on-disk index files for real IO-time measurements.
+
+use gtpquery::{parse_twig, Gtp};
+use std::path::PathBuf;
+use twigbaselines::DeweyResolver;
+use xmlindex::{write_dewey_index, write_region_index, DeweyIndex, ElementIndex};
+use xmlgen::{generate_dblp, generate_treebank, generate_xmark, DblpConfig, TreebankConfig, XmarkConfig};
+use xmldom::Document;
+
+/// A benchmark dataset with all access paths prepared.
+pub struct Dataset {
+    /// Display name ("DBLP", "TreeBank", "XMark(s=2)", …).
+    pub name: String,
+    /// The document.
+    pub doc: Document,
+    /// Region-encoded element index (TwigStack, PathStack, Twig²Stack).
+    pub index: ElementIndex,
+    /// Extended Dewey index (TJFast).
+    pub dewey: DeweyIndex,
+    /// Dewey → node resolution for TJFast output.
+    pub resolver: DeweyResolver,
+    disk_region: Option<PathBuf>,
+    disk_dewey: Option<PathBuf>,
+}
+
+impl Dataset {
+    /// Wrap a generated document.
+    pub fn new(name: impl Into<String>, doc: Document) -> Self {
+        let index = ElementIndex::build(&doc);
+        let dewey = DeweyIndex::build(&doc);
+        let resolver = DeweyResolver::build(&dewey, doc.labels());
+        Dataset {
+            name: name.into(),
+            doc,
+            index,
+            dewey,
+            resolver,
+            disk_region: None,
+            disk_dewey: None,
+        }
+    }
+
+    /// Serialize the on-disk indexes (idempotent), returning
+    /// `(region_path, dewey_path)`.
+    pub fn disk_indexes(&mut self) -> std::io::Result<(PathBuf, PathBuf)> {
+        if self.disk_region.is_none() {
+            let dir = std::env::temp_dir().join(format!(
+                "twig2stack-bench-{}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir)?;
+            let slug: String = self
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let region = dir.join(format!("{slug}.regions.idx"));
+            let dewey = dir.join(format!("{slug}.dewey.idx"));
+            write_region_index(&self.doc, &region)?;
+            write_dewey_index(&self.dewey, self.doc.labels(), &dewey)?;
+            self.disk_region = Some(region);
+            self.disk_dewey = Some(dewey);
+        }
+        Ok((
+            self.disk_region.clone().expect("just created"),
+            self.disk_dewey.clone().expect("just created"),
+        ))
+    }
+}
+
+/// Size profile: `Quick` for test suites and CI, `Full` for the paper-shape
+/// experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Small documents (~5k elements): seconds for the whole suite.
+    Quick,
+    /// Laptop-scale documents (~100-400k elements).
+    Full,
+}
+
+/// The DBLP stand-in dataset.
+pub fn dblp(profile: Profile) -> Dataset {
+    let cfg = match profile {
+        Profile::Quick => DblpConfig { inproceedings: 260, articles: 200, seed: 0x1db1 },
+        Profile::Full => DblpConfig { inproceedings: 16000, articles: 12000, seed: 0x1db1 },
+    };
+    Dataset::new("DBLP", generate_dblp(&cfg))
+}
+
+/// The TreeBank stand-in dataset.
+pub fn treebank(profile: Profile) -> Dataset {
+    let cfg = match profile {
+        Profile::Quick => TreebankConfig { sentences: 120, max_depth: 30, seed: 0x7b },
+        Profile::Full => TreebankConfig { sentences: 7000, max_depth: 36, seed: 0x7b },
+    };
+    Dataset::new("TreeBank", generate_treebank(&cfg))
+}
+
+/// The XMark stand-in dataset at a given scale factor.
+pub fn xmark(profile: Profile, scale: usize) -> Dataset {
+    let cfg = match profile {
+        Profile::Quick => XmarkConfig { scale, ..XmarkConfig::tiny(0xa0c) },
+        Profile::Full => XmarkConfig::at_scale(scale),
+    };
+    Dataset::new(format!("XMark(s={scale})"), generate_xmark(&cfg))
+}
+
+/// One named query of Figure 15.
+#[derive(Debug, Clone)]
+pub struct NamedQuery {
+    /// Paper name, e.g. "DBLP-Q1".
+    pub name: &'static str,
+    /// The twig syntax as in Figure 15.
+    pub text: &'static str,
+    /// Parsed GTP (all nodes return nodes — the "full twig" form of §5.2).
+    pub gtp: Gtp,
+}
+
+fn q(name: &'static str, text: &'static str) -> NamedQuery {
+    NamedQuery {
+        name,
+        text,
+        gtp: parse_twig(text).unwrap_or_else(|e| panic!("query {name}: {e}")),
+    }
+}
+
+/// The three DBLP queries of Figure 15.
+pub fn dblp_queries() -> Vec<NamedQuery> {
+    vec![
+        q("DBLP-Q1", "//dblp/inproceedings[title]/author"),
+        q("DBLP-Q2", "//dblp/article[author][.//title]//year"),
+        q("DBLP-Q3", "//inproceedings[author][.//title]//booktitle"),
+    ]
+}
+
+/// The three XMark queries of Figure 15.
+pub fn xmark_queries() -> Vec<NamedQuery> {
+    vec![
+        q("XMark-Q1", "/site/open_auctions[.//bidder/personref]//reserve"),
+        q("XMark-Q2", "//people//person[.//address/zipcode]/profile/education"),
+        q("XMark-Q3", "//item[location]/description//keyword"),
+    ]
+}
+
+/// The three TreeBank queries of Figure 15 (tag names in the lower-case
+/// encoding our generator emits).
+pub fn treebank_queries() -> Vec<NamedQuery> {
+    vec![
+        q("TreeBank-Q1", "//s/vp/pp[in]/np/vbn"),
+        q("TreeBank-Q2", "//s/vp//pp[.//np/vbn]/in"),
+        q("TreeBank-Q3", "//vp[dt]//prp_dollar_"),
+    ]
+}
+
+/// GTP variants of DBLP-Q1 used in Figure 18.
+///
+/// (a) full twig; (b) `title` non-return; (c) `author` non-return;
+/// (d) `author` group-return (with `title` non-return, as in 18(b) vs (d)).
+pub fn fig18_variants() -> Vec<NamedQuery> {
+    vec![
+        q("18(a) full twig", "//dblp/inproceedings[title]/author"),
+        q("18(b) title non-return", "//dblp/inproceedings[title!]/author"),
+        q("18(c) author non-return", "//dblp/inproceedings[title]/author!"),
+        q("18(d) author grouped", "//dblp/inproceedings[title!]/author@"),
+    ]
+}
+
+/// GTP variants of XMark-Q1 used in Figure 19.
+///
+/// (a) full twig; (b) `address`/`zipcode` non-return; (c) only `education`
+/// returned; (d) optional address axis; (e) also optional education axis.
+pub fn fig19_variants() -> Vec<NamedQuery> {
+    vec![
+        q(
+            "19(a) full twig",
+            "//people//person[.//address/zipcode]/profile/education",
+        ),
+        q(
+            "19(b) addr non-return",
+            "//people//person[.//address!/zipcode!]/profile/education",
+        ),
+        q(
+            "19(c) education only",
+            "//people!//person![.//address!/zipcode!]/profile!/education",
+        ),
+        q(
+            "19(d) optional address",
+            "//people//person[.//?address/zipcode]/profile/education",
+        ),
+        q(
+            "19(e) + optional education",
+            "//people//person[.//?address/zipcode]/profile/?education",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse_and_match_their_datasets() {
+        let dblp_ds = dblp(Profile::Quick);
+        for nq in dblp_queries() {
+            let rs = twig2stack::evaluate(&dblp_ds.doc, &nq.gtp);
+            assert!(!rs.is_empty(), "{} returned nothing", nq.name);
+        }
+        let xm = xmark(Profile::Quick, 1);
+        for nq in xmark_queries() {
+            let rs = twig2stack::evaluate(&xm.doc, &nq.gtp);
+            assert!(!rs.is_empty(), "{} returned nothing", nq.name);
+        }
+        let tb = treebank(Profile::Quick);
+        for nq in treebank_queries() {
+            // TreeBank queries are highly selective; just check they run.
+            let _ = twig2stack::evaluate(&tb.doc, &nq.gtp);
+        }
+    }
+
+    #[test]
+    fn gtp_variants_parse_and_run() {
+        let ds = dblp(Profile::Quick);
+        for nq in fig18_variants() {
+            let rs = twig2stack::evaluate(&ds.doc, &nq.gtp);
+            assert!(!rs.is_empty(), "{} returned nothing", nq.name);
+        }
+        let xm = xmark(Profile::Quick, 1);
+        for nq in fig19_variants() {
+            let rs = twig2stack::evaluate(&xm.doc, &nq.gtp);
+            assert!(!rs.is_empty(), "{} returned nothing", nq.name);
+        }
+    }
+
+    #[test]
+    fn disk_indexes_round_trip() {
+        let mut ds = dblp(Profile::Quick);
+        let (r, d) = ds.disk_indexes().unwrap();
+        assert!(r.exists());
+        assert!(d.exists());
+        // Idempotent.
+        let (r2, _) = ds.disk_indexes().unwrap();
+        assert_eq!(r, r2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Result counting without materialization.
+//!
+//! The hierarchical-stack encoding is a factorized representation of the
+//! result set, so |results| can be computed combinatorially — products
+//! over branches, sums over candidates — without ever building a tuple.
+//! Per-element counts are memoized by stack location, making the whole
+//! computation O(encoding size) even when the materialized output would
+//! be quadratic or worse (e.g. XMark-Q1's bidder × reserve cross product
+//! through the shared `open_auctions` container).
+//!
+//! The count is defined to equal `enumerate(tm).len()` exactly, including
+//! null rows for unmatched optional branches and single rows for groups.
+
+use crate::enumerate::compute_total_effects;
+use crate::hstack::SId;
+use crate::matcher::{MatchView, TwigMatch};
+use crate::sot::{sot_preorder, sot_of_hierstack, Sot, SotNode};
+use crate::edges::EdgeTarget;
+use gtpquery::{Axis, QNodeId, Role};
+use std::collections::HashMap;
+
+/// Number of result tuples `enumerate` would produce, computed without
+/// materializing them.
+pub fn count_results(tm: &TwigMatch<'_>) -> u64 {
+    let view = tm.view();
+    let analysis = view.analysis;
+    assert!(
+        analysis.enumerable(),
+        "query is not enumerable: {:?}",
+        analysis.issues()
+    );
+    if analysis.columns().is_empty() {
+        return 0; // boolean query — mirror enumerate()
+    }
+    let root = view.gtp.root();
+    let esot = sot_of_hierstack(view.stack(root));
+    if esot.is_empty() {
+        return 0;
+    }
+    let mut memo = HashMap::new();
+    count_node(&view, root, &esot, &mut memo)
+}
+
+type Memo = HashMap<(QNodeId, SId, u32), u64>;
+
+/// Rows the sub-GTP rooted at `q` yields for candidate set `esot` —
+/// mirrors `enum_node` case by case.
+fn count_node(view: &MatchView<'_>, q: QNodeId, esot: &Sot, memo: &mut Memo) -> u64 {
+    match view.gtp.role(q) {
+        Role::Return => sot_preorder(esot)
+            .iter()
+            .map(|e| count_elem(view, q, e, memo))
+            .sum(),
+        Role::GroupReturn => 1,
+        Role::NonReturn => {
+            let (i, _) = view
+                .gtp
+                .children(q)
+                .iter()
+                .enumerate()
+                .find(|&(_, &c)| view.analysis.has_output_below(c))
+                .map(|(i, &c)| (i, c))
+                .expect("non-return node on the output path has an output child");
+            let msot = compute_total_effects(view, esot, q, i);
+            if msot.is_empty() {
+                return 1; // the null row
+            }
+            count_node(view, view.gtp.children(q)[i], &msot, memo)
+        }
+    }
+}
+
+/// Rows contributed by one concrete element of a return node: the product
+/// of its branch counts (`enum_node`'s Cartesian product), with an empty
+/// branch counting 1 (the null row substituted below optional steps).
+fn count_elem(view: &MatchView<'_>, q: QNodeId, e: &SotNode, memo: &mut Memo) -> u64 {
+    let key = (q, e.loc.0, e.loc.1);
+    if let Some(&c) = memo.get(&key) {
+        return c;
+    }
+    let mut product: u64 = 1;
+    for (i, &m) in view.gtp.children(q).iter().enumerate() {
+        if !view.analysis.has_output_below(m) {
+            continue;
+        }
+        let msot = point_step_sot(view, e, q, i);
+        let sub = count_node(view, m, &msot, memo);
+        product = product.saturating_mul(sub.max(1));
+    }
+    memo.insert(key, product);
+    product
+}
+
+/// Re-derive the per-element related SOT exactly as `enum_node` does
+/// (paper Figure 11 line 9): PC edges are flat element lists, AD edges
+/// expand to stack-tree SOTs.
+fn point_step_sot(view: &MatchView<'_>, e: &SotNode, e_q: QNodeId, child_idx: usize) -> Sot {
+    let m = view.gtp.children(e_q)[child_idx];
+    let hs_m = view.stack(m);
+    let elem = view.stack(e_q).elem(e.loc);
+    let mut out = Vec::new();
+    match view.gtp.edge(m).expect("child edge").axis {
+        Axis::Child => {
+            for t in elem.edges.for_child(child_idx) {
+                match *t {
+                    EdgeTarget::Element(st, idx) => {
+                        let se = hs_m.elem((st, idx));
+                        out.push(SotNode {
+                            node: se.node,
+                            region: se.region,
+                            loc: (st, idx),
+                            children: Vec::new(),
+                        });
+                    }
+                    EdgeTarget::Subtree { .. } => unreachable!("PC stores element edges"),
+                }
+            }
+        }
+        Axis::Descendant => {
+            for t in elem.edges.for_child(child_idx) {
+                match *t {
+                    EdgeTarget::Subtree { root, upto } => {
+                        out.extend(crate::sot::sot_of_stack_tree_upto(hs_m, root, upto))
+                    }
+                    EdgeTarget::Element(..) => unreachable!("AD stores subtree edges"),
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate;
+    use crate::matcher::{match_document, MatchOptions};
+    use gtpquery::parse_twig;
+    use xmldom::parse;
+
+    fn check(xml: &str, query: &str) {
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig(query).unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        assert_eq!(
+            count_results(&tm),
+            enumerate(&tm).len() as u64,
+            "query {query} on {xml}"
+        );
+    }
+
+    const FIG1: &str = "<a><a><a><b><c/><d/></b></a><b><a><b><c/><d><d/></d></b></a><c/></b></a>\
+                        <b><d/></b></a>";
+
+    #[test]
+    fn counts_match_enumeration() {
+        for q in [
+            "//a/b[//d][c]",
+            "//a!/b![//d][c!]",
+            "//b//d",
+            "//a!/b",
+            "//a/b[?c@]",
+            "//b[?c][.//?d]",
+            "/a/a/b",
+        ] {
+            check(FIG1, q);
+        }
+    }
+
+    #[test]
+    fn cross_product_counted_without_materialization() {
+        // 3 x's × 3 y's under one p: 9 rows, counted as a product.
+        let xml = "<p><x/><x/><x/><y/><y/><y/></p>";
+        check(xml, "//p[x]/y");
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig("//p[x][y]").unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        assert_eq!(count_results(&tm), 9);
+    }
+
+    #[test]
+    fn boolean_query_counts_zero() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let gtp = parse_twig("//a!/b!").unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        assert_eq!(count_results(&tm), 0);
+        assert!(tm.root_match_count() > 0); // existence is still visible
+    }
+
+    #[test]
+    fn empty_result_counts_zero() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let gtp = parse_twig("//a/c").unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        assert_eq!(count_results(&tm), 0);
+    }
+}

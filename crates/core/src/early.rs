@@ -1,0 +1,779 @@
+//! Early result enumeration — the hybrid top-down/bottom-up mode
+//! (paper §4.4).
+//!
+//! Pure bottom-up Twig²Stack can only enumerate once the document ends, so
+//! its hierarchical stacks grow with the number of matches in the whole
+//! document. The hybrid mode combines:
+//!
+//! * a **top-down PathStack pass** on element *opens*: an element enters
+//!   the hierarchical machinery only if it also satisfies (an AD-relaxed
+//!   check of) the prefix path from the query root — a strictly more
+//!   stringent push condition; and
+//! * a **trigger**: whenever the top-down stack of the query's *top branch
+//!   node* empties (its outermost element closes), everything that will
+//!   ever involve the just-closed subtree is enumerable *now* — results
+//!   are emitted and every hierarchical stack is cleared.
+//!
+//! Query nodes strictly above the top branch node form a linear spine
+//! whose matches are still *open* at trigger time; their assignments are
+//! enumerated from the top-down stacks (the "hybrid of PathStack and
+//! Twig²Stack enumeration" of Figure 12), exactness of parent-child spine
+//! steps included. When a spine node above the top branch is a return
+//! node, rows are grouped per spine assignment and flushed in document
+//! order of those assignments at the end (the paper's "temporary space"
+//! for the blocking case of Figure 12).
+//!
+//! Unsupported shapes fall back to pure bottom-up mode (see
+//! [`EarlyUnsupported`]); [`evaluate_auto`] picks automatically.
+
+use crate::edges::{EdgeLists, EdgeTarget};
+use crate::enumerate::{compute_total_effects, enum_node, enumerate_view, PartialRow};
+use crate::hstack::HierStack;
+use crate::matcher::{MatchOptions, MatchView};
+use crate::memory::MemoryMeter;
+use crate::sot::{rebuild_sot, sot_of_hierstack, sot_preorder, Sot, SotNode};
+use gtpquery::{Axis, Cell, Gtp, LabelDispatch, QNodeId, QueryAnalysis, ResultSet, Role};
+use std::collections::BTreeMap;
+use std::fmt;
+use xmldom::{Document, Event, Label, LabelTable, NodeId, Region};
+
+/// Why a query cannot use early result enumeration (fall back to the pure
+/// bottom-up matcher).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EarlyUnsupported {
+    /// Result enumeration is undefined for this query at all.
+    NotEnumerable,
+    /// The query has no output columns (boolean query).
+    NoOutput,
+    /// The query root itself is a group-return node: its single group row
+    /// aggregates matches across the whole document, so no early trigger
+    /// point exists.
+    GroupRoot(QNodeId),
+    /// A group-return node whose nearest return ancestor does not exist —
+    /// its group spans the whole document and cannot be flushed early.
+    GroupSpansTriggers(QNodeId),
+    /// The trigger node is non-return and an *optional* edge sits on its
+    /// chain down to the first output node: an empty match at one trigger
+    /// would emit a null row even though another trigger has matches —
+    /// only a document-wide view can decide that.
+    OptionalBelowTrigger(QNodeId),
+}
+
+impl fmt::Display for EarlyUnsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EarlyUnsupported::NotEnumerable => write!(f, "query is not enumerable"),
+            EarlyUnsupported::NoOutput => write!(f, "query has no output columns"),
+            EarlyUnsupported::GroupRoot(q) => {
+                write!(f, "group-return query root {q} aggregates the whole document")
+            }
+            EarlyUnsupported::GroupSpansTriggers(q) => {
+                write!(f, "group-return node {q} would aggregate across triggers")
+            }
+            EarlyUnsupported::OptionalBelowTrigger(q) => {
+                write!(
+                    f,
+                    "optional edge at {q} on the non-return trigger node's output chain"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EarlyUnsupported {}
+
+/// Counters reported by the early matcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EarlyStats {
+    /// Number of times results were flushed and stacks cleared.
+    pub triggers: usize,
+    /// Elements pushed into hierarchical stacks.
+    pub elements_pushed: usize,
+    /// Elements rejected by the top-down prefix gate.
+    pub gate_rejections: usize,
+    /// Peak logical bytes held by the hierarchical + top-down stacks.
+    pub peak_bytes: usize,
+    /// Result rows produced.
+    pub rows: usize,
+}
+
+/// One open element on a top-down stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TElem {
+    node: NodeId,
+    left: u32,
+    level: u32,
+}
+
+const TELEM_BYTES: usize = std::mem::size_of::<TElem>();
+
+/// The hybrid matcher. Feed it [`Event`]s in document order and call
+/// [`EarlyMatcher::finish`].
+pub struct EarlyMatcher<'g> {
+    gtp: &'g Gtp,
+    analysis: QueryAnalysis,
+    dispatch: LabelDispatch,
+    /// Query nodes root..=top_branch.
+    spine: Vec<QNodeId>,
+    /// Spine positions of the *upper* output (return) columns, and their
+    /// column indices — the grouping key.
+    upper_key_cols: Vec<usize>,
+    tb: QNodeId,
+    /// Top-down PathStack stacks, one per query node.
+    tstacks: Vec<Vec<TElem>>,
+    /// Hierarchical stacks; maintained only for `below` nodes.
+    hstacks: Vec<HierStack>,
+    /// Open elements with the query nodes they were gated into.
+    open: Vec<(NodeId, Vec<QNodeId>)>,
+    /// Pending rows grouped by upper-spine key (flushed at finish).
+    groups: BTreeMap<Vec<NodeId>, Vec<Vec<Cell>>>,
+    scratch: Vec<Vec<EdgeTarget>>,
+    /// Text source for value predicates.
+    text: Option<&'g Document>,
+    meter: MemoryMeter,
+    stats: EarlyStats,
+}
+
+impl<'g> EarlyMatcher<'g> {
+    /// Create a hybrid matcher, or report why the query needs the pure
+    /// bottom-up mode.
+    pub fn new(
+        gtp: &'g Gtp,
+        labels: &LabelTable,
+        options: MatchOptions,
+    ) -> Result<Self, EarlyUnsupported> {
+        let analysis = QueryAnalysis::new(gtp);
+        if !analysis.enumerable() {
+            return Err(EarlyUnsupported::NotEnumerable);
+        }
+        if analysis.columns().is_empty() {
+            return Err(EarlyUnsupported::NoOutput);
+        }
+        // Choose the trigger node: start at the first branching node (or
+        // the leaf of a linear query) and walk up while the configuration
+        // is unusable — an optional incoming edge at tb (spine steps must
+        // be mandatory), a group-return node at or above tb (it would
+        // aggregate across triggers), or a group node below tb without a
+        // return-node scope at or below tb (its list would span triggers).
+        // Walking up only coarsens trigger granularity, never correctness;
+        // in the worst case tb reaches the query root (the paper's Figure
+        // 13 right-hand case, where early enumeration degrades
+        // gracefully). Only document-spanning groups are fatal.
+        let mut tb = analysis.top_branch();
+        loop {
+            // (a) tb itself: mandatory incoming edge, non-group role.
+            if gtp.role(tb) == Role::GroupReturn {
+                match gtp.parent(tb) {
+                    Some(p) => {
+                        tb = p;
+                        continue;
+                    }
+                    None => return Err(EarlyUnsupported::GroupRoot(tb)),
+                }
+            }
+            // The whole spine root..=tb must be mandatory: an optional
+            // step anywhere above would make upper assignments nullable,
+            // which the spine enumeration does not model. Hop above the
+            // highest optional edge.
+            if let Some(v) = std::iter::successors(Some(tb), |&n| gtp.parent(n))
+                .filter(|&n| gtp.edge(n).is_some_and(|e| e.optional))
+                .last()
+            {
+                tb = gtp.parent(v).expect("non-root has a parent");
+                continue;
+            }
+            // (b) no group-return node strictly above tb.
+            if let Some(g) = ancestors(gtp, tb).find(|&a| gtp.role(a) == Role::GroupReturn) {
+                tb = g; // case (a) will walk past it (or fail at the root)
+                continue;
+            }
+            // (c) every group node below tb is scoped by a return node at
+            // or below tb.
+            let unscoped = gtp.iter().find(|&g| {
+                gtp.role(g) == Role::GroupReturn && g != tb && !group_scoped(gtp, g, tb)
+            });
+            if let Some(g) = unscoped {
+                match gtp.parent(tb) {
+                    Some(p) => {
+                        tb = p;
+                        continue;
+                    }
+                    None => return Err(EarlyUnsupported::GroupSpansTriggers(g)),
+                }
+            }
+            break;
+        }
+        // If tb is a non-return node, its union semantics span all its
+        // elements; per-trigger evaluation is only equivalent when the
+        // chain down to the first output node is mandatory (each trigger
+        // then provably contributes matches, so no per-trigger null rows
+        // can arise).
+        {
+            let mut n = tb;
+            while gtp.role(n) == Role::NonReturn && analysis.has_output_below(n) {
+                let Some(&child) = gtp
+                    .children(n)
+                    .iter()
+                    .find(|&&c| analysis.has_output_below(c))
+                else {
+                    break;
+                };
+                if gtp.edge(child).expect("child edge").optional {
+                    return Err(EarlyUnsupported::OptionalBelowTrigger(child));
+                }
+                n = child;
+            }
+        }
+        // The spine root..=tb.
+        let mut spine = vec![tb];
+        let mut cur = tb;
+        while let Some(p) = gtp.parent(cur) {
+            spine.push(p);
+            cur = p;
+        }
+        spine.reverse();
+
+        let upper_key_cols = spine[..spine.len() - 1]
+            .iter()
+            .filter(|&&q| gtp.role(q) == Role::Return)
+            .map(|&q| analysis.column_of(q).expect("return node is a column"))
+            .collect();
+
+        let dispatch = LabelDispatch::compile(gtp, labels);
+        let hstacks = gtp
+            .iter()
+            .map(|q| {
+                HierStack::new(
+                    options.existence_opt && analysis.is_existence_checking(q),
+                )
+            })
+            .collect();
+        let max_children = gtp.iter().map(|q| gtp.children(q).len()).max().unwrap_or(0);
+        Ok(EarlyMatcher {
+            gtp,
+            analysis,
+            dispatch,
+            spine,
+            upper_key_cols,
+            tb,
+            tstacks: vec![Vec::new(); gtp.len()],
+            hstacks,
+            open: Vec::new(),
+            groups: BTreeMap::new(),
+            scratch: vec![Vec::new(); max_children],
+            text: None,
+            meter: MemoryMeter::new(),
+            stats: EarlyStats::default(),
+        })
+    }
+
+    /// Provide the document as a text source for value predicates.
+    pub fn with_text_source(mut self, doc: &'g Document) -> Self {
+        self.text = Some(doc);
+        self
+    }
+
+    /// Process one parse event.
+    pub fn on_event(&mut self, ev: Event) {
+        match ev {
+            Event::Start { elem, label, left, level } => self.on_start(elem, label, left, level),
+            Event::End { elem, label, region } => self.on_end(elem, label, region),
+        }
+    }
+
+    fn on_start(&mut self, elem: NodeId, label: Label, left: u32, level: u32) {
+        let qnodes = self.dispatch.query_nodes(label);
+        let mut pushed = Vec::new();
+        for i in 0..qnodes.len() {
+            let q = self.dispatch.query_nodes(label)[i];
+            // PathStack gate (AD-relaxed): a proper ancestor must be open
+            // on the parent's top-down stack; the root checks anchoring.
+            let ok = match self.gtp.parent(q) {
+                None => !self.gtp.is_rooted() || level == 1,
+                Some(p) => self.tstacks[p.index()]
+                    .first()
+                    .is_some_and(|t| t.left < left),
+            };
+            if ok {
+                self.tstacks[q.index()].push(TElem { node: elem, left, level });
+                pushed.push(q);
+            } else {
+                self.stats.gate_rejections += 1;
+            }
+        }
+        self.open.push((elem, pushed));
+    }
+
+    fn on_end(&mut self, elem: NodeId, _label: Label, region: Region) {
+        let Some((open_elem, pushed)) = self.open.pop() else {
+            debug_assert!(false, "unbalanced end event");
+            return;
+        };
+        debug_assert_eq!(open_elem, elem);
+        // Bottom-up matching for every gated node (parents-first:
+        // dispatch order is topological). Upper-spine labels recurring
+        // inside a top-branch subtree close before the trigger and must be
+        // enumerable from their hierarchical stacks (paper Figure 12).
+        for &q in &pushed {
+            self.match_one_node(elem, region, q);
+        }
+        // Pop the top-down stacks; fire the trigger when the top branch
+        // node's stack empties.
+        let mut tb_popped = false;
+        for &q in &pushed {
+            let top = self.tstacks[q.index()].pop();
+            debug_assert_eq!(top.map(|t| t.node), Some(elem));
+            if q == self.tb {
+                tb_popped = true;
+            }
+        }
+        if tb_popped && self.tstacks[self.tb.index()].is_empty() {
+            self.trigger();
+        }
+        self.sample();
+    }
+
+    /// Paper `MatchOneNode` (Figure 7), identical to the pure matcher.
+    fn match_one_node(&mut self, node: NodeId, region: Region, q: QNodeId) {
+        if let Some(pred) = self.gtp.value_pred(q) {
+            let doc = self.text.unwrap_or_else(|| {
+                panic!("query has value predicates; a text source is required")
+            });
+            if !pred.matches(doc.text(node)) {
+                return;
+            }
+        }
+        let children = self.gtp.children(q);
+        // Mandatory steps grouped by OR-group (paper §3.3.3, AND/OR
+        // twigs): every member is merged (cost maintenance), each group
+        // contributes the OR of its checks, the node needs every group.
+        let mut satisfied = true;
+        'groups: for group in self.analysis.mandatory_groups(q) {
+            let mut any = false;
+            for &j in group {
+                let mj = children[j];
+                let ej = self.gtp.edge(mj).expect("child edge");
+                self.scratch[j].clear();
+                let mut buf = std::mem::take(&mut self.scratch[j]);
+                any |= self.hstacks[mj.index()].merge_check(&region, ej.axis, &mut buf);
+                self.scratch[j] = buf;
+            }
+            if !any {
+                satisfied = false;
+                break 'groups;
+            }
+        }
+        if !satisfied {
+            return;
+        }
+        for (i, &m) in children.iter().enumerate() {
+            let edge = self.gtp.edge(m).expect("child edge");
+            if !edge.optional {
+                continue;
+            }
+            self.scratch[i].clear();
+            let mut buf = std::mem::take(&mut self.scratch[i]);
+            self.hstacks[m.index()].merge_check(&region, edge.axis, &mut buf);
+            self.scratch[i] = buf;
+        }
+        let edges = if children.is_empty()
+            || self.scratch[..children.len()].iter().all(Vec::is_empty)
+        {
+            EdgeLists::empty()
+        } else {
+            // Clone (exact-size) rather than take, so the scratch buffers
+            // keep their capacity across elements.
+            EdgeLists::new(
+                self.scratch[..children.len()]
+                    .iter()
+                    .map(|v| v.to_vec())
+                    .collect(),
+            )
+        };
+        self.hstacks[q.index()].push(node, region, edges);
+        self.stats.elements_pushed += 1;
+    }
+
+    fn sample(&mut self) {
+        let h: usize = self.hstacks.iter().map(HierStack::live_bytes).sum();
+        let t: usize = self
+            .tstacks
+            .iter()
+            .map(|s| s.len() * TELEM_BYTES)
+            .sum();
+        self.meter.sample(h + t);
+    }
+
+    /// Enumerate everything involving the just-closed top-branch subtree,
+    /// then clear all hierarchical stacks.
+    fn trigger(&mut self) {
+        self.stats.triggers += 1;
+        let view = MatchView {
+            gtp: self.gtp,
+            analysis: &self.analysis,
+            stacks: &self.hstacks,
+        };
+        let root_q = self.spine[0];
+        let root_opens: Vec<TElem> = self.tstacks[root_q.index()].clone();
+        let root_closed = sot_of_hierstack(&self.hstacks[root_q.index()]);
+        let rows = enum_spine(
+            &view,
+            &self.spine,
+            0,
+            &root_opens,
+            &root_closed,
+            &self.tstacks,
+        );
+        let dedup = !self.analysis.has_output_below(self.tb);
+        for row in rows {
+            let key: Vec<NodeId> = self
+                .upper_key_cols
+                .iter()
+                .map(|&c| match row[c] {
+                    Cell::Node(n) => n,
+                    _ => unreachable!("upper key columns are plain return nodes"),
+                })
+                .collect();
+            let entry = self.groups.entry(key).or_default();
+            // Rows without output at or below tb are fully determined by
+            // the key; keep one per group.
+            if dedup && !entry.is_empty() {
+                continue;
+            }
+            entry.push(row);
+        }
+        for hs in &mut self.hstacks {
+            hs.clear();
+        }
+        self.sample();
+    }
+
+    /// Flush pending groups (in document order of the upper-spine keys)
+    /// and return the results.
+    pub fn finish(mut self) -> (ResultSet, EarlyStats) {
+        self.stats.peak_bytes = self.meter.peak();
+        let mut rs = ResultSet::new(self.analysis.columns().to_vec());
+        for (_, rows) in std::mem::take(&mut self.groups) {
+            for row in rows {
+                rs.push(row);
+            }
+        }
+        self.stats.rows = rs.len();
+        (rs, self.stats)
+    }
+}
+
+/// Iterator over the proper ancestors of `q` in the query tree.
+fn ancestors(gtp: &Gtp, q: QNodeId) -> impl Iterator<Item = QNodeId> + '_ {
+    std::iter::successors(gtp.parent(q), move |&p| gtp.parent(p))
+}
+
+/// Is group node `g` scoped by a return node on the path from its parent
+/// up to `tb` (inclusive)? If so, its group list never spans triggers.
+fn group_scoped(gtp: &Gtp, g: QNodeId, tb: QNodeId) -> bool {
+    let mut cur = gtp.parent(g);
+    while let Some(p) = cur {
+        if gtp.role(p) == Role::Return {
+            return true;
+        }
+        if p == tb {
+            return false;
+        }
+        cur = gtp.parent(p);
+    }
+    false
+}
+
+/// Enumerate the spine level `i`, whose candidate matches split into
+/// *open* elements (still on the top-down stacks — ancestors of the
+/// just-closed subtree) and *closed* elements (inside that subtree, fully
+/// encoded in the hierarchical stacks with result edges). Opens always
+/// precede closeds in document order, and the closed world is handled by
+/// the standard `EnumTwig²Stack` machinery.
+fn enum_spine(
+    view: &MatchView<'_>,
+    spine: &[QNodeId],
+    i: usize,
+    opens: &[TElem],
+    closed: &Sot,
+    tstacks: &[Vec<TElem>],
+) -> Vec<PartialRow> {
+    let gtp = view.gtp;
+    let analysis = view.analysis;
+    if i == spine.len() - 1 {
+        // Top branch level: its top-down stack just emptied (that is the
+        // trigger condition), so every candidate is closed.
+        debug_assert!(opens.is_empty(), "tb has no open elements at trigger time");
+        if closed.is_empty() {
+            return Vec::new();
+        }
+        return descend_tb(view, spine[i], closed);
+    }
+    let q = spine[i];
+    match gtp.role(q) {
+        Role::Return => {
+            let col = analysis.column_of(q).expect("return node is a column");
+            let mut rows = Vec::new();
+            for u in opens {
+                let next_opens = open_candidates(gtp, spine[i + 1], u, tstacks);
+                let next_closed = closed_from_open(view, gtp, spine[i + 1], u);
+                for mut row in
+                    enum_spine(view, spine, i + 1, &next_opens, &next_closed, tstacks)
+                {
+                    row[col] = Cell::Node(u.node);
+                    rows.push(row);
+                }
+            }
+            // Closed matches of this spine node follow all opens in
+            // document order and are fully edge-encoded.
+            if !closed.is_empty() {
+                rows.extend(enum_node(view, q, closed));
+            }
+            rows
+        }
+        Role::NonReturn => {
+            // Total effects: union the next-level candidates over all
+            // elements (open and closed), deduplicated.
+            let mut next_opens: Vec<TElem> = Vec::new();
+            let mut next_closed_nodes: Vec<SotNode> = Vec::new();
+            for u in opens {
+                for t in open_candidates(gtp, spine[i + 1], u, tstacks) {
+                    if !next_opens.iter().any(|x| x.node == t.node) {
+                        next_opens.push(t);
+                    }
+                }
+                next_closed_nodes.extend(closed_from_open(view, gtp, spine[i + 1], u));
+            }
+            // Closed-world contribution via result edges (Figure 10).
+            next_closed_nodes.extend(compute_total_effects(view, closed, q, 0));
+            let next_closed = rebuild_sot(next_closed_nodes);
+            next_opens.sort_by_key(|t| t.left);
+            if next_opens.is_empty() && next_closed.is_empty() {
+                return Vec::new();
+            }
+            enum_spine(view, spine, i + 1, &next_opens, &next_closed, tstacks)
+        }
+        Role::GroupReturn => unreachable!("groups on the spine are rejected"),
+    }
+}
+
+/// Open elements of spine node `q` compatible with open parent `u`. All
+/// open elements lie on one root path, so descendant-of-`u` is just
+/// `left > u.left`.
+fn open_candidates(gtp: &Gtp, q: QNodeId, u: &TElem, tstacks: &[Vec<TElem>]) -> Vec<TElem> {
+    let pc = gtp.edge(q).expect("spine edge").axis == Axis::Child;
+    tstacks[q.index()]
+        .iter()
+        .filter(|t| t.left > u.left && (!pc || t.level == u.level + 1))
+        .copied()
+        .collect()
+}
+
+/// Closed elements of spine node `q` compatible with *open* parent `u`.
+/// Every closed element lies inside the just-closed subtree, which every
+/// open element contains, so AD is free; PC filters by level (flattening
+/// is sound: equal-level elements are pairwise disjoint, exactly what
+/// `pointPC` produces in pure mode).
+fn closed_from_open(view: &MatchView<'_>, gtp: &Gtp, q: QNodeId, u: &TElem) -> Sot {
+    let sot = sot_of_hierstack(view.stack(q));
+    match gtp.edge(q).expect("spine edge").axis {
+        Axis::Descendant => sot,
+        Axis::Child => sot_preorder(&sot)
+            .into_iter()
+            .filter(|s| s.region.level == u.level + 1)
+            .map(|s| SotNode { children: Vec::new(), ..s.clone() })
+            .collect(),
+    }
+}
+
+/// Enumerate at and below the trigger node `tb` via `EnumTwig²Stack`.
+/// When nothing at or below it is an output node, a single empty row
+/// witnesses existence.
+fn descend_tb(view: &MatchView<'_>, tb: QNodeId, cands: &Sot) -> Vec<PartialRow> {
+    let width = view.analysis.columns().len();
+    if !view.analysis.has_output_below(tb) {
+        return vec![vec![Cell::Null; width]];
+    }
+    enum_node(view, tb, cands)
+}
+
+/// Run the hybrid matcher over an in-memory document.
+pub fn evaluate_early<'g>(
+    doc: &'g Document,
+    gtp: &'g Gtp,
+    options: MatchOptions,
+) -> Result<(ResultSet, EarlyStats), EarlyUnsupported> {
+    let mut m = EarlyMatcher::new(gtp, doc.labels(), options)?.with_text_source(doc);
+    for ev in xmldom::DocEvents::new(doc) {
+        m.on_event(ev);
+    }
+    Ok(m.finish())
+}
+
+/// Evaluate with early result enumeration when the query shape allows it,
+/// falling back to pure bottom-up matching otherwise.
+pub fn evaluate_auto(doc: &Document, gtp: &Gtp, options: MatchOptions) -> ResultSet {
+    match evaluate_early(doc, gtp, options) {
+        Ok((rs, _)) => rs,
+        Err(_) => {
+            let (tm, _) = crate::matcher::match_document(doc, gtp, options);
+            enumerate_view(&tm.view())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+    use twigbaselines::naive_evaluate;
+    use xmldom::parse;
+
+    fn check(xml: &str, query: &str) {
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig(query).unwrap();
+        let expected = naive_evaluate(&doc, &gtp);
+        let (got, stats) =
+            evaluate_early(&doc, &gtp, MatchOptions::default()).unwrap_or_else(|e| {
+                panic!("query {query} unexpectedly unsupported: {e}");
+            });
+        assert_eq!(got, expected, "query {query} on {xml}");
+        assert_eq!(stats.rows, expected.len());
+    }
+
+    const FIG1: &str = "<a><a><a><b><c/><d/></b></a><b><a><b><c/><d><d/></d></b></a><c/></b></a>\
+                        <b><d/></b></a>";
+
+    #[test]
+    fn figure1_queries() {
+        check(FIG1, "//a/b[//d][c]");
+        check(FIG1, "//a!/b[//d!][c!]");
+        check(FIG1, "//a!/b![//d][c!]");
+    }
+
+    #[test]
+    fn triggers_fire_per_record() {
+        // DBLP-style: one trigger per inproceedings.
+        let xml = "<dblp><inproceedings><title/><author/></inproceedings>\
+                   <inproceedings><title/><author/><author/></inproceedings>\
+                   <inproceedings><author/></inproceedings></dblp>";
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig("//dblp!/inproceedings[title!]/author").unwrap();
+        let (rs, stats) = evaluate_early(&doc, &gtp, MatchOptions::default()).unwrap();
+        assert_eq!(rs, naive_evaluate(&doc, &gtp));
+        assert_eq!(stats.triggers, 3);
+        // Memory stays bounded by one record, far below the total pushed.
+        assert!(stats.peak_bytes > 0);
+    }
+
+    #[test]
+    fn return_node_above_top_branch_is_reordered() {
+        // dblp is a return node above the top branch (inproceedings):
+        // rows must still come out in oracle order.
+        let xml = "<r><dblp><inproceedings><title/><author/></inproceedings>\
+                   <inproceedings><title/><author/></inproceedings></dblp>\
+                   <dblp><inproceedings><title/><author/></inproceedings></dblp></r>";
+        check(xml, "//dblp/inproceedings[title]/author");
+        check(xml, "//dblp/inproceedings[title!]/author");
+    }
+
+    #[test]
+    fn nested_upper_spine_matches() {
+        let xml = "<a><a><p><x/><y/></p></a><p><x/><y/></p></a>";
+        check(xml, "//a/p[x]/y");
+        check(xml, "//a//p[x]/y");
+        check(xml, "//a!//p[x]/y");
+        check(xml, "//a!/p[x]/y");
+    }
+
+    #[test]
+    fn linear_query_top_branch_is_leaf() {
+        let xml = "<a><b><c/></b><b/></a>";
+        check(xml, "//a/b/c");
+        check(xml, "//a!/b!/c");
+        check(xml, "//a//c");
+    }
+
+    #[test]
+    fn groups_scoped_within_trigger() {
+        let xml = "<r><p><x/><x/></p><p><x/></p><p/></r>";
+        check(xml, "//p[?x@]");
+        check(xml, "//r!/p[?x@]");
+    }
+
+    #[test]
+    fn existence_only_below_tb() {
+        // Only the upper spine returns; tb subtree is existence-checking.
+        let xml = "<r><p><x/><y/></p><p><x/></p></r>";
+        check(xml, "//r/p![x!][y!]");
+    }
+
+    #[test]
+    fn unsupported_shapes_are_reported() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let labels = doc.labels();
+        // Boolean query.
+        let g = parse_twig("//a!/b!").unwrap();
+        assert_eq!(
+            EarlyMatcher::new(&g, labels, MatchOptions::default()).err(),
+            Some(EarlyUnsupported::NoOutput)
+        );
+        // Group at the query root spans the whole document.
+        let g = parse_twig("//a@/b!").unwrap();
+        assert!(matches!(
+            EarlyMatcher::new(&g, labels, MatchOptions::default()).err(),
+            Some(EarlyUnsupported::GroupRoot(_))
+        ));
+        // Group with no return-node scope anywhere above it.
+        let g = parse_twig("//a!/b![c!][.//d@]").unwrap();
+        assert!(matches!(
+            EarlyMatcher::new(&g, labels, MatchOptions::default()).err(),
+            Some(EarlyUnsupported::GroupSpansTriggers(_))
+        ));
+    }
+
+    #[test]
+    fn trigger_node_walks_up_past_awkward_shapes() {
+        // Optional edge below the branch point: tb moves up and the query
+        // still runs early.
+        let xml = "<a><b><c/><d/></b><b><c/></b></a>";
+        check(xml, "//a/?b[c][?d]");
+        // Group above the original trigger node: tb moves to its parent.
+        check(xml, "//a/b@[c!]");
+        check(xml, "//a/b[c][?d@]");
+    }
+
+    #[test]
+    fn auto_falls_back() {
+        let doc = parse("<a><b><c/><d/></b></a>").unwrap();
+        let gtp = parse_twig("//a!/b![c!][.//d@]").unwrap();
+        let rs = evaluate_auto(&doc, &gtp, MatchOptions::default());
+        assert_eq!(rs, naive_evaluate(&doc, &gtp));
+    }
+
+    #[test]
+    fn rooted_queries() {
+        let xml = "<a><a><b><c/></b></a><b><c/></b></a>";
+        check(xml, "/a/b[c]");
+        check(xml, "/a//b[c]");
+    }
+
+    #[test]
+    fn recursive_tb_elements() {
+        // //p[x] is linear, so the trigger node is the leaf x: one trigger
+        // per x element, and the nested p's are enumerated from a mix of
+        // open (top-down) and closed (hierarchical) candidates.
+        let xml = "<r><p><p><x/></p><x/></p></r>";
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig("//p[x]").unwrap();
+        let (rs, stats) = evaluate_early(&doc, &gtp, MatchOptions::default()).unwrap();
+        assert_eq!(rs, naive_evaluate(&doc, &gtp));
+        assert_eq!(stats.triggers, 2);
+        // A branching query over the same data triggers on p itself:
+        // nested p's share the outermost close.
+        let gtp2 = parse_twig("//p[p][x]").unwrap();
+        let (rs2, stats2) = evaluate_early(&doc, &gtp2, MatchOptions::default()).unwrap();
+        assert_eq!(rs2, naive_evaluate(&doc, &gtp2));
+        assert_eq!(stats2.triggers, 1);
+    }
+}

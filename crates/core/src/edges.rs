@@ -1,0 +1,115 @@
+//! Result edges between hierarchical stacks.
+//!
+//! When a query step `E → M` is satisfied by an element `e`, the paper
+//! records edges from `e` to the matched stack trees of `HS[M]` (Figure 6
+//! lines 7/10). The two edge kinds correspond to the two axes:
+//!
+//! * a **PC** edge points at one concrete element — the top of a root stack
+//!   whose level matched (`pointPC` reads these directly);
+//! * an **AD** edge points at a whole stack tree — *every* element inside
+//!   is a descendant of `e` (`pointAD` expands the tree lazily).
+//!
+//! Both reference `(stack id, element index)` locations, which stay valid
+//! forever because merging never moves elements between stacks.
+
+use crate::hstack::SId;
+
+/// One result edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeTarget {
+    /// AD edge: the elements `0..upto` of the root stack plus everything
+    /// in its descendant stacks qualify.
+    ///
+    /// `upto` freezes the root stack's height at edge-creation time: the
+    /// paper's edge points at `ST.top`, and elements pushed onto the same
+    /// stack *later* are ancestors of the edge's source, not descendants.
+    /// (Descendant stacks are immutable after losing root status, so only
+    /// the root stack needs the bound.)
+    Subtree {
+        /// Root stack of the matched tree.
+        root: SId,
+        /// Number of root-stack elements covered (its height at creation).
+        upto: u32,
+    },
+    /// PC edge: exactly this element qualifies.
+    Element(SId, u32),
+}
+
+impl EdgeTarget {
+    /// An AD edge to a stack tree whose root stack currently holds `upto`
+    /// elements.
+    #[inline]
+    pub fn subtree(root: SId, upto: u32) -> Self {
+        EdgeTarget::Subtree { root, upto }
+    }
+
+    /// A PC edge to one element.
+    #[inline]
+    pub fn element(stack: SId, index: u32) -> Self {
+        EdgeTarget::Element(stack, index)
+    }
+}
+
+/// Per-element edge storage: one list of targets per child query node, in
+/// the child order of the owning query node.
+///
+/// Lists are kept in ascending document order — the order the merge walk
+/// records them in (it scans root trees left to right).
+#[derive(Debug, Clone, Default)]
+pub struct EdgeLists {
+    lists: Box<[Vec<EdgeTarget>]>,
+}
+
+impl EdgeLists {
+    /// No edges at all (leaf query nodes, existence-checking mode).
+    pub fn empty() -> Self {
+        EdgeLists::default()
+    }
+
+    /// Take ownership of per-child edge lists (each already in ascending
+    /// document order). Capacities are kept as-is: shrinking would cost a
+    /// reallocation per pushed element on the matching hot path.
+    pub fn new(lists: Vec<Vec<EdgeTarget>>) -> Self {
+        EdgeLists { lists: lists.into_boxed_slice() }
+    }
+
+    /// Edges for the `i`-th child query node (empty if none recorded).
+    pub fn for_child(&self, i: usize) -> &[EdgeTarget] {
+        self.lists.get(i).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of edges across all children.
+    pub fn total_edges(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_lists() {
+        let e = EdgeLists::empty();
+        assert_eq!(e.total_edges(), 0);
+        assert!(e.for_child(0).is_empty());
+        assert!(e.for_child(7).is_empty());
+    }
+
+    #[test]
+    fn new_preserves_document_order() {
+        let e = EdgeLists::new(vec![
+            vec![EdgeTarget::subtree(SId(2), 1), EdgeTarget::subtree(SId(5), 0)],
+            vec![EdgeTarget::element(SId(9), 1)],
+        ]);
+        assert_eq!(
+            e.for_child(0),
+            &[
+                EdgeTarget::Subtree { root: SId(2), upto: 1 },
+                EdgeTarget::Subtree { root: SId(5), upto: 0 }
+            ]
+        );
+        assert_eq!(e.for_child(1), &[EdgeTarget::Element(SId(9), 1)]);
+        assert_eq!(e.total_edges(), 3);
+    }
+}

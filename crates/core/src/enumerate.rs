@@ -1,0 +1,407 @@
+//! Result enumeration from the hierarchical-stack encoding (paper §4).
+//!
+//! Implements, over a finished [`TwigMatch`]:
+//!
+//! * `pointPC` / `pointAD` — follow an element's result edges into a child
+//!   query node's hierarchical stack (§4 preliminaries);
+//! * `compute_total_effects` — project a *non-return* node away, keeping
+//!   its total effects on the output-bearing child (paper Figure 10):
+//!   under AD only SOT roots contribute (descendants would only produce
+//!   duplicates); under PC a single merge walk of the two document-ordered
+//!   lists repairs order without sorting;
+//! * [`enumerate`] — `EnumTwig²Stack` (paper Figure 11): return nodes
+//!   multiply rows (Cartesian product across output branches), group
+//!   return nodes fold their SOT into one list cell, optional branches
+//!   with no matches yield nulls.
+//!
+//! The produced [`ResultSet`] is duplicate-free and respects document
+//! order without any post-processing — the paper's headline property.
+
+use crate::matcher::{MatchView, TwigMatch};
+use crate::sot::{sot_of_hierstack, sot_of_stack_tree_upto, sot_preorder, Sot, SotNode};
+use crate::edges::EdgeTarget;
+use gtpquery::{Axis, Cell, QNodeId, ResultSet, Role};
+
+/// Enumerate the GTP results encoded in `tm`.
+///
+/// # Panics
+/// Panics if the query is not enumerable (see
+/// [`gtpquery::QueryAnalysis::enumerable`]).
+pub fn enumerate(tm: &TwigMatch<'_>) -> ResultSet {
+    enumerate_view(&tm.view())
+}
+
+pub(crate) fn enumerate_view(tm: &MatchView<'_>) -> ResultSet {
+    let analysis = tm.analysis;
+    assert!(
+        analysis.enumerable(),
+        "query is not enumerable: {:?}",
+        analysis.issues()
+    );
+    let mut result = ResultSet::new(analysis.columns().to_vec());
+    if result.columns.is_empty() {
+        return result; // boolean query — use TwigMatch::root_match_count
+    }
+    let root = tm.gtp.root();
+    let esot = sot_of_hierstack(tm.stack(root));
+    if esot.is_empty() {
+        return result;
+    }
+    for row in enum_node(tm, root, &esot) {
+        result.push(row);
+    }
+    result
+}
+
+/// A result row under construction. `Cell::Null` doubles as "not yet
+/// filled": branch column sets are disjoint, so merging prefers the
+/// non-null side and genuine nulls (unmatched optional branches) survive.
+pub(crate) type PartialRow = Vec<Cell>;
+
+/// `pointPC(e, HS[M])`: the stored PC edges, already in document order.
+fn point_pc(tm: &MatchView<'_>, e: &SotNode, e_q: QNodeId, child_idx: usize) -> Sot {
+    let hs_e = tm.stack(e_q);
+    let m = tm.gtp.children(e_q)[child_idx];
+    let hs_m = tm.stack(m);
+    let elem = hs_e.elem(e.loc);
+    elem.edges
+        .for_child(child_idx)
+        .iter()
+        .map(|t| match *t {
+            EdgeTarget::Element(st, idx) => {
+                let se = hs_m.elem((st, idx));
+                SotNode {
+                    node: se.node,
+                    region: se.region,
+                    loc: (st, idx),
+                    children: Vec::new(),
+                }
+            }
+            EdgeTarget::Subtree { .. } => unreachable!("PC step stores element edges"),
+        })
+        .collect()
+}
+
+/// `pointAD(e, HS[M])`: expand the stored subtree edges into SOT forests.
+fn point_ad(tm: &MatchView<'_>, e: &SotNode, e_q: QNodeId, child_idx: usize) -> Sot {
+    let hs_e = tm.stack(e_q);
+    let m = tm.gtp.children(e_q)[child_idx];
+    let hs_m = tm.stack(m);
+    let elem = hs_e.elem(e.loc);
+    let mut out = Vec::new();
+    for t in elem.edges.for_child(child_idx) {
+        match *t {
+            EdgeTarget::Subtree { root, upto } => {
+                out.extend(sot_of_stack_tree_upto(hs_m, root, upto))
+            }
+            EdgeTarget::Element(..) => unreachable!("AD step stores subtree edges"),
+        }
+    }
+    out
+}
+
+/// The related-match SOT of a single element `e` for child step `i`
+/// (paper Figure 11 line 9).
+fn point_step(tm: &MatchView<'_>, e: &SotNode, e_q: QNodeId, child_idx: usize) -> Sot {
+    let m = tm.gtp.children(e_q)[child_idx];
+    match tm.gtp.edge(m).expect("child edge").axis {
+        Axis::Child => point_pc(tm, e, e_q, child_idx),
+        Axis::Descendant => point_ad(tm, e, e_q, child_idx),
+    }
+}
+
+/// `computeTotalEffects` (paper Figure 10): effects of the whole `esot` of
+/// non-return node `e_q` on its child step `child_idx`.
+pub(crate) fn compute_total_effects(
+    tm: &MatchView<'_>,
+    esot: &Sot,
+    e_q: QNodeId,
+    child_idx: usize,
+) -> Sot {
+    let m = tm.gtp.children(e_q)[child_idx];
+    let axis = tm.gtp.edge(m).expect("child edge").axis;
+    let mut out = Vec::new();
+    match axis {
+        // AD: descendants of an SOT root can only contribute duplicates —
+        // the root's subtree edges already cover everything inside it.
+        Axis::Descendant => {
+            for t in esot {
+                out.extend(point_ad(tm, t, e_q, child_idx));
+            }
+        }
+        // PC: one merge walk of the two document-ordered lists per tree.
+        Axis::Child => {
+            for t in esot {
+                total_effects_pc(tm, t, e_q, child_idx, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// The PC merge walk of Figure 10 for one SOT tree.
+fn total_effects_pc(
+    tm: &MatchView<'_>,
+    t: &SotNode,
+    e_q: QNodeId,
+    child_idx: usize,
+    out: &mut Sot,
+) {
+    let ms = point_pc(tm, t, e_q, child_idx);
+    let mut kids = t.children.iter().peekable();
+    for m in ms {
+        // (1) e-children entirely before m: flush their effects first.
+        while let Some(c) = kids.peek() {
+            if c.region.right < m.region.left {
+                total_effects_pc(tm, c, e_q, child_idx, out);
+                kids.next();
+            } else {
+                break;
+            }
+        }
+        // (2) e-children inside m (or equal, footnote 5): nest their
+        // effects under m.
+        let mut sub = Vec::new();
+        while let Some(c) = kids.peek() {
+            if m.region.is_ancestor_or_self(&c.region) {
+                total_effects_pc(tm, c, e_q, child_idx, &mut sub);
+                kids.next();
+            } else {
+                break;
+            }
+        }
+        out.push(SotNode { children: sub, ..m });
+    }
+    // (3) remaining e-children after the last m.
+    let rest: Vec<&SotNode> = kids.collect();
+    for c in rest {
+        total_effects_pc(tm, c, e_q, child_idx, out);
+    }
+}
+
+/// `EnumTwig²Stack` (paper Figure 11) over the sub-GTP rooted at `q`.
+pub(crate) fn enum_node(tm: &MatchView<'_>, q: QNodeId, esot: &Sot) -> Vec<PartialRow> {
+    let analysis = tm.analysis;
+    let gtp = tm.gtp;
+    let width = analysis.columns().len();
+    match gtp.role(q) {
+        Role::Return => {
+            let col = analysis.column_of(q).expect("return node is a column");
+            let mut rows = Vec::new();
+            // Visit each tree in eSOT in pre-order: document order.
+            for e in sot_preorder(esot) {
+                let mut branch_rows: Vec<PartialRow> = vec![vec![Cell::Null; width]];
+                for (i, &m) in gtp.children(q).iter().enumerate() {
+                    if !analysis.has_output_below(m) {
+                        continue;
+                    }
+                    let msot = point_step(tm, e, q, i);
+                    let mut sub = enum_node(tm, m, &msot);
+                    if sub.is_empty() {
+                        // Only possible below an optional step.
+                        sub = vec![null_row(tm, m)];
+                    }
+                    branch_rows = product(branch_rows, sub);
+                }
+                for mut row in branch_rows {
+                    row[col] = Cell::Node(e.node);
+                    rows.push(row);
+                }
+            }
+            rows
+        }
+        Role::GroupReturn => {
+            let col = analysis.column_of(q).expect("group node is a column");
+            let group = sot_preorder(esot).iter().map(|s| s.node).collect();
+            let mut row = vec![Cell::Null; width];
+            row[col] = Cell::Group(group);
+            vec![row]
+        }
+        Role::NonReturn => {
+            let (i, m) = gtp
+                .children(q)
+                .iter()
+                .enumerate()
+                .find(|&(_, &c)| analysis.has_output_below(c))
+                .map(|(i, &c)| (i, c))
+                .expect("non-return node on the output path has an output child");
+            let msot = compute_total_effects(tm, esot, q, i);
+            if msot.is_empty() {
+                return vec![null_row(tm, m)];
+            }
+            enum_node(tm, m, &msot)
+        }
+    }
+}
+
+/// A row with every output column in the subtree of `m` nulled (empty
+/// groups for group columns).
+pub(crate) fn null_row(tm: &MatchView<'_>, m: QNodeId) -> PartialRow {
+    let width = tm.analysis.columns().len();
+    let mut row = vec![Cell::Null; width];
+    fill_nulls(tm, m, &mut row);
+    row
+}
+
+fn fill_nulls(tm: &MatchView<'_>, q: QNodeId, row: &mut PartialRow) {
+    if let Some(col) = tm.analysis.column_of(q) {
+        row[col] = match tm.gtp.role(q) {
+            Role::GroupReturn => Cell::Group(Vec::new()),
+            _ => Cell::Null,
+        };
+    }
+    for &c in tm.gtp.children(q) {
+        if tm.analysis.has_output_below(c) {
+            fill_nulls(tm, c, row);
+        }
+    }
+}
+
+pub(crate) fn product(a: Vec<PartialRow>, b: Vec<PartialRow>) -> Vec<PartialRow> {
+    // The first factor of every product chain is a single all-empty row.
+    let empty = |r: &PartialRow| r.iter().all(|c| matches!(c, Cell::Null));
+    if a.len() == 1 && empty(&a[0]) {
+        return b;
+    }
+    if b.len() == 1 && empty(&b[0]) {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for ra in &a {
+        for rb in &b {
+            out.push(
+                ra.iter()
+                    .zip(rb.iter())
+                    .map(|(x, y)| match (x, y) {
+                        // Branch column sets are disjoint, so at most one
+                        // side carries a value; genuine nulls merge as
+                        // nulls.
+                        (Cell::Null, v) => v.clone(),
+                        (v, _) => v.clone(),
+                    })
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{match_document, MatchOptions};
+    use gtpquery::parse_twig;
+    use twigbaselines::naive_evaluate;
+    use xmldom::{parse, Document};
+
+    fn figure1() -> Document {
+        parse(
+            "<a><a><a><b><c/><d/></b></a><b><a><b><c/><d><d/></d></b></a><c/></b></a>\
+             <b><d/></b></a>",
+        )
+        .unwrap()
+    }
+
+    /// Run both engines and demand exact equality (rows AND order).
+    fn check(doc: &Document, query: &str) {
+        let gtp = parse_twig(query).unwrap();
+        let expected = naive_evaluate(doc, &gtp);
+        for existence_opt in [false, true] {
+            let (tm, _) = match_document(doc, &gtp, MatchOptions { existence_opt });
+            let got = enumerate(&tm);
+            assert_eq!(
+                got, expected,
+                "query {query} existence_opt={existence_opt}\ngot:\n{got}\nexpected:\n{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_section2_examples() {
+        let doc = figure1();
+        check(&doc, "//b//d"); // (i) 6 path matches
+        check(&doc, "//b!//d"); // (ii) 4 distinct d's
+        check(&doc, "//a!/b"); // (iii) 4 b's in document order
+    }
+
+    #[test]
+    fn figure1_full_twig() {
+        check(&figure1(), "//a/b[//d][c]");
+    }
+
+    #[test]
+    fn example5_d_only_return() {
+        // A,B non-return, D return: tuples (d1),(d2),(d3) (paper Ex. 5).
+        let doc = figure1();
+        let gtp = parse_twig("//a!/b![//d][c!]").unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        let rs = enumerate(&tm);
+        assert_eq!(rs.len(), 3);
+        assert!(rs.is_duplicate_free());
+        check(&doc, "//a!/b![//d][c!]");
+    }
+
+    #[test]
+    fn example4_total_effects() {
+        // Total effects of HS[A]'s SOT (a2(a3,a4)) on B under PC: two
+        // trees, (b1) and (b2(b3)).
+        let doc = figure1();
+        let gtp = parse_twig("//a/b[//d][c]").unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions { existence_opt: false });
+        let esot = sot_of_hierstack(tm.stack(gtp.root()));
+        let te = compute_total_effects(&tm.view(), &esot, gtp.root(), 0);
+        assert_eq!(te.len(), 2, "two SOT trees");
+        // First tree: single b (b1); second: b2 with child b3.
+        assert!(te[0].children.is_empty());
+        assert_eq!(te[1].children.len(), 1);
+        assert!(te[0].region.left < te[1].region.left);
+    }
+
+    #[test]
+    fn group_and_optional_queries() {
+        let doc = parse("<r><p><x/><x/></p><p><x/></p><p/></r>").unwrap();
+        check(&doc, "//p[?x@]");
+        check(&doc, "//p[?x]");
+        check(&doc, "//p[x]");
+        check(&doc, "//r/p[?x@]");
+    }
+
+    #[test]
+    fn branch_products() {
+        let doc = parse("<r><p><x/><x/><y/><y/></p><p><x/></p></r>").unwrap();
+        check(&doc, "//p[x][y]");
+        check(&doc, "//p[?x][?y]");
+        check(&doc, "//r[.//x]/p/y");
+    }
+
+    #[test]
+    fn recursive_same_label_documents() {
+        let doc = parse("<a><a><b/><a><b/></a></a><b/></a>").unwrap();
+        check(&doc, "//a/b");
+        check(&doc, "//a//b");
+        check(&doc, "//a/a//b");
+        check(&doc, "//a!//b");
+        check(&doc, "//a!/a!//b");
+    }
+
+    #[test]
+    fn rooted_queries() {
+        let doc = parse("<a><a><b/></a><b/></a>").unwrap();
+        check(&doc, "/a/b");
+        check(&doc, "/a//b");
+        check(&doc, "/a/a/b");
+    }
+
+    #[test]
+    fn dblp_like_query() {
+        let doc = parse(
+            "<dblp><inproceedings><title/><author/><author/></inproceedings>\
+             <inproceedings><author/></inproceedings>\
+             <article><title/><author/></article></dblp>",
+        )
+        .unwrap();
+        check(&doc, "//dblp/inproceedings[title]/author");
+        check(&doc, "//dblp!/inproceedings[title!]/author");
+        check(&doc, "//dblp!/inproceedings[title!]/author@");
+    }
+}

@@ -1,0 +1,123 @@
+//! # twig2stack — hierarchical-stack twig matching (VLDB 2006)
+//!
+//! A faithful implementation of *Twig²Stack: Bottom-up Processing of
+//! Generalized-Tree-Pattern Queries over XML Documents* (Chen et al.,
+//! VLDB 2006):
+//!
+//! * [`hstack`] — hierarchical stacks and the merge operation (§3.2),
+//!   including the existence-checking truncation (§3.5);
+//! * [`edges`] — result edges between hierarchical stacks;
+//! * [`matcher`] — the bottom-up matching algorithm (§3.3, Figure 7);
+//! * [`sot`] — sequence-of-trees structures (§4.1);
+//! * [`enumerate()`] — duplicate-free, document-ordered GTP result
+//!   enumeration (§4.2–4.3, Figures 10–11);
+//! * [`count`] — O(encoding) result counting over the factorized
+//!   representation, without materializing tuples;
+//! * [`early`] — the hybrid PathStack + Twig²Stack mode with early result
+//!   enumeration (§4.4);
+//! * [`memory`] — runtime memory accounting (§5.4, Table 1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gtpquery::parse_twig;
+//! use twig2stack::evaluate;
+//! use xmldom::parse;
+//!
+//! let doc = parse("<dblp><inproceedings><title/><author/></inproceedings></dblp>").unwrap();
+//! let gtp = parse_twig("//dblp/inproceedings[title]/author").unwrap();
+//! let results = evaluate(&doc, &gtp);
+//! assert_eq!(results.len(), 1);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod early;
+pub mod edges;
+pub mod enumerate;
+pub mod hstack;
+pub mod matcher;
+pub mod memory;
+pub mod sot;
+
+pub use count::count_results;
+pub use early::{evaluate_auto, evaluate_early, EarlyMatcher, EarlyStats, EarlyUnsupported};
+pub use enumerate::enumerate;
+pub use matcher::{match_document, MatchOptions, MatchStats, Matcher, TwigMatch};
+pub use memory::MemoryMeter;
+
+use gtpquery::{Gtp, ResultSet};
+use xmldom::Document;
+
+/// Match and enumerate in one call with default options.
+pub fn evaluate(doc: &Document, gtp: &Gtp) -> ResultSet {
+    let (tm, _) = match_document(doc, gtp, MatchOptions::default());
+    enumerate(&tm)
+}
+
+/// Match and enumerate a raw XML string without materializing a DOM — the
+/// paper's streaming mode (§7): start tags arrive in pre-order, end tags
+/// in post-order, which is exactly the traversal Figure 7 needs.
+pub fn evaluate_streaming(
+    xml: &str,
+    gtp: &Gtp,
+    options: MatchOptions,
+) -> Result<(ResultSet, MatchStats), xmldom::ParseError> {
+    assert!(
+        !gtp.has_value_preds(),
+        "value predicates need element text, which the structure-only \
+         stream drops; use match_document over a DOM instead"
+    );
+    // Labels are interned on the fly; the dispatch table must exist before
+    // matching, so run a first lightweight pass for labels only. (A real
+    // stream processor would intern lazily; two passes keep this simple
+    // and still never build a DOM.)
+    let mut pass1 = xmldom::EventParser::new(xml);
+    while pass1.next_event()?.is_some() {}
+    let labels = pass1.into_labels();
+
+    let mut matcher = Matcher::new(gtp, &labels, options);
+    let mut pass2 = xmldom::EventParser::new(xml);
+    while let Some(ev) = pass2.next_event()? {
+        if let xmldom::Event::End { elem, label, region } = ev {
+            // Both passes intern labels in first-seen order, so ids align.
+            matcher.on_element_close(elem, label, region);
+        }
+    }
+    let (tm, stats) = matcher.finish();
+    Ok((enumerate(&tm), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+    use twigbaselines::naive_evaluate;
+    use xmldom::parse;
+
+    #[test]
+    fn evaluate_matches_oracle() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        let gtp = parse_twig("//a/b[c]").unwrap();
+        assert_eq!(evaluate(&doc, &gtp), naive_evaluate(&doc, &gtp));
+    }
+
+    #[test]
+    fn streaming_matches_dom_evaluation() {
+        let xml = "<a><a><b><c/></b></a><b/><b><c/><c/></b></a>";
+        let doc = parse(xml).unwrap();
+        for q in ["//a/b[c]", "//a//b", "//a!/b[c!]", "//a/b[?c@]"] {
+            let gtp = parse_twig(q).unwrap();
+            let (rs, _) =
+                evaluate_streaming(xml, &gtp, MatchOptions::default()).unwrap();
+            assert_eq!(rs, evaluate(&doc, &gtp), "query {q}");
+        }
+    }
+
+    #[test]
+    fn streaming_surfaces_parse_errors() {
+        let gtp = parse_twig("//a/b").unwrap();
+        assert!(evaluate_streaming("<a><b>", &gtp, MatchOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! The bottom-up Twig²Stack matching algorithm (paper Figure 7).
+//!
+//! Elements are processed in **post-order** — i.e. on their
+//! [`Event::End`]s, which a SAX scan delivers for free (paper §7) and a DOM
+//! walk produces with one explicit stack. For each closing element `e` and
+//! each query node `E` with a matching label:
+//!
+//! 1. check every mandatory query step `E → M` by merging `HS[M]`
+//!    (recording result edges), short-circuiting on the first failure;
+//! 2. if all mandatory steps hold, also merge/record the optional steps,
+//!    then merge `HS[E]`'s trees below `e` and push `e` on top.
+//!
+//! Query nodes matching one label are visited parents-first (GTP ids are
+//! topologically ordered), so an element that matches both endpoints of a
+//! step `E → M` is never treated as its own descendant.
+
+use crate::edges::{EdgeLists, EdgeTarget};
+use crate::hstack::HierStack;
+use crate::memory::MemoryMeter;
+use gtpquery::{Gtp, LabelDispatch, QNodeId, QueryAnalysis};
+use xmldom::{Document, Event, Label, LabelTable, NodeId, Region};
+
+/// Tuning knobs for the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchOptions {
+    /// Enable the existence-checking-node optimization (paper §3.5).
+    pub existence_opt: bool,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions { existence_opt: true }
+    }
+}
+
+/// Counters reported after matching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Elements pushed into hierarchical stacks (across all query nodes).
+    pub elements_pushed: usize,
+    /// Document elements whose label matched some query node.
+    pub elements_considered: usize,
+    /// Result edges recorded.
+    pub edges_created: usize,
+    /// Peak logical bytes held by the hierarchical stacks.
+    pub peak_bytes: usize,
+    /// Live logical bytes at the end of the document.
+    pub final_bytes: usize,
+}
+
+/// The Twig²Stack matcher: feed it post-order element closes, then take
+/// the [`TwigMatch`] encoding.
+pub struct Matcher<'g> {
+    gtp: &'g Gtp,
+    analysis: QueryAnalysis,
+    dispatch: LabelDispatch,
+    stacks: Vec<HierStack>,
+    /// Reusable per-child edge buffers.
+    scratch: Vec<Vec<EdgeTarget>>,
+    /// Text source for value predicates (paper §3.4). Structure-only
+    /// streams cannot provide one; queries with value predicates then
+    /// panic with a clear message.
+    text: Option<&'g Document>,
+    meter: MemoryMeter,
+    stats: MatchStats,
+}
+
+impl<'g> Matcher<'g> {
+    /// Create a matcher for `gtp` against documents using `labels`.
+    pub fn new(gtp: &'g Gtp, labels: &LabelTable, options: MatchOptions) -> Self {
+        let analysis = QueryAnalysis::new(gtp);
+        let dispatch = LabelDispatch::compile(gtp, labels);
+        let stacks = gtp
+            .iter()
+            .map(|q| HierStack::new(options.existence_opt && analysis.is_existence_checking(q)))
+            .collect();
+        let max_children = gtp.iter().map(|q| gtp.children(q).len()).max().unwrap_or(0);
+        Matcher {
+            gtp,
+            analysis,
+            dispatch,
+            stacks,
+            scratch: vec![Vec::new(); max_children],
+            text: None,
+            meter: MemoryMeter::new(),
+            stats: MatchStats::default(),
+        }
+    }
+
+    /// Provide the document as a text source so value predicates
+    /// (`[year='2006']`-style) can be evaluated during the traversal —
+    /// which also shrinks the hierarchical stacks (paper §3.4).
+    pub fn with_text_source(mut self, doc: &'g Document) -> Self {
+        self.text = Some(doc);
+        self
+    }
+
+    /// Process one element close (post-order visit).
+    pub fn on_element_close(&mut self, node: NodeId, label: Label, region: Region) {
+        let qnodes = self.dispatch.query_nodes(label);
+        if qnodes.is_empty() {
+            return;
+        }
+        self.stats.elements_considered += 1;
+        // GTP node ids are topologically ordered (parents first), which is
+        // exactly the order required when one element matches several
+        // query nodes (see module docs).
+        for i in 0..qnodes.len() {
+            let q = self.dispatch.query_nodes(label)[i];
+            self.match_one_node(node, region, q);
+        }
+        let live: usize = self.stacks.iter().map(HierStack::live_bytes).sum();
+        self.meter.sample(live);
+    }
+
+    /// Paper `MatchOneNode` (Figure 7).
+    fn match_one_node(&mut self, node: NodeId, region: Region, q: QNodeId) {
+        // A rooted query's root node only matches level-1 elements.
+        if q == self.gtp.root() && self.gtp.is_rooted() && region.level != 1 {
+            return;
+        }
+        if let Some(pred) = self.gtp.value_pred(q) {
+            let doc = self.text.unwrap_or_else(|| {
+                panic!("query has value predicates; a text source is required \
+                        (use with_text_source / match_document, not a \
+                        structure-only stream)")
+            });
+            if !pred.matches(doc.text(node)) {
+                return;
+            }
+        }
+        let children = self.gtp.children(q);
+        // Mandatory steps grouped by OR-group (paper §3.3.3, AND/OR
+        // twigs): every member is merged (cost maintenance), each group
+        // contributes the OR of its checks, the node needs every group.
+        let mut satisfied = true;
+        'groups: for group in self.analysis.mandatory_groups(q) {
+            let mut any = false;
+            for &j in group {
+                let mj = children[j];
+                let ej = self.gtp.edge(mj).expect("child edge");
+                self.scratch[j].clear();
+                let mut buf = std::mem::take(&mut self.scratch[j]);
+                any |= self.stacks[mj.index()].merge_check(&region, ej.axis, &mut buf);
+                self.scratch[j] = buf;
+            }
+            if !any {
+                satisfied = false;
+                break 'groups;
+            }
+        }
+        if !satisfied {
+            return;
+        }
+        for (i, &m) in children.iter().enumerate() {
+            let edge = self.gtp.edge(m).expect("child edge");
+            if !edge.optional {
+                continue;
+            }
+            self.scratch[i].clear();
+            let mut buf = std::mem::take(&mut self.scratch[i]);
+            self.stacks[m.index()].merge_check(&region, edge.axis, &mut buf);
+            self.scratch[i] = buf;
+        }
+        let edges = if children.is_empty()
+            || self.scratch[..children.len()].iter().all(Vec::is_empty)
+        {
+            EdgeLists::empty()
+        } else {
+            // Clone (exact-size) rather than take, so the scratch buffers
+            // keep their capacity across elements.
+            EdgeLists::new(
+                self.scratch[..children.len()]
+                    .iter()
+                    .map(|v| v.to_vec())
+                    .collect(),
+            )
+        };
+        self.stats.edges_created += edges.total_edges();
+        self.stacks[q.index()].push(node, region, edges);
+        self.stats.elements_pushed += 1;
+    }
+
+    /// Finish matching: return the encoding plus statistics.
+    pub fn finish(mut self) -> (TwigMatch<'g>, MatchStats) {
+        self.stats.peak_bytes = self.meter.peak();
+        self.stats.final_bytes = self.stacks.iter().map(HierStack::live_bytes).sum();
+        (
+            TwigMatch {
+                gtp: self.gtp,
+                analysis: self.analysis,
+                stacks: self.stacks,
+            },
+            self.stats,
+        )
+    }
+}
+
+/// The complete Twig²Stack encoding of a document's matches: one
+/// hierarchical stack per query node plus the result edges inside them.
+/// Feed it to [`crate::enumerate::enumerate`] to produce tuples.
+pub struct TwigMatch<'g> {
+    pub(crate) gtp: &'g Gtp,
+    pub(crate) analysis: QueryAnalysis,
+    pub(crate) stacks: Vec<HierStack>,
+}
+
+/// A borrowed view over matching state, letting the enumeration algorithms
+/// run both over a finished [`TwigMatch`] and over the in-flight stacks of
+/// the early-enumeration mode (paper §4.4).
+#[derive(Clone, Copy)]
+pub(crate) struct MatchView<'a> {
+    pub(crate) gtp: &'a Gtp,
+    pub(crate) analysis: &'a QueryAnalysis,
+    pub(crate) stacks: &'a [HierStack],
+}
+
+impl MatchView<'_> {
+    pub(crate) fn stack(&self, q: QNodeId) -> &HierStack {
+        &self.stacks[q.index()]
+    }
+}
+
+impl TwigMatch<'_> {
+    /// The query this encoding answers.
+    pub fn gtp(&self) -> &Gtp {
+        self.gtp
+    }
+
+    pub(crate) fn view(&self) -> MatchView<'_> {
+        MatchView {
+            gtp: self.gtp,
+            analysis: &self.analysis,
+            stacks: &self.stacks,
+        }
+    }
+
+    /// The analysis used during matching.
+    pub fn analysis(&self) -> &QueryAnalysis {
+        &self.analysis
+    }
+
+    /// The hierarchical stack of query node `q`.
+    pub fn stack(&self, q: QNodeId) -> &HierStack {
+        &self.stacks[q.index()]
+    }
+
+    /// Number of elements in `HS[root]` — the twig-match witnesses.
+    pub fn root_match_count(&self) -> usize {
+        self.stacks[self.gtp.root().index()].pushed()
+    }
+
+    /// Validate all stack invariants (tests only; walks every stack).
+    pub fn check_invariants(&self) {
+        for s in &self.stacks {
+            s.check_invariants();
+        }
+    }
+}
+
+/// Run the matcher over an in-memory document.
+pub fn match_document<'g>(
+    doc: &'g Document,
+    gtp: &'g Gtp,
+    options: MatchOptions,
+) -> (TwigMatch<'g>, MatchStats) {
+    let mut m = Matcher::new(gtp, doc.labels(), options).with_text_source(doc);
+    for ev in xmldom::DocEvents::new(doc) {
+        if let Event::End { elem, label, region } = ev {
+            m.on_element_close(elem, label, region);
+        }
+    }
+    m.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+    use xmldom::parse;
+
+    /// Paper Figure 1 document.
+    fn figure1() -> Document {
+        parse(
+            "<a><a><a><b><c/><d/></b></a><b><a><b><c/><d><d/></d></b></a><c/></b></a>\
+             <b><d/></b></a>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure4_stack_contents() {
+        // //A/B[//D][/C] over Figure 1: HS[A] = {a2,a3,a4} in one tree,
+        // HS[B] = {b1,b2,b3}, HS[C] = {c1,c2,c3}, HS[D] = {d1,d2,d3,d4}.
+        let doc = figure1();
+        let gtp = parse_twig("//a/b[//d][c]").unwrap();
+        let (tm, stats) = match_document(&doc, &gtp, MatchOptions { existence_opt: false });
+        tm.check_invariants();
+        let a = gtp.root();
+        let b = gtp.find("b").unwrap();
+        let c = gtp.find("c").unwrap();
+        let d = gtp.find("d").unwrap();
+        assert_eq!(tm.stack(a).pushed(), 3);
+        assert_eq!(tm.stack(b).pushed(), 3);
+        assert_eq!(tm.stack(c).pushed(), 3);
+        assert_eq!(tm.stack(d).pushed(), 4);
+        // HS[A] is a single tree (a2 root, a3/a4 children).
+        assert_eq!(tm.stack(a).roots().len(), 1);
+        // HS[D] merged into fewer root trees by the b-step checks; the
+        // total element count is what matters.
+        assert_eq!(stats.elements_pushed, 13);
+        assert!(stats.peak_bytes > 0);
+        assert_eq!(tm.root_match_count(), 3);
+    }
+
+    #[test]
+    fn theorem1_push_iff_subtwig_satisfied() {
+        // Differential check of Theorem 1 against the brute-force table.
+        use twigbaselines::SatTable;
+        let docs = [
+            figure1(),
+            parse("<a><b/><a><b><c/></b></a></a>").unwrap(),
+            parse("<x><a><a><b/></a></a><a/></x>").unwrap(),
+        ];
+        let queries = ["//a/b[//d][c]", "//a/b", "//a//b", "//a/a/b", "//a[b]//c"];
+        for doc in &docs {
+            for qs in queries {
+                let gtp = parse_twig(qs).unwrap();
+                let (tm, _) = match_document(doc, &gtp, MatchOptions { existence_opt: false });
+                let sat = SatTable::compute(doc, &gtp);
+                for q in gtp.iter() {
+                    let expected = sat.matches(q);
+                    let mut got: Vec<NodeId> = Vec::new();
+                    for &r in tm.stack(q).roots() {
+                        for loc in tm.stack(q).tree_elements(r) {
+                            got.push(tm.stack(q).elem(loc).node);
+                        }
+                    }
+                    got.sort_unstable();
+                    assert_eq!(got, expected, "query {qs}, node {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_query_filters_root_pushes() {
+        let doc = parse("<a><a><b/></a><b/></a>").unwrap();
+        let rooted = parse_twig("/a/b").unwrap();
+        let (tm, _) = match_document(&doc, &rooted, MatchOptions::default());
+        assert_eq!(tm.root_match_count(), 1); // only the level-1 a
+        let unrooted = parse_twig("//a/b").unwrap();
+        let (tm2, _) = match_document(&doc, &unrooted, MatchOptions::default());
+        assert_eq!(tm2.root_match_count(), 2);
+    }
+
+    #[test]
+    fn self_match_is_not_its_own_descendant() {
+        // //a/a and //a//a on nested a's: an element matching both query
+        // nodes must not satisfy the step with itself.
+        let doc = parse("<a><a/></a>").unwrap();
+        let gtp = parse_twig("//a/a").unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        assert_eq!(tm.root_match_count(), 1); // only the outer a
+        let doc2 = parse("<a/>").unwrap();
+        let gtp2 = parse_twig("//a//a").unwrap();
+        let (tm2, _) = match_document(&doc2, &gtp2, MatchOptions::default());
+        assert_eq!(tm2.root_match_count(), 0);
+    }
+
+    #[test]
+    fn optional_edges_do_not_gate_pushes() {
+        let doc = parse("<r><p><x/></p><p/></r>").unwrap();
+        let gtp = parse_twig("//p[?x]").unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        assert_eq!(tm.root_match_count(), 2); // both p's match
+        let strict = parse_twig("//p[x]").unwrap();
+        let (tm2, _) = match_document(&doc, &strict, MatchOptions::default());
+        assert_eq!(tm2.root_match_count(), 1);
+    }
+
+    #[test]
+    fn existence_opt_reduces_memory() {
+        let doc = figure1();
+        // B return only: C and D existence-checking.
+        let gtp = parse_twig("//a!/b[//d!][c!]").unwrap();
+        let (_, with) = match_document(&doc, &gtp, MatchOptions { existence_opt: true });
+        let (_, without) = match_document(&doc, &gtp, MatchOptions { existence_opt: false });
+        assert!(with.peak_bytes <= without.peak_bytes);
+        assert!(with.edges_created < without.edges_created);
+        // Same number of matched elements either way.
+        assert_eq!(with.elements_pushed, without.elements_pushed);
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let doc = parse("<r><p><x/></p><q><x/></q></r>").unwrap();
+        let gtp = parse_twig("//*/x").unwrap();
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        assert_eq!(tm.root_match_count(), 2); // p and q
+    }
+
+    #[test]
+    fn no_matching_labels_short_circuits() {
+        let doc = parse("<r><p/></r>").unwrap();
+        let gtp = parse_twig("//zzz/yyy").unwrap();
+        let (tm, stats) = match_document(&doc, &gtp, MatchOptions::default());
+        assert_eq!(tm.root_match_count(), 0);
+        assert_eq!(stats.elements_considered, 0);
+        assert_eq!(stats.peak_bytes, 0);
+    }
+}

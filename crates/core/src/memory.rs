@@ -1,0 +1,56 @@
+//! Runtime memory accounting for the hierarchical stacks (paper §5.4).
+//!
+//! Table 1 of the paper compares peak memory held by the encoding
+//! structures with and without early result enumeration. [`MemoryMeter`]
+//! tracks the *logical* live bytes reported by each [`crate::hstack::HierStack`]
+//! (structures dropped by the §3.5 truncation or the §4.4 cleanup are
+//! subtracted even where an arena retains its slot).
+
+/// Running current/peak byte meter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryMeter {
+    current: usize,
+    peak: usize,
+}
+
+impl MemoryMeter {
+    /// Fresh meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the current total; updates the peak.
+    pub fn sample(&mut self, current: usize) {
+        self.current = current;
+        if current > self.peak {
+            self.peak = current;
+        }
+    }
+
+    /// Latest sampled value.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Largest value ever sampled.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peak() {
+        let mut m = MemoryMeter::new();
+        assert_eq!(m.peak(), 0);
+        m.sample(100);
+        m.sample(40);
+        assert_eq!(m.current(), 40);
+        assert_eq!(m.peak(), 100);
+        m.sample(250);
+        assert_eq!(m.peak(), 250);
+    }
+}

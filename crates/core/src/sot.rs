@@ -1,0 +1,275 @@
+//! SOT — *sequence of trees* (paper §4.1).
+//!
+//! Enumeration carries, per query node, an ordered forest of matching
+//! elements whose tree structure records their AD relationships: trees are
+//! disjoint and in document order, and within a tree each node's children
+//! are its (structurally) nearest enclosed matches. Maintaining this
+//! structure is what lets `computeTotalEffects` suppress duplicates (AD:
+//! only roots matter) and repair order (PC: the merge walk of Figure 10)
+//! without sorting.
+//!
+//! SOTs are produced from hierarchical stacks: a stack tree *is* an SOT
+//! once flattened — stack tops are ancestors of everything below and of
+//! all descendant stacks.
+
+use crate::hstack::{HierStack, SId};
+use xmldom::{NodeId, Region};
+
+/// One element in an SOT with its nested matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SotNode {
+    /// Document node id.
+    pub node: NodeId,
+    /// Region encoding (drives the order/containment logic).
+    pub region: Region,
+    /// Location in the owning query node's hierarchical stack — used to
+    /// follow this element's result edges during enumeration.
+    pub loc: (SId, u32),
+    /// Nested matches in document order.
+    pub children: Vec<SotNode>,
+}
+
+impl SotNode {
+    /// This node's matches in pre-order (document order), self first.
+    pub fn preorder(&self) -> Vec<&SotNode> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a SotNode>) {
+        out.push(self);
+        for c in &self.children {
+            c.collect(out);
+        }
+    }
+}
+
+/// A sequence of disjoint trees in document order.
+pub type Sot = Vec<SotNode>;
+
+/// All elements of an SOT in pre-order (document order).
+pub fn sot_preorder(sot: &Sot) -> Vec<&SotNode> {
+    let mut out = Vec::new();
+    for t in sot {
+        t.collect(&mut out);
+    }
+    out
+}
+
+/// Convert the stack tree rooted at `root` into an SOT forest.
+///
+/// The result is a forest (not a single tree) exactly when the root stack
+/// holds no element (a merge-created root).
+pub fn sot_of_stack_tree(hs: &HierStack, root: SId) -> Sot {
+    sot_of_stack_tree_upto(hs, root, hs.node(root).elems.len() as u32)
+}
+
+/// Like [`sot_of_stack_tree`], but covering only the bottom `upto`
+/// elements of the root stack — the expansion of an AD edge, whose
+/// coverage was frozen when the edge was created (elements pushed onto the
+/// root stack later are ancestors of the edge source, not descendants).
+pub fn sot_of_stack_tree_upto(hs: &HierStack, root: SId, upto: u32) -> Sot {
+    let snode = hs.node(root);
+    // Child stacks' forests, already in document order. (Non-root stacks
+    // are immutable, so their full contents always apply.)
+    let mut below: Sot = Vec::new();
+    for &c in &snode.children {
+        below.extend(sot_of_stack_tree(hs, c));
+    }
+    // Wrap in the stack's elements bottom-up: the bottom element encloses
+    // the child stacks; each higher element encloses the one below.
+    for (i, e) in snode.elems.iter().take(upto as usize).enumerate() {
+        below = vec![SotNode {
+            node: e.node,
+            region: e.region,
+            loc: (root, i as u32),
+            children: below,
+        }];
+    }
+    below
+}
+
+/// The full SOT of a hierarchical stack (all its root trees).
+pub fn sot_of_hierstack(hs: &HierStack) -> Sot {
+    let mut out = Vec::new();
+    for &r in hs.roots() {
+        out.extend(sot_of_stack_tree(hs, r));
+    }
+    out
+}
+
+/// Canonicalize an arbitrary collection of SOT nodes into a well-formed
+/// SOT: flatten, order by document position, deduplicate by element, and
+/// rebuild the nesting structure from the region encodings.
+///
+/// Used by the early-enumeration mode to merge candidate sets that come
+/// from different sources (open top-down stacks vs. closed hierarchical
+/// stacks) whose trees may nest across each other.
+pub fn rebuild_sot(forest: Vec<SotNode>) -> Sot {
+    let mut flat: Vec<SotNode> = Vec::new();
+    fn flatten(mut n: SotNode, out: &mut Vec<SotNode>) {
+        let kids = std::mem::take(&mut n.children);
+        out.push(n);
+        for k in kids {
+            flatten(k, out);
+        }
+    }
+    for t in forest {
+        flatten(t, &mut flat);
+    }
+    flat.sort_by_key(|n| n.region.left);
+    flat.dedup_by(|a, b| a.node == b.node);
+    // Stack-based forest reconstruction by containment.
+    let mut roots: Sot = Vec::new();
+    let mut chain: Vec<SotNode> = Vec::new();
+    for n in flat {
+        while let Some(top) = chain.last() {
+            if top.region.is_ancestor_of(&n.region) {
+                break;
+            }
+            let done = chain.pop().expect("non-empty chain");
+            match chain.last_mut() {
+                Some(parent) => parent.children.push(done),
+                None => roots.push(done),
+            }
+        }
+        chain.push(n);
+    }
+    while let Some(done) = chain.pop() {
+        match chain.last_mut() {
+            Some(parent) => parent.children.push(done),
+            None => roots.push(done),
+        }
+    }
+    roots
+}
+
+/// Validate SOT invariants in tests: document order, disjoint siblings,
+/// children strictly inside parents.
+#[cfg(test)]
+pub fn check_sot(sot: &Sot) {
+    for w in sot.windows(2) {
+        assert!(
+            w[0].region.right < w[1].region.left,
+            "sibling trees must be disjoint and ordered"
+        );
+    }
+    for t in sot {
+        for c in &t.children {
+            assert!(t.region.is_ancestor_of(&c.region));
+        }
+        check_sot(&t.children);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::EdgeLists;
+
+    fn r(l: u32, rr: u32, lev: u32) -> Region {
+        Region::new(l, rr, lev)
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn stack_tree_to_sot_figure5() {
+        // a3 [4,11], a4 [13,20], a2 [2,22]: SOT = a2(a3, a4).
+        let mut hs = HierStack::new(false);
+        hs.push(n(3), r(4, 11, 3), EdgeLists::empty());
+        hs.push(n(4), r(13, 20, 3), EdgeLists::empty());
+        hs.push(n(2), r(2, 22, 2), EdgeLists::empty());
+        let sot = sot_of_hierstack(&hs);
+        check_sot(&sot);
+        assert_eq!(sot.len(), 1);
+        assert_eq!(sot[0].node, n(2));
+        let kids: Vec<NodeId> = sot[0].children.iter().map(|c| c.node).collect();
+        assert_eq!(kids, vec![n(3), n(4)]);
+        let pre: Vec<NodeId> = sot_preorder(&sot).iter().map(|s| s.node).collect();
+        assert_eq!(pre, vec![n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn stacked_elements_chain() {
+        // d3 [15,16] then d2 [14,17]: SOT = d2(d3).
+        let mut hs = HierStack::new(false);
+        hs.push(n(3), r(15, 16, 7), EdgeLists::empty());
+        hs.push(n(2), r(14, 17, 6), EdgeLists::empty());
+        let sot = sot_of_hierstack(&hs);
+        check_sot(&sot);
+        assert_eq!(sot.len(), 1);
+        assert_eq!(sot[0].node, n(2));
+        assert_eq!(sot[0].children.len(), 1);
+        assert_eq!(sot[0].children[0].node, n(3));
+    }
+
+    #[test]
+    fn forest_of_disjoint_trees() {
+        let mut hs = HierStack::new(false);
+        hs.push(n(1), r(2, 3, 2), EdgeLists::empty());
+        hs.push(n(2), r(6, 7, 2), EdgeLists::empty());
+        hs.push(n(3), r(10, 11, 2), EdgeLists::empty());
+        let sot = sot_of_hierstack(&hs);
+        check_sot(&sot);
+        assert_eq!(sot.len(), 3);
+        let ids: Vec<NodeId> = sot.iter().map(|t| t.node).collect();
+        assert_eq!(ids, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn rebuild_from_shuffled_flat_nodes() {
+        let mk = |i: usize, l: u32, rr: u32, lev: u32| SotNode {
+            node: n(i),
+            region: r(l, rr, lev),
+            loc: (crate::hstack::SId(0), 0),
+            children: Vec::new(),
+        };
+        // a[1,10] contains b[2,5] contains c[3,4]; d[6,7] also under a;
+        // e[11,12] separate. Provide shuffled + duplicated.
+        let nodes = vec![
+            mk(4, 6, 7, 2),
+            mk(1, 1, 10, 1),
+            mk(3, 3, 4, 3),
+            mk(2, 2, 5, 2),
+            mk(5, 11, 12, 1),
+            mk(3, 3, 4, 3), // duplicate
+        ];
+        let sot = rebuild_sot(nodes);
+        check_sot(&sot);
+        assert_eq!(sot.len(), 2);
+        assert_eq!(sot[0].node, n(1));
+        assert_eq!(sot[0].children.len(), 2); // b and d
+        assert_eq!(sot[0].children[0].children.len(), 1); // c under b
+        assert_eq!(sot[1].node, n(5));
+    }
+
+    #[test]
+    fn rebuild_preserves_existing_structure() {
+        let mut hs = HierStack::new(false);
+        hs.push(n(3), r(4, 11, 3), EdgeLists::empty());
+        hs.push(n(4), r(13, 20, 3), EdgeLists::empty());
+        hs.push(n(2), r(2, 22, 2), EdgeLists::empty());
+        let sot = sot_of_hierstack(&hs);
+        let rebuilt = rebuild_sot(sot.clone());
+        assert_eq!(rebuilt, sot);
+    }
+
+    #[test]
+    fn empty_root_stack_yields_forest() {
+        // Merge two trees via a step check (creates an empty merged root),
+        // SOT of that tree is a 2-tree forest.
+        let mut hs = HierStack::new(false);
+        hs.push(n(1), r(4, 5, 3), EdgeLists::empty());
+        hs.push(n(2), r(8, 9, 3), EdgeLists::empty());
+        let mut edges = Vec::new();
+        hs.merge_check(&r(2, 22, 2), gtpquery::Axis::Descendant, &mut edges);
+        assert_eq!(hs.roots().len(), 1);
+        let sot = sot_of_stack_tree(&hs, hs.roots()[0]);
+        check_sot(&sot);
+        assert_eq!(sot.len(), 2);
+    }
+}

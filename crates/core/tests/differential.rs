@@ -1,0 +1,239 @@
+//! Property-based differential testing: Twig²Stack vs the naive oracle on
+//! random documents × random GTP queries.
+//!
+//! These tests assert **exact** result equality — same rows, same order —
+//! which exercises the paper's headline claim that the hierarchical-stack
+//! enumeration is duplicate-free and document-ordered without any
+//! post-processing, across:
+//!
+//! * recursive same-label nestings (small alphabets force them),
+//! * PC and AD axes, mandatory and optional edges,
+//! * return / group-return / non-return roles,
+//! * the existence-checking optimization on and off,
+//! * the streaming (never-build-a-DOM) entry point.
+
+use gtpquery::{Axis, Gtp, GtpBuilder, QueryAnalysis, Role};
+use proptest::prelude::*;
+use twig2stack::{enumerate, evaluate_streaming, match_document, MatchOptions};
+use twigbaselines::naive_evaluate;
+use xmlgen::{generate_random_tree, RandomTreeConfig};
+use xmldom::{write, Document, Indent};
+
+const LABELS: [&str; 5] = ["a", "b", "c", "d", "*"];
+
+/// Description of one random query node.
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    label: usize,
+    parent: prop::sample::Index,
+    axis: bool,     // true = PC
+    optional: bool,
+    role: u8, // 0 return, 1 non-return, 2 group
+    /// Join the previous sibling's OR-group (AND/OR twigs); the subtree is
+    /// then forced to non-return existence checks.
+    or_with_prev: bool,
+}
+
+fn node_spec() -> impl Strategy<Value = NodeSpec> {
+    (
+        0usize..LABELS.len(),
+        any::<prop::sample::Index>(),
+        any::<bool>(),
+        prop::bool::weighted(0.25),
+        0u8..3,
+        prop::bool::weighted(0.2),
+    )
+        .prop_map(|(label, parent, axis, optional, role, or_with_prev)| NodeSpec {
+            label,
+            parent,
+            axis,
+            optional,
+            role,
+            or_with_prev,
+        })
+}
+
+fn build_query(specs: Vec<NodeSpec>, rooted: bool) -> Gtp {
+    let gtp = build_query_inner(&specs, rooted, true);
+    let analysis = QueryAnalysis::new(&gtp);
+    if analysis.enumerable() && !analysis.columns().is_empty() {
+        return gtp;
+    }
+    // Repair: retry without OR-groups, then fall back to all-return.
+    let gtp = build_query_inner(&specs, rooted, false);
+    let analysis = QueryAnalysis::new(&gtp);
+    if analysis.enumerable() && !analysis.columns().is_empty() {
+        gtp
+    } else {
+        gtp.all_return()
+    }
+}
+
+fn build_query_inner(specs: &[NodeSpec], rooted: bool, with_or: bool) -> Gtp {
+    let mut b = GtpBuilder::new(LABELS[specs[0].label], rooted);
+    let root = b.root();
+    b.role(root, map_role(specs[0].role));
+    let mut ids = vec![root];
+    let mut subtree_roots: Vec<gtpquery::QNodeId> = Vec::new();
+    for spec in &specs[1..] {
+        let parent = ids[spec.parent.index(ids.len())];
+        let axis = if spec.axis { Axis::Child } else { Axis::Descendant };
+        let id = b.add(parent, LABELS[spec.label], axis, spec.optional, map_role(spec.role));
+        if with_or && spec.or_with_prev && !spec.optional {
+            // Join the nearest previous mandatory sibling's OR-group.
+            let sibling = {
+                let g = b.clone().build();
+                g.children(parent)
+                    .iter()
+                    .rev()
+                    .skip(1)
+                    .copied()
+                    .find(|&c| g.edge(c).is_some_and(|e| !e.optional))
+            };
+            if let Some(sib) = sibling {
+                b.same_or_group(&[sib, id]);
+                subtree_roots.push(sib);
+                subtree_roots.push(id);
+            }
+        }
+        ids.push(id);
+    }
+    // OR-branch members are existence checks: force their subtrees (as
+    // they exist at the end of construction) to non-return.
+    let snapshot = b.clone().build();
+    for &r in &subtree_roots {
+        let mut stack = vec![r];
+        while let Some(q) = stack.pop() {
+            b.role(q, Role::NonReturn);
+            stack.extend(snapshot.children(q).iter().copied());
+        }
+    }
+    b.build()
+}
+
+fn map_role(r: u8) -> Role {
+    match r {
+        0 => Role::Return,
+        1 => Role::NonReturn,
+        _ => Role::GroupReturn,
+    }
+}
+
+fn query_strategy() -> impl Strategy<Value = Gtp> {
+    (
+        prop::collection::vec(node_spec(), 1..6),
+        any::<bool>(),
+    )
+        .prop_map(|(specs, rooted)| build_query(specs, rooted))
+}
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    (1usize..60, 1usize..4, 2u32..10, 0u32..100, any::<u64>()).prop_map(
+        |(nodes, alphabet, max_depth, depth_bias, seed)| {
+            generate_random_tree(&RandomTreeConfig {
+                nodes,
+                alphabet,
+                max_depth,
+                depth_bias,
+                seed,
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Exact equality with the oracle, both with and without the §3.5
+    /// existence optimization; plus structural invariants.
+    #[test]
+    fn twig2stack_equals_oracle(doc in doc_strategy(), gtp in query_strategy()) {
+        let expected = naive_evaluate(&doc, &gtp);
+        prop_assert!(expected.is_duplicate_free());
+        for existence_opt in [false, true] {
+            let (tm, stats) = match_document(&doc, &gtp, MatchOptions { existence_opt });
+            tm.check_invariants();
+            let got = enumerate(&tm);
+            prop_assert_eq!(
+                &got, &expected,
+                "existence_opt={} doc={} query={}",
+                existence_opt, write(&doc, Indent::None), gtp
+            );
+            prop_assert!(stats.peak_bytes >= stats.final_bytes || stats.peak_bytes == 0);
+        }
+    }
+
+    /// The early-enumeration hybrid (paper §4.4) produces exactly the same
+    /// rows, in the same order, whenever the query shape supports it.
+    #[test]
+    fn early_mode_equals_oracle(doc in doc_strategy(), gtp in query_strategy()) {
+        use twig2stack::evaluate_early;
+        let expected = naive_evaluate(&doc, &gtp);
+        for existence_opt in [false, true] {
+            match evaluate_early(&doc, &gtp, MatchOptions { existence_opt }) {
+                Ok((got, stats)) => {
+                    prop_assert_eq!(
+                        &got, &expected,
+                        "existence_opt={} doc={} query={}",
+                        existence_opt, write(&doc, Indent::None), gtp
+                    );
+                    prop_assert_eq!(stats.rows, expected.len());
+                }
+                Err(_) => {
+                    // Unsupported shapes must involve a group or produce no
+                    // output; plain all-return twigs always run early.
+                    prop_assert!(
+                        gtp.iter().any(|q| gtp.role(q) != gtpquery::Role::Return),
+                        "all-return query rejected: {}", gtp
+                    );
+                }
+            }
+        }
+    }
+
+    /// Combinatorial counting agrees with materialized enumeration.
+    #[test]
+    fn count_equals_enumeration(doc in doc_strategy(), gtp in query_strategy()) {
+        use twig2stack::{count_results, enumerate};
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions::default());
+        prop_assert_eq!(
+            count_results(&tm),
+            enumerate(&tm).len() as u64,
+            "doc={} query={}", write(&doc, Indent::None), gtp
+        );
+    }
+
+    /// The streaming entry point agrees with the DOM path.
+    #[test]
+    fn streaming_equals_dom(doc in doc_strategy(), gtp in query_strategy()) {
+        let xml = write(&doc, Indent::None);
+        let expected = naive_evaluate(&doc, &gtp);
+        let (got, _) = evaluate_streaming(&xml, &gtp, MatchOptions::default()).unwrap();
+        prop_assert_eq!(&got, &expected, "doc={} query={}", xml, gtp);
+    }
+
+    /// Theorem 1: an element is pushed into HS[E] iff it satisfies the
+    /// sub-twig rooted at E.
+    #[test]
+    fn theorem1_holds(doc in doc_strategy(), gtp in query_strategy()) {
+        use twigbaselines::SatTable;
+        let (tm, _) = match_document(&doc, &gtp, MatchOptions { existence_opt: false });
+        let sat = SatTable::compute(&doc, &gtp);
+        for q in gtp.iter() {
+            let mut got: Vec<xmldom::NodeId> = tm
+                .stack(q)
+                .roots()
+                .iter()
+                .flat_map(|&r| tm.stack(q).tree_elements(r))
+                .map(|loc| tm.stack(q).elem(loc).node)
+                .collect();
+            got.sort_unstable();
+            let mut expected = sat.matches(q);
+            // A rooted query's root node only admits level-1 elements.
+            if q == gtp.root() && gtp.is_rooted() {
+                expected.retain(|&n| doc.region(n).level == 1);
+            }
+            prop_assert_eq!(got, expected, "query node {} of {}", q, gtp);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # xmlgen — seeded synthetic XML dataset generators
+//!
+//! Stand-ins for the three datasets of the paper's evaluation (Figure 14):
+//!
+//! * [`dblp`] — wide, shallow bibliography records (DBLP-like);
+//! * [`treebank`] — deep, recursive, irregular parse trees (TreeBank-like);
+//! * [`xmark`] — the XMark auction-site schema subset, linear in a scale
+//!   factor;
+//! * [`random`] — unstructured random labelled trees for property tests.
+//!
+//! All generators are deterministic given a seed, so benchmarks and tests
+//! are reproducible. Only document *shape* matters to the twig-join
+//! algorithms (labels + region encodings), so text payloads are small
+//! placeholder strings.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod random;
+pub mod treebank;
+pub mod xmark;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use random::{generate_random_tree, RandomTreeConfig};
+pub use treebank::{generate_treebank, TreebankConfig};
+pub use xmark::{generate_xmark, XmarkConfig};

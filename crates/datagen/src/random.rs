@@ -1,0 +1,147 @@
+//! Random labelled trees for property-based differential testing.
+//!
+//! The proptest suites compare every matcher in this workspace against the
+//! naive oracle on documents drawn from this generator: small alphabets and
+//! shallow-to-moderate depths maximize the density of twig matches (and of
+//! tricky recursive same-label nestings, the hard case for hierarchical
+//! stacks).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmldom::{Document, DocumentBuilder};
+
+/// Configuration for [`generate_random_tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomTreeConfig {
+    /// Total number of elements (≥ 1).
+    pub nodes: usize,
+    /// Alphabet size: labels are `a`, `b`, … (≤ 26).
+    pub alphabet: usize,
+    /// Maximum depth of the tree.
+    pub max_depth: u32,
+    /// Bias towards attaching to the most recent open path: 0 = attach to
+    /// a uniformly random existing node (bushy), 100 = always deepen.
+    pub depth_bias: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig { nodes: 100, alphabet: 4, max_depth: 12, depth_bias: 50, seed: 0 }
+    }
+}
+
+/// Generate a random document.
+///
+/// The tree is built in one left-to-right pass: we keep the current
+/// root-to-cursor path and, for every new node, either descend (attach as a
+/// child of the path tip) or pop up a random number of levels first. This
+/// produces exactly `nodes` elements with depth ≤ `max_depth` and a shape
+/// controlled by `depth_bias`.
+pub fn generate_random_tree(cfg: &RandomTreeConfig) -> Document {
+    assert!(cfg.nodes >= 1, "need at least one node");
+    assert!((1..=26).contains(&cfg.alphabet), "alphabet must be 1..=26");
+    assert!(cfg.max_depth >= 1);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    let label = |rng: &mut SmallRng| -> String {
+        char::from(b'a' + rng.gen_range(0..cfg.alphabet) as u8).to_string()
+    };
+    b.start_element(&label(&mut rng)).expect("fresh builder");
+    let mut depth = 1u32;
+    for _ in 1..cfg.nodes {
+        // Decide how far to pop before attaching the next node. Popping to
+        // depth 0 is not allowed (single root).
+        let descend = depth < cfg.max_depth && rng.gen_range(0..100) < cfg.depth_bias;
+        if !descend && depth > 1 {
+            let pops = rng.gen_range(1..depth); // keep at least the root open
+            for _ in 0..pops {
+                b.end_element().expect("balanced");
+            }
+            depth -= pops;
+        } else if depth >= cfg.max_depth && depth > 1 {
+            b.end_element().expect("balanced");
+            depth -= 1;
+        }
+        b.start_element(&label(&mut rng)).expect("open");
+        depth += 1;
+    }
+    while depth > 0 {
+        b.end_element().expect("balanced");
+        depth -= 1;
+    }
+    b.finish().expect("complete document")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_node_count() {
+        for n in [1, 2, 3, 10, 257] {
+            let doc = generate_random_tree(&RandomTreeConfig {
+                nodes: n,
+                ..Default::default()
+            });
+            assert_eq!(doc.len(), n);
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let doc = generate_random_tree(&RandomTreeConfig {
+            nodes: 500,
+            max_depth: 5,
+            depth_bias: 90,
+            ..Default::default()
+        });
+        let (max, _) = doc.depth_stats();
+        assert!(max <= 5, "depth {max}");
+    }
+
+    #[test]
+    fn alphabet_respected() {
+        let doc = generate_random_tree(&RandomTreeConfig {
+            nodes: 200,
+            alphabet: 2,
+            ..Default::default()
+        });
+        assert!(doc.labels().len() <= 2);
+        for (_, name) in doc.labels().iter() {
+            assert!(name == "a" || name == "b");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RandomTreeConfig { nodes: 97, seed: 123, ..Default::default() };
+        let d1 = generate_random_tree(&cfg);
+        let d2 = generate_random_tree(&cfg);
+        let r1: Vec<_> = d1.iter().map(|n| d1.region(n)).collect();
+        let r2: Vec<_> = d2.iter().map(|n| d2.region(n)).collect();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn depth_bias_changes_shape() {
+        let shallow = generate_random_tree(&RandomTreeConfig {
+            nodes: 1000,
+            depth_bias: 10,
+            max_depth: 30,
+            seed: 1,
+            ..Default::default()
+        });
+        let deep = generate_random_tree(&RandomTreeConfig {
+            nodes: 1000,
+            depth_bias: 95,
+            max_depth: 30,
+            seed: 1,
+            ..Default::default()
+        });
+        let (_, avg_s) = shallow.depth_stats();
+        let (_, avg_d) = deep.depth_stats();
+        assert!(avg_d > avg_s, "deep {avg_d} vs shallow {avg_s}");
+    }
+}

@@ -1,0 +1,253 @@
+//! TreeBank-like parse-tree generator.
+//!
+//! The real TreeBank dataset (paper Figure 14) is deep (max depth 36,
+//! average ≈ 7.9), narrow, recursive and irregular, with many distinct
+//! labels — which makes twig queries over it highly selective. This
+//! generator expands a small probabilistic phrase-structure grammar over
+//! Penn-Treebank-style non-terminals (`s`, `np`, `vp`, `pp`, `sbar`, …) and
+//! pre-terminals (`in`, `dt`, `nn`, `vbn`, `prp_dollar_`, …).
+//!
+//! Tag names that contain characters illegal in XML names (`PRP$`, `,`)
+//! are encoded the way the University of Washington XML repository does:
+//! `prp_dollar_`, `_comma_`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmldom::{Document, DocumentBuilder};
+
+/// Configuration for [`generate_treebank`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreebankConfig {
+    /// Number of top-level sentences under the `file` root.
+    pub sentences: usize,
+    /// Hard recursion cap (the real corpus peaks at depth 36).
+    pub max_depth: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        TreebankConfig { sentences: 2500, max_depth: 36, seed: 0x07ee_ba2d }
+    }
+}
+
+impl TreebankConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        TreebankConfig { sentences: 30, max_depth: 20, seed }
+    }
+}
+
+/// Generate a TreeBank-like document rooted at `file`.
+pub fn generate_treebank(cfg: &TreebankConfig) -> Document {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element("file").expect("fresh builder");
+    for _ in 0..cfg.sentences {
+        b.start_element("empty").unwrap(); // TreeBank wraps sentences in EMPTY
+        sentence(&mut b, &mut rng, 3, cfg.max_depth);
+        b.end_element().unwrap();
+    }
+    b.end_element().expect("balanced");
+    b.finish().expect("complete document")
+}
+
+/// `s → np vp` (with optional leading pp / sbar recursion).
+fn sentence(b: &mut DocumentBuilder, rng: &mut SmallRng, depth: u32, max: u32) {
+    b.start_element("s").unwrap();
+    if depth < max {
+        if rng.gen_bool(0.15) {
+            pp(b, rng, depth + 1, max);
+        }
+        np(b, rng, depth + 1, max);
+        vp(b, rng, depth + 1, max);
+        if rng.gen_bool(0.2) {
+            b.leaf("_period_", ".").unwrap();
+        }
+    } else {
+        b.leaf("nn", "w").unwrap();
+    }
+    b.end_element().unwrap();
+}
+
+fn np(b: &mut DocumentBuilder, rng: &mut SmallRng, depth: u32, max: u32) {
+    b.start_element("np").unwrap();
+    if depth >= max {
+        b.leaf("nn", "w").unwrap();
+        b.end_element().unwrap();
+        return;
+    }
+    match rng.gen_range(0..10) {
+        // dt? jj* (vbn)? nn pp?
+        0..=4 => {
+            if rng.gen_bool(0.6) {
+                b.leaf("dt", "the").unwrap();
+            }
+            for _ in 0..rng.gen_range(0..2) {
+                b.leaf("jj", "big").unwrap();
+            }
+            if rng.gen_bool(0.25) {
+                b.leaf("vbn", "built").unwrap(); // reduced relative: np with vbn child
+            }
+            b.leaf(if rng.gen_bool(0.8) { "nn" } else { "nns" }, "w").unwrap();
+            if rng.gen_bool(0.3) {
+                pp(b, rng, depth + 1, max);
+            }
+        }
+        // possessive: prp_dollar_ nn
+        5 => {
+            b.leaf("prp_dollar_", "its").unwrap();
+            b.leaf("nn", "w").unwrap();
+        }
+        // pronoun
+        6 => b.leaf("prp", "it").unwrap(),
+        // proper noun
+        7 => b.leaf("nnp", "W").unwrap(),
+        // np sbar (relative clause) — the deep-recursion path
+        8 => {
+            np(b, rng, depth + 1, max);
+            sbar(b, rng, depth + 1, max);
+        }
+        // coordination: np cc np
+        _ => {
+            np(b, rng, depth + 1, max);
+            b.leaf("cc", "and").unwrap();
+            np(b, rng, depth + 1, max);
+        }
+    }
+    b.end_element().unwrap();
+}
+
+fn vp(b: &mut DocumentBuilder, rng: &mut SmallRng, depth: u32, max: u32) {
+    b.start_element("vp").unwrap();
+    if depth >= max {
+        b.leaf("vb", "go").unwrap();
+        b.end_element().unwrap();
+        return;
+    }
+    match rng.gen_range(0..10) {
+        // v np pp*
+        0..=3 => {
+            b.leaf(verb(rng), "saw").unwrap();
+            np(b, rng, depth + 1, max);
+            for _ in 0..rng.gen_range(0..2) {
+                pp(b, rng, depth + 1, max);
+            }
+        }
+        // v pp
+        4..=5 => {
+            b.leaf(verb(rng), "went").unwrap();
+            pp(b, rng, depth + 1, max);
+        }
+        // passive: vbn pp?
+        6 => {
+            b.leaf("vbn", "seen").unwrap();
+            if rng.gen_bool(0.5) {
+                pp(b, rng, depth + 1, max);
+            }
+        }
+        // flat colloquial: vb dt nn (gives //vp[dt] matches for TB-Q3)
+        7 => {
+            b.leaf("vb", "take").unwrap();
+            b.leaf("dt", "a").unwrap();
+            b.leaf("nn", "walk").unwrap();
+            if rng.gen_bool(0.3) {
+                np(b, rng, depth + 1, max);
+            }
+        }
+        // vp sbar (clausal complement) — recursion
+        8 => {
+            b.leaf(verb(rng), "said").unwrap();
+            sbar(b, rng, depth + 1, max);
+        }
+        // vp cc vp
+        _ => {
+            vp(b, rng, depth + 1, max);
+            b.leaf("cc", "and").unwrap();
+            vp(b, rng, depth + 1, max);
+        }
+    }
+    b.end_element().unwrap();
+}
+
+fn pp(b: &mut DocumentBuilder, rng: &mut SmallRng, depth: u32, max: u32) {
+    b.start_element("pp").unwrap();
+    b.leaf("in", "of").unwrap();
+    if depth < max {
+        np(b, rng, depth + 1, max);
+    } else {
+        b.leaf("nn", "w").unwrap();
+    }
+    b.end_element().unwrap();
+}
+
+fn sbar(b: &mut DocumentBuilder, rng: &mut SmallRng, depth: u32, max: u32) {
+    b.start_element("sbar").unwrap();
+    if depth < max {
+        if rng.gen_bool(0.5) {
+            b.start_element("whnp").unwrap();
+            b.leaf("wp", "who").unwrap();
+            b.end_element().unwrap();
+        } else {
+            b.leaf("in", "that").unwrap();
+        }
+        sentence(b, rng, depth + 1, max);
+    } else {
+        b.leaf("in", "that").unwrap();
+    }
+    b.end_element().unwrap();
+}
+
+fn verb(rng: &mut SmallRng) -> &'static str {
+    match rng.gen_range(0..4) {
+        0 => "vb",
+        1 => "vbd",
+        2 => "vbz",
+        _ => "vbp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::DocStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = TreebankConfig::tiny(5);
+        let d1 = generate_treebank(&cfg);
+        let d2 = generate_treebank(&cfg);
+        assert_eq!(d1.len(), d2.len());
+    }
+
+    #[test]
+    fn deep_and_recursive() {
+        let doc = generate_treebank(&TreebankConfig { sentences: 300, max_depth: 36, seed: 11 });
+        let s = DocStats::compute_without_size(&doc);
+        assert!(s.max_depth >= 15, "max depth only {}", s.max_depth);
+        assert!(s.max_depth <= 36 + 2);
+        assert!(s.avg_depth > 5.0, "avg depth {}", s.avg_depth);
+        assert!(s.distinct_labels >= 15, "labels {}", s.distinct_labels);
+    }
+
+    #[test]
+    fn recursion_capped() {
+        let doc = generate_treebank(&TreebankConfig { sentences: 100, max_depth: 12, seed: 3 });
+        let (max, _) = doc.depth_stats();
+        // Grammar may add up to ~2 leaf levels below the cap.
+        assert!(max <= 15, "depth {max} exceeds cap");
+    }
+
+    #[test]
+    fn queried_labels_present() {
+        let doc = generate_treebank(&TreebankConfig { sentences: 500, max_depth: 30, seed: 1 });
+        for name in ["s", "vp", "np", "pp", "in", "dt", "vbn", "prp_dollar_"] {
+            let l = doc
+                .labels()
+                .get(name)
+                .unwrap_or_else(|| panic!("label {name} missing"));
+            assert!(!doc.nodes_with_label(l).is_empty(), "no {name} elements");
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! XMark-like auction-site generator.
+//!
+//! Reproduces the structural subset of the XMark benchmark schema \[11\] that
+//! the paper's queries touch, with document size linear in a scale factor
+//! (the paper uses scale factors 1–5 for Figure 17 and 1/10 for Table 1).
+//!
+//! Shape properties relied on by the experiments:
+//!
+//! * a single `open_auctions` element containing *all* `open_auction`s —
+//!   this is what defeats early result enumeration for XMark-Q1 in Table 1;
+//! * `person` and `item` subtrees are small and self-contained — which is
+//!   why early result enumeration works so well for XMark-Q2/Q3;
+//! * max depth ≈ 12, average ≈ 5.5 (paper Figure 14).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmldom::{Document, DocumentBuilder};
+
+/// Configuration for [`generate_xmark`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XmarkConfig {
+    /// Linear scale factor (XMark's `-f`). Element count grows linearly.
+    pub scale: usize,
+    /// Base number of persons at scale 1.
+    pub base_persons: usize,
+    /// Base number of open auctions at scale 1.
+    pub base_open_auctions: usize,
+    /// Base number of closed auctions at scale 1.
+    pub base_closed_auctions: usize,
+    /// Base number of items *per region* (6 regions) at scale 1.
+    pub base_items_per_region: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    /// Scale 1 ≈ 60k elements: laptop-scale stand-in for XMark f=1.
+    fn default() -> Self {
+        XmarkConfig {
+            scale: 1,
+            base_persons: 850,
+            base_open_auctions: 400,
+            base_closed_auctions: 325,
+            base_items_per_region: 120,
+            seed: 0x0a0c_710e,
+        }
+    }
+}
+
+impl XmarkConfig {
+    /// Default parameters at the given scale factor.
+    pub fn at_scale(scale: usize) -> Self {
+        XmarkConfig { scale, ..Default::default() }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        XmarkConfig {
+            scale: 1,
+            base_persons: 25,
+            base_open_auctions: 12,
+            base_closed_auctions: 10,
+            base_items_per_region: 4,
+            seed,
+        }
+    }
+}
+
+const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Generate an XMark-like document rooted at `site`.
+pub fn generate_xmark(cfg: &XmarkConfig) -> Document {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element("site").expect("fresh builder");
+
+    // --- regions/items -------------------------------------------------
+    b.start_element("regions").unwrap();
+    let items_per_region = cfg.base_items_per_region * cfg.scale;
+    let mut item_id = 0usize;
+    for region in REGIONS {
+        b.start_element(region).unwrap();
+        for _ in 0..items_per_region {
+            emit_item(&mut b, &mut rng, item_id);
+            item_id += 1;
+        }
+        b.end_element().unwrap();
+    }
+    b.end_element().unwrap();
+
+    // --- categories ------------------------------------------------------
+    b.start_element("categories").unwrap();
+    for c in 0..(10 * cfg.scale) {
+        b.start_element("category").unwrap();
+        b.attr("id", &format!("category{c}")).unwrap();
+        b.leaf("name", &format!("Category {c}")).unwrap();
+        b.start_element("description").unwrap();
+        b.leaf("text", "about this category").unwrap();
+        b.end_element().unwrap();
+        b.end_element().unwrap();
+    }
+    b.end_element().unwrap();
+
+    // --- people ----------------------------------------------------------
+    b.start_element("people").unwrap();
+    for p in 0..(cfg.base_persons * cfg.scale) {
+        emit_person(&mut b, &mut rng, p);
+    }
+    b.end_element().unwrap();
+
+    // --- open_auctions -----------------------------------------------
+    b.start_element("open_auctions").unwrap();
+    for a in 0..(cfg.base_open_auctions * cfg.scale) {
+        emit_open_auction(&mut b, &mut rng, a);
+    }
+    b.end_element().unwrap();
+
+    // --- closed_auctions ----------------------------------------------
+    b.start_element("closed_auctions").unwrap();
+    for a in 0..(cfg.base_closed_auctions * cfg.scale) {
+        emit_closed_auction(&mut b, &mut rng, a);
+    }
+    b.end_element().unwrap();
+
+    b.end_element().expect("balanced");
+    b.finish().expect("complete document")
+}
+
+fn emit_item(b: &mut DocumentBuilder, rng: &mut SmallRng, id: usize) {
+    b.start_element("item").unwrap();
+    b.attr("id", &format!("item{id}")).unwrap();
+    b.leaf("location", "United States").unwrap();
+    b.leaf("quantity", "1").unwrap();
+    b.leaf("name", &format!("Item {id}")).unwrap();
+    b.start_element("payment").unwrap();
+    b.text("Money order").unwrap();
+    b.end_element().unwrap();
+    emit_description(b, rng);
+    b.leaf("shipping", "Will ship internationally").unwrap();
+    for c in 0..rng.gen_range(1..3) {
+        b.start_element("incategory").unwrap();
+        b.attr("category", &format!("category{}", (id + c) % 10)).unwrap();
+        b.end_element().unwrap();
+    }
+    if rng.gen_bool(0.4) {
+        b.start_element("mailbox").unwrap();
+        for _ in 0..rng.gen_range(1..3) {
+            b.start_element("mail").unwrap();
+            b.leaf("from", "A").unwrap();
+            b.leaf("to", "B").unwrap();
+            b.leaf("date", "07/07/2006").unwrap();
+            emit_text_with_keywords(b, rng);
+            b.end_element().unwrap();
+        }
+        b.end_element().unwrap();
+    }
+    b.end_element().unwrap();
+}
+
+/// `description` → `text` (with inline `keyword`/`emph`) or
+/// `parlist/listitem/text` — gives XMark-Q3 its `description//keyword`
+/// matches at varying depths.
+fn emit_description(b: &mut DocumentBuilder, rng: &mut SmallRng) {
+    b.start_element("description").unwrap();
+    if rng.gen_bool(0.6) {
+        emit_text_with_keywords(b, rng);
+    } else {
+        b.start_element("parlist").unwrap();
+        for _ in 0..rng.gen_range(1..3) {
+            b.start_element("listitem").unwrap();
+            emit_text_with_keywords(b, rng);
+            b.end_element().unwrap();
+        }
+        b.end_element().unwrap();
+    }
+    b.end_element().unwrap();
+}
+
+fn emit_text_with_keywords(b: &mut DocumentBuilder, rng: &mut SmallRng) {
+    b.start_element("text").unwrap();
+    b.text("lorem ipsum ").unwrap();
+    for _ in 0..rng.gen_range(0..3) {
+        if rng.gen_bool(0.7) {
+            b.leaf("keyword", "gold").unwrap();
+        } else {
+            b.start_element("emph").unwrap();
+            if rng.gen_bool(0.5) {
+                b.leaf("keyword", "rare").unwrap();
+            } else {
+                b.text("very").unwrap();
+            }
+            b.end_element().unwrap();
+        }
+    }
+    b.end_element().unwrap();
+}
+
+fn emit_person(b: &mut DocumentBuilder, rng: &mut SmallRng, id: usize) {
+    b.start_element("person").unwrap();
+    b.attr("id", &format!("person{id}")).unwrap();
+    b.leaf("name", &format!("Person {id}")).unwrap();
+    b.leaf("emailaddress", "mailto:p@example.org").unwrap();
+    if rng.gen_bool(0.5) {
+        b.leaf("phone", "+1 555 0100").unwrap();
+    }
+    if rng.gen_bool(0.7) {
+        b.start_element("address").unwrap();
+        b.leaf("street", "1 Main St").unwrap();
+        b.leaf("city", "Cupertino").unwrap();
+        b.leaf("country", "United States").unwrap();
+        if rng.gen_bool(0.3) {
+            b.leaf("province", "CA").unwrap();
+        }
+        b.leaf("zipcode", "95014").unwrap();
+        b.end_element().unwrap();
+    }
+    if rng.gen_bool(0.3) {
+        b.leaf("homepage", "http://example.org").unwrap();
+    }
+    if rng.gen_bool(0.4) {
+        b.leaf("creditcard", "1234 5678").unwrap();
+    }
+    if rng.gen_bool(0.75) {
+        b.start_element("profile").unwrap();
+        b.attr("income", "50000").unwrap();
+        for _ in 0..rng.gen_range(0..3) {
+            b.start_element("interest").unwrap();
+            b.attr("category", "category1").unwrap();
+            b.end_element().unwrap();
+        }
+        if rng.gen_bool(0.5) {
+            b.leaf("education", "Graduate School").unwrap();
+        }
+        if rng.gen_bool(0.5) {
+            b.leaf("gender", "female").unwrap();
+        }
+        b.leaf("business", "Yes").unwrap();
+        if rng.gen_bool(0.6) {
+            b.leaf("age", "30").unwrap();
+        }
+        b.end_element().unwrap();
+    }
+    if rng.gen_bool(0.2) {
+        b.start_element("watches").unwrap();
+        for _ in 0..rng.gen_range(1..3) {
+            b.start_element("watch").unwrap();
+            b.attr("open_auction", "open_auction0").unwrap();
+            b.end_element().unwrap();
+        }
+        b.end_element().unwrap();
+    }
+    b.end_element().unwrap();
+}
+
+fn emit_open_auction(b: &mut DocumentBuilder, rng: &mut SmallRng, id: usize) {
+    b.start_element("open_auction").unwrap();
+    b.attr("id", &format!("open_auction{id}")).unwrap();
+    b.leaf("initial", "15.00").unwrap();
+    if rng.gen_bool(0.5) {
+        b.leaf("reserve", "30.00").unwrap();
+    }
+    for bid in 0..rng.gen_range(0..5) {
+        b.start_element("bidder").unwrap();
+        b.leaf("date", "07/07/2006").unwrap();
+        b.leaf("time", "12:00:00").unwrap();
+        b.start_element("personref").unwrap();
+        b.attr("person", &format!("person{}", (id + bid) % 100)).unwrap();
+        b.end_element().unwrap();
+        b.leaf("increase", "1.50").unwrap();
+        b.end_element().unwrap();
+    }
+    b.leaf("current", "18.00").unwrap();
+    if rng.gen_bool(0.3) {
+        b.leaf("privacy", "Yes").unwrap();
+    }
+    b.start_element("itemref").unwrap();
+    b.attr("item", &format!("item{}", id % 50)).unwrap();
+    b.end_element().unwrap();
+    b.start_element("seller").unwrap();
+    b.attr("person", &format!("person{}", id % 100)).unwrap();
+    b.end_element().unwrap();
+    emit_annotation(b, rng);
+    b.leaf("quantity", "1").unwrap();
+    b.leaf("type", "Regular").unwrap();
+    b.start_element("interval").unwrap();
+    b.leaf("start", "01/01/2006").unwrap();
+    b.leaf("end", "12/31/2006").unwrap();
+    b.end_element().unwrap();
+    b.end_element().unwrap();
+}
+
+fn emit_closed_auction(b: &mut DocumentBuilder, rng: &mut SmallRng, id: usize) {
+    b.start_element("closed_auction").unwrap();
+    b.start_element("seller").unwrap();
+    b.attr("person", &format!("person{}", id % 100)).unwrap();
+    b.end_element().unwrap();
+    b.start_element("buyer").unwrap();
+    b.attr("person", &format!("person{}", (id + 1) % 100)).unwrap();
+    b.end_element().unwrap();
+    b.start_element("itemref").unwrap();
+    b.attr("item", &format!("item{}", id % 50)).unwrap();
+    b.end_element().unwrap();
+    b.leaf("price", "42.00").unwrap();
+    b.leaf("date", "07/07/2006").unwrap();
+    b.leaf("quantity", "1").unwrap();
+    b.leaf("type", "Regular").unwrap();
+    emit_annotation(b, rng);
+    b.end_element().unwrap();
+}
+
+fn emit_annotation(b: &mut DocumentBuilder, rng: &mut SmallRng) {
+    b.start_element("annotation").unwrap();
+    b.start_element("author").unwrap();
+    b.attr("person", "person0").unwrap();
+    b.end_element().unwrap();
+    emit_description(b, rng);
+    b.start_element("happiness").unwrap();
+    b.text("8").unwrap();
+    b.end_element().unwrap();
+    b.end_element().unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::DocStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = XmarkConfig::tiny(5);
+        assert_eq!(generate_xmark(&cfg).len(), generate_xmark(&cfg).len());
+    }
+
+    #[test]
+    fn scale_is_linear() {
+        let n1 = generate_xmark(&XmarkConfig { scale: 1, ..XmarkConfig::tiny(7) }).len();
+        let n3 = generate_xmark(&XmarkConfig { scale: 3, ..XmarkConfig::tiny(7) }).len();
+        let ratio = n3 as f64 / n1 as f64;
+        assert!((2.3..3.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn shape_matches_figure14() {
+        let doc = generate_xmark(&XmarkConfig::default());
+        let s = DocStats::compute_without_size(&doc);
+        assert!(s.max_depth >= 8 && s.max_depth <= 13, "max depth {}", s.max_depth);
+        assert!(s.avg_depth > 3.5 && s.avg_depth < 6.5, "avg depth {}", s.avg_depth);
+        assert!(s.distinct_labels >= 40, "labels {}", s.distinct_labels);
+    }
+
+    #[test]
+    fn single_open_auctions_container() {
+        let doc = generate_xmark(&XmarkConfig::tiny(1));
+        let oa = doc.labels().get("open_auctions").unwrap();
+        assert_eq!(doc.nodes_with_label(oa).len(), 1);
+        let auctions = doc.labels().get("open_auction").unwrap();
+        assert_eq!(doc.nodes_with_label(auctions).len(), 12);
+    }
+
+    #[test]
+    fn queried_labels_present() {
+        let doc = generate_xmark(&XmarkConfig::tiny(2));
+        for name in [
+            "site", "open_auctions", "bidder", "personref", "reserve", "people", "person",
+            "address", "zipcode", "profile", "education", "item", "location", "description",
+            "keyword",
+        ] {
+            let l = doc
+                .labels()
+                .get(name)
+                .unwrap_or_else(|| panic!("label {name} missing"));
+            assert!(!doc.nodes_with_label(l).is_empty(), "no {name} elements");
+        }
+    }
+}

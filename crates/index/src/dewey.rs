@@ -1,0 +1,329 @@
+//! Extended Dewey labeling (TJFast \[16\]).
+//!
+//! Each element gets a path of integer components from the root. The
+//! *extended* scheme makes components carry the element's label: for an
+//! element whose parent is labelled `p`, with `k = |CL(p)|` (see
+//! [`crate::schema::Schema`]) and `i` the index of the element's label in
+//! `CL(p)`, the component `n` satisfies `n ≡ i (mod k)` and is the smallest
+//! such value greater than the previous sibling's component (or the
+//! smallest non-negative one for the first child).
+//!
+//! Consequently the **full label path of every ancestor can be decoded from
+//! a leaf's Dewey id alone** — this is what lets TJFast scan only the
+//! streams of the query's *leaf* labels. Structural predicates become:
+//!
+//! * ancestor-descendant = Dewey-prefix;
+//! * parent-child        = prefix with length difference 1;
+//! * document order      = lexicographic component order.
+
+use crate::schema::Schema;
+use xmldom::{Document, Label, NodeId};
+
+/// One element in a Dewey-labelled index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeweyElement<'a> {
+    /// Document node id.
+    pub id: NodeId,
+    /// Extended Dewey components (empty for the document root).
+    pub dewey: &'a [u32],
+}
+
+impl DeweyElement<'_> {
+    /// Element depth (root = 1).
+    pub fn level(&self) -> u32 {
+        self.dewey.len() as u32 + 1
+    }
+}
+
+/// True iff `anc` is a proper Dewey ancestor (proper prefix) of `desc`.
+pub fn is_dewey_ancestor(anc: &[u32], desc: &[u32]) -> bool {
+    anc.len() < desc.len() && desc[..anc.len()] == *anc
+}
+
+/// True iff `par` is the Dewey parent of `child`.
+pub fn is_dewey_parent(par: &[u32], child: &[u32]) -> bool {
+    par.len() + 1 == child.len() && child[..par.len()] == *par
+}
+
+/// Compute the next sibling component: smallest `n ≡ i (mod k)` with
+/// `n > prev` (or the smallest non-negative one when `prev` is `None`).
+pub fn next_component(prev: Option<u32>, i: usize, k: usize) -> u32 {
+    debug_assert!(i < k);
+    let (i, k) = (i as u64, k as u64);
+    match prev {
+        None => i as u32,
+        Some(p) => {
+            let base = p as u64 + 1;
+            let n = base + (i + k - base % k) % k;
+            u32::try_from(n).expect("Dewey component overflow")
+        }
+    }
+}
+
+/// Extended-Dewey index of one document: per-label element lists (in
+/// document order) over a shared component arena, plus the schema
+/// transducer needed to decode label paths.
+#[derive(Debug, Clone)]
+pub struct DeweyIndex {
+    schema: Schema,
+    /// Flat arena of all components.
+    arena: Vec<u32>,
+    /// Per label: (node id, arena offset, component count).
+    by_label: Vec<Vec<(NodeId, u32, u16)>>,
+}
+
+impl DeweyIndex {
+    /// Build the index in one document pass.
+    pub fn build(doc: &Document) -> Self {
+        let schema = Schema::extract(doc);
+        let n_labels = doc.labels().len();
+        let mut by_label: Vec<Vec<(NodeId, u32, u16)>> = vec![Vec::new(); n_labels];
+        let mut arena: Vec<u32> = Vec::with_capacity(doc.len() * 2);
+
+        // Iterative preorder walk carrying each node's dewey prefix.
+        // `paths[depth]` caches the prefix of the current root-to-node path.
+        let mut prefix: Vec<u32> = Vec::new();
+        // (node, depth, component) — component is None for the root.
+        let mut stack: Vec<(NodeId, usize, Option<u32>)> = vec![(doc.root(), 0, None)];
+        while let Some((node, depth, comp)) = stack.pop() {
+            prefix.truncate(depth);
+            if let Some(c) = comp {
+                prefix.push(c);
+            }
+            let off = arena.len() as u32;
+            arena.extend_from_slice(&prefix);
+            let len = u16::try_from(prefix.len()).expect("document too deep for Dewey index");
+            by_label[doc.label(node).index()].push((node, off, len));
+
+            let parent_label = doc.label(node);
+            let k = schema.fanout(parent_label);
+            let mut prev: Option<u32> = None;
+            let mut child_entries: Vec<(NodeId, usize, Option<u32>)> = Vec::new();
+            let child_depth = prefix.len();
+            for c in doc.children(node) {
+                let i = schema
+                    .child_index(parent_label, doc.label(c))
+                    .expect("schema covers every observed child");
+                let comp = next_component(prev, i, k);
+                prev = Some(comp);
+                child_entries.push((c, child_depth, Some(comp)));
+            }
+            // Reverse so the leftmost child is processed first.
+            stack.extend(child_entries.into_iter().rev());
+        }
+
+        DeweyIndex { schema, arena, by_label }
+    }
+
+    /// The schema transducer used for decoding.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Elements with `label` in document order.
+    pub fn elements(&self, label: Label) -> Vec<DeweyElement<'_>> {
+        self.by_label
+            .get(label.index())
+            .map(|v| {
+                v.iter()
+                    .map(|&(id, off, len)| DeweyElement {
+                        id,
+                        dewey: &self.arena[off as usize..off as usize + len as usize],
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of elements with `label`.
+    pub fn count(&self, label: Label) -> usize {
+        self.by_label.get(label.index()).map_or(0, Vec::len)
+    }
+
+    /// Decode the label path root..=element from a Dewey id.
+    ///
+    /// Returns one label per level (so `dewey.len() + 1` labels).
+    pub fn decode_labels(&self, dewey: &[u32]) -> Vec<Label> {
+        let mut out = Vec::with_capacity(dewey.len() + 1);
+        let mut label = self.schema.root_label();
+        out.push(label);
+        for &comp in dewey {
+            let cl = self.schema.child_labels(label);
+            let k = cl.len();
+            debug_assert!(k > 0, "component below a leaf label");
+            label = cl[comp as usize % k];
+            out.push(label);
+        }
+        out
+    }
+
+    /// Serialized size in bytes of the stream for `label` (record format:
+    /// 4-byte id + 2-byte length + 4 bytes per component). This models
+    /// TJFast's IO: fewer streams, but fatter records.
+    pub fn stream_bytes(&self, label: Label) -> usize {
+        self.by_label
+            .get(label.index())
+            .map(|v| v.iter().map(|&(_, _, len)| 6 + 4 * len as usize).sum())
+            .unwrap_or(0)
+    }
+
+    /// Resolve a Dewey id back to the document node it labels, by replaying
+    /// component assignment down from the root. Used for result
+    /// verification; not part of the matching hot path.
+    pub fn resolve(&self, doc: &Document, dewey: &[u32]) -> Option<NodeId> {
+        let mut node = doc.root();
+        for &comp in dewey {
+            let parent_label = doc.label(node);
+            let k = self.schema.fanout(parent_label);
+            if k == 0 {
+                return None;
+            }
+            let mut prev: Option<u32> = None;
+            let mut found = None;
+            for c in doc.children(node) {
+                let i = self.schema.child_index(parent_label, doc.label(c))?;
+                let cc = next_component(prev, i, k);
+                prev = Some(cc);
+                if cc == comp {
+                    found = Some(c);
+                    break;
+                }
+                if cc > comp {
+                    return None;
+                }
+            }
+            node = found?;
+        }
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::parse;
+
+    fn doc1() -> xmldom::Document {
+        parse("<a><b><c/><d/></b><b><d/><d/></b><d/></a>").unwrap()
+    }
+
+    #[test]
+    fn components_encode_labels() {
+        let doc = doc1();
+        let idx = DeweyIndex::build(&doc);
+        let d = doc.labels().get("d").unwrap();
+        for e in idx.elements(d) {
+            let labels = idx.decode_labels(e.dewey);
+            let names: Vec<&str> = labels.iter().map(|&l| doc.labels().name(l)).collect();
+            assert_eq!(*names.last().unwrap(), "d");
+            assert_eq!(names[0], "a");
+        }
+    }
+
+    #[test]
+    fn decoded_path_matches_real_ancestry() {
+        let doc = doc1();
+        let idx = DeweyIndex::build(&doc);
+        for (_, name) in doc.labels().iter() {
+            let l = doc.labels().get(name).unwrap();
+            for e in idx.elements(l) {
+                // Real label path via parent links.
+                let mut real = Vec::new();
+                let mut n = Some(e.id);
+                while let Some(cur) = n {
+                    real.push(doc.label(cur));
+                    n = doc.parent(cur);
+                }
+                real.reverse();
+                assert_eq!(idx.decode_labels(e.dewey), real, "element {}", e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_is_ancestor() {
+        let doc = doc1();
+        let idx = DeweyIndex::build(&doc);
+        let mut all: Vec<(NodeId, Vec<u32>)> = Vec::new();
+        for (l, _) in doc.labels().iter() {
+            for e in idx.elements(l) {
+                all.push((e.id, e.dewey.to_vec()));
+            }
+        }
+        for (id1, d1) in &all {
+            for (id2, d2) in &all {
+                let real = doc.is_ancestor(*id1, *id2);
+                assert_eq!(is_dewey_ancestor(d1, d2), real, "{id1} vs {id2}");
+                let real_parent = doc.parent(*id2) == Some(*id1);
+                assert_eq!(is_dewey_parent(d1, d2), real_parent);
+            }
+        }
+    }
+
+    #[test]
+    fn lexicographic_order_is_document_order() {
+        let doc = doc1();
+        let idx = DeweyIndex::build(&doc);
+        let mut all: Vec<(NodeId, Vec<u32>)> = Vec::new();
+        for (l, _) in doc.labels().iter() {
+            for e in idx.elements(l) {
+                all.push((e.id, e.dewey.to_vec()));
+            }
+        }
+        all.sort_by(|a, b| a.1.cmp(&b.1));
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "dewey order violates document order");
+        }
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let doc = doc1();
+        let idx = DeweyIndex::build(&doc);
+        for (l, _) in doc.labels().iter() {
+            for e in idx.elements(l) {
+                assert_eq!(idx.resolve(&doc, e.dewey), Some(e.id));
+            }
+        }
+        assert_eq!(idx.resolve(&doc, &[9999]), None);
+    }
+
+    #[test]
+    fn next_component_rule() {
+        // k = 3: labels 0,1,2.
+        assert_eq!(next_component(None, 0, 3), 0);
+        assert_eq!(next_component(None, 2, 3), 2);
+        assert_eq!(next_component(Some(0), 0, 3), 3); // strictly increasing
+        assert_eq!(next_component(Some(0), 1, 3), 1);
+        assert_eq!(next_component(Some(2), 1, 3), 4);
+        assert_eq!(next_component(Some(5), 2, 3), 8);
+        // k = 1 (single child label): 0,1,2,...
+        assert_eq!(next_component(None, 0, 1), 0);
+        assert_eq!(next_component(Some(0), 0, 1), 1);
+    }
+
+    #[test]
+    fn recursive_document() {
+        let doc = parse("<a><a><b/><a/></a><b/></a>").unwrap();
+        let idx = DeweyIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        for e in idx.elements(b) {
+            let names: Vec<&str> = idx
+                .decode_labels(e.dewey)
+                .iter()
+                .map(|&l| doc.labels().name(l))
+                .collect();
+            assert_eq!(*names.last().unwrap(), "b");
+            assert!(names[..names.len() - 1].iter().all(|&n| n == "a"));
+        }
+    }
+
+    #[test]
+    fn stream_bytes_model() {
+        let doc = doc1();
+        let idx = DeweyIndex::build(&doc);
+        let d = doc.labels().get("d").unwrap();
+        // 4 d-elements at depths 3,3,3,2 → dewey lengths 2,2,2,1.
+        assert_eq!(idx.stream_bytes(d), 4 * 6 + 4 * (2 + 2 + 2 + 1));
+    }
+}

@@ -1,0 +1,492 @@
+//! On-disk index files with IO accounting.
+//!
+//! The paper's *total execution time* includes the cost of scanning the
+//! element streams from disk (§5.1). This module serializes both stream
+//! kinds to simple binary files and reads them back through a counting
+//! buffered reader, so experiments can measure real scan time and report
+//! bytes read:
+//!
+//! * **region index** — per-label segments of fixed 16-byte records
+//!   `(id: u32, left: u32, right: u32, level: u32)`, scanned by TwigStack,
+//!   PathStack and Twig²Stack for *every* query label;
+//! * **Dewey index** — per-label segments of variable-length records
+//!   `(id: u32, len: u16, components: len × u32)`, scanned by TJFast for
+//!   the query's *leaf* labels only (fewer streams, fatter records).
+//!
+//! All integers are little-endian. Files start with an 8-byte magic and a
+//! table of contents mapping label names to `(count, byte offset, bytes)`.
+
+use crate::dewey::DeweyIndex;
+use crate::stream::{ElemStream, IndexedElement, ELEMENT_RECORD_BYTES};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xmldom::{Document, NodeId, Region};
+
+const REGION_MAGIC: &[u8; 8] = b"T2SRIDX1";
+const DEWEY_MAGIC: &[u8; 8] = b"T2SDIDX1";
+
+/// Shared byte/element counters for one index's streams.
+#[derive(Debug, Default)]
+pub struct IoCounters {
+    bytes: AtomicU64,
+    elements: AtomicU64,
+}
+
+impl IoCounters {
+    /// Bytes read so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Element records read so far.
+    pub fn elements(&self) -> u64 {
+        self.elements.load(Ordering::Relaxed)
+    }
+
+    /// Reset both counters to zero.
+    pub fn reset(&self) {
+        self.bytes.store(0, Ordering::Relaxed);
+        self.elements.store(0, Ordering::Relaxed);
+    }
+
+    fn add(&self, bytes: u64, elements: u64) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.elements.fetch_add(elements, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    count: u64,
+    offset: u64,
+    bytes: u64,
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_toc(
+    w: &mut impl Write,
+    entries: &[(String, Segment)],
+) -> io::Result<()> {
+    write_u32(w, entries.len() as u32)?;
+    for (name, seg) in entries {
+        let bytes = name.as_bytes();
+        w.write_all(&(bytes.len() as u16).to_le_bytes())?;
+        w.write_all(bytes)?;
+        write_u64(w, seg.count)?;
+        write_u64(w, seg.offset)?;
+        write_u64(w, seg.bytes)?;
+    }
+    Ok(())
+}
+
+fn read_toc(r: &mut impl Read) -> io::Result<HashMap<String, Segment>> {
+    let n = read_u32(r)?;
+    let mut toc = HashMap::with_capacity(n as usize);
+    for _ in 0..n {
+        let len = read_u16(r)? as usize;
+        let mut name = vec![0u8; len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let count = read_u64(r)?;
+        let offset = read_u64(r)?;
+        let bytes = read_u64(r)?;
+        toc.insert(name, Segment { count, offset, bytes });
+    }
+    Ok(toc)
+}
+
+fn toc_size(entries: &[(String, Segment)]) -> u64 {
+    4 + entries
+        .iter()
+        .map(|(n, _)| 2 + n.len() as u64 + 24)
+        .sum::<u64>()
+}
+
+/// Serialize the region index of `doc` to `path`.
+pub fn write_region_index(doc: &Document, path: &Path) -> io::Result<()> {
+    // Gather per-label element lists (document order).
+    let n_labels = doc.labels().len();
+    let mut by_label: Vec<Vec<(NodeId, Region)>> = vec![Vec::new(); n_labels];
+    for n in doc.iter() {
+        by_label[doc.label(n).index()].push((n, doc.region(n)));
+    }
+    let mut entries: Vec<(String, Segment)> = Vec::with_capacity(n_labels);
+    for (label, name) in doc.labels().iter() {
+        let count = by_label[label.index()].len() as u64;
+        entries.push((
+            name.to_string(),
+            Segment { count, offset: 0, bytes: count * ELEMENT_RECORD_BYTES as u64 },
+        ));
+    }
+    // Assign offsets after the header.
+    let mut offset = 8 + toc_size(&entries);
+    for (_, seg) in entries.iter_mut() {
+        seg.offset = offset;
+        offset += seg.bytes;
+    }
+
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(REGION_MAGIC)?;
+    write_toc(&mut w, &entries)?;
+    for (label, _) in doc.labels().iter() {
+        for &(id, r) in &by_label[label.index()] {
+            write_u32(&mut w, id.index() as u32)?;
+            write_u32(&mut w, r.left)?;
+            write_u32(&mut w, r.right)?;
+            write_u32(&mut w, r.level)?;
+        }
+    }
+    w.flush()
+}
+
+/// Serialize the Dewey streams of `idx` to `path`. The schema transducer is
+/// *not* serialized — TJFast keeps it in memory (it is DTD-sized, not
+/// document-sized).
+pub fn write_dewey_index(
+    idx: &DeweyIndex,
+    labels: &xmldom::LabelTable,
+    path: &Path,
+) -> io::Result<()> {
+    let mut entries: Vec<(String, Segment)> = Vec::with_capacity(labels.len());
+    for (label, name) in labels.iter() {
+        let count = idx.count(label) as u64;
+        let bytes = idx.stream_bytes(label) as u64;
+        entries.push((name.to_string(), Segment { count, offset: 0, bytes }));
+    }
+    let mut offset = 8 + toc_size(&entries);
+    for (_, seg) in entries.iter_mut() {
+        seg.offset = offset;
+        offset += seg.bytes;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(DEWEY_MAGIC)?;
+    write_toc(&mut w, &entries)?;
+    for (label, _) in labels.iter() {
+        for e in idx.elements(label) {
+            write_u32(&mut w, e.id.index() as u32)?;
+            w.write_all(&(e.dewey.len() as u16).to_le_bytes())?;
+            for &c in e.dewey {
+                write_u32(&mut w, c)?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Read handle over a serialized region index.
+#[derive(Debug)]
+pub struct DiskRegionIndex {
+    path: std::path::PathBuf,
+    toc: HashMap<String, Segment>,
+    counters: Arc<IoCounters>,
+}
+
+impl DiskRegionIndex {
+    /// Open the file and read its table of contents.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != REGION_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad region index magic"));
+        }
+        Ok(DiskRegionIndex {
+            path: path.to_path_buf(),
+            toc: read_toc(&mut r)?,
+            counters: Arc::new(IoCounters::default()),
+        })
+    }
+
+    /// Shared IO counters across all streams of this index.
+    pub fn counters(&self) -> Arc<IoCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Number of elements stored for `label_name` (0 if absent).
+    pub fn count(&self, label_name: &str) -> u64 {
+        self.toc.get(label_name).map_or(0, |s| s.count)
+    }
+
+    /// Open a scanning stream over one label's segment. Labels absent from
+    /// the document yield an empty stream.
+    pub fn stream(&self, label_name: &str) -> io::Result<DiskRegionStream> {
+        let seg = self.toc.get(label_name).copied().unwrap_or(Segment {
+            count: 0,
+            offset: 0,
+            bytes: 0,
+        });
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(seg.offset))?;
+        Ok(DiskRegionStream {
+            reader: BufReader::with_capacity(64 * 1024, file),
+            remaining: seg.count,
+            head: None,
+            counters: Arc::clone(&self.counters),
+            error: None,
+        })
+    }
+}
+
+/// A scanning cursor over one label's on-disk region records.
+///
+/// IO errors mid-scan terminate the stream early; check
+/// [`DiskRegionStream::error`] after consuming it.
+#[derive(Debug)]
+pub struct DiskRegionStream {
+    reader: BufReader<File>,
+    remaining: u64,
+    head: Option<IndexedElement>,
+    counters: Arc<IoCounters>,
+    error: Option<io::Error>,
+}
+
+impl DiskRegionStream {
+    fn fill(&mut self) {
+        if self.head.is_some() || self.remaining == 0 || self.error.is_some() {
+            return;
+        }
+        let mut buf = [0u8; ELEMENT_RECORD_BYTES];
+        match self.reader.read_exact(&mut buf) {
+            Ok(()) => {
+                self.remaining -= 1;
+                self.counters.add(ELEMENT_RECORD_BYTES as u64, 1);
+                let id = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+                let left = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                let right = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+                let level = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+                self.head = Some(IndexedElement {
+                    id: NodeId::from_index(id as usize),
+                    region: Region::new(left, right, level),
+                });
+            }
+            Err(e) => {
+                self.error = Some(e);
+                self.remaining = 0;
+            }
+        }
+    }
+
+    /// The IO error that terminated the scan, if any.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+}
+
+impl ElemStream for DiskRegionStream {
+    fn peek(&mut self) -> Option<IndexedElement> {
+        self.fill();
+        self.head
+    }
+
+    fn advance(&mut self) {
+        self.fill();
+        self.head = None;
+    }
+}
+
+/// Read handle over a serialized Dewey index.
+#[derive(Debug)]
+pub struct DiskDeweyIndex {
+    path: std::path::PathBuf,
+    toc: HashMap<String, Segment>,
+    counters: Arc<IoCounters>,
+}
+
+impl DiskDeweyIndex {
+    /// Open the file and read its table of contents.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != DEWEY_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad Dewey index magic"));
+        }
+        Ok(DiskDeweyIndex {
+            path: path.to_path_buf(),
+            toc: read_toc(&mut r)?,
+            counters: Arc::new(IoCounters::default()),
+        })
+    }
+
+    /// Shared IO counters across all streams of this index.
+    pub fn counters(&self) -> Arc<IoCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Open a scanning stream over one label's Dewey records.
+    pub fn stream(&self, label_name: &str) -> io::Result<DiskDeweyStream> {
+        let seg = self.toc.get(label_name).copied().unwrap_or(Segment {
+            count: 0,
+            offset: 0,
+            bytes: 0,
+        });
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(seg.offset))?;
+        Ok(DiskDeweyStream {
+            reader: BufReader::with_capacity(64 * 1024, file),
+            remaining: seg.count,
+            counters: Arc::clone(&self.counters),
+        })
+    }
+}
+
+/// A scanning cursor over one label's on-disk Dewey records.
+#[derive(Debug)]
+pub struct DiskDeweyStream {
+    reader: BufReader<File>,
+    remaining: u64,
+    counters: Arc<IoCounters>,
+}
+
+impl DiskDeweyStream {
+    /// Read the next record into `components` (cleared first). Returns the
+    /// element's node id, or `None` at end of segment.
+    pub fn next_into(&mut self, components: &mut Vec<u32>) -> io::Result<Option<NodeId>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let id = read_u32(&mut self.reader)?;
+        let len = read_u16(&mut self.reader)? as usize;
+        components.clear();
+        components.reserve(len);
+        for _ in 0..len {
+            components.push(read_u32(&mut self.reader)?);
+        }
+        self.counters.add(6 + 4 * len as u64, 1);
+        Ok(Some(NodeId::from_index(id as usize)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ElementIndex;
+    use xmldom::parse;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("t2s-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn region_index_round_trip() {
+        let doc = parse("<a><b/><a><b/><c/></a></a>").unwrap();
+        let path = tmpfile("regions.idx");
+        write_region_index(&doc, &path).unwrap();
+        let disk = DiskRegionIndex::open(&path).unwrap();
+        let mem = ElementIndex::build(&doc);
+        for (label, name) in doc.labels().iter() {
+            assert_eq!(disk.count(name), mem.count(label) as u64);
+            let mut ds = disk.stream(name).unwrap();
+            let mut ms = mem.stream(label);
+            loop {
+                let (d, m) = (ds.next_elem(), ms.next_elem());
+                assert_eq!(d, m, "label {name}");
+                if d.is_none() {
+                    break;
+                }
+            }
+            assert!(ds.error().is_none());
+        }
+        assert_eq!(disk.counters().elements(), doc.len() as u64);
+        assert_eq!(
+            disk.counters().bytes(),
+            (doc.len() * ELEMENT_RECORD_BYTES) as u64
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn absent_label_yields_empty_stream() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let path = tmpfile("regions2.idx");
+        write_region_index(&doc, &path).unwrap();
+        let disk = DiskRegionIndex::open(&path).unwrap();
+        let mut s = disk.stream("zzz").unwrap();
+        assert!(s.is_eof());
+        assert_eq!(disk.count("zzz"), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dewey_index_round_trip() {
+        let doc = parse("<a><b><c/><d/></b><b><d/></b></a>").unwrap();
+        let idx = DeweyIndex::build(&doc);
+        let path = tmpfile("dewey.idx");
+        write_dewey_index(&idx, doc.labels(), &path).unwrap();
+        let disk = DiskDeweyIndex::open(&path).unwrap();
+        for (label, name) in doc.labels().iter() {
+            let mem: Vec<_> = idx
+                .elements(label)
+                .into_iter()
+                .map(|e| (e.id, e.dewey.to_vec()))
+                .collect();
+            let mut got = Vec::new();
+            let mut s = disk.stream(name).unwrap();
+            let mut buf = Vec::new();
+            while let Some(id) = s.next_into(&mut buf).unwrap() {
+                got.push((id, buf.clone()));
+            }
+            assert_eq!(got, mem, "label {name}");
+        }
+        let expected_bytes: usize = doc
+            .labels()
+            .iter()
+            .map(|(l, _)| idx.stream_bytes(l))
+            .sum();
+        assert_eq!(disk.counters().bytes(), expected_bytes as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn counters_reset() {
+        let c = IoCounters::default();
+        c.add(100, 5);
+        assert_eq!(c.bytes(), 100);
+        assert_eq!(c.elements(), 5);
+        c.reset();
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.elements(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("bad.idx");
+        std::fs::write(&path, b"NOTANIDXFILE").unwrap();
+        assert!(DiskRegionIndex::open(&path).is_err());
+        assert!(DiskDeweyIndex::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! # xmlindex — element streams and access paths
+//!
+//! The substrate that models how the paper's algorithms *read* the
+//! document:
+//!
+//! * [`stream`] — label-partitioned element streams in document order (the
+//!   classic posting-list access path of region-encoded twig joins);
+//! * [`disk`] — binary on-disk index files with counting readers, so
+//!   experiments can measure real scan time and bytes read (the paper's
+//!   "IO time", §5.1);
+//! * [`schema`] — observed-schema extraction (the DTD stand-in);
+//! * [`dewey`] — extended Dewey labeling and the label-path transducer
+//!   (TJFast's access path: leaf streams only, fatter records).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dewey;
+pub mod disk;
+pub mod schema;
+pub mod stream;
+
+pub use dewey::{is_dewey_ancestor, is_dewey_parent, DeweyElement, DeweyIndex};
+pub use disk::{
+    write_dewey_index, write_region_index, DiskDeweyIndex, DiskDeweyStream, DiskRegionIndex,
+    DiskRegionStream, IoCounters,
+};
+pub use schema::Schema;
+pub use stream::{ElemStream, ElementIndex, EmptyStream, IndexedElement, ScanCost, SliceStream};

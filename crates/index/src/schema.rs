@@ -1,0 +1,99 @@
+//! Observed-schema extraction.
+//!
+//! Extended Dewey labeling (TJFast \[16\]) needs, for every element label `p`,
+//! the ordered list `CL(p)` of labels that can occur as children of `p` —
+//! in the original paper this comes from the DTD; here we extract it from
+//! the document itself (an "observed schema"), which is equivalent for
+//! matching purposes because the transducer only ever decodes paths that
+//! actually occur.
+
+use xmldom::{Document, Label};
+
+/// Child-label lists per parent label.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// `child_labels[p]` — sorted, deduplicated labels observed as children
+    /// of elements labelled `p`.
+    child_labels: Vec<Vec<Label>>,
+    /// The label of the document root.
+    root_label: Label,
+}
+
+impl Schema {
+    /// Extract the observed schema of `doc` in one pass.
+    pub fn extract(doc: &Document) -> Self {
+        let n = doc.labels().len();
+        let mut child_labels: Vec<Vec<Label>> = vec![Vec::new(); n];
+        for node in doc.iter() {
+            let p = doc.label(node).index();
+            for c in doc.children(node) {
+                let cl = doc.label(c);
+                if !child_labels[p].contains(&cl) {
+                    child_labels[p].push(cl);
+                }
+            }
+        }
+        for list in &mut child_labels {
+            list.sort_unstable();
+        }
+        Schema {
+            child_labels,
+            root_label: doc.label(doc.root()),
+        }
+    }
+
+    /// The ordered child-label list `CL(p)`.
+    pub fn child_labels(&self, parent: Label) -> &[Label] {
+        self.child_labels
+            .get(parent.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Index of `child` within `CL(parent)`, if observed.
+    pub fn child_index(&self, parent: Label, child: Label) -> Option<usize> {
+        self.child_labels(parent).iter().position(|&l| l == child)
+    }
+
+    /// Fan-out `k = |CL(parent)|` used as the Dewey modulus.
+    pub fn fanout(&self, parent: Label) -> usize {
+        self.child_labels(parent).len()
+    }
+
+    /// The document root's label (the transducer's start state).
+    pub fn root_label(&self) -> Label {
+        self.root_label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::parse;
+
+    #[test]
+    fn extracts_child_label_sets() {
+        let doc = parse("<a><b><c/><d/></b><b><c/></b><d/></a>").unwrap();
+        let s = Schema::extract(&doc);
+        let a = doc.labels().get("a").unwrap();
+        let b = doc.labels().get("b").unwrap();
+        let c = doc.labels().get("c").unwrap();
+        let d = doc.labels().get("d").unwrap();
+        assert_eq!(s.child_labels(a), &[b, d]);
+        assert_eq!(s.child_labels(b), &[c, d]);
+        assert_eq!(s.child_labels(c), &[]);
+        assert_eq!(s.fanout(a), 2);
+        assert_eq!(s.child_index(a, d), Some(1));
+        assert_eq!(s.child_index(b, b), None);
+        assert_eq!(s.root_label(), a);
+    }
+
+    #[test]
+    fn recursive_labels() {
+        let doc = parse("<a><a><a/></a></a>").unwrap();
+        let s = Schema::extract(&doc);
+        let a = doc.labels().get("a").unwrap();
+        assert_eq!(s.child_labels(a), &[a]);
+        assert_eq!(s.fanout(a), 1);
+    }
+}

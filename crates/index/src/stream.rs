@@ -1,0 +1,209 @@
+//! Label-partitioned element streams.
+//!
+//! Region-encoding-based twig joins (TwigStack, PathStack, Twig²Stack)
+//! consume, per query node, a stream of the document elements carrying that
+//! node's label, sorted by `LeftPos` (document order) — the classic
+//! "element list" / posting-list access path [4, 23]. This module defines
+//! the stream abstraction and the in-memory index; [`crate::disk`] provides
+//! the same streams from an on-disk file with IO accounting.
+
+use xmldom::{Document, Label, NodeId, Region};
+
+/// One element as stored in an index: identity + region encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexedElement {
+    /// Document node id (pre-order ordinal).
+    pub id: NodeId,
+    /// Region encoding.
+    pub region: Region,
+}
+
+/// Size of one serialized element record (see [`crate::disk`]).
+pub const ELEMENT_RECORD_BYTES: usize = 16;
+
+/// A cursor over one label's elements in document order.
+///
+/// The two operations mirror the access pattern of holistic twig joins:
+/// inspect the current head, then advance past it.
+pub trait ElemStream {
+    /// The element at the head of the stream, or `None` at end.
+    fn peek(&mut self) -> Option<IndexedElement>;
+
+    /// Advance past the current head. No-op at end of stream.
+    fn advance(&mut self);
+
+    /// True iff the stream is exhausted.
+    fn is_eof(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    /// Pop the head, if any.
+    fn next_elem(&mut self) -> Option<IndexedElement> {
+        let e = self.peek();
+        if e.is_some() {
+            self.advance();
+        }
+        e
+    }
+}
+
+/// A stream over a borrowed, already-sorted slice.
+#[derive(Debug, Clone)]
+pub struct SliceStream<'a> {
+    items: &'a [IndexedElement],
+    pos: usize,
+}
+
+impl<'a> SliceStream<'a> {
+    /// Stream over `items` (must be sorted by `region.left`).
+    pub fn new(items: &'a [IndexedElement]) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0].region.left < w[1].region.left));
+        SliceStream { items, pos: 0 }
+    }
+
+    /// Elements not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.items.len() - self.pos
+    }
+}
+
+impl ElemStream for SliceStream<'_> {
+    fn peek(&mut self) -> Option<IndexedElement> {
+        self.items.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) {
+        if self.pos < self.items.len() {
+            self.pos += 1;
+        }
+    }
+}
+
+/// An empty stream (for query labels absent from the document).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyStream;
+
+impl ElemStream for EmptyStream {
+    fn peek(&mut self) -> Option<IndexedElement> {
+        None
+    }
+    fn advance(&mut self) {}
+}
+
+/// In-memory label-partitioned element index of one document.
+#[derive(Debug, Clone)]
+pub struct ElementIndex {
+    /// Indexed by `Label::index()`.
+    by_label: Vec<Vec<IndexedElement>>,
+}
+
+impl ElementIndex {
+    /// Build the index in one document pass. Elements within each label
+    /// list are in document order because node ids are pre-order ordinals.
+    pub fn build(doc: &Document) -> Self {
+        let mut by_label: Vec<Vec<IndexedElement>> = vec![Vec::new(); doc.labels().len()];
+        for n in doc.iter() {
+            by_label[doc.label(n).index()].push(IndexedElement {
+                id: n,
+                region: doc.region(n),
+            });
+        }
+        ElementIndex { by_label }
+    }
+
+    /// All elements with `label`, in document order.
+    pub fn elements(&self, label: Label) -> &[IndexedElement] {
+        self.by_label
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// A stream over the elements with `label`.
+    pub fn stream(&self, label: Label) -> SliceStream<'_> {
+        SliceStream::new(self.elements(label))
+    }
+
+    /// Number of elements stored for `label`.
+    pub fn count(&self, label: Label) -> usize {
+        self.elements(label).len()
+    }
+
+    /// Total elements that a scan of the given labels would read, and the
+    /// number of bytes that scan would cost in the on-disk record format.
+    /// This is the paper's IO-cost model for region-encoded algorithms.
+    pub fn scan_cost(&self, labels: &[Label]) -> ScanCost {
+        let elements: usize = labels.iter().map(|&l| self.count(l)).sum();
+        ScanCost {
+            elements,
+            bytes: elements * ELEMENT_RECORD_BYTES,
+        }
+    }
+
+    /// Number of labels the index covers.
+    pub fn label_count(&self) -> usize {
+        self.by_label.len()
+    }
+}
+
+/// Cost of scanning a set of element streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanCost {
+    /// Total elements read.
+    pub elements: usize,
+    /// Total bytes read in the serialized record format.
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::parse;
+
+    #[test]
+    fn index_partitions_by_label_in_document_order() {
+        let doc = parse("<a><b/><a><b/><b/></a><c/></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let elems = idx.elements(b);
+        assert_eq!(elems.len(), 3);
+        assert!(elems.windows(2).all(|w| w[0].region.left < w[1].region.left));
+        let a = doc.labels().get("a").unwrap();
+        assert_eq!(idx.count(a), 2);
+    }
+
+    #[test]
+    fn stream_iteration() {
+        let doc = parse("<a><b/><b/></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let mut s = idx.stream(b);
+        assert!(!s.is_eof());
+        assert_eq!(s.remaining(), 2);
+        let first = s.next_elem().unwrap();
+        let second = s.next_elem().unwrap();
+        assert!(first.region.left < second.region.left);
+        assert!(s.is_eof());
+        assert_eq!(s.next_elem(), None);
+        s.advance(); // advancing at EOF is a no-op
+        assert!(s.is_eof());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = EmptyStream;
+        assert!(s.is_eof());
+        assert_eq!(s.next_elem(), None);
+    }
+
+    #[test]
+    fn scan_cost_model() {
+        let doc = parse("<a><b/><b/><c/></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let a = doc.labels().get("a").unwrap();
+        let b = doc.labels().get("b").unwrap();
+        let cost = idx.scan_cost(&[a, b]);
+        assert_eq!(cost.elements, 3);
+        assert_eq!(cost.bytes, 3 * ELEMENT_RECORD_BYTES);
+    }
+}

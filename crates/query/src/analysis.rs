@@ -1,0 +1,388 @@
+//! Static analysis of GTP queries.
+//!
+//! Computes the properties the matching and enumeration algorithms need:
+//!
+//! * **existence-checking** nodes (paper §3.5): non-return nodes with no
+//!   return node below them — their hierarchical stacks can be truncated to
+//!   root-stack tops and never receive result edges;
+//! * the **top branch node** (paper §4.4) that triggers early result
+//!   enumeration;
+//! * the **output schema** (one column per return / group-return node);
+//! * validity checks (e.g. footnote 6: a non-return node may have at most
+//!   one non-existence-checking child for enumeration to be well-defined).
+
+use crate::gtp::{Gtp, NodeTest, QNodeId, Role};
+use xmldom::{Label, LabelTable};
+
+/// Precomputed per-node facts about a [`Gtp`].
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// `output_below[q]` — does the subtree rooted at `q` (inclusive)
+    /// contain a return or group-return node?
+    output_below: Vec<bool>,
+    /// `existence[q]` — is `q` an existence-checking node?
+    existence: Vec<bool>,
+    /// Output columns in query pre-order.
+    columns: Vec<QNodeId>,
+    /// The node whose top-down-stack pops trigger early enumeration.
+    top_branch: QNodeId,
+    /// Per query node: the OR-groups of its *mandatory* children, as
+    /// child-position lists (singletons for plain AND steps). Members of
+    /// one group need not be adjacent in the child list.
+    mandatory_groups: Vec<Vec<Vec<usize>>>,
+    /// Non-fatal issues found during analysis.
+    issues: Vec<ValidationIssue>,
+}
+
+/// Problems that make a GTP unusual or unsupported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// A non-return node has more than one child subtree containing output
+    /// nodes. XPath/XQuery cannot produce such GTPs (paper footnote 6) and
+    /// result enumeration for them is not defined.
+    NonReturnWithMultipleOutputBranches(QNodeId),
+    /// The query produces no output columns at all (pure boolean query).
+    NoOutputNodes,
+    /// An output node sits below an optional edge whose upper node is
+    /// *not* an output node — results may contain nulls for it.
+    OptionalOutput(QNodeId),
+    /// A group-return node has further output nodes below it. Grouping is a
+    /// leaf-of-the-output-schema concept (XQuery `LET`/`RETURN` bind flat
+    /// sequences); enumeration under such a node is not defined.
+    GroupWithOutputBelow(QNodeId),
+    /// A member of a multi-step OR-group carries output nodes. Disjunctive
+    /// branches are existence checks (AND/OR twigs, paper §3.3.3);
+    /// returning from "whichever branch happened to match" is not defined.
+    OrBranchWithOutput(QNodeId),
+}
+
+impl QueryAnalysis {
+    /// Analyze `gtp`.
+    pub fn new(gtp: &Gtp) -> Self {
+        let n = gtp.len();
+        let mut output_below = vec![false; n];
+        for q in gtp.postorder() {
+            let mut below = gtp.role(q).is_output();
+            for &c in gtp.children(q) {
+                below |= output_below[c.index()];
+            }
+            output_below[q.index()] = below;
+        }
+
+        let mut existence = vec![false; n];
+        for q in gtp.iter() {
+            existence[q.index()] = !output_below[q.index()];
+        }
+
+        let columns: Vec<QNodeId> = gtp
+            .preorder()
+            .into_iter()
+            .filter(|&q| gtp.role(q).is_output())
+            .collect();
+
+        let mut issues = Vec::new();
+        if columns.is_empty() {
+            issues.push(ValidationIssue::NoOutputNodes);
+        }
+        for q in gtp.iter() {
+            if gtp.role(q) == Role::NonReturn {
+                let live = gtp
+                    .children(q)
+                    .iter()
+                    .filter(|&&c| output_below[c.index()])
+                    .count();
+                if live > 1 {
+                    issues.push(ValidationIssue::NonReturnWithMultipleOutputBranches(q));
+                }
+            }
+            if gtp.role(q) == Role::GroupReturn {
+                let below = gtp
+                    .children(q)
+                    .iter()
+                    .any(|&c| output_below[c.index()]);
+                if below {
+                    issues.push(ValidationIssue::GroupWithOutputBelow(q));
+                }
+            }
+            if let Some(e) = gtp.edge(q) {
+                if e.optional && output_below[q.index()] {
+                    issues.push(ValidationIssue::OptionalOutput(q));
+                }
+            }
+            // Members of multi-step OR-groups must be pure existence checks.
+            let kids = gtp.children(q);
+            for &c in kids {
+                let shared = kids
+                    .iter()
+                    .any(|&d| d != c && gtp.or_group(d) == gtp.or_group(c));
+                if shared && output_below[c.index()] {
+                    issues.push(ValidationIssue::OrBranchWithOutput(c));
+                }
+            }
+        }
+
+        // Top branch node: the highest query node with >= 2 children;
+        // if the query is a linear path, its deepest node.
+        let mut top_branch = None;
+        for q in gtp.preorder() {
+            if gtp.children(q).len() >= 2 {
+                top_branch = Some(q);
+                break;
+            }
+        }
+        let top_branch = top_branch.unwrap_or_else(|| {
+            let mut q = gtp.root();
+            while let Some(&c) = gtp.children(q).first() {
+                q = c;
+            }
+            q
+        });
+
+        // Mandatory children grouped by OR-group id (first-occurrence
+        // order), as positions into the child list.
+        let mandatory_groups = gtp
+            .iter()
+            .map(|q| {
+                let kids = gtp.children(q);
+                let mut groups: Vec<(u32, Vec<usize>)> = Vec::new();
+                for (i, &m) in kids.iter().enumerate() {
+                    if gtp.edge(m).expect("child edge").optional {
+                        continue;
+                    }
+                    let gid = gtp.or_group(m);
+                    match groups.iter_mut().find(|(g, _)| *g == gid) {
+                        Some((_, members)) => members.push(i),
+                        None => groups.push((gid, vec![i])),
+                    }
+                }
+                groups.into_iter().map(|(_, m)| m).collect()
+            })
+            .collect();
+
+        QueryAnalysis {
+            output_below,
+            existence,
+            columns,
+            top_branch,
+            mandatory_groups,
+            issues,
+        }
+    }
+
+    /// The OR-groups of `q`'s mandatory children, as positions into
+    /// `gtp.children(q)`. `q` is satisfied when every group has at least
+    /// one satisfied member.
+    #[inline]
+    pub fn mandatory_groups(&self, q: QNodeId) -> &[Vec<usize>] {
+        &self.mandatory_groups[q.index()]
+    }
+
+    /// Does the subtree rooted at `q` contain any output node?
+    #[inline]
+    pub fn has_output_below(&self, q: QNodeId) -> bool {
+        self.output_below[q.index()]
+    }
+
+    /// Is `q` an existence-checking node (paper §3.5)?
+    #[inline]
+    pub fn is_existence_checking(&self, q: QNodeId) -> bool {
+        self.existence[q.index()]
+    }
+
+    /// Output columns (return and group-return nodes) in query pre-order.
+    pub fn columns(&self) -> &[QNodeId] {
+        &self.columns
+    }
+
+    /// Position of `q` in the output schema, if it is an output node.
+    pub fn column_of(&self, q: QNodeId) -> Option<usize> {
+        self.columns.iter().position(|&c| c == q)
+    }
+
+    /// The top branch node for early result enumeration (paper §4.4).
+    #[inline]
+    pub fn top_branch(&self) -> QNodeId {
+        self.top_branch
+    }
+
+    /// Issues found during analysis. Empty ⇒ the query is fully supported.
+    pub fn issues(&self) -> &[ValidationIssue] {
+        &self.issues
+    }
+
+    /// True iff result enumeration is well-defined for this query
+    /// (no [`ValidationIssue::NonReturnWithMultipleOutputBranches`]).
+    pub fn enumerable(&self) -> bool {
+        !self.issues.iter().any(|i| {
+            matches!(
+                i,
+                ValidationIssue::NonReturnWithMultipleOutputBranches(_)
+                    | ValidationIssue::GroupWithOutputBelow(_)
+                    | ValidationIssue::OrBranchWithOutput(_)
+            )
+        })
+    }
+}
+
+/// Label-indexed dispatch table: for each document label, the query nodes an
+/// element with that label can match. Shared by all matchers.
+#[derive(Debug, Clone)]
+pub struct LabelDispatch {
+    /// Indexed by `Label::index()`; each entry lists matching query nodes.
+    by_label: Vec<Vec<QNodeId>>,
+}
+
+impl LabelDispatch {
+    /// Compile the dispatch table of `gtp` against a document's `labels`.
+    ///
+    /// Named query nodes map to exactly the label with the same name (if the
+    /// document has it); wildcard nodes map to every label.
+    pub fn compile(gtp: &Gtp, labels: &LabelTable) -> Self {
+        let mut by_label: Vec<Vec<QNodeId>> = vec![Vec::new(); labels.len()];
+        for q in gtp.iter() {
+            match gtp.test(q) {
+                NodeTest::Name(n) => {
+                    if let Some(l) = labels.get(n) {
+                        by_label[l.index()].push(q);
+                    }
+                }
+                NodeTest::Wildcard => {
+                    for entry in by_label.iter_mut() {
+                        entry.push(q);
+                    }
+                }
+            }
+        }
+        LabelDispatch { by_label }
+    }
+
+    /// Query nodes an element labelled `label` can match.
+    #[inline]
+    pub fn query_nodes(&self, label: Label) -> &[QNodeId] {
+        self.by_label
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True iff no query node matches any document label (the query can
+    /// produce no results on this document).
+    pub fn is_vacuous(&self) -> bool {
+        self.by_label.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtp::{Axis, GtpBuilder};
+    use crate::parse::parse_twig;
+
+    #[test]
+    fn existence_checking_matches_paper_figure8() {
+        // //A/B[//D][/C], B the only return node: C and D are
+        // existence-checking; A is NOT (it bridges to B).
+        let g = parse_twig("//a!/b[//d!][c!]").unwrap();
+        let an = QueryAnalysis::new(&g);
+        let a = g.root();
+        let b = g.find("b").unwrap();
+        let c = g.find("c").unwrap();
+        let d = g.find("d").unwrap();
+        assert!(!an.is_existence_checking(a));
+        assert!(!an.is_existence_checking(b));
+        assert!(an.is_existence_checking(c));
+        assert!(an.is_existence_checking(d));
+        assert_eq!(an.columns(), &[b]);
+        assert!(an.enumerable());
+    }
+
+    #[test]
+    fn columns_in_preorder() {
+        let g = parse_twig("//a/b[//d][c]").unwrap(); // all return
+        let an = QueryAnalysis::new(&g);
+        assert_eq!(an.columns().len(), 4);
+        assert_eq!(an.columns()[0], g.root());
+        assert_eq!(an.column_of(g.find("d").unwrap()), Some(2));
+    }
+
+    #[test]
+    fn top_branch_of_branching_query() {
+        let g = parse_twig("//dblp/inproceedings[title]/author").unwrap();
+        let an = QueryAnalysis::new(&g);
+        assert_eq!(an.top_branch(), g.find("inproceedings").unwrap());
+    }
+
+    #[test]
+    fn top_branch_of_linear_query_is_leaf() {
+        let g = parse_twig("//a/b//d").unwrap();
+        let an = QueryAnalysis::new(&g);
+        assert_eq!(an.top_branch(), g.find("d").unwrap());
+    }
+
+    #[test]
+    fn non_return_with_two_output_branches_flagged() {
+        // a is non-return but both children return: not XPath-producible.
+        let mut b = GtpBuilder::new("a", false);
+        let a = b.root();
+        b.role(a, Role::NonReturn);
+        b.child(a, "x", Axis::Child);
+        b.child(a, "y", Axis::Child);
+        let g = b.build();
+        let an = QueryAnalysis::new(&g);
+        assert!(!an.enumerable());
+        assert!(an
+            .issues()
+            .contains(&ValidationIssue::NonReturnWithMultipleOutputBranches(a)));
+    }
+
+    #[test]
+    fn boolean_query_flagged() {
+        let g = parse_twig("//a!/b!").unwrap();
+        let an = QueryAnalysis::new(&g);
+        assert!(an.issues().contains(&ValidationIssue::NoOutputNodes));
+        assert!(an.is_existence_checking(g.root()));
+    }
+
+    #[test]
+    fn optional_output_flagged() {
+        let g = parse_twig("//a!/b[.//?c@]").unwrap();
+        let an = QueryAnalysis::new(&g);
+        let c = g.find("c").unwrap();
+        assert!(an.issues().contains(&ValidationIssue::OptionalOutput(c)));
+        assert!(an.enumerable()); // supported, just produces nulls/empty groups
+    }
+
+    #[test]
+    fn label_dispatch() {
+        let mut labels = LabelTable::new();
+        let la = labels.intern("a");
+        let lb = labels.intern("b");
+        let lz = labels.intern("z");
+        let g = parse_twig("//a/b[//a]").unwrap();
+        let d = LabelDispatch::compile(&g, &labels);
+        assert_eq!(d.query_nodes(la).len(), 2); // root a + predicate a
+        assert_eq!(d.query_nodes(lb).len(), 1);
+        assert!(d.query_nodes(lz).is_empty());
+        assert!(!d.is_vacuous());
+    }
+
+    #[test]
+    fn wildcard_dispatch_matches_all_labels() {
+        let mut labels = LabelTable::new();
+        let la = labels.intern("a");
+        let lx = labels.intern("x");
+        let g = parse_twig("//a/*").unwrap();
+        let d = LabelDispatch::compile(&g, &labels);
+        assert_eq!(d.query_nodes(la).len(), 2); // 'a' node + wildcard
+        assert_eq!(d.query_nodes(lx).len(), 1); // wildcard only
+    }
+
+    #[test]
+    fn vacuous_dispatch() {
+        let mut labels = LabelTable::new();
+        labels.intern("x");
+        let g = parse_twig("//a/b").unwrap();
+        let d = LabelDispatch::compile(&g, &labels);
+        assert!(d.is_vacuous());
+    }
+}

@@ -1,0 +1,27 @@
+//! # gtpquery — Generalized Tree Pattern queries
+//!
+//! The query model for the Twig²Stack reproduction:
+//!
+//! * [`gtp`] — the GTP data model: nodes with tests and roles
+//!   (return / group-return / non-return), edges with axes (PC / AD) and
+//!   optionality (paper §2);
+//! * [`parse`] — an XPath-like twig syntax with GTP extensions
+//!   (`!` non-return, `@` group-return, `/?`-style optional edges);
+//! * [`xquery`] — translation of a FLWOR XQuery subset into a GTP;
+//! * [`analysis`] — existence-checking classification (paper §3.5), the
+//!   top branch node (paper §4.4), output schema, validation, and the
+//!   label-indexed dispatch table every matcher uses.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod gtp;
+pub mod parse;
+pub mod results;
+pub mod xquery;
+
+pub use analysis::{LabelDispatch, QueryAnalysis, ValidationIssue};
+pub use gtp::{Axis, Edge, Gtp, GtpBuilder, NodeTest, QNodeId, Role, ValuePred};
+pub use parse::{parse_twig, QueryParseError};
+pub use results::{Cell, ResultSet};
+pub use xquery::{translate, XQueryError};

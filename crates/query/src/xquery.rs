@@ -1,0 +1,512 @@
+//! Translation of an XQuery (FLWOR) subset into a [`Gtp`].
+//!
+//! The paper evaluates *generalized* tree patterns because real XQuery
+//! statements mix path expressions with different semantics (paper §2,
+//! Figure 2):
+//!
+//! * `FOR` bindings — mandatory edges; the bound node is a return node;
+//! * `WHERE` paths — mandatory edges; existence only (non-return);
+//! * `LET` bindings — optional edges; the bound node is a *group* return;
+//! * `RETURN` paths — optional edges; group returns.
+//!
+//! Supported grammar (a deliberately small but faithful subset of the
+//! translation in Chen et al. 2003 \[8\]):
+//!
+//! ```text
+//! query  := FOR binding (',' binding)*
+//!           (LET letbind (',' letbind)*)?
+//!           (WHERE path (AND path)*)?
+//!           RETURN retexpr
+//! binding := $var IN path
+//! letbind := $var ':=' path
+//! path    := ('//' | '/') steps        (absolute)
+//!          | $var ('/' | '//') steps   (relative to a bound variable)
+//!          | $var                      (variable reference)
+//! retexpr := anything; every `$var(/steps)?` occurrence becomes an output
+//! ```
+//!
+//! Keywords are case-insensitive. Element constructors in `RETURN` are
+//! scanned for variable references rather than parsed.
+
+use crate::gtp::{Axis, Gtp, GtpBuilder, QNodeId, Role};
+use std::collections::HashMap;
+use std::fmt;
+
+/// XQuery translation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XQueryError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery translation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+fn err(m: impl Into<String>) -> XQueryError {
+    XQueryError { message: m.into() }
+}
+
+/// A path relative to a variable or the document root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RelPath {
+    /// Anchor variable, or `None` for an absolute path.
+    anchor: Option<String>,
+    /// Steps: (axis, name).
+    steps: Vec<(Axis, String)>,
+    /// Absolute paths: whether the first step is `/` (rooted) or `//`.
+    rooted: bool,
+}
+
+fn parse_rel_path(s: &str) -> Result<RelPath, XQueryError> {
+    let s = s.trim();
+    let (anchor, mut rest, rooted) = if let Some(stripped) = s.strip_prefix('$') {
+        let end = stripped
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(stripped.len());
+        let var = &stripped[..end];
+        if var.is_empty() {
+            return Err(err("expected variable name after '$'"));
+        }
+        (Some(var.to_string()), &stripped[end..], false)
+    } else if let Some(stripped) = s.strip_prefix("//") {
+        (None, stripped, false)
+    } else if let Some(stripped) = s.strip_prefix('/') {
+        (None, stripped, true)
+    } else {
+        return Err(err(format!("path must start with '$var', '/' or '//': {s}")));
+    };
+
+    let mut steps = Vec::new();
+    // For absolute paths the first step name follows immediately; for
+    // variable-anchored paths, `rest` begins with the first axis (or is
+    // empty for a bare `$var`).
+    let mut pending_axis = if anchor.is_none() {
+        Some(if rooted { Axis::Child } else { Axis::Descendant })
+    } else {
+        None
+    };
+    // Absolute: we already consumed the leading axis; fold it in as the
+    // first "step axis" (the root step's axis is handled by the caller).
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        let axis = match pending_axis.take() {
+            Some(a) => a,
+            None => {
+                if let Some(r) = rest.strip_prefix("//") {
+                    rest = r;
+                    Axis::Descendant
+                } else if let Some(r) = rest.strip_prefix('/') {
+                    rest = r;
+                    Axis::Child
+                } else {
+                    return Err(err(format!("expected '/' or '//' in path near: {rest}")));
+                }
+            }
+        };
+        let end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || "_-.:*".contains(c)))
+            .unwrap_or(rest.len());
+        let name = &rest[..end];
+        if name.is_empty() {
+            return Err(err(format!("expected step name near: {rest}")));
+        }
+        steps.push((axis, name.to_string()));
+        rest = &rest[end..];
+    }
+    if anchor.is_none() && steps.is_empty() {
+        return Err(err("absolute path with no steps"));
+    }
+    Ok(RelPath { anchor, steps, rooted })
+}
+
+/// Translate the XQuery subset `input` into a [`Gtp`].
+///
+/// The first `FOR` binding must use an absolute path; later bindings and all
+/// other clauses may be anchored on previously bound variables.
+pub fn translate(input: &str) -> Result<Gtp, XQueryError> {
+    let clauses = split_clauses(input)?;
+
+    // --- FOR ---------------------------------------------------------
+    let mut vars: HashMap<String, QNodeId> = HashMap::new();
+    let mut builder: Option<GtpBuilder> = None;
+
+    for binding in split_top_level(&clauses.for_clause, ',') {
+        let (var, path) = binding
+            .split_once(" in ")
+            .or_else(|| binding.split_once(" IN "))
+            .ok_or_else(|| err(format!("FOR binding missing 'in': {binding}")))?;
+        let var = var.trim().strip_prefix('$').ok_or_else(|| {
+            err(format!("FOR binding must bind a '$var': {binding}"))
+        })?;
+        let rel = parse_rel_path(path.trim())?;
+        let node = extend(&mut builder, &vars, &rel, false, Role::NonReturn, Role::Return)?;
+        vars.insert(var.to_string(), node);
+    }
+
+    // --- LET ---------------------------------------------------------
+    for letbind in clauses
+        .let_clause
+        .as_deref()
+        .map(|l| split_top_level(l, ','))
+        .unwrap_or_default()
+    {
+        let (var, path) = letbind
+            .split_once(":=")
+            .ok_or_else(|| err(format!("LET binding missing ':=': {letbind}")))?;
+        let var = var.trim().strip_prefix('$').ok_or_else(|| {
+            err(format!("LET binding must bind a '$var': {letbind}"))
+        })?;
+        let rel = parse_rel_path(path.trim())?;
+        let node = extend(
+            &mut builder,
+            &vars,
+            &rel,
+            true,
+            Role::NonReturn,
+            Role::GroupReturn,
+        )?;
+        vars.insert(var.to_string(), node);
+    }
+
+    // --- WHERE -------------------------------------------------------
+    if let Some(w) = &clauses.where_clause {
+        for cond in split_keyword(w, "and") {
+            let rel = parse_rel_path(cond.trim())?;
+            extend(&mut builder, &vars, &rel, false, Role::NonReturn, Role::NonReturn)?;
+        }
+    }
+
+    // --- RETURN ------------------------------------------------------
+    // Scan for `$var(/steps)?` occurrences.
+    let mut any_output = false;
+    let ret = &clauses.return_clause;
+    let bytes = ret.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$' {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            // Optionally followed by a path.
+            let mut j = i;
+            while j < bytes.len() {
+                if bytes[j] == b'/' {
+                    j += 1;
+                    if j < bytes.len() && bytes[j] == b'/' {
+                        j += 1;
+                    }
+                    while j < bytes.len()
+                        && (bytes[j].is_ascii_alphanumeric() || b"_-.:*".contains(&bytes[j]))
+                    {
+                        j += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let expr = &ret[start..j];
+            let rel = parse_rel_path(expr)?;
+            if rel.steps.is_empty() {
+                // Bare `$var`: its node is already an output (FOR ⇒ Return,
+                // LET ⇒ GroupReturn).
+                let var = rel.anchor.as_deref().unwrap();
+                if !vars.contains_key(var) {
+                    return Err(err(format!("RETURN references unbound variable ${var}")));
+                }
+                any_output = true;
+            } else {
+                extend(&mut builder, &vars, &rel, true, Role::NonReturn, Role::GroupReturn)?;
+                any_output = true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    if !any_output {
+        return Err(err("RETURN clause references no bound variables"));
+    }
+
+    let builder = builder.ok_or_else(|| err("FOR clause bound no variables"))?;
+    Ok(builder.build())
+}
+
+/// Append `rel` to the pattern under construction. Intermediate steps get
+/// `mid_role`; the final step gets `last_role`. When `optional`, every
+/// appended edge is optional. Returns the final node.
+fn extend(
+    builder: &mut Option<GtpBuilder>,
+    vars: &HashMap<String, QNodeId>,
+    rel: &RelPath,
+    optional: bool,
+    mid_role: Role,
+    last_role: Role,
+) -> Result<QNodeId, XQueryError> {
+    let mut current: QNodeId;
+    let mut steps = rel.steps.iter().peekable();
+    match &rel.anchor {
+        Some(var) => {
+            current = *vars
+                .get(var)
+                .ok_or_else(|| err(format!("unbound variable ${var}")))?;
+        }
+        None => {
+            let (_, first_name) = steps.next().expect("absolute path has steps");
+            match builder {
+                None => {
+                    let b = GtpBuilder::new(first_name, rel.rooted);
+                    let root = b.root();
+                    *builder = Some(b);
+                    let b = builder.as_mut().unwrap();
+                    let role = if steps.peek().is_none() { last_role } else { mid_role };
+                    b.role(root, role);
+                    current = root;
+                }
+                Some(b) => {
+                    // A second absolute path: merge at the root if the name
+                    // matches, otherwise it is unsupported (would need a
+                    // forest / Cartesian product — paper §4.4 notes this
+                    // case is handled by decomposition).
+                    let root = b.root();
+                    let matches = b_root_matches(b, first_name);
+                    if !matches {
+                        return Err(err(format!(
+                            "second absolute path must start at the same root element \
+                             (got '{first_name}')"
+                        )));
+                    }
+                    current = root;
+                }
+            }
+        }
+    }
+    let b = builder
+        .as_mut()
+        .ok_or_else(|| err("relative path before any FOR binding"))?;
+    while let Some((axis, name)) = steps.next() {
+        let role = if steps.peek().is_none() { last_role } else { mid_role };
+        current = b.add(current, name, *axis, optional, role);
+    }
+    // If the anchor itself is the final node (bare `$var` path) the role of
+    // that node is left as previously assigned.
+    Ok(current)
+}
+
+fn b_root_matches(b: &GtpBuilder, name: &str) -> bool {
+    use crate::gtp::NodeTest;
+    let g = b.clone().build();
+    matches!(g.test(g.root()), NodeTest::Name(n) if n == name)
+        || matches!(g.test(g.root()), NodeTest::Wildcard)
+}
+
+struct Clauses {
+    for_clause: String,
+    let_clause: Option<String>,
+    where_clause: Option<String>,
+    return_clause: String,
+}
+
+/// Split the FLWOR statement into its clauses at the top level.
+fn split_clauses(input: &str) -> Result<Clauses, XQueryError> {
+    let lower = input.to_ascii_lowercase();
+    let find_kw = |kw: &str, from: usize| -> Option<usize> {
+        let mut at = from;
+        while let Some(pos) = lower[at..].find(kw) {
+            let i = at + pos;
+            let before_ok = i == 0
+                || !lower.as_bytes()[i - 1].is_ascii_alphanumeric()
+                    && lower.as_bytes()[i - 1] != b'$';
+            let after = i + kw.len();
+            let after_ok =
+                after >= lower.len() || !lower.as_bytes()[after].is_ascii_alphanumeric();
+            if before_ok && after_ok {
+                return Some(i);
+            }
+            at = i + kw.len();
+        }
+        None
+    };
+
+    let for_at = find_kw("for", 0).ok_or_else(|| err("missing FOR clause"))?;
+    let ret_at = find_kw("return", for_at).ok_or_else(|| err("missing RETURN clause"))?;
+    let let_at = find_kw("let", for_at).filter(|&i| i < ret_at);
+    let where_at = find_kw("where", for_at).filter(|&i| i < ret_at);
+
+    let for_end = [let_at, where_at, Some(ret_at)]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap();
+    let for_clause = input[for_at + 3..for_end].trim().to_string();
+    let let_clause = let_at.map(|i| {
+        let end = [where_at, Some(ret_at)]
+            .into_iter()
+            .flatten()
+            .filter(|&e| e > i)
+            .min()
+            .unwrap();
+        input[i + 3..end].trim().to_string()
+    });
+    let where_clause = where_at.map(|i| input[i + 5..ret_at].trim().to_string());
+    let return_clause = input[ret_at + 6..].trim().to_string();
+    if for_clause.is_empty() {
+        return Err(err("empty FOR clause"));
+    }
+    if return_clause.is_empty() {
+        return Err(err("empty RETURN clause"));
+    }
+    Ok(Clauses { for_clause, let_clause, where_clause, return_clause })
+}
+
+/// Split on `sep` at top level (outside parentheses/braces/brackets).
+fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            c if c == sep && depth == 0 => {
+                out.push(s[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim().to_string());
+    out.retain(|p| !p.is_empty());
+    out
+}
+
+/// Split on a lowercase keyword (word-boundary) at top level.
+fn split_keyword(s: &str, kw: &str) -> Vec<String> {
+    let lower = s.to_ascii_lowercase();
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut at = 0;
+    while let Some(pos) = lower[at..].find(kw) {
+        let i = at + pos;
+        let before_ok = i == 0 || lower.as_bytes()[i - 1].is_ascii_whitespace();
+        let after = i + kw.len();
+        let after_ok = after >= lower.len() || lower.as_bytes()[after].is_ascii_whitespace();
+        if before_ok && after_ok {
+            out.push(s[start..i].trim().to_string());
+            start = after;
+        }
+        at = after;
+    }
+    out.push(s[start..].trim().to_string());
+    out.retain(|p| !p.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::QueryAnalysis;
+    use crate::gtp::NodeTest;
+
+    fn name_of(g: &Gtp, q: QNodeId) -> String {
+        match g.test(q) {
+            NodeTest::Name(n) => n.clone(),
+            NodeTest::Wildcard => "*".into(),
+        }
+    }
+
+    #[test]
+    fn xquery1_of_figure2() {
+        // FOR $b IN //A[//D]/B WHERE ... — paper's GTP1 is
+        // "for $b in //a/b where $b//d" style: B return, D non-return.
+        let g = translate("for $b in //a/b where $b//d return $b").unwrap();
+        assert_eq!(g.len(), 3);
+        let b = g.find("b").unwrap();
+        let d = g.find("d").unwrap();
+        assert_eq!(g.role(g.root()), Role::NonReturn);
+        assert_eq!(g.role(b), Role::Return);
+        assert_eq!(g.role(d), Role::NonReturn);
+        assert!(!g.edge(d).unwrap().optional);
+        let an = QueryAnalysis::new(&g);
+        assert!(an.is_existence_checking(d));
+    }
+
+    #[test]
+    fn xquery2_of_figure2() {
+        // for $b in //a/b let $c := $b/c return <r>{$b, $c}</r>
+        let g = translate("for $b in //a/b let $c := $b/c return <r>{$b, $c}</r>").unwrap();
+        assert_eq!(g.len(), 3);
+        let b = g.find("b").unwrap();
+        let c = g.find("c").unwrap();
+        assert_eq!(g.role(b), Role::Return);
+        assert_eq!(g.role(c), Role::GroupReturn);
+        assert!(g.edge(c).unwrap().optional);
+        assert_eq!(g.edge(c).unwrap().axis, Axis::Child);
+    }
+
+    #[test]
+    fn return_path_becomes_optional_group() {
+        let g = translate("for $p in //people//person return $p/name").unwrap();
+        let name = g.find("name").unwrap();
+        assert_eq!(g.role(name), Role::GroupReturn);
+        assert!(g.edge(name).unwrap().optional);
+        // $p itself is a Return node (FOR binding) but referenced only via
+        // a path; still a return node.
+        let person = g.find("person").unwrap();
+        assert_eq!(g.role(person), Role::Return);
+    }
+
+    #[test]
+    fn multiple_for_bindings_chain() {
+        let g = translate("for $a in //x//y, $b in $a/z return ($a, $b)").unwrap();
+        assert_eq!(g.len(), 3);
+        let z = g.find("z").unwrap();
+        assert_eq!(g.role(z), Role::Return);
+        assert!(!g.edge(z).unwrap().optional);
+    }
+
+    #[test]
+    fn where_conjunction() {
+        let g = translate(
+            "for $p in //person where $p/address/zipcode and $p//age return $p",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 4);
+        let zip = g.find("zipcode").unwrap();
+        assert_eq!(g.role(zip), Role::NonReturn);
+        let age = g.find("age").unwrap();
+        assert_eq!(g.edge(age).unwrap().axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn rooted_for_path() {
+        let g = translate("for $r in /site/regions return $r").unwrap();
+        assert!(g.is_rooted());
+        assert_eq!(name_of(&g, g.root()), "site");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(translate("return $x").is_err());
+        assert!(translate("for $a in //x return 42").is_err());
+        assert!(translate("for $a in //x return $zzz").is_err());
+        assert!(translate("for a in //x return $a").is_err());
+        assert!(translate("for $a in x return $a").is_err());
+        assert!(translate("for $a in //x where $b/y return $a").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let g = translate("FOR $b IN //a/b WHERE $b//d RETURN $b").unwrap();
+        assert_eq!(g.len(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Interned element labels.
+//!
+//! Twig matching never compares label *strings* on the hot path: every tag
+//! name is interned once into a dense `u32` id when the document (or query)
+//! is built, and all subsequent comparisons are integer equality. A
+//! [`LabelTable`] owns the mapping in both directions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense, interned identifier for an element tag name.
+///
+/// `Label`s are only meaningful relative to the [`LabelTable`] that produced
+/// them. Two labels from the same table are equal iff their tag names are
+/// equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(u32);
+
+impl Label {
+    /// Raw index into the owning [`LabelTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a label from a raw index.
+    ///
+    /// Only indices previously returned by [`Label::index`] on labels from
+    /// the same table are valid.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        Label(index as u32)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional string ↔ [`Label`] interner.
+///
+/// Lookup by name is hash-based; lookup by label is a direct vector index.
+#[derive(Debug, Default, Clone)]
+pub struct LabelTable {
+    names: Vec<Box<str>>,
+    by_name: HashMap<Box<str>, Label>,
+}
+
+impl LabelTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its label. Idempotent: the same name always
+    /// maps to the same label.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let label = Label(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, label);
+        label
+    }
+
+    /// Look up an already-interned name without inserting.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The tag name behind `label`.
+    ///
+    /// # Panics
+    /// Panics if `label` did not originate from this table.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(label, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("author");
+        let b = t.intern("title");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("author"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = LabelTable::new();
+        assert_eq!(t.get("x"), None);
+        let x = t.intern("x");
+        assert_eq!(t.get("x"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut t = LabelTable::new();
+        let labels: Vec<Label> = ["a", "b", "c", "dblp"].iter().map(|n| t.intern(n)).collect();
+        for (l, n) in labels.iter().zip(["a", "b", "c", "dblp"]) {
+            assert_eq!(t.name(*l), n);
+        }
+    }
+
+    #[test]
+    fn iter_preserves_interning_order() {
+        let mut t = LabelTable::new();
+        t.intern("z");
+        t.intern("y");
+        t.intern("x");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["z", "y", "x"]);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let mut t = LabelTable::new();
+        let l = t.intern("site");
+        assert_eq!(Label::from_index(l.index()), l);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = LabelTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

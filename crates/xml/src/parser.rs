@@ -1,0 +1,446 @@
+//! A from-scratch, dependency-free XML parser.
+//!
+//! Supports the subset of XML needed for the datasets in this workspace:
+//! elements, attributes (single or double quoted), character data, CDATA
+//! sections, comments, processing instructions, an XML declaration, a
+//! DOCTYPE (skipped, without internal subset), and the five predefined
+//! entities plus decimal/hex character references.
+//!
+//! The parser is a hand-rolled recursive scanner over bytes; it produces
+//! either a [`Document`] (via [`parse`]) or a stream of
+//! [`crate::event::Event`]s (via [`crate::event::EventParser`]).
+
+use crate::document::{BuildError, Document, DocumentBuilder};
+use std::fmt;
+
+/// Position-annotated parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// Categories of XML syntax errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// A tag or construct was malformed; message describes it.
+    Malformed(String),
+    /// `</b>` closed `<a>`.
+    MismatchedTag {
+        /// Name of the element that was open.
+        expected: String,
+        /// Name in the offending end tag.
+        found: String,
+    },
+    /// Structural error from the document builder.
+    Build(BuildError),
+    /// An unknown `&entity;`.
+    UnknownEntity(String),
+    /// Bytes were not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: ", self.offset)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::Malformed(m) => write!(f, "malformed construct: {m}"),
+            ParseErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched end tag: expected </{expected}>, found </{found}>")
+            }
+            ParseErrorKind::Build(e) => write!(f, "document structure error: {e}"),
+            ParseErrorKind::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
+            ParseErrorKind::InvalidUtf8 => write!(f, "invalid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete XML document into a [`Document`].
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let mut builder = DocumentBuilder::new();
+    let mut open: Vec<String> = Vec::new();
+    let mut scanner = Scanner::new(input.as_bytes());
+    while let Some(tok) = scanner.next_token()? {
+        match tok {
+            Token::StartTag { name, attrs, self_closing } => {
+                builder
+                    .start_element(&name)
+                    .map_err(|e| scanner.err_build(e))?;
+                for (k, v) in &attrs {
+                    builder.attr(k, v).map_err(|e| scanner.err_build(e))?;
+                }
+                if self_closing {
+                    builder.end_element().map_err(|e| scanner.err_build(e))?;
+                } else {
+                    open.push(name);
+                }
+            }
+            Token::EndTag { name } => {
+                let expected = open.pop().ok_or_else(|| ParseError {
+                    offset: scanner.pos,
+                    kind: ParseErrorKind::Malformed("end tag with no open element".into()),
+                })?;
+                if expected != name {
+                    return Err(ParseError {
+                        offset: scanner.pos,
+                        kind: ParseErrorKind::MismatchedTag { expected, found: name },
+                    });
+                }
+                builder.end_element().map_err(|e| scanner.err_build(e))?;
+            }
+            Token::Text(t) => {
+                if !open.is_empty() && !t.trim().is_empty() {
+                    builder.text(&t).map_err(|e| scanner.err_build(e))?;
+                }
+            }
+        }
+    }
+    if !open.is_empty() {
+        return Err(ParseError {
+            offset: scanner.pos,
+            kind: ParseErrorKind::UnexpectedEof,
+        });
+    }
+    builder.finish().map_err(|e| ParseError {
+        offset: input.len(),
+        kind: ParseErrorKind::Build(e),
+    })
+}
+
+/// One markup token produced by the [`Scanner`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    StartTag {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    EndTag {
+        name: String,
+    },
+    Text(String),
+}
+
+/// Low-level tokenizer shared by the DOM parser and the event parser.
+pub(crate) struct Scanner<'a> {
+    input: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    pub(crate) fn new(input: &'a [u8]) -> Self {
+        Scanner { input, pos: 0 }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError { offset: self.pos, kind }
+    }
+
+    fn err_build(&self, e: BuildError) -> ParseError {
+        self.err(ParseErrorKind::Build(e))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, s: &[u8]) -> bool {
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_until(&mut self, s: &[u8]) -> Result<(), ParseError> {
+        while self.pos < self.input.len() {
+            if self.eat(s) {
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.err(ParseErrorKind::UnexpectedEof))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err(ParseErrorKind::Malformed("expected a name".into())));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(|s| s.to_string())
+            .map_err(|_| self.err(ParseErrorKind::InvalidUtf8))
+    }
+
+    /// Next markup/text token, or `None` at end of input.
+    pub(crate) fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        loop {
+            if self.pos >= self.input.len() {
+                return Ok(None);
+            }
+            if self.peek() == Some(b'<') {
+                if self.eat(b"<!--") {
+                    self.skip_until(b"-->")?;
+                    continue;
+                }
+                if self.eat(b"<![CDATA[") {
+                    let start = self.pos;
+                    self.skip_until(b"]]>")?;
+                    let raw = &self.input[start..self.pos - 3];
+                    let text = std::str::from_utf8(raw)
+                        .map_err(|_| self.err(ParseErrorKind::InvalidUtf8))?;
+                    return Ok(Some(Token::Text(text.to_string())));
+                }
+                if self.eat(b"<!DOCTYPE") || self.eat(b"<!doctype") {
+                    // Skip to the matching '>' (no internal-subset support).
+                    self.skip_until(b">")?;
+                    continue;
+                }
+                if self.eat(b"<?") {
+                    self.skip_until(b"?>")?;
+                    continue;
+                }
+                if self.eat(b"</") {
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'>') {
+                        return Err(self.err(ParseErrorKind::Malformed(
+                            "end tag not terminated by '>'".into(),
+                        )));
+                    }
+                    return Ok(Some(Token::EndTag { name }));
+                }
+                // Ordinary start tag.
+                self.pos += 1; // consume '<'
+                let name = self.read_name()?;
+                let mut attrs = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.pos += 1;
+                            return Ok(Some(Token::StartTag { name, attrs, self_closing: false }));
+                        }
+                        Some(b'/') => {
+                            self.pos += 1;
+                            if self.bump() != Some(b'>') {
+                                return Err(self.err(ParseErrorKind::Malformed(
+                                    "expected '>' after '/'".into(),
+                                )));
+                            }
+                            return Ok(Some(Token::StartTag { name, attrs, self_closing: true }));
+                        }
+                        Some(_) => {
+                            let aname = self.read_name()?;
+                            self.skip_ws();
+                            if self.bump() != Some(b'=') {
+                                return Err(self.err(ParseErrorKind::Malformed(
+                                    format!("attribute '{aname}' missing '='"),
+                                )));
+                            }
+                            self.skip_ws();
+                            let quote = self.bump().ok_or_else(|| {
+                                self.err(ParseErrorKind::UnexpectedEof)
+                            })?;
+                            if quote != b'"' && quote != b'\'' {
+                                return Err(self.err(ParseErrorKind::Malformed(
+                                    "attribute value must be quoted".into(),
+                                )));
+                            }
+                            let start = self.pos;
+                            while self.peek().is_some_and(|b| b != quote) {
+                                self.pos += 1;
+                            }
+                            if self.peek().is_none() {
+                                return Err(self.err(ParseErrorKind::UnexpectedEof));
+                            }
+                            let raw = std::str::from_utf8(&self.input[start..self.pos])
+                                .map_err(|_| self.err(ParseErrorKind::InvalidUtf8))?;
+                            let value = self.decode_entities(raw)?;
+                            self.pos += 1; // closing quote
+                            attrs.push((aname, value));
+                        }
+                        None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    }
+                }
+            }
+            // Character data run, up to the next '<'.
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b != b'<') {
+                self.pos += 1;
+            }
+            let raw = std::str::from_utf8(&self.input[start..self.pos])
+                .map_err(|_| self.err(ParseErrorKind::InvalidUtf8))?;
+            let decoded = self.decode_entities(raw)?;
+            return Ok(Some(Token::Text(decoded)));
+        }
+    }
+
+    /// Replace the predefined entities and character references in `s`.
+    fn decode_entities(&self, s: &str) -> Result<String, ParseError> {
+        if !s.contains('&') {
+            return Ok(s.to_string());
+        }
+        let mut out = String::with_capacity(s.len());
+        let mut rest = s;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            rest = &rest[amp + 1..];
+            let semi = rest.find(';').ok_or_else(|| {
+                self.err(ParseErrorKind::Malformed("unterminated entity".into()))
+            })?;
+            let ent = &rest[..semi];
+            match ent {
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "amp" => out.push('&'),
+                "apos" => out.push('\''),
+                "quot" => out.push('"'),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    let cp = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
+                        self.err(ParseErrorKind::UnknownEntity(ent.to_string()))
+                    })?;
+                    out.push(char::from_u32(cp).ok_or_else(|| {
+                        self.err(ParseErrorKind::UnknownEntity(ent.to_string()))
+                    })?);
+                }
+                _ if ent.starts_with('#') => {
+                    let cp: u32 = ent[1..].parse().map_err(|_| {
+                        self.err(ParseErrorKind::UnknownEntity(ent.to_string()))
+                    })?;
+                    out.push(char::from_u32(cp).ok_or_else(|| {
+                        self.err(ParseErrorKind::UnknownEntity(ent.to_string()))
+                    })?);
+                }
+                _ => return Err(self.err(ParseErrorKind::UnknownEntity(ent.to_string()))),
+            }
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        assert_eq!(doc.len(), 4);
+        let root = doc.root();
+        assert_eq!(doc.tag_name(root), "a");
+        let kids: Vec<&str> = doc.children(root).map(|c| doc.tag_name(c)).collect();
+        assert_eq!(kids, vec!["b", "b"]);
+    }
+
+    #[test]
+    fn parses_attributes_and_text() {
+        let doc = parse(r#"<book year="2006" lang='en'><title>Twig &amp; Stack</title></book>"#)
+            .unwrap();
+        let root = doc.root();
+        assert_eq!(doc.attribute(root, "year"), Some("2006"));
+        assert_eq!(doc.attribute(root, "lang"), Some("en"));
+        let title = doc.first_child(root).unwrap();
+        assert_eq!(doc.text(title), Some("Twig & Stack"));
+    }
+
+    #[test]
+    fn skips_prolog_comments_pis_doctype() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?><!DOCTYPE dblp>\n<!-- c --><dblp><?pi data?><x/><!-- d --></dblp>",
+        )
+        .unwrap();
+        assert_eq!(doc.tag_name(doc.root()), "dblp");
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let doc = parse("<a><![CDATA[<not-a-tag> & raw]]></a>").unwrap();
+        assert_eq!(doc.text(doc.root()), Some("<not-a-tag> & raw"));
+    }
+
+    #[test]
+    fn char_references() {
+        let doc = parse("<a>&#65;&#x42;</a>").unwrap();
+        assert_eq!(doc.text(doc.root()), Some("AB"));
+    }
+
+    #[test]
+    fn mismatched_tag_is_an_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        assert!(matches!(
+            parse("<a><b>").unwrap_err().kind,
+            ParseErrorKind::UnexpectedEof
+        ));
+        assert!(matches!(
+            parse("<a").unwrap_err().kind,
+            ParseErrorKind::Malformed(_) | ParseErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let err = parse("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnknownEntity(e) if e == "nope"));
+    }
+
+    #[test]
+    fn regions_match_tag_positions() {
+        // <a>(1 <b>(2 </b>3) <b>(4 </b>5) </a>6)
+        let doc = parse("<a><b/><b/></a>").unwrap();
+        let root = doc.root();
+        assert_eq!(doc.region(root).left, 1);
+        assert_eq!(doc.region(root).right, 6);
+        let kids: Vec<_> = doc.children(root).collect();
+        assert_eq!(doc.region(kids[0]).left, 2);
+        assert_eq!(doc.region(kids[0]).right, 3);
+        assert_eq!(doc.region(kids[1]).left, 4);
+        assert_eq!(doc.region(kids[1]).right, 5);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.text(doc.root()), None);
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+}

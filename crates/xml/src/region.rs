@@ -1,0 +1,177 @@
+//! Region encoding of document elements.
+//!
+//! Each element is identified by a `[left, right], level` triple (paper §2):
+//! `left` is assigned when the element's start tag is seen, `right` when its
+//! end tag is seen, from one global counter that increments on every tag.
+//! Consequently for elements `a`, `d`:
+//!
+//! * `a` is an **ancestor** of `d` iff `a.left < d.left && d.right < a.right`;
+//! * `a` is the **parent** of `d` iff additionally `a.level + 1 == d.level`.
+//!
+//! These two O(1) predicates are the only structural tests any of the join
+//! algorithms in this workspace perform.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Region encoding `[left, right], level` of one document element.
+///
+/// Ordering is by `left` (document order of start tags), which for regions
+/// from a single document is a total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Position of the start tag in the global tag sequence.
+    pub left: u32,
+    /// Position of the end tag in the global tag sequence. Always `> left`.
+    pub right: u32,
+    /// Depth in the document tree; the document root element has level 1.
+    pub level: u32,
+}
+
+impl Region {
+    /// Construct a region. Debug-asserts `left < right` and `level >= 1`.
+    #[inline]
+    pub fn new(left: u32, right: u32, level: u32) -> Self {
+        debug_assert!(left < right, "region must have left < right");
+        debug_assert!(level >= 1, "document elements start at level 1");
+        Region { left, right, level }
+    }
+
+    /// True iff `self` is a proper ancestor of `other`.
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &Region) -> bool {
+        self.left < other.left && other.right < self.right
+    }
+
+    /// True iff `self` is the parent of `other`.
+    #[inline]
+    pub fn is_parent_of(&self, other: &Region) -> bool {
+        self.is_ancestor_of(other) && self.level + 1 == other.level
+    }
+
+    /// True iff `self` is `other` or a proper ancestor of it.
+    #[inline]
+    pub fn is_ancestor_or_self(&self, other: &Region) -> bool {
+        self == other || self.is_ancestor_of(other)
+    }
+
+    /// True iff the two elements are on a common root-to-leaf path.
+    #[inline]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.is_ancestor_or_self(other) || other.is_ancestor_of(self)
+    }
+
+    /// True iff `self` starts (and therefore also ends) strictly before
+    /// `other` without containing it — i.e. it precedes `other` in document
+    /// order and is structurally unrelated.
+    #[inline]
+    pub fn precedes(&self, other: &Region) -> bool {
+        self.right < other.left
+    }
+
+    /// True iff an axis requirement holds from `self` (the upper element)
+    /// to `other` (the lower element).
+    #[inline]
+    pub fn satisfies_axis(&self, other: &Region, parent_child: bool) -> bool {
+        if parent_child {
+            self.is_parent_of(other)
+        } else {
+            self.is_ancestor_of(other)
+        }
+    }
+}
+
+impl PartialOrd for Region {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Region {
+    /// Document order of start tags; ties broken by `right` so that the
+    /// order is total even across regions of distinct documents.
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.left, self.right).cmp(&(other.left, other.right))
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}],{}", self.left, self.right, self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The running example of paper Figure 1 (a fragment): a1=[1,30],1 with
+    // children; numbers here are illustrative but preserve the invariants.
+    fn r(l: u32, rr: u32, lev: u32) -> Region {
+        Region::new(l, rr, lev)
+    }
+
+    #[test]
+    fn ancestor_descendant() {
+        let a = r(1, 30, 1);
+        let b = r(2, 9, 2);
+        let d = r(3, 4, 3);
+        assert!(a.is_ancestor_of(&b));
+        assert!(a.is_ancestor_of(&d));
+        assert!(b.is_ancestor_of(&d));
+        assert!(!d.is_ancestor_of(&b));
+        assert!(!b.is_ancestor_of(&a));
+        // not an ancestor of itself
+        assert!(!a.is_ancestor_of(&a));
+        assert!(a.is_ancestor_or_self(&a));
+    }
+
+    #[test]
+    fn parent_requires_level_gap_of_one() {
+        let a = r(1, 30, 1);
+        let b = r(2, 9, 2);
+        let d = r(3, 4, 3);
+        assert!(a.is_parent_of(&b));
+        assert!(!a.is_parent_of(&d)); // grandchild
+        assert!(b.is_parent_of(&d));
+    }
+
+    #[test]
+    fn siblings_are_unrelated() {
+        let b1 = r(2, 9, 2);
+        let b2 = r(10, 17, 2);
+        assert!(!b1.is_ancestor_of(&b2));
+        assert!(!b2.is_ancestor_of(&b1));
+        assert!(!b1.overlaps(&b2));
+        assert!(b1.precedes(&b2));
+        assert!(!b2.precedes(&b1));
+    }
+
+    #[test]
+    fn document_order() {
+        let mut v = [r(10, 17, 2), r(1, 30, 1), r(2, 9, 2)];
+        v.sort();
+        assert_eq!(v[0].left, 1);
+        assert_eq!(v[1].left, 2);
+        assert_eq!(v[2].left, 10);
+    }
+
+    #[test]
+    fn satisfies_axis_dispatch() {
+        let a = r(1, 30, 1);
+        let b = r(2, 9, 2);
+        let d = r(3, 4, 3);
+        assert!(a.satisfies_axis(&b, true));
+        assert!(a.satisfies_axis(&d, false));
+        assert!(!a.satisfies_axis(&d, true));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn invalid_region_panics_in_debug() {
+        let _ = Region::new(5, 5, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Document statistics — the quantities reported in the paper's Figure 14.
+
+use crate::document::Document;
+use crate::writer::{write, Indent};
+
+/// Summary statistics of one document, as in paper Figure 14.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    /// Number of element nodes.
+    pub nodes: usize,
+    /// Number of distinct element labels.
+    pub distinct_labels: usize,
+    /// Maximum element depth (root = 1).
+    pub max_depth: u32,
+    /// Mean element depth.
+    pub avg_depth: f64,
+    /// Serialized size in bytes (compact form).
+    pub serialized_bytes: usize,
+    /// `(label name, occurrence count)` sorted by descending count.
+    pub label_histogram: Vec<(String, usize)>,
+}
+
+impl DocStats {
+    /// Compute statistics for `doc`. Serializes the document once to obtain
+    /// its byte size; for very large documents prefer
+    /// [`DocStats::compute_without_size`].
+    pub fn compute(doc: &Document) -> Self {
+        let mut s = Self::compute_without_size(doc);
+        s.serialized_bytes = write(doc, Indent::None).len();
+        s
+    }
+
+    /// Compute all statistics except `serialized_bytes` (left as 0).
+    pub fn compute_without_size(doc: &Document) -> Self {
+        let (max_depth, avg_depth) = doc.depth_stats();
+        let mut counts = vec![0usize; doc.labels().len()];
+        for n in doc.iter() {
+            counts[doc.label(n).index()] += 1;
+        }
+        let mut label_histogram: Vec<(String, usize)> = doc
+            .labels()
+            .iter()
+            .map(|(l, name)| (name.to_string(), counts[l.index()]))
+            .collect();
+        label_histogram.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        DocStats {
+            nodes: doc.len(),
+            distinct_labels: doc.labels().len(),
+            max_depth,
+            avg_depth,
+            serialized_bytes: 0,
+            label_histogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn stats_of_small_document() {
+        let doc = parse("<a><b><c/><c/></b><b/></a>").unwrap();
+        let s = DocStats::compute(&doc);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.distinct_labels, 3);
+        assert_eq!(s.max_depth, 3);
+        assert!((s.avg_depth - (1 + 2 + 3 + 3 + 2) as f64 / 5.0).abs() < 1e-9);
+        assert_eq!(s.serialized_bytes, "<a><b><c/><c/></b><b/></a>".len());
+        assert_eq!(s.label_histogram[0], ("b".to_string(), 2));
+    }
+
+    #[test]
+    fn histogram_sorted_desc_then_name() {
+        let doc = parse("<r><x/><y/><x/><y/></r>").unwrap();
+        let s = DocStats::compute_without_size(&doc);
+        let names: Vec<&str> = s.label_histogram.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["x", "y", "r"]);
+        assert_eq!(s.serialized_bytes, 0);
+    }
+}

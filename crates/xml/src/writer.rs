@@ -1,0 +1,147 @@
+//! XML serialization — the inverse of [`crate::parser::parse`].
+
+use crate::document::{Document, NodeId};
+use std::fmt::Write as _;
+
+/// Serialization style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Indent {
+    /// Everything on one line, no inter-element whitespace.
+    None,
+    /// Newline per element, indented by this many spaces per level.
+    Spaces(usize),
+}
+
+/// Serialize `doc` to an XML string.
+///
+/// Round-trips with [`crate::parser::parse`] for documents whose text
+/// contains no leading/trailing whitespace runs (the parser drops
+/// whitespace-only text).
+pub fn write(doc: &Document, indent: Indent) -> String {
+    let mut out = String::with_capacity(doc.len() * 16);
+    write_node(doc, doc.root(), indent, 0, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, node: NodeId, indent: Indent, depth: usize, out: &mut String) {
+    if let Indent::Spaces(n) = indent {
+        if depth > 0 {
+            out.push('\n');
+        }
+        for _ in 0..depth * n {
+            out.push(' ');
+        }
+    }
+    let name = doc.tag_name(node);
+    out.push('<');
+    out.push_str(name);
+    for (k, v) in doc.attributes(node) {
+        let _ = write!(out, " {}=\"{}\"", k, escape_attr(v));
+    }
+    let text = doc.text(node);
+    let has_children = doc.first_child(node).is_some();
+    if text.is_none() && !has_children {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(t) = text {
+        out.push_str(&escape_text(t));
+    }
+    for child in doc.children(node) {
+        write_node(doc, child, indent, depth + 1, out);
+    }
+    if has_children {
+        if let Indent::Spaces(n) = indent {
+            out.push('\n');
+            for _ in 0..depth * n {
+                out.push(' ');
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+/// Escape character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quote context).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentBuilder;
+    use crate::parser::parse;
+
+    #[test]
+    fn writes_compact() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        assert_eq!(write(&doc, Indent::None), "<a><b><c/></b><b/></a>");
+    }
+
+    #[test]
+    fn round_trip_with_attrs_and_text() {
+        let src = r#"<book year="2006"><title>T &amp; S</title><author>x</author></book>"#;
+        let doc = parse(src).unwrap();
+        let emitted = write(&doc, Indent::None);
+        let doc2 = parse(&emitted).unwrap();
+        assert_eq!(doc2.len(), doc.len());
+        assert_eq!(doc2.attribute(doc2.root(), "year"), Some("2006"));
+        let title = doc2.first_child(doc2.root()).unwrap();
+        assert_eq!(doc2.text(title), Some("T & S"));
+    }
+
+    #[test]
+    fn indented_output_parses_back() {
+        let mut b = DocumentBuilder::new();
+        b.element("a", |b| {
+            b.element("b", |b| b.leaf("c", "hi"))?;
+            b.leaf("d", "")
+        })
+        .unwrap();
+        let doc = b.finish().unwrap();
+        let pretty = write(&doc, Indent::Spaces(2));
+        assert!(pretty.contains('\n'));
+        let doc2 = parse(&pretty).unwrap();
+        assert_eq!(doc2.len(), 4);
+    }
+
+    #[test]
+    fn attr_escaping() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a").unwrap();
+        b.attr("v", "a\"b<c&d").unwrap();
+        b.end_element().unwrap();
+        let doc = b.finish().unwrap();
+        let s = write(&doc, Indent::None);
+        assert_eq!(s, r#"<a v="a&quot;b&lt;c&amp;d"/>"#);
+        let doc2 = parse(&s).unwrap();
+        assert_eq!(doc2.attribute(doc2.root(), "v"), Some("a\"b<c&d"));
+    }
+}

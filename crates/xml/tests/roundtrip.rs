@@ -1,0 +1,102 @@
+//! Property tests for the XML substrate: serializer/parser round-trips,
+//! event-stream/DOM agreement, and region-encoding invariants over
+//! generated documents.
+
+use proptest::prelude::*;
+use xmldom::{parse, write, DocEvents, Document, DocumentBuilder, Event, Indent};
+
+/// Strategy: a random document built through the builder, with text and
+/// attributes containing characters that need escaping.
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    let name = prop::sample::select(vec!["a", "b", "item", "x-y", "ns:t", "_u"]);
+    let text = prop::sample::select(vec!["", "plain", "a<b&c>'d\"", "  ws  ", "f&g"]);
+    (
+        prop::collection::vec((name.clone(), text.clone(), any::<bool>()), 1..40),
+        prop::collection::vec(any::<bool>(), 1..40),
+    )
+        .prop_map(|(nodes, pops)| {
+            let mut b = DocumentBuilder::new();
+            b.start_element("root").unwrap();
+            let mut depth = 1u32;
+            for (i, (name, text, with_attr)) in nodes.iter().enumerate() {
+                if pops.get(i).copied().unwrap_or(false) && depth > 1 {
+                    b.end_element().unwrap();
+                    depth -= 1;
+                }
+                b.start_element(name).unwrap();
+                depth += 1;
+                if *with_attr {
+                    b.attr("k", text).unwrap();
+                }
+                if !text.trim().is_empty() {
+                    b.text(text).unwrap();
+                }
+            }
+            while depth > 0 {
+                b.end_element().unwrap();
+                depth -= 1;
+            }
+            b.finish().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// write → parse reproduces structure, regions, trimmed text, attrs.
+    #[test]
+    fn serialize_parse_round_trip(doc in doc_strategy()) {
+        for indent in [Indent::None, Indent::Spaces(2)] {
+            let xml = write(&doc, indent);
+            let doc2 = parse(&xml).unwrap();
+            prop_assert_eq!(doc.len(), doc2.len());
+            for (a, b) in doc.iter().zip(doc2.iter()) {
+                prop_assert_eq!(doc.tag_name(a), doc2.tag_name(b));
+                if indent == Indent::None {
+                    // Pretty-printing shifts tag positions; compact form
+                    // reproduces the region encoding exactly.
+                    prop_assert_eq!(doc.region(a), doc2.region(b));
+                }
+                prop_assert_eq!(doc.attribute(a, "k"), doc2.attribute(b, "k"));
+                let ta = doc.text(a).map(str::trim).filter(|t| !t.is_empty());
+                let tb = doc2.text(b).map(str::trim).filter(|t| !t.is_empty());
+                prop_assert_eq!(ta, tb);
+            }
+        }
+    }
+
+    /// DOM events equal streaming events over the serialized form.
+    #[test]
+    fn events_agree_between_dom_and_stream(doc in doc_strategy()) {
+        let xml = write(&doc, Indent::None);
+        let dom: Vec<Event> = DocEvents::new(&doc).collect();
+        let (stream, labels) = xmldom::EventParser::new(&xml).collect_events().unwrap();
+        prop_assert_eq!(dom.len(), stream.len());
+        for (d, s) in dom.iter().zip(&stream) {
+            prop_assert_eq!(d.elem(), s.elem());
+            prop_assert_eq!(
+                doc.labels().name(d.label()),
+                labels.name(s.label())
+            );
+        }
+    }
+
+    /// Region encodings nest exactly like the tree structure.
+    #[test]
+    fn regions_encode_ancestry(doc in doc_strategy()) {
+        for n in doc.iter() {
+            if let Some(p) = doc.parent(n) {
+                prop_assert!(doc.region(p).is_parent_of(&doc.region(n)));
+            }
+            // Region-based ancestor test agrees with parent-chain walking
+            // against the root (spot check, O(n) overall).
+            let root = doc.root();
+            if n != root {
+                prop_assert!(doc.is_ancestor(root, n));
+            }
+        }
+        // Pre-order ids sort by left position.
+        let lefts: Vec<u32> = doc.iter().map(|n| doc.region(n).left).collect();
+        prop_assert!(lefts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,53 @@
+//! Tour of the GTP feature set beyond plain twigs: non-return nodes,
+//! grouping, optional axes, AND/OR predicates, and value predicates.
+//!
+//! ```text
+//! cargo run --example gtp_features
+//! ```
+
+use gtpquery::parse_twig;
+use twig2stack::evaluate;
+use xmldom::parse;
+
+fn main() {
+    let doc = parse(
+        "<library>\
+           <book><title>Query Processing</title><isbn>111</isbn><year>2006</year>\
+             <author>Chen</author><author>Li</author></book>\
+           <book><title>Other Topics</title><doi>d-1</doi><year>2002</year>\
+             <author>Someone</author></book>\
+           <book><title>Unregistered</title><year>2006</year><author>Anon</author></book>\
+           <report><title>Tech Report</title><doi>d-2</doi><year>2006</year></report>\
+         </library>",
+    )
+    .unwrap();
+
+    let show = |q: &str| {
+        let gtp = parse_twig(q).unwrap();
+        let rs = evaluate(&doc, &gtp);
+        println!("{q}\n  as GTP: {gtp}\n  -> {} tuples", rs.len());
+        for row in rs.rows.iter().take(4) {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| match c {
+                    gtpquery::Cell::Node(n) => {
+                        format!("<{}>{}", doc.tag_name(*n), doc.text(*n).unwrap_or(""))
+                    }
+                    gtpquery::Cell::Null => "-".into(),
+                    gtpquery::Cell::Group(g) => format!("{{{} grouped}}", g.len()),
+                })
+                .collect();
+            println!("     {}", cells.join(" | "));
+        }
+        println!();
+    };
+
+    // AND/OR: books registered with an ISBN *or* a DOI.
+    show("//book[isbn or doi]/title");
+    // Value predicate + grouping: authors of 2006 books, one row per book.
+    show("//library!/book[year='2006'!]/author@");
+    // Optional axis: every book, with its DOI when present (null otherwise).
+    show("//book[?doi]/title!");
+    // Contains-predicate on the returned node itself.
+    show("//library!//title~'Report'");
+}

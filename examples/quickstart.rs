@@ -1,0 +1,72 @@
+//! Quickstart: parse an XML document, run a twig query with Twig²Stack,
+//! and print the matching tuples.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gtpquery::{parse_twig, Cell};
+use twig2stack::evaluate;
+use xmldom::parse;
+
+fn main() {
+    let xml = r#"
+        <dblp>
+          <inproceedings key="vldb/ChenLTHAC06">
+            <author>Songting Chen</author>
+            <author>Hua-Gang Li</author>
+            <title>Twig2Stack: Bottom-up Processing of GTP Queries</title>
+            <year>2006</year>
+            <booktitle>VLDB</booktitle>
+          </inproceedings>
+          <article key="journals/x/1">
+            <author>Someone Else</author>
+            <title>An Unrelated Article</title>
+            <year>2005</year>
+          </article>
+          <inproceedings key="conf/x/2">
+            <author>Another Author</author>
+            <year>2004</year>
+            <booktitle>Workshop</booktitle>
+          </inproceedings>
+        </dblp>"#;
+
+    let doc = parse(xml).expect("well-formed XML");
+    println!("parsed {} elements", doc.len());
+
+    // A twig query: inproceedings that have a title, returning authors.
+    // All query nodes are return nodes by default (a "full twig query").
+    let gtp = parse_twig("//dblp/inproceedings[title]/author").expect("valid twig");
+    println!("query: {gtp}");
+
+    let results = evaluate(&doc, &gtp);
+    println!("{} result tuples:", results.len());
+    for row in &results.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| match c {
+                Cell::Node(n) => {
+                    let text = doc.text(*n).unwrap_or("");
+                    format!("<{}>{}", doc.tag_name(*n), text)
+                }
+                Cell::Null => "NULL".to_string(),
+                Cell::Group(g) => format!("group of {}", g.len()),
+            })
+            .collect();
+        println!("  {}", cells.join(" | "));
+    }
+
+    // The same query with GTP roles: one row per inproceedings, with its
+    // authors grouped into a list ('!' marks non-return nodes, '@' marks
+    // the group-return node).
+    let gtp = parse_twig("//dblp!/inproceedings[title!]/author@").expect("valid GTP");
+    let grouped = evaluate(&doc, &gtp);
+    println!("\nauthors grouped per inproceedings ({} tuples):", grouped.len());
+    for row in &grouped.rows {
+        if let (Cell::Node(paper), Cell::Group(authors)) = (&row[0], &row[1]) {
+            let key = doc.attribute(*paper, "key").unwrap_or("?");
+            let names: Vec<&str> = authors.iter().filter_map(|&n| doc.text(n)).collect();
+            println!("  {key}: {names:?}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! `twigql` — run twig / GTP queries over XML files from the command line.
+//!
+//! ```text
+//! twigql [OPTIONS] <QUERY> [FILE]
+//!
+//! ARGS:
+//!   <QUERY>   twig/GTP query, e.g. "//dblp/inproceedings[title]/author"
+//!             (use '!' for non-return nodes, '@' for grouped returns,
+//!              '/?'-steps for optional edges, `or` inside predicates,
+//!              ='text'/~'text' value predicates)
+//!   [FILE]    XML file; reads stdin when omitted
+//!
+//! OPTIONS:
+//!   --engine <twig2stack|twigstack|tjfast|naive>   (default twig2stack)
+//!   --count        print only the number of result tuples
+//!   --stats        print matcher statistics to stderr
+//!   --stream       streaming mode: never build a DOM (twig2stack only)
+//!   --xquery       interpret QUERY as a FLWOR XQuery instead of a twig
+//!   --ids          print node ids instead of tag/text
+//! ```
+
+use gtpquery::{parse_twig, translate, Cell, Gtp, ResultSet, Role};
+use std::io::Read;
+use std::process::ExitCode;
+use twig2stack::{count_results, enumerate, match_document, MatchOptions};
+use xmldom::Document;
+
+struct Options {
+    engine: String,
+    count: bool,
+    stats: bool,
+    stream: bool,
+    xquery: bool,
+    ids: bool,
+    query: String,
+    file: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: twigql [--engine twig2stack|twigstack|tjfast|naive] \
+         [--count] [--stats] [--stream] [--xquery] [--ids] <QUERY> [FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        engine: "twig2stack".into(),
+        count: false,
+        stats: false,
+        stream: false,
+        xquery: false,
+        ids: false,
+        query: String::new(),
+        file: None,
+    };
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => {
+                opts.engine = args.next().ok_or_else(usage)?;
+            }
+            "--count" => opts.count = true,
+            "--stats" => opts.stats = true,
+            "--stream" => opts.stream = true,
+            "--xquery" => opts.xquery = true,
+            "--ids" => opts.ids = true,
+            "-h" | "--help" => return Err(usage()),
+            _ if a.starts_with("--") => return Err(usage()),
+            _ => positional.push(a),
+        }
+    }
+    match positional.len() {
+        1 => opts.query = positional.remove(0),
+        2 => {
+            opts.query = positional.remove(0);
+            opts.file = Some(positional.remove(0));
+        }
+        _ => return Err(usage()),
+    }
+    Ok(opts)
+}
+
+fn print_results(rs: &ResultSet, doc: &Document, gtp: &Gtp, ids: bool) {
+    // Header: the output schema.
+    let header: Vec<String> = rs
+        .columns
+        .iter()
+        .map(|&q| {
+            let name = gtp.test(q).to_string();
+            if gtp.role(q) == Role::GroupReturn {
+                format!("{name}[grouped]")
+            } else {
+                name
+            }
+        })
+        .collect();
+    println!("# {}", header.join(" | "));
+    let render = |n: xmldom::NodeId| -> String {
+        if ids {
+            format!("{n}")
+        } else {
+            match doc.text(n) {
+                Some(t) => format!("<{}>{}", doc.tag_name(n), t.trim()),
+                None => format!("<{}>", doc.tag_name(n)),
+            }
+        }
+    };
+    for row in &rs.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| match c {
+                Cell::Node(n) => render(*n),
+                Cell::Null => "-".into(),
+                Cell::Group(g) => {
+                    let items: Vec<String> = g.iter().map(|&n| render(n)).collect();
+                    format!("[{}]", items.join(", "))
+                }
+            })
+            .collect();
+        println!("{}", cells.join(" | "));
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let gtp = if opts.xquery {
+        match translate(&opts.query) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("twigql: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match parse_twig(&opts.query) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("twigql: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let xml = match &opts.file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("twigql: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("twigql: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    if opts.stream {
+        if opts.engine != "twig2stack" {
+            eprintln!("twigql: --stream requires --engine twig2stack");
+            return ExitCode::from(2);
+        }
+        return match twig2stack::evaluate_streaming(&xml, &gtp, MatchOptions::default()) {
+            Ok((rs, stats)) => {
+                if opts.stats {
+                    eprintln!("{stats:?}");
+                }
+                if opts.count {
+                    println!("{}", rs.len());
+                } else {
+                    // Streaming never builds a DOM, so only ids exist.
+                    println!("# {} columns (ids only in streaming mode)", rs.columns.len());
+                    for row in &rs.rows {
+                        let cells: Vec<String> =
+                            row.iter().map(|c| format!("{c}")).collect();
+                        println!("{}", cells.join(" | "));
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("twigql: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let doc = match xmldom::parse(&xml) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("twigql: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rs = match opts.engine.as_str() {
+        "twig2stack" => {
+            let (tm, stats) = match_document(&doc, &gtp, MatchOptions::default());
+            if opts.stats {
+                eprintln!("{stats:?}");
+            }
+            if opts.count {
+                println!("{}", count_results(&tm));
+                return ExitCode::SUCCESS;
+            }
+            enumerate(&tm)
+        }
+        "naive" => twigbaselines::naive_evaluate(&doc, &gtp),
+        "twigstack" => {
+            let index = xmlindex::ElementIndex::build(&doc);
+            let owned = twigbaselines::build_streams(&index, doc.labels(), &gtp);
+            let streams: Vec<xmlindex::SliceStream<'_>> =
+                owned.iter().map(|v| xmlindex::SliceStream::new(v)).collect();
+            let mut stats = twigbaselines::TwigStackStats::default();
+            let rs = twigbaselines::twig_stack(&gtp, streams, &mut stats);
+            if opts.stats {
+                eprintln!("{stats:?}");
+            }
+            rs
+        }
+        "tjfast" => {
+            let dewey = xmlindex::DeweyIndex::build(&doc);
+            let resolver = twigbaselines::DeweyResolver::build(&dewey, doc.labels());
+            let mut stats = twigbaselines::TJFastStats::default();
+            let rs = twigbaselines::tj_fast(&gtp, &dewey, doc.labels(), &resolver, &mut stats);
+            if opts.stats {
+                eprintln!("{stats:?}");
+            }
+            rs
+        }
+        other => {
+            eprintln!("twigql: unknown engine '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.count {
+        println!("{}", rs.len());
+    } else {
+        print_results(&rs, &doc, &gtp, opts.ids);
+    }
+    ExitCode::SUCCESS
+}

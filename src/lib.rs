@@ -1,0 +1,12 @@
+//! Umbrella crate for the Twig²Stack reproduction workspace.
+//!
+//! Hosts the workspace-spanning integration tests (`tests/`) and runnable
+//! examples (`examples/`). Re-exports the member libraries for convenience.
+
+pub use gtpquery;
+pub use twig2stack;
+pub use twigbaselines;
+pub use twigbench;
+pub use xmldom;
+pub use xmlgen;
+pub use xmlindex;

@@ -1,0 +1,99 @@
+//! Workspace-level property test: all engines agree on realistic
+//! generated datasets (not just random trees — the per-crate suites cover
+//! those). Documents are drawn from the three dataset generators at small
+//! scale, queries from a pool of realistic shapes.
+
+use gtpquery::{parse_twig, Role};
+use proptest::prelude::*;
+use twig2stack::{evaluate, evaluate_early, MatchOptions};
+use twigbaselines::{
+    build_streams, naive_evaluate, tj_fast, twig_stack, DeweyResolver, TJFastStats,
+    TwigStackStats,
+};
+use xmlindex::{DeweyIndex, ElementIndex, SliceStream};
+use xmlgen::{generate_dblp, generate_treebank, generate_xmark, DblpConfig, TreebankConfig, XmarkConfig};
+use xmldom::Document;
+
+#[derive(Debug, Clone, Copy)]
+enum Gen {
+    Dblp,
+    Treebank,
+    Xmark,
+}
+
+fn doc_strategy() -> impl Strategy<Value = (Gen, Document)> {
+    (0usize..3, any::<u64>()).prop_map(|(which, seed)| match which {
+        0 => (Gen::Dblp, generate_dblp(&DblpConfig::tiny(seed))),
+        1 => (
+            Gen::Treebank,
+            generate_treebank(&TreebankConfig { sentences: 15, max_depth: 18, seed }),
+        ),
+        _ => (Gen::Xmark, generate_xmark(&XmarkConfig::tiny(seed))),
+    })
+}
+
+fn queries_for(gen: Gen) -> &'static [&'static str] {
+    match gen {
+        Gen::Dblp => &[
+            "//dblp/inproceedings[title]/author",
+            "//dblp/article[author][.//title]//year",
+            "//inproceedings[author][.//title]//booktitle",
+            "//dblp!/inproceedings[title!]/author@",
+            "//dblp/inproceedings[?ee]/title",
+            "//article[.//sub]/author",
+        ],
+        Gen::Treebank => &[
+            "//s/vp/pp[in]/np",
+            "//s/vp//pp[.//np]/in",
+            "//vp[dt]//nn",
+            "//np!//np[.//nn]",
+            "//s!/np[?pp@]",
+            "//s//s//vp",
+        ],
+        Gen::Xmark => &[
+            "/site/open_auctions[.//bidder/personref]//reserve",
+            "//people//person[.//address/zipcode]/profile/education",
+            "//item[location]/description//keyword",
+            "//person[?homepage]/name",
+            "//open_auction[.//?reserve!]//personref",
+            "//site!//person[name!]/?address@",
+        ],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_realistic_data((gen, doc) in doc_strategy()) {
+        for q in queries_for(gen) {
+            let gtp = parse_twig(q).unwrap();
+            let expected = naive_evaluate(&doc, &gtp);
+            let t2s = evaluate(&doc, &gtp);
+            prop_assert_eq!(&t2s, &expected, "Twig2Stack vs oracle on {}", q);
+
+            if let Ok((early, _)) = evaluate_early(&doc, &gtp, MatchOptions::default()) {
+                prop_assert_eq!(&early, &expected, "early mode on {}", q);
+            }
+
+            let full_twig = gtp.iter().all(|n| {
+                gtp.role(n) == Role::Return && gtp.edge(n).is_none_or(|e| !e.optional)
+            });
+            if full_twig {
+                let index = ElementIndex::build(&doc);
+                let owned = build_streams(&index, doc.labels(), &gtp);
+                let streams: Vec<SliceStream<'_>> =
+                    owned.iter().map(|v| SliceStream::new(v)).collect();
+                let mut ts = TwigStackStats::default();
+                let a = twig_stack(&gtp, streams, &mut ts).sorted();
+                prop_assert_eq!(&a, &expected.clone().sorted(), "TwigStack on {}", q);
+
+                let dewey = DeweyIndex::build(&doc);
+                let resolver = DeweyResolver::build(&dewey, doc.labels());
+                let mut tj = TJFastStats::default();
+                let b = tj_fast(&gtp, &dewey, doc.labels(), &resolver, &mut tj).sorted();
+                prop_assert_eq!(&b, &expected.clone().sorted(), "TJFast on {}", q);
+            }
+        }
+    }
+}

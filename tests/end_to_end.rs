@@ -1,0 +1,152 @@
+//! End-to-end pipeline tests spanning every crate: generate a dataset,
+//! serialize it, re-parse it, build all indexes (in memory and on disk),
+//! run all engines over the re-parsed document, and check consistency.
+
+use gtpquery::parse_twig;
+use twig2stack::{evaluate, evaluate_streaming, MatchOptions};
+use twigbaselines::{
+    build_streams, naive_evaluate, tj_fast, twig_stack, DeweyResolver, TJFastStats,
+    TwigStackStats,
+};
+use xmlindex::{
+    write_dewey_index, write_region_index, DeweyIndex, DiskDeweyIndex, DiskRegionIndex,
+    ElemStream, ElementIndex, SliceStream,
+};
+use xmlgen::{generate_dblp, generate_treebank, generate_xmark, DblpConfig, TreebankConfig, XmarkConfig};
+use xmldom::{parse, write, DocStats, Document, Indent};
+
+fn round_trip(doc: &Document) -> Document {
+    let xml = write(doc, Indent::None);
+    parse(&xml).expect("serializer output must re-parse")
+}
+
+#[test]
+fn dblp_pipeline() {
+    let doc = generate_dblp(&DblpConfig::tiny(99));
+    let doc2 = round_trip(&doc);
+    assert_eq!(doc.len(), doc2.len());
+    // Regions are re-derived identically (structure-preserving).
+    for (a, b) in doc.iter().zip(doc2.iter()) {
+        assert_eq!(doc.region(a), doc2.region(b));
+        assert_eq!(doc.tag_name(a), doc2.tag_name(b));
+    }
+    for q in [
+        "//dblp/inproceedings[title]/author",
+        "//dblp/article[author][.//title]//year",
+        "//inproceedings[author][.//title]//booktitle",
+    ] {
+        let gtp = parse_twig(q).unwrap();
+        assert_eq!(
+            evaluate(&doc2, &gtp),
+            naive_evaluate(&doc2, &gtp),
+            "query {q}"
+        );
+    }
+}
+
+#[test]
+fn treebank_cross_engine() {
+    let doc = generate_treebank(&TreebankConfig::tiny(3));
+    for q in ["//s/vp/pp[in]/np", "//vp[dt]//nn", "//s//np[.//nn]/pp"] {
+        let gtp = parse_twig(q).unwrap();
+        let expected = naive_evaluate(&doc, &gtp).sorted();
+
+        let index = ElementIndex::build(&doc);
+        let owned = build_streams(&index, doc.labels(), &gtp);
+        let streams: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
+        let mut ts = TwigStackStats::default();
+        assert_eq!(
+            twig_stack(&gtp, streams, &mut ts).sorted(),
+            expected,
+            "TwigStack on {q}"
+        );
+
+        let dewey = DeweyIndex::build(&doc);
+        let resolver = DeweyResolver::build(&dewey, doc.labels());
+        let mut tj = TJFastStats::default();
+        assert_eq!(
+            tj_fast(&gtp, &dewey, doc.labels(), &resolver, &mut tj).sorted(),
+            expected,
+            "TJFast on {q}"
+        );
+
+        assert_eq!(
+            evaluate(&doc, &gtp).sorted(),
+            expected,
+            "Twig2Stack on {q}"
+        );
+    }
+}
+
+#[test]
+fn xmark_streaming_equals_dom() {
+    let doc = generate_xmark(&XmarkConfig::tiny(5));
+    let xml = write(&doc, Indent::None);
+    for q in [
+        "/site/open_auctions[.//bidder/personref]//reserve",
+        "//people//person[.//address/zipcode]/profile/education",
+        "//item[location]/description//keyword",
+    ] {
+        let gtp = parse_twig(q).unwrap();
+        let (streamed, _) = evaluate_streaming(&xml, &gtp, MatchOptions::default()).unwrap();
+        assert_eq!(streamed, evaluate(&doc, &gtp), "query {q}");
+    }
+}
+
+#[test]
+fn disk_indexes_serve_the_same_elements() {
+    let doc = generate_xmark(&XmarkConfig::tiny(2));
+    let dir = std::env::temp_dir().join(format!("t2s-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let rpath = dir.join("regions.idx");
+    let dpath = dir.join("dewey.idx");
+    write_region_index(&doc, &rpath).unwrap();
+    let dewey = DeweyIndex::build(&doc);
+    write_dewey_index(&dewey, doc.labels(), &dpath).unwrap();
+
+    let mem = ElementIndex::build(&doc);
+    let disk = DiskRegionIndex::open(&rpath).unwrap();
+    let ddisk = DiskDeweyIndex::open(&dpath).unwrap();
+    for (label, name) in doc.labels().iter() {
+        // Region streams identical.
+        let mut ms = mem.stream(label);
+        let mut dsk = disk.stream(name).unwrap();
+        loop {
+            let (a, b) = (ms.next_elem(), dsk.next_elem());
+            assert_eq!(a, b, "label {name}");
+            if a.is_none() {
+                break;
+            }
+        }
+        // Dewey streams identical.
+        let expected: Vec<_> = dewey
+            .elements(label)
+            .into_iter()
+            .map(|e| (e.id, e.dewey.to_vec()))
+            .collect();
+        let mut got = Vec::new();
+        let mut s = ddisk.stream(name).unwrap();
+        let mut buf = Vec::new();
+        while let Some(id) = s.next_into(&mut buf).unwrap() {
+            got.push((id, buf.clone()));
+        }
+        assert_eq!(got, expected, "dewey label {name}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dataset_statistics_are_sane() {
+    // The Figure 14 shape constraints at test scale.
+    let dblp = generate_dblp(&DblpConfig::tiny(1));
+    let s = DocStats::compute_without_size(&dblp);
+    assert!(s.max_depth <= 6);
+
+    let tb = generate_treebank(&TreebankConfig::tiny(1));
+    let s = DocStats::compute_without_size(&tb);
+    assert!(s.max_depth > 6, "TreeBank must be deep");
+
+    let xm = generate_xmark(&XmarkConfig::tiny(1));
+    let s = DocStats::compute_without_size(&xm);
+    assert!(s.distinct_labels >= 40, "XMark is label-rich");
+}

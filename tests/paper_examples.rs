@@ -1,0 +1,172 @@
+//! The paper's worked examples, asserted end-to-end across every engine in
+//! the workspace. The Figure 1 document is reconstructed from the paper's
+//! own derivations (§2 examples, §3 merge order, §4 pointPC/pointAD
+//! values):
+//!
+//! ```text
+//! a1( a2( a3( b1(c1 d1) )  b2( a4( b3(c2 d2(d3)) ) c3 ) )  b4(d4) )
+//! ```
+
+use gtpquery::{parse_twig, Cell};
+use twig2stack::{enumerate, evaluate, evaluate_early, match_document, MatchOptions};
+use twigbaselines::{
+    build_streams, naive_evaluate, tj_fast, twig_stack, DeweyResolver, SatTable, TJFastStats,
+    TwigStackStats,
+};
+use xmlindex::{DeweyIndex, ElementIndex, SliceStream};
+use xmldom::{parse, Document};
+
+const FIG1: &str = "<a><a><a><b><c/><d/></b></a><b><a><b><c/><d><d/></d></b></a><c/></b></a>\
+                    <b><d/></b></a>";
+
+fn figure1() -> Document {
+    parse(FIG1).unwrap()
+}
+
+/// Evaluate with every engine and demand agreement (exact for Twig²Stack
+/// and the oracle; canonical-sorted for the tuple-order-free baselines).
+fn all_engines_agree(doc: &Document, query: &str) -> usize {
+    let gtp = parse_twig(query).unwrap();
+    let expected = naive_evaluate(doc, &gtp);
+
+    let t2s = evaluate(doc, &gtp);
+    assert_eq!(t2s, expected, "Twig2Stack vs oracle on {query}");
+
+    // Baselines handle full twig queries only.
+    if gtp.iter().all(|q| {
+        gtp.role(q) == gtpquery::Role::Return && gtp.edge(q).is_none_or(|e| !e.optional)
+    }) {
+        let index = ElementIndex::build(doc);
+        let owned = build_streams(&index, doc.labels(), &gtp);
+        let streams: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
+        let mut ts = TwigStackStats::default();
+        let twigstack = twig_stack(&gtp, streams, &mut ts);
+        assert_eq!(
+            twigstack.sorted(),
+            expected.clone().sorted(),
+            "TwigStack vs oracle on {query}"
+        );
+
+        let dewey = DeweyIndex::build(doc);
+        let resolver = DeweyResolver::build(&dewey, doc.labels());
+        let mut tj = TJFastStats::default();
+        let tjfast = tj_fast(&gtp, &dewey, doc.labels(), &resolver, &mut tj);
+        assert_eq!(
+            tjfast.sorted(),
+            expected.clone().sorted(),
+            "TJFast vs oracle on {query}"
+        );
+    }
+
+    // Early enumeration, when the shape allows it.
+    if let Ok((early, _)) = evaluate_early(doc, &gtp, MatchOptions::default()) {
+        assert_eq!(early, expected, "early mode vs oracle on {query}");
+    }
+
+    expected.len()
+}
+
+#[test]
+fn section2_example_i_full_path_matches() {
+    // //B//D with both nodes returned: exactly the six matches the paper
+    // lists — (b1,d1), (b2,d2), (b2,d3), (b3,d2), (b3,d3), (b4,d4).
+    assert_eq!(all_engines_agree(&figure1(), "//b//d"), 6);
+}
+
+#[test]
+fn section2_example_ii_duplicates_eliminated() {
+    // D the only return node: (d1), (d2), (d3), (d4) — four rows, no
+    // duplicate elimination needed.
+    let doc = figure1();
+    assert_eq!(all_engines_agree(&doc, "//b!//d"), 4);
+    let rs = evaluate(&doc, &parse_twig("//b!//d").unwrap());
+    assert!(rs.is_duplicate_free());
+}
+
+#[test]
+fn section2_example_iii_document_order() {
+    // //A/B with B the only return node: (b1), (b2), (b3), (b4) in
+    // document order — which differs from the path-match order.
+    let doc = figure1();
+    assert_eq!(all_engines_agree(&doc, "//a!/b"), 4);
+    let rs = evaluate(&doc, &parse_twig("//a!/b").unwrap());
+    let lefts: Vec<u32> = rs
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            Cell::Node(n) => doc.region(n).left,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert!(lefts.windows(2).all(|w| w[0] < w[1]), "document order");
+}
+
+#[test]
+fn figure4_hierarchical_stack_contents() {
+    // The running query //A/B[//D][/C]: HS[A] holds a2, a3, a4 (one stack
+    // tree, a2 on top of the merged root); a1 is rejected because b4 has
+    // no c child.
+    let doc = figure1();
+    let gtp = parse_twig("//a/b[//d][c]").unwrap();
+    let (tm, _) = match_document(&doc, &gtp, MatchOptions { existence_opt: false });
+    let a = gtp.root();
+    assert_eq!(tm.stack(a).pushed(), 3);
+    assert_eq!(tm.stack(a).roots().len(), 1);
+    let sat = SatTable::compute(&doc, &gtp);
+    assert_eq!(sat.matches(a).len(), 3);
+    assert!(!sat.get(a, doc.root()), "a1 must not satisfy the twig");
+    // And the enumeration agrees with the oracle for the full twig.
+    assert_eq!(enumerate(&tm), naive_evaluate(&doc, &gtp));
+}
+
+#[test]
+fn example5_d_only_return() {
+    // A, B, C non-return; D the only return node: tuples (d1), (d2), (d3)
+    // — not d4, whose b4 lacks a c child (paper Example 5).
+    let doc = figure1();
+    assert_eq!(all_engines_agree(&doc, "//a!/b![//d][c!]"), 3);
+    let rs = evaluate(&doc, &parse_twig("//a!/b![//d][c!]").unwrap());
+    for row in &rs.rows {
+        let Cell::Node(n) = row[0] else { panic!() };
+        assert_eq!(doc.tag_name(n), "d");
+    }
+}
+
+#[test]
+fn figure2_gtp_semantics() {
+    // XQuery_1 of Figure 2: D's existence is checked but not returned.
+    let doc = figure1();
+    let g1 = gtpquery::translate("for $b in //a/b where $b//d return $b").unwrap();
+    let rs = evaluate(&doc, &g1);
+    // Every b has an a parent and a d descendant: b1, b2, b3, b4.
+    assert_eq!(rs.len(), 4);
+    assert_eq!(rs, naive_evaluate(&doc, &g1));
+
+    // XQuery_2: optional grouped C children.
+    let g2 = gtpquery::translate("for $b in //a/b let $c := $b/c return ($b, $c)").unwrap();
+    let rs = evaluate(&doc, &g2);
+    assert_eq!(rs.len(), 4, "every a/b appears, with or without c children");
+    let empty_groups = rs
+        .rows
+        .iter()
+        .filter(|r| matches!(&r[1], Cell::Group(g) if g.is_empty()))
+        .count();
+    assert_eq!(empty_groups, 1, "only b4 has no c child");
+}
+
+#[test]
+fn optional_axes_and_groups_on_figure1() {
+    let doc = figure1();
+    all_engines_agree(&doc, "//a/b[?c]");
+    all_engines_agree(&doc, "//a/b[.//?d@]");
+    all_engines_agree(&doc, "//a!/b[//d!][c!]");
+    all_engines_agree(&doc, "//b[?c@][.//?d@]");
+}
+
+#[test]
+fn rooted_versions() {
+    let doc = figure1();
+    assert_eq!(all_engines_agree(&doc, "/a/b"), 1); // only (a1, b4)
+    assert_eq!(all_engines_agree(&doc, "/a//b"), 4);
+    assert_eq!(all_engines_agree(&doc, "/a/a/b"), 1); // (a1, a2, b2)
+}

@@ -1,0 +1,102 @@
+//! Value predicates on element text (`[year='2006']`-style) — paper §3.4
+//! notes that evaluating them during the traversal shrinks the
+//! hierarchical stacks. DOM-mode only: structure-only streams carry no
+//! text.
+
+use gtpquery::{parse_twig, Cell, ValuePred};
+use twig2stack::{evaluate, evaluate_early, match_document, MatchOptions};
+use twigbaselines::naive_evaluate;
+use xmldom::parse;
+
+const DOC: &str = "<dblp>\
+    <inproceedings><title>Twig joins</title><year>2006</year><author>A</author></inproceedings>\
+    <inproceedings><title>Other</title><year>2002</year><author>B</author></inproceedings>\
+    <inproceedings><title>Twig encore</title><year>2006</year><author>C</author></inproceedings>\
+    </dblp>";
+
+#[test]
+fn parser_reads_value_predicates() {
+    let g = parse_twig("//inproceedings[year='2006']/author").unwrap();
+    let year = g.find("year").unwrap();
+    assert_eq!(
+        g.value_pred(year),
+        Some(&ValuePred::TextEquals("2006".into()))
+    );
+    assert!(g.has_value_preds());
+    // Contains variant + role marker after the literal.
+    let g = parse_twig("//inproceedings[title~'Twig'!]/author").unwrap();
+    let title = g.find("title").unwrap();
+    assert_eq!(
+        g.value_pred(title),
+        Some(&ValuePred::TextContains("Twig".into()))
+    );
+    assert_eq!(g.role(title), gtpquery::Role::NonReturn);
+    // Display round-trips.
+    let g2 = parse_twig(&g.to_string()).unwrap();
+    assert_eq!(g2.value_pred(g2.find("title").unwrap()), g.value_pred(title));
+}
+
+#[test]
+fn equals_filters_matches() {
+    let doc = parse(DOC).unwrap();
+    for q in [
+        "//inproceedings[year='2006']/author",
+        "//inproceedings[year='2002'!]/author",
+        "//inproceedings[title~'Twig']/year",
+        "//dblp!/inproceedings[year='2006'!]/author@",
+    ] {
+        let gtp = parse_twig(q).unwrap();
+        let expected = naive_evaluate(&doc, &gtp);
+        assert_eq!(evaluate(&doc, &gtp), expected, "query {q}");
+        if let Ok((early, _)) = evaluate_early(&doc, &gtp, MatchOptions::default()) {
+            assert_eq!(early, expected, "early mode on {q}");
+        }
+    }
+    let gtp = parse_twig("//inproceedings[year='2006']/author").unwrap();
+    let rs = evaluate(&doc, &gtp);
+    assert_eq!(rs.len(), 2); // authors A and C
+}
+
+#[test]
+fn predicate_on_return_node() {
+    let doc = parse(DOC).unwrap();
+    let gtp = parse_twig("//inproceedings!/year='2006'").unwrap();
+    let rs = evaluate(&doc, &gtp);
+    assert_eq!(rs.len(), 2);
+    for row in &rs.rows {
+        let Cell::Node(n) = row[0] else { panic!() };
+        assert_eq!(doc.text(n).map(str::trim), Some("2006"));
+    }
+    assert_eq!(rs, naive_evaluate(&doc, &gtp));
+}
+
+#[test]
+fn predicates_shrink_the_stacks() {
+    // Paper §3.4: value predicates evaluated during the traversal reduce
+    // the number of elements pushed.
+    let doc = parse(DOC).unwrap();
+    let plain = parse_twig("//inproceedings[year]/author").unwrap();
+    let filtered = parse_twig("//inproceedings[year='2006']/author").unwrap();
+    let (_, s_plain) = match_document(&doc, &plain, MatchOptions::default());
+    let (_, s_filtered) = match_document(&doc, &filtered, MatchOptions::default());
+    assert!(s_filtered.elements_pushed < s_plain.elements_pushed);
+    assert!(s_filtered.peak_bytes <= s_plain.peak_bytes);
+}
+
+#[test]
+fn streaming_rejects_value_predicates() {
+    let gtp = parse_twig("//a[b='x']").unwrap();
+    let r = std::panic::catch_unwind(|| {
+        twig2stack::evaluate_streaming("<a><b>x</b></a>", &gtp, MatchOptions::default())
+    });
+    assert!(r.is_err(), "structure-only streams cannot evaluate text");
+}
+
+#[test]
+fn no_text_never_equals() {
+    let doc = parse("<a><b/><b>x</b></a>").unwrap();
+    let gtp = parse_twig("//a/b='x'").unwrap();
+    let rs = evaluate(&doc, &gtp);
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs, naive_evaluate(&doc, &gtp));
+}
