@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml (minus the fmt check, which
+# needs a rustfmt matching the repo's edition settings).
+set -eu
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

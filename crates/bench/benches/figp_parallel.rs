@@ -1,0 +1,34 @@
+//! Criterion bench for Figure P: parallel partitioned evaluation of
+//! XMark-Q1 over thread counts. The per-thread-count medians trace the
+//! speedup curve; `threads = 1` is the serial-fallback baseline. Absolute
+//! speedups depend on the machine's core count — single-core CI traces a
+//! flat curve, which is still the correct measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use twig2stack::evaluate_parallel;
+use twigbench::workload::{xmark, xmark_queries, Profile};
+
+fn figp(c: &mut Criterion) {
+    let nq = &xmark_queries()[0]; // XMark-Q1
+    for scale in [1usize, 2, 3] {
+        let ds = xmark(Profile::Quick, scale);
+        let mut group = c.benchmark_group(format!("figP/XMark-Q1/s={scale}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600))
+            .throughput(Throughput::Elements(ds.doc.len() as u64));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("threads", threads),
+                &ds,
+                |b, ds| b.iter(|| evaluate_parallel(&ds.doc, &nq.gtp, threads).len()),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, figp);
+criterion_main!(benches);

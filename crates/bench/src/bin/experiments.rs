@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|table1|all]
+//! experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|table1|all]
 //! ```
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
@@ -27,11 +27,12 @@ fn main() {
     if !what.iter().all(|w| {
         matches!(
             *w,
-            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "table1"
+            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figP"
+                | "table1"
         )
     }) {
         eprintln!(
-            "usage: experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|table1|all]"
+            "usage: experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|table1|all]"
         );
         std::process::exit(2);
     }
@@ -61,6 +62,10 @@ fn main() {
     }
     if wants("fig19") {
         let (_, report) = twigbench::fig19(profile);
+        println!("{report}");
+    }
+    if wants("figP") {
+        let (_, report) = twigbench::figp(profile, &[1, 2, 3, 4], &[1, 2, 3, 4, 5, 6, 7, 8]);
         println!("{report}");
     }
     if wants("table1") {

@@ -18,7 +18,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod workload;
 
-pub use experiments::{fig14, fig15, fig16, fig17, fig18, fig19, table1, Algo};
+pub use experiments::{fig14, fig15, fig16, fig17, fig18, fig19, figp, table1, Algo};
 pub use metrics::{run_tjfast, run_twig2stack, run_twigstack, QueryCost};
 pub use workload::{
     dblp, dblp_queries, fig18_variants, fig19_variants, treebank, treebank_queries, xmark,

@@ -82,6 +82,23 @@ impl EdgeLists {
     pub fn total_edges(&self) -> usize {
         self.lists.iter().map(Vec::len).sum()
     }
+
+    /// Shift every target's stack id: list `i` (edges into the `i`-th
+    /// child query node's stack) moves up by `offsets[i]`. Used when a
+    /// parallel chunk's arenas are spliced after another arena's nodes.
+    pub(crate) fn remap(&mut self, offsets: &[u32]) {
+        for (list, &off) in self.lists.iter_mut().zip(offsets) {
+            if off == 0 {
+                continue;
+            }
+            for t in list {
+                match t {
+                    EdgeTarget::Subtree { root, .. } => root.0 += off,
+                    EdgeTarget::Element(stack, _) => stack.0 += off,
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

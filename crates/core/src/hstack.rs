@@ -83,7 +83,7 @@ const ELEM_BYTES: usize = std::mem::size_of::<StackElem>();
 pub(crate) const EDGE_BYTES: usize = std::mem::size_of::<EdgeTarget>();
 
 /// The hierarchical stack of one query node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HierStack {
     nodes: Vec<StackNode>,
     /// Root stack trees, ascending `RightPos`.
@@ -96,19 +96,27 @@ pub struct HierStack {
     live_bytes: usize,
     /// Total elements ever pushed (statistics).
     pushed: usize,
+    /// Recycled element buffers from cleared / truncated stack nodes, so
+    /// hot-path node allocation reuses capacity instead of hitting the
+    /// allocator (drawn on by [`Self::alloc_node`]).
+    spare_elems: Vec<Vec<StackElem>>,
+    /// Recycled child-list buffers, same purpose.
+    spare_children: Vec<Vec<SId>>,
 }
 
 impl HierStack {
     /// New empty hierarchical stack. `existence_only` enables the paper's
     /// §3.5 truncation.
     pub fn new(existence_only: bool) -> Self {
-        HierStack {
-            nodes: Vec::new(),
-            roots: Vec::new(),
-            existence_only,
-            live_bytes: 0,
-            pushed: 0,
-        }
+        HierStack { existence_only, ..HierStack::default() }
+    }
+
+    /// Clear all state and switch mode, retaining arena and buffer-pool
+    /// capacity for reuse (see [`crate::context::EvalContext`]).
+    pub fn reset(&mut self, existence_only: bool) {
+        self.clear();
+        self.existence_only = existence_only;
+        self.pushed = 0;
     }
 
     /// Whether §3.5 truncation is active.
@@ -132,6 +140,12 @@ impl HierStack {
         self.pushed
     }
 
+    /// Number of arena slots (live and dead) — the id offset a spliced
+    /// stack's nodes shift by.
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Logical live bytes held by this stack's structures.
     pub fn live_bytes(&self) -> usize {
         self.live_bytes
@@ -143,9 +157,18 @@ impl HierStack {
     }
 
     /// Drop all trees (early result enumeration cleanup, paper §4.4).
+    /// Node buffers go to the spare pools rather than the allocator, so a
+    /// reused stack allocates nothing while re-growing to its former size.
     pub fn clear(&mut self) {
+        for n in &mut self.nodes {
+            let mut elems = std::mem::take(&mut n.elems);
+            elems.clear();
+            self.spare_elems.push(elems);
+            let mut children = std::mem::take(&mut n.children);
+            children.clear();
+            self.spare_children.push(children);
+        }
         self.nodes.clear();
-        self.nodes.shrink_to_fit();
         self.roots.clear();
         self.live_bytes = 0;
     }
@@ -252,7 +275,8 @@ impl HierStack {
         if count < 2 {
             return;
         }
-        let children: Vec<SId> = self.roots.drain(first..).collect();
+        let mut children = self.spare_children.pop().unwrap_or_default();
+        children.extend(self.roots.drain(first..));
         let left = children
             .iter()
             .map(|&c| self.nodes[c.index()].left)
@@ -267,18 +291,61 @@ impl HierStack {
         if self.existence_only {
             // §3.5: merged subtrees are no longer reachable by any future
             // parent/ancestor check; drop them.
-            for c in children {
+            for &c in &children {
                 self.live_bytes -= self.subtree_bytes(c);
                 // Leave the arena slot in place (ids must stay stable) but
-                // free its heap payload.
-                let n = &mut self.nodes[c.index()];
-                n.elems = Vec::new();
-                n.children = Vec::new();
+                // recycle its heap payload. Its child list is always empty
+                // in existence mode (merges never assign children here).
+                let mut elems = std::mem::take(&mut self.nodes[c.index()].elems);
+                elems.clear();
+                self.spare_elems.push(elems);
             }
+            children.clear();
+            self.spare_children.push(children);
         } else {
-            self.nodes[merged.index()].children = children;
+            let unused =
+                std::mem::replace(&mut self.nodes[merged.index()].children, children);
+            self.spare_children.push(unused);
         }
         self.roots.push(merged);
+    }
+
+    /// Append another stack's forest after this one (parallel chunk
+    /// merge). All of `other`'s trees must lie strictly after every tree
+    /// already here in document order — chunk subtrees are region-disjoint
+    /// and processed in document order, so this holds by construction.
+    ///
+    /// `other`'s node ids shift up by this arena's current length;
+    /// `child_offsets[i]` is the matching shift for the stack of the
+    /// owning query node's `i`-th child, applied to each element's edge
+    /// list `i`.
+    pub(crate) fn splice(&mut self, other: HierStack, child_offsets: &[u32]) {
+        debug_assert_eq!(
+            self.existence_only, other.existence_only,
+            "spliced stacks must agree on §3.5 truncation mode"
+        );
+        if let (Some(&last), Some(&first)) = (self.roots.last(), other.roots.first()) {
+            debug_assert!(
+                self.nodes[last.index()].right < other.nodes[first.index()].left,
+                "spliced forest must follow the existing one in document order"
+            );
+        }
+        let offset = self.nodes.len() as u32;
+        for mut n in other.nodes {
+            for c in &mut n.children {
+                c.0 += offset;
+            }
+            for e in &mut n.elems {
+                e.edges.remap(child_offsets);
+            }
+            self.nodes.push(n);
+        }
+        self.roots
+            .extend(other.roots.into_iter().map(|r| SId(r.0 + offset)));
+        self.live_bytes += other.live_bytes;
+        self.pushed += other.pushed;
+        self.spare_elems.extend(other.spare_elems);
+        self.spare_children.extend(other.spare_children);
     }
 
     fn alloc_node(&mut self, left: u32, right: u32) -> SId {
@@ -286,8 +353,8 @@ impl HierStack {
         self.nodes.push(StackNode {
             left,
             right,
-            elems: Vec::new(),
-            children: Vec::new(),
+            elems: self.spare_elems.pop().unwrap_or_default(),
+            children: self.spare_children.pop().unwrap_or_default(),
         });
         self.live_bytes += STACK_NODE_BYTES;
         id
@@ -312,8 +379,14 @@ impl HierStack {
     /// stack, then child trees).
     pub fn tree_elements(&self, id: SId) -> Vec<(SId, u32)> {
         let mut out = Vec::new();
-        self.collect_tree(id, &mut out);
+        self.tree_elements_into(id, &mut out);
         out
+    }
+
+    /// Like [`Self::tree_elements`], appending into a caller-owned buffer
+    /// (which is not cleared) so repeated walks can reuse capacity.
+    pub fn tree_elements_into(&self, id: SId, out: &mut Vec<(SId, u32)>) {
+        self.collect_tree(id, out);
     }
 
     fn collect_tree(&self, id: SId, out: &mut Vec<(SId, u32)>) {

@@ -15,7 +15,9 @@
 //!   representation, without materializing tuples;
 //! * [`early`] — the hybrid PathStack + Twig²Stack mode with early result
 //!   enumeration (§4.4);
-//! * [`memory`] — runtime memory accounting (§5.4, Table 1).
+//! * [`memory`] — runtime memory accounting (§5.4, Table 1);
+//! * [`parallel`] — partitioned multi-threaded evaluation with a serial
+//!   spine replay (exactly equivalent to the serial matcher).
 //!
 //! ## Quick start
 //!
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod count;
 pub mod early;
 pub mod edges;
@@ -39,13 +42,18 @@ pub mod enumerate;
 pub mod hstack;
 pub mod matcher;
 pub mod memory;
+pub mod parallel;
 pub mod sot;
 
+pub use context::EvalContext;
 pub use count::count_results;
 pub use early::{evaluate_auto, evaluate_early, EarlyMatcher, EarlyStats, EarlyUnsupported};
 pub use enumerate::enumerate;
 pub use matcher::{match_document, MatchOptions, MatchStats, Matcher, TwigMatch};
 pub use memory::MemoryMeter;
+pub use parallel::{
+    evaluate_parallel, match_document_parallel, parallel_plan, FallbackReason, ParallelPlan,
+};
 
 use gtpquery::{Gtp, ResultSet};
 use xmldom::Document;

@@ -68,11 +68,26 @@ pub struct Matcher<'g> {
 impl<'g> Matcher<'g> {
     /// Create a matcher for `gtp` against documents using `labels`.
     pub fn new(gtp: &'g Gtp, labels: &LabelTable, options: MatchOptions) -> Self {
+        Self::new_in(gtp, labels, options, &mut crate::context::EvalContext::new())
+    }
+
+    /// Like [`Self::new`], drawing arenas and scratch buffers from `ctx`'s
+    /// pools instead of allocating fresh ones. Pair with
+    /// [`Self::finish_into`] / [`EvalContext::recycle`](crate::context::EvalContext::recycle)
+    /// to return them.
+    pub fn new_in(
+        gtp: &'g Gtp,
+        labels: &LabelTable,
+        options: MatchOptions,
+        ctx: &mut crate::context::EvalContext,
+    ) -> Self {
         let analysis = QueryAnalysis::new(gtp);
         let dispatch = LabelDispatch::compile(gtp, labels);
         let stacks = gtp
             .iter()
-            .map(|q| HierStack::new(options.existence_opt && analysis.is_existence_checking(q)))
+            .map(|q| {
+                ctx.take_stack(options.existence_opt && analysis.is_existence_checking(q))
+            })
             .collect();
         let max_children = gtp.iter().map(|q| gtp.children(q).len()).max().unwrap_or(0);
         Matcher {
@@ -80,7 +95,7 @@ impl<'g> Matcher<'g> {
             analysis,
             dispatch,
             stacks,
-            scratch: vec![Vec::new(); max_children],
+            scratch: (0..max_children).map(|_| ctx.take_scratch()).collect(),
             text: None,
             meter: MemoryMeter::new(),
             stats: MatchStats::default(),
@@ -109,7 +124,47 @@ impl<'g> Matcher<'g> {
             let q = self.dispatch.query_nodes(label)[i];
             self.match_one_node(node, region, q);
         }
-        let live: usize = self.stacks.iter().map(HierStack::live_bytes).sum();
+        let live = self.live_bytes();
+        self.meter.sample(live);
+    }
+
+    /// Current logical bytes held by the hierarchical stacks. The parallel
+    /// evaluator aggregates this across workers into a shared counter so
+    /// the reported peak is the true concurrent peak, not a per-worker max
+    /// or a sum of per-worker peaks.
+    pub fn live_bytes(&self) -> usize {
+        self.stacks.iter().map(HierStack::live_bytes).sum()
+    }
+
+    /// Graft a finished chunk encoding onto this matcher (parallel merge):
+    /// every stack tree of `chunk` is appended after this matcher's
+    /// current trees, with edge targets remapped into the combined arenas,
+    /// and the chunk's counters are folded into this matcher's statistics
+    /// (peak bytes are tracked by the caller across workers). The chunk
+    /// must answer the same query and lie strictly after everything
+    /// processed so far in document order.
+    pub(crate) fn splice(&mut self, chunk: TwigMatch<'g>, stats: &MatchStats) {
+        debug_assert!(
+            std::ptr::eq(self.gtp, chunk.gtp),
+            "chunk must answer the same query"
+        );
+        // Snapshot every arena's length first: a chunk element's edge list
+        // `i` references the *child* query node's stack, whose nodes land
+        // at the child's pre-splice offset.
+        let offsets: Vec<u32> = self.stacks.iter().map(|s| s.node_count() as u32).collect();
+        for (q, stack) in self.gtp.iter().zip(chunk.stacks) {
+            let child_offsets: Vec<u32> = self
+                .gtp
+                .children(q)
+                .iter()
+                .map(|c| offsets[c.index()])
+                .collect();
+            self.stacks[q.index()].splice(stack, &child_offsets);
+        }
+        self.stats.elements_pushed += stats.elements_pushed;
+        self.stats.elements_considered += stats.elements_considered;
+        self.stats.edges_created += stats.edges_created;
+        let live = self.live_bytes();
         self.meter.sample(live);
     }
 
@@ -184,7 +239,7 @@ impl<'g> Matcher<'g> {
     /// Finish matching: return the encoding plus statistics.
     pub fn finish(mut self) -> (TwigMatch<'g>, MatchStats) {
         self.stats.peak_bytes = self.meter.peak();
-        self.stats.final_bytes = self.stacks.iter().map(HierStack::live_bytes).sum();
+        self.stats.final_bytes = self.live_bytes();
         (
             TwigMatch {
                 gtp: self.gtp,
@@ -193,6 +248,17 @@ impl<'g> Matcher<'g> {
             },
             self.stats,
         )
+    }
+
+    /// [`Self::finish`], returning the scratch edge buffers to `ctx`'s
+    /// pool. (The stack arenas travel inside the returned [`TwigMatch`];
+    /// recycle them with [`EvalContext::recycle`](crate::context::EvalContext::recycle).)
+    pub fn finish_into(
+        mut self,
+        ctx: &mut crate::context::EvalContext,
+    ) -> (TwigMatch<'g>, MatchStats) {
+        ctx.put_scratch(std::mem::take(&mut self.scratch));
+        self.finish()
     }
 }
 
@@ -255,6 +321,11 @@ impl TwigMatch<'_> {
         for s in &self.stacks {
             s.check_invariants();
         }
+    }
+
+    /// Dismantle into the per-query-node stack arenas (for pooling).
+    pub(crate) fn into_stacks(self) -> Vec<HierStack> {
+        self.stacks
     }
 }
 

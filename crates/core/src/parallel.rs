@@ -1,0 +1,439 @@
+//! Parallel partitioned evaluation.
+//!
+//! Twig²Stack's bottom-up pass is a single post-order scan, but its state
+//! is *regional*: processing an element only ever touches stack trees
+//! whose regions lie inside it (`merge_check` / `push` walk roots back
+//! until `right < e.left`). Two disjoint subtrees therefore never interact
+//! — all cross-subtree work happens at their common ancestors. That makes
+//! the following partitioned evaluation exactly equivalent to the serial
+//! algorithm:
+//!
+//! 1. **Partition** the document into *chunks*: independent subtrees
+//!    (initially the children of the root, refined one level deeper while
+//!    a single chunk holds more than half the document). Every element not
+//!    inside a chunk is on the **spine** — the ancestors of the cut.
+//! 2. **Workers** (one [`Matcher`] per task, a run of adjacent sibling
+//!    chunks) process their chunks' events in document order. Within a
+//!    task the matcher state is exactly the serial state restricted to
+//!    those chunks.
+//! 3. **Spine replay** on the calling thread walks the spine in post-order
+//!    and, at each chunk's document position, *splices* the finished chunk
+//!    encoding into the main matcher's stacks (arena append + edge-id
+//!    remap — no re-matching), then closes spine elements with the
+//!    ordinary [`Matcher::on_element_close`]. Splices and spine closes
+//!    interleave in document order, so every spine merge sees exactly the
+//!    root trees the serial run would see.
+//!
+//! Queries for which partitioning cannot help fall back to the serial
+//! path (see [`FallbackReason`]); correctness never depends on the
+//! partition heuristic, only load balance does.
+//!
+//! Peak memory ([`MatchStats::peak_bytes`]) is the **true concurrent
+//! peak**: workers and the spine replay post live-byte deltas to one
+//! shared counter and the reported peak is the maximum that counter ever
+//! reached — not a sum of per-worker peaks (which overstates) nor their
+//! max (which understates the serial-equivalent figure).
+
+use crate::context::EvalContext;
+use crate::enumerate::enumerate;
+use crate::matcher::{match_document, MatchOptions, MatchStats, Matcher, TwigMatch};
+use gtpquery::{Gtp, QueryAnalysis, ResultSet};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use xmldom::{DocEvents, Document, Event, NodeId};
+
+/// Why a document/query/thread-count combination runs serially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Fewer than two worker threads requested.
+    SingleThread,
+    /// The partitioner found fewer than two independent chunks (tiny or
+    /// path-shaped document).
+    TooFewChunks,
+    /// Query analysis says chunk workers would have no useful work.
+    Query(gtpquery::ParallelFallback),
+}
+
+/// How [`evaluate_parallel`] will process a document/query pair — exposed
+/// so tests (and tuning) can observe partitioning decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelPlan {
+    /// Serial fallback, with the reason.
+    Serial(FallbackReason),
+    /// Partitioned execution.
+    Partitioned {
+        /// Worker threads that will be spawned (≤ requested).
+        threads: usize,
+        /// Independent chunk subtrees.
+        chunks: usize,
+        /// Worker tasks (runs of adjacent sibling chunks).
+        tasks: usize,
+    },
+}
+
+/// Subtree weight proxy: the region span covers two tag positions per
+/// contained element, so it is proportional to subtree size without a
+/// traversal.
+fn weight(doc: &Document, n: NodeId) -> u64 {
+    let r = doc.region(n);
+    (r.right - r.left) as u64
+}
+
+/// Cut the document into independent chunk subtrees, in document order.
+///
+/// Start from the children of the root; while some chunk is heavier than
+/// `total / (2 × threads)` — too coarse to balance across the requested
+/// workers — replace the heaviest such refinable chunk with its children
+/// (its root joins the spine). This gives per-record parallelism both for
+/// flat corpora (DBLP: every record is a root child) and for nested ones
+/// (XMark: `site` has few children, and for auction queries nearly all
+/// the work hides below the single `open_auctions` container).
+fn partition(doc: &Document, threads: usize) -> Vec<NodeId> {
+    if doc.is_empty() {
+        return Vec::new();
+    }
+    let max_chunks = threads.saturating_mul(32).min(4096);
+    let mut chunks: Vec<NodeId> = doc.children(doc.root()).collect();
+    while chunks.len() < max_chunks {
+        let total: u64 = chunks.iter().map(|&c| weight(doc, c)).sum();
+        let target = (total / (2 * threads as u64)).max(1);
+        // The heaviest chunk that is both too coarse and refinable (leaves
+        // heavier than the target just stay — text-heavy records).
+        let Some((i, _)) = chunks
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| weight(doc, c) > target && doc.first_child(c).is_some())
+            .max_by_key(|&(_, &c)| weight(doc, c))
+        else {
+            break;
+        };
+        let cmax = chunks[i];
+        // Children occupy the replaced chunk's document-order position.
+        chunks.splice(i..=i, doc.children(cmax));
+    }
+    chunks
+}
+
+/// Group chunks into worker tasks: runs of *adjacent* sibling chunks
+/// (nothing — in particular no spine element — between them), capped at
+/// roughly `1 / (3 × threads)` of the total weight so work can be stolen
+/// evenly. Adjacency is what lets one matcher process a whole run and
+/// still be spliced at a single document position.
+fn build_tasks(doc: &Document, chunks: &[NodeId], threads: usize) -> Vec<Range<usize>> {
+    let total: u64 = chunks.iter().map(|&c| weight(doc, c)).sum();
+    let target = (total / (threads as u64 * 3).max(1)).max(1);
+    let mut tasks = Vec::new();
+    let mut start = 0;
+    let mut acc = 0u64;
+    for i in 0..chunks.len() {
+        acc += weight(doc, chunks[i]);
+        let adjacent_next =
+            i + 1 < chunks.len() && doc.next_sibling(chunks[i]) == Some(chunks[i + 1]);
+        if acc >= target || !adjacent_next {
+            tasks.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    tasks
+}
+
+/// Chunk roots, adjacent-run tasks over them, and the worker count.
+type Plan = (Vec<NodeId>, Vec<Range<usize>>, usize);
+
+fn make_plan(doc: &Document, gtp: &Gtp, threads: usize) -> Result<Plan, FallbackReason> {
+    if threads < 2 {
+        return Err(FallbackReason::SingleThread);
+    }
+    if let Some(r) = QueryAnalysis::new(gtp).parallel_fallback() {
+        return Err(FallbackReason::Query(r));
+    }
+    let chunks = partition(doc, threads);
+    if chunks.len() < 2 {
+        return Err(FallbackReason::TooFewChunks);
+    }
+    let tasks = build_tasks(doc, &chunks, threads);
+    let workers = threads.min(tasks.len());
+    Ok((chunks, tasks, workers))
+}
+
+/// The execution plan [`evaluate_parallel`] would use, without running it.
+pub fn parallel_plan(doc: &Document, gtp: &Gtp, threads: usize) -> ParallelPlan {
+    match make_plan(doc, gtp, threads) {
+        Err(reason) => ParallelPlan::Serial(reason),
+        Ok((chunks, tasks, workers)) => ParallelPlan::Partitioned {
+            threads: workers,
+            chunks: chunks.len(),
+            tasks: tasks.len(),
+        },
+    }
+}
+
+/// Post a live-bytes delta to the shared concurrent-memory counter and
+/// fold the new total into the peak. Deltas can be negative (existence
+/// truncation, §3.5); wrapping two's-complement arithmetic makes the
+/// shared sum exact regardless of interleaving.
+fn post_delta(current: &AtomicUsize, peak: &AtomicUsize, prev: &mut usize, now: usize) {
+    let delta = now.wrapping_sub(*prev);
+    let cur = current.fetch_add(delta, Ordering::Relaxed).wrapping_add(delta);
+    peak.fetch_max(cur, Ordering::Relaxed);
+    *prev = now;
+}
+
+/// [`match_document`] over partitioned chunks on `threads` worker threads.
+///
+/// Exactly equivalent to the serial matcher — same pushed elements, same
+/// result edges, same enumeration — with `peak_bytes` reporting the true
+/// concurrent peak across all threads. Falls back to the serial path when
+/// [`parallel_plan`] says partitioning cannot help.
+pub fn match_document_parallel<'g>(
+    doc: &'g Document,
+    gtp: &'g Gtp,
+    options: MatchOptions,
+    threads: usize,
+) -> (TwigMatch<'g>, MatchStats) {
+    let (chunks, tasks, workers) = match make_plan(doc, gtp, threads) {
+        Ok(plan) => plan,
+        Err(_) => return match_document(doc, gtp, options),
+    };
+
+    let current = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let next_task = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, TwigMatch<'g>, MatchStats)>();
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (current, peak, next_task) = (&current, &peak, &next_task);
+            let (chunks, tasks) = (&chunks, &tasks);
+            s.spawn(move |_| {
+                let mut ctx = EvalContext::new();
+                loop {
+                    let i = next_task.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    let mut m = Matcher::new_in(gtp, doc.labels(), options, &mut ctx)
+                        .with_text_source(doc);
+                    let mut prev = 0usize;
+                    for &chunk in &chunks[task.clone()] {
+                        for ev in DocEvents::subtree(doc, chunk) {
+                            if let Event::End { elem, label, region } = ev {
+                                m.on_element_close(elem, label, region);
+                                post_delta(current, peak, &mut prev, m.live_bytes());
+                            }
+                        }
+                    }
+                    let (tm, stats) = m.finish_into(&mut ctx);
+                    // The encoding's bytes stay live (counted in `current`)
+                    // until the spine replay takes ownership of them.
+                    tx.send((i, tm, stats)).expect("main thread receives");
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(tx);
+
+    let mut slots: Vec<Option<(TwigMatch<'g>, MatchStats)>> =
+        (0..tasks.len()).map(|_| None).collect();
+    for (i, tm, stats) in rx {
+        slots[i] = Some((tm, stats));
+    }
+
+    // Spine replay: post-order over the spine only. Chunks are met in
+    // document order; at the first chunk of each task, splice the whole
+    // task's encoding (ownership of its bytes transfers — no delta).
+    let mut ctx = EvalContext::new();
+    let mut m = Matcher::new_in(gtp, doc.labels(), options, &mut ctx).with_text_source(doc);
+    let mut prev = 0usize;
+    let mut next_chunk = 0usize;
+    let mut next_splice = 0usize; // task whose first chunk splices next
+    let root = doc.root();
+    let mut stack: Vec<(NodeId, Option<NodeId>)> = vec![(root, doc.first_child(root))];
+    while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+        if let Some(c) = *child {
+            *child = doc.next_sibling(c);
+            if next_chunk < chunks.len() && chunks[next_chunk] == c {
+                if next_splice < tasks.len() && tasks[next_splice].start == next_chunk {
+                    let (tm, stats) = slots[next_splice].take().expect("task result");
+                    m.splice(tm, &stats);
+                    prev = m.live_bytes();
+                    next_splice += 1;
+                }
+                next_chunk += 1;
+            } else {
+                stack.push((c, doc.first_child(c)));
+            }
+        } else {
+            m.on_element_close(node, doc.label(node), doc.region(node));
+            post_delta(&current, &peak, &mut prev, m.live_bytes());
+            stack.pop();
+        }
+    }
+    debug_assert_eq!(next_chunk, chunks.len(), "replay must visit every chunk");
+
+    let (tm, mut stats) = m.finish_into(&mut ctx);
+    stats.peak_bytes = peak.load(Ordering::Relaxed);
+    (tm, stats)
+}
+
+/// [`crate::evaluate`] on `threads` worker threads: partition, match
+/// chunks in parallel, splice, enumerate. Results are identical to the
+/// serial [`crate::evaluate`] (duplicate-free, document order).
+///
+/// ```
+/// use gtpquery::parse_twig;
+/// use twig2stack::{evaluate, evaluate_parallel};
+/// use xmldom::parse;
+///
+/// let doc = parse("<dblp><article><author/></article><article/></dblp>").unwrap();
+/// let gtp = parse_twig("//article[author]").unwrap();
+/// assert_eq!(evaluate_parallel(&doc, &gtp, 4), evaluate(&doc, &gtp));
+/// ```
+pub fn evaluate_parallel(doc: &Document, gtp: &Gtp, threads: usize) -> ResultSet {
+    let (tm, _) = match_document_parallel(doc, gtp, MatchOptions::default(), threads);
+    enumerate(&tm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_results;
+    use crate::evaluate;
+    use gtpquery::{parse_twig, ParallelFallback};
+    use xmldom::parse;
+
+    /// Several records under one root, with matches crossing none of the
+    /// chunk boundaries and spine elements (`a`) matched by some queries.
+    const CORPUS: &str = "<a>\
+        <a><b><c/></b></a>\
+        <b/>\
+        <b><c/><c/></b>\
+        <d><b><c/></b><b/></d>\
+        <a><a><b><c/><d/></b></a></a>\
+        </a>";
+
+    const QUERIES: &[&str] = &[
+        "//a/b[c]",
+        "//a//b",
+        "//a[b]//c",
+        "//a/b[?c@]",
+        "//a!/b[c!]",
+        "//b[c][d]",
+        "//a/a//b",
+        "/a/b",
+        "//*[c]",
+    ];
+
+    #[test]
+    fn parallel_matches_serial_on_fixed_corpus() {
+        let doc = parse(CORPUS).unwrap();
+        for q in QUERIES {
+            let gtp = parse_twig(q).unwrap();
+            for threads in [2, 3, 4, 8] {
+                let rs = evaluate_parallel(&doc, &gtp, threads);
+                assert_eq!(rs, evaluate(&doc, &gtp), "query {q}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counters_match_serial() {
+        let doc = parse(CORPUS).unwrap();
+        for q in QUERIES {
+            let gtp = parse_twig(q).unwrap();
+            let (stm, ss) = match_document(&doc, &gtp, MatchOptions::default());
+            let (ptm, ps) = match_document_parallel(&doc, &gtp, MatchOptions::default(), 4);
+            ptm.check_invariants();
+            assert_eq!(ps.elements_pushed, ss.elements_pushed, "{q}");
+            assert_eq!(ps.elements_considered, ss.elements_considered, "{q}");
+            assert_eq!(ps.edges_created, ss.edges_created, "{q}");
+            assert_eq!(ps.final_bytes, ss.final_bytes, "{q}");
+            assert_eq!(ptm.root_match_count(), stm.root_match_count(), "{q}");
+            assert_eq!(count_results(&ptm), count_results(&stm), "{q}");
+            // The concurrent peak can exceed the serial peak only by what
+            // is simultaneously live — never below the final live bytes.
+            assert!(ps.peak_bytes >= ps.final_bytes, "{q}");
+        }
+    }
+
+    #[test]
+    fn rooted_single_node_query_takes_serial_fallback() {
+        let doc = parse("<dblp><article/><article/></dblp>").unwrap();
+        let gtp = parse_twig("/dblp").unwrap();
+        assert_eq!(
+            parallel_plan(&doc, &gtp, 4),
+            ParallelPlan::Serial(FallbackReason::Query(ParallelFallback::RootedSingleNode))
+        );
+        assert_eq!(evaluate_parallel(&doc, &gtp, 4), evaluate(&doc, &gtp));
+    }
+
+    #[test]
+    fn degenerate_inputs_take_serial_fallback() {
+        let doc = parse(CORPUS).unwrap();
+        let gtp = parse_twig("//a/b").unwrap();
+        assert_eq!(
+            parallel_plan(&doc, &gtp, 1),
+            ParallelPlan::Serial(FallbackReason::SingleThread)
+        );
+        let tiny = parse("<a><b/></a>").unwrap();
+        assert_eq!(
+            parallel_plan(&tiny, &gtp, 4),
+            ParallelPlan::Serial(FallbackReason::TooFewChunks)
+        );
+        // A path-shaped document has no sibling cut anywhere.
+        let path = parse("<a><b><c><d/></c></b></a>").unwrap();
+        assert_eq!(
+            parallel_plan(&path, &gtp, 4),
+            ParallelPlan::Serial(FallbackReason::TooFewChunks)
+        );
+        // The fallbacks still answer correctly.
+        assert_eq!(evaluate_parallel(&doc, &gtp, 1), evaluate(&doc, &gtp));
+        assert_eq!(evaluate_parallel(&tiny, &gtp, 4), evaluate(&tiny, &gtp));
+        assert_eq!(evaluate_parallel(&path, &gtp, 4), evaluate(&path, &gtp));
+    }
+
+    #[test]
+    fn partitioner_refines_below_a_dominant_child() {
+        // XMark-like shape: the root's single heavy child must not become
+        // one giant chunk; the cut descends to its children.
+        let doc = parse(
+            "<site><regions>\
+             <item><name/></item><item><name/></item>\
+             <item><name/></item><item><name/></item>\
+             </regions></site>",
+        )
+        .unwrap();
+        let gtp = parse_twig("//item[name]").unwrap();
+        match parallel_plan(&doc, &gtp, 2) {
+            ParallelPlan::Partitioned { chunks, .. } => assert_eq!(chunks, 4),
+            p => panic!("expected partitioned plan, got {p:?}"),
+        }
+        assert_eq!(evaluate_parallel(&doc, &gtp, 2), evaluate(&doc, &gtp));
+    }
+
+    #[test]
+    fn matches_spanning_spine_and_chunks() {
+        // The query's root matches only the document root (spine), its
+        // children live in different chunks: every cross-boundary edge
+        // must survive splicing and remapping.
+        let doc = parse("<r><x><k/></x><y><k/></y><x/><y><k/><k/></y></r>").unwrap();
+        for q in ["//r[x]//k", "/r/x", "//r[x][y]//k", "//r//k"] {
+            let gtp = parse_twig(q).unwrap();
+            assert_eq!(evaluate_parallel(&doc, &gtp, 4), evaluate(&doc, &gtp), "{q}");
+        }
+    }
+
+    #[test]
+    fn value_predicates_cross_threads() {
+        let doc = parse(
+            "<lib><book><year>2006</year></book><book><year>1999</year></book>\
+             <book><year>2006</year></book></lib>",
+        )
+        .unwrap();
+        let gtp = parse_twig("//book[year='2006']").unwrap();
+        assert_eq!(evaluate_parallel(&doc, &gtp, 3), evaluate(&doc, &gtp));
+        assert_eq!(evaluate_parallel(&doc, &gtp, 3).len(), 2);
+    }
+}

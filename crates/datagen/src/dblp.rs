@@ -94,7 +94,7 @@ fn emit_title(b: &mut DocumentBuilder, rng: &mut SmallRng, key: usize) {
 }
 
 fn emit_authors(b: &mut DocumentBuilder, rng: &mut SmallRng, key: usize) {
-    let n = 1 + rng.gen_range(0..4); // 1..=4 authors
+    let n = 1 + rng.gen_range(0usize..4); // 1..=4 authors
     for a in 0..n {
         b.leaf("author", &format!("Author {}", (key * 7 + a) % 997)).unwrap();
     }

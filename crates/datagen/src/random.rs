@@ -53,7 +53,7 @@ pub fn generate_random_tree(cfg: &RandomTreeConfig) -> Document {
     for _ in 1..cfg.nodes {
         // Decide how far to pop before attaching the next node. Popping to
         // depth 0 is not allowed (single root).
-        let descend = depth < cfg.max_depth && rng.gen_range(0..100) < cfg.depth_bias;
+        let descend = depth < cfg.max_depth && rng.gen_range(0u32..100) < cfg.depth_bias;
         if !descend && depth > 1 {
             let pops = rng.gen_range(1..depth); // keep at least the root open
             for _ in 0..pops {

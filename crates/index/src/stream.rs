@@ -98,16 +98,30 @@ pub struct ElementIndex {
 }
 
 impl ElementIndex {
-    /// Build the index in one document pass. Elements within each label
-    /// list are in document order because node ids are pre-order ordinals.
+    /// Build the index in two document passes: a label histogram first, so
+    /// every per-label vector is allocated at its exact final size, then a
+    /// fill pass that never reallocates. Elements within each label list
+    /// are in document order because node ids are pre-order ordinals.
     pub fn build(doc: &Document) -> Self {
-        let mut by_label: Vec<Vec<IndexedElement>> = vec![Vec::new(); doc.labels().len()];
+        let mut histogram = vec![0usize; doc.labels().len()];
+        for n in doc.iter() {
+            histogram[doc.label(n).index()] += 1;
+        }
+        let mut by_label: Vec<Vec<IndexedElement>> =
+            histogram.iter().map(|&n| Vec::with_capacity(n)).collect();
         for n in doc.iter() {
             by_label[doc.label(n).index()].push(IndexedElement {
                 id: n,
                 region: doc.region(n),
             });
         }
+        debug_assert!(
+            by_label
+                .iter()
+                .zip(&histogram)
+                .all(|(v, &n)| v.len() == n && v.capacity() == n),
+            "second pass must fill exactly the pre-sized capacity"
+        );
         ElementIndex { by_label }
     }
 
@@ -187,6 +201,16 @@ mod tests {
         assert_eq!(s.next_elem(), None);
         s.advance(); // advancing at EOF is a no-op
         assert!(s.is_eof());
+    }
+
+    #[test]
+    fn build_pre_sizes_exactly() {
+        let doc = parse("<a><b/><a><b/><b/></a><c/></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        for label_ix in 0..idx.label_count() {
+            let v = &idx.by_label[label_ix];
+            assert_eq!(v.capacity(), v.len(), "label {label_ix} over-allocated");
+        }
     }
 
     #[test]

@@ -32,6 +32,25 @@ pub struct QueryAnalysis {
     mandatory_groups: Vec<Vec<Vec<usize>>>,
     /// Non-fatal issues found during analysis.
     issues: Vec<ValidationIssue>,
+    /// Query-side reason document-partitioned parallel evaluation must use
+    /// the serial path, if any.
+    parallel_fallback: Option<ParallelFallback>,
+}
+
+/// Why document-partitioned parallel evaluation of a query must fall back
+/// to the serial path (see `twig2stack::parallel`).
+///
+/// The spine-replay merge makes partitioning sound for rooted queries,
+/// root-recursive labels, and wildcards (spine elements are matched
+/// serially, after the per-chunk encodings are spliced back in document
+/// order), so only query shapes that leave the workers with no useful work
+/// are classified here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelFallback {
+    /// A rooted single-node query (e.g. `/dblp`): only level-1 elements can
+    /// match, and those live on the spine — every chunk worker would be
+    /// idle while the serial spine replay does all the matching.
+    RootedSingleNode,
 }
 
 /// Problems that make a GTP unusual or unsupported.
@@ -159,6 +178,12 @@ impl QueryAnalysis {
             })
             .collect();
 
+        let parallel_fallback = if gtp.is_rooted() && gtp.len() == 1 {
+            Some(ParallelFallback::RootedSingleNode)
+        } else {
+            None
+        };
+
         QueryAnalysis {
             output_below,
             existence,
@@ -166,6 +191,7 @@ impl QueryAnalysis {
             top_branch,
             mandatory_groups,
             issues,
+            parallel_fallback,
         }
     }
 
@@ -208,6 +234,13 @@ impl QueryAnalysis {
     /// Issues found during analysis. Empty ⇒ the query is fully supported.
     pub fn issues(&self) -> &[ValidationIssue] {
         &self.issues
+    }
+
+    /// Query-side reason partitioned parallel evaluation must run serially,
+    /// or `None` when chunk workers can contribute.
+    #[inline]
+    pub fn parallel_fallback(&self) -> Option<ParallelFallback> {
+        self.parallel_fallback
     }
 
     /// True iff result enumeration is well-defined for this query
@@ -350,6 +383,21 @@ mod tests {
         let c = g.find("c").unwrap();
         assert!(an.issues().contains(&ValidationIssue::OptionalOutput(c)));
         assert!(an.enumerable()); // supported, just produces nulls/empty groups
+    }
+
+    #[test]
+    fn parallel_fallback_classification() {
+        let rooted_single = parse_twig("/dblp").unwrap();
+        assert_eq!(
+            QueryAnalysis::new(&rooted_single).parallel_fallback(),
+            Some(ParallelFallback::RootedSingleNode)
+        );
+        // Unrooted single-node and rooted multi-node queries keep workers
+        // busy (chunk elements can match some query node).
+        for q in ["//dblp", "/site/open_auctions[.//bidder]//reserve", "//a/b"] {
+            let g = parse_twig(q).unwrap();
+            assert_eq!(QueryAnalysis::new(&g).parallel_fallback(), None, "{q}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod parse;
 pub mod results;
 pub mod xquery;
 
-pub use analysis::{LabelDispatch, QueryAnalysis, ValidationIssue};
+pub use analysis::{LabelDispatch, ParallelFallback, QueryAnalysis, ValidationIssue};
 pub use gtp::{Axis, Edge, Gtp, GtpBuilder, NodeTest, QNodeId, Role, ValuePred};
 pub use parse::{parse_twig, QueryParseError};
 pub use results::{Cell, ResultSet};

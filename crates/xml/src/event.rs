@@ -67,6 +67,9 @@ pub struct DocEvents<'a> {
     doc: &'a Document,
     /// The next event to emit: `(node, is_end)`, or `None` when done.
     next: Option<(NodeId, bool)>,
+    /// Subtree scope: the walk ends after emitting this node's `End`
+    /// (`None` = whole document).
+    scope: Option<NodeId>,
 }
 
 impl<'a> DocEvents<'a> {
@@ -77,7 +80,14 @@ impl<'a> DocEvents<'a> {
         } else {
             Some((doc.root(), false))
         };
-        DocEvents { doc, next }
+        DocEvents { doc, next, scope: None }
+    }
+
+    /// Events for the subtree rooted at `root` only: its `Start` first,
+    /// its `End` last, nothing outside. Used by the parallel evaluator to
+    /// feed one document chunk to a worker.
+    pub fn subtree(doc: &'a Document, root: NodeId) -> Self {
+        DocEvents { doc, next: Some((root, false)), scope: Some(root) }
     }
 }
 
@@ -94,6 +104,8 @@ impl Iterator for DocEvents<'_> {
                 Some(c) => Some((c, false)),
                 None => Some((node, true)),
             }
+        } else if self.scope == Some(node) {
+            None
         } else {
             match self.doc.next_sibling(node) {
                 Some(s) => Some((s, false)),
@@ -260,6 +272,34 @@ mod tests {
             assert!(depth >= 0);
         }
         assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn subtree_events_cover_exactly_the_subtree() {
+        let doc = parse(SRC).unwrap();
+        // The <b> subtree: b, c.
+        let b = doc.first_child(doc.root()).unwrap();
+        let events: Vec<Event> = DocEvents::subtree(&doc, b).collect();
+        let names: Vec<(&str, bool)> = events
+            .iter()
+            .map(|e| {
+                (doc.labels().name(e.label()), matches!(e, Event::End { .. }))
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![("b", false), ("c", false), ("c", true), ("b", true)]
+        );
+        // A leaf subtree emits exactly its own Start/End pair.
+        let d = doc.next_sibling(b).unwrap();
+        let leaf: Vec<Event> = DocEvents::subtree(&doc, d).collect();
+        assert_eq!(leaf.len(), 2);
+        assert_eq!(leaf[0].elem(), d);
+        assert_eq!(leaf[1].elem(), d);
+        // The root subtree equals the whole document stream.
+        let whole: Vec<Event> = DocEvents::new(&doc).collect();
+        let rooted: Vec<Event> = DocEvents::subtree(&doc, doc.root()).collect();
+        assert_eq!(whole, rooted);
     }
 
     #[test]

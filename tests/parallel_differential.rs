@@ -1,0 +1,170 @@
+//! Differential testing of the parallel partitioned evaluator: for every
+//! document × query × thread count, `evaluate_parallel` must produce the
+//! *identical* `ResultSet` (same rows, same order) and the identical
+//! factorized count as the serial engine. Documents include single-record
+//! and path-shaped trees (chunk count < 2 ⇒ serial fallback) as well as
+//! the three realistic dataset generators.
+
+use gtpquery::{parse_twig, Axis, Gtp, GtpBuilder, ParallelFallback, QueryAnalysis, Role};
+use proptest::prelude::*;
+use twig2stack::{
+    count_results, evaluate, evaluate_parallel, match_document, match_document_parallel,
+    parallel_plan, FallbackReason, MatchOptions, ParallelPlan,
+};
+use xmlgen::{
+    generate_dblp, generate_random_tree, generate_treebank, generate_xmark, DblpConfig,
+    RandomTreeConfig, TreebankConfig, XmarkConfig,
+};
+use xmldom::{write, Document, Indent};
+
+const LABELS: [&str; 5] = ["a", "b", "c", "d", "*"];
+
+/// One random query node: label, parent (index into already-built nodes),
+/// axis, optionality, role.
+fn node_spec() -> impl Strategy<Value = (usize, prop::sample::Index, bool, bool, u8)> {
+    (
+        0usize..LABELS.len(),
+        any::<prop::sample::Index>(),
+        any::<bool>(),
+        prop::bool::weighted(0.25),
+        0u8..3,
+    )
+}
+
+fn build_query(specs: Vec<(usize, prop::sample::Index, bool, bool, u8)>, rooted: bool) -> Gtp {
+    let role = |r: u8| match r {
+        0 => Role::Return,
+        1 => Role::NonReturn,
+        _ => Role::GroupReturn,
+    };
+    let mut b = GtpBuilder::new(LABELS[specs[0].0], rooted);
+    let root = b.root();
+    b.role(root, role(specs[0].4));
+    let mut ids = vec![root];
+    for &(label, parent, pc, optional, r) in &specs[1..] {
+        let parent = ids[parent.index(ids.len())];
+        let axis = if pc { Axis::Child } else { Axis::Descendant };
+        ids.push(b.add(parent, LABELS[label], axis, optional, role(r)));
+    }
+    let gtp = b.build();
+    let analysis = QueryAnalysis::new(&gtp);
+    if analysis.enumerable() && !analysis.columns().is_empty() {
+        gtp
+    } else {
+        gtp.all_return()
+    }
+}
+
+fn query_strategy() -> impl Strategy<Value = Gtp> {
+    (prop::collection::vec(node_spec(), 1..6), any::<bool>())
+        .prop_map(|(specs, rooted)| build_query(specs, rooted))
+}
+
+/// Random trees from 1 node (root only — no chunks at all) up: small
+/// alphabets force recursive nestings, low depth bounds force bushy
+/// multi-chunk shapes, high ones force path-shaped fallbacks.
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    (1usize..80, 1usize..4, 2u32..10, 0u32..100, any::<u64>()).prop_map(
+        |(nodes, alphabet, max_depth, depth_bias, seed)| {
+            generate_random_tree(&RandomTreeConfig {
+                nodes,
+                alphabet,
+                max_depth,
+                depth_bias,
+                seed,
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    /// The headline property: identical `ResultSet` and identical
+    /// factorized count, for any thread count, on random documents ×
+    /// random GTPs.
+    #[test]
+    fn parallel_matches_serial(
+        doc in doc_strategy(),
+        gtp in query_strategy(),
+        threads in 2usize..9,
+    ) {
+        let expected = evaluate(&doc, &gtp);
+        let got = evaluate_parallel(&doc, &gtp, threads);
+        prop_assert_eq!(
+            &got, &expected,
+            "threads={} doc={} query={}",
+            threads, write(&doc, Indent::None), gtp
+        );
+
+        let (stm, ss) = match_document(&doc, &gtp, MatchOptions::default());
+        let (ptm, ps) = match_document_parallel(&doc, &gtp, MatchOptions::default(), threads);
+        ptm.check_invariants();
+        prop_assert_eq!(count_results(&ptm), count_results(&stm));
+        prop_assert_eq!(ps.elements_pushed, ss.elements_pushed);
+        prop_assert_eq!(ps.edges_created, ss.edges_created);
+        prop_assert_eq!(ps.final_bytes, ss.final_bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same equivalence on the realistic dataset generators, with each
+    /// dataset's idiomatic query shapes.
+    #[test]
+    fn parallel_matches_serial_on_datasets(seed in any::<u64>(), threads in 2usize..7) {
+        let corpora: [(Document, &[&str]); 3] = [
+            (
+                generate_dblp(&DblpConfig::tiny(seed)),
+                &[
+                    "//dblp/inproceedings[title]/author",
+                    "//dblp/article[author][.//title]//year",
+                    "//dblp!/inproceedings[title!]/author@",
+                ],
+            ),
+            (
+                generate_treebank(&TreebankConfig { sentences: 12, max_depth: 16, seed }),
+                &["//s/vp/pp[in]/np", "//vp[dt]//nn", "//s!/np[?pp@]"],
+            ),
+            (
+                generate_xmark(&XmarkConfig::tiny(seed)),
+                &[
+                    "/site/open_auctions[.//bidder/personref]//reserve",
+                    "//item[location]/description//keyword",
+                    "//person[?homepage]/name",
+                ],
+            ),
+        ];
+        for (doc, queries) in &corpora {
+            for q in *queries {
+                let gtp = parse_twig(q).unwrap();
+                prop_assert_eq!(
+                    evaluate_parallel(doc, &gtp, threads),
+                    evaluate(doc, &gtp),
+                    "threads={} query={}", threads, q
+                );
+            }
+        }
+    }
+}
+
+/// A rooted single-node query leaves the workers nothing to do: every
+/// candidate lives on the spine. The plan must say so, and the answer must
+/// still be correct.
+#[test]
+fn rooted_dblp_takes_serial_fallback() {
+    let doc = generate_dblp(&DblpConfig::tiny(7));
+    let gtp = parse_twig("/dblp").unwrap();
+    assert_eq!(
+        parallel_plan(&doc, &gtp, 8),
+        ParallelPlan::Serial(FallbackReason::Query(ParallelFallback::RootedSingleNode))
+    );
+    assert_eq!(evaluate_parallel(&doc, &gtp, 8), evaluate(&doc, &gtp));
+    // The same corpus with a multi-node query does partition.
+    let multi = parse_twig("//dblp/article/author").unwrap();
+    assert!(matches!(
+        parallel_plan(&doc, &multi, 8),
+        ParallelPlan::Partitioned { chunks: 2.., .. }
+    ));
+}

@@ -1,0 +1,301 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset its benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, group configuration knobs,
+//! `Throughput`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: after a warm-up, each benchmark
+//! runs batches of iterations until the measurement budget elapses and the
+//! best per-iteration time is reported (best-of is robust to scheduling
+//! noise on a loaded machine). There is no statistical analysis, HTML
+//! report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point for the measurement type used in group signatures.
+pub mod measurement {
+    /// Wall-clock time measurement (the only kind supported).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Throughput annotation; recorded and echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` parameterized by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher<'a> {
+    config: &'a GroupConfig,
+    /// Best observed per-iteration time, filled in by `iter`.
+    best: Option<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, keeping the best per-iteration time observed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+
+        // Measurement: batches of `batch` iterations until the budget
+        // elapses, at least `sample_size` iterations total.
+        let mut best = Duration::MAX;
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.config.measurement_time;
+        let batch = 1u32;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let per_iter = start.elapsed() / batch;
+            if per_iter < best {
+                best = per_iter;
+            }
+            iters += batch as u64;
+            if Instant::now() >= deadline && iters >= self.config.sample_size as u64 {
+                break;
+            }
+        }
+        self.best = Some(best);
+        self.iters_done = iters;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+    _measurement: core::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Target number of iterations (floor, not exact).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.config.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.name);
+        let mut b = Bencher { config: &self.config, best: None, iters_done: 0 };
+        f(&mut b);
+        self.criterion.report(&label, &b, self.config.throughput);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (report separator; kept for API parity).
+    pub fn finish(&mut self) {
+        eprintln!();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: GroupConfig::default(),
+            _measurement: core::marker::PhantomData,
+        }
+    }
+
+    /// Run a single ungrouped benchmark with default configuration.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let config = GroupConfig::default();
+        let mut b = Bencher { config: &config, best: None, iters_done: 0 };
+        f(&mut b);
+        let label = id.name.clone();
+        self.report(&label, &b, None);
+        self
+    }
+
+    fn report(&mut self, label: &str, b: &Bencher<'_>, throughput: Option<Throughput>) {
+        self.benches_run += 1;
+        match b.best {
+            Some(best) => {
+                let extra = match throughput {
+                    Some(Throughput::Elements(n)) if best.as_secs_f64() > 0.0 => {
+                        format!("  ({:.0} elem/s)", n as f64 / best.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(n)) if best.as_secs_f64() > 0.0 => {
+                        format!("  ({:.0} B/s)", n as f64 / best.as_secs_f64())
+                    }
+                    _ => String::new(),
+                };
+                eprintln!(
+                    "{label:<56} time: {:>12?}  (best of {} iters){extra}",
+                    best, b.iters_done
+                );
+            }
+            None => eprintln!("{label:<56} (no measurement: closure never called iter)"),
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {
+        eprintln!("benchmarks complete: {} benches", self.benches_run);
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Opaque value barrier (re-exported by upstream criterion).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(calls >= 3);
+        assert_eq!(c.benches_run, 2);
+    }
+}

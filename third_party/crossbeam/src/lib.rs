@@ -1,0 +1,103 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the one API it uses: scoped threads (`crossbeam::scope`,
+//! `crossbeam::thread::Scope::spawn`, `ScopedJoinHandle::join`),
+//! implemented over `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantics match upstream where it matters: spawned closures receive the
+//! scope (so they can spawn nested tasks), joins return `thread::Result`,
+//! and `scope` itself returns `Err` instead of unwinding when an unjoined
+//! child panics.
+
+pub use self::thread::scope;
+
+/// Scoped-thread API, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a join: `Err` carries the child's panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope in which borrowed-data threads can be spawned.
+    ///
+    /// Thin wrapper over [`std::thread::Scope`]; `Copy` so it can be moved
+    /// into spawned closures for nested spawning.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; join before the scope ends to observe
+    /// the result (unjoined threads are joined implicitly at scope exit).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread; the closure receives the scope for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope; blocks until all spawned threads finish.
+    ///
+    /// Returns `Err` if `f` or any unjoined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let n = crate::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn panic_becomes_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("child panic"));
+        });
+        assert!(r.is_err());
+        let joined = crate::scope(|s| s.spawn(|_| panic!("boom")).join().is_err()).unwrap();
+        assert!(joined);
+    }
+}

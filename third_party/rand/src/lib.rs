@@ -1,0 +1,207 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small API subset it actually uses: a seedable deterministic
+//! generator ([`rngs::SmallRng`]) plus [`Rng::gen_range`] / [`Rng::gen_bool`].
+//! The generator is xoshiro256++ with splitmix64 seeding — high-quality and
+//! deterministic, though its output differs from upstream `SmallRng` (all
+//! in-tree users only rely on determinism, never on specific sequences).
+
+/// Core source of randomness: a 64-bit word stream.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (subset of upstream's trait).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = ((end - start) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return start + rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Width fits the unsigned twin even when end - start
+                // overflows the signed type.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = ((end as $u).wrapping_sub(start as $u) as u64).wrapping_add(1);
+                if span == 0 {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    #[inline]
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let same: usize = (0..64)
+            .filter(|_| {
+                SmallRng::seed_from_u64(7);
+                a.gen_range(0u32..1 << 30) == c.gen_range(0u32..1 << 30)
+            })
+            .count();
+        assert!(same < 8, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5u32..=6);
+            assert!((5..=6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
