@@ -8,4 +8,13 @@ cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Documentation: the public API must be fully documented (the in-repo
+# crates set `#![warn(missing_docs)]`; -D warnings turns that fatal) and
+# every doc example must run. Third-party stubs are excluded — they are
+# offline API shims, not part of the documented surface.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p xmldom -p gtpquery -p xmlindex -p xmlgen \
+    -p twig2stack -p twigbaselines -p twig2stack-obs -p twigbench
+cargo test --workspace -q --doc
+
 echo "ci.sh: all checks passed"

@@ -69,6 +69,7 @@ pub fn merge_join<T: Ord + Clone>(
     stats: &mut JoinStats,
 ) -> Vec<Vec<T>> {
     assert!(!per_path.is_empty(), "a twig has at least one path");
+    let _span = twigobs::span(twigobs::Phase::Enumerate);
     stats.path_solutions = per_path.iter().map(|p| p.solutions.len()).sum();
     // If any path has no solutions, the twig has none.
     if per_path.iter().any(|p| p.solutions.is_empty()) {
@@ -174,6 +175,9 @@ pub fn merge_join<T: Ord + Clone>(
     }
 
     stats.output_tuples = acc.len();
+    // The join is the baselines' result-producing stage; count its
+    // output tuples as the enumerated results.
+    twigobs::add(twigobs::Counter::ResultsEnumerated, acc.len() as u64);
     acc.into_iter()
         .map(|row| {
             row.into_iter()

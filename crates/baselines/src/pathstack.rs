@@ -68,6 +68,7 @@ pub fn path_stack<S: ElemStream>(
         q = c;
     }
     assert_eq!(streams.len(), path.len(), "one stream per path node");
+    let _span = twigobs::span(twigobs::Phase::Match);
 
     let axes: Vec<Option<Axis>> = path
         .iter()
@@ -123,10 +124,12 @@ pub fn path_stack<S: ElemStream>(
             // Leaf: expand solutions right away; the leaf element itself
             // never needs to stay (nothing points below it).
             stats.elements_pushed += 1;
+            twigobs::bump(twigobs::Counter::StackPushes);
             expand(&stacks, &axes, qi, &e, ptr, &mut Vec::new(), &mut solutions);
         } else {
             stacks[qi].push((e, ptr));
             stats.elements_pushed += 1;
+            twigobs::bump(twigobs::Counter::StackPushes);
         }
     }
     stats.solutions = solutions.len();

@@ -83,6 +83,7 @@ pub fn tj_fast_solutions(
         !gtp.has_value_preds(),
         "TJFast operates on structural indexes without element text"
     );
+    let _span = twigobs::span(twigobs::Phase::Match);
     let paths = root_to_leaf_paths(gtp);
     let mut out = Vec::with_capacity(paths.len());
     for path in paths {
@@ -129,6 +130,9 @@ pub fn tj_fast_solutions(
         let mut solutions = Vec::new();
         for (_, dewey) in &leaf_elems {
             stats.elements_scanned += 1;
+            // TJFast reads leaf records directly (no ElemStream), so the
+            // obs scan counter is maintained here.
+            twigobs::bump(twigobs::Counter::ElementsScanned);
             // Decode the ancestor label path from the Dewey id alone.
             let label_path = index.decode_labels(dewey);
             let names: Vec<&str> = label_path.iter().map(|&l| labels.name(l)).collect();

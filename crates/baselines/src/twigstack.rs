@@ -166,6 +166,7 @@ pub fn twig_stack_solutions<S: ElemStream>(
         "TwigStack operates on structural indexes without element text"
     );
     assert_eq!(streams.len(), gtp.len());
+    let _span = twigobs::span(twigobs::Phase::Match);
     let paths = root_to_leaf_paths(gtp);
     let mut run = Run {
         gtp,
@@ -231,6 +232,7 @@ pub fn twig_stack_solutions<S: ElemStream>(
             .parent(q)
             .map_or(0, |p| run.stacks[p.index()].len() as u32);
         run.stats.elements_pushed += 1;
+        twigobs::bump(twigobs::Counter::StackPushes);
         if gtp.is_leaf(q) {
             let lp = leaf_path[q.index()].expect("leaf has a path");
             run.show_solutions(lp, e, ptr);

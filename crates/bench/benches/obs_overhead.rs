@@ -1,0 +1,43 @@
+//! Criterion bench measuring the overhead of the observability layer on
+//! the matching hot path. Run twice and compare medians:
+//!
+//! ```text
+//! cargo bench -p twigbench --bench obs_overhead --no-default-features   # obs off
+//! cargo bench -p twigbench --bench obs_overhead                        # obs on
+//! ```
+//!
+//! With the `obs` feature off every `twigobs` hook compiles to an empty
+//! inline function, so the two runs should be within noise of each other
+//! (the acceptance budget is ≤1%). The bench prints whether recording is
+//! compiled in so the two runs cannot be confused.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use twig2stack::evaluate;
+use twigbench::workload::{xmark, xmark_queries, Profile};
+
+fn obs_overhead(c: &mut Criterion) {
+    eprintln!(
+        "obs recording compiled in: {} (compare against the other configuration)",
+        twigobs::ENABLED
+    );
+    let nq = &xmark_queries()[0]; // XMark-Q1
+    for scale in [1usize, 2, 3] {
+        let ds = xmark(Profile::Quick, scale);
+        let mut group = c.benchmark_group(format!("obs_overhead/XMark-Q1/s={scale}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600))
+            .throughput(Throughput::Elements(ds.doc.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("obs", twigobs::ENABLED),
+            &ds,
+            |b, ds| b.iter(|| evaluate(&ds.doc, &nq.gtp).len()),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

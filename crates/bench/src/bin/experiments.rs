@@ -7,8 +7,23 @@
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
 //! uses laptop-scale documents comparable in spirit to the paper's setup.
+//!
+//! Every figure/table run also writes an observability sidecar
+//! `target/metrics/<name>.metrics.json` (schema `twig2stack.metrics/v1`,
+//! see EXPERIMENTS.md). Build with `--no-default-features` to compile the
+//! counters out; the sidecars are then written with zeroed counters and
+//! `"obs_enabled": false`.
 
 use twigbench::workload::Profile;
+
+/// Drain this run's obs metrics into `target/metrics/<name>.metrics.json`.
+fn emit_sidecar(name: &str, quick: bool) {
+    let profile = if quick { "quick" } else { "full" };
+    match twigbench::write_sidecar(name, profile) {
+        Ok(path) => println!("metrics sidecar: {}\n", path.display()),
+        Err(e) => eprintln!("warning: no metrics sidecar for {name}: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,32 +59,40 @@ fn main() {
 
     if wants("fig14") {
         println!("{}", twigbench::fig14(profile));
+        emit_sidecar("fig14", quick);
     }
     if wants("fig15") {
         println!("{}", twigbench::fig15());
+        emit_sidecar("fig15", quick);
     }
     if wants("fig16") {
         let (_, report) = twigbench::fig16(profile);
         println!("{report}");
+        emit_sidecar("fig16", quick);
     }
     if wants("fig17") {
         let (_, report) = twigbench::fig17(profile, &[1, 2, 3, 4, 5]);
         println!("{report}");
+        emit_sidecar("fig17", quick);
     }
     if wants("fig18") {
         let (_, report) = twigbench::fig18(profile);
         println!("{report}");
+        emit_sidecar("fig18", quick);
     }
     if wants("fig19") {
         let (_, report) = twigbench::fig19(profile);
         println!("{report}");
+        emit_sidecar("fig19", quick);
     }
     if wants("figP") {
         let (_, report) = twigbench::figp(profile, &[1, 2, 3, 4], &[1, 2, 3, 4, 5, 6, 7, 8]);
         println!("{report}");
+        emit_sidecar("figP", quick);
     }
     if wants("table1") {
         let (_, report) = twigbench::table1(profile);
         println!("{report}");
+        emit_sidecar("table1", quick);
     }
 }

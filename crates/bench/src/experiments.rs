@@ -312,6 +312,14 @@ pub struct Table1Row {
     pub peak_with_erm: usize,
     /// Early-enumeration trigger count.
     pub triggers: usize,
+    /// Elements whose label matched some query node (pure mode).
+    pub elements_considered: usize,
+    /// Elements pushed into hierarchical stacks (pure mode).
+    pub elements_pushed: usize,
+    /// Result edges recorded (pure mode).
+    pub edges_created: usize,
+    /// Results, counted over the encoding without materializing tuples.
+    pub results: u64,
 }
 
 /// Table 1: runtime memory usage with and without early result
@@ -328,7 +336,8 @@ pub fn table1(profile: Profile) -> (Vec<Table1Row>, String) {
     ];
     for (ds, queries) in &mut workloads {
         for nq in queries {
-            let (_, stats) = match_document(&ds.doc, &nq.gtp, MatchOptions::default());
+            let (tm, stats) = match_document(&ds.doc, &nq.gtp, MatchOptions::default());
+            let results = twig2stack::count_results(&tm);
             let (erm_peak, triggers) =
                 match evaluate_early(&ds.doc, &nq.gtp, MatchOptions::default()) {
                     Ok((_, es)) => (es.peak_bytes, es.triggers),
@@ -340,6 +349,10 @@ pub fn table1(profile: Profile) -> (Vec<Table1Row>, String) {
                 peak_without_erm: stats.peak_bytes,
                 peak_with_erm: erm_peak,
                 triggers,
+                elements_considered: stats.elements_considered,
+                elements_pushed: stats.elements_pushed,
+                edges_created: stats.edges_created,
+                results,
             });
         }
     }
@@ -356,13 +369,28 @@ pub fn table1(profile: Profile) -> (Vec<Table1Row>, String) {
                     "{:.0}x",
                     r.peak_without_erm as f64 / r.peak_with_erm.max(1) as f64
                 ),
+                format!("{}", r.elements_considered),
+                format!("{}", r.elements_pushed),
+                format!("{}", r.edges_created),
+                format!("{}", r.results),
             ]
         })
         .collect();
     let report = format!(
-        "Table 1 — runtime memory usage (peak bytes, -ERM vs +ERM)\n{}",
+        "Table 1 — runtime memory usage (peak bytes, -ERM vs +ERM) with match counters\n{}",
         render_table(
-            &["dataset", "query", "-ERM", "+ERM", "triggers", "reduction"],
+            &[
+                "dataset",
+                "query",
+                "-ERM",
+                "+ERM",
+                "triggers",
+                "reduction",
+                "considered",
+                "pushed",
+                "edges",
+                "results",
+            ],
             &rows
         )
     );
@@ -542,6 +570,20 @@ mod tests {
         );
         // No speedup assertion: CI machines may expose a single core; the
         // curve itself is the deliverable (see EXPERIMENTS.md, figP).
+    }
+
+    #[test]
+    fn table1_counter_columns_are_populated() {
+        let (rows, report) = table1(Profile::Quick);
+        for h in ["considered", "pushed", "edges", "results"] {
+            assert!(report.contains(h), "missing column {h}");
+        }
+        for r in &rows {
+            assert!(r.elements_considered > 0, "{}/{}", r.dataset, r.query);
+            if r.results > 0 {
+                assert!(r.elements_pushed > 0, "{}/{}", r.dataset, r.query);
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! * [`metrics`] — per-algorithm timing runners and the real-IO stream
 //!   scanner (the paper's query-processing / total-execution split);
 //! * [`experiments`] — one driver per figure/table, shared by the
-//!   `experiments` binary, the criterion benches, and the tests.
+//!   `experiments` binary, the criterion benches, and the tests;
+//! * [`sidecar`] — `*.metrics.json` observability sidecars written next
+//!   to each figure run (see DESIGN.md §7).
 //!
 //! Run `cargo run -p twigbench --release --bin experiments -- all` to
 //! regenerate the full evaluation.
@@ -16,10 +18,12 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod sidecar;
 pub mod workload;
 
 pub use experiments::{fig14, fig15, fig16, fig17, fig18, fig19, figp, table1, Algo};
 pub use metrics::{run_tjfast, run_twig2stack, run_twigstack, QueryCost};
+pub use sidecar::write_sidecar;
 pub use workload::{
     dblp, dblp_queries, fig18_variants, fig19_variants, treebank, treebank_queries, xmark,
     xmark_queries, Dataset, NamedQuery, Profile,

@@ -1,0 +1,65 @@
+//! JSON metrics sidecars (`*.metrics.json`) for experiment runs.
+//!
+//! Every figure/table run of the `experiments` binary drains the obs
+//! accumulator into a [`twigobs::RunReport`] and writes it next to the
+//! other build artifacts under [`METRICS_DIR`]. The schema is
+//! `twig2stack.metrics/v1` (see EXPERIMENTS.md and DESIGN.md §7); with the
+//! `obs` feature disabled the file is still written, with `"obs_enabled":
+//! false` and all-zero counters, so consumers need no special casing.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use twigobs::RunReport;
+
+/// Directory sidecars are written to, relative to the invocation cwd
+/// (the workspace root for `cargo run`).
+pub const METRICS_DIR: &str = "target/metrics";
+
+/// Drain the calling thread's obs accumulator into a report named `name`,
+/// tag it with the run `profile`, and write
+/// `target/metrics/<name>.metrics.json`. Returns the sidecar path.
+pub fn write_sidecar(name: &str, profile: &str) -> io::Result<PathBuf> {
+    let report = RunReport::capture(name).with_context("profile", profile);
+    write_report(&report, Path::new(METRICS_DIR))
+}
+
+/// Serialize `report` to `<dir>/<report.name>.metrics.json`.
+pub fn write_report(report: &RunReport, dir: &Path) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.metrics.json", report.name));
+    fs::write(&path, report.to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigobs::Metrics;
+
+    #[test]
+    fn sidecar_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("twigbench-sidecar-test");
+        let report = RunReport::from_metrics("unit", Metrics::default())
+            .with_context("profile", "quick");
+        let path = write_report(&report, &dir).unwrap();
+        assert!(path.ends_with("unit.metrics.json"));
+        let body = fs::read_to_string(&path).unwrap();
+        assert_eq!(body, report.to_json());
+        assert!(body.contains("\"schema\": \"twig2stack.metrics/v1\""));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_sidecar_captures_and_names_the_run() {
+        twigobs::bump(twigobs::Counter::Chunks);
+        let path = write_sidecar("sidecar-capture-test", "quick").unwrap();
+        let body = fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\": \"sidecar-capture-test\""));
+        assert!(body.contains("\"profile\": \"quick\""));
+        if twigobs::ENABLED {
+            assert!(body.contains("\"chunks\": 1"));
+        }
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,6 +1,6 @@
 //! Reusable evaluation state.
 //!
-//! A [`Matcher`](crate::Matcher) allocates one [`HierStack`] arena per
+//! A [`Matcher`] allocates one [`HierStack`] arena per
 //! query node plus scratch edge buffers; evaluating many queries (or many
 //! document chunks, see [`crate::parallel`]) rebuilds all of it each time.
 //! [`EvalContext`] pools both between evaluations: stacks are handed out

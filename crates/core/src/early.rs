@@ -295,6 +295,7 @@ impl<'g> EarlyMatcher<'g> {
                     .is_some_and(|t| t.left < left),
             };
             if ok {
+                twigobs::bump(twigobs::Counter::StackPushes);
                 self.tstacks[q.index()].push(TElem { node: elem, left, level });
                 pushed.push(q);
             } else {
@@ -408,6 +409,7 @@ impl<'g> EarlyMatcher<'g> {
     /// then clear all hierarchical stacks.
     fn trigger(&mut self) {
         self.stats.triggers += 1;
+        let _span = twigobs::span(twigobs::Phase::Enumerate);
         let view = MatchView {
             gtp: self.gtp,
             analysis: &self.analysis,
@@ -459,6 +461,7 @@ impl<'g> EarlyMatcher<'g> {
             }
         }
         self.stats.rows = rs.len();
+        twigobs::add(twigobs::Counter::ResultsEnumerated, rs.len() as u64);
         (rs, self.stats)
     }
 }
@@ -604,8 +607,11 @@ pub fn evaluate_early<'g>(
     options: MatchOptions,
 ) -> Result<(ResultSet, EarlyStats), EarlyUnsupported> {
     let mut m = EarlyMatcher::new(gtp, doc.labels(), options)?.with_text_source(doc);
-    for ev in xmldom::DocEvents::new(doc) {
-        m.on_event(ev);
+    {
+        let _span = twigobs::span(twigobs::Phase::Match);
+        for ev in xmldom::DocEvents::new(doc) {
+            m.on_event(ev);
+        }
     }
     Ok(m.finish())
 }

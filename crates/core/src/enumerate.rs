@@ -32,6 +32,13 @@ pub fn enumerate(tm: &TwigMatch<'_>) -> ResultSet {
 }
 
 pub(crate) fn enumerate_view(tm: &MatchView<'_>) -> ResultSet {
+    let _span = twigobs::span(twigobs::Phase::Enumerate);
+    let result = enumerate_view_inner(tm);
+    twigobs::add(twigobs::Counter::ResultsEnumerated, result.len() as u64);
+    result
+}
+
+fn enumerate_view_inner(tm: &MatchView<'_>) -> ResultSet {
     let analysis = tm.analysis;
     assert!(
         analysis.enumerable(),

@@ -226,6 +226,7 @@ impl HierStack {
     /// `MatchOneNode` lines 6–7). Returns the element's location.
     pub fn push(&mut self, node: NodeId, region: Region, edges: EdgeLists) -> (SId, u32) {
         self.pushed += 1;
+        twigobs::bump(twigobs::Counter::StackPushes);
         let first_desc = self.first_descendant_root(&region);
         self.merge_tail(first_desc);
         // After merging, at most one root tree is a descendant of `region`.
@@ -275,6 +276,7 @@ impl HierStack {
         if count < 2 {
             return;
         }
+        twigobs::bump(twigobs::Counter::Merges);
         let mut children = self.spare_children.pop().unwrap_or_default();
         children.extend(self.roots.drain(first..));
         let left = children

@@ -81,16 +81,22 @@ pub fn evaluate_streaming(
     // matching, so run a first lightweight pass for labels only. (A real
     // stream processor would intern lazily; two passes keep this simple
     // and still never build a DOM.)
-    let mut pass1 = xmldom::EventParser::new(xml);
-    while pass1.next_event()?.is_some() {}
-    let labels = pass1.into_labels();
+    let labels = {
+        let _span = twigobs::span(twigobs::Phase::Parse);
+        let mut pass1 = xmldom::EventParser::new(xml);
+        while pass1.next_event()?.is_some() {}
+        pass1.into_labels()
+    };
 
     let mut matcher = Matcher::new(gtp, &labels, options);
-    let mut pass2 = xmldom::EventParser::new(xml);
-    while let Some(ev) = pass2.next_event()? {
-        if let xmldom::Event::End { elem, label, region } = ev {
-            // Both passes intern labels in first-seen order, so ids align.
-            matcher.on_element_close(elem, label, region);
+    {
+        let _span = twigobs::span(twigobs::Phase::Match);
+        let mut pass2 = xmldom::EventParser::new(xml);
+        while let Some(ev) = pass2.next_event()? {
+            if let xmldom::Event::End { elem, label, region } = ev {
+                // Both passes intern labels in first-seen order, so ids align.
+                matcher.on_element_close(elem, label, region);
+            }
         }
     }
     let (tm, stats) = matcher.finish();

@@ -232,6 +232,7 @@ impl<'g> Matcher<'g> {
             )
         };
         self.stats.edges_created += edges.total_edges();
+        twigobs::add(twigobs::Counter::EdgesCreated, edges.total_edges() as u64);
         self.stacks[q.index()].push(node, region, edges);
         self.stats.elements_pushed += 1;
     }
@@ -335,6 +336,7 @@ pub fn match_document<'g>(
     gtp: &'g Gtp,
     options: MatchOptions,
 ) -> (TwigMatch<'g>, MatchStats) {
+    let _span = twigobs::span(twigobs::Phase::Match);
     let mut m = Matcher::new(gtp, doc.labels(), options).with_text_source(doc);
     for ev in xmldom::DocEvents::new(doc) {
         if let Event::End { elem, label, region } = ev {

@@ -195,13 +195,20 @@ pub fn match_document_parallel<'g>(
 ) -> (TwigMatch<'g>, MatchStats) {
     let (chunks, tasks, workers) = match make_plan(doc, gtp, threads) {
         Ok(plan) => plan,
-        Err(_) => return match_document(doc, gtp, options),
+        Err(_) => {
+            twigobs::bump(twigobs::Counter::Fallbacks);
+            return match_document(doc, gtp, options);
+        }
     };
+    // Opened only on the partitioned path: the serial fallback above is
+    // timed by `match_document`'s own span.
+    let _span = twigobs::span(twigobs::Phase::Match);
+    twigobs::add(twigobs::Counter::Chunks, chunks.len() as u64);
 
     let current = AtomicUsize::new(0);
     let peak = AtomicUsize::new(0);
     let next_task = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, TwigMatch<'g>, MatchStats)>();
+    let (tx, rx) = mpsc::channel::<(usize, TwigMatch<'g>, MatchStats, twigobs::Metrics)>();
 
     crossbeam::scope(|s| {
         for _ in 0..workers {
@@ -213,6 +220,7 @@ pub fn match_document_parallel<'g>(
                 loop {
                     let i = next_task.fetch_add(1, Ordering::Relaxed);
                     let Some(task) = tasks.get(i) else { break };
+                    let span = twigobs::span(twigobs::Phase::Match);
                     let mut m = Matcher::new_in(gtp, doc.labels(), options, &mut ctx)
                         .with_text_source(doc);
                     let mut prev = 0usize;
@@ -225,9 +233,13 @@ pub fn match_document_parallel<'g>(
                         }
                     }
                     let (tm, stats) = m.finish_into(&mut ctx);
+                    drop(span);
                     // The encoding's bytes stay live (counted in `current`)
-                    // until the spine replay takes ownership of them.
-                    tx.send((i, tm, stats)).expect("main thread receives");
+                    // until the spine replay takes ownership of them. The
+                    // worker's thread-local obs metrics travel with the
+                    // result so the coordinator can fold them in.
+                    tx.send((i, tm, stats, twigobs::take()))
+                        .expect("main thread receives");
                 }
             });
         }
@@ -237,7 +249,8 @@ pub fn match_document_parallel<'g>(
 
     let mut slots: Vec<Option<(TwigMatch<'g>, MatchStats)>> =
         (0..tasks.len()).map(|_| None).collect();
-    for (i, tm, stats) in rx {
+    for (i, tm, stats, metrics) in rx {
+        twigobs::absorb(&metrics);
         slots[i] = Some((tm, stats));
     }
 
@@ -257,6 +270,7 @@ pub fn match_document_parallel<'g>(
             if next_chunk < chunks.len() && chunks[next_chunk] == c {
                 if next_splice < tasks.len() && tasks[next_splice].start == next_chunk {
                     let (tm, stats) = slots[next_splice].take().expect("task result");
+                    let _splice_span = twigobs::span(twigobs::Phase::Splice);
                     m.splice(tm, &stats);
                     prev = m.live_bytes();
                     next_splice += 1;
@@ -266,6 +280,10 @@ pub fn match_document_parallel<'g>(
                 stack.push((c, doc.first_child(c)));
             }
         } else {
+            // Spine elements are closed directly (no `DocEvents` producer
+            // bumps for them), so count them here: serial and partitioned
+            // runs then agree on `elements_scanned`.
+            twigobs::bump(twigobs::Counter::ElementsScanned);
             m.on_element_close(node, doc.label(node), doc.region(node));
             post_delta(&current, &peak, &mut prev, m.live_bytes());
             stack.pop();

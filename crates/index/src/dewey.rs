@@ -75,6 +75,7 @@ pub struct DeweyIndex {
 impl DeweyIndex {
     /// Build the index in one document pass.
     pub fn build(doc: &Document) -> Self {
+        let _span = twigobs::span(twigobs::Phase::IndexBuild);
         let schema = Schema::extract(doc);
         let n_labels = doc.labels().len();
         let mut by_label: Vec<Vec<(NodeId, u32, u16)>> = vec![Vec::new(); n_labels];

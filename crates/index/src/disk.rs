@@ -310,7 +310,9 @@ impl ElemStream for DiskRegionStream {
 
     fn advance(&mut self) {
         self.fill();
-        self.head = None;
+        if self.head.take().is_some() {
+            twigobs::bump(twigobs::Counter::ElementsScanned);
+        }
     }
 }
 
@@ -384,6 +386,7 @@ impl DiskDeweyStream {
             components.push(read_u32(&mut self.reader)?);
         }
         self.counters.add(6 + 4 * len as u64, 1);
+        twigobs::bump(twigobs::Counter::ElementsScanned);
         Ok(Some(NodeId::from_index(id as usize)))
     }
 }

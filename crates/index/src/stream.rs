@@ -75,6 +75,9 @@ impl ElemStream for SliceStream<'_> {
     fn advance(&mut self) {
         if self.pos < self.items.len() {
             self.pos += 1;
+            // Stream consumption is the access-path "elements scanned"
+            // unit of the baseline algorithms.
+            twigobs::bump(twigobs::Counter::ElementsScanned);
         }
     }
 }
@@ -103,6 +106,7 @@ impl ElementIndex {
     /// fill pass that never reallocates. Elements within each label list
     /// are in document order because node ids are pre-order ordinals.
     pub fn build(doc: &Document) -> Self {
+        let _span = twigobs::span(twigobs::Phase::IndexBuild);
         let mut histogram = vec![0usize; doc.labels().len()];
         for n in doc.iter() {
             histogram[doc.label(n).index()] += 1;

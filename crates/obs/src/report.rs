@@ -1,0 +1,294 @@
+//! Run reports — the JSON sidecar (`*.metrics.json`) schema.
+//!
+//! A [`RunReport`] names an aggregated [`Metrics`] snapshot and carries
+//! free-form context pairs (dataset, profile, thread count, …). Its
+//! [`RunReport::to_json`] output is the `*.metrics.json` sidecar every
+//! experiment run emits; the schema is documented in EXPERIMENTS.md and
+//! kept deliberately flat so any JSON consumer can read it without this
+//! crate. The workspace vendors no serde, so serialization is a small
+//! hand-rolled writer with full string escaping.
+
+use crate::{Counter, Metrics, Phase};
+
+/// Identifies the sidecar layout; bumped only on breaking schema changes.
+pub const SCHEMA: &str = "twig2stack.metrics/v1";
+
+/// A named, JSON-serializable aggregate of one experiment run.
+///
+/// ```
+/// use twigobs::{bump, Counter, RunReport};
+/// bump(Counter::Chunks);
+/// let report = RunReport::capture("figP").with_context("profile", "quick");
+/// let json = report.to_json();
+/// assert!(json.contains("\"name\": \"figP\""));
+/// assert!(json.contains("\"chunks\""));
+/// assert!(json.contains(twigobs::report::SCHEMA));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Experiment id (`fig16`, `table1`, …) — also the sidecar file stem.
+    pub name: String,
+    /// Free-form key/value context (profile, dataset, threads, …).
+    pub context: Vec<(String, String)>,
+    /// The aggregated per-thread metrics of the run.
+    pub metrics: Metrics,
+}
+
+impl RunReport {
+    /// Capture a report from this thread's accumulator (drains it, like
+    /// [`crate::take`]). Call after folding worker threads in with
+    /// [`crate::absorb`].
+    pub fn capture(name: &str) -> Self {
+        RunReport {
+            name: name.to_string(),
+            context: Vec::new(),
+            metrics: crate::take(),
+        }
+    }
+
+    /// A report over an already-drained [`Metrics`] value.
+    pub fn from_metrics(name: &str, metrics: Metrics) -> Self {
+        RunReport { name: name.to_string(), context: Vec::new(), metrics }
+    }
+
+    /// Attach one context pair (builder-style).
+    #[must_use]
+    pub fn with_context(mut self, key: &str, value: &str) -> Self {
+        self.context.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize as pretty-printed JSON (the sidecar format):
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "twig2stack.metrics/v1",
+    ///   "name": "fig16",
+    ///   "obs_enabled": true,
+    ///   "context": { "profile": "quick" },
+    ///   "counters": { "elements_scanned": 123, ... },
+    ///   "spans": { "match": { "nanos": 456, "entries": 9 }, ... }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_string(SCHEMA)));
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        out.push_str(&format!("  \"obs_enabled\": {},\n", crate::ENABLED));
+        out.push_str("  \"context\": {");
+        for (i, (k, v)) in self.context.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(k), json_string(v)));
+        }
+        if !self.context.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"counters\": {");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {}",
+                json_string(c.name()),
+                self.metrics.get(*c)
+            ));
+        }
+        out.push_str("\n  },\n");
+        out.push_str("  \"spans\": {");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{ \"nanos\": {}, \"entries\": {} }}",
+                json_string(p.name()),
+                self.metrics.span_total(*p).as_nanos(),
+                self.metrics.span_entries(*p)
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Quote and escape `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal JSON well-formedness checker (objects, arrays, strings,
+    /// numbers, booleans, null) — enough to guarantee the sidecar is
+    /// parseable without vendoring a JSON crate.
+    fn check_json(s: &str) -> Result<(), String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        fn skip_ws(b: &[u8], pos: &mut usize) {
+            while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+        }
+        fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b'{') => {
+                    *pos += 1;
+                    skip_ws(b, pos);
+                    if b.get(*pos) == Some(&b'}') {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        skip_ws(b, pos);
+                        string(b, pos)?;
+                        skip_ws(b, pos);
+                        if b.get(*pos) != Some(&b':') {
+                            return Err(format!("expected ':' at {pos}"));
+                        }
+                        *pos += 1;
+                        value(b, pos)?;
+                        skip_ws(b, pos);
+                        match b.get(*pos) {
+                            Some(b',') => *pos += 1,
+                            Some(b'}') => {
+                                *pos += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *pos += 1;
+                    skip_ws(b, pos);
+                    if b.get(*pos) == Some(&b']') {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, pos)?;
+                        skip_ws(b, pos);
+                        match b.get(*pos) {
+                            Some(b',') => *pos += 1,
+                            Some(b']') => {
+                                *pos += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at {pos}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, pos),
+                Some(b't') => literal(b, pos, "true"),
+                Some(b'f') => literal(b, pos, "false"),
+                Some(b'n') => literal(b, pos, "null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    while *pos < b.len()
+                        && (b[*pos].is_ascii_digit()
+                            || matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E'))
+                    {
+                        *pos += 1;
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected {other:?} at {pos}")),
+            }
+        }
+        fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+            if b.get(*pos) != Some(&b'"') {
+                return Err(format!("expected string at {pos}"));
+            }
+            *pos += 1;
+            while let Some(&c) = b.get(*pos) {
+                *pos += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => *pos += 1,
+                    _ => {}
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+            if b[*pos..].starts_with(lit.as_bytes()) {
+                *pos += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {pos}"))
+            }
+        }
+        value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing garbage at {pos}"))
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = RunReport::from_metrics("fig16", Metrics::default())
+            .with_context("profile", "quick")
+            .with_context("tricky \"key\"", "line\nbreak\tand \\slash");
+        let json = report.to_json();
+        check_json(&json).expect("sidecar must be parseable JSON");
+        assert!(json.contains("\"schema\": \"twig2stack.metrics/v1\""));
+        assert!(json.contains("\\\"key\\\""));
+    }
+
+    #[test]
+    fn report_contains_every_counter_and_phase_key() {
+        let json = RunReport::from_metrics("x", Metrics::default()).to_json();
+        for c in Counter::ALL {
+            assert!(json.contains(&format!("\"{}\"", c.name())), "{}", c.name());
+        }
+        for p in Phase::ALL {
+            assert!(json.contains(&format!("\"{}\"", p.name())), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn empty_context_renders_empty_object() {
+        let json = RunReport::from_metrics("x", Metrics::default()).to_json();
+        check_json(&json).unwrap();
+        assert!(json.contains("\"context\": {}"));
+    }
+
+    #[test]
+    fn capture_drains_thread_local() {
+        crate::bump(Counter::Fallbacks);
+        let r = RunReport::capture("t");
+        assert!(crate::take().is_zero());
+        let expect = u64::from(crate::ENABLED);
+        assert_eq!(r.metrics.get(Counter::Fallbacks), expect);
+        check_json(&r.to_json()).unwrap();
+    }
+
+    #[test]
+    fn control_characters_escape_to_unicode() {
+        assert_eq!(super::json_string("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

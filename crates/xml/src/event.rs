@@ -113,6 +113,9 @@ impl Iterator for DocEvents<'_> {
             }
         };
         Some(if closing {
+            // One element fully delivered to the consumer: this is the
+            // "elements scanned" unit of the paper's evaluation.
+            twigobs::bump(twigobs::Counter::ElementsScanned);
             Event::End {
                 elem: node,
                 label: self.doc.label(node),
@@ -172,6 +175,7 @@ impl<'a> EventParser<'a> {
     #[allow(clippy::should_implement_trait)] // fallible iterator
     pub fn next_event(&mut self) -> Result<Option<Event>, ParseError> {
         if let Some(e) = self.pending_end.take() {
+            twigobs::bump(twigobs::Counter::ElementsScanned);
             return Ok(Some(e));
         }
         if self.done {
@@ -225,6 +229,7 @@ impl<'a> EventParser<'a> {
                     }
                     self.counter += 1;
                     let level = self.open.len() as u32 + 1;
+                    twigobs::bump(twigobs::Counter::ElementsScanned);
                     return Ok(Some(Event::End {
                         elem: NodeId::from_index(ord as usize),
                         label,

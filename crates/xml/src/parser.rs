@@ -63,7 +63,12 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Parse a complete XML document into a [`Document`].
+///
+/// The whole parse is timed as an observability span
+/// ([`twigobs::Phase::Parse`]) — a no-op unless the workspace is built
+/// with the `obs` feature.
 pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let _span = twigobs::span(twigobs::Phase::Parse);
     let mut builder = DocumentBuilder::new();
     let mut open: Vec<String> = Vec::new();
     let mut scanner = Scanner::new(input.as_bytes());
