@@ -8,13 +8,20 @@ cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Bounded fuzz smoke: fixed seed, all dataset generators, release build
+# (~seconds). The corpus is replayed separately by `cargo test` above;
+# this stage runs fresh pairs and fails on any invariant violation.
+cargo run --release -q -p twigbench --bin twigfuzz -- \
+    --seed 0xC1 --cases 400 --profile ci-smoke
+
 # Documentation: the public API must be fully documented (the in-repo
 # crates set `#![warn(missing_docs)]`; -D warnings turns that fatal) and
 # every doc example must run. Third-party stubs are excluded — they are
 # offline API shims, not part of the documented surface.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p xmldom -p gtpquery -p xmlindex -p xmlgen \
-    -p twig2stack -p twigbaselines -p twig2stack-obs -p twigbench
+    -p twig2stack -p twigbaselines -p twig2stack-obs -p twigbench \
+    -p twig2stack-fuzz
 cargo test --workspace -q --doc
 
 echo "ci.sh: all checks passed"

@@ -49,7 +49,7 @@ fn query_strategy() -> impl Strategy<Value = Gtp> {
 fn doc_strategy() -> impl Strategy<Value = Document> {
     (1usize..50, 1usize..4, 2u32..10, 0u32..100, any::<u64>()).prop_map(
         |(nodes, alphabet, max_depth, depth_bias, seed)| {
-            generate_random_tree(&RandomTreeConfig { nodes, alphabet, max_depth, depth_bias, seed })
+            generate_random_tree(&RandomTreeConfig { nodes, alphabet, max_depth, depth_bias, seed, text_vocab: 0 })
         },
     )
 }

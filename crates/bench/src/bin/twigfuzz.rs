@@ -1,0 +1,146 @@
+//! Conformance fuzzer driver: seeded random GTPs, metamorphic
+//! invariants, replayable failure artifacts.
+//!
+//! Usage:
+//! ```text
+//! twigfuzz [--seed N] [--cases N] [--dataset NAME]... [--max-query-nodes N]
+//!          [--corpus-out DIR] [--no-shrink] [--profile NAME]
+//! ```
+//!
+//! Runs [`twigfuzz::run_session`] over the selected dataset generators
+//! (default: all four) and prints a per-invariant summary. Every failure
+//! is shrunk (unless `--no-shrink`) and written as a `.t2s` case file
+//! under `--corpus-out` (default `target/fuzz-failures`) — move the file
+//! into `corpus/` to turn it into a permanent regression test. The run's
+//! obs counters (`fuzz_cases` / `fuzz_checks` / `fuzz_failures`) are
+//! drained into `target/metrics/fuzz.metrics.json`, the same sidecar
+//! shape the `experiments` binary emits.
+//!
+//! Exits nonzero iff at least one invariant was violated.
+
+use std::path::Path;
+use std::process::ExitCode;
+use twigfuzz::{write_case, Dataset, GenConfig, SessionConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: twigfuzz [--seed N] [--cases N] [--dataset random|dblp|treebank|xmark]...\n\
+         \x20               [--max-query-nodes N] [--corpus-out DIR] [--no-shrink] [--profile NAME]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SessionConfig::default();
+    let mut datasets: Vec<Dataset> = Vec::new();
+    let mut corpus_out = "target/fuzz-failures".to_string();
+    let mut profile = "smoke".to_string();
+    let mut gen = GenConfig::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                cfg.seed = parse_seed(&v).unwrap_or_else(|| {
+                    eprintln!("bad --seed {v:?}");
+                    usage()
+                });
+            }
+            "--cases" => {
+                cfg.cases_per_dataset = value("--cases").parse().unwrap_or_else(|_| usage());
+            }
+            "--dataset" => {
+                let v = value("--dataset");
+                match Dataset::from_name(&v) {
+                    Some(d) => datasets.push(d),
+                    None => {
+                        eprintln!("unknown dataset {v:?}");
+                        usage();
+                    }
+                }
+            }
+            "--max-query-nodes" => {
+                gen.max_nodes = value("--max-query-nodes").parse().unwrap_or_else(|_| usage());
+                if gen.max_nodes == 0 {
+                    usage();
+                }
+            }
+            "--corpus-out" => corpus_out = value("--corpus-out"),
+            "--no-shrink" => cfg.shrink_failures = false,
+            "--profile" => profile = value("--profile"),
+            _ => usage(),
+        }
+    }
+    if !datasets.is_empty() {
+        cfg.datasets = datasets;
+    }
+    cfg.gen = gen;
+
+    println!(
+        "twigfuzz: seed={:#x} cases/dataset={} datasets=[{}] shrink={}",
+        cfg.seed,
+        cfg.cases_per_dataset,
+        cfg.datasets.iter().map(|d| d.name()).collect::<Vec<_>>().join(", "),
+        cfg.shrink_failures,
+    );
+
+    let report = twigfuzz::run_session(&cfg);
+
+    println!(
+        "\n{} pairs, {} checks passed, {} skipped, {} failure(s)",
+        report.cases,
+        report.passed,
+        report.skipped,
+        report.failures.len()
+    );
+
+    let failed = !report.failures.is_empty();
+    for f in &report.failures {
+        eprintln!(
+            "\nFAIL [{} / {}] {}\n  query: {}",
+            f.dataset.name(),
+            f.invariant.name(),
+            f.message,
+            f.case.query
+        );
+        match write_case(Path::new(&corpus_out), &f.case) {
+            Ok(path) => eprintln!("  case written to {}", path.display()),
+            Err(e) => eprintln!("  could not write case file: {e}"),
+        }
+    }
+
+    // Drain the counters into the standard metrics sidecar.
+    let rep = twigobs::RunReport::capture("fuzz")
+        .with_context("profile", &profile)
+        .with_context("seed", &format!("{:#x}", cfg.seed))
+        .with_context("cases_per_dataset", &cfg.cases_per_dataset.to_string());
+    match twigbench::sidecar::write_report(&rep, Path::new(twigbench::sidecar::METRICS_DIR)) {
+        Ok(path) => println!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: no metrics sidecar: {e}"),
+    }
+
+    if failed {
+        eprintln!("\ntwigfuzz: invariant violations found — see case files above");
+        ExitCode::FAILURE
+    } else {
+        println!("twigfuzz: all invariants held");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Accept decimal or `0x…` hexadecimal seeds.
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}

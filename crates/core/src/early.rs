@@ -187,6 +187,19 @@ impl<'g> EarlyMatcher<'g> {
                 tb = g; // case (a) will walk past it (or fail at the root)
                 continue;
             }
+            // No value predicate strictly above tb: upper-spine elements
+            // still open at trigger time are enumerated straight from the
+            // top-down stacks, which only gate on ancestry — a text
+            // predicate there would never be evaluated. Raising tb to the
+            // highest such node means its elements are closed (and
+            // predicate-filtered by MatchOneNode) before any trigger.
+            if let Some(v) = ancestors(gtp, tb)
+                .filter(|&a| gtp.value_pred(a).is_some())
+                .last()
+            {
+                tb = v;
+                continue;
+            }
             // (c) every group node below tb is scoped by a return node at
             // or below tb.
             let unscoped = gtp.iter().find(|&g| {

@@ -136,6 +136,7 @@ fn doc_strategy() -> impl Strategy<Value = Document> {
                 max_depth,
                 depth_bias,
                 seed,
+                text_vocab: 0,
             })
         },
     )

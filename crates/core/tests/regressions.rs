@@ -1,0 +1,78 @@
+//! Named regression tests promoted from `differential.proptest-regressions`.
+//!
+//! Each test pins one minimal (document, query) pair that a proptest run
+//! once shrank a real failure down to. The seed file still replays them,
+//! but a named test keeps the scenario meaningful if the seed file is
+//! ever pruned and makes the covered behaviour greppable. The same pairs
+//! (minus the builder-only one) live on as `.t2s` files under `corpus/`,
+//! replayed by the fuzz harness — see DESIGN.md §8 for the convention.
+
+use gtpquery::{parse_twig, Axis, Gtp, GtpBuilder, Role};
+use twig2stack::{enumerate, evaluate_streaming, match_document, MatchOptions};
+use twigbaselines::naive_evaluate;
+use xmldom::{parse, write, Document, Indent};
+
+/// Exact-equality differential check: Twig²Stack (existence optimization
+/// off and on, plus the streaming entry point) against the naive oracle.
+fn check(doc: &Document, gtp: &Gtp) {
+    let expected = naive_evaluate(doc, gtp);
+    assert!(expected.is_duplicate_free());
+    for existence_opt in [false, true] {
+        let (tm, _) = match_document(doc, gtp, MatchOptions { existence_opt });
+        tm.check_invariants();
+        let got = enumerate(&tm);
+        assert_eq!(
+            got,
+            expected,
+            "existence_opt={existence_opt} doc={} query={gtp}",
+            write(doc, Indent::None)
+        );
+    }
+    let (got, _) = evaluate_streaming(&write(doc, Indent::None), gtp, MatchOptions::default())
+        .expect("round-tripped XML re-parses");
+    assert_eq!(got, expected, "streaming, query={gtp}");
+}
+
+/// A group-return wildcard under a wildcard root once double-counted
+/// rows on recursive same-label nestings.
+#[test]
+fn wildcard_group_under_wildcard_root() {
+    let doc = parse("<a><a/></a>").unwrap();
+    let gtp = parse_twig("//*[.//*@]").unwrap();
+    check(&doc, &gtp);
+}
+
+/// An optional return node with a mandatory return child below it: the
+/// missing-branch row must not invent a binding for the grandchild.
+#[test]
+fn mandatory_output_below_optional_edge() {
+    let doc = parse("<a/>").unwrap();
+    let gtp = parse_twig("//*[.//?a[.//a]]").unwrap();
+    check(&doc, &gtp);
+}
+
+/// A non-return root whose only output is behind an optional edge, on a
+/// document with recursive `a` nesting under sibling noise.
+#[test]
+fn non_return_root_with_optional_output() {
+    let doc = parse("<b><a/><b/><b/><a><a><b/></a></a></b>").unwrap();
+    let gtp = parse_twig("//a![.//?a]").unwrap();
+    check(&doc, &gtp);
+}
+
+/// A *non-adjacent* OR-group: the two disjunctive existence branches are
+/// separated by an unrelated optional sibling. This shape cannot be
+/// written in the query syntax (the parser only groups adjacent `or`
+/// alternatives), so the query is constructed with [`GtpBuilder`].
+#[test]
+fn non_adjacent_or_group_members() {
+    let doc = parse("<a><a/></a>").unwrap();
+    let mut b = GtpBuilder::new("a", false);
+    let root = b.root();
+    let m1 = b.add(root, "b", Axis::Descendant, false, Role::NonReturn);
+    let _mid = b.add(root, "a", Axis::Descendant, true, Role::Return);
+    let m2 = b.add(root, "a", Axis::Descendant, false, Role::NonReturn);
+    b.same_or_group(&[m1, m2]);
+    let gtp = b.build();
+    check(&doc, &gtp);
+}

@@ -6,7 +6,9 @@
 //! * [`treebank`] — deep, recursive, irregular parse trees (TreeBank-like);
 //! * [`xmark`] — the XMark auction-site schema subset, linear in a scale
 //!   factor;
-//! * [`random`] — unstructured random labelled trees for property tests.
+//! * [`random`] — unstructured random labelled trees for property tests;
+//! * [`mutate`] — structure-preserving document mutations (subtree
+//!   removal/extraction) used by the fuzzer's shrinker.
 //!
 //! All generators are deterministic given a seed, so benchmarks and tests
 //! are reproducible. Only document *shape* matters to the twig-join
@@ -16,11 +18,13 @@
 #![warn(missing_docs)]
 
 pub mod dblp;
+pub mod mutate;
 pub mod random;
 pub mod treebank;
 pub mod xmark;
 
 pub use dblp::{generate_dblp, DblpConfig};
+pub use mutate::{extract_subtree, remove_subtree};
 pub use random::{generate_random_tree, RandomTreeConfig};
 pub use treebank::{generate_treebank, TreebankConfig};
 pub use xmark::{generate_xmark, XmarkConfig};

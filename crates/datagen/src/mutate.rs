@@ -1,0 +1,104 @@
+//! Structure-preserving document mutations for shrinking.
+//!
+//! The fuzzer's shrinker (`twigfuzz`) minimizes a failing (document,
+//! query) pair by repeatedly deleting document subtrees and re-checking
+//! the failure. These helpers rebuild a [`Document`] through the normal
+//! [`DocumentBuilder`] path — labels, regions, and parent pointers are
+//! recomputed from scratch, so a mutated document is indistinguishable
+//! from one parsed directly — while carrying over attributes and direct
+//! text payloads.
+
+use xmldom::{Document, DocumentBuilder, NodeId};
+
+/// Copy of `doc` with the subtree rooted at `target` deleted.
+///
+/// Returns `None` when `target` is the document root (a document cannot
+/// be empty).
+pub fn remove_subtree(doc: &Document, target: NodeId) -> Option<Document> {
+    doc.parent(target)?;
+    let root = doc.iter().next().expect("documents are non-empty");
+    let mut b = DocumentBuilder::new();
+    copy_subtree(doc, root, Some(target), &mut b);
+    Some(b.finish().expect("balanced rebuild"))
+}
+
+/// New document consisting of just the subtree rooted at `node`
+/// (inclusive). Useful for large shrinking jumps: a failure often
+/// reproduces inside one branch of the original document.
+pub fn extract_subtree(doc: &Document, node: NodeId) -> Document {
+    let mut b = DocumentBuilder::new();
+    copy_subtree(doc, node, None, &mut b);
+    b.finish().expect("balanced rebuild")
+}
+
+/// Recursively re-emit `n` (attributes, direct text, children) into `b`,
+/// skipping the subtree rooted at `skip`.
+fn copy_subtree(doc: &Document, n: NodeId, skip: Option<NodeId>, b: &mut DocumentBuilder) {
+    if skip == Some(n) {
+        return;
+    }
+    let name = doc.labels().name(doc.label(n));
+    b.start_element(name).expect("builder accepts elements");
+    for (k, v) in doc.attributes(n) {
+        b.attr(k, v).expect("open element");
+    }
+    if let Some(t) = doc.text(n) {
+        b.text(t).expect("open element");
+    }
+    for c in doc.children(n) {
+        copy_subtree(doc, c, skip, b);
+    }
+    b.end_element().expect("balanced");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::parse;
+
+    #[test]
+    fn remove_root_is_none() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let root = doc.iter().next().unwrap();
+        assert!(remove_subtree(&doc, root).is_none());
+    }
+
+    #[test]
+    fn removes_inner_subtree_keeping_payloads() {
+        let doc = parse("<a x='1'>t<b><c/></b><d>u</d></a>").unwrap();
+        let b = doc.iter().find(|&n| doc.labels().name(doc.label(n)) == "b").unwrap();
+        let out = remove_subtree(&doc, b).unwrap();
+        assert_eq!(out.len(), 2); // a, d
+        let root = out.iter().next().unwrap();
+        assert_eq!(out.text(root), Some("t"));
+        assert_eq!(out.attribute(root, "x"), Some("1"));
+        let d = out.children(root).next().unwrap();
+        assert_eq!(out.labels().name(out.label(d)), "d");
+        assert_eq!(out.text(d), Some("u"));
+    }
+
+    #[test]
+    fn extract_keeps_only_the_branch() {
+        let doc = parse("<a><b><c>x</c></b><d/></a>").unwrap();
+        let b = doc.iter().find(|&n| doc.labels().name(doc.label(n)) == "b").unwrap();
+        let out = extract_subtree(&doc, b);
+        assert_eq!(out.len(), 2); // b, c
+        let root = out.iter().next().unwrap();
+        assert_eq!(out.labels().name(out.label(root)), "b");
+        let c = out.children(root).next().unwrap();
+        assert_eq!(out.text(c), Some("x"));
+    }
+
+    #[test]
+    fn regions_are_recomputed() {
+        let doc = parse("<a><b/><c><d/></c></a>").unwrap();
+        let bnode = doc.iter().find(|&n| doc.labels().name(doc.label(n)) == "b").unwrap();
+        let out = remove_subtree(&doc, bnode).unwrap();
+        // Fresh region encoding: root spans everything, levels start at 1.
+        let root = out.iter().next().unwrap();
+        assert_eq!(out.region(root).level, 1);
+        for n in out.iter().skip(1) {
+            assert!(out.is_ancestor(root, n));
+        }
+    }
+}

@@ -24,11 +24,24 @@ pub struct RandomTreeConfig {
     pub depth_bias: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Text vocabulary size: 0 disables text (the historical behaviour);
+    /// `k > 0` gives each element, with probability one half, a direct
+    /// text payload drawn from `v0`, …, `v{k-1}`. Small vocabularies make
+    /// value-predicate queries testable on random trees (repeated values
+    /// ⇒ non-vacuous predicates).
+    pub text_vocab: usize,
 }
 
 impl Default for RandomTreeConfig {
     fn default() -> Self {
-        RandomTreeConfig { nodes: 100, alphabet: 4, max_depth: 12, depth_bias: 50, seed: 0 }
+        RandomTreeConfig {
+            nodes: 100,
+            alphabet: 4,
+            max_depth: 12,
+            depth_bias: 50,
+            seed: 0,
+            text_vocab: 0,
+        }
     }
 }
 
@@ -48,7 +61,18 @@ pub fn generate_random_tree(cfg: &RandomTreeConfig) -> Document {
     let label = |rng: &mut SmallRng| -> String {
         char::from(b'a' + rng.gen_range(0..cfg.alphabet) as u8).to_string()
     };
+    // Optional text payload for the element just opened. Text draws come
+    // from a second RNG stream so the element structure for a given seed
+    // is identical whether or not text is enabled.
+    let mut text_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let maybe_text = |rng: &mut SmallRng, b: &mut DocumentBuilder| {
+        if cfg.text_vocab > 0 && rng.gen_bool(0.5) {
+            let v = rng.gen_range(0..cfg.text_vocab);
+            b.text(&format!("v{v}")).expect("open element");
+        }
+    };
     b.start_element(&label(&mut rng)).expect("fresh builder");
+    maybe_text(&mut text_rng, &mut b);
     let mut depth = 1u32;
     for _ in 1..cfg.nodes {
         // Decide how far to pop before attaching the next node. Popping to
@@ -65,6 +89,7 @@ pub fn generate_random_tree(cfg: &RandomTreeConfig) -> Document {
             depth -= 1;
         }
         b.start_element(&label(&mut rng)).expect("open");
+        maybe_text(&mut text_rng, &mut b);
         depth += 1;
     }
     while depth > 0 {
@@ -122,6 +147,30 @@ mod tests {
         let r1: Vec<_> = d1.iter().map(|n| d1.region(n)).collect();
         let r2: Vec<_> = d2.iter().map(|n| d2.region(n)).collect();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn text_vocab_zero_is_textless_and_seed_stable() {
+        let plain = RandomTreeConfig { nodes: 120, seed: 7, ..Default::default() };
+        let doc = generate_random_tree(&plain);
+        assert!(doc.iter().all(|n| doc.text(n).is_none()));
+        // Same seed with text enabled: identical element structure.
+        let texty = generate_random_tree(&RandomTreeConfig { text_vocab: 3, ..plain });
+        let shape = |d: &Document| -> Vec<_> { d.iter().map(|n| d.region(n)).collect() };
+        assert_eq!(shape(&doc), shape(&texty));
+    }
+
+    #[test]
+    fn text_vocab_draws_from_vocabulary() {
+        let doc = generate_random_tree(&RandomTreeConfig {
+            nodes: 200,
+            text_vocab: 2,
+            seed: 11,
+            ..Default::default()
+        });
+        let texts: Vec<&str> = doc.iter().filter_map(|n| doc.text(n)).collect();
+        assert!(!texts.is_empty());
+        assert!(texts.iter().all(|t| *t == "v0" || *t == "v1"));
     }
 
     #[test]

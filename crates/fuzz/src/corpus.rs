@@ -1,0 +1,198 @@
+//! Self-contained `.t2s` regression case files.
+//!
+//! A case file captures one (document, query, invariant) triple in a
+//! line-oriented `key = value` format that needs no external tooling to
+//! read or write:
+//!
+//! ```text
+//! # optional comment
+//! invariant = cross_engine
+//! query = //a[b! or c!]/d
+//! xml = <a><b/><d/></a>
+//! note = found by twigfuzz --seed 42 (optional)
+//! ```
+//!
+//! `invariant = all` (or omitting the key) replays every invariant.
+//! The XML value is a single line (`xmldom::write` with
+//! [`Indent::None`]); keys may appear in any order; `#` starts a
+//! comment line. Files live under `corpus/` at the workspace root and
+//! are replayed by `tests/corpus_replay.rs` on every `cargo test` run.
+//! The convention is also documented in DESIGN.md §8.
+
+use crate::invariants::{check, Invariant, Outcome};
+use gtpquery::parse_twig;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use xmldom::{parse, write, Document, Indent};
+
+/// One parsed `.t2s` case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseFile {
+    /// The invariant to replay; `None` replays all six.
+    pub invariant: Option<Invariant>,
+    /// The query, in `gtpquery::parse_twig` syntax.
+    pub query: String,
+    /// The document, as single-line XML.
+    pub xml: String,
+    /// Free-form provenance note.
+    pub note: Option<String>,
+}
+
+impl CaseFile {
+    /// Build a case from a failing pair.
+    pub fn from_failure(doc: &Document, gtp: &gtpquery::Gtp, inv: Invariant, note: &str) -> Self {
+        CaseFile {
+            invariant: Some(inv),
+            query: gtpquery::serialize(gtp),
+            xml: write(doc, Indent::None),
+            note: if note.is_empty() { None } else { Some(note.to_string()) },
+        }
+    }
+
+    /// Parse the `.t2s` text format.
+    pub fn parse(input: &str) -> Result<CaseFile, String> {
+        let mut invariant = None;
+        let mut query = None;
+        let mut xml = None;
+        let mut note = None;
+        for (lineno, raw) in input.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "invariant" => {
+                    invariant = if value == "all" {
+                        None
+                    } else {
+                        Some(Invariant::from_name(value).ok_or_else(|| {
+                            format!("line {}: unknown invariant `{value}`", lineno + 1)
+                        })?)
+                    };
+                }
+                "query" => query = Some(value.to_string()),
+                "xml" => xml = Some(value.to_string()),
+                "note" => note = Some(value.to_string()),
+                other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+            }
+        }
+        Ok(CaseFile {
+            invariant,
+            query: query.ok_or("missing `query` line")?,
+            xml: xml.ok_or("missing `xml` line")?,
+            note,
+        })
+    }
+
+    /// Serialize back to the `.t2s` text format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str("invariant = ");
+        out.push_str(self.invariant.map_or("all", Invariant::name));
+        out.push('\n');
+        out.push_str("query = ");
+        out.push_str(&self.query);
+        out.push('\n');
+        out.push_str("xml = ");
+        out.push_str(&self.xml);
+        out.push('\n');
+        if let Some(n) = &self.note {
+            out.push_str("note = ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Re-run the case. Returns the failures (empty = the case passes).
+    /// Errors if the XML or query no longer parses.
+    pub fn replay(&self) -> Result<Vec<(Invariant, String)>, String> {
+        let doc = parse(&self.xml).map_err(|e| format!("xml does not parse: {e}"))?;
+        let gtp = parse_twig(&self.query).map_err(|e| format!("query does not parse: {e}"))?;
+        let invariants: &[Invariant] = match self.invariant {
+            Some(inv) => &[inv],
+            None => &Invariant::ALL,
+        };
+        let mut failures = Vec::new();
+        for &inv in invariants {
+            if let Outcome::Failed(msg) = check(&doc, &gtp, inv) {
+                failures.push((inv, msg));
+            }
+        }
+        Ok(failures)
+    }
+
+    /// Stable file name: `<invariant>-<content hash>.t2s`.
+    pub fn file_name(&self) -> String {
+        let tag = self.invariant.map_or("all", Invariant::name);
+        format!("{tag}-{:08x}.t2s", fnv1a(self.serialize().as_bytes()) as u32)
+    }
+}
+
+/// FNV-1a — tiny, dependency-free content hash for file naming.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Write `case` into `dir` (created if absent) under its stable name.
+pub fn write_case(dir: &Path, case: &CaseFile) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(case.file_name());
+    fs::write(&path, case.serialize())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_serialize_round_trip() {
+        let text = "# a comment\n\ninvariant = cross_engine\nquery = //a[b! or c!]\n\
+                    xml = <a x='1'><b/></a>\nnote = hand-written\n";
+        let case = CaseFile::parse(text).unwrap();
+        assert_eq!(case.invariant, Some(Invariant::CrossEngine));
+        assert_eq!(case.query, "//a[b! or c!]");
+        assert_eq!(case.xml, "<a x='1'><b/></a>");
+        assert_eq!(CaseFile::parse(&case.serialize()).unwrap(), case);
+    }
+
+    #[test]
+    fn xml_values_may_contain_equals_signs() {
+        let case = CaseFile::parse("query = //a\nxml = <a k=\"v=w\"/>\n").unwrap();
+        assert_eq!(case.xml, "<a k=\"v=w\"/>");
+        assert_eq!(case.invariant, None);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(CaseFile::parse("query = //a\n").is_err()); // missing xml
+        assert!(CaseFile::parse("xml = <a/>\n").is_err()); // missing query
+        assert!(CaseFile::parse("query = //a\nxml = <a/>\nbogus = 1\n").is_err());
+        assert!(CaseFile::parse("query = //a\nxml = <a/>\ninvariant = nope\n").is_err());
+    }
+
+    #[test]
+    fn replay_passes_on_a_healthy_case() {
+        let case = CaseFile::parse("query = //a/b\nxml = <a><b/></a>\n").unwrap();
+        assert_eq!(case.replay().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn file_name_is_stable_and_tagged() {
+        let case = CaseFile::parse("invariant = early_vs_full\nquery = //a\nxml = <a/>\n").unwrap();
+        let n1 = case.file_name();
+        assert!(n1.starts_with("early_vs_full-") && n1.ends_with(".t2s"), "{n1}");
+        assert_eq!(n1, case.file_name());
+    }
+}

@@ -1,0 +1,271 @@
+//! Seeded random GTP generation over a document vocabulary.
+//!
+//! The generator covers the full grammar of `gtpquery::parse_twig` —
+//! `/` and `//` axes, wildcards, `?` optional edges, `!` non-return and
+//! `@` group-return roles, OR-groups, and both value-predicate forms —
+//! while guaranteeing two properties the harness depends on:
+//!
+//! 1. **Enumerability.** Every query passes
+//!    [`QueryAnalysis::enumerable`] with at least one output column, so
+//!    the naive oracle accepts it. Invalid role combinations produced by
+//!    random assignment are repaired by monotonically promoting the
+//!    offending nodes to [`Role::Return`] (a fixpoint; each step strictly
+//!    grows the set of return nodes).
+//! 2. **Lossless round-trip.** OR-groups are emitted as *adjacent*
+//!    non-return leaf siblings, the one shape `gtpquery::serialize`
+//!    round-trips exactly (see its module docs); members are excluded
+//!    from the parent pool so they stay leaves.
+
+use crate::vocab::Vocabulary;
+use gtpquery::{Axis, Gtp, GtpBuilder, QNodeId, QueryAnalysis, Role, ValidationIssue, ValuePred};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Probabilities and bounds for [`generate_query`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Upper bound on query size (nodes); sizes are drawn uniformly from
+    /// `1..=max_nodes`.
+    pub max_nodes: usize,
+    /// Probability the query is rooted (`/a…` instead of `//a…`).
+    pub rooted_prob: f64,
+    /// Probability a node test is `*` instead of a document label.
+    pub wildcard_prob: f64,
+    /// Probability an edge uses the `//` axis.
+    pub descendant_prob: f64,
+    /// Probability a non-root edge is optional (`?`).
+    pub optional_prob: f64,
+    /// Probability a node is assigned [`Role::NonReturn`].
+    pub non_return_prob: f64,
+    /// Probability a node is assigned [`Role::GroupReturn`] (when it was
+    /// not already made non-return).
+    pub group_return_prob: f64,
+    /// Probability of emitting an OR-group pair instead of a single node
+    /// (when at least two nodes of budget remain).
+    pub or_pair_prob: f64,
+    /// Probability a node receives a value predicate (requires the
+    /// vocabulary to carry text values).
+    pub value_pred_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_nodes: 7,
+            rooted_prob: 0.25,
+            wildcard_prob: 0.15,
+            descendant_prob: 0.55,
+            optional_prob: 0.2,
+            non_return_prob: 0.25,
+            group_return_prob: 0.12,
+            or_pair_prob: 0.18,
+            value_pred_prob: 0.2,
+        }
+    }
+}
+
+fn sample_name(rng: &mut SmallRng, vocab: &Vocabulary, cfg: &GenConfig) -> String {
+    if rng.gen_bool(cfg.wildcard_prob) {
+        "*".to_string()
+    } else {
+        vocab.labels[rng.gen_range(0..vocab.labels.len())].clone()
+    }
+}
+
+fn sample_role(rng: &mut SmallRng, cfg: &GenConfig) -> Role {
+    if rng.gen_bool(cfg.non_return_prob) {
+        Role::NonReturn
+    } else if rng.gen_bool(cfg.group_return_prob) {
+        Role::GroupReturn
+    } else {
+        Role::Return
+    }
+}
+
+fn sample_axis(rng: &mut SmallRng, cfg: &GenConfig) -> Axis {
+    if rng.gen_bool(cfg.descendant_prob) {
+        Axis::Descendant
+    } else {
+        Axis::Child
+    }
+}
+
+fn sample_value_pred(rng: &mut SmallRng, vocab: &Vocabulary) -> Option<ValuePred> {
+    let equals = rng.gen_bool(0.5);
+    if equals && !vocab.texts.is_empty() {
+        Some(ValuePred::TextEquals(
+            vocab.texts[rng.gen_range(0..vocab.texts.len())].clone(),
+        ))
+    } else if !vocab.contains.is_empty() {
+        Some(ValuePred::TextContains(
+            vocab.contains[rng.gen_range(0..vocab.contains.len())].clone(),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Generate one random, enumerable, round-trippable GTP.
+pub fn generate_query(rng: &mut SmallRng, vocab: &Vocabulary, cfg: &GenConfig) -> Gtp {
+    assert!(cfg.max_nodes >= 1);
+    let target = rng.gen_range(1..=cfg.max_nodes);
+    let rooted = rng.gen_bool(cfg.rooted_prob);
+    let mut b = GtpBuilder::new(&sample_name(rng, vocab, cfg), rooted);
+    let root = b.root();
+    b.role(root, sample_role(rng, cfg));
+
+    // Nodes eligible to receive children. OR-group members are excluded
+    // so they remain leaves (existence checks with adjacent siblings —
+    // the serializer-safe shape).
+    let mut pool = vec![root];
+    let mut added = 1usize;
+    while added < target {
+        let parent = pool[rng.gen_range(0..pool.len())];
+        if added + 2 <= target && rng.gen_bool(cfg.or_pair_prob) {
+            let m1 = b.add(parent, &sample_name(rng, vocab, cfg), sample_axis(rng, cfg), false, Role::NonReturn);
+            let m2 = b.add(parent, &sample_name(rng, vocab, cfg), sample_axis(rng, cfg), false, Role::NonReturn);
+            b.same_or_group(&[m1, m2]);
+            added += 2;
+        } else {
+            let id = b.add(
+                parent,
+                &sample_name(rng, vocab, cfg),
+                sample_axis(rng, cfg),
+                rng.gen_bool(cfg.optional_prob),
+                sample_role(rng, cfg),
+            );
+            pool.push(id);
+            added += 1;
+        }
+    }
+
+    let mut gtp = b.build();
+    // Value predicates, drawn from the document's own text payloads.
+    for q in gtp.preorder() {
+        if rng.gen_bool(cfg.value_pred_prob) {
+            if let Some(p) = sample_value_pred(rng, vocab) {
+                gtp.set_value_pred(q, Some(p));
+            }
+        }
+    }
+    repair(&mut gtp);
+    gtp
+}
+
+/// Adjust roles until the query is enumerable with ≥ 1 output column.
+///
+/// Three fixes, applied one at a time to a fixpoint: output inside an
+/// OR-group member is demoted (disjunctive branches are existence
+/// checks); a non-return node with multiple output branches or a
+/// group-return node with output below is promoted to [`Role::Return`];
+/// a query with no output columns gets a return root. The generator
+/// itself only ever needs the promotions (its OR members are born as
+/// non-return leaves), but the demotion makes `repair` total over
+/// arbitrary role assignments.
+fn repair(gtp: &mut Gtp) {
+    for _ in 0..=4 * gtp.len() + 4 {
+        let analysis = QueryAnalysis::new(gtp);
+        if let Some(m) = analysis.issues().iter().find_map(|i| match i {
+            ValidationIssue::OrBranchWithOutput(q) => Some(*q),
+            _ => None,
+        }) {
+            let mut stack = vec![m];
+            while let Some(q) = stack.pop() {
+                gtp.set_role(q, Role::NonReturn);
+                stack.extend(gtp.children(q).iter().copied());
+            }
+            continue;
+        }
+        let offending = analysis.issues().iter().find_map(|i| match i {
+            ValidationIssue::NonReturnWithMultipleOutputBranches(q)
+            | ValidationIssue::GroupWithOutputBelow(q) => Some(*q),
+            _ => None,
+        });
+        if let Some(q) = offending {
+            gtp.set_role(q, Role::Return);
+            continue;
+        }
+        if analysis.columns().is_empty() {
+            gtp.set_role(gtp.root(), Role::Return);
+            continue;
+        }
+        return;
+    }
+    unreachable!("role repair did not converge: {gtp}");
+}
+
+/// All siblings sharing `q`'s OR-group (including `q`).
+pub(crate) fn group_members(gtp: &Gtp, q: QNodeId) -> Vec<QNodeId> {
+    match gtp.parent(q) {
+        None => vec![q],
+        Some(p) => gtp
+            .children(p)
+            .iter()
+            .copied()
+            .filter(|&c| gtp.or_group(c) == gtp.or_group(q))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use xmldom::parse;
+
+    fn vocab() -> Vocabulary {
+        let doc = parse("<dblp><paper>twig joins</paper><year>2006</year><a><b/></a></dblp>")
+            .unwrap();
+        Vocabulary::from_document(&doc)
+    }
+
+    #[test]
+    fn queries_are_enumerable_and_round_trip() {
+        let v = vocab();
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..300 {
+            let g = generate_query(&mut rng, &v, &cfg);
+            let a = QueryAnalysis::new(&g);
+            assert!(a.enumerable() && !a.columns().is_empty(), "{g}");
+            let s = gtpquery::serialize(&g);
+            let re = gtpquery::parse_twig(&s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(gtpquery::structurally_equal(&g, &re), "{s}");
+        }
+    }
+
+    #[test]
+    fn or_members_stay_non_return_leaves() {
+        let v = vocab();
+        let cfg = GenConfig { or_pair_prob: 0.9, max_nodes: 8, ..Default::default() };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut saw_group = false;
+        for _ in 0..100 {
+            let g = generate_query(&mut rng, &v, &cfg);
+            for q in g.preorder() {
+                if group_members(&g, q).len() > 1 {
+                    saw_group = true;
+                    assert!(g.is_leaf(q));
+                    assert_eq!(g.role(q), Role::NonReturn);
+                    assert!(!g.edge(q).unwrap().optional);
+                }
+            }
+        }
+        assert!(saw_group);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let v = vocab();
+        let cfg = GenConfig::default();
+        let a: Vec<String> = {
+            let mut rng = SmallRng::seed_from_u64(99);
+            (0..20).map(|_| gtpquery::serialize(&generate_query(&mut rng, &v, &cfg))).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = SmallRng::seed_from_u64(99);
+            (0..20).map(|_| gtpquery::serialize(&generate_query(&mut rng, &v, &cfg))).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

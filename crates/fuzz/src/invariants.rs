@@ -1,0 +1,427 @@
+//! The six metamorphic invariants checked per (document, query) pair.
+//!
+//! Each invariant encodes a correctness claim of the paper (references
+//! per variant below; the full table lives in DESIGN.md §8). An
+//! invariant either **passes**, is **skipped** (the query shape falls
+//! outside the invariant's soundness conditions — e.g. TwigStack cannot
+//! run optional edges), or **fails** with a human-readable message. A
+//! failure means a conformance bug somewhere: either an engine, or the
+//! invariant's own soundness gate, is wrong — both are worth a corpus
+//! entry.
+
+use crate::gen::group_members;
+use crate::shrink::copy_without;
+use gtpquery::{Cell, Gtp, QueryAnalysis, ResultSet, Role};
+use twig2stack::{
+    count_results, enumerate, evaluate, evaluate_early, evaluate_parallel, evaluate_streaming,
+    match_document, MatchOptions,
+};
+use twigbaselines::{
+    build_streams, naive_evaluate, naive_exists, path_stack, tj_fast, DeweyResolver,
+    PathStackStats, TJFastStats, TwigStackStats,
+};
+use xmldom::{write, Document, Indent};
+use xmlindex::{DeweyIndex, ElementIndex, SliceStream};
+
+/// The metamorphic invariants, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// All engines that accept the query agree on its result
+    /// (Twig²Stack §4, TwigStack/PathStack §2, TJFast — related work).
+    CrossEngine,
+    /// `count()` equals `enumerate().len()` without materializing rows
+    /// (paper §4.3, `CountTwig²Stack`).
+    CountConsistency,
+    /// Boolean existence agrees with result emptiness (paper §3.5,
+    /// existence-checking nodes).
+    ExistenceConsistency,
+    /// Early (hybrid, §4.4) and full bottom-up enumeration produce
+    /// identical rows in identical order.
+    EarlyVsFull,
+    /// The parallel partitioned evaluator equals the serial path for
+    /// every thread count.
+    SerialVsParallel,
+    /// Dropping a predicate (value predicate or mandatory existence
+    /// leaf) yields a superset of the original rows — matching is
+    /// monotone in the query (§2, GTP semantics).
+    PredicateWeakening,
+}
+
+impl Invariant {
+    /// Every invariant, in report order.
+    pub const ALL: [Invariant; 6] = [
+        Invariant::CrossEngine,
+        Invariant::CountConsistency,
+        Invariant::ExistenceConsistency,
+        Invariant::EarlyVsFull,
+        Invariant::SerialVsParallel,
+        Invariant::PredicateWeakening,
+    ];
+
+    /// Stable snake_case name (used in `.t2s` corpus files and the obs
+    /// sidecar).
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::CrossEngine => "cross_engine",
+            Invariant::CountConsistency => "count_consistency",
+            Invariant::ExistenceConsistency => "existence_consistency",
+            Invariant::EarlyVsFull => "early_vs_full",
+            Invariant::SerialVsParallel => "serial_vs_parallel",
+            Invariant::PredicateWeakening => "predicate_weakening",
+        }
+    }
+
+    /// Inverse of [`Invariant::name`].
+    pub fn from_name(name: &str) -> Option<Invariant> {
+        Invariant::ALL.into_iter().find(|i| i.name() == name)
+    }
+}
+
+/// Result of checking one invariant on one pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The invariant held.
+    Passed,
+    /// The query shape falls outside this invariant's soundness
+    /// conditions; nothing was asserted.
+    Skipped(&'static str),
+    /// The invariant was violated.
+    Failed(String),
+}
+
+/// Aggregate outcome of running all invariants on one pair.
+#[derive(Debug, Clone, Default)]
+pub struct CaseOutcome {
+    /// Invariants that held.
+    pub passed: usize,
+    /// Invariants skipped for shape reasons.
+    pub skipped: usize,
+    /// Violations: `(invariant, message)`.
+    pub failures: Vec<(Invariant, String)>,
+}
+
+/// Run every invariant on the pair.
+pub fn check_case(doc: &Document, gtp: &Gtp) -> CaseOutcome {
+    let mut out = CaseOutcome::default();
+    for inv in Invariant::ALL {
+        match check(doc, gtp, inv) {
+            Outcome::Passed => out.passed += 1,
+            Outcome::Skipped(_) => out.skipped += 1,
+            Outcome::Failed(msg) => out.failures.push((inv, msg)),
+        }
+    }
+    out
+}
+
+/// Guard against pathological pairs whose result sets would dominate
+/// the smoke budget (6-wildcard descendant chains over deep documents).
+const MAX_ROWS: usize = 50_000;
+
+/// Check one invariant on one pair.
+pub fn check(doc: &Document, gtp: &Gtp, inv: Invariant) -> Outcome {
+    let analysis = QueryAnalysis::new(gtp);
+    if !analysis.enumerable() {
+        return Outcome::Skipped("query is not enumerable");
+    }
+    if analysis.columns().is_empty() {
+        return Outcome::Skipped("query has no output columns");
+    }
+    match inv {
+        Invariant::CrossEngine => cross_engine(doc, gtp),
+        Invariant::CountConsistency => count_consistency(doc, gtp),
+        Invariant::ExistenceConsistency => existence_consistency(doc, gtp),
+        Invariant::EarlyVsFull => early_vs_full(doc, gtp),
+        Invariant::SerialVsParallel => serial_vs_parallel(doc, gtp),
+        Invariant::PredicateWeakening => predicate_weakening(doc, gtp, &analysis),
+    }
+}
+
+fn diff(engine: &str, got: &ResultSet, expected: &ResultSet) -> Outcome {
+    Outcome::Failed(format!(
+        "{engine} differs from oracle: {} vs {} rows",
+        got.len(),
+        expected.len()
+    ))
+}
+
+/// `gtp` is a "full twig": the shape the classic baselines accept.
+fn is_full_twig(gtp: &Gtp) -> bool {
+    gtp.iter().all(|q| {
+        gtp.role(q) == Role::Return && gtp.edge(q).is_none_or(|e| !e.optional)
+    }) && !gtp.has_or_groups()
+        && !gtp.has_value_preds()
+}
+
+fn is_linear(gtp: &Gtp) -> bool {
+    gtp.iter().all(|q| gtp.children(q).len() <= 1)
+}
+
+fn cross_engine(doc: &Document, gtp: &Gtp) -> Outcome {
+    let expected = naive_evaluate(doc, gtp);
+    if expected.len() > MAX_ROWS {
+        return Outcome::Skipped("result set too large for the smoke budget");
+    }
+    if !expected.is_duplicate_free() {
+        return Outcome::Failed("oracle produced duplicate rows".to_string());
+    }
+    // Twig²Stack, with the existence-checking optimization off and on.
+    for existence_opt in [false, true] {
+        let (tm, _) = match_document(doc, gtp, MatchOptions { existence_opt });
+        let got = enumerate(&tm);
+        if got != expected {
+            return diff(
+                if existence_opt { "twig2stack(existence_opt)" } else { "twig2stack" },
+                &got,
+                &expected,
+            );
+        }
+    }
+    // Streaming entry point (structure-only: no value predicates).
+    if !gtp.has_value_preds() {
+        let xml = write(doc, Indent::None);
+        match evaluate_streaming(&xml, gtp, MatchOptions::default()) {
+            Ok((got, _)) => {
+                if got != expected {
+                    return diff("streaming", &got, &expected);
+                }
+            }
+            Err(e) => return Outcome::Failed(format!("streaming re-parse failed: {e}")),
+        }
+    }
+    // Classic baselines on the query shapes they support. Row order is
+    // not part of their contracts, so compare sorted.
+    if is_full_twig(gtp) {
+        let expected_sorted = expected.clone().sorted();
+        let index = ElementIndex::build(doc);
+        let owned = build_streams(&index, doc.labels(), gtp);
+        let streams: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
+        let mut ts = TwigStackStats::default();
+        let got = twigbaselines::twig_stack(gtp, streams, &mut ts).sorted();
+        if got != expected_sorted {
+            return diff("twigstack", &got, &expected_sorted);
+        }
+        let dewey = DeweyIndex::build(doc);
+        let resolver = DeweyResolver::build(&dewey, doc.labels());
+        let mut tjs = TJFastStats::default();
+        let got = tj_fast(gtp, &dewey, doc.labels(), &resolver, &mut tjs).sorted();
+        if got != expected_sorted {
+            return diff("tjfast", &got, &expected_sorted);
+        }
+        if is_linear(gtp) {
+            let streams: Vec<SliceStream<'_>> =
+                owned.iter().map(|v| SliceStream::new(v)).collect();
+            let mut ps = PathStackStats::default();
+            let sols = path_stack(gtp, streams, &mut ps);
+            let mut got = ResultSet::new(sols.path.clone());
+            for row in sols.solutions {
+                got.push(row.into_iter().map(Cell::Node).collect());
+            }
+            let got = got.sorted();
+            if got != expected_sorted {
+                return diff("pathstack", &got, &expected_sorted);
+            }
+        }
+    }
+    Outcome::Passed
+}
+
+fn count_consistency(doc: &Document, gtp: &Gtp) -> Outcome {
+    for existence_opt in [false, true] {
+        let (tm, _) = match_document(doc, gtp, MatchOptions { existence_opt });
+        let counted = count_results(&tm);
+        let rows = enumerate(&tm);
+        if rows.len() > MAX_ROWS {
+            return Outcome::Skipped("result set too large for the smoke budget");
+        }
+        if counted != rows.len() as u64 {
+            return Outcome::Failed(format!(
+                "count()={counted} but enumerate() produced {} rows (existence_opt={existence_opt})",
+                rows.len()
+            ));
+        }
+    }
+    Outcome::Passed
+}
+
+fn existence_consistency(doc: &Document, gtp: &Gtp) -> Outcome {
+    let exists = naive_exists(doc, gtp);
+    let rows = evaluate(doc, gtp);
+    if rows.len() > MAX_ROWS {
+        return Outcome::Skipped("result set too large for the smoke budget");
+    }
+    if exists == rows.is_empty() {
+        return Outcome::Failed(format!(
+            "exists()={exists} but enumeration produced {} rows",
+            rows.len()
+        ));
+    }
+    Outcome::Passed
+}
+
+fn early_vs_full(doc: &Document, gtp: &Gtp) -> Outcome {
+    let expected = naive_evaluate(doc, gtp);
+    if expected.len() > MAX_ROWS {
+        return Outcome::Skipped("result set too large for the smoke budget");
+    }
+    for existence_opt in [false, true] {
+        match evaluate_early(doc, gtp, MatchOptions { existence_opt }) {
+            Ok((got, _)) => {
+                if got != expected {
+                    return diff("early enumeration", &got, &expected);
+                }
+            }
+            Err(_) => return Outcome::Skipped("query shape unsupported by the early mode"),
+        }
+    }
+    Outcome::Passed
+}
+
+fn serial_vs_parallel(doc: &Document, gtp: &Gtp) -> Outcome {
+    let serial = evaluate(doc, gtp);
+    if serial.len() > MAX_ROWS {
+        return Outcome::Skipped("result set too large for the smoke budget");
+    }
+    for threads in [2, 4] {
+        let got = evaluate_parallel(doc, gtp, threads);
+        if got != serial {
+            return Outcome::Failed(format!(
+                "parallel({threads} threads) produced {} rows, serial {}",
+                got.len(),
+                serial.len()
+            ));
+        }
+    }
+    Outcome::Passed
+}
+
+/// Weakening is only row-wise monotone when every output cell is a
+/// plain node: group cells aggregate (a weaker query yields *longer*
+/// lists, not more rows) and optional edges introduce nulls that can
+/// *replace* rows. Within those gates, removing a conjunct can only
+/// grow the set of satisfying assignments.
+fn predicate_weakening(doc: &Document, gtp: &Gtp, analysis: &QueryAnalysis) -> Outcome {
+    if gtp.iter().any(|q| gtp.role(q) == Role::GroupReturn) {
+        return Outcome::Skipped("group cells are not row-wise monotone");
+    }
+    if gtp.iter().any(|q| gtp.edge(q).is_some_and(|e| e.optional)) {
+        return Outcome::Skipped("optional edges are not row-wise monotone");
+    }
+    let weaker = if let Some(q) = gtp.iter().find(|&q| gtp.value_pred(q).is_some()) {
+        let mut w = gtp.clone();
+        w.set_value_pred(q, None);
+        Some(w)
+    } else {
+        // Drop a mandatory, non-output leaf that is not part of a
+        // multi-member OR-group (removing an OR alternative would
+        // *strengthen* the disjunction).
+        gtp.iter()
+            .find(|&q| {
+                q != gtp.root()
+                    && gtp.is_leaf(q)
+                    && gtp.role(q) == Role::NonReturn
+                    && group_members(gtp, q).len() == 1
+            })
+            .and_then(|q| copy_without(gtp, q))
+    };
+    let Some(weak) = weaker else {
+        return Outcome::Skipped("no removable predicate");
+    };
+    let wa = QueryAnalysis::new(&weak);
+    if !wa.enumerable() || wa.columns().len() != analysis.columns().len() {
+        return Outcome::Skipped("weakened query changed the output schema");
+    }
+    let strong_rows = evaluate(doc, gtp);
+    let weak_rows = evaluate(doc, &weak);
+    if weak_rows.len() > MAX_ROWS {
+        return Outcome::Skipped("result set too large for the smoke budget");
+    }
+    // Within the gates above every cell is a plain node, so rows can be
+    // compared as `Vec<NodeId>` keys.
+    let key = |row: &Vec<Cell>| -> Option<Vec<xmldom::NodeId>> {
+        row.iter()
+            .map(|c| match c {
+                Cell::Node(n) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    };
+    let mut weak_sorted = Vec::with_capacity(weak_rows.len());
+    for row in &weak_rows.rows {
+        let Some(k) = key(row) else {
+            return Outcome::Skipped("non-node cell under the weakening gates");
+        };
+        weak_sorted.push(k);
+    }
+    weak_sorted.sort();
+    for row in &strong_rows.rows {
+        let Some(k) = key(row) else {
+            return Outcome::Skipped("non-node cell under the weakening gates");
+        };
+        if weak_sorted.binary_search(&k).is_err() {
+            return Outcome::Failed(format!(
+                "row present under the stronger query but missing after weakening \
+                 ({} strong rows, {} weak rows)",
+                strong_rows.len(),
+                weak_rows.len()
+            ));
+        }
+    }
+    Outcome::Passed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+    use xmldom::parse;
+
+    fn all_pass(xml: &str, query: &str) {
+        let doc = parse(xml).unwrap();
+        let gtp = parse_twig(query).unwrap();
+        let out = check_case(&doc, &gtp);
+        assert!(out.failures.is_empty(), "{query}: {:?}", out.failures);
+        assert!(out.passed >= 1, "{query}: everything skipped");
+    }
+
+    #[test]
+    fn known_good_pairs_pass() {
+        all_pass("<a><b><c/></b><b/></a>", "//a/b//c");
+        all_pass("<a><b><c/></b><b/></a>", "//a[b]/b!");
+        all_pass("<a><b>x</b><b>y</b></a>", "//a/b='x'");
+        all_pass("<a><b/><c/></a>", "//a[b! or d!]");
+        all_pass("<a><b/><c/></a>", "//a/?d");
+        all_pass("<a><b/><b><c/></b></a>", "//a/b@[.//c!]");
+    }
+
+    #[test]
+    fn boolean_queries_are_skipped() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let gtp = parse_twig("//a!/b!").unwrap();
+        for inv in Invariant::ALL {
+            assert!(matches!(check(&doc, &gtp, inv), Outcome::Skipped(_)), "{}", inv.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for inv in Invariant::ALL {
+            assert_eq!(Invariant::from_name(inv.name()), Some(inv));
+        }
+        assert_eq!(Invariant::from_name("nope"), None);
+    }
+
+    #[test]
+    fn weakening_gates_on_groups_and_optional() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let g = parse_twig("//a/b@").unwrap();
+        assert!(matches!(
+            check(&doc, &g, Invariant::PredicateWeakening),
+            Outcome::Skipped(_)
+        ));
+        let g = parse_twig("//a/?b").unwrap();
+        assert!(matches!(
+            check(&doc, &g, Invariant::PredicateWeakening),
+            Outcome::Skipped(_)
+        ));
+    }
+}

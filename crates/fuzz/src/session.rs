@@ -1,0 +1,236 @@
+//! The seeded fuzzing loop shared by the smoke tests and the
+//! `twigfuzz` binary.
+//!
+//! A session walks a set of dataset generators, derives a fresh small
+//! document every few cases, generates queries over the document's own
+//! vocabulary, and runs every metamorphic invariant on each pair.
+//! Failures are shrunk and packaged as [`CaseFile`]s ready to drop into
+//! `corpus/`. Progress is reported through `twigobs`
+//! ([`twigobs::Counter::FuzzCases`] / `FuzzChecks` / `FuzzFailures`),
+//! so a binary run produces the same JSON sidecar shape as an
+//! experiment run.
+
+use crate::corpus::{fnv1a, CaseFile};
+use crate::gen::{generate_query, GenConfig};
+use crate::invariants::{check_case, Invariant};
+use crate::shrink::shrink;
+use crate::vocab::Vocabulary;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use xmldom::Document;
+use xmlgen::{
+    generate_dblp, generate_random_tree, generate_treebank, generate_xmark, DblpConfig,
+    RandomTreeConfig, TreebankConfig, XmarkConfig,
+};
+
+/// The document generators a session can draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Unstructured random labelled trees (with text payloads).
+    Random,
+    /// Wide, shallow bibliography records.
+    Dblp,
+    /// Deep recursive parse trees.
+    Treebank,
+    /// The XMark auction-site schema subset.
+    Xmark,
+}
+
+impl Dataset {
+    /// Every dataset, in report order.
+    pub const ALL: [Dataset; 4] = [Dataset::Random, Dataset::Dblp, Dataset::Treebank, Dataset::Xmark];
+
+    /// Stable lowercase name (CLI argument and report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Random => "random",
+            Dataset::Dblp => "dblp",
+            Dataset::Treebank => "treebank",
+            Dataset::Xmark => "xmark",
+        }
+    }
+
+    /// Inverse of [`Dataset::name`].
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        Dataset::ALL.into_iter().find(|d| d.name() == name)
+    }
+
+    /// Generate a fuzz-sized document (≈ 60–200 elements: large enough
+    /// for recursive nestings, small enough that the naive oracle stays
+    /// cheap in debug builds).
+    pub fn generate(self, seed: u64) -> Document {
+        match self {
+            Dataset::Random => generate_random_tree(&RandomTreeConfig {
+                nodes: 90,
+                alphabet: 3,
+                max_depth: 9,
+                depth_bias: 55,
+                seed,
+                text_vocab: 3,
+            }),
+            Dataset::Dblp => generate_dblp(&DblpConfig { inproceedings: 5, articles: 4, seed }),
+            Dataset::Treebank => {
+                generate_treebank(&TreebankConfig { sentences: 6, max_depth: 9, seed })
+            }
+            Dataset::Xmark => generate_xmark(&XmarkConfig {
+                scale: 1,
+                base_persons: 5,
+                base_open_auctions: 3,
+                base_closed_auctions: 2,
+                base_items_per_region: 1,
+                seed,
+            }),
+        }
+    }
+}
+
+/// Configuration for [`run_session`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Master seed; every document and query derives from it.
+    pub seed: u64,
+    /// Number of (document, query) pairs per dataset.
+    pub cases_per_dataset: usize,
+    /// Datasets to draw documents from.
+    pub datasets: Vec<Dataset>,
+    /// Query-generator tuning.
+    pub gen: GenConfig,
+    /// Minimize failing pairs before reporting them.
+    pub shrink_failures: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            seed: 0,
+            cases_per_dataset: 100,
+            datasets: Dataset::ALL.to_vec(),
+            gen: GenConfig::default(),
+            shrink_failures: true,
+        }
+    }
+}
+
+/// One invariant violation found by a session.
+#[derive(Debug, Clone)]
+pub struct FailureCase {
+    /// Dataset whose document triggered the failure.
+    pub dataset: Dataset,
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// The failure message from the harness.
+    pub message: String,
+    /// The (shrunk) pair, ready to write into `corpus/`.
+    pub case: CaseFile,
+}
+
+/// Aggregate results of a session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    /// Pairs exercised.
+    pub cases: usize,
+    /// Invariant checks that passed.
+    pub passed: usize,
+    /// Invariant checks skipped for shape reasons.
+    pub skipped: usize,
+    /// Violations, shrunk and packaged.
+    pub failures: Vec<FailureCase>,
+}
+
+/// How many cases share one generated document before a fresh one is
+/// derived (amortizes generation without starving shape diversity).
+const CASES_PER_DOC: usize = 8;
+
+/// Run a fuzzing session. Deterministic for a given configuration.
+pub fn run_session(cfg: &SessionConfig) -> SessionReport {
+    let mut report = SessionReport::default();
+    for &dataset in &cfg.datasets {
+        let ds_salt = fnv1a(dataset.name().as_bytes());
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ ds_salt);
+        let mut doc: Option<(Document, Vocabulary)> = None;
+        for i in 0..cfg.cases_per_dataset {
+            if i % CASES_PER_DOC == 0 || doc.is_none() {
+                let d = dataset.generate(
+                    cfg.seed ^ ds_salt.wrapping_add((i / CASES_PER_DOC) as u64 + 1),
+                );
+                let v = Vocabulary::from_document(&d);
+                doc = Some((d, v));
+            }
+            let (d, v) = doc.as_ref().expect("document generated above");
+            let gtp = generate_query(&mut rng, v, &cfg.gen);
+
+            twigobs::bump(twigobs::Counter::FuzzCases);
+            report.cases += 1;
+            let out = check_case(d, &gtp);
+            report.passed += out.passed;
+            report.skipped += out.skipped;
+            twigobs::add(
+                twigobs::Counter::FuzzChecks,
+                (out.passed + out.failures.len()) as u64,
+            );
+            for (inv, message) in out.failures {
+                twigobs::bump(twigobs::Counter::FuzzFailures);
+                let (sdoc, sgtp) = if cfg.shrink_failures {
+                    shrink(d.clone(), gtp.clone(), inv)
+                } else {
+                    (d.clone(), gtp.clone())
+                };
+                let note = format!(
+                    "found by twigfuzz: dataset={} seed={:#x} case={}",
+                    dataset.name(),
+                    cfg.seed,
+                    i
+                );
+                report.failures.push(FailureCase {
+                    dataset,
+                    invariant: inv,
+                    message,
+                    case: CaseFile::from_failure(&sdoc, &sgtp, inv, &note),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_names_round_trip() {
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Dataset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn documents_are_fuzz_sized() {
+        for d in Dataset::ALL {
+            let doc = d.generate(3);
+            assert!(
+                (20..=400).contains(&doc.len()),
+                "{}: {} elements",
+                d.name(),
+                doc.len()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_session_is_clean_and_deterministic() {
+        let cfg = SessionConfig {
+            cases_per_dataset: 10,
+            datasets: vec![Dataset::Random, Dataset::Dblp],
+            ..Default::default()
+        };
+        let a = run_session(&cfg);
+        assert_eq!(a.cases, 20);
+        assert!(a.failures.is_empty(), "{:?}", a.failures);
+        assert!(a.passed > 0);
+        let b = run_session(&cfg);
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.skipped, b.skipped);
+    }
+}

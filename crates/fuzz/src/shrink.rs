@@ -1,0 +1,170 @@
+//! Greedy minimization of failing (document, query) pairs.
+//!
+//! A corpus entry is only useful if a human can read it, so every
+//! failure found by the session loop is shrunk before it is written
+//! out: query subtrees are pruned (keeping the query enumerable) and
+//! document subtrees are deleted, keeping a candidate only when the
+//! *same* invariant still fails on it. Greedy first-improvement with a
+//! round cap — each accepted step strictly shrinks the pair, so the
+//! loop terminates.
+
+use crate::invariants::{check, Invariant, Outcome};
+use gtpquery::{Gtp, GtpBuilder, NodeTest, QNodeId, QueryAnalysis};
+use xmldom::Document;
+use xmlgen::{extract_subtree, remove_subtree};
+
+fn test_name(gtp: &Gtp, q: QNodeId) -> String {
+    match gtp.test(q) {
+        NodeTest::Name(n) => n.clone(),
+        NodeTest::Wildcard => "*".to_string(),
+    }
+}
+
+/// Rebuild `gtp` without the subtree rooted at `removed`, preserving
+/// tests, roles, edges, value predicates, and OR-groups (groups with a
+/// single surviving member dissolve into plain AND edges). Returns
+/// `None` when `removed` is the root.
+pub fn copy_without(gtp: &Gtp, removed: QNodeId) -> Option<Gtp> {
+    if removed == gtp.root() {
+        return None;
+    }
+    let in_removed = |mut q: QNodeId| loop {
+        if q == removed {
+            return true;
+        }
+        match gtp.parent(q) {
+            Some(p) => q = p,
+            None => return false,
+        }
+    };
+
+    let root = gtp.root();
+    let mut b = GtpBuilder::new(&test_name(gtp, root), gtp.is_rooted());
+    let mut map: Vec<Option<QNodeId>> = vec![None; gtp.len()];
+    map[root.index()] = Some(b.root());
+    b.role(b.root(), gtp.role(root));
+    if let Some(p) = gtp.value_pred(root) {
+        b.value_pred(b.root(), p.clone());
+    }
+    for q in gtp.preorder().into_iter().skip(1) {
+        if in_removed(q) {
+            continue;
+        }
+        let parent = map[gtp.parent(q).expect("non-root").index()].expect("parent copied first");
+        let e = gtp.edge(q).expect("non-root");
+        let id = b.add(parent, &test_name(gtp, q), e.axis, e.optional, gtp.role(q));
+        if let Some(p) = gtp.value_pred(q) {
+            b.value_pred(id, p.clone());
+        }
+        map[q.index()] = Some(id);
+    }
+    // Re-establish OR-groups among surviving siblings.
+    for q in gtp.preorder() {
+        let mut runs: Vec<(u32, Vec<QNodeId>)> = Vec::new();
+        for &c in gtp.children(q) {
+            let Some(new) = map[c.index()] else { continue };
+            let g = gtp.or_group(c);
+            match runs.last_mut() {
+                Some((last, members)) if *last == g => members.push(new),
+                _ => runs.push((g, vec![new])),
+            }
+        }
+        for (_, members) in runs {
+            if members.len() >= 2 {
+                b.same_or_group(&members);
+            }
+        }
+    }
+    Some(b.build())
+}
+
+/// Minimize a failing pair under invariant `inv`. If the pair does not
+/// actually fail, it is returned unchanged.
+pub fn shrink(mut doc: Document, mut gtp: Gtp, inv: Invariant) -> (Document, Gtp) {
+    let still_fails =
+        |d: &Document, g: &Gtp| matches!(check(d, g, inv), Outcome::Failed(_));
+    if !still_fails(&doc, &gtp) {
+        return (doc, gtp);
+    }
+    for _ in 0..400 {
+        let mut progress = false;
+
+        // 1. Prune query subtrees (preorder: larger subtrees first).
+        let candidates: Vec<QNodeId> =
+            gtp.preorder().into_iter().filter(|&q| q != gtp.root()).collect();
+        for q in candidates {
+            if let Some(cand) = copy_without(&gtp, q) {
+                let a = QueryAnalysis::new(&cand);
+                if a.enumerable() && !a.columns().is_empty() && still_fails(&doc, &cand) {
+                    gtp = cand;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        if progress {
+            continue;
+        }
+
+        // 2. Jump into a branch: replace the document by one root-child
+        //    subtree (fast size reduction for bushy documents).
+        let root = doc.iter().next().expect("documents are non-empty");
+        for c in doc.children(root).collect::<Vec<_>>() {
+            let cand = extract_subtree(&doc, c);
+            if still_fails(&cand, &gtp) {
+                doc = cand;
+                progress = true;
+                break;
+            }
+        }
+        if progress {
+            continue;
+        }
+
+        // 3. Delete individual document subtrees.
+        for n in doc.iter().skip(1).collect::<Vec<_>>() {
+            if let Some(cand) = remove_subtree(&doc, n) {
+                if still_fails(&cand, &gtp) {
+                    doc = cand;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    (doc, gtp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+
+    #[test]
+    fn copy_without_prunes_subtree_and_regroups() {
+        let g = parse_twig("//a[b! or c!][d[e]]//f").unwrap();
+        let d = g.iter().find(|&q| matches!(g.test(q), NodeTest::Name(n) if n == "d")).unwrap();
+        let out = copy_without(&g, d).unwrap();
+        assert_eq!(out.len(), 4); // a, b, c, f — d's subtree (d, e) gone
+        let s = gtpquery::serialize(&out);
+        assert_eq!(s, "//a[b! or c!][.//f]");
+    }
+
+    #[test]
+    fn copy_without_dissolves_singleton_groups() {
+        let g = parse_twig("//a[b! or c!]/d").unwrap();
+        let c = g.iter().find(|&q| matches!(g.test(q), NodeTest::Name(n) if n == "c")).unwrap();
+        let out = copy_without(&g, c).unwrap();
+        assert!(!out.has_or_groups());
+        assert_eq!(gtpquery::serialize(&out), "//a[b!][d]");
+    }
+
+    #[test]
+    fn copy_without_root_is_none() {
+        let g = parse_twig("//a/b").unwrap();
+        assert!(copy_without(&g, g.root()).is_none());
+    }
+}

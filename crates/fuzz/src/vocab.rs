@@ -1,0 +1,101 @@
+//! Label and text vocabularies harvested from a concrete document.
+//!
+//! Queries built from a document's own tag names and text payloads are
+//! rarely vacuously empty, which is what makes differential fuzzing
+//! informative: an engine bug in, say, optional-edge handling only shows
+//! up when the mandatory part of the query actually matches something.
+
+use xmldom::Document;
+
+/// Names and text values sampled by the query generator.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    /// Element names usable as query node tests (filtered to the
+    /// parser's name charset; never empty — a placeholder is inserted
+    /// for documents whose labels are all unusable).
+    pub labels: Vec<String>,
+    /// Trimmed direct-text payloads, usable as `TextEquals` values.
+    pub texts: Vec<String>,
+    /// Substrings of text payloads (whole values plus their first
+    /// whitespace-delimited token), usable as `TextContains` values.
+    pub contains: Vec<String>,
+}
+
+/// True iff `name` can appear verbatim in the twig syntax: parser name
+/// charset, and not the bare `or` keyword (ambiguous inside OR-groups).
+fn serializable_name(name: &str) -> bool {
+    !name.is_empty()
+        && name != "or"
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':'))
+}
+
+/// True iff `v` can appear inside a single-quoted value literal and
+/// survive `str::trim`-based equality intact.
+fn serializable_value(v: &str) -> bool {
+    !v.is_empty() && v.len() <= 40 && !v.contains('\'') && !v.contains('\n') && v.trim() == v
+}
+
+fn push_unique(list: &mut Vec<String>, v: &str, cap: usize) {
+    if list.len() < cap && !list.iter().any(|x| x == v) {
+        list.push(v.to_string());
+    }
+}
+
+impl Vocabulary {
+    /// Harvest `doc`'s labels and text payloads (in first-seen order, so
+    /// the result is deterministic for a deterministic document).
+    pub fn from_document(doc: &Document) -> Self {
+        let mut labels: Vec<String> = doc
+            .labels()
+            .iter()
+            .map(|(_, n)| n.to_string())
+            .filter(|n| serializable_name(n))
+            .collect();
+        if labels.is_empty() {
+            labels.push("x".to_string());
+        }
+        let mut texts = Vec::new();
+        let mut contains = Vec::new();
+        for n in doc.iter() {
+            if let Some(t) = doc.text(n) {
+                let t = t.trim();
+                if serializable_value(t) {
+                    push_unique(&mut texts, t, 64);
+                    push_unique(&mut contains, t, 96);
+                    if let Some(tok) = t.split_whitespace().next() {
+                        if serializable_value(tok) {
+                            push_unique(&mut contains, tok, 96);
+                        }
+                    }
+                }
+            }
+        }
+        Vocabulary { labels, texts, contains }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::parse;
+
+    #[test]
+    fn harvests_labels_and_texts() {
+        let doc = parse("<dblp><paper>Twig joins</paper><year>2006</year></dblp>").unwrap();
+        let v = Vocabulary::from_document(&doc);
+        assert_eq!(v.labels, ["dblp", "paper", "year"]);
+        assert_eq!(v.texts, ["Twig joins", "2006"]);
+        assert!(v.contains.contains(&"Twig".to_string()));
+    }
+
+    #[test]
+    fn filters_unserializable_values() {
+        let doc = parse("<a><b>it's quoted</b><or>kw</or></a>").unwrap();
+        let v = Vocabulary::from_document(&doc);
+        assert!(!v.labels.contains(&"or".to_string()));
+        assert!(v.texts.iter().all(|t| !t.contains('\'')));
+        assert_eq!(v.texts, ["kw"]);
+    }
+}

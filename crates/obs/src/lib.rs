@@ -69,7 +69,7 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 ///
 /// ```
 /// use twigobs::Counter;
-/// assert_eq!(Counter::ALL.len(), 7);
+/// assert_eq!(Counter::ALL.len(), 10);
 /// assert_eq!(Counter::EdgesCreated.name(), "edges_created");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,11 +89,18 @@ pub enum Counter {
     Chunks,
     /// Serial fallbacks taken by the parallel evaluator.
     Fallbacks,
+    /// (Document, query) pairs exercised by the conformance fuzzer.
+    FuzzCases,
+    /// Individual metamorphic invariant checks run by the fuzzer
+    /// (several per case; skipped invariants are not counted).
+    FuzzChecks,
+    /// Invariant checks that FAILED — nonzero means a conformance bug.
+    FuzzFailures,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 10] = [
         Counter::ElementsScanned,
         Counter::StackPushes,
         Counter::Merges,
@@ -101,6 +108,9 @@ impl Counter {
         Counter::ResultsEnumerated,
         Counter::Chunks,
         Counter::Fallbacks,
+        Counter::FuzzCases,
+        Counter::FuzzChecks,
+        Counter::FuzzFailures,
     ];
 
     /// The counter's snake_case report key (stable: it is the JSON
@@ -114,6 +124,9 @@ impl Counter {
             Counter::ResultsEnumerated => "results_enumerated",
             Counter::Chunks => "chunks",
             Counter::Fallbacks => "fallbacks",
+            Counter::FuzzCases => "fuzz_cases",
+            Counter::FuzzChecks => "fuzz_checks",
+            Counter::FuzzFailures => "fuzz_failures",
         }
     }
 
@@ -127,6 +140,9 @@ impl Counter {
             Counter::ResultsEnumerated => 4,
             Counter::Chunks => 5,
             Counter::Fallbacks => 6,
+            Counter::FuzzCases => 7,
+            Counter::FuzzChecks => 8,
+            Counter::FuzzFailures => 9,
         }
     }
 }

@@ -18,10 +18,12 @@ pub mod analysis;
 pub mod gtp;
 pub mod parse;
 pub mod results;
+pub mod serialize;
 pub mod xquery;
 
 pub use analysis::{LabelDispatch, ParallelFallback, QueryAnalysis, ValidationIssue};
 pub use gtp::{Axis, Edge, Gtp, GtpBuilder, NodeTest, QNodeId, Role, ValuePred};
 pub use parse::{parse_twig, QueryParseError};
 pub use results::{Cell, ResultSet};
+pub use serialize::{serialize, structurally_equal};
 pub use xquery::{translate, XQueryError};

@@ -1,0 +1,190 @@
+//! Lossless serialization of a [`Gtp`] back to the twig syntax of
+//! [`crate::parse_twig`].
+//!
+//! [`Gtp`]'s `Display` impl favours readability: it promotes the last
+//! child of every node onto the spine (`//a/b[c]/d`) and brackets the
+//! rest. That form is ambiguous for two corners of the model: an
+//! OR-group member printed in spine position loses its group, and
+//! non-adjacent members of one group print as *separate* brackets that
+//! re-parse as separate groups. [`serialize`] instead emits a canonical
+//! bracket-only form — every child is a predicate, consecutive children
+//! sharing an OR-group are joined with `or` inside one bracket — which
+//! round-trips losslessly through the parser for any GTP whose OR-group
+//! members are adjacent siblings (always true for parser- and
+//! fuzzer-produced queries).
+//!
+//! One parser normalization applies: nodes inside a multi-alternative
+//! predicate are forced to [`Role::NonReturn`], so a hand-built GTP with
+//! an output node inside an OR-group (invalid per
+//! [`crate::QueryAnalysis`] anyway) re-parses with that role demoted.
+//! [`structurally_equal`] is the companion comparison: node tests,
+//! roles, edges, value predicates, and per-parent OR-group partitions,
+//! independent of internal node numbering.
+
+use crate::gtp::{Gtp, QNodeId, Role};
+use std::fmt::Write as _;
+
+/// Serialize `gtp` to twig syntax accepted by [`crate::parse_twig`].
+///
+/// The output uses the bracket-only canonical form (no spine
+/// continuation): `//a[.//b][c='v'!]`. See the module docs for the
+/// (narrow) conditions under which re-parsing is lossless.
+pub fn serialize(gtp: &Gtp) -> String {
+    let mut out = String::new();
+    out.push_str(if gtp.is_rooted() { "/" } else { "//" });
+    write_node(gtp, gtp.root(), &mut out);
+    out
+}
+
+/// Render one node (test, value predicate, role marker) and all its
+/// children as bracketed predicates.
+fn write_node(gtp: &Gtp, q: QNodeId, out: &mut String) {
+    let _ = write!(out, "{}", gtp.test(q));
+    if let Some(p) = gtp.value_pred(q) {
+        let _ = write!(out, "{p}");
+    }
+    match gtp.role(q) {
+        Role::Return => {}
+        Role::NonReturn => out.push('!'),
+        Role::GroupReturn => out.push('@'),
+    }
+    let kids = gtp.children(q);
+    let mut i = 0;
+    while i < kids.len() {
+        // A maximal run of consecutive children sharing an OR-group
+        // becomes one multi-alternative predicate.
+        let gid = gtp.or_group(kids[i]);
+        let mut j = i + 1;
+        while j < kids.len() && gtp.or_group(kids[j]) == gid {
+            j += 1;
+        }
+        out.push('[');
+        for (k, &child) in kids[i..j].iter().enumerate() {
+            if k > 0 {
+                out.push_str(" or ");
+            }
+            let edge = gtp.edge(child).expect("non-root node has an edge");
+            // Predicate heads per the parser grammar: `` (child),
+            // `?` (optional child), `.//` (descendant),
+            // `.//?` (optional descendant).
+            out.push_str(match (edge.axis.is_pc(), edge.optional) {
+                (true, false) => "",
+                (true, true) => "?",
+                (false, false) => ".//",
+                (false, true) => ".//?",
+            });
+            write_node(gtp, child, out);
+        }
+        out.push(']');
+        i = j;
+    }
+}
+
+/// Structural equality of two GTPs: same rootedness and, pairing nodes
+/// positionally down the tree, the same node test, role, value
+/// predicate, incoming edge, and per-parent OR-group partition.
+/// Internal node numbering and OR-group ids do not matter.
+pub fn structurally_equal(a: &Gtp, b: &Gtp) -> bool {
+    a.is_rooted() == b.is_rooted()
+        && a.len() == b.len()
+        && nodes_equal(a, a.root(), b, b.root())
+}
+
+fn nodes_equal(a: &Gtp, qa: QNodeId, b: &Gtp, qb: QNodeId) -> bool {
+    if a.test(qa) != b.test(qb)
+        || a.role(qa) != b.role(qb)
+        || a.value_pred(qa) != b.value_pred(qb)
+        || a.edge(qa) != b.edge(qb)
+    {
+        return false;
+    }
+    let ka = a.children(qa);
+    let kb = b.children(qb);
+    ka.len() == kb.len()
+        && group_shape(a, ka) == group_shape(b, kb)
+        && ka.iter().zip(kb).all(|(&ca, &cb)| nodes_equal(a, ca, b, cb))
+}
+
+/// Canonical OR-group partition of a child list: each child mapped to
+/// the position of the first sibling sharing its group.
+fn group_shape(gtp: &Gtp, kids: &[QNodeId]) -> Vec<usize> {
+    kids.iter()
+        .map(|&c| {
+            kids.iter()
+                .position(|&d| gtp.or_group(d) == gtp.or_group(c))
+                .expect("child present in its own sibling list")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtp::{Axis, GtpBuilder, ValuePred};
+    use crate::parse::parse_twig;
+
+    fn round_trip(q: &str) {
+        let g1 = parse_twig(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let s = serialize(&g1);
+        let g2 = parse_twig(&s).unwrap_or_else(|e| panic!("{q} -> {s}: {e}"));
+        assert!(structurally_equal(&g1, &g2), "{q} -> {s}");
+    }
+
+    #[test]
+    fn round_trips_full_grammar() {
+        for q in [
+            "/a",
+            "//a",
+            "//a/b//d",
+            "//a/b[//d][c]",
+            "//dblp/article[author][.//title]//year",
+            "//a!/b@[c!]//d",
+            "//a/?b//?c[?d]",
+            "//a/*//b",
+            "//x[a][b][c]/y",
+            "//a[b! or .//c!]/d",
+            "//a[.//b! or c! or .//?d!]",
+            "//person[name='Alice']//age",
+            "//paper[title~'twig'!]/author@",
+            "//a[b='x'! or c~'y'!]",
+            "/site[?open_auctions]//item@",
+        ] {
+            round_trip(q);
+        }
+    }
+
+    #[test]
+    fn serialized_form_is_bracket_only() {
+        let g = parse_twig("//a/b[//d][c]/e").unwrap();
+        assert_eq!(serialize(&g), "//a[b[.//d][c][e]]");
+    }
+
+    #[test]
+    fn adjacent_or_group_round_trips_via_builder() {
+        // Built by hand rather than the parser: two adjacent NonReturn
+        // leaves in one group, then a plain sibling.
+        let mut b = GtpBuilder::new("a", false);
+        let root = b.root();
+        let m1 = b.add(root, "b", Axis::Descendant, false, Role::NonReturn);
+        let m2 = b.add(root, "c", Axis::Child, false, Role::NonReturn);
+        b.same_or_group(&[m1, m2]);
+        let d = b.add(root, "d", Axis::Child, false, Role::Return);
+        b.value_pred(d, ValuePred::TextEquals("v".into()));
+        let g1 = b.build();
+        let s = serialize(&g1);
+        assert_eq!(s, "//a[.//b! or c!][d='v']");
+        let g2 = parse_twig(&s).unwrap();
+        assert!(structurally_equal(&g1, &g2));
+    }
+
+    #[test]
+    fn structural_equality_detects_differences() {
+        let base = parse_twig("//a[b! or c!]/d").unwrap();
+        for other in ["//a[b!][c!]/d", "//a[b or c]/e", "//a[b! or c!]//d", "/a[b! or c!]/d"] {
+            let g = parse_twig(other).unwrap();
+            assert!(!structurally_equal(&base, &g), "{other}");
+        }
+        let same = parse_twig("//a[b! or c!][d]").unwrap();
+        assert!(structurally_equal(&base, &same));
+    }
+}

@@ -1,0 +1,39 @@
+//! Replay every `.t2s` case under `corpus/` against all engines.
+//!
+//! This is the regression half of the fuzzing subsystem: any pair that
+//! ever violated an invariant gets checked on every `cargo test` run,
+//! forever. See `corpus/README.md` for the file format and how
+//! `twigfuzz` failures become corpus entries.
+
+use std::fs;
+use std::path::PathBuf;
+use twigfuzz::CaseFile;
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut cases = 0;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("corpus/ exists at the workspace root")
+        .map(|e| e.expect("readable corpus entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().is_none_or(|e| e != "t2s") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("readable case file");
+        let case = CaseFile::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed case: {e}", path.display()));
+        let failures = case
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            failures.is_empty(),
+            "{}: invariant regression: {failures:?}",
+            path.display()
+        );
+        cases += 1;
+    }
+    assert!(cases >= 4, "expected the seed corpus, found {cases} case(s)");
+}

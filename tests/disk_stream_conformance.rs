@@ -1,0 +1,79 @@
+//! Cross-engine conformance with the on-disk element streams.
+//!
+//! TwigStack is generic over [`xmlindex::ElemStream`]; the fuzz harness
+//! exercises it over in-memory [`SliceStream`]s. This sweep closes the
+//! remaining gap: the same generated full-twig queries must produce the
+//! same results when the streams come from a serialized region index on
+//! disk ([`DiskRegionStream`]) instead.
+
+use gtpquery::NodeTest;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use twigbaselines::{build_streams, naive_evaluate, twig_stack, TwigStackStats};
+use twigfuzz::{generate_query, Dataset, GenConfig, Vocabulary};
+use xmlindex::{write_region_index, DiskRegionIndex, ElementIndex, SliceStream};
+
+/// Full-twig shapes only (the TwigStack contract), with named node
+/// tests only (a disk index serves one label per stream; wildcard
+/// merging is the in-memory `build_streams` concern, tested elsewhere).
+fn full_twig_gen() -> GenConfig {
+    GenConfig {
+        wildcard_prob: 0.0,
+        optional_prob: 0.0,
+        non_return_prob: 0.0,
+        group_return_prob: 0.0,
+        or_pair_prob: 0.0,
+        value_pred_prob: 0.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn disk_streams_agree_with_slice_streams_and_oracle() {
+    let dir = std::env::temp_dir().join(format!("t2s-diskfuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = full_twig_gen();
+
+    for dataset in Dataset::ALL {
+        let doc = dataset.generate(0xD15C);
+        let vocab = Vocabulary::from_document(&doc);
+        let rpath = dir.join(format!("{}.regions.idx", dataset.name()));
+        write_region_index(&doc, &rpath).unwrap();
+        let disk = DiskRegionIndex::open(&rpath).unwrap();
+        let mem = ElementIndex::build(&doc);
+
+        let mut rng = SmallRng::seed_from_u64(0xD15C ^ dataset.name().len() as u64);
+        for case in 0..50 {
+            let gtp = generate_query(&mut rng, &vocab, &cfg);
+            let expected = naive_evaluate(&doc, &gtp).sorted();
+
+            let owned = build_streams(&mem, doc.labels(), &gtp);
+            let slices: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
+            let mut ts = TwigStackStats::default();
+            let via_mem = twig_stack(&gtp, slices, &mut ts).sorted();
+            assert_eq!(
+                via_mem, expected,
+                "[{} case {case}] slice streams vs oracle, query {gtp}",
+                dataset.name()
+            );
+
+            // Vocabulary labels come from the document, so every named
+            // test has a stream in the disk index.
+            let disk_streams = gtp
+                .iter()
+                .map(|q| match gtp.test(q) {
+                    NodeTest::Name(n) => disk.stream(n).expect("label present in index"),
+                    NodeTest::Wildcard => unreachable!("wildcard_prob is zero"),
+                })
+                .collect();
+            let mut ts = TwigStackStats::default();
+            let via_disk = twig_stack(&gtp, disk_streams, &mut ts).sorted();
+            assert_eq!(
+                via_disk, expected,
+                "[{} case {case}] disk streams vs oracle, query {gtp}",
+                dataset.name()
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,45 @@
+//! The metamorphic conformance sweep: every invariant over seeded
+//! random (document, query) pairs from all four dataset generators.
+//!
+//! This is the bounded, deterministic slice of the fuzzing subsystem
+//! that runs on plain `cargo test`; the `twigfuzz` binary runs the same
+//! loop open-endedly. A failure here prints the shrunk pair as a
+//! ready-to-commit `.t2s` case.
+
+use twigfuzz::{run_session, Dataset, SessionConfig};
+
+/// ≥ 500 pairs per dataset generator (ISSUE acceptance floor).
+const CASES_PER_DATASET: usize = 500;
+
+#[test]
+fn invariants_hold_across_all_dataset_generators() {
+    let cfg = SessionConfig {
+        seed: 0x7716_2574_ACC5_0000,
+        cases_per_dataset: CASES_PER_DATASET,
+        datasets: Dataset::ALL.to_vec(),
+        ..Default::default()
+    };
+    let report = run_session(&cfg);
+    assert_eq!(report.cases, CASES_PER_DATASET * Dataset::ALL.len());
+    if !report.failures.is_empty() {
+        let mut msg = String::new();
+        for f in &report.failures {
+            msg.push_str(&format!(
+                "\n[{} / {}] {}\n--- .t2s case (drop into corpus/) ---\n{}",
+                f.dataset.name(),
+                f.invariant.name(),
+                f.message,
+                f.case.serialize()
+            ));
+        }
+        panic!("{} invariant violation(s):{msg}", report.failures.len());
+    }
+    // The sweep must actually assert things: a gate regression that
+    // skips everything should fail loudly, not pass vacuously.
+    assert!(
+        report.passed > report.cases,
+        "only {} checks passed over {} pairs — soundness gates too strict?",
+        report.passed,
+        report.cases
+    );
+}

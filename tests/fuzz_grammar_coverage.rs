@@ -1,0 +1,105 @@
+//! The query generator covers the full GTP grammar, and every generated
+//! query round-trips losslessly through the parser.
+//!
+//! Coverage is asserted positively: across a seeded batch, every `Axis`,
+//! `Role`, `NodeTest`, and `ValuePred` variant must appear, along with
+//! optional edges, rooted and unrooted queries, and at least one
+//! OR-group. A probability tweak that silently stops exercising part of
+//! the grammar fails here, not in a weaker fuzzing run.
+
+use gtpquery::{parse_twig, serialize, structurally_equal, Axis, NodeTest, Role, ValuePred};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use twigfuzz::{generate_query, GenConfig, Vocabulary};
+use xmldom::parse;
+
+#[test]
+fn generator_covers_grammar_and_round_trips() {
+    // A document with both labels and text payloads, so value
+    // predicates have something to sample.
+    let doc = parse(
+        "<site><person>alice</person><person>bob smith</person>\
+         <item><name>chair</name><price>10</price></item></site>",
+    )
+    .unwrap();
+    let vocab = Vocabulary::from_document(&doc);
+    let cfg = GenConfig::default();
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+
+    let (mut child, mut desc, mut optional) = (false, false, false);
+    let (mut ret, mut non_ret, mut group) = (false, false, false);
+    let (mut name, mut wildcard) = (false, false);
+    let (mut eq_pred, mut contains_pred) = (false, false);
+    let (mut rooted, mut unrooted, mut or_group) = (false, false, false);
+
+    for _ in 0..1500 {
+        let gtp = generate_query(&mut rng, &vocab, &cfg);
+
+        if gtp.is_rooted() {
+            rooted = true;
+        } else {
+            unrooted = true;
+        }
+        for q in gtp.preorder() {
+            match gtp.test(q) {
+                NodeTest::Name(_) => name = true,
+                NodeTest::Wildcard => wildcard = true,
+            }
+            match gtp.role(q) {
+                Role::Return => ret = true,
+                Role::NonReturn => non_ret = true,
+                Role::GroupReturn => group = true,
+            }
+            if let Some(e) = gtp.edge(q) {
+                match e.axis {
+                    Axis::Child => child = true,
+                    Axis::Descendant => desc = true,
+                }
+                if e.optional {
+                    optional = true;
+                }
+            }
+            match gtp.value_pred(q) {
+                Some(ValuePred::TextEquals(_)) => eq_pred = true,
+                Some(ValuePred::TextContains(_)) => contains_pred = true,
+                None => {}
+            }
+            if let Some(p) = gtp.parent(q) {
+                let members = gtp
+                    .children(p)
+                    .iter()
+                    .filter(|&&c| gtp.or_group(c) == gtp.or_group(q))
+                    .count();
+                if members > 1 {
+                    or_group = true;
+                }
+            }
+        }
+
+        // Lossless round-trip through the concrete syntax.
+        let s = serialize(&gtp);
+        let re = parse_twig(&s).unwrap_or_else(|e| panic!("`{s}` does not re-parse: {e}"));
+        assert!(structurally_equal(&gtp, &re), "lossy round-trip: `{s}`");
+    }
+
+    let coverage = [
+        (child, "Axis::Child"),
+        (desc, "Axis::Descendant"),
+        (optional, "optional edge"),
+        (ret, "Role::Return"),
+        (non_ret, "Role::NonReturn"),
+        (group, "Role::GroupReturn"),
+        (name, "NodeTest::Name"),
+        (wildcard, "NodeTest::Wildcard"),
+        (eq_pred, "ValuePred::TextEquals"),
+        (contains_pred, "ValuePred::TextContains"),
+        (rooted, "rooted query"),
+        (unrooted, "unrooted query"),
+        (or_group, "OR-group"),
+    ];
+    let missing: Vec<&str> = coverage
+        .iter()
+        .filter_map(|&(hit, what)| (!hit).then_some(what))
+        .collect();
+    assert!(missing.is_empty(), "grammar features never generated: {missing:?}");
+}
