@@ -14,6 +14,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -q -p twigbench --bin twigfuzz -- \
     --seed 0xC1 --cases 400 --profile ci-smoke
 
+# Figure S smoke: every figure-16 query through every algorithm's indexed
+# driver with pruning on and off; the driver asserts the result sets are
+# identical per cell, so this fails on any pruning soundness regression.
+cargo run --release -q -p twigbench --bin experiments -- --quick figS \
+    > /dev/null
+
 # Documentation: the public API must be fully documented (the in-repo
 # crates set `#![warn(missing_docs)]`; -D warnings turns that fatal) and
 # every doc example must run. Third-party stubs are excluded — they are

@@ -23,6 +23,13 @@ pub mod twigstack;
 
 pub use naive::{evaluate as naive_evaluate, exists as naive_exists, SatTable};
 pub use pathjoin::{merge_join, root_to_leaf_paths, JoinStats, PathSolutions};
-pub use pathstack::{build_streams, path_stack, PathStackStats};
-pub use tjfast::{tj_fast, tj_fast_solutions, DeweyKey, DeweyResolver, TJFastStats};
-pub use twigstack::{twig_stack, twig_stack_solutions, TwigStackStats};
+pub use pathstack::{
+    build_pruned_streams, build_streams, path_stack, path_stack_indexed, PathStackStats,
+};
+pub use tjfast::{
+    tj_fast, tj_fast_indexed, tj_fast_solutions, DeweyKey, DeweyResolver, TJFastStats,
+};
+pub use twigstack::{
+    twig_stack, twig_stack_indexed, twig_stack_solutions, twig_stack_solutions_with,
+    twig_stack_with, TwigStackStats,
+};

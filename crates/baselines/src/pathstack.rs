@@ -11,8 +11,11 @@
 //! hybrid early-enumeration mode (paper §4.4).
 
 use crate::pathjoin::PathSolutions;
-use gtpquery::{Axis, Gtp, NodeTest};
-use xmlindex::{ElemStream, ElementIndex, IndexedElement};
+use gtpquery::{Axis, Gtp, NodeTest, SummaryFeasibility};
+use twigobs::Counter;
+use xmlindex::{
+    ElemStream, ElementIndex, IndexedElement, PrunedStream, PruningPolicy, RegionCover,
+};
 use xmldom::{LabelTable, NodeId};
 
 /// Statistics from a PathStack run.
@@ -42,6 +45,47 @@ pub fn build_streams(index: &ElementIndex, labels: &LabelTable, gtp: &Gtp) -> Ve
                     .collect();
                 all.sort_by_key(|e| e.region.left);
                 all
+            }
+        })
+        .collect()
+}
+
+/// Per-query-node pruned, skip-capable streams: each query node's stream
+/// is restricted to its summary-feasible elements (when `feas` is given)
+/// and gallops past document regions outside `cover`. Named nodes borrow
+/// the index's label partitions; wildcard nodes materialize the merged
+/// label lists with infeasible elements dropped up front (counted as
+/// pruned). Shared by every `*_indexed` baseline driver.
+pub fn build_pruned_streams<'a>(
+    index: &'a ElementIndex,
+    labels: &LabelTable,
+    gtp: &Gtp,
+    feas: Option<&'a SummaryFeasibility>,
+    cover: Option<&'a RegionCover>,
+) -> Vec<PrunedStream<'a>> {
+    let summary = index.summary();
+    gtp.iter()
+        .map(|q| {
+            let filter = feas.map(|f| f.feasible(q));
+            match gtp.test(q) {
+                NodeTest::Name(n) => match labels.get(n) {
+                    Some(l) => index.pruned_stream(l, filter, cover),
+                    None => PrunedStream::owned(Vec::new(), None),
+                },
+                NodeTest::Wildcard => {
+                    let mut all: Vec<IndexedElement> = (0..labels.len())
+                        .flat_map(|i| {
+                            index.elements(xmldom::Label::from_index(i)).iter().copied()
+                        })
+                        .collect();
+                    if let Some(f) = filter {
+                        let before = all.len();
+                        all.retain(|e| f.contains(summary.sid(e.id)));
+                        twigobs::add(Counter::ElementsPruned, (before - all.len()) as u64);
+                    }
+                    all.sort_by_key(|e| e.region.left);
+                    PrunedStream::owned(all, cover)
+                }
             }
         })
         .collect()
@@ -134,6 +178,33 @@ pub fn path_stack<S: ElemStream>(
     }
     stats.solutions = solutions.len();
     PathSolutions { path, solutions }
+}
+
+/// [`path_stack`] driven from an [`ElementIndex`] with path-summary
+/// pruning per `policy`. Results are identical to the unpruned run; an
+/// unsatisfiable query short-circuits without reading any stream element.
+pub fn path_stack_indexed(
+    index: &ElementIndex,
+    labels: &LabelTable,
+    gtp: &Gtp,
+    policy: PruningPolicy,
+    stats: &mut PathStackStats,
+) -> PathSolutions<NodeId> {
+    let feas = policy
+        .is_enabled()
+        .then(|| SummaryFeasibility::compute(gtp, index.summary(), labels));
+    if feas.as_ref().is_some_and(|f| f.is_unsatisfiable()) {
+        let mut path = vec![gtp.root()];
+        let mut q = gtp.root();
+        while let Some(&c) = gtp.children(q).first() {
+            path.push(c);
+            q = c;
+        }
+        return PathSolutions { path, solutions: Vec::new() };
+    }
+    let cover = feas.as_ref().map(|f| f.root_cover(gtp, index.summary()));
+    let streams = build_pruned_streams(index, labels, gtp, feas.as_ref(), cover.as_ref());
+    path_stack(gtp, streams, stats)
 }
 
 /// Expand all path solutions ending at `e` (query position `qi`, parent
@@ -240,5 +311,40 @@ mod tests {
         let (sols, stats) = run("<a><b/></a>", "//a/c");
         assert!(sols.solutions.is_empty());
         assert_eq!(stats.solutions, 0);
+    }
+
+    #[test]
+    fn indexed_pruning_matches_unpruned() {
+        let xml = "<a><a><b><c/><b><c/></b></b></a><b/><c/><d><b/></d></a>";
+        let doc = parse(xml).unwrap();
+        let index = ElementIndex::build(&doc);
+        for q in ["//a/b/c", "//a//b//c", "//a/b//c", "//*/b/c"] {
+            let gtp = parse_twig(q).unwrap();
+            let mut on = PathStackStats::default();
+            let mut off = PathStackStats::default();
+            let sols_on =
+                path_stack_indexed(&index, doc.labels(), &gtp, PruningPolicy::Enabled, &mut on);
+            let sols_off =
+                path_stack_indexed(&index, doc.labels(), &gtp, PruningPolicy::Disabled, &mut off);
+            let mut a = sols_on.solutions.clone();
+            let mut b = sols_off.solutions.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "query {q}");
+            assert!(on.elements_scanned <= off.elements_scanned, "query {q}");
+        }
+    }
+
+    #[test]
+    fn indexed_unsatisfiable_short_circuits() {
+        // b and c both occur, but c never sits below b.
+        let doc = parse("<a><b/><b/><c/></a>").unwrap();
+        let index = ElementIndex::build(&doc);
+        let gtp = parse_twig("//b//c").unwrap();
+        let mut stats = PathStackStats::default();
+        let sols =
+            path_stack_indexed(&index, doc.labels(), &gtp, PruningPolicy::Enabled, &mut stats);
+        assert!(sols.solutions.is_empty());
+        assert_eq!(stats.elements_scanned, 0);
     }
 }

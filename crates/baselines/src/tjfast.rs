@@ -14,9 +14,10 @@
 //! paper).
 
 use crate::pathjoin::{merge_join, root_to_leaf_paths, JoinStats, PathSolutions};
-use gtpquery::{Axis, Cell, Gtp, NodeTest, QueryAnalysis, ResultSet, Role};
+use gtpquery::{Axis, Cell, Gtp, NodeTest, QueryAnalysis, ResultSet, Role, SummaryFeasibility};
 use std::collections::HashMap;
-use xmlindex::DeweyIndex;
+use twigobs::Counter;
+use xmlindex::{DeweyIndex, PathSummary, PruningPolicy};
 use xmldom::{LabelTable, NodeId};
 
 /// Statistics from a TJFast run.
@@ -71,6 +72,18 @@ pub fn tj_fast_solutions(
     labels: &LabelTable,
     stats: &mut TJFastStats,
 ) -> Vec<PathSolutions<DeweyKey>> {
+    solutions_pruned(gtp, index, labels, None, stats)
+}
+
+/// [`tj_fast_solutions`], with leaf streams optionally restricted to each
+/// leaf node's summary-feasible elements before scanning.
+fn solutions_pruned(
+    gtp: &Gtp,
+    index: &DeweyIndex,
+    labels: &LabelTable,
+    pruner: Option<(&PathSummary, &SummaryFeasibility)>,
+    stats: &mut TJFastStats,
+) -> Vec<PathSolutions<DeweyKey>> {
     assert!(
         gtp.iter().all(|q| gtp.edge(q).is_none_or(|e| !e.optional)),
         "TJFast does not support optional edges"
@@ -89,7 +102,7 @@ pub fn tj_fast_solutions(
     for path in paths {
         let leaf = *path.last().expect("non-empty path");
         // Leaf stream: one label, or all labels merged for a wildcard.
-        let leaf_elems: Vec<(NodeId, Vec<u32>)> = match gtp.test(leaf) {
+        let mut leaf_elems: Vec<(NodeId, Vec<u32>)> = match gtp.test(leaf) {
             NodeTest::Name(n) => {
                 stats.leaf_stream_bytes += labels
                     .get(n)
@@ -122,6 +135,17 @@ pub fn tj_fast_solutions(
                 all
             }
         };
+
+        // Elements whose summary id the planner proved infeasible for the
+        // leaf node can head no solution: drop them before the Dewey
+        // decode (stream_bytes still reflects the full leaf stream — the
+        // Dewey records carry no summary ids on disk).
+        if let Some((summary, feas)) = pruner {
+            let before = leaf_elems.len();
+            let set = feas.feasible(leaf);
+            leaf_elems.retain(|(id, _)| set.contains(summary.sid(*id)));
+            twigobs::add(Counter::ElementsPruned, (before - leaf_elems.len()) as u64);
+        }
 
         // Per-step tests and axes along this path.
         let tests: Vec<&NodeTest> = path.iter().map(|&q| gtp.test(q)).collect();
@@ -254,6 +278,51 @@ pub fn tj_fast(
         "TJFast produces full twig matches only (all-return queries)"
     );
     let per_path = tj_fast_solutions(gtp, index, labels, stats);
+    resolve_tuples(gtp, per_path, resolver, stats)
+}
+
+/// [`tj_fast`] with path-summary pruning per `policy`: leaf streams are
+/// restricted to each leaf node's feasible summary ids (`summary` must
+/// describe the same document as `index`). Results are identical to the
+/// unpruned run; an unsatisfiable query short-circuits without scanning
+/// any leaf element.
+#[allow(clippy::too_many_arguments)] // one handle per index structure
+pub fn tj_fast_indexed(
+    gtp: &Gtp,
+    index: &DeweyIndex,
+    summary: &PathSummary,
+    labels: &LabelTable,
+    resolver: &DeweyResolver,
+    policy: PruningPolicy,
+    stats: &mut TJFastStats,
+) -> ResultSet {
+    assert!(
+        gtp.iter().all(|q| gtp.role(q) == Role::Return),
+        "TJFast produces full twig matches only (all-return queries)"
+    );
+    let feas = policy
+        .is_enabled()
+        .then(|| SummaryFeasibility::compute(gtp, summary, labels));
+    if feas.as_ref().is_some_and(|f| f.is_unsatisfiable()) {
+        return ResultSet::new(QueryAnalysis::new(gtp).columns().to_vec());
+    }
+    let per_path = solutions_pruned(
+        gtp,
+        index,
+        labels,
+        feas.as_ref().map(|f| (summary, f)),
+        stats,
+    );
+    resolve_tuples(gtp, per_path, resolver, stats)
+}
+
+/// Merge-join per-path solutions and resolve Dewey ids into node ids.
+fn resolve_tuples(
+    gtp: &Gtp,
+    per_path: Vec<PathSolutions<DeweyKey>>,
+    resolver: &DeweyResolver,
+    stats: &mut TJFastStats,
+) -> ResultSet {
     let mut join_stats = JoinStats::default();
     let tuples = merge_join(gtp, per_path, &mut join_stats);
     stats.join = join_stats;
@@ -384,5 +453,65 @@ mod tests {
         let (rs, stats) = run("<a><b/></a>", "//a/c");
         assert!(rs.is_empty());
         assert_eq!(stats.path_solutions, 0);
+    }
+
+    #[test]
+    fn indexed_pruning_matches_unpruned_and_scans_less() {
+        use xmlindex::{ElementIndex, PruningPolicy};
+        // The d leaves under b are feasible for //a/b//d; the d under x is
+        // not (no b on its path), so pruning must skip it pre-decode.
+        let xml = "<a><b><d/><d/></b><x><d/></x><b><c/></b></a>";
+        let doc = parse(xml).unwrap();
+        let index = DeweyIndex::build(&doc);
+        let summary = ElementIndex::build(&doc);
+        let resolver = DeweyResolver::build(&index, doc.labels());
+        let gtp = parse_twig("//a/b//d").unwrap();
+        let mut on = TJFastStats::default();
+        let mut off = TJFastStats::default();
+        let rs_on = tj_fast_indexed(
+            &gtp,
+            &index,
+            summary.summary(),
+            doc.labels(),
+            &resolver,
+            PruningPolicy::Enabled,
+            &mut on,
+        );
+        let rs_off = tj_fast_indexed(
+            &gtp,
+            &index,
+            summary.summary(),
+            doc.labels(),
+            &resolver,
+            PruningPolicy::Disabled,
+            &mut off,
+        );
+        assert_eq!(rs_on.clone().sorted(), rs_off.sorted());
+        assert_eq!(rs_on.sorted(), naive(&doc, &gtp).sorted());
+        assert_eq!(off.elements_scanned, 3);
+        assert_eq!(on.elements_scanned, 2, "the x/d leaf must be pruned");
+    }
+
+    #[test]
+    fn indexed_unsatisfiable_short_circuits() {
+        use xmlindex::{ElementIndex, PruningPolicy};
+        let xml = "<a><b/><c/></a>";
+        let doc = parse(xml).unwrap();
+        let index = DeweyIndex::build(&doc);
+        let summary = ElementIndex::build(&doc);
+        let resolver = DeweyResolver::build(&index, doc.labels());
+        let gtp = parse_twig("//b/c").unwrap();
+        let mut stats = TJFastStats::default();
+        let rs = tj_fast_indexed(
+            &gtp,
+            &index,
+            summary.summary(),
+            doc.labels(),
+            &resolver,
+            PruningPolicy::Enabled,
+            &mut stats,
+        );
+        assert!(rs.is_empty());
+        assert_eq!(stats.elements_scanned, 0);
     }
 }

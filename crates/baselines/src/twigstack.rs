@@ -15,15 +15,19 @@
 //! intentional here — it is the effect the paper evaluates.
 
 use crate::pathjoin::{merge_join, root_to_leaf_paths, JoinStats, PathSolutions};
-use gtpquery::{Axis, Cell, Gtp, QNodeId, QueryAnalysis, ResultSet, Role};
-use xmlindex::{ElemStream, IndexedElement};
-use xmldom::NodeId;
+use crate::pathstack::build_pruned_streams;
+use gtpquery::{Axis, Cell, Gtp, QNodeId, QueryAnalysis, ResultSet, Role, SummaryFeasibility};
+use xmlindex::{ElemStream, ElementIndex, IndexedElement, PruningPolicy};
+use xmldom::{LabelTable, NodeId};
 
 /// Statistics from a TwigStack run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TwigStackStats {
     /// Elements consumed from streams.
     pub elements_scanned: usize,
+    /// Elements `getNext` bypassed with [`ElemStream::skip_to`] instead of
+    /// scanning (pruning enabled only; zero otherwise).
+    pub elements_skipped: usize,
     /// Elements pushed onto stacks.
     pub elements_pushed: usize,
     /// Root-to-leaf path solutions emitted.
@@ -35,6 +39,7 @@ pub struct TwigStackStats {
 struct Run<'g, S> {
     gtp: &'g Gtp,
     streams: Vec<S>,
+    policy: PruningPolicy,
     /// Per query node: (element, pointer into parent stack at push time).
     stacks: Vec<Vec<(IndexedElement, u32)>>,
     /// Leaf-indexed accumulated path solutions.
@@ -76,9 +81,20 @@ impl<S: ElemStream> Run<'_, S> {
                 n_max = c;
             }
         }
-        while self.next_r(q) < self.next_l(n_max) {
-            self.streams[q.index()].advance();
-            self.stats.elements_scanned += 1;
+        // Discard head elements of `q` that end before n_max's head can
+        // start nesting in them. With pruning on, `skip_to` lets a
+        // skip-capable stream gallop over them (block-max jumps on the
+        // in-memory index, record drops on disk) instead of delivering
+        // each one; with pruning off the classic one-by-one advance keeps
+        // the historical scan counts.
+        if self.policy.is_enabled() {
+            let target = self.next_l(n_max);
+            self.stats.elements_skipped += self.streams[q.index()].skip_to(target);
+        } else {
+            while self.next_r(q) < self.next_l(n_max) {
+                self.streams[q.index()].advance();
+                self.stats.elements_scanned += 1;
+            }
         }
         if self.next_l(q) < self.next_l(n_min) {
             q
@@ -153,6 +169,18 @@ pub fn twig_stack_solutions<S: ElemStream>(
     streams: Vec<S>,
     stats: &mut TwigStackStats,
 ) -> Vec<PathSolutions<NodeId>> {
+    twig_stack_solutions_with(gtp, streams, PruningPolicy::Disabled, stats)
+}
+
+/// [`twig_stack_solutions`] with an explicit [`PruningPolicy`]: when
+/// enabled, `getNext`'s discard loop gallops with
+/// [`ElemStream::skip_to`] instead of advancing element by element.
+pub fn twig_stack_solutions_with<S: ElemStream>(
+    gtp: &Gtp,
+    streams: Vec<S>,
+    policy: PruningPolicy,
+    stats: &mut TwigStackStats,
+) -> Vec<PathSolutions<NodeId>> {
     assert!(
         gtp.iter().all(|q| gtp.edge(q).is_none_or(|e| !e.optional)),
         "TwigStack does not support optional edges"
@@ -171,6 +199,7 @@ pub fn twig_stack_solutions<S: ElemStream>(
     let mut run = Run {
         gtp,
         streams,
+        policy,
         stacks: vec![Vec::new(); gtp.len()],
         solutions: vec![Vec::new(); paths.len()],
         paths,
@@ -256,11 +285,22 @@ pub fn twig_stack<S: ElemStream>(
     streams: Vec<S>,
     stats: &mut TwigStackStats,
 ) -> ResultSet {
+    twig_stack_with(gtp, streams, PruningPolicy::Disabled, stats)
+}
+
+/// [`twig_stack`] with an explicit [`PruningPolicy`] (see
+/// [`twig_stack_solutions_with`]).
+pub fn twig_stack_with<S: ElemStream>(
+    gtp: &Gtp,
+    streams: Vec<S>,
+    policy: PruningPolicy,
+    stats: &mut TwigStackStats,
+) -> ResultSet {
     assert!(
         gtp.iter().all(|q| gtp.role(q) == Role::Return),
         "TwigStack produces full twig matches only (all-return queries)"
     );
-    let per_path = twig_stack_solutions(gtp, streams, stats);
+    let per_path = twig_stack_solutions_with(gtp, streams, policy, stats);
     let mut join_stats = JoinStats::default();
     let tuples = merge_join(gtp, per_path, &mut join_stats);
     stats.join = join_stats;
@@ -277,6 +317,29 @@ pub fn twig_stack<S: ElemStream>(
         );
     }
     rs
+}
+
+/// [`twig_stack`] driven from an [`ElementIndex`] with path-summary
+/// pruning per `policy`: per-query-node streams restricted to each node's
+/// feasible summary ids, galloping past regions no candidate root spans.
+/// Results are identical to the unpruned run; an unsatisfiable query
+/// short-circuits without reading any stream element.
+pub fn twig_stack_indexed(
+    index: &ElementIndex,
+    labels: &LabelTable,
+    gtp: &Gtp,
+    policy: PruningPolicy,
+    stats: &mut TwigStackStats,
+) -> ResultSet {
+    let feas = policy
+        .is_enabled()
+        .then(|| SummaryFeasibility::compute(gtp, index.summary(), labels));
+    if feas.as_ref().is_some_and(|f| f.is_unsatisfiable()) {
+        return ResultSet::new(QueryAnalysis::new(gtp).columns().to_vec());
+    }
+    let cover = feas.as_ref().map(|f| f.root_cover(gtp, index.summary()));
+    let streams = build_pruned_streams(index, labels, gtp, feas.as_ref(), cover.as_ref());
+    twig_stack_with(gtp, streams, policy, stats)
 }
 
 #[cfg(test)]
@@ -356,6 +419,48 @@ mod tests {
     fn empty_results() {
         let (rs, _) = run("<a><b/></a>", "//a[c]/b");
         assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn indexed_pruning_matches_unpruned() {
+        let docs = [FIG1, "<a><b><x><c/></x><d/></b><b><c/><d/></b></a>"];
+        let queries = ["//a/b[//d][c]", "//a//b", "//a/b[c][d]", "//a[b]//c"];
+        for xml in docs {
+            let doc = parse(xml).unwrap();
+            let index = ElementIndex::build(&doc);
+            for q in queries {
+                let gtp = parse_twig(q).unwrap();
+                let mut on = TwigStackStats::default();
+                let mut off = TwigStackStats::default();
+                let rs_on =
+                    twig_stack_indexed(&index, doc.labels(), &gtp, PruningPolicy::Enabled, &mut on);
+                let rs_off = twig_stack_indexed(
+                    &index,
+                    doc.labels(),
+                    &gtp,
+                    PruningPolicy::Disabled,
+                    &mut off,
+                );
+                assert_eq!(rs_on.sorted(), rs_off.sorted(), "query {q} on {xml}");
+                assert!(
+                    on.elements_scanned <= off.elements_scanned + off.elements_skipped,
+                    "pruning must not read more: query {q} on {xml}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_unsatisfiable_short_circuits() {
+        // d elements exist, but never below a c.
+        let doc = parse(FIG1).unwrap();
+        let index = ElementIndex::build(&doc);
+        let gtp = parse_twig("//c/d").unwrap();
+        let mut stats = TwigStackStats::default();
+        let rs = twig_stack_indexed(&index, doc.labels(), &gtp, PruningPolicy::Enabled, &mut stats);
+        assert!(rs.is_empty());
+        assert_eq!(stats.elements_scanned, 0);
+        assert_eq!(stats.elements_skipped, 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|table1|all]
+//! experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|figS|table1|all]
 //! ```
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
@@ -42,12 +42,12 @@ fn main() {
     if !what.iter().all(|w| {
         matches!(
             *w,
-            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figP"
+            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figP" | "figS"
                 | "table1"
         )
     }) {
         eprintln!(
-            "usage: experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|table1|all]"
+            "usage: experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|figS|table1|all]"
         );
         std::process::exit(2);
     }
@@ -89,6 +89,11 @@ fn main() {
         let (_, report) = twigbench::figp(profile, &[1, 2, 3, 4], &[1, 2, 3, 4, 5, 6, 7, 8]);
         println!("{report}");
         emit_sidecar("figP", quick);
+    }
+    if wants("figS") {
+        let (_, report) = twigbench::figs(profile);
+        println!("{report}");
+        emit_sidecar("figS", quick);
     }
     if wants("table1") {
         let (_, report) = twigbench::table1(profile);

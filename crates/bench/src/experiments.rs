@@ -6,19 +6,21 @@
 //! what reproduces the paper is the *shape* (see EXPERIMENTS.md).
 
 use crate::metrics::{
-    human_bytes, ms, render_table, run_tjfast, run_twig2stack, run_twigstack, twig2stack_query,
-    QueryCost,
+    human_bytes, ms, render_table, run_tjfast, run_twig2stack, run_twigstack, tjfast_indexed_once,
+    twig2stack_indexed_once, twig2stack_query, twigstack_indexed_once, QueryCost,
 };
 use crate::workload::{
     dblp, dblp_queries, fig18_variants, fig19_variants, treebank, treebank_queries, xmark,
     xmark_queries, Dataset, NamedQuery, Profile,
 };
+use gtpquery::{Gtp, ResultSet};
 use std::time::{Duration, Instant};
 use twig2stack::{
     evaluate_early, evaluate_parallel, match_document, match_document_parallel, parallel_plan,
     MatchOptions, ParallelPlan,
 };
 use xmldom::DocStats;
+use xmlindex::PruningPolicy;
 
 /// The three compared algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -487,6 +489,160 @@ pub fn figp(profile: Profile, scales: &[usize], threads: &[usize]) -> (Vec<FigPR
     (out, report)
 }
 
+/// One measured cell of Figure S: an algorithm × query pair run through
+/// its indexed driver with path-summary pruning on and off.
+#[derive(Debug, Clone)]
+pub struct FigSRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Query name.
+    pub query: &'static str,
+    /// Algorithm.
+    pub algo: Algo,
+    /// Stream elements delivered with pruning off.
+    pub scanned_full: u64,
+    /// Stream elements delivered with pruning on.
+    pub scanned_pruned: u64,
+    /// Elements the pruned run filtered or skipped without delivering.
+    pub elements_pruned: u64,
+    /// `skip_to` jump events in the pruned run.
+    pub stream_skips: u64,
+    /// Best-of-3 wall time, pruning off.
+    pub time_full: Duration,
+    /// Best-of-3 wall time, pruning on.
+    pub time_pruned: Duration,
+    /// Result tuples (identical under both policies, asserted).
+    pub results: usize,
+}
+
+fn indexed_once(
+    ds: &Dataset,
+    gtp: &Gtp,
+    algo: Algo,
+    policy: PruningPolicy,
+) -> (Duration, ResultSet) {
+    match algo {
+        Algo::TwigStack => twigstack_indexed_once(ds, gtp, policy),
+        Algo::TJFast => tjfast_indexed_once(ds, gtp, policy),
+        Algo::Twig2Stack => twig2stack_indexed_once(ds, gtp, policy),
+    }
+}
+
+/// Figure S (not in the paper): path-summary pruned streams vs full
+/// streams, per Figure 16 query and algorithm. Reports the stream read
+/// counters (`elements_scanned` off vs on, plus what pruning filtered and
+/// how many `skip_to` jumps fired) and best-of-3 wall time for each
+/// policy. Panics if any pruned run's result set differs from the full
+/// run's — the pruning soundness contract — so the `figS` smoke stage in
+/// `ci.sh` doubles as an end-to-end equivalence check.
+///
+/// The counters come from the `twigobs` thread-local accumulator: each
+/// counted run is bracketed by [`twigobs::take`], and every snapshot is
+/// re-absorbed afterwards so the binary's metrics sidecar still sees the
+/// run's totals. With the `obs` feature disabled the counter columns read
+/// zero; the equivalence assertions still run.
+pub fn figs(profile: Profile) -> (Vec<FigSRow>, String) {
+    let mut out = Vec::new();
+    let datasets: Vec<(Dataset, Vec<NamedQuery>)> = vec![
+        (dblp(profile), dblp_queries()),
+        (xmark(profile, 1), xmark_queries()),
+        (treebank(profile), treebank_queries()),
+    ];
+    for (ds, queries) in &datasets {
+        for nq in queries {
+            for algo in Algo::ALL {
+                // Counted single runs, one per policy, each isolated by a
+                // thread-local drain so the counters attribute exactly.
+                let ambient = twigobs::take();
+                let (t_on, rs_on) = indexed_once(ds, &nq.gtp, algo, PruningPolicy::Enabled);
+                let on = twigobs::take();
+                let (t_off, rs_off) = indexed_once(ds, &nq.gtp, algo, PruningPolicy::Disabled);
+                let off = twigobs::take();
+                twigobs::absorb(&ambient);
+                twigobs::absorb(&on);
+                twigobs::absorb(&off);
+                assert_eq!(
+                    rs_on.clone().sorted(),
+                    rs_off.sorted(),
+                    "pruning changed {} results on {}/{}",
+                    algo.name(),
+                    ds.name,
+                    nq.name
+                );
+                // Wall clock: fold two more reps per policy into a
+                // best-of-3 (counters from these reps are absorbed into
+                // the ambient accumulator, not attributed to a policy).
+                let mut time_pruned = t_on;
+                let mut time_full = t_off;
+                for _ in 0..2 {
+                    time_pruned =
+                        time_pruned.min(indexed_once(ds, &nq.gtp, algo, PruningPolicy::Enabled).0);
+                    time_full =
+                        time_full.min(indexed_once(ds, &nq.gtp, algo, PruningPolicy::Disabled).0);
+                }
+                out.push(FigSRow {
+                    dataset: ds.name.clone(),
+                    query: nq.name,
+                    algo,
+                    scanned_full: off.get(twigobs::Counter::ElementsScanned),
+                    scanned_pruned: on.get(twigobs::Counter::ElementsScanned),
+                    elements_pruned: on.get(twigobs::Counter::ElementsPruned),
+                    stream_skips: on.get(twigobs::Counter::StreamSkips),
+                    time_full,
+                    time_pruned,
+                    results: rs_on.len(),
+                });
+            }
+        }
+    }
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|r| {
+            let reduction = if r.scanned_full > 0 {
+                format!(
+                    "{:.0}%",
+                    100.0 * (1.0 - r.scanned_pruned as f64 / r.scanned_full as f64)
+                )
+            } else {
+                "-".to_string()
+            };
+            vec![
+                r.dataset.clone(),
+                r.query.to_string(),
+                r.algo.name().to_string(),
+                format!("{}", r.scanned_full),
+                format!("{}", r.scanned_pruned),
+                reduction,
+                format!("{}", r.elements_pruned),
+                format!("{}", r.stream_skips),
+                ms(r.time_full),
+                ms(r.time_pruned),
+                format!("{}", r.results),
+            ]
+        })
+        .collect();
+    let report = format!(
+        "Figure S — path-summary pruned streams vs full streams\n{}",
+        render_table(
+            &[
+                "dataset",
+                "query",
+                "algorithm",
+                "scan full",
+                "scan pruned",
+                "reduction",
+                "pruned",
+                "skips",
+                "full ms",
+                "pruned ms",
+                "results",
+            ],
+            &rows
+        )
+    );
+    (out, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +726,48 @@ mod tests {
         );
         // No speedup assertion: CI machines may expose a single core; the
         // curve itself is the deliverable (see EXPERIMENTS.md, figP).
+    }
+
+    #[test]
+    fn figs_pruning_equivalence_and_scan_reduction() {
+        let (rows, report) = figs(Profile::Quick);
+        assert_eq!(rows.len(), 27);
+        assert!(report.contains("Figure S"));
+        // figs() itself asserts pruned == full per cell; here check the
+        // three algorithms also agree with each other per (dataset, query).
+        for chunk in rows.chunks(3) {
+            assert_eq!(chunk[0].results, chunk[1].results, "{}", chunk[0].query);
+            assert_eq!(chunk[0].results, chunk[2].results, "{}", chunk[0].query);
+        }
+        if twigobs::ENABLED {
+            // Pruning never delivers more than the full scan.
+            for r in &rows {
+                assert!(
+                    r.scanned_pruned <= r.scanned_full,
+                    "{}/{}/{}: pruned {} > full {}",
+                    r.dataset,
+                    r.query,
+                    r.algo.name(),
+                    r.scanned_pruned,
+                    r.scanned_full
+                );
+            }
+            // The headline claim: Twig²Stack reads strictly fewer stream
+            // elements on most of the Figure 16 workload.
+            let t2s: Vec<_> = rows
+                .iter()
+                .filter(|r| r.algo == Algo::Twig2Stack)
+                .collect();
+            assert_eq!(t2s.len(), 9);
+            let reduced = t2s
+                .iter()
+                .filter(|r| r.scanned_pruned < r.scanned_full)
+                .count();
+            assert!(
+                reduced >= 6,
+                "scan reduction on only {reduced}/9 figure-16 queries"
+            );
+        }
     }
 
     #[test]

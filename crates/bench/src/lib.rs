@@ -21,7 +21,7 @@ pub mod metrics;
 pub mod sidecar;
 pub mod workload;
 
-pub use experiments::{fig14, fig15, fig16, fig17, fig18, fig19, figp, table1, Algo};
+pub use experiments::{fig14, fig15, fig16, fig17, fig18, fig19, figp, figs, table1, Algo, FigSRow};
 pub use metrics::{run_tjfast, run_twig2stack, run_twigstack, QueryCost};
 pub use sidecar::write_sidecar;
 pub use workload::{

@@ -32,9 +32,12 @@ fn best_of<T>(mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
     }
     (best, out)
 }
-use twig2stack::{enumerate, match_document, MatchOptions};
-use twigbaselines::{build_streams, tj_fast, twig_stack, TJFastStats, TwigStackStats};
-use xmlindex::{DiskDeweyIndex, DiskRegionIndex, ElemStream, SliceStream};
+use twig2stack::{enumerate, evaluate_indexed, match_document, MatchOptions};
+use twigbaselines::{
+    build_streams, tj_fast, tj_fast_indexed, twig_stack, twig_stack_indexed, TJFastStats,
+    TwigStackStats,
+};
+use xmlindex::{DiskDeweyIndex, DiskRegionIndex, ElemStream, PruningPolicy, SliceStream};
 
 /// Measured cost of one query execution.
 #[derive(Debug, Clone, Copy, Default)]
@@ -205,6 +208,50 @@ pub fn tjfast_query_once(ds: &Dataset, gtp: &Gtp) -> (Duration, ResultSet) {
     let start = Instant::now();
     let mut stats = TJFastStats::default();
     let rs = tj_fast(gtp, &ds.dewey, ds.doc.labels(), &ds.resolver, &mut stats);
+    (start.elapsed(), rs)
+}
+
+/// One un-repeated Twig²Stack execution through the indexed driver, with
+/// path-summary pruning under the caller's `policy` (Figure S).
+pub fn twig2stack_indexed_once(
+    ds: &Dataset,
+    gtp: &Gtp,
+    policy: PruningPolicy,
+) -> (Duration, ResultSet) {
+    let start = Instant::now();
+    let rs = evaluate_indexed(&ds.doc, &ds.index, gtp, policy);
+    (start.elapsed(), rs)
+}
+
+/// One un-repeated TwigStack execution through the indexed driver.
+pub fn twigstack_indexed_once(
+    ds: &Dataset,
+    gtp: &Gtp,
+    policy: PruningPolicy,
+) -> (Duration, ResultSet) {
+    let start = Instant::now();
+    let mut stats = TwigStackStats::default();
+    let rs = twig_stack_indexed(&ds.index, ds.doc.labels(), gtp, policy, &mut stats);
+    (start.elapsed(), rs)
+}
+
+/// One un-repeated TJFast execution through the indexed driver.
+pub fn tjfast_indexed_once(
+    ds: &Dataset,
+    gtp: &Gtp,
+    policy: PruningPolicy,
+) -> (Duration, ResultSet) {
+    let start = Instant::now();
+    let mut stats = TJFastStats::default();
+    let rs = tj_fast_indexed(
+        gtp,
+        &ds.dewey,
+        ds.index.summary(),
+        ds.doc.labels(),
+        &ds.resolver,
+        policy,
+        &mut stats,
+    );
     (start.elapsed(), rs)
 }
 

@@ -378,14 +378,7 @@ impl HierStack {
 
     /// All elements of the stack tree rooted at `id`, as `(stack, index)`
     /// pairs in **document order** (pre-order: tops first, then down the
-    /// stack, then child trees).
-    pub fn tree_elements(&self, id: SId) -> Vec<(SId, u32)> {
-        let mut out = Vec::new();
-        self.tree_elements_into(id, &mut out);
-        out
-    }
-
-    /// Like [`Self::tree_elements`], appending into a caller-owned buffer
+    /// stack, then child trees), appended into a caller-owned buffer
     /// (which is not cleared) so repeated walks can reuse capacity.
     pub fn tree_elements_into(&self, id: SId, out: &mut Vec<(SId, u32)>) {
         self.collect_tree(id, out);
@@ -558,7 +551,8 @@ mod tests {
         let mut hs = HierStack::new(false);
         push3(&mut hs);
         let root = hs.roots()[0];
-        let elems = hs.tree_elements(root);
+        let mut elems = Vec::new();
+        hs.tree_elements_into(root, &mut elems);
         let ids: Vec<NodeId> = elems.iter().map(|&l| hs.elem(l).node).collect();
         assert_eq!(ids, vec![n(2), n(3), n(4)]); // pre-order: a2, a3, a4
         let lefts: Vec<u32> = elems.iter().map(|&l| hs.elem(l).region.left).collect();

@@ -17,7 +17,9 @@
 //!   enumeration (§4.4);
 //! * [`memory`] — runtime memory accounting (§5.4, Table 1);
 //! * [`parallel`] — partitioned multi-threaded evaluation with a serial
-//!   spine replay (exactly equivalent to the serial matcher).
+//!   spine replay (exactly equivalent to the serial matcher);
+//! * [`pruned`] — index-backed evaluation over path-summary-pruned,
+//!   skip-capable element streams (byte-identical results, fewer reads).
 //!
 //! ## Quick start
 //!
@@ -43,6 +45,7 @@ pub mod hstack;
 pub mod matcher;
 pub mod memory;
 pub mod parallel;
+pub mod pruned;
 pub mod sot;
 
 pub use context::EvalContext;
@@ -54,6 +57,7 @@ pub use memory::MemoryMeter;
 pub use parallel::{
     evaluate_parallel, match_document_parallel, parallel_plan, FallbackReason, ParallelPlan,
 };
+pub use pruned::{evaluate_indexed, match_indexed};
 
 use gtpquery::{Gtp, ResultSet};
 use xmldom::Document;

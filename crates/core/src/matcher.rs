@@ -401,11 +401,14 @@ mod tests {
                 let gtp = parse_twig(qs).unwrap();
                 let (tm, _) = match_document(doc, &gtp, MatchOptions { existence_opt: false });
                 let sat = SatTable::compute(doc, &gtp);
+                let mut locs = Vec::new();
                 for q in gtp.iter() {
                     let expected = sat.matches(q);
                     let mut got: Vec<NodeId> = Vec::new();
                     for &r in tm.stack(q).roots() {
-                        for loc in tm.stack(q).tree_elements(r) {
+                        locs.clear();
+                        tm.stack(q).tree_elements_into(r, &mut locs);
+                        for &loc in &locs {
                             got.push(tm.stack(q).elem(loc).node);
                         }
                     }

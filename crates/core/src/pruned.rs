@@ -1,0 +1,180 @@
+//! Index-backed, path-summary-pruned Twig²Stack evaluation.
+//!
+//! [`evaluate_indexed`] drives the [`Matcher`] from an [`ElementIndex`]
+//! instead of a DOM walk. The planner side lives in
+//! [`gtpquery::SummaryFeasibility`]: the GTP is evaluated over the
+//! document's path summary (strong DataGuide), yielding per query node the
+//! set of summary ids any match projection can use. From that this driver
+//! builds, per distinct query label, an [`xmlindex::PrunedStream`] that
+//!
+//! * drops elements whose summary id is infeasible for **every** query
+//!   node dispatched to the label, and
+//! * gallops (skip-scan) past document regions that no candidate root
+//!   element spans, using the feasibility root cover.
+//!
+//! The streams are merged by `LeftPos` and the post-order close sequence
+//! Figure 7 needs is reconstructed with one pending stack: an element is
+//! closed as soon as a later element starts past its `RightPos`.
+//!
+//! Soundness: the feasible sets over-approximate the summary ids of every
+//! element that participates in or witnesses a result, so pruning removes
+//! only provably-irrelevant elements and the outcome is byte-identical to
+//! the unpruned evaluation (enforced by the `pruned_vs_unpruned` fuzz
+//! invariant). A query node whose feasible set is empty can never be
+//! satisfied; if it is mandatory the whole query is unsatisfiable and
+//! evaluation short-circuits **without reading a single stream element**.
+
+use crate::enumerate::enumerate;
+use crate::matcher::{MatchOptions, MatchStats, Matcher, TwigMatch};
+use gtpquery::{Gtp, LabelDispatch, ResultSet, SummaryFeasibility};
+use xmldom::{Document, Label, NodeId, Region};
+use xmlindex::{ElemStream, ElementIndex, PruningPolicy, SummarySet};
+
+/// Match `gtp` against `doc` by merging the index's label streams, pruned
+/// according to `policy`. Equivalent to
+/// [`match_document`](crate::match_document) (same stacks, same result
+/// edges), but reads only summary-feasible elements inside candidate root
+/// regions when pruning is enabled.
+pub fn match_indexed<'g>(
+    doc: &'g Document,
+    index: &ElementIndex,
+    gtp: &'g Gtp,
+    options: MatchOptions,
+    policy: PruningPolicy,
+) -> (TwigMatch<'g>, MatchStats) {
+    let _span = twigobs::span(twigobs::Phase::Match);
+    let labels = doc.labels();
+    let matcher = Matcher::new(gtp, labels, options).with_text_source(doc);
+    let dispatch = LabelDispatch::compile(gtp, labels);
+    let summary = index.summary();
+
+    let feas = policy
+        .is_enabled()
+        .then(|| SummaryFeasibility::compute(gtp, summary, labels));
+    if feas.as_ref().is_some_and(SummaryFeasibility::is_unsatisfiable) {
+        // Some mandatory query node has no feasible root-to-node path
+        // anywhere in the document: the result is empty, no stream read.
+        return matcher.finish();
+    }
+    let cover = feas.as_ref().map(|f| f.root_cover(gtp, summary));
+
+    // One stream per label some query node dispatches to, restricted to
+    // the union of the dispatched nodes' feasible summary ids.
+    let plan: Vec<(Label, Option<SummarySet>)> = (0..labels.len())
+        .map(Label::from_index)
+        .filter(|&l| !dispatch.query_nodes(l).is_empty())
+        .map(|l| {
+            let filter = feas.as_ref().map(|f| {
+                let mut set = SummarySet::empty(summary.len());
+                for &q in dispatch.query_nodes(l) {
+                    set.union(f.feasible(q));
+                }
+                set
+            });
+            (l, filter)
+        })
+        .collect();
+    let streams = plan
+        .iter()
+        .map(|(l, filter)| (*l, index.pruned_stream(*l, filter.as_ref(), cover.as_ref())));
+    drive(matcher, streams)
+}
+
+/// Merge label streams by `LeftPos` and feed the matcher post-order.
+fn drive<'g, S: ElemStream>(
+    mut matcher: Matcher<'g>,
+    streams: impl Iterator<Item = (Label, S)>,
+) -> (TwigMatch<'g>, MatchStats) {
+    let mut streams: Vec<(Label, S)> = streams.collect();
+    // Elements still open at the merge head; popped (and closed) once the
+    // head starts past their RightPos. Tops are innermost, so pop order is
+    // exactly the post-order close order.
+    let mut pending: Vec<(NodeId, Label, Region)> = Vec::new();
+    loop {
+        let mut best: Option<(usize, xmlindex::IndexedElement)> = None;
+        for (i, (_, s)) in streams.iter_mut().enumerate() {
+            if let Some(e) = s.peek() {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => e.region.left < b.region.left,
+                };
+                if better {
+                    best = Some((i, e));
+                }
+            }
+        }
+        let Some((i, e)) = best else { break };
+        streams[i].1.advance();
+        while pending
+            .last()
+            .is_some_and(|&(_, _, r)| r.right < e.region.left)
+        {
+            let (n, l, r) = pending.pop().expect("checked non-empty");
+            matcher.on_element_close(n, l, r);
+        }
+        pending.push((e.id, streams[i].0, e.region));
+    }
+    while let Some((n, l, r)) = pending.pop() {
+        matcher.on_element_close(n, l, r);
+    }
+    matcher.finish()
+}
+
+/// Match and enumerate from an index in one call with default options.
+/// With [`PruningPolicy::Enabled`] this is the fully pruned pipeline; with
+/// [`PruningPolicy::Disabled`] it reads the full label streams (the A/B
+/// baseline) — both return exactly [`evaluate`](crate::evaluate)'s result.
+pub fn evaluate_indexed(
+    doc: &Document,
+    index: &ElementIndex,
+    gtp: &Gtp,
+    policy: PruningPolicy,
+) -> ResultSet {
+    let (tm, _) = match_indexed(doc, index, gtp, MatchOptions::default(), policy);
+    enumerate(&tm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate;
+    use gtpquery::parse_twig;
+    use xmldom::parse;
+
+    #[test]
+    fn indexed_matches_dom_walk_on_and_off() {
+        let xml = "<a><a><b><c/></b></a><b/><b><c/><c/></b><d><b><c/></b></d></a>";
+        let doc = parse(xml).unwrap();
+        let index = ElementIndex::build(&doc);
+        for q in ["//a/b[c]", "//a//b", "//a!/b[c!]", "//a/b[?c@]", "//*[b]/c"] {
+            let gtp = parse_twig(q).unwrap();
+            let expected = evaluate(&doc, &gtp);
+            for policy in [PruningPolicy::Enabled, PruningPolicy::Disabled] {
+                let got = evaluate_indexed(&doc, &index, &gtp, policy);
+                assert_eq!(got, expected, "query {q}, {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_predicates_work_through_indexed_path() {
+        let doc = parse("<a><b><y>2006</y></b><b><y>2007</y></b></a>").unwrap();
+        let index = ElementIndex::build(&doc);
+        let gtp = parse_twig("//a/b[y='2006']").unwrap();
+        let expected = evaluate(&doc, &gtp);
+        assert_eq!(expected.len(), 1);
+        for policy in [PruningPolicy::Enabled, PruningPolicy::Disabled] {
+            assert_eq!(evaluate_indexed(&doc, &index, &gtp, policy), expected);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_query_short_circuits_empty() {
+        // The document has b and c elements, but never a c below a b.
+        let doc = parse("<a><b/><b/><c/><c/></a>").unwrap();
+        let index = ElementIndex::build(&doc);
+        let gtp = parse_twig("//b//c").unwrap();
+        let rs = evaluate_indexed(&doc, &index, &gtp, PruningPolicy::Enabled);
+        assert!(rs.is_empty());
+    }
+}

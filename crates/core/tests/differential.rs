@@ -220,14 +220,14 @@ proptest! {
         use twigbaselines::SatTable;
         let (tm, _) = match_document(&doc, &gtp, MatchOptions { existence_opt: false });
         let sat = SatTable::compute(&doc, &gtp);
+        let mut locs = Vec::new();
         for q in gtp.iter() {
-            let mut got: Vec<xmldom::NodeId> = tm
-                .stack(q)
-                .roots()
-                .iter()
-                .flat_map(|&r| tm.stack(q).tree_elements(r))
-                .map(|loc| tm.stack(q).elem(loc).node)
-                .collect();
+            locs.clear();
+            for &r in tm.stack(q).roots() {
+                tm.stack(q).tree_elements_into(r, &mut locs);
+            }
+            let mut got: Vec<xmldom::NodeId> =
+                locs.iter().map(|&loc| tm.stack(q).elem(loc).node).collect();
             got.sort_unstable();
             let mut expected = sat.matches(q);
             // A rooted query's root node only admits level-1 elements.

@@ -1,0 +1,91 @@
+//! Pruned stream-driven evaluation: differential equality against the DOM
+//! walk, and the observability contracts of the pruning pipeline (zero
+//! stream reads on unsatisfiable queries, actual element savings on
+//! selective ones). These tests live in the core crate because its
+//! dev-dependencies enable the real `twigobs` recording layer.
+
+use gtpquery::parse_twig;
+use twig2stack::{evaluate, evaluate_indexed};
+use twigobs::Counter;
+use xmldom::parse;
+use xmlindex::{ElementIndex, PruningPolicy};
+
+/// Figure-1-style document plus recursion and some query-irrelevant bulk.
+const DOC: &str = "<dblp>\
+    <inproceedings><title>t1</title><author>a1</author><author>a2</author></inproceedings>\
+    <article><title>t2</title><author>a3</author></article>\
+    <inproceedings><title>t3</title></inproceedings>\
+    <www><editor>e1</editor><cite><article><title>t4</title></article></cite></www>\
+    </dblp>";
+
+#[test]
+fn pruned_equals_unpruned_across_queries() {
+    let doc = parse(DOC).unwrap();
+    let index = ElementIndex::build(&doc);
+    let queries = [
+        "//dblp/inproceedings[title]/author",
+        "//article/title",
+        "//dblp/*[title]",
+        "//www//title",
+        "//dblp/inproceedings[?author@]/title",
+        "//cite//article!/title",
+    ];
+    for q in queries {
+        let gtp = parse_twig(q).unwrap();
+        let expected = evaluate(&doc, &gtp);
+        let on = evaluate_indexed(&doc, &index, &gtp, PruningPolicy::Enabled);
+        let off = evaluate_indexed(&doc, &index, &gtp, PruningPolicy::Disabled);
+        assert_eq!(on, expected, "pruning on, query {q}");
+        assert_eq!(off, expected, "pruning off, query {q}");
+    }
+}
+
+#[test]
+fn unsatisfiable_query_reads_zero_stream_elements() {
+    let doc = parse(DOC).unwrap();
+    // Index build happens outside the measured window.
+    let index = ElementIndex::build(&doc);
+    // Both labels exist, but no root-to-leaf path ever puts an editor
+    // below an inproceedings: summary feasibility proves it.
+    let gtp = parse_twig("//inproceedings/editor").unwrap();
+    let _ = twigobs::take();
+    let rs = evaluate_indexed(&doc, &index, &gtp, PruningPolicy::Enabled);
+    let m = twigobs::take();
+    assert!(rs.is_empty());
+    assert_eq!(
+        m.get(Counter::ElementsScanned),
+        0,
+        "infeasible query must not read any stream element"
+    );
+    assert_eq!(m.get(Counter::ElementsPruned), 0, "short-circuit, not a scan-and-drop");
+}
+
+#[test]
+fn pruning_reduces_elements_scanned() {
+    let doc = parse(DOC).unwrap();
+    let index = ElementIndex::build(&doc);
+    // `title` appears under four distinct paths; only the www//cite one
+    // is feasible here, so pruning must drop the other title elements
+    // (and the articles outside www).
+    let gtp = parse_twig("//www//article/title").unwrap();
+
+    let _ = twigobs::take();
+    let on = evaluate_indexed(&doc, &index, &gtp, PruningPolicy::Enabled);
+    let pruned_run = twigobs::take();
+
+    let off = evaluate_indexed(&doc, &index, &gtp, PruningPolicy::Disabled);
+    let full_run = twigobs::take();
+
+    assert_eq!(on, off);
+    assert_eq!(on.len(), 1);
+    assert!(
+        pruned_run.get(Counter::ElementsScanned) < full_run.get(Counter::ElementsScanned),
+        "pruned run must read fewer elements ({} vs {})",
+        pruned_run.get(Counter::ElementsScanned),
+        full_run.get(Counter::ElementsScanned)
+    );
+    assert!(
+        pruned_run.get(Counter::ElementsPruned) > 0,
+        "the dropped elements must be accounted as pruned"
+    );
+}

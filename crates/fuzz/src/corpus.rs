@@ -29,7 +29,7 @@ use xmldom::{parse, write, Document, Indent};
 /// One parsed `.t2s` case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseFile {
-    /// The invariant to replay; `None` replays all six.
+    /// The invariant to replay; `None` replays all seven.
     pub invariant: Option<Invariant>,
     /// The query, in `gtpquery::parse_twig` syntax.
     pub query: String,

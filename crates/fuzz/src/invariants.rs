@@ -1,4 +1,4 @@
-//! The six metamorphic invariants checked per (document, query) pair.
+//! The seven metamorphic invariants checked per (document, query) pair.
 //!
 //! Each invariant encodes a correctness claim of the paper (references
 //! per variant below; the full table lives in DESIGN.md §8). An
@@ -13,15 +13,16 @@ use crate::gen::group_members;
 use crate::shrink::copy_without;
 use gtpquery::{Cell, Gtp, QueryAnalysis, ResultSet, Role};
 use twig2stack::{
-    count_results, enumerate, evaluate, evaluate_early, evaluate_parallel, evaluate_streaming,
-    match_document, MatchOptions,
+    count_results, enumerate, evaluate, evaluate_early, evaluate_indexed, evaluate_parallel,
+    evaluate_streaming, match_document, MatchOptions,
 };
 use twigbaselines::{
-    build_streams, naive_evaluate, naive_exists, path_stack, tj_fast, DeweyResolver,
-    PathStackStats, TJFastStats, TwigStackStats,
+    build_streams, naive_evaluate, naive_exists, path_stack, path_stack_indexed, tj_fast,
+    tj_fast_indexed, twig_stack_indexed, DeweyResolver, PathStackStats, TJFastStats,
+    TwigStackStats,
 };
 use xmldom::{write, Document, Indent};
-use xmlindex::{DeweyIndex, ElementIndex, SliceStream};
+use xmlindex::{DeweyIndex, ElementIndex, PruningPolicy, SliceStream};
 
 /// The metamorphic invariants, in report order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,17 +46,23 @@ pub enum Invariant {
     /// leaf) yields a superset of the original rows — matching is
     /// monotone in the query (§2, GTP semantics).
     PredicateWeakening,
+    /// Path-summary pruned streams produce byte-identical results to the
+    /// full scans, for every engine that has an indexed driver (the
+    /// pruning soundness claim; feasible sets over-approximate match
+    /// projections).
+    PrunedVsUnpruned,
 }
 
 impl Invariant {
     /// Every invariant, in report order.
-    pub const ALL: [Invariant; 6] = [
+    pub const ALL: [Invariant; 7] = [
         Invariant::CrossEngine,
         Invariant::CountConsistency,
         Invariant::ExistenceConsistency,
         Invariant::EarlyVsFull,
         Invariant::SerialVsParallel,
         Invariant::PredicateWeakening,
+        Invariant::PrunedVsUnpruned,
     ];
 
     /// Stable snake_case name (used in `.t2s` corpus files and the obs
@@ -68,6 +75,7 @@ impl Invariant {
             Invariant::EarlyVsFull => "early_vs_full",
             Invariant::SerialVsParallel => "serial_vs_parallel",
             Invariant::PredicateWeakening => "predicate_weakening",
+            Invariant::PrunedVsUnpruned => "pruned_vs_unpruned",
         }
     }
 
@@ -133,6 +141,7 @@ pub fn check(doc: &Document, gtp: &Gtp, inv: Invariant) -> Outcome {
         Invariant::EarlyVsFull => early_vs_full(doc, gtp),
         Invariant::SerialVsParallel => serial_vs_parallel(doc, gtp),
         Invariant::PredicateWeakening => predicate_weakening(doc, gtp, &analysis),
+        Invariant::PrunedVsUnpruned => pruned_vs_unpruned(doc, gtp),
     }
 }
 
@@ -369,6 +378,66 @@ fn predicate_weakening(doc: &Document, gtp: &Gtp, analysis: &QueryAnalysis) -> O
     Outcome::Passed
 }
 
+/// Pruning soundness: the path-summary filtered, skip-scanning pipelines
+/// must equal the full-scan pipelines exactly — on the core engine for
+/// every GTP shape, and on each classic baseline's indexed driver for the
+/// shapes it accepts (sorted there: row order is not part of their
+/// contracts).
+fn pruned_vs_unpruned(doc: &Document, gtp: &Gtp) -> Outcome {
+    let expected = evaluate(doc, gtp);
+    if expected.len() > MAX_ROWS {
+        return Outcome::Skipped("result set too large for the smoke budget");
+    }
+    let index = ElementIndex::build(doc);
+    let pruned = evaluate_indexed(doc, &index, gtp, PruningPolicy::Enabled);
+    if pruned != expected {
+        return diff("twig2stack(pruned)", &pruned, &expected);
+    }
+    let unpruned = evaluate_indexed(doc, &index, gtp, PruningPolicy::Disabled);
+    if unpruned != expected {
+        return diff("twig2stack(indexed, full-scan)", &unpruned, &expected);
+    }
+    if is_full_twig(gtp) {
+        let expected_sorted = expected.clone().sorted();
+        let mut ts = TwigStackStats::default();
+        let got = twig_stack_indexed(&index, doc.labels(), gtp, PruningPolicy::Enabled, &mut ts)
+            .sorted();
+        if got != expected_sorted {
+            return diff("twigstack(pruned)", &got, &expected_sorted);
+        }
+        let dewey = DeweyIndex::build(doc);
+        let resolver = DeweyResolver::build(&dewey, doc.labels());
+        let mut tjs = TJFastStats::default();
+        let got = tj_fast_indexed(
+            gtp,
+            &dewey,
+            index.summary(),
+            doc.labels(),
+            &resolver,
+            PruningPolicy::Enabled,
+            &mut tjs,
+        )
+        .sorted();
+        if got != expected_sorted {
+            return diff("tjfast(pruned)", &got, &expected_sorted);
+        }
+        if is_linear(gtp) {
+            let mut ps = PathStackStats::default();
+            let sols =
+                path_stack_indexed(&index, doc.labels(), gtp, PruningPolicy::Enabled, &mut ps);
+            let mut got = ResultSet::new(sols.path.clone());
+            for row in sols.solutions {
+                got.push(row.into_iter().map(Cell::Node).collect());
+            }
+            let got = got.sorted();
+            if got != expected_sorted {
+                return diff("pathstack(pruned)", &got, &expected_sorted);
+            }
+        }
+    }
+    Outcome::Passed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +477,22 @@ mod tests {
             assert_eq!(Invariant::from_name(inv.name()), Some(inv));
         }
         assert_eq!(Invariant::from_name("nope"), None);
+    }
+
+    #[test]
+    fn pruned_vs_unpruned_covers_gtp_extensions() {
+        // Shapes the classic baselines reject still exercise the core
+        // engine's pruned path: optional edges, OR-groups, value
+        // predicates, wildcards.
+        let doc = parse("<a><b>x</b><b><c/></b><d><b/></d></a>").unwrap();
+        for q in ["//a/b[?c@]", "//a[b! or d!]/b", "//a/b='x'", "//*/b[c]"] {
+            let gtp = parse_twig(q).unwrap();
+            assert_eq!(
+                check(&doc, &gtp, Invariant::PrunedVsUnpruned),
+                Outcome::Passed,
+                "{q}"
+            );
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   roles, optional edges, OR-groups, and value predicates. Every
 //!   generated query round-trips `gtpquery::serialize` ∘
 //!   `gtpquery::parse_twig` losslessly.
-//! * [`invariants`] — six metamorphic invariants checked per (document,
+//! * [`invariants`] — seven metamorphic invariants checked per (document,
 //!   query) pair: cross-engine agreement, count/enumerate consistency,
 //!   existence consistency, early-vs-full equality, serial-vs-parallel
 //!   equality, and predicate-weakening monotonicity. See DESIGN.md §8

@@ -6,9 +6,11 @@
 //! buffered reader, so experiments can measure real scan time and report
 //! bytes read:
 //!
-//! * **region index** — per-label segments of fixed 16-byte records
-//!   `(id: u32, left: u32, right: u32, level: u32)`, scanned by TwigStack,
-//!   PathStack and Twig²Stack for *every* query label;
+//! * **region index** — per-label segments of fixed 20-byte records
+//!   `(id: u32, left: u32, right: u32, level: u32, sid: u32)`, scanned by
+//!   TwigStack, PathStack and Twig²Stack for *every* query label; `sid` is
+//!   the element's path-summary id (see [`crate::summary`]), which lets a
+//!   scan drop query-infeasible records as they are read;
 //! * **Dewey index** — per-label segments of variable-length records
 //!   `(id: u32, len: u16, components: len × u32)`, scanned by TJFast for
 //!   the query's *leaf* labels only (fewer streams, fatter records).
@@ -18,6 +20,7 @@
 
 use crate::dewey::DeweyIndex;
 use crate::stream::{ElemStream, IndexedElement, ELEMENT_RECORD_BYTES};
+use crate::summary::{PathSummary, SummarySet};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -26,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xmldom::{Document, NodeId, Region};
 
-const REGION_MAGIC: &[u8; 8] = b"T2SRIDX1";
+const REGION_MAGIC: &[u8; 8] = b"T2SRIDX2";
 const DEWEY_MAGIC: &[u8; 8] = b"T2SDIDX1";
 
 /// Shared byte/element counters for one index's streams.
@@ -132,13 +135,15 @@ fn toc_size(entries: &[(String, Segment)]) -> u64 {
         .sum::<u64>()
 }
 
-/// Serialize the region index of `doc` to `path`.
+/// Serialize the region index of `doc` to `path`. Each record carries the
+/// element's path-summary id so scans can be summary-filtered.
 pub fn write_region_index(doc: &Document, path: &Path) -> io::Result<()> {
     // Gather per-label element lists (document order).
+    let summary = PathSummary::build(doc);
     let n_labels = doc.labels().len();
-    let mut by_label: Vec<Vec<(NodeId, Region)>> = vec![Vec::new(); n_labels];
+    let mut by_label: Vec<Vec<(NodeId, Region, u32)>> = vec![Vec::new(); n_labels];
     for n in doc.iter() {
-        by_label[doc.label(n).index()].push((n, doc.region(n)));
+        by_label[doc.label(n).index()].push((n, doc.region(n), summary.sid(n)));
     }
     let mut entries: Vec<(String, Segment)> = Vec::with_capacity(n_labels);
     for (label, name) in doc.labels().iter() {
@@ -159,11 +164,12 @@ pub fn write_region_index(doc: &Document, path: &Path) -> io::Result<()> {
     w.write_all(REGION_MAGIC)?;
     write_toc(&mut w, &entries)?;
     for (label, _) in doc.labels().iter() {
-        for &(id, r) in &by_label[label.index()] {
+        for &(id, r, sid) in &by_label[label.index()] {
             write_u32(&mut w, id.index() as u32)?;
             write_u32(&mut w, r.left)?;
             write_u32(&mut w, r.right)?;
             write_u32(&mut w, r.level)?;
+            write_u32(&mut w, sid)?;
         }
     }
     w.flush()
@@ -240,6 +246,17 @@ impl DiskRegionIndex {
     /// Open a scanning stream over one label's segment. Labels absent from
     /// the document yield an empty stream.
     pub fn stream(&self, label_name: &str) -> io::Result<DiskRegionStream> {
+        self.stream_filtered(label_name, None)
+    }
+
+    /// Like [`stream`](Self::stream), but records whose summary id is not
+    /// in `filter` are dropped as they are read: the bytes still count as
+    /// IO, the elements count as pruned rather than scanned.
+    pub fn stream_filtered(
+        &self,
+        label_name: &str,
+        filter: Option<SummarySet>,
+    ) -> io::Result<DiskRegionStream> {
         let seg = self.toc.get(label_name).copied().unwrap_or(Segment {
             count: 0,
             offset: 0,
@@ -251,6 +268,7 @@ impl DiskRegionIndex {
             reader: BufReader::with_capacity(64 * 1024, file),
             remaining: seg.count,
             head: None,
+            filter,
             counters: Arc::clone(&self.counters),
             error: None,
         })
@@ -266,32 +284,41 @@ pub struct DiskRegionStream {
     reader: BufReader<File>,
     remaining: u64,
     head: Option<IndexedElement>,
+    filter: Option<SummarySet>,
     counters: Arc<IoCounters>,
     error: Option<io::Error>,
 }
 
 impl DiskRegionStream {
     fn fill(&mut self) {
-        if self.head.is_some() || self.remaining == 0 || self.error.is_some() {
-            return;
-        }
-        let mut buf = [0u8; ELEMENT_RECORD_BYTES];
-        match self.reader.read_exact(&mut buf) {
-            Ok(()) => {
-                self.remaining -= 1;
-                self.counters.add(ELEMENT_RECORD_BYTES as u64, 1);
-                let id = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-                let left = u32::from_le_bytes(buf[4..8].try_into().unwrap());
-                let right = u32::from_le_bytes(buf[8..12].try_into().unwrap());
-                let level = u32::from_le_bytes(buf[12..16].try_into().unwrap());
-                self.head = Some(IndexedElement {
-                    id: NodeId::from_index(id as usize),
-                    region: Region::new(left, right, level),
-                });
-            }
-            Err(e) => {
-                self.error = Some(e);
-                self.remaining = 0;
+        while self.head.is_none() && self.remaining > 0 && self.error.is_none() {
+            let mut buf = [0u8; ELEMENT_RECORD_BYTES];
+            match self.reader.read_exact(&mut buf) {
+                Ok(()) => {
+                    self.remaining -= 1;
+                    self.counters.add(ELEMENT_RECORD_BYTES as u64, 1);
+                    let id = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+                    let left = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                    let right = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+                    let level = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+                    let sid = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+                    if let Some(f) = &self.filter {
+                        if !f.contains(sid) {
+                            // Read from disk but query-infeasible: the
+                            // bytes count, the element is pruned.
+                            twigobs::bump(twigobs::Counter::ElementsPruned);
+                            continue;
+                        }
+                    }
+                    self.head = Some(IndexedElement {
+                        id: NodeId::from_index(id as usize),
+                        region: Region::new(left, right, level),
+                    });
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    self.remaining = 0;
+                }
             }
         }
     }
@@ -313,6 +340,27 @@ impl ElemStream for DiskRegionStream {
         if self.head.take().is_some() {
             twigobs::bump(twigobs::Counter::ElementsScanned);
         }
+    }
+
+    /// Sequential on disk (the records must be read to be bypassed), but
+    /// bypassed elements count as pruned, not scanned.
+    fn skip_to(&mut self, left: u32) -> usize {
+        let mut skipped = 0;
+        loop {
+            self.fill();
+            match self.head {
+                Some(e) if e.region.right < left => {
+                    self.head = None;
+                    skipped += 1;
+                    twigobs::bump(twigobs::Counter::ElementsPruned);
+                }
+                _ => break,
+            }
+        }
+        if skipped > 0 {
+            twigobs::bump(twigobs::Counter::StreamSkips);
+        }
+        skipped
     }
 }
 
@@ -428,6 +476,42 @@ mod tests {
             disk.counters().bytes(),
             (doc.len() * ELEMENT_RECORD_BYTES) as u64
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filtered_region_stream_drops_infeasible_records() {
+        let doc = parse("<a><b><c/></b><c/></a>").unwrap();
+        let path = tmpfile("regions3.idx");
+        write_region_index(&doc, &path).unwrap();
+        let disk = DiskRegionIndex::open(&path).unwrap();
+        let summary = PathSummary::build(&doc);
+        let nested = NodeId::from_index(2); // the c under b
+        let mut keep = SummarySet::empty(summary.len());
+        keep.insert(summary.sid(nested));
+        let mut s = disk.stream_filtered("c", Some(keep)).unwrap();
+        assert_eq!(s.next_elem().unwrap().id, nested);
+        assert!(s.is_eof());
+        assert!(s.error().is_none());
+        // Both c records were read from disk (IO counted)…
+        assert_eq!(disk.counters().elements(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_skip_to_discards_early_records() {
+        let doc = parse("<a><b/><b/><c/><b/></a>").unwrap();
+        let path = tmpfile("regions4.idx");
+        write_region_index(&doc, &path).unwrap();
+        let disk = DiskRegionIndex::open(&path).unwrap();
+        let mem = ElementIndex::build(&doc);
+        let c = doc.labels().get("c").unwrap();
+        let target = mem.elements(c)[0].region.left;
+        let mut s = disk.stream("b").unwrap();
+        assert_eq!(s.skip_to(target), 2);
+        let last = s.next_elem().unwrap();
+        assert!(last.region.left > target);
+        assert!(s.is_eof());
         std::fs::remove_file(&path).unwrap();
     }
 

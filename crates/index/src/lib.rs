@@ -10,7 +10,10 @@
 //!   "IO time", §5.1);
 //! * [`schema`] — observed-schema extraction (the DTD stand-in);
 //! * [`dewey`] — extended Dewey labeling and the label-path transducer
-//!   (TJFast's access path: leaf streams only, fatter records).
+//!   (TJFast's access path: leaf streams only, fatter records);
+//! * [`summary`] — the structural path summary (strong DataGuide): a tiny
+//!   tree of distinct label paths with a summary id per element, the basis
+//!   for query-pruned streams and region skip-scan.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -18,6 +21,7 @@ pub mod dewey;
 pub mod disk;
 pub mod schema;
 pub mod stream;
+pub mod summary;
 
 pub use dewey::{is_dewey_ancestor, is_dewey_parent, DeweyElement, DeweyIndex};
 pub use disk::{
@@ -25,4 +29,8 @@ pub use disk::{
     DiskRegionStream, IoCounters,
 };
 pub use schema::Schema;
-pub use stream::{ElemStream, ElementIndex, EmptyStream, IndexedElement, ScanCost, SliceStream};
+pub use stream::{
+    ElemStream, ElementIndex, EmptyStream, IndexedElement, PrunedStream, PruningPolicy, ScanCost,
+    SliceStream,
+};
+pub use summary::{PathSummary, RegionCover, SummaryNode, SummarySet};

@@ -7,6 +7,8 @@
 //! the stream abstraction and the in-memory index; [`crate::disk`] provides
 //! the same streams from an on-disk file with IO accounting.
 
+use crate::summary::{PathSummary, RegionCover, SummarySet};
+use twigobs::Counter;
 use xmldom::{Document, Label, NodeId, Region};
 
 /// One element as stored in an index: identity + region encoding.
@@ -18,8 +20,34 @@ pub struct IndexedElement {
     pub region: Region,
 }
 
-/// Size of one serialized element record (see [`crate::disk`]).
-pub const ELEMENT_RECORD_BYTES: usize = 16;
+/// Size of one serialized element record: id, left, right, level, and the
+/// element's path-summary id (see [`crate::disk`]).
+pub const ELEMENT_RECORD_BYTES: usize = 20;
+
+/// Elements per skip block: [`ElementIndex`] keeps the max `right` of each
+/// aligned block of this many elements, so [`ElemStream::skip_to`] can
+/// bypass whole blocks that end before the target position.
+pub const SKIP_BLOCK: usize = 64;
+
+/// Whether query-infeasible elements are filtered out of streams and
+/// skip-scan is used. The default is on; turning it off restores the
+/// full-scan behaviour for differential testing and A/B measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PruningPolicy {
+    /// Filter streams by feasible summary ids and gallop with `skip_to`.
+    #[default]
+    Enabled,
+    /// Read full label streams (the pre-pruning behaviour).
+    Disabled,
+}
+
+impl PruningPolicy {
+    /// True for [`PruningPolicy::Enabled`].
+    #[inline]
+    pub fn is_enabled(self) -> bool {
+        matches!(self, PruningPolicy::Enabled)
+    }
+}
 
 /// A cursor over one label's elements in document order.
 ///
@@ -44,6 +72,27 @@ pub trait ElemStream {
             self.advance();
         }
         e
+    }
+
+    /// Discard every element whose region ends before `left`
+    /// (`region.right < left`): afterwards the head, if any, is the first
+    /// element that can contain or follow document position `left`.
+    /// Returns the number of elements bypassed.
+    ///
+    /// This default walks the stream with [`advance`](Self::advance), so
+    /// bypassed elements still count as scanned; skip-capable streams
+    /// ([`PrunedStream`], the disk streams) override it to jump without
+    /// delivering the skipped elements, counting them as pruned instead.
+    fn skip_to(&mut self, left: u32) -> usize {
+        let mut skipped = 0;
+        while let Some(e) = self.peek() {
+            if e.region.right >= left {
+                break;
+            }
+            self.advance();
+            skipped += 1;
+        }
+        skipped
     }
 }
 
@@ -93,31 +142,45 @@ impl ElemStream for EmptyStream {
     fn advance(&mut self) {}
 }
 
-/// In-memory label-partitioned element index of one document.
+/// In-memory label-partitioned element index of one document, plus the
+/// document's path summary and the per-element summary ids that pruned
+/// streams filter by.
 #[derive(Debug, Clone)]
 pub struct ElementIndex {
     /// Indexed by `Label::index()`.
     by_label: Vec<Vec<IndexedElement>>,
+    /// Summary id per element, parallel to `by_label`.
+    sids: Vec<Vec<u32>>,
+    /// Per label: max `right` of each aligned [`SKIP_BLOCK`]-element
+    /// block, the structure `skip_to` gallops over.
+    blocks: Vec<Vec<u32>>,
+    summary: PathSummary,
 }
 
 impl ElementIndex {
     /// Build the index in two document passes: a label histogram first, so
     /// every per-label vector is allocated at its exact final size, then a
     /// fill pass that never reallocates. Elements within each label list
-    /// are in document order because node ids are pre-order ordinals.
+    /// are in document order because node ids are pre-order ordinals. The
+    /// path summary is built alongside.
     pub fn build(doc: &Document) -> Self {
         let _span = twigobs::span(twigobs::Phase::IndexBuild);
+        let summary = PathSummary::build(doc);
         let mut histogram = vec![0usize; doc.labels().len()];
         for n in doc.iter() {
             histogram[doc.label(n).index()] += 1;
         }
         let mut by_label: Vec<Vec<IndexedElement>> =
             histogram.iter().map(|&n| Vec::with_capacity(n)).collect();
+        let mut sids: Vec<Vec<u32>> =
+            histogram.iter().map(|&n| Vec::with_capacity(n)).collect();
         for n in doc.iter() {
-            by_label[doc.label(n).index()].push(IndexedElement {
+            let ix = doc.label(n).index();
+            by_label[ix].push(IndexedElement {
                 id: n,
                 region: doc.region(n),
             });
+            sids[ix].push(summary.sid(n));
         }
         debug_assert!(
             by_label
@@ -126,7 +189,8 @@ impl ElementIndex {
                 .all(|(v, &n)| v.len() == n && v.capacity() == n),
             "second pass must fill exactly the pre-sized capacity"
         );
-        ElementIndex { by_label }
+        let blocks = by_label.iter().map(|v| skip_blocks(v)).collect();
+        ElementIndex { by_label, sids, blocks, summary }
     }
 
     /// All elements with `label`, in document order.
@@ -161,6 +225,246 @@ impl ElementIndex {
     /// Number of labels the index covers.
     pub fn label_count(&self) -> usize {
         self.by_label.len()
+    }
+
+    /// The document's path summary.
+    pub fn summary(&self) -> &PathSummary {
+        &self.summary
+    }
+
+    /// Summary ids of the elements with `label`, parallel to
+    /// [`elements`](Self::elements).
+    pub fn sids(&self, label: Label) -> &[u32] {
+        self.sids.get(label.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// A pruned, skip-capable stream over the elements with `label`.
+    /// `filter` drops elements whose summary id is infeasible; `cover`
+    /// gallops past gaps between candidate root regions. Pass `None` for
+    /// both to get full-scan behaviour with skip support.
+    pub fn pruned_stream<'a>(
+        &'a self,
+        label: Label,
+        filter: Option<&'a SummarySet>,
+        cover: Option<&'a RegionCover>,
+    ) -> PrunedStream<'a> {
+        let ix = label.index();
+        let (items, sids, blocks) = match self.by_label.get(ix) {
+            Some(v) => (v.as_slice(), self.sids[ix].as_slice(), self.blocks[ix].as_slice()),
+            None => (&[][..], &[][..], &[][..]),
+        };
+        PrunedStream::borrowed(items, sids, blocks, filter, cover)
+    }
+}
+
+/// Max `right` of each aligned [`SKIP_BLOCK`]-element block of `items`.
+fn skip_blocks(items: &[IndexedElement]) -> Vec<u32> {
+    items
+        .chunks(SKIP_BLOCK)
+        .map(|c| c.iter().map(|e| e.region.right).max().unwrap_or(0))
+        .collect()
+}
+
+enum Backing<'a> {
+    /// Slices borrowed from an [`ElementIndex`] label partition.
+    Borrowed {
+        items: &'a [IndexedElement],
+        sids: &'a [u32],
+        blocks: &'a [u32],
+    },
+    /// A materialized (merged and already sid-filtered) element list, as
+    /// built for wildcard query nodes.
+    Owned {
+        items: Vec<IndexedElement>,
+        blocks: Vec<u32>,
+    },
+}
+
+impl Backing<'_> {
+    #[inline]
+    fn items(&self) -> &[IndexedElement] {
+        match self {
+            Backing::Borrowed { items, .. } => items,
+            Backing::Owned { items, .. } => items,
+        }
+    }
+
+    #[inline]
+    fn sid_at(&self, pos: usize) -> Option<u32> {
+        match self {
+            Backing::Borrowed { sids, .. } => sids.get(pos).copied(),
+            Backing::Owned { .. } => None,
+        }
+    }
+
+    #[inline]
+    fn blocks(&self) -> &[u32] {
+        match self {
+            Backing::Borrowed { blocks, .. } => blocks,
+            Backing::Owned { blocks, .. } => blocks,
+        }
+    }
+}
+
+/// A summary-pruned, skip-capable element stream.
+///
+/// Elements whose summary id is outside the feasibility `filter` are
+/// discarded without being delivered (counted as `elements_pruned`, not
+/// `elements_scanned`), and gaps between the `cover`'s candidate root
+/// regions are galloped over with exponential + binary search rather than
+/// element-by-element reads. With both knobs `None` the stream behaves
+/// like [`SliceStream`] plus a fast [`skip_to`](ElemStream::skip_to).
+pub struct PrunedStream<'a> {
+    backing: Backing<'a>,
+    filter: Option<&'a SummarySet>,
+    cover: Option<&'a RegionCover>,
+    pos: usize,
+    cover_pos: usize,
+}
+
+impl<'a> PrunedStream<'a> {
+    /// Stream over index-owned slices (see [`ElementIndex::pruned_stream`]).
+    pub fn borrowed(
+        items: &'a [IndexedElement],
+        sids: &'a [u32],
+        blocks: &'a [u32],
+        filter: Option<&'a SummarySet>,
+        cover: Option<&'a RegionCover>,
+    ) -> Self {
+        debug_assert!(filter.is_none() || sids.len() == items.len());
+        PrunedStream {
+            backing: Backing::Borrowed { items, sids, blocks },
+            filter,
+            cover,
+            pos: 0,
+            cover_pos: 0,
+        }
+    }
+
+    /// Stream over a materialized element list (already sid-filtered), as
+    /// built for wildcard query nodes; must be sorted by `region.left`.
+    pub fn owned(items: Vec<IndexedElement>, cover: Option<&'a RegionCover>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0].region.left < w[1].region.left));
+        let blocks = skip_blocks(&items);
+        PrunedStream {
+            backing: Backing::Owned { items, blocks },
+            filter: None,
+            cover,
+            pos: 0,
+            cover_pos: 0,
+        }
+    }
+
+    /// Elements at or after the cursor, before any filtering.
+    pub fn raw_remaining(&self) -> usize {
+        self.backing.items().len() - self.pos
+    }
+
+    /// Discard the prefix that the summary filter or cover rules out, so
+    /// the cursor rests on the next deliverable element (or EOF).
+    fn settle(&mut self) -> Option<IndexedElement> {
+        loop {
+            let items = self.backing.items();
+            let e = *items.get(self.pos)?;
+            if let Some(f) = self.filter {
+                if let Some(sid) = self.backing.sid_at(self.pos) {
+                    if !f.contains(sid) {
+                        self.pos += 1;
+                        twigobs::bump(Counter::ElementsPruned);
+                        continue;
+                    }
+                }
+            }
+            if let Some(cover) = self.cover {
+                let spans = cover.spans();
+                while self.cover_pos < spans.len() && spans[self.cover_pos].1 < e.region.left {
+                    self.cover_pos += 1;
+                }
+                match spans.get(self.cover_pos) {
+                    None => {
+                        // Past the last candidate region: nothing further
+                        // on this stream can participate in a match.
+                        let skipped = items.len() - self.pos;
+                        self.pos = items.len();
+                        record_skip(skipped);
+                        return None;
+                    }
+                    Some(&(start, _)) if e.region.left < start => {
+                        // In a gap between candidate regions: gallop to
+                        // the first element inside the next one.
+                        let target = gallop_left(items, self.pos, start);
+                        record_skip(target - self.pos);
+                        self.pos = target;
+                        continue;
+                    }
+                    Some(_) => {}
+                }
+            }
+            return Some(e);
+        }
+    }
+}
+
+/// Record `skipped` bypassed elements as pruned plus one skip event.
+fn record_skip(skipped: usize) {
+    if skipped > 0 {
+        twigobs::add(Counter::ElementsPruned, skipped as u64);
+        twigobs::bump(Counter::StreamSkips);
+    }
+}
+
+/// First index `>= lo` whose element has `region.left >= target`, found by
+/// exponential probing then binary search (the XB-tree-style jump, minus
+/// the tree: the arrays are already document-ordered).
+fn gallop_left(items: &[IndexedElement], lo: usize, target: u32) -> usize {
+    let mut step = 1;
+    let mut hi = lo;
+    while hi < items.len() && items[hi].region.left < target {
+        hi += step;
+        step *= 2;
+    }
+    let hi = hi.min(items.len());
+    lo + items[lo..hi].partition_point(|e| e.region.left < target)
+}
+
+impl ElemStream for PrunedStream<'_> {
+    fn peek(&mut self) -> Option<IndexedElement> {
+        self.settle()
+    }
+
+    fn advance(&mut self) {
+        if self.settle().is_some() {
+            self.pos += 1;
+            twigobs::bump(Counter::ElementsScanned);
+        }
+    }
+
+    /// Gallop to the first element with `region.right >= left`, bypassing
+    /// whole blocks via the per-block max-right table. Bypassed elements
+    /// count as pruned, not scanned.
+    fn skip_to(&mut self, left: u32) -> usize {
+        let items = self.backing.items();
+        let blocks = self.backing.blocks();
+        let start = self.pos;
+        let mut pos = self.pos;
+        while pos < items.len() {
+            if items[pos].region.right >= left {
+                break;
+            }
+            if pos.is_multiple_of(SKIP_BLOCK) {
+                if let Some(&bmax) = blocks.get(pos / SKIP_BLOCK) {
+                    if bmax < left {
+                        pos = (pos + SKIP_BLOCK).min(items.len());
+                        continue;
+                    }
+                }
+            }
+            pos += 1;
+        }
+        let skipped = pos - start;
+        self.pos = pos;
+        record_skip(skipped);
+        skipped
     }
 }
 
@@ -222,6 +526,107 @@ mod tests {
         let mut s = EmptyStream;
         assert!(s.is_eof());
         assert_eq!(s.next_elem(), None);
+    }
+
+    #[test]
+    fn skip_to_edge_cases() {
+        let doc = parse("<a><b/><b/><b/></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        // Empty stream: skipping is a no-op.
+        let mut e = EmptyStream;
+        assert_eq!(e.skip_to(100), 0);
+        assert!(e.is_eof());
+        // Skip to the current head: nothing bypassed, head unchanged.
+        let mut s = idx.pruned_stream(b, None, None);
+        let head = s.peek().unwrap();
+        assert_eq!(s.skip_to(head.region.left), 0);
+        assert_eq!(s.peek(), Some(head));
+        // Skip past the end, then again at EOF.
+        let n = s.raw_remaining();
+        assert_eq!(s.skip_to(u32::MAX), n);
+        assert!(s.is_eof());
+        assert_eq!(s.skip_to(u32::MAX), 0);
+        // The default (SliceStream) implementation agrees.
+        let mut s = idx.stream(b);
+        assert_eq!(s.skip_to(head.region.left), 0);
+        assert_eq!(s.skip_to(u32::MAX), n);
+        assert!(s.is_eof());
+    }
+
+    #[test]
+    fn skip_to_keeps_spanning_ancestors() {
+        // Skipping to the second inner <a> must keep the root <a> (its
+        // region spans the target) while dropping the first inner one.
+        let doc = parse("<a><a><c/></a><a><c/></a></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let a = doc.labels().get("a").unwrap();
+        let elems = idx.elements(a);
+        let target = elems[2].region.left;
+        let mut s = idx.pruned_stream(a, None, None);
+        assert_eq!(s.skip_to(target), 0, "root spans the target");
+        assert_eq!(s.next_elem().unwrap().id, elems[0].id);
+        assert_eq!(s.skip_to(target), 1, "first inner a ends before it");
+        assert_eq!(s.peek().unwrap().id, elems[2].id);
+    }
+
+    #[test]
+    fn skip_to_gallops_over_blocks() {
+        let mut xml = String::from("<a>");
+        for _ in 0..(3 * SKIP_BLOCK + 7) {
+            xml.push_str("<b/>");
+        }
+        xml.push_str("<c/></a>");
+        let doc = parse(&xml).unwrap();
+        let idx = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let c = doc.labels().get("c").unwrap();
+        let target = idx.elements(c)[0].region.left;
+        let mut s = idx.pruned_stream(b, None, None);
+        assert_eq!(s.skip_to(target), 3 * SKIP_BLOCK + 7);
+        assert!(s.is_eof());
+    }
+
+    #[test]
+    fn pruned_stream_filters_by_sid() {
+        let doc = parse("<a><b><c/></b><c/></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let c = doc.labels().get("c").unwrap();
+        let nested = NodeId::from_index(2); // the c under b
+        let mut keep = SummarySet::empty(idx.summary().len());
+        keep.insert(idx.summary().sid(nested));
+        let mut s = idx.pruned_stream(c, Some(&keep), None);
+        assert_eq!(s.next_elem().unwrap().id, nested);
+        assert!(s.is_eof());
+    }
+
+    #[test]
+    fn pruned_stream_cover_gallops_past_gaps() {
+        let doc = parse("<r><a><b/></a><x><b/></x><a><b/></a></r>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let a = doc.labels().get("a").unwrap();
+        let b = doc.labels().get("b").unwrap();
+        let cover = RegionCover::from_regions(idx.elements(a).iter().map(|e| e.region));
+        assert_eq!(cover.spans().len(), 2);
+        let mut s = idx.pruned_stream(b, None, Some(&cover));
+        let delivered: Vec<NodeId> = std::iter::from_fn(|| s.next_elem()).map(|e| e.id).collect();
+        // The b under x falls in the gap between the two a regions.
+        assert_eq!(delivered, vec![NodeId::from_index(2), NodeId::from_index(6)]);
+    }
+
+    #[test]
+    fn owned_pruned_stream_streams_in_order() {
+        let doc = parse("<a><b/><c/><b/></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let mut merged: Vec<IndexedElement> = Vec::new();
+        for name in ["b", "c"] {
+            let l = doc.labels().get(name).unwrap();
+            merged.extend_from_slice(idx.elements(l));
+        }
+        merged.sort_by_key(|e| e.region.left);
+        let mut s = PrunedStream::owned(merged.clone(), None);
+        let out: Vec<IndexedElement> = std::iter::from_fn(|| s.next_elem()).collect();
+        assert_eq!(out, merged);
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Structural path summary (strong DataGuide) and summary-id sets.
+//!
+//! A [`PathSummary`] is a tree with one node per *distinct* root-to-node
+//! label path in the document. Real-world documents have few distinct
+//! paths — DBLP has dozens, XMark ~500, and even the recursive TreeBank
+//! stays in the hundreds — so the summary is a tiny side structure that
+//! can answer "could an element on this path ever match this query node?"
+//! without touching the element streams at all.
+//!
+//! Every document element is assigned the **summary id** (`sid`) of its
+//! path; per-summary element counts and region spans come along for free
+//! during construction. Query feasibility analysis (in `gtpquery`)
+//! evaluates a GTP against this tree to produce a [`SummarySet`] per query
+//! node; streams then filter by those sets (see [`crate::stream`]), which
+//! is where the "stop reading elements the query can never match" win of
+//! this index comes from.
+
+use std::collections::HashMap;
+use twigobs::Counter;
+use xmldom::{Document, Label, NodeId, Region};
+
+/// One node of the path summary: a distinct root-to-node label path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryNode {
+    /// Label of the last step of the path.
+    pub label: Label,
+    /// Parent path, `None` for depth-1 paths.
+    pub parent: Option<u32>,
+    /// Child paths, in first-encountered order.
+    pub children: Vec<u32>,
+    /// Path length; the document root element's path has depth 1.
+    pub depth: u32,
+    /// Number of document elements on this path.
+    pub count: u32,
+    /// Smallest `left` over the path's elements.
+    pub min_left: u32,
+    /// Largest `right` over the path's elements.
+    pub max_right: u32,
+}
+
+/// Strong DataGuide over a document: distinct label paths plus the mapping
+/// from every element to its path's summary id.
+///
+/// ```
+/// use xmlindex::PathSummary;
+/// let doc = xmldom::parse("<a><b><c/></b><b/><c/></a>").unwrap();
+/// let s = PathSummary::build(&doc);
+/// // Paths: /a, /a/b, /a/b/c, /a/c — two distinct paths end in `c`.
+/// assert_eq!(s.len(), 4);
+/// assert_ne!(s.sid(xmldom::NodeId::from_index(2)), // the nested c
+///            s.sid(xmldom::NodeId::from_index(4))); // the top-level c
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PathSummary {
+    nodes: Vec<SummaryNode>,
+    /// Summary id per document node, indexed by `NodeId::index()`.
+    sid_of: Vec<u32>,
+}
+
+impl PathSummary {
+    /// Build the summary in one pre-order pass over `doc`.
+    pub fn build(doc: &Document) -> Self {
+        let mut nodes: Vec<SummaryNode> = Vec::new();
+        let mut sid_of = vec![0u32; doc.len()];
+        // (parent sid or u32::MAX for roots, label) -> sid
+        let mut edge: HashMap<(u32, Label), u32> = HashMap::new();
+        for n in doc.iter() {
+            let label = doc.label(n);
+            let region = doc.region(n);
+            let parent_sid = doc.parent(n).map(|p| sid_of[p.index()]);
+            let key = (parent_sid.unwrap_or(u32::MAX), label);
+            let sid = *edge.entry(key).or_insert_with(|| {
+                let sid = nodes.len() as u32;
+                nodes.push(SummaryNode {
+                    label,
+                    parent: parent_sid,
+                    children: Vec::new(),
+                    depth: region.level,
+                    count: 0,
+                    min_left: region.left,
+                    max_right: region.right,
+                });
+                if let Some(p) = parent_sid {
+                    nodes[p as usize].children.push(sid);
+                }
+                sid
+            });
+            let node = &mut nodes[sid as usize];
+            node.count += 1;
+            node.min_left = node.min_left.min(region.left);
+            node.max_right = node.max_right.max(region.right);
+            sid_of[n.index()] = sid;
+        }
+        twigobs::add(Counter::SummaryNodes, nodes.len() as u64);
+        PathSummary { nodes, sid_of }
+    }
+
+    /// Number of distinct label paths.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the summary is empty (only for an empty document).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The summary node for `sid`.
+    pub fn node(&self, sid: u32) -> &SummaryNode {
+        &self.nodes[sid as usize]
+    }
+
+    /// All summary nodes, indexed by sid.
+    pub fn nodes(&self) -> &[SummaryNode] {
+        &self.nodes
+    }
+
+    /// Summary id of a document element.
+    #[inline]
+    pub fn sid(&self, node: NodeId) -> u32 {
+        self.sid_of[node.index()]
+    }
+
+    /// Summary ids of all document elements, indexed by `NodeId::index()`.
+    pub fn sids(&self) -> &[u32] {
+        &self.sid_of
+    }
+
+    /// True iff `anc` is a proper ancestor path of `desc`.
+    pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
+        let mut cur = self.nodes[desc as usize].parent;
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.nodes[p as usize].parent;
+        }
+        false
+    }
+}
+
+/// A set of summary ids, stored as a bitset (summaries are tiny, so a set
+/// is a handful of words).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SummarySet {
+    bits: Vec<u64>,
+}
+
+impl SummarySet {
+    /// The empty set, sized for a summary with `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        SummarySet { bits: vec![0; n.div_ceil(64)] }
+    }
+
+    /// The full set over a summary with `n` nodes.
+    pub fn full(n: usize) -> Self {
+        let mut s = SummarySet::empty(n);
+        for sid in 0..n as u32 {
+            s.insert(sid);
+        }
+        s
+    }
+
+    /// Insert `sid`.
+    #[inline]
+    pub fn insert(&mut self, sid: u32) {
+        let (w, b) = (sid as usize / 64, sid as usize % 64);
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        self.bits[w] |= 1 << b;
+    }
+
+    /// True iff `sid` is in the set.
+    #[inline]
+    pub fn contains(&self, sid: u32) -> bool {
+        let (w, b) = (sid as usize / 64, sid as usize % 64);
+        self.bits.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// True iff no sid is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Number of sids in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Intersect with `other` in place.
+    pub fn intersect(&mut self, other: &SummarySet) {
+        for (i, w) in self.bits.iter_mut().enumerate() {
+            *w &= other.bits.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Union with `other` in place.
+    pub fn union(&mut self, other: &SummarySet) {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        for (i, &w) in other.bits.iter().enumerate() {
+            self.bits[i] |= w;
+        }
+    }
+
+    /// Iterate the sids in the set, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64).filter(move |b| word & (1u64 << b) != 0).map(move |b| (w * 64 + b) as u32)
+        })
+    }
+
+    /// Total element count of the set's paths under `summary`.
+    pub fn element_count(&self, summary: &PathSummary) -> u64 {
+        self.iter().map(|sid| summary.node(sid).count as u64).sum()
+    }
+}
+
+/// Disjoint, document-ordered `(left, right)` spans covering every region
+/// that could possibly contain a match — derived from the feasible
+/// elements of the query's root node. Streams use it to gallop past the
+/// gaps between spans (see [`crate::stream::PrunedStream`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionCover {
+    spans: Vec<(u32, u32)>,
+}
+
+impl RegionCover {
+    /// Cover from candidate root regions in document order: spans nested
+    /// inside an earlier span are absorbed by it.
+    pub fn from_regions<I: IntoIterator<Item = Region>>(regions: I) -> Self {
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        for r in regions {
+            match spans.last() {
+                Some(&(_, right)) if r.left < right => {
+                    debug_assert!(r.right < right, "regions must nest or follow");
+                }
+                _ => spans.push((r.left, r.right)),
+            }
+        }
+        RegionCover { spans }
+    }
+
+    /// Cover from arbitrary `(left, right)` spans: sorted, with
+    /// overlapping or nested spans merged. This is how a cover is built
+    /// from summary-node region hulls, which may partially overlap.
+    pub fn from_spans(mut spans: Vec<(u32, u32)>) -> Self {
+        spans.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(spans.len());
+        for (l, r) in spans {
+            match merged.last_mut() {
+                Some(last) if l <= last.1 => last.1 = last.1.max(r),
+                _ => merged.push((l, r)),
+            }
+        }
+        RegionCover { spans: merged }
+    }
+
+    /// The top-level spans, in document order.
+    pub fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// True iff the cover has no spans (nothing can match).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::IndexedElement;
+    use xmldom::parse;
+
+    fn label_of<'d>(doc: &'d Document, s: &PathSummary, sid: u32) -> &'d str {
+        doc.labels().name(s.node(sid).label)
+    }
+
+    #[test]
+    fn distinct_paths_get_distinct_sids() {
+        let doc = parse("<a><b><c/></b><b><c/><d/></b><c/></a>").unwrap();
+        let s = PathSummary::build(&doc);
+        // /a, /a/b, /a/b/c, /a/b/d, /a/c
+        assert_eq!(s.len(), 5);
+        let sids: Vec<u32> = doc.iter().map(|n| s.sid(n)).collect();
+        // Both b's share a sid, as do both nested c's; the top-level c
+        // differs from the nested ones.
+        assert_eq!(sids[1], sids[3]);
+        assert_eq!(sids[2], sids[4]);
+        assert_ne!(sids[2], sids[6]);
+        assert_eq!(s.node(sids[1]).count, 2);
+        assert_eq!(s.node(sids[2]).count, 2);
+        assert_eq!(s.node(sids[6]).count, 1);
+    }
+
+    #[test]
+    fn recursive_treebank_style_nesting() {
+        // Self-nested labels, TreeBank-style: each recursion depth is its
+        // own path, so sids separate what label partitioning conflates.
+        let doc = parse("<s><vp><s><vp><np/></vp></s><np/></vp></s>").unwrap();
+        let s = PathSummary::build(&doc);
+        // /s, /s/vp, /s/vp/s, /s/vp/s/vp, /s/vp/s/vp/np, /s/vp/np
+        assert_eq!(s.len(), 6);
+        let outer_s = s.sid(doc.root());
+        let inner_s = s.sid(NodeId::from_index(2));
+        assert_ne!(outer_s, inner_s);
+        assert_eq!(label_of(&doc, &s, outer_s), "s");
+        assert_eq!(label_of(&doc, &s, inner_s), "s");
+        assert_eq!(s.node(inner_s).depth, 3);
+        assert!(s.is_ancestor(outer_s, inner_s));
+        assert!(!s.is_ancestor(inner_s, outer_s));
+        // Spans: the outer s covers everything.
+        let root = s.node(outer_s);
+        assert_eq!((root.min_left, root.max_right), {
+            let r = doc.region(doc.root());
+            (r.left, r.right)
+        });
+    }
+
+    #[test]
+    fn depth_matches_region_level() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        let s = PathSummary::build(&doc);
+        for n in doc.iter() {
+            assert_eq!(s.node(s.sid(n)).depth, doc.region(n).level);
+        }
+    }
+
+    #[test]
+    fn summary_set_ops() {
+        let mut a = SummarySet::empty(70);
+        assert!(a.is_empty());
+        a.insert(0);
+        a.insert(65);
+        assert!(a.contains(0) && a.contains(65) && !a.contains(64));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 65]);
+        let mut b = SummarySet::empty(70);
+        b.insert(65);
+        b.insert(3);
+        let mut i = a.clone();
+        i.intersect(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![65]);
+        a.union(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(SummarySet::full(70).len(), 70);
+    }
+
+    #[test]
+    fn region_cover_absorbs_nested_spans() {
+        let cover = RegionCover::from_regions(vec![
+            Region::new(1, 10, 1),
+            Region::new(2, 5, 2), // nested in (1,10)
+            Region::new(12, 20, 1),
+        ]);
+        assert_eq!(cover.spans(), &[(1, 10), (12, 20)]);
+        assert!(RegionCover::from_regions(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn region_cover_merges_overlapping_spans() {
+        let cover = RegionCover::from_spans(vec![(20, 70), (1, 10), (5, 30), (80, 90)]);
+        assert_eq!(cover.spans(), &[(1, 70), (80, 90)]);
+        assert!(RegionCover::from_spans(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn indexed_element_sids_align() {
+        let doc = parse("<a><b/><a><b/></a></a>").unwrap();
+        let s = PathSummary::build(&doc);
+        for n in doc.iter() {
+            let e = IndexedElement { id: n, region: doc.region(n) };
+            assert_eq!(s.sid(e.id), s.sids()[n.index()]);
+        }
+    }
+}

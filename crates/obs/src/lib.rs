@@ -69,7 +69,7 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 ///
 /// ```
 /// use twigobs::Counter;
-/// assert_eq!(Counter::ALL.len(), 10);
+/// assert_eq!(Counter::ALL.len(), 13);
 /// assert_eq!(Counter::EdgesCreated.name(), "edges_created");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,11 +96,19 @@ pub enum Counter {
     FuzzChecks,
     /// Invariant checks that FAILED — nonzero means a conformance bug.
     FuzzFailures,
+    /// Path-summary (strong DataGuide) nodes constructed by index builds.
+    SummaryNodes,
+    /// Elements a pruned stream discarded or jumped over without
+    /// delivering them to a matcher (summary-infeasible elements plus
+    /// elements bypassed by `skip_to`).
+    ElementsPruned,
+    /// `skip_to` calls that bypassed at least one element.
+    StreamSkips,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 13] = [
         Counter::ElementsScanned,
         Counter::StackPushes,
         Counter::Merges,
@@ -111,6 +119,9 @@ impl Counter {
         Counter::FuzzCases,
         Counter::FuzzChecks,
         Counter::FuzzFailures,
+        Counter::SummaryNodes,
+        Counter::ElementsPruned,
+        Counter::StreamSkips,
     ];
 
     /// The counter's snake_case report key (stable: it is the JSON
@@ -127,6 +138,9 @@ impl Counter {
             Counter::FuzzCases => "fuzz_cases",
             Counter::FuzzChecks => "fuzz_checks",
             Counter::FuzzFailures => "fuzz_failures",
+            Counter::SummaryNodes => "summary_nodes",
+            Counter::ElementsPruned => "elements_pruned",
+            Counter::StreamSkips => "skips",
         }
     }
 
@@ -143,6 +157,9 @@ impl Counter {
             Counter::FuzzCases => 7,
             Counter::FuzzChecks => 8,
             Counter::FuzzFailures => 9,
+            Counter::SummaryNodes => 10,
+            Counter::ElementsPruned => 11,
+            Counter::StreamSkips => 12,
         }
     }
 }

@@ -9,10 +9,16 @@
 //!   enumeration;
 //! * the **output schema** (one column per return / group-return node);
 //! * validity checks (e.g. footnote 6: a non-return node may have at most
-//!   one non-existence-checking child for enumeration to be well-defined).
+//!   one non-existence-checking child for enumeration to be well-defined);
+//! * **summary feasibility** ([`SummaryFeasibility`]): the GTP evaluated
+//!   against a document's path summary (strong DataGuide), yielding the
+//!   set of label paths each query node can possibly match — the basis
+//!   for pruned streams and the zero-read short-circuit of queries no
+//!   path of the document can satisfy.
 
-use crate::gtp::{Gtp, NodeTest, QNodeId, Role};
+use crate::gtp::{Axis, Gtp, NodeTest, QNodeId, Role};
 use xmldom::{Label, LabelTable};
+use xmlindex::summary::{PathSummary, RegionCover, SummarySet};
 
 /// Precomputed per-node facts about a [`Gtp`].
 #[derive(Debug, Clone)]
@@ -257,6 +263,145 @@ impl QueryAnalysis {
     }
 }
 
+/// The GTP evaluated against a document's path summary: for every query
+/// node, the set of summary ids (label paths) whose elements could
+/// participate in *some* complete match.
+///
+/// The sets are a sound over-approximation: an element whose summary id is
+/// outside its query node's set provably cannot appear in (or witness) any
+/// result row, so streams may drop it without changing results. An empty
+/// set on the root means **no** document element can match the query at
+/// all — callers short-circuit to an empty result with zero stream reads.
+///
+/// Computed in two passes over the (tiny) summary tree:
+///
+/// 1. **bottom-up**: `up[q]` = paths whose label matches `q`'s test and
+///    that can reach, via each mandatory OR-group's axis, some path in
+///    some group member's `up` set (optional edges never gate; an OR-group
+///    needs one feasible member). A rooted query restricts the root to
+///    depth-1 paths.
+/// 2. **top-down**: `down[q]` = `up[q]` restricted to paths reachable from
+///    the parent's `down` set via `q`'s axis, so infeasible context above
+///    a node prunes its stream too.
+#[derive(Debug, Clone)]
+pub struct SummaryFeasibility {
+    /// `down[q]`, indexed by `QNodeId::index()`.
+    sets: Vec<SummarySet>,
+    satisfiable: bool,
+}
+
+impl SummaryFeasibility {
+    /// Evaluate `gtp` against `summary`. `labels` is the document's label
+    /// table (summary nodes store interned labels).
+    pub fn compute(gtp: &Gtp, summary: &PathSummary, labels: &LabelTable) -> Self {
+        let ns = summary.len();
+        let nq = gtp.len();
+        let mut up: Vec<SummarySet> = vec![SummarySet::empty(ns); nq];
+
+        for q in gtp.postorder() {
+            // Candidate paths by node test (and depth for a rooted root).
+            let mut set = SummarySet::empty(ns);
+            let want: Option<Option<Label>> = match gtp.test(q) {
+                NodeTest::Name(n) => Some(labels.get(n)),
+                NodeTest::Wildcard => None,
+            };
+            for (sid, node) in summary.nodes().iter().enumerate() {
+                let label_ok = match &want {
+                    None => true,
+                    Some(Some(l)) => node.label == *l,
+                    Some(None) => false, // name absent from the document
+                };
+                let depth_ok = !(q == gtp.root() && gtp.is_rooted()) || node.depth == 1;
+                if label_ok && depth_ok {
+                    set.insert(sid as u32);
+                }
+            }
+            // Every mandatory OR-group must have a reachable feasible
+            // member; optional children never gate their parent.
+            let kids = gtp.children(q);
+            let mut groups: Vec<(u32, SummarySet)> = Vec::new();
+            for &m in kids {
+                let edge = gtp.edge(m).expect("child edge");
+                if edge.optional {
+                    continue;
+                }
+                let mut reach = SummarySet::empty(ns);
+                for s in up[m.index()].iter() {
+                    let mut cur = summary.node(s).parent;
+                    while let Some(p) = cur {
+                        reach.insert(p);
+                        if edge.axis == Axis::Child {
+                            break;
+                        }
+                        cur = summary.node(p).parent;
+                    }
+                }
+                let gid = gtp.or_group(m);
+                match groups.iter_mut().find(|(g, _)| *g == gid) {
+                    Some((_, g)) => g.union(&reach),
+                    None => groups.push((gid, reach)),
+                }
+            }
+            for (_, g) in &groups {
+                set.intersect(g);
+            }
+            up[q.index()] = set;
+        }
+
+        let mut down = up;
+        for q in gtp.preorder() {
+            let Some(parent) = gtp.parent(q) else { continue };
+            let axis = gtp.edge(q).expect("child edge").axis;
+            let mut reach = SummarySet::empty(ns);
+            for s in down[parent.index()].iter() {
+                descend(summary, s, axis, &mut reach);
+            }
+            down[q.index()].intersect(&reach);
+        }
+
+        let satisfiable = !down[gtp.root().index()].is_empty();
+        SummaryFeasibility { sets: down, satisfiable }
+    }
+
+    /// The feasible summary-id set of `q`.
+    #[inline]
+    pub fn feasible(&self, q: QNodeId) -> &SummarySet {
+        &self.sets[q.index()]
+    }
+
+    /// True iff no document element can match the query: callers must
+    /// return an empty result without reading any stream.
+    #[inline]
+    pub fn is_unsatisfiable(&self) -> bool {
+        !self.satisfiable
+    }
+
+    /// Cover of every document region that could contain a match: the
+    /// merged region hulls of the root node's feasible paths. Built from
+    /// the summary alone — no element is read.
+    pub fn root_cover(&self, gtp: &Gtp, summary: &PathSummary) -> RegionCover {
+        let spans = self
+            .feasible(gtp.root())
+            .iter()
+            .map(|sid| {
+                let n = summary.node(sid);
+                (n.min_left, n.max_right)
+            })
+            .collect();
+        RegionCover::from_spans(spans)
+    }
+}
+
+/// Insert the summary children (or all proper descendants) of `s`.
+fn descend(summary: &PathSummary, s: u32, axis: Axis, out: &mut SummarySet) {
+    for &c in &summary.node(s).children {
+        out.insert(c);
+        if axis == Axis::Descendant {
+            descend(summary, c, axis, out);
+        }
+    }
+}
+
 /// Label-indexed dispatch table: for each document label, the query nodes an
 /// element with that label can match. Shared by all matchers.
 #[derive(Debug, Clone)]
@@ -432,5 +577,105 @@ mod tests {
         let g = parse_twig("//a/b").unwrap();
         let d = LabelDispatch::compile(&g, &labels);
         assert!(d.is_vacuous());
+    }
+
+    fn feas(xml: &str, query: &str) -> (xmldom::Document, Gtp, PathSummary, SummaryFeasibility) {
+        let doc = xmldom::parse(xml).unwrap();
+        let gtp = parse_twig(query).unwrap();
+        let summary = PathSummary::build(&doc);
+        let f = SummaryFeasibility::compute(&gtp, &summary, doc.labels());
+        (doc, gtp, summary, f)
+    }
+
+    #[test]
+    fn feasibility_separates_paths_with_same_label() {
+        // b occurs under a and under x; //a/b must keep only /a/b.
+        let (doc, gtp, summary, f) = feas("<r><a><b/></a><x><b/></x></r>", "//a/b");
+        assert!(!f.is_unsatisfiable());
+        let b = gtp.find("b").unwrap();
+        let set = f.feasible(b);
+        assert_eq!(set.len(), 1);
+        let good = summary.sid(xmldom::NodeId::from_index(2)); // the b under a
+        assert!(set.contains(good));
+        assert_eq!(set.element_count(&summary), 1);
+        drop(doc);
+    }
+
+    #[test]
+    fn child_chain_can_be_unsatisfiable_where_descendant_is_not() {
+        let (_, _, _, f) = feas("<a><b><c/></b></a>", "//a/c");
+        assert!(f.is_unsatisfiable(), "c is never a direct child of a");
+        let (_, _, _, f) = feas("<a><b><c/></b></a>", "//a//c");
+        assert!(!f.is_unsatisfiable());
+    }
+
+    #[test]
+    fn rooted_query_restricted_to_depth_one() {
+        let (_, _, _, f) = feas("<a><b/></a>", "/b");
+        assert!(f.is_unsatisfiable(), "b is not the document root");
+        let (_, _, _, f) = feas("<a><b/></a>", "//b");
+        assert!(!f.is_unsatisfiable());
+    }
+
+    #[test]
+    fn optional_edge_never_gates() {
+        let (_, gtp, _, f) = feas("<a><b/></a>", "//a[?z@]");
+        assert!(!f.is_unsatisfiable());
+        assert!(f.feasible(gtp.find("z").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn or_group_needs_one_feasible_member() {
+        let build = |names: [&str; 2]| {
+            let mut b = GtpBuilder::new("a", false);
+            let root = b.root();
+            let m1 = b.child(root, names[0], Axis::Child);
+            let m2 = b.child(root, names[1], Axis::Child);
+            b.role(m1, Role::NonReturn);
+            b.role(m2, Role::NonReturn);
+            b.same_or_group(&[m1, m2]);
+            b.build()
+        };
+        let doc = xmldom::parse("<a><b/></a>").unwrap();
+        let summary = PathSummary::build(&doc);
+        let ok = SummaryFeasibility::compute(&build(["b", "z"]), &summary, doc.labels());
+        assert!(!ok.is_unsatisfiable(), "one OR branch is enough");
+        let bad = SummaryFeasibility::compute(&build(["y", "z"]), &summary, doc.labels());
+        assert!(bad.is_unsatisfiable(), "no OR branch is feasible");
+    }
+
+    #[test]
+    fn top_down_restriction_prunes_contextless_paths() {
+        // c occurs under b (inside a) and under x; //a//b[c] must not keep
+        // the /x/c path even though some c is below some b elsewhere.
+        let (_, gtp, summary, f) =
+            feas("<r><a><b><c/></b></a><x><c/></x></r>", "//a//b[c]");
+        let c = gtp.find("c").unwrap();
+        assert_eq!(f.feasible(c).len(), 1);
+        assert_eq!(f.feasible(c).element_count(&summary), 1);
+    }
+
+    #[test]
+    fn wildcard_feasibility_and_recursion() {
+        let (_, gtp, summary, f) = feas("<s><s><np/></s></s>", "//s/*");
+        assert!(!f.is_unsatisfiable());
+        let star = gtp.children(gtp.root())[0];
+        // The wildcard under s can be the inner s or either np path.
+        assert!(f.feasible(star).len() >= 2);
+        let (_, gtp2, _, f2) = feas("<s><s><np/></s></s>", "//s/s");
+        assert!(!f2.is_unsatisfiable());
+        assert_eq!(f2.feasible(gtp2.children(gtp2.root())[0]).len(), 1);
+        drop(summary);
+    }
+
+    #[test]
+    fn root_cover_spans_candidate_regions() {
+        let (doc, gtp, summary, f) = feas("<r><a><b/></a><x/><a><b/></a></r>", "//a/b");
+        let cover = f.root_cover(&gtp, &summary);
+        assert_eq!(cover.spans().len(), 1, "both a's share one summary path hull");
+        let (l, r) = cover.spans()[0];
+        let first_a = doc.region(xmldom::NodeId::from_index(1));
+        assert_eq!(l, first_a.left);
+        assert!(r >= first_a.right);
     }
 }

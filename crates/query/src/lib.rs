@@ -9,8 +9,9 @@
 //!   (`!` non-return, `@` group-return, `/?`-style optional edges);
 //! * [`xquery`] — translation of a FLWOR XQuery subset into a GTP;
 //! * [`analysis`] — existence-checking classification (paper §3.5), the
-//!   top branch node (paper §4.4), output schema, validation, and the
-//!   label-indexed dispatch table every matcher uses.
+//!   top branch node (paper §4.4), output schema, validation, the
+//!   label-indexed dispatch table every matcher uses, and path-summary
+//!   feasibility (the pruned-stream planner).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -21,7 +22,9 @@ pub mod results;
 pub mod serialize;
 pub mod xquery;
 
-pub use analysis::{LabelDispatch, ParallelFallback, QueryAnalysis, ValidationIssue};
+pub use analysis::{
+    LabelDispatch, ParallelFallback, QueryAnalysis, SummaryFeasibility, ValidationIssue,
+};
 pub use gtp::{Axis, Edge, Gtp, GtpBuilder, NodeTest, QNodeId, Role, ValuePred};
 pub use parse::{parse_twig, QueryParseError};
 pub use results::{Cell, ResultSet};
