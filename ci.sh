@@ -20,14 +20,22 @@ cargo run --release -q -p twigbench --bin twigfuzz -- \
 cargo run --release -q -p twigbench --bin experiments -- --quick figS \
     > /dev/null
 
+# Serve smoke: the fixed-workload query service sweep (threads 1/2/4,
+# plan cache off/on). The driver asserts per cell that concurrent cached
+# results equal serial evaluation, zero requests were rejected, the
+# cached arm scored hits, and it ran strictly fewer plan analyses than
+# the uncached arm.
+cargo run --release -q -p twigbench --bin experiments -- --quick figT \
+    > /dev/null
+
 # Documentation: the public API must be fully documented (the in-repo
 # crates set `#![warn(missing_docs)]`; -D warnings turns that fatal) and
 # every doc example must run. Third-party stubs are excluded — they are
 # offline API shims, not part of the documented surface.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p xmldom -p gtpquery -p xmlindex -p xmlgen \
-    -p twig2stack -p twigbaselines -p twig2stack-obs -p twigbench \
-    -p twig2stack-fuzz
+    -p twig2stack -p twigbaselines -p twig2stack-serve -p twig2stack-obs \
+    -p twigbench -p twig2stack-fuzz
 cargo test --workspace -q --doc
 
 echo "ci.sh: all checks passed"

@@ -30,6 +30,6 @@ pub use tjfast::{
     tj_fast, tj_fast_indexed, tj_fast_solutions, DeweyKey, DeweyResolver, TJFastStats,
 };
 pub use twigstack::{
-    twig_stack, twig_stack_indexed, twig_stack_solutions, twig_stack_solutions_with,
-    twig_stack_with, TwigStackStats,
+    try_twig_stack_solutions_with, try_twig_stack_with, twig_stack, twig_stack_indexed,
+    twig_stack_solutions, twig_stack_solutions_with, twig_stack_with, TwigStackStats,
 };

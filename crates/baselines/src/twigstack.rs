@@ -16,7 +16,9 @@
 
 use crate::pathjoin::{merge_join, root_to_leaf_paths, JoinStats, PathSolutions};
 use crate::pathstack::build_pruned_streams;
-use gtpquery::{Axis, Cell, Gtp, QNodeId, QueryAnalysis, ResultSet, Role, SummaryFeasibility};
+use gtpquery::{
+    Axis, Cell, Gtp, QNodeId, QueryAnalysis, QueryError, ResultSet, Role, SummaryFeasibility,
+};
 use xmlindex::{ElemStream, ElementIndex, IndexedElement, PruningPolicy};
 use xmldom::{LabelTable, NodeId};
 
@@ -175,12 +177,30 @@ pub fn twig_stack_solutions<S: ElemStream>(
 /// [`twig_stack_solutions`] with an explicit [`PruningPolicy`]: when
 /// enabled, `getNext`'s discard loop gallops with
 /// [`ElemStream::skip_to`] instead of advancing element by element.
+///
+/// Infallible convenience for in-memory streams; see
+/// [`try_twig_stack_solutions_with`] for the fallible (disk-capable)
+/// variant this delegates to.
 pub fn twig_stack_solutions_with<S: ElemStream>(
     gtp: &Gtp,
     streams: Vec<S>,
     policy: PruningPolicy,
     stats: &mut TwigStackStats,
 ) -> Vec<PathSolutions<NodeId>> {
+    try_twig_stack_solutions_with(gtp, streams, policy, stats)
+        .expect("in-memory streams cannot fail")
+}
+
+/// Fallible [`twig_stack_solutions_with`]: after the run, every stream is
+/// swept with [`ElemStream::take_error`], so a disk stream that hit an I/O
+/// error (and reported a premature EOF to `getNext`) surfaces as
+/// [`QueryError::Stream`] instead of a silently truncated solution set.
+pub fn try_twig_stack_solutions_with<S: ElemStream>(
+    gtp: &Gtp,
+    streams: Vec<S>,
+    policy: PruningPolicy,
+    stats: &mut TwigStackStats,
+) -> Result<Vec<PathSolutions<NodeId>>, QueryError> {
     assert!(
         gtp.iter().all(|q| gtp.edge(q).is_none_or(|e| !e.optional)),
         "TwigStack does not support optional edges"
@@ -270,12 +290,20 @@ pub fn twig_stack_solutions_with<S: ElemStream>(
         }
     }
 
+    // Error sweep before results: a failed stream reported EOF to the
+    // loop above, so its "completion" may be a truncation.
+    for s in run.streams.iter_mut() {
+        if let Some(e) = s.take_error() {
+            return Err(QueryError::Stream(e));
+        }
+    }
+
     let mut out = Vec::new();
     for (path, solutions) in run.paths.iter().zip(run.solutions) {
         out.push(PathSolutions { path: path.clone(), solutions });
     }
     *stats = run.stats;
-    out
+    Ok(out)
 }
 
 /// Full TwigStack pipeline: path solutions + merge-join into a
@@ -289,18 +317,30 @@ pub fn twig_stack<S: ElemStream>(
 }
 
 /// [`twig_stack`] with an explicit [`PruningPolicy`] (see
-/// [`twig_stack_solutions_with`]).
+/// [`twig_stack_solutions_with`]); delegates to [`try_twig_stack_with`].
 pub fn twig_stack_with<S: ElemStream>(
     gtp: &Gtp,
     streams: Vec<S>,
     policy: PruningPolicy,
     stats: &mut TwigStackStats,
 ) -> ResultSet {
+    try_twig_stack_with(gtp, streams, policy, stats).expect("in-memory streams cannot fail")
+}
+
+/// Fallible [`twig_stack_with`]: stream I/O errors surface as
+/// [`QueryError::Stream`] (see [`try_twig_stack_solutions_with`]) instead
+/// of producing a truncated [`ResultSet`].
+pub fn try_twig_stack_with<S: ElemStream>(
+    gtp: &Gtp,
+    streams: Vec<S>,
+    policy: PruningPolicy,
+    stats: &mut TwigStackStats,
+) -> Result<ResultSet, QueryError> {
     assert!(
         gtp.iter().all(|q| gtp.role(q) == Role::Return),
         "TwigStack produces full twig matches only (all-return queries)"
     );
-    let per_path = twig_stack_solutions_with(gtp, streams, policy, stats);
+    let per_path = try_twig_stack_solutions_with(gtp, streams, policy, stats)?;
     let mut join_stats = JoinStats::default();
     let tuples = merge_join(gtp, per_path, &mut join_stats);
     stats.join = join_stats;
@@ -316,7 +356,7 @@ pub fn twig_stack_with<S: ElemStream>(
                 .collect(),
         );
     }
-    rs
+    Ok(rs)
 }
 
 /// [`twig_stack`] driven from an [`ElementIndex`] with path-summary

@@ -2,21 +2,24 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|figS|table1|all]
+//! experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|figS|figT|table1|all]
 //! ```
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
 //! uses laptop-scale documents comparable in spirit to the paper's setup.
 //!
 //! Every figure/table run also writes an observability sidecar
-//! `target/metrics/<name>.metrics.json` (schema `twig2stack.metrics/v1`,
-//! see EXPERIMENTS.md). Build with `--no-default-features` to compile the
-//! counters out; the sidecars are then written with zeroed counters and
-//! `"obs_enabled": false`.
+//! `target/metrics/<name>.<run-id>.metrics.json` (schema
+//! `twig2stack.metrics/v1`, see EXPERIMENTS.md; one file per run, the
+//! run id keeps concurrent runs from clobbering each other — use
+//! `twigbench::latest_sidecar` to pick the newest). Build with
+//! `--no-default-features` to compile the counters out; the sidecars are
+//! then written with zeroed counters and `"obs_enabled": false`.
 
 use twigbench::workload::Profile;
 
-/// Drain this run's obs metrics into `target/metrics/<name>.metrics.json`.
+/// Drain this run's obs metrics into
+/// `target/metrics/<name>.<run-id>.metrics.json`.
 fn emit_sidecar(name: &str, quick: bool) {
     let profile = if quick { "quick" } else { "full" };
     match twigbench::write_sidecar(name, profile) {
@@ -43,11 +46,11 @@ fn main() {
         matches!(
             *w,
             "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figP" | "figS"
-                | "table1"
+                | "figT" | "table1"
         )
     }) {
         eprintln!(
-            "usage: experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|figS|table1|all]"
+            "usage: experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|figS|figT|table1|all]"
         );
         std::process::exit(2);
     }
@@ -94,6 +97,14 @@ fn main() {
         let (_, report) = twigbench::figs(profile);
         println!("{report}");
         emit_sidecar("figS", quick);
+    }
+    if wants("figT") {
+        let (_, report) = twigbench::figt(profile, &[1, 2, 4]);
+        println!("{report}");
+        // Named "serve": the sidecar carries the service-layer counters
+        // (plan_cache_hits/misses/evictions, queries_admitted/rejected,
+        // deadline_exceeded) next to the engine counters.
+        emit_sidecar("serve", quick);
     }
     if wants("table1") {
         let (_, report) = twigbench::table1(profile);

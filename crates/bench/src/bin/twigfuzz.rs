@@ -13,8 +13,9 @@
 //! under `--corpus-out` (default `target/fuzz-failures`) — move the file
 //! into `corpus/` to turn it into a permanent regression test. The run's
 //! obs counters (`fuzz_cases` / `fuzz_checks` / `fuzz_failures`) are
-//! drained into `target/metrics/fuzz.metrics.json`, the same sidecar
-//! shape the `experiments` binary emits.
+//! drained into `target/metrics/fuzz.<run-id>.metrics.json`, the same
+//! sidecar shape and naming the `experiments` binary emits (use
+//! [`twigbench::latest_sidecar`] to pick the newest run).
 //!
 //! Exits nonzero iff at least one invariant was violated.
 

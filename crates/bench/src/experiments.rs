@@ -643,6 +643,160 @@ pub fn figs(profile: Profile) -> (Vec<FigSRow>, String) {
     (out, report)
 }
 
+/// One measured cell of Figure T: a dataset served at a concurrency
+/// level with the plan cache on or off.
+#[derive(Debug, Clone)]
+pub struct FigTRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Client threads hammering the service.
+    pub threads: usize,
+    /// Whether the plan cache was enabled for this arm.
+    pub cache_on: bool,
+    /// Total queries executed (threads × rounds).
+    pub queries_run: u64,
+    /// Wall time for the whole hammering run.
+    pub elapsed: Duration,
+    /// Sustained throughput, queries per second.
+    pub qps: f64,
+    /// Plan-cache hits observed by the service.
+    pub plan_cache_hits: u64,
+    /// Feasibility analyses actually run (the cost the cache amortizes).
+    pub analyses_run: u64,
+    /// Queries shed by the overload policy (asserted zero: the run is
+    /// sized to queue, not shed).
+    pub rejected: u64,
+}
+
+/// Figure T (not in the paper): query-service throughput vs concurrency,
+/// plan cache on vs off. Each cell builds a [`twigserve::QueryService`]
+/// over the dataset, then hammers it from `threads` client threads, each
+/// running the dataset's three Figure 16 queries round-robin. Every
+/// result is asserted byte-identical to serial, uncached evaluation, the
+/// overload policy is asserted silent (the wait queue is sized for the
+/// offered load), and the cache-on arm is asserted to run *strictly
+/// fewer* feasibility analyses than the cache-off arm at the same cell —
+/// the plan-cache hit path being cheaper than the miss path, shown by
+/// counters rather than by (noisy) wall time alone.
+pub fn figt(profile: Profile, threads: &[usize]) -> (Vec<FigTRow>, String) {
+    use twigserve::{QueryService, ServiceConfig};
+
+    let rounds = match profile {
+        Profile::Quick => 8,
+        Profile::Full => 40,
+    };
+    let mut out: Vec<FigTRow> = Vec::new();
+    let sources: Vec<(Dataset, Vec<NamedQuery>)> = vec![
+        (dblp(profile), dblp_queries()),
+        (xmark(profile, 1), xmark_queries()),
+        (treebank(profile), treebank_queries()),
+    ];
+    for (ds, queries) in &sources {
+        // Serial, uncached ground truth for the differential assertion.
+        let expected: Vec<ResultSet> = queries
+            .iter()
+            .map(|nq| twig2stack::evaluate(&ds.doc, &nq.gtp))
+            .collect();
+        for &t in threads {
+            let t = t.max(1);
+            let mut analyses_by_arm = [0u64; 2];
+            // Cache-off arm first so the strictly-fewer-analyses
+            // assertion reads in declaration order.
+            for cache_on in [false, true] {
+                let config = ServiceConfig {
+                    max_concurrency: t,
+                    // Size the queue for the whole offered load: Fig T
+                    // measures throughput, not shedding.
+                    max_waiting: t * rounds * queries.len(),
+                    plan_cache_capacity: if cache_on { 64 } else { 0 },
+                    ..ServiceConfig::default()
+                };
+                let svc = QueryService::new(ds.doc.clone(), ds.index.clone(), config);
+                let started = Instant::now();
+                std::thread::scope(|scope| {
+                    for w in 0..t {
+                        let svc = &svc;
+                        let expected = &expected;
+                        scope.spawn(move || {
+                            for r in 0..rounds {
+                                let i = (w + r) % queries.len();
+                                let rs = svc
+                                    .execute(queries[i].text)
+                                    .expect("figT query must not fail");
+                                assert_eq!(
+                                    rs, expected[i],
+                                    "service result diverged from serial evaluation \
+                                     ({} on {})",
+                                    queries[i].name, ds.name
+                                );
+                            }
+                        });
+                    }
+                });
+                let elapsed = started.elapsed();
+                let stats = svc.stats();
+                let queries_run = (t * rounds) as u64;
+                assert_eq!(stats.queries_admitted, queries_run);
+                assert_eq!(
+                    stats.queries_rejected, 0,
+                    "the wait queue is sized for the load; nothing sheds"
+                );
+                if cache_on {
+                    assert!(stats.plan_cache_hits >= 1, "repeated queries must hit");
+                }
+                analyses_by_arm[cache_on as usize] = stats.analyses_run;
+                out.push(FigTRow {
+                    dataset: ds.name.clone(),
+                    threads: t,
+                    cache_on,
+                    queries_run,
+                    elapsed,
+                    qps: queries_run as f64 / elapsed.as_secs_f64().max(1e-9),
+                    plan_cache_hits: stats.plan_cache_hits,
+                    analyses_run: stats.analyses_run,
+                    rejected: stats.queries_rejected,
+                });
+            }
+            assert!(
+                analyses_by_arm[1] < analyses_by_arm[0],
+                "plan-cache hit path must run strictly fewer analyses \
+                 ({} cached vs {} uncached on {} at {} threads)",
+                analyses_by_arm[1],
+                analyses_by_arm[0],
+                ds.name,
+                t
+            );
+        }
+    }
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                format!("{}", r.threads),
+                if r.cache_on { "on" } else { "off" }.to_string(),
+                format!("{}", r.queries_run),
+                ms(r.elapsed),
+                format!("{:.0}", r.qps),
+                format!("{}", r.plan_cache_hits),
+                format!("{}", r.analyses_run),
+                format!("{}", r.rejected),
+            ]
+        })
+        .collect();
+    let report = format!(
+        "Figure T — query-service throughput vs concurrency (plan cache on/off)\n{}",
+        render_table(
+            &[
+                "dataset", "threads", "cache", "queries", "elapsed", "qps", "hits", "analyses",
+                "rejected",
+            ],
+            &rows
+        )
+    );
+    (out, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -767,6 +921,24 @@ mod tests {
                 reduced >= 6,
                 "scan reduction on only {reduced}/9 figure-16 queries"
             );
+        }
+    }
+
+    #[test]
+    fn figt_service_throughput_holds_at_quick_scale() {
+        // figt() itself asserts the differential (service == serial),
+        // zero rejections, ≥1 cache hit, and strictly fewer analyses on
+        // the cached arm; this pins the row shape on top.
+        let (rows, report) = figt(Profile::Quick, &[2]);
+        assert_eq!(rows.len(), 3 * 2, "3 datasets × {{off, on}}");
+        assert!(report.contains("Figure T"));
+        for pair in rows.chunks(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert!(!off.cache_on && on.cache_on);
+            assert_eq!(off.queries_run, on.queries_run);
+            assert_eq!(off.plan_cache_hits, 0, "disabled cache cannot hit");
+            assert!(on.analyses_run < off.analyses_run);
+            assert_eq!(off.rejected + on.rejected, 0);
         }
     }
 

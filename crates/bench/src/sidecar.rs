@@ -6,30 +6,92 @@
 //! `twig2stack.metrics/v1` (see EXPERIMENTS.md and DESIGN.md §7); with the
 //! `obs` feature disabled the file is still written, with `"obs_enabled":
 //! false` and all-zero counters, so consumers need no special casing.
+//!
+//! ## File naming — one file per run
+//!
+//! Sidecars are named `<name>.<run-id>.metrics.json`, where the run id
+//! (time + pid + an in-process sequence number) is unique per write.
+//! Concurrent or batched runs of the same experiment therefore never
+//! clobber each other's reports — an earlier version used plain
+//! `<name>.metrics.json` and silently lost all but the last writer.
+//! Readers that want "the" sidecar of an experiment use
+//! [`latest_sidecar`], which picks the newest run by modification time
+//! (ties broken by the lexicographically greatest run id).
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
 use twigobs::RunReport;
 
 /// Directory sidecars are written to, relative to the invocation cwd
 /// (the workspace root for `cargo run`).
 pub const METRICS_DIR: &str = "target/metrics";
 
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique id for one sidecar write: epoch milliseconds, the process
+/// id, and an in-process sequence number, all in lowercase hex. Sorts
+/// roughly by time; exactly unique within a process, unique across
+/// processes via the pid.
+pub fn run_id() -> String {
+    let millis = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("{millis:012x}-{:05x}-{seq:03x}", process::id())
+}
+
 /// Drain the calling thread's obs accumulator into a report named `name`,
 /// tag it with the run `profile`, and write
-/// `target/metrics/<name>.metrics.json`. Returns the sidecar path.
+/// `target/metrics/<name>.<run-id>.metrics.json`. Returns the sidecar
+/// path.
 pub fn write_sidecar(name: &str, profile: &str) -> io::Result<PathBuf> {
     let report = RunReport::capture(name).with_context("profile", profile);
     write_report(&report, Path::new(METRICS_DIR))
 }
 
-/// Serialize `report` to `<dir>/<report.name>.metrics.json`.
+/// Serialize `report` to `<dir>/<report.name>.<run-id>.metrics.json`.
 pub fn write_report(report: &RunReport, dir: &Path) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{}.metrics.json", report.name));
+    let path = dir.join(format!("{}.{}.metrics.json", report.name, run_id()));
     fs::write(&path, report.to_json())?;
     Ok(path)
+}
+
+/// Find the most recent sidecar for experiment `name` in `dir`: the
+/// `<name>.<run-id>.metrics.json` file with the newest modification
+/// time (ties broken by the greatest file name, i.e. the latest run id).
+/// Returns `Ok(None)` when the directory is missing or holds no run of
+/// `name`.
+pub fn latest_sidecar(dir: &Path, name: &str) -> io::Result<Option<PathBuf>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let prefix = format!("{name}.");
+    let mut best: Option<(SystemTime, String, PathBuf)> = None;
+    for entry in entries {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some(file_name) = file_name.to_str() else { continue };
+        if !file_name.starts_with(&prefix) || !file_name.ends_with(".metrics.json") {
+            continue;
+        }
+        let mtime = entry.metadata()?.modified().unwrap_or(UNIX_EPOCH);
+        let key = (mtime, file_name.to_string());
+        if best
+            .as_ref()
+            .is_none_or(|(bt, bn, _)| key > (*bt, bn.clone()))
+        {
+            best = Some((key.0, key.1, entry.path()));
+        }
+    }
+    Ok(best.map(|(_, _, p)| p))
 }
 
 #[cfg(test)]
@@ -40,10 +102,13 @@ mod tests {
     #[test]
     fn sidecar_round_trips_to_disk() {
         let dir = std::env::temp_dir().join("twigbench-sidecar-test");
+        let _ = fs::remove_dir_all(&dir);
         let report = RunReport::from_metrics("unit", Metrics::default())
             .with_context("profile", "quick");
         let path = write_report(&report, &dir).unwrap();
-        assert!(path.ends_with("unit.metrics.json"));
+        let file_name = path.file_name().unwrap().to_str().unwrap();
+        assert!(file_name.starts_with("unit."));
+        assert!(file_name.ends_with(".metrics.json"));
         let body = fs::read_to_string(&path).unwrap();
         assert_eq!(body, report.to_json());
         assert!(body.contains("\"schema\": \"twig2stack.metrics/v1\""));
@@ -61,5 +126,34 @@ mod tests {
             assert!(body.contains("\"chunks\": 1"));
         }
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn repeated_runs_never_clobber() {
+        let dir = std::env::temp_dir().join("twigbench-sidecar-clobber-test");
+        let _ = fs::remove_dir_all(&dir);
+        let report = RunReport::from_metrics("rerun", Metrics::default());
+        let first = write_report(&report, &dir).unwrap();
+        let second = write_report(&report, &dir).unwrap();
+        assert_ne!(first, second, "each run gets its own file");
+        assert!(first.exists() && second.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_sidecar_picks_the_newest_run() {
+        let dir = std::env::temp_dir().join("twigbench-sidecar-latest-test");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(latest_sidecar(&dir, "x").unwrap().is_none(), "missing dir is not an error");
+        let report = RunReport::from_metrics("x", Metrics::default());
+        let _first = write_report(&report, &dir).unwrap();
+        let second = write_report(&report, &dir).unwrap();
+        // A different experiment's runs must not shadow x's.
+        let other = RunReport::from_metrics("x-other", Metrics::default());
+        write_report(&other, &dir).unwrap();
+        let picked = latest_sidecar(&dir, "x").unwrap().expect("x has runs");
+        assert_eq!(picked, second, "newest run of x wins");
+        assert!(latest_sidecar(&dir, "nope").unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -57,7 +57,10 @@ pub use memory::MemoryMeter;
 pub use parallel::{
     evaluate_parallel, match_document_parallel, parallel_plan, FallbackReason, ParallelPlan,
 };
-pub use pruned::{evaluate_indexed, match_indexed};
+pub use pruned::{
+    evaluate_indexed, match_indexed, try_match_indexed, try_match_indexed_group,
+    try_match_streams, IndexedPlan,
+};
 
 use gtpquery::{Gtp, ResultSet};
 use xmldom::Document;

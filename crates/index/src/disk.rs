@@ -19,7 +19,7 @@
 //! table of contents mapping label names to `(count, byte offset, bytes)`.
 
 use crate::dewey::DeweyIndex;
-use crate::stream::{ElemStream, IndexedElement, ELEMENT_RECORD_BYTES};
+use crate::stream::{ElemStream, IndexedElement, StreamError, ELEMENT_RECORD_BYTES};
 use crate::summary::{PathSummary, SummarySet};
 use std::collections::HashMap;
 use std::fs::File;
@@ -270,6 +270,7 @@ impl DiskRegionIndex {
             head: None,
             filter,
             counters: Arc::clone(&self.counters),
+            label: label_name.to_string(),
             error: None,
         })
     }
@@ -277,8 +278,10 @@ impl DiskRegionIndex {
 
 /// A scanning cursor over one label's on-disk region records.
 ///
-/// IO errors mid-scan terminate the stream early; check
-/// [`DiskRegionStream::error`] after consuming it.
+/// IO errors mid-scan terminate the stream early (peeks report EOF) and
+/// are surfaced through [`ElemStream::take_error`], which every indexed
+/// driver checks after its scan — a failed read therefore becomes a typed
+/// query error, never a silently truncated result.
 #[derive(Debug)]
 pub struct DiskRegionStream {
     reader: BufReader<File>,
@@ -286,6 +289,7 @@ pub struct DiskRegionStream {
     head: Option<IndexedElement>,
     filter: Option<SummarySet>,
     counters: Arc<IoCounters>,
+    label: String,
     error: Option<io::Error>,
 }
 
@@ -323,7 +327,8 @@ impl DiskRegionStream {
         }
     }
 
-    /// The IO error that terminated the scan, if any.
+    /// The IO error that terminated the scan, if any (left in place; use
+    /// [`ElemStream::take_error`] to consume it).
     pub fn error(&self) -> Option<&io::Error> {
         self.error.as_ref()
     }
@@ -361,6 +366,12 @@ impl ElemStream for DiskRegionStream {
             twigobs::bump(twigobs::Counter::StreamSkips);
         }
         skipped
+    }
+
+    fn take_error(&mut self) -> Option<StreamError> {
+        self.error
+            .take()
+            .map(|e| StreamError::new(format!("region stream '{}'", self.label), e))
     }
 }
 
@@ -566,6 +577,32 @@ mod tests {
         c.reset();
         assert_eq!(c.bytes(), 0);
         assert_eq!(c.elements(), 0);
+    }
+
+    #[test]
+    fn truncated_region_stream_surfaces_error() {
+        let doc = parse("<a><b/><b/><b/><b/></a>").unwrap();
+        let path = tmpfile("trunc.idx");
+        write_region_index(&doc, &path).unwrap();
+        // Chop the last 30 bytes: the TOC stays intact, the final records
+        // of the file are gone mid-record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 30).unwrap();
+        drop(f);
+        let disk = DiskRegionIndex::open(&path).unwrap();
+        let mut s = disk.stream("b").unwrap();
+        let mut delivered = 0;
+        while s.next_elem().is_some() {
+            delivered += 1;
+        }
+        assert!(delivered < 4, "scan must stop short of the full segment");
+        let err = s.take_error().expect("truncation must park an error");
+        assert!(err.context.contains("'b'"), "{err}");
+        assert_eq!(err.source.kind(), io::ErrorKind::UnexpectedEof);
+        // Taking consumes it.
+        assert!(s.take_error().is_none());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub use disk::{
 pub use schema::Schema;
 pub use stream::{
     ElemStream, ElementIndex, EmptyStream, IndexedElement, PrunedStream, PruningPolicy, ScanCost,
-    SliceStream,
+    SliceStream, StreamError,
 };
 pub use summary::{PathSummary, RegionCover, SummaryNode, SummarySet};

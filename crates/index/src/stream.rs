@@ -8,8 +8,46 @@
 //! the same streams from an on-disk file with IO accounting.
 
 use crate::summary::{PathSummary, RegionCover, SummarySet};
+use std::fmt;
+use std::io;
 use twigobs::Counter;
 use xmldom::{Document, Label, NodeId, Region};
+
+/// An I/O failure that terminated a stream scan early.
+///
+/// In-memory streams never produce one; disk-backed streams turn a failed
+/// record read into a `StreamError` that drivers surface via
+/// [`ElemStream::take_error`]. Without that check a truncated or failing
+/// index file would be indistinguishable from a clean end of stream — the
+/// scan would simply stop short and the query would return a plausible
+/// but wrong result.
+#[derive(Debug)]
+pub struct StreamError {
+    /// What was being scanned when the read failed (typically the label
+    /// segment name).
+    pub context: String,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl StreamError {
+    /// Wrap `source` with a description of the failed scan.
+    pub fn new(context: impl Into<String>, source: io::Error) -> Self {
+        StreamError { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream read failed ({}): {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// One element as stored in an index: identity + region encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +131,17 @@ pub trait ElemStream {
             skipped += 1;
         }
         skipped
+    }
+
+    /// Take the error that terminated this stream early, if any.
+    ///
+    /// A failing stream reports end-of-stream from [`peek`](Self::peek)
+    /// (so drivers terminate cleanly) and parks the failure here; every
+    /// indexed driver checks this after its scan and propagates the error
+    /// instead of returning the truncated result. In-memory streams never
+    /// fail, hence the default.
+    fn take_error(&mut self) -> Option<StreamError> {
+        None
     }
 }
 
@@ -585,6 +634,72 @@ mod tests {
         let mut s = idx.pruned_stream(b, None, None);
         assert_eq!(s.skip_to(target), 3 * SKIP_BLOCK + 7);
         assert!(s.is_eof());
+    }
+
+    #[test]
+    fn skip_to_keeps_element_ending_exactly_at_target() {
+        // Equal-boundary case: an element whose `right` equals the target
+        // `left` must be delivered (`right >= left` keeps it), and a block
+        // whose max-right equals the target must NOT be galloped over
+        // (the block-max test is strictly `bmax < left`). Sized so the
+        // boundary element is the last entry of the first skip block.
+        let mut xml = String::from("<a>");
+        for _ in 0..(2 * SKIP_BLOCK) {
+            xml.push_str("<b/>");
+        }
+        xml.push_str("</a>");
+        let doc = parse(&xml).unwrap();
+        let idx = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let elems = idx.elements(b);
+        let boundary = elems[SKIP_BLOCK - 1];
+        // Siblings in document order: the first block's max-right is its
+        // last element's right, so the target sits exactly on the block max.
+        assert_eq!(idx.blocks[b.index()][0], boundary.region.right);
+        let mut s = idx.pruned_stream(b, None, None);
+        assert_eq!(s.skip_to(boundary.region.right), SKIP_BLOCK - 1);
+        assert_eq!(s.peek().unwrap().id, boundary.id, "boundary element kept");
+        // One past the block max: the whole first block is now skippable.
+        let mut s = idx.pruned_stream(b, None, None);
+        assert_eq!(s.skip_to(boundary.region.right + 1), SKIP_BLOCK);
+        assert_eq!(s.peek().unwrap().id, elems[SKIP_BLOCK].id);
+    }
+
+    #[test]
+    fn skip_to_after_exhaustion_is_a_noop() {
+        // Exhaustion case on the block-max path: once the cursor is past
+        // the last element, further skips (of any target) bypass nothing
+        // and the stream stays at EOF.
+        let mut xml = String::from("<a>");
+        for _ in 0..(SKIP_BLOCK + 5) {
+            xml.push_str("<b/>");
+        }
+        xml.push_str("</a>");
+        let doc = parse(&xml).unwrap();
+        let idx = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let mut s = idx.pruned_stream(b, None, None);
+        assert_eq!(s.skip_to(u32::MAX), SKIP_BLOCK + 5);
+        assert!(s.is_eof());
+        for target in [0, 1, u32::MAX] {
+            assert_eq!(s.skip_to(target), 0, "skip_to({target}) after EOF");
+            assert!(s.is_eof());
+        }
+        s.advance();
+        assert_eq!(s.peek(), None);
+    }
+
+    #[test]
+    fn in_memory_streams_take_no_error() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let idx = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let mut s = idx.stream(b);
+        while s.next_elem().is_some() {}
+        assert!(s.take_error().is_none());
+        let mut p = idx.pruned_stream(b, None, None);
+        assert!(p.take_error().is_none());
+        assert!(EmptyStream.take_error().is_none());
     }
 
     #[test]

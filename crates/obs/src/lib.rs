@@ -69,8 +69,9 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 ///
 /// ```
 /// use twigobs::Counter;
-/// assert_eq!(Counter::ALL.len(), 13);
+/// assert_eq!(Counter::ALL.len(), 19);
 /// assert_eq!(Counter::EdgesCreated.name(), "edges_created");
+/// assert_eq!(Counter::PlanCacheHits.name(), "plan_cache_hits");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
@@ -104,11 +105,24 @@ pub enum Counter {
     ElementsPruned,
     /// `skip_to` calls that bypassed at least one element.
     StreamSkips,
+    /// Query-service plan-cache lookups served from the cache (the
+    /// feasibility analysis was skipped).
+    PlanCacheHits,
+    /// Query-service plan-cache lookups that had to parse and analyze.
+    PlanCacheMisses,
+    /// Cached plans evicted by the plan cache's LRU policy.
+    PlanCacheEvictions,
+    /// Queries admitted past the service's concurrency gate.
+    QueriesAdmitted,
+    /// Queries shed by the overload policy (typed rejection, never run).
+    QueriesRejected,
+    /// Admitted queries aborted because their deadline expired mid-scan.
+    DeadlineExceeded,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 19] = [
         Counter::ElementsScanned,
         Counter::StackPushes,
         Counter::Merges,
@@ -122,6 +136,12 @@ impl Counter {
         Counter::SummaryNodes,
         Counter::ElementsPruned,
         Counter::StreamSkips,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::PlanCacheEvictions,
+        Counter::QueriesAdmitted,
+        Counter::QueriesRejected,
+        Counter::DeadlineExceeded,
     ];
 
     /// The counter's snake_case report key (stable: it is the JSON
@@ -141,6 +161,12 @@ impl Counter {
             Counter::SummaryNodes => "summary_nodes",
             Counter::ElementsPruned => "elements_pruned",
             Counter::StreamSkips => "skips",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
+            Counter::QueriesAdmitted => "queries_admitted",
+            Counter::QueriesRejected => "queries_rejected",
+            Counter::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
@@ -160,6 +186,12 @@ impl Counter {
             Counter::SummaryNodes => 10,
             Counter::ElementsPruned => 11,
             Counter::StreamSkips => 12,
+            Counter::PlanCacheHits => 13,
+            Counter::PlanCacheMisses => 14,
+            Counter::PlanCacheEvictions => 15,
+            Counter::QueriesAdmitted => 16,
+            Counter::QueriesRejected => 17,
+            Counter::DeadlineExceeded => 18,
         }
     }
 }
@@ -174,8 +206,9 @@ impl Counter {
 ///
 /// ```
 /// use twigobs::Phase;
-/// assert_eq!(Phase::ALL.len(), 5);
+/// assert_eq!(Phase::ALL.len(), 6);
 /// assert_eq!(Phase::IndexBuild.name(), "index_build");
+/// assert_eq!(Phase::Serve.name(), "serve");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
@@ -189,16 +222,20 @@ pub enum Phase {
     Enumerate,
     /// Grafting a finished parallel chunk into the main encoding.
     Splice,
+    /// Whole-request service time in the query service (admission wait,
+    /// plan lookup, evaluation, enumeration); `match` nests inside it.
+    Serve,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Parse,
         Phase::IndexBuild,
         Phase::Match,
         Phase::Enumerate,
         Phase::Splice,
+        Phase::Serve,
     ];
 
     /// The phase's snake_case report key (stable: JSON sidecar schema).
@@ -209,6 +246,7 @@ impl Phase {
             Phase::Match => "match",
             Phase::Enumerate => "enumerate",
             Phase::Splice => "splice",
+            Phase::Serve => "serve",
         }
     }
 
@@ -220,6 +258,7 @@ impl Phase {
             Phase::Match => 2,
             Phase::Enumerate => 3,
             Phase::Splice => 4,
+            Phase::Serve => 5,
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Execution-control types shared by every fallible query driver:
+//! typed evaluation errors and cooperative cancellation.
+//!
+//! The matching engines themselves are pure in-memory algorithms that
+//! cannot fail, but the moment a driver reads streams from disk or runs
+//! under a serving deadline, two failure modes appear that must reach the
+//! caller as *values*, not as panics or silently short results:
+//!
+//! * **stream errors** — an on-disk element stream hit an I/O error
+//!   mid-scan (see [`xmlindex::StreamError`]); the driver's result would
+//!   be a truncated-but-plausible set, so the error must win;
+//! * **cancellation** — the caller gave up (client disconnect) or a
+//!   per-query deadline expired; drivers poll a [`CancelToken`] at
+//!   stream-advance granularity and unwind with a typed error.
+//!
+//! ```
+//! use gtpquery::{CancelToken, QueryError};
+//! use std::time::Duration;
+//!
+//! let t = CancelToken::never();
+//! assert!(t.check().is_ok());
+//! let t = CancelToken::new();
+//! t.cancel();
+//! assert!(matches!(t.check(), Err(QueryError::Cancelled)));
+//! let t = CancelToken::with_deadline(Duration::ZERO);
+//! assert!(matches!(t.check(), Err(QueryError::DeadlineExceeded)));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xmlindex::StreamError;
+
+/// A typed evaluation failure. Fallible drivers return this instead of
+/// panicking or returning truncated results.
+#[derive(Debug)]
+pub enum QueryError {
+    /// An element stream failed mid-scan (disk I/O): the partial result
+    /// is discarded and the underlying error surfaced.
+    Stream(StreamError),
+    /// The caller cancelled the evaluation via [`CancelToken::cancel`].
+    Cancelled,
+    /// The evaluation ran past its [`CancelToken::with_deadline`] budget.
+    DeadlineExceeded,
+    /// The query shape is outside the driver's supported fragment.
+    Unsupported(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Stream(e) => write!(f, "{e}"),
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            QueryError::Unsupported(what) => write!(f, "unsupported query: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for QueryError {
+    fn from(e: StreamError) -> Self {
+        QueryError::Stream(e)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cooperative cancellation handle, shared between a driver and its
+/// caller.
+///
+/// Cloning is cheap (an `Arc`); [`CancelToken::never`] (the `Default`)
+/// carries no allocation at all, so passing it through hot paths is free.
+/// Drivers call [`check`](CancelToken::check) once per merge step — i.e.
+/// at stream-advance granularity — which costs one atomic load on the
+/// no-deadline path.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels and never expires (zero-cost checks).
+    pub fn never() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A manually-cancellable token with no deadline.
+    #[allow(clippy::new_without_default)] // Default is `never`, not `new`
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that expires `budget` from now (and can also be cancelled
+    /// manually).
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            })),
+        }
+    }
+
+    /// Request cancellation: every subsequent [`check`](Self::check) on
+    /// any clone of this token fails with [`QueryError::Cancelled`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// True iff [`cancel`](Self::cancel) was called (does not consult the
+    /// deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::Acquire))
+    }
+
+    /// Fail if the token was cancelled or its deadline has passed.
+    #[inline]
+    pub fn check(&self) -> Result<(), QueryError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Err(QueryError::Cancelled);
+        }
+        if inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(QueryError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_always_passes() {
+        let t = CancelToken::never();
+        assert!(t.check().is_ok());
+        t.cancel(); // no-op on the empty token
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(CancelToken::default().check().is_ok());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(c.check().is_ok());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(matches!(c.check(), Err(QueryError::Cancelled)));
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(matches!(t.check(), Err(QueryError::DeadlineExceeded)));
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        // Manual cancellation wins over a far-future deadline.
+        t.cancel();
+        assert!(matches!(t.check(), Err(QueryError::Cancelled)));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        let e = QueryError::from(xmlindex::StreamError::new("region stream 'b'", io));
+        assert!(e.to_string().contains("region stream 'b'"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&QueryError::Cancelled).is_none());
+        assert_eq!(QueryError::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            QueryError::Unsupported("or-groups".into()).to_string(),
+            "unsupported query: or-groups"
+        );
+    }
+}

@@ -11,11 +11,14 @@
 //! * [`analysis`] — existence-checking classification (paper §3.5), the
 //!   top branch node (paper §4.4), output schema, validation, the
 //!   label-indexed dispatch table every matcher uses, and path-summary
-//!   feasibility (the pruned-stream planner).
+//!   feasibility (the pruned-stream planner);
+//! * [`exec`] — typed evaluation errors and cooperative cancellation for
+//!   the fallible drivers (disk streams, serving deadlines).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod exec;
 pub mod gtp;
 pub mod parse;
 pub mod results;
@@ -25,6 +28,7 @@ pub mod xquery;
 pub use analysis::{
     LabelDispatch, ParallelFallback, QueryAnalysis, SummaryFeasibility, ValidationIssue,
 };
+pub use exec::{CancelToken, QueryError};
 pub use gtp::{Axis, Edge, Gtp, GtpBuilder, NodeTest, QNodeId, Role, ValuePred};
 pub use parse::{parse_twig, QueryParseError};
 pub use results::{Cell, ResultSet};

@@ -1,0 +1,170 @@
+//! Sharded LRU plan cache keyed by the canonical query text.
+//!
+//! The cache stores [`CachedPlan`]s — a parsed [`Gtp`] plus its
+//! [`IndexedPlan`] (the summary-feasibility analysis output) — behind
+//! [`gtpquery::serialize()`]'s canonical bracket-only form, so every
+//! spelling of a query that parses to the same GTP shares one entry
+//! (`//a/b[c]`, `//a[b/c]/b[c]`-style rewrites do not: the key is the
+//! *structure*, not the text the client sent).
+//!
+//! Sharding bounds contention: a key hashes to one shard, each shard is
+//! an independently locked map with its own LRU capacity, and recency is
+//! a global atomic stamp (no per-shard clocks to reconcile). Eviction is
+//! exact LRU *within a shard* — good enough for a plan cache, where the
+//! win measured by Fig T is hit-vs-miss analysis cost, not eviction
+//! precision.
+
+use gtpquery::Gtp;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use twig2stack::IndexedPlan;
+
+/// A cached, immutable evaluation plan: the parsed query and its
+/// index-specific stream plan. Shared by `Arc` so a hit never copies and
+/// an eviction never invalidates an in-flight evaluation.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The parsed query (node ids align with `plan`).
+    pub gtp: Gtp,
+    /// The summary-feasibility stream plan for the service's index.
+    pub plan: IndexedPlan,
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CachedPlan>,
+    stamp: u64,
+}
+
+/// Sharded LRU map from canonical query text to [`CachedPlan`].
+///
+/// A total capacity of 0 disables the cache entirely (every lookup
+/// misses, nothing is stored) — the Fig T "cache off" arm.
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    shards: Vec<Mutex<HashMap<String, Entry>>>,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look `key` up, refreshing its recency stamp on a hit.
+    pub(crate) fn get(&self, key: &str) -> Option<Arc<CachedPlan>> {
+        if self.per_shard_capacity == 0 {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("plan cache poisoned");
+        let entry = shard.get_mut(key)?;
+        entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Insert (or refresh) `key`, evicting least-recently-used entries in
+    /// the key's shard while it is over capacity. Returns how many
+    /// entries were evicted (0 or 1 in steady state).
+    pub(crate) fn insert(&self, key: String, plan: Arc<CachedPlan>) -> u64 {
+        if self.per_shard_capacity == 0 {
+            return 0;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock().expect("plan cache poisoned");
+        shard.insert(key, Entry { plan, stamp });
+        let mut evicted = 0;
+        while shard.len() > self.per_shard_capacity {
+            let oldest = shard
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity shard is non-empty");
+            shard.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Number of cached plans across all shards (test/diagnostic aid).
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+    use twig2stack::IndexedPlan;
+    use xmldom::parse;
+    use xmlindex::{ElementIndex, PruningPolicy};
+
+    fn plan_for(q: &str) -> Arc<CachedPlan> {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let index = ElementIndex::build(&doc);
+        let gtp = parse_twig(q).unwrap();
+        let plan = IndexedPlan::compute(&gtp, &index, doc.labels(), PruningPolicy::Enabled);
+        Arc::new(CachedPlan { gtp, plan })
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = PlanCache::new(8, 2);
+        assert!(cache.get("//a").is_none());
+        cache.insert("//a".into(), plan_for("//a"));
+        assert!(cache.get("//a").is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = PlanCache::new(0, 4);
+        assert_eq!(cache.insert("//a".into(), plan_for("//a")), 0);
+        assert!(cache.get("//a").is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry_per_shard() {
+        // One shard so recency order is total and the test deterministic.
+        let cache = PlanCache::new(2, 1);
+        cache.insert("//a".into(), plan_for("//a"));
+        cache.insert("//b".into(), plan_for("//b"));
+        // Touch //a so //b becomes the LRU victim.
+        assert!(cache.get("//a").is_some());
+        let evicted = cache.insert("//c".into(), plan_for("//c"));
+        assert_eq!(evicted, 1);
+        assert!(cache.get("//a").is_some(), "recently used entry survives");
+        assert!(cache.get("//b").is_none(), "LRU entry was evicted");
+        assert!(cache.get("//c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn an_evicted_plan_stays_usable_while_referenced() {
+        let cache = PlanCache::new(1, 1);
+        cache.insert("//a".into(), plan_for("//a"));
+        let held = cache.get("//a").unwrap();
+        cache.insert("//b".into(), plan_for("//b"));
+        assert!(cache.get("//a").is_none());
+        // The Arc keeps the evicted plan alive for the in-flight request.
+        assert!(!held.plan.is_unsatisfiable());
+    }
+}

@@ -1,0 +1,743 @@
+//! # twigserve — a concurrent shared-index query service
+//!
+//! Every engine in this workspace answers one query over one document.
+//! This crate is the serving layer above them: a [`QueryService`] owns
+//! one immutable [`ElementIndex`] (plus its path summary) and evaluates
+//! many GTP queries against it concurrently, the way a twig-join engine
+//! would sit inside an XML database. Four mechanisms, per DESIGN.md §12:
+//!
+//! * **plan cache** — parsing is cheap but the summary-feasibility
+//!   analysis behind the pruned streams is per-(query, index) work worth
+//!   amortizing. Plans are cached behind the query's *canonical* form
+//!   ([`gtpquery::serialize()`]), in a sharded LRU ([`cache`]), with
+//!   hit/miss/eviction counters surfaced through [`ServiceStats`] and
+//!   [`twigobs`];
+//! * **session pool** — [`EvalContext`] arenas (hierarchical stacks,
+//!   edge scratch) are pooled and recycled across requests, so steady
+//!   state evaluation stops touching the allocator;
+//! * **admission control** — a bounded gate admits at most
+//!   `max_concurrency` evaluations with `max_waiting` queued behind
+//!   them; beyond that the overload policy sheds load with a typed
+//!   [`ServeError::Overloaded`] *before* doing any work. Admitted
+//!   queries run under a per-query deadline ([`CancelToken`]) polled at
+//!   stream-advance granularity, and every failure — I/O, deadline,
+//!   cancellation, even a panic in the engine — comes back as a
+//!   [`ServeError`] value, never a crashed worker;
+//! * **batch API** — [`QueryService::execute_batch`] groups admitted
+//!   queries that scan the same label set and feeds them from **one**
+//!   merged stream scan ([`twig2stack::try_match_indexed_group`]),
+//!   falling back to per-query evaluation when a shared scan fails so
+//!   each query still reports its own typed error.
+//!
+//! ```
+//! use twigserve::{QueryService, ServiceConfig};
+//!
+//! let doc = xmldom::parse("<a><b><c/></b><b/></a>").unwrap();
+//! let svc = QueryService::build(doc, ServiceConfig::default());
+//! let rs = svc.execute("//a/b[c]").unwrap();
+//! assert_eq!(rs.len(), 1);
+//! svc.execute("//a/b[c]").unwrap(); // second run hits the plan cache
+//! let stats = svc.stats();
+//! assert_eq!(stats.plan_cache_hits, 1);
+//! assert_eq!(stats.analyses_run, 1);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+
+pub use cache::CachedPlan;
+
+use cache::PlanCache;
+use gtpquery::{
+    parse_twig, serialize, CancelToken, Gtp, QueryError, QueryParseError, ResultSet,
+};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+use twig2stack::{
+    enumerate, try_match_indexed, try_match_indexed_group, EvalContext, IndexedPlan,
+    MatchOptions,
+};
+use xmldom::{Document, Label};
+use xmlindex::{ElementIndex, PruningPolicy};
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Evaluations allowed to run at once (≥ 1; the bounded worker pool).
+    pub max_concurrency: usize,
+    /// Admissions allowed to queue behind the running set before the
+    /// overload policy sheds load with [`ServeError::Overloaded`].
+    pub max_waiting: usize,
+    /// Total cached plans across all shards; 0 disables the plan cache
+    /// (every request re-runs the feasibility analysis — the Fig T
+    /// "cache off" arm).
+    pub plan_cache_capacity: usize,
+    /// Independently locked cache shards (contention bound).
+    pub plan_cache_shards: usize,
+    /// Deadline applied to queries submitted without an explicit token;
+    /// `None` means no implicit deadline.
+    pub default_deadline: Option<Duration>,
+    /// Whether plans use path-summary pruning (on for production; off
+    /// only for A/B measurement).
+    pub pruning: PruningPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrency: 4,
+            max_waiting: 16,
+            plan_cache_capacity: 128,
+            plan_cache_shards: 8,
+            default_deadline: None,
+            pruning: PruningPolicy::Enabled,
+        }
+    }
+}
+
+/// A typed request failure. The service never panics at its boundary:
+/// every failure mode — bad query text, shed load, evaluation errors,
+/// even an engine panic — is a value.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query text did not parse.
+    Parse(QueryParseError),
+    /// The overload policy shed this request before any work ran: the
+    /// running set and the wait queue were both full.
+    Overloaded {
+        /// Evaluations running when the request was shed.
+        running: usize,
+        /// Admissions already queued when the request was shed.
+        waiting: usize,
+    },
+    /// Evaluation failed (stream I/O, deadline, cancellation).
+    Query(QueryError),
+    /// The engine panicked; the panic was contained to this request and
+    /// its message captured.
+    Panicked(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse(e) => write!(f, "query parse error: {e}"),
+            ServeError::Overloaded { running, waiting } => write!(
+                f,
+                "service overloaded ({running} running, {waiting} waiting); request shed"
+            ),
+            ServeError::Query(e) => write!(f, "{e}"),
+            ServeError::Panicked(msg) => write!(f, "evaluation panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Parse(e) => Some(e),
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryParseError> for ServeError {
+    fn from(e: QueryParseError) -> Self {
+        ServeError::Parse(e)
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+/// A point-in-time snapshot of the service's own counters. These are
+/// always live (plain atomics), independent of whether the [`twigobs`]
+/// recording feature is compiled in — the service mirrors each value
+/// into the matching `twigobs` counter as well.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Plan lookups served from the cache (analysis skipped).
+    pub plan_cache_hits: u64,
+    /// Plan lookups that had to run the feasibility analysis.
+    pub plan_cache_misses: u64,
+    /// Cached plans evicted by the LRU policy.
+    pub plan_cache_evictions: u64,
+    /// Queries admitted past the concurrency gate.
+    pub queries_admitted: u64,
+    /// Queries shed by the overload policy.
+    pub queries_rejected: u64,
+    /// Admitted queries aborted by an expired deadline.
+    pub deadline_exceeded: u64,
+    /// Admitted queries aborted by explicit cancellation.
+    pub cancelled: u64,
+    /// Feasibility analyses actually run (== misses; the quantity Fig T
+    /// shows the cache amortizing).
+    pub analyses_run: u64,
+    /// Requests that drew a pooled [`EvalContext`] instead of
+    /// allocating a fresh one.
+    pub contexts_reused: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsCell {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    deadline: AtomicU64,
+    cancelled: AtomicU64,
+    analyses: AtomicU64,
+    ctx_reused: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    running: usize,
+    waiting: usize,
+}
+
+/// The admission gate: a bounded running set with a bounded wait queue.
+#[derive(Debug)]
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    max_running: usize,
+    max_waiting: usize,
+}
+
+/// An admitted request's slot; releases (and wakes a waiter) on drop, so
+/// a panicking evaluation still frees its slot.
+#[derive(Debug)]
+struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Gate {
+    fn new(max_running: usize, max_waiting: usize) -> Self {
+        Gate {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+            max_running: max_running.max(1),
+            max_waiting,
+        }
+    }
+
+    fn admit(&self) -> Result<Permit<'_>, ServeError> {
+        let mut st = self.state.lock().expect("gate poisoned");
+        if st.running < self.max_running {
+            st.running += 1;
+            return Ok(Permit { gate: self });
+        }
+        if st.waiting >= self.max_waiting {
+            return Err(ServeError::Overloaded { running: st.running, waiting: st.waiting });
+        }
+        st.waiting += 1;
+        while st.running >= self.max_running {
+            st = self.cv.wait(st).expect("gate poisoned");
+        }
+        st.waiting -= 1;
+        st.running += 1;
+        Ok(Permit { gate: self })
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock().expect("gate poisoned");
+        st.running -= 1;
+        drop(st);
+        self.gate.cv.notify_one();
+    }
+}
+
+/// A concurrent query service over one immutable document + index.
+///
+/// The service is `Sync`: share it by reference across scoped threads
+/// (or wrap it in an [`Arc`]) and call
+/// [`execute`](QueryService::execute) from as many threads as you like —
+/// the gate bounds actual concurrency, the plan cache and context pool
+/// are internally synchronized, and results are byte-identical to
+/// serial, uncached evaluation (pinned by `tests/serve_differential.rs`).
+pub struct QueryService {
+    doc: Document,
+    index: ElementIndex,
+    config: ServiceConfig,
+    cache: PlanCache,
+    contexts: Mutex<Vec<EvalContext>>,
+    gate: Gate,
+    stats: StatsCell,
+}
+
+impl QueryService {
+    /// Wrap an already-built index. `index` must have been built from
+    /// `doc` (the constructor does not verify the pairing).
+    pub fn new(doc: Document, index: ElementIndex, config: ServiceConfig) -> Self {
+        let gate = Gate::new(config.max_concurrency, config.max_waiting);
+        let cache = PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards);
+        QueryService {
+            doc,
+            index,
+            config,
+            cache,
+            contexts: Mutex::new(Vec::new()),
+            gate,
+            stats: StatsCell::default(),
+        }
+    }
+
+    /// Build the element index for `doc` and wrap it.
+    pub fn build(doc: Document, config: ServiceConfig) -> Self {
+        let index = ElementIndex::build(&doc);
+        QueryService::new(doc, index, config)
+    }
+
+    /// The served document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The shared element index.
+    pub fn index(&self) -> &ElementIndex {
+        &self.index
+    }
+
+    /// Snapshot the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.stats;
+        ServiceStats {
+            plan_cache_hits: s.hits.load(Ordering::Relaxed),
+            plan_cache_misses: s.misses.load(Ordering::Relaxed),
+            plan_cache_evictions: s.evictions.load(Ordering::Relaxed),
+            queries_admitted: s.admitted.load(Ordering::Relaxed),
+            queries_rejected: s.rejected.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            analyses_run: s.analyses.load(Ordering::Relaxed),
+            contexts_reused: s.ctx_reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evaluate one query under the config's default deadline (if any).
+    pub fn execute(&self, query: &str) -> Result<ResultSet, ServeError> {
+        self.execute_with(query, self.default_cancel())
+    }
+
+    /// Evaluate one query under an explicit cancellation token. The
+    /// token is polled at stream-advance granularity, so cancellation
+    /// and deadlines take effect mid-scan, not just between requests.
+    pub fn execute_with(&self, query: &str, cancel: CancelToken) -> Result<ResultSet, ServeError> {
+        let _span = twigobs::span(twigobs::Phase::Serve);
+        let permit = self.admit(1)?;
+        let plan = self.lookup_plan(query)?;
+        let out = self.eval_single(&plan, &cancel);
+        drop(permit);
+        out
+    }
+
+    /// Evaluate a batch, sharing one merged stream scan among admitted
+    /// queries whose plans read the same label set. Returns one result
+    /// per input query, in input order; each query fails independently
+    /// (a shared-scan failure falls back to per-query evaluation so
+    /// every member reports its own typed error).
+    pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<ResultSet, ServeError>> {
+        let _span = twigobs::span(twigobs::Phase::Serve);
+        let mut out: Vec<Option<Result<ResultSet, ServeError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut prepared: Vec<(usize, Arc<CachedPlan>)> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            match self.lookup_plan(q) {
+                Ok(p) => prepared.push((i, p)),
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        // Group by scanned label set: equal sets share one merged scan.
+        type Group = (Vec<Label>, Vec<(usize, Arc<CachedPlan>)>);
+        let mut groups: Vec<Group> = Vec::new();
+        for (i, p) in prepared {
+            let key = p.plan.labels();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push((i, p)),
+                None => groups.push((key, vec![(i, p)])),
+            }
+        }
+        for (_, members) in groups {
+            let cancel = self.default_cancel();
+            let permit = match self.admit(members.len() as u64) {
+                Ok(p) => p,
+                Err(ServeError::Overloaded { running, waiting }) => {
+                    for (i, _) in &members {
+                        out[*i] = Some(Err(ServeError::Overloaded { running, waiting }));
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    // admit only fails with Overloaded; keep the typed
+                    // error for the first member if that ever changes.
+                    let (first, rest) = members.split_first().expect("non-empty group");
+                    out[first.0] = Some(Err(e));
+                    for (i, _) in rest {
+                        out[*i] = Some(Err(ServeError::Overloaded { running: 0, waiting: 0 }));
+                    }
+                    continue;
+                }
+            };
+            match members.as_slice() {
+                [(i, plan)] => out[*i] = Some(self.eval_single(plan, &cancel)),
+                _ => {
+                    match self.eval_group(&members, &cancel) {
+                        Some(results) => {
+                            for ((i, _), rs) in members.iter().zip(results) {
+                                out[*i] = Some(Ok(rs));
+                            }
+                        }
+                        None => {
+                            // Shared scan failed (deadline, cancellation,
+                            // panic): evaluate members individually so
+                            // each reports its own typed error — and any
+                            // member unaffected by a per-query fault
+                            // still succeeds.
+                            for (i, plan) in &members {
+                                out[*i] = Some(self.eval_single(plan, &cancel));
+                            }
+                        }
+                    }
+                }
+            }
+            drop(permit);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every query resolved"))
+            .collect()
+    }
+
+    fn default_cancel(&self) -> CancelToken {
+        match self.config.default_deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::never(),
+        }
+    }
+
+    /// Admit one unit of evaluation work covering `queries` queries.
+    fn admit(&self, queries: u64) -> Result<Permit<'_>, ServeError> {
+        match self.gate.admit() {
+            Ok(p) => {
+                self.stats.admitted.fetch_add(queries, Ordering::Relaxed);
+                twigobs::add(twigobs::Counter::QueriesAdmitted, queries);
+                Ok(p)
+            }
+            Err(e) => {
+                self.stats.rejected.fetch_add(queries, Ordering::Relaxed);
+                twigobs::add(twigobs::Counter::QueriesRejected, queries);
+                Err(e)
+            }
+        }
+    }
+
+    /// Parse `query`, canonicalize it, and fetch-or-compute its plan.
+    fn lookup_plan(&self, query: &str) -> Result<Arc<CachedPlan>, ServeError> {
+        let gtp = parse_twig(query)?;
+        let key = serialize(&gtp);
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            twigobs::bump(twigobs::Counter::PlanCacheHits);
+            return Ok(hit);
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        twigobs::bump(twigobs::Counter::PlanCacheMisses);
+        self.stats.analyses.fetch_add(1, Ordering::Relaxed);
+        let plan = IndexedPlan::compute(&gtp, &self.index, self.doc.labels(), self.config.pruning);
+        let cached = Arc::new(CachedPlan { gtp, plan });
+        let evicted = self.cache.insert(key, Arc::clone(&cached));
+        if evicted > 0 {
+            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+            twigobs::add(twigobs::Counter::PlanCacheEvictions, evicted);
+        }
+        Ok(cached)
+    }
+
+    fn pop_context(&self) -> EvalContext {
+        let pooled = self.contexts.lock().expect("context pool poisoned").pop();
+        match pooled {
+            Some(ctx) => {
+                self.stats.ctx_reused.fetch_add(1, Ordering::Relaxed);
+                ctx
+            }
+            None => EvalContext::new(),
+        }
+    }
+
+    fn push_context(&self, ctx: EvalContext) {
+        let mut pool = self.contexts.lock().expect("context pool poisoned");
+        if pool.len() < self.config.max_concurrency {
+            pool.push(ctx);
+        }
+    }
+
+    fn note_query_error(&self, e: &QueryError) {
+        match e {
+            QueryError::DeadlineExceeded => {
+                self.stats.deadline.fetch_add(1, Ordering::Relaxed);
+                twigobs::bump(twigobs::Counter::DeadlineExceeded);
+            }
+            QueryError::Cancelled => {
+                self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    fn eval_single(&self, plan: &CachedPlan, cancel: &CancelToken) -> Result<ResultSet, ServeError> {
+        let mut ctx = self.pop_context();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            try_match_indexed(
+                &self.doc,
+                &self.index,
+                &plan.gtp,
+                MatchOptions::default(),
+                &plan.plan,
+                Some(&mut ctx),
+                cancel,
+            )
+            .map(|(tm, _stats)| (enumerate(&tm), tm))
+        }));
+        match outcome {
+            Ok(Ok((rs, tm))) => {
+                ctx.recycle(tm);
+                self.push_context(ctx);
+                Ok(rs)
+            }
+            Ok(Err(e)) => {
+                // The matcher's arenas died with it, but the context is
+                // structurally sound — keep pooling it.
+                self.push_context(ctx);
+                self.note_query_error(&e);
+                Err(ServeError::Query(e))
+            }
+            // A panicked evaluation may have left `ctx` mid-surgery:
+            // drop it instead of pooling.
+            Err(payload) => Err(ServeError::Panicked(panic_message(payload))),
+        }
+    }
+
+    /// Shared-scan evaluation of a label-set group. Returns `None` on
+    /// any failure — the caller falls back to per-member evaluation for
+    /// accurate per-query errors.
+    fn eval_group(
+        &self,
+        members: &[(usize, Arc<CachedPlan>)],
+        cancel: &CancelToken,
+    ) -> Option<Vec<ResultSet>> {
+        let refs: Vec<(&Gtp, &IndexedPlan)> =
+            members.iter().map(|(_, p)| (&p.gtp, &p.plan)).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            try_match_indexed_group(&self.doc, &self.index, &refs, MatchOptions::default(), cancel)
+                .map(|v| v.into_iter().map(|(tm, _)| enumerate(&tm)).collect::<Vec<_>>())
+        }));
+        match outcome {
+            Ok(Ok(results)) => Some(results),
+            Ok(Err(_)) | Err(_) => None,
+        }
+    }
+
+    /// Number of plans currently cached (diagnostics).
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    const DOC: &str =
+        "<a><a><b><c/></b></a><b/><b><c/><c/></b><d><b><c/></b></d><b><y>2006</y></b></a>";
+
+    fn service(config: ServiceConfig) -> QueryService {
+        QueryService::build(xmldom::parse(DOC).unwrap(), config)
+    }
+
+    #[test]
+    fn execute_matches_serial_evaluation() {
+        let svc = service(ServiceConfig::default());
+        for q in ["//a/b[c]", "//a//b", "//b/y", "//a/b[y='2006']"] {
+            let gtp = parse_twig(q).unwrap();
+            let expected = twig2stack::evaluate(svc.doc(), &gtp);
+            assert_eq!(svc.execute(q).unwrap(), expected, "{q}");
+        }
+    }
+
+    #[test]
+    fn second_request_hits_the_plan_cache() {
+        let svc = service(ServiceConfig::default());
+        let a = svc.execute("//a/b[c]").unwrap();
+        let b = svc.execute("//a/b[c]").unwrap();
+        assert_eq!(a, b);
+        let s = svc.stats();
+        assert_eq!(s.plan_cache_misses, 1);
+        assert_eq!(s.plan_cache_hits, 1);
+        assert_eq!(s.analyses_run, 1, "the hit skipped the analysis");
+        assert_eq!(s.queries_admitted, 2);
+        assert_eq!(s.contexts_reused, 1, "second request reused the pooled context");
+        assert_eq!(svc.cached_plans(), 1);
+    }
+
+    #[test]
+    fn equivalent_spellings_share_one_plan() {
+        let svc = service(ServiceConfig::default());
+        // The cache key is the canonical serialization, so the spine
+        // spelling and its bracket-only canonical form share one entry.
+        let spine = "//a/b[c]";
+        let canonical = serialize(&parse_twig(spine).unwrap());
+        assert_ne!(spine, canonical, "the two spellings differ as text");
+        let a = svc.execute(spine).unwrap();
+        let b = svc.execute(&canonical).unwrap();
+        assert_eq!(a, b);
+        let s = svc.stats();
+        assert_eq!(s.plan_cache_misses, 1);
+        assert_eq!(s.plan_cache_hits, 1);
+        assert_eq!(svc.cached_plans(), 1);
+    }
+
+    #[test]
+    fn cache_off_reruns_the_analysis() {
+        let svc = service(ServiceConfig { plan_cache_capacity: 0, ..ServiceConfig::default() });
+        svc.execute("//a/b[c]").unwrap();
+        svc.execute("//a/b[c]").unwrap();
+        let s = svc.stats();
+        assert_eq!(s.plan_cache_hits, 0);
+        assert_eq!(s.analyses_run, 2);
+        assert_eq!(svc.cached_plans(), 0);
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        let svc = service(ServiceConfig::default());
+        let err = svc.execute("//a[").unwrap_err();
+        assert!(matches!(err, ServeError::Parse(_)));
+        assert!(err.to_string().contains("parse"));
+        // A rejected parse consumes an admission slot but never runs.
+        assert_eq!(svc.stats().analyses_run, 0);
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_typed_error() {
+        let svc = service(ServiceConfig::default());
+        let err = svc
+            .execute_with("//a/b[c]", CancelToken::with_deadline(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Query(QueryError::DeadlineExceeded)));
+        assert_eq!(svc.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_typed_error() {
+        let svc = service(ServiceConfig::default());
+        let token = CancelToken::new();
+        token.cancel();
+        let err = svc.execute_with("//a/b[c]", token).unwrap_err();
+        assert!(matches!(err, ServeError::Query(QueryError::Cancelled)));
+        assert_eq!(svc.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn overload_policy_sheds_with_typed_rejection() {
+        let gate = Gate::new(1, 0);
+        let first = gate.admit().expect("first admission fits");
+        let err = gate.admit().expect_err("second admission must shed");
+        match err {
+            ServeError::Overloaded { running, waiting } => {
+                assert_eq!(running, 1);
+                assert_eq!(waiting, 0);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        drop(first);
+        drop(gate.admit().expect("slot freed after release"));
+    }
+
+    #[test]
+    fn waiters_are_admitted_when_a_slot_frees() {
+        let gate = Arc::new(Gate::new(1, 4));
+        let permit = gate.admit().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let g = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            let p = g.admit().expect("waiter is queued, not shed");
+            tx.send(()).unwrap();
+            drop(p);
+        });
+        // The waiter is blocked until the slot frees.
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        drop(permit);
+        rx.recv_timeout(Duration::from_secs(5)).expect("waiter admitted");
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn batch_matches_individual_execution() {
+        let svc = service(ServiceConfig::default());
+        let queries = ["//a/b[c]", "//a//b", "//b/c", "//a/b[c]", "bogus[", "//d/b"];
+        let batch = svc.execute_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&batch) {
+            match *q {
+                "bogus[" => assert!(matches!(r, Err(ServeError::Parse(_)))),
+                q => {
+                    let gtp = parse_twig(q).unwrap();
+                    let expected = twig2stack::evaluate(svc.doc(), &gtp);
+                    assert_eq!(*r.as_ref().unwrap(), expected, "{q}");
+                }
+            }
+        }
+        // //a/b[c] and //b/c scan {b, c}; the duplicate //a/b[c] joins
+        // them, so at least one shared scan formed.
+        assert!(svc.stats().queries_admitted >= 5);
+    }
+
+    #[test]
+    fn concurrent_hammering_is_deterministic() {
+        let svc = service(ServiceConfig { max_concurrency: 4, ..ServiceConfig::default() });
+        let queries = ["//a/b[c]", "//a//b", "//b/y", "//a/b[y='2006']"];
+        let expected: Vec<ResultSet> = queries
+            .iter()
+            .map(|q| twig2stack::evaluate(svc.doc(), &parse_twig(q).unwrap()))
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let svc = &svc;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for round in 0..20 {
+                        let i = (t + round) % queries.len();
+                        assert_eq!(svc.execute(queries[i]).unwrap(), expected[i]);
+                    }
+                });
+            }
+        });
+        let s = svc.stats();
+        assert_eq!(s.queries_admitted, 8 * 20);
+        assert_eq!(s.queries_rejected, 0, "waiters queue; nothing sheds at this load");
+        assert_eq!(s.analyses_run + s.plan_cache_hits, 8 * 20);
+        assert!(s.plan_cache_hits >= 8 * 20 - 4 * 8, "most lookups hit");
+    }
+}

@@ -9,9 +9,9 @@
 use gtpquery::NodeTest;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use twigbaselines::{build_streams, naive_evaluate, twig_stack, TwigStackStats};
+use twigbaselines::{build_streams, naive_evaluate, try_twig_stack_with, twig_stack, TwigStackStats};
 use twigfuzz::{generate_query, Dataset, GenConfig, Vocabulary};
-use xmlindex::{write_region_index, DiskRegionIndex, ElementIndex, SliceStream};
+use xmlindex::{write_region_index, DiskRegionIndex, ElementIndex, PruningPolicy, SliceStream};
 
 /// Full-twig shapes only (the TwigStack contract), with named node
 /// tests only (a disk index serves one label per stream; wildcard
@@ -66,8 +66,12 @@ fn disk_streams_agree_with_slice_streams_and_oracle() {
                     NodeTest::Wildcard => unreachable!("wildcard_prob is zero"),
                 })
                 .collect();
+            // Disk streams go through the fallible driver: an I/O error
+            // would surface as `Err`, not as a truncated result set.
             let mut ts = TwigStackStats::default();
-            let via_disk = twig_stack(&gtp, disk_streams, &mut ts).sorted();
+            let via_disk = try_twig_stack_with(&gtp, disk_streams, PruningPolicy::Disabled, &mut ts)
+                .expect("intact disk index")
+                .sorted();
             assert_eq!(
                 via_disk, expected,
                 "[{} case {case}] disk streams vs oracle, query {gtp}",

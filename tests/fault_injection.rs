@@ -1,0 +1,145 @@
+//! Fault injection: a truncated on-disk region index must surface as a
+//! typed [`QueryError::Stream`] from every indexed driver, never as a
+//! silently truncated result set.
+//!
+//! The scenario mirrors a partially written or corrupted index file:
+//! the table of contents is intact, so the index opens and streams
+//! start delivering elements, but the final records of a segment are
+//! chopped mid-record. Before the fallible drivers existed, both
+//! engines would drain such a stream to its (early) end and report
+//! whatever matches happened to be complete — indistinguishable from a
+//! correct empty tail.
+
+use gtpquery::{parse_twig, CancelToken, NodeTest, QueryError};
+use twig2stack::MatchOptions;
+use twigbaselines::{try_twig_stack_with, TwigStackStats};
+use xmldom::{parse, Document, Label};
+use xmlindex::{write_region_index, DiskRegionIndex, DiskRegionStream, PruningPolicy};
+
+/// A document whose `b` segment is large enough that chopping the file
+/// tail lands mid-record inside it (`b` is interned after `a`, so its
+/// segment is written last).
+fn sample_doc() -> Document {
+    let body = "<b/>".repeat(40);
+    parse(&format!("<a>{body}</a>")).unwrap()
+}
+
+/// Write the region index for `doc`, then chop `chop` bytes off the end
+/// of the file — TOC intact, final records gone.
+fn truncated_index(doc: &Document, name: &str, chop: u64) -> (DiskRegionIndex, std::path::PathBuf) {
+    let path = std::env::temp_dir().join(format!("t2s-fault-{}-{name}", std::process::id()));
+    write_region_index(doc, &path).unwrap();
+    let len = std::fs::metadata(&path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(len - chop).unwrap();
+    drop(f);
+    (DiskRegionIndex::open(&path).unwrap(), path)
+}
+
+/// One disk stream per query node, in query-node order.
+fn query_streams(
+    doc: &Document,
+    disk: &DiskRegionIndex,
+    gtp: &gtpquery::Gtp,
+) -> Vec<(Label, DiskRegionStream)> {
+    gtp.iter()
+        .map(|q| match gtp.test(q) {
+            NodeTest::Name(n) => (
+                doc.labels().get(n).expect("label present in document"),
+                disk.stream(n).expect("label present in index"),
+            ),
+            NodeTest::Wildcard => unreachable!("test queries use named tests"),
+        })
+        .collect()
+}
+
+#[test]
+fn twigstack_reports_truncated_disk_stream() {
+    let doc = sample_doc();
+    let gtp = parse_twig("//a/b").unwrap();
+    let (disk, path) = truncated_index(&doc, "twigstack", 30);
+
+    let streams = query_streams(&doc, &disk, &gtp)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    let mut stats = TwigStackStats::default();
+    let err = match try_twig_stack_with(&gtp, streams, PruningPolicy::Disabled, &mut stats) {
+        Ok(rs) => panic!(
+            "truncated index must not produce a result set ({} rows)",
+            rs.len()
+        ),
+        Err(e) => e,
+    };
+    match err {
+        QueryError::Stream(e) => {
+            assert!(e.context.contains("'b'"), "context names the segment: {e}");
+            assert_eq!(e.source.kind(), std::io::ErrorKind::UnexpectedEof);
+        }
+        other => panic!("expected QueryError::Stream, got {other}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn twig2stack_reports_truncated_disk_stream() {
+    let doc = sample_doc();
+    let gtp = parse_twig("//a[b]").unwrap();
+    let (disk, path) = truncated_index(&doc, "twig2stack", 30);
+
+    let streams = query_streams(&doc, &disk, &gtp);
+    let err = match twig2stack::try_match_streams(
+        &doc,
+        &gtp,
+        streams,
+        MatchOptions::default(),
+        &CancelToken::never(),
+    ) {
+        Ok((rs, _)) => panic!(
+            "truncated index must not produce a result set ({} rows)",
+            rs.len()
+        ),
+        Err(e) => e,
+    };
+    match err {
+        QueryError::Stream(e) => {
+            assert!(e.context.contains("'b'"), "context names the segment: {e}");
+            assert_eq!(e.source.kind(), std::io::ErrorKind::UnexpectedEof);
+        }
+        other => panic!("expected QueryError::Stream, got {other}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The same pipelines over an intact index still succeed — the fault
+/// paths above fail because of the injected truncation, not because
+/// disk streams are unusable.
+#[test]
+fn intact_index_still_evaluates_cleanly() {
+    let doc = sample_doc();
+    let gtp = parse_twig("//a/b").unwrap();
+    let path = std::env::temp_dir().join(format!("t2s-fault-intact-{}", std::process::id()));
+    write_region_index(&doc, &path).unwrap();
+    let disk = DiskRegionIndex::open(&path).unwrap();
+
+    let streams = query_streams(&doc, &disk, &gtp)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    let mut stats = TwigStackStats::default();
+    let via_twigstack = try_twig_stack_with(&gtp, streams, PruningPolicy::Disabled, &mut stats)
+        .expect("intact index evaluates");
+    assert_eq!(via_twigstack.len(), 40, "one row per (a, b) pair");
+
+    let streams = query_streams(&doc, &disk, &gtp);
+    let (via_t2s, _) = twig2stack::try_match_streams(
+        &doc,
+        &gtp,
+        streams,
+        MatchOptions::default(),
+        &CancelToken::never(),
+    )
+    .expect("intact index evaluates");
+    assert_eq!(via_t2s.sorted(), via_twigstack.sorted());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,145 @@
+//! Differential test for the query service: many threads hammering one
+//! shared [`QueryService`] (plan cache on, contexts pooled) must produce
+//! exactly the results of serial, uncached evaluation — concurrency,
+//! caching, and arena reuse are performance features, never semantic
+//! ones.
+
+use twig2stack::{try_match_indexed, EvalContext, IndexedPlan, MatchOptions};
+use twigbench::workload::{
+    dblp, dblp_queries, treebank, treebank_queries, xmark, xmark_queries, Dataset, NamedQuery,
+    Profile,
+};
+use twigserve::{QueryService, ServiceConfig};
+use xmlindex::PruningPolicy;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 12;
+
+fn figure16_workload() -> Vec<(Dataset, Vec<NamedQuery>)> {
+    vec![
+        (dblp(Profile::Quick), dblp_queries()),
+        (xmark(Profile::Quick, 1), xmark_queries()),
+        (treebank(Profile::Quick), treebank_queries()),
+    ]
+}
+
+/// N threads through the cached, pooled service agree query-for-query
+/// with serial uncached evaluation over all nine Figure 16 queries.
+#[test]
+fn hammered_service_matches_serial_uncached_evaluation() {
+    for (ds, queries) in figure16_workload() {
+        // Serial, uncached ground truth: one fresh analysis + evaluation
+        // per query, no service in the loop.
+        let uncached = QueryService::new(
+            ds.doc.clone(),
+            ds.index.clone(),
+            ServiceConfig { plan_cache_capacity: 0, ..ServiceConfig::default() },
+        );
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|nq| {
+                let via_service = uncached.execute(nq.text).expect("serial uncached request");
+                let via_dom = twig2stack::evaluate(&ds.doc, &nq.gtp);
+                assert_eq!(via_service, via_dom, "[{}] service vs DOM oracle", nq.name);
+                via_service
+            })
+            .collect();
+
+        let svc = QueryService::new(
+            ds.doc.clone(),
+            ds.index.clone(),
+            ServiceConfig {
+                max_concurrency: THREADS,
+                max_waiting: THREADS * ROUNDS * queries.len(),
+                ..ServiceConfig::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for w in 0..THREADS {
+                let svc = &svc;
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for r in 0..ROUNDS {
+                        let i = (w + r) % queries.len();
+                        let got = svc
+                            .execute(queries[i].text)
+                            .unwrap_or_else(|e| panic!("[{}] {e}", queries[i].name));
+                        assert_eq!(
+                            &got, &expected[i],
+                            "[{} worker {w} round {r}] concurrent cached result diverged",
+                            queries[i].name
+                        );
+                    }
+                });
+            }
+        });
+
+        let stats = svc.stats();
+        let total = (THREADS * ROUNDS) as u64;
+        assert_eq!(stats.queries_admitted, total, "nothing shed under sized waiting room");
+        assert_eq!(stats.queries_rejected, 0);
+        // Every request either hit or missed; each distinct query misses
+        // at least once, and at most once per thread (the cache takes no
+        // per-key lock, so threads racing on a cold key may each run the
+        // analysis — bounded duplication, never blocking).
+        assert_eq!(stats.plan_cache_hits + stats.plan_cache_misses, total);
+        let distinct = queries.len() as u64;
+        assert!(
+            stats.plan_cache_misses >= distinct
+                && stats.plan_cache_misses <= distinct * THREADS as u64,
+            "misses: {}",
+            stats.plan_cache_misses
+        );
+        assert!(
+            stats.plan_cache_hits >= total - distinct * THREADS as u64,
+            "hits: {}",
+            stats.plan_cache_hits
+        );
+    }
+}
+
+/// A pooled [`EvalContext`] reused across every Figure 16 query of a
+/// dataset reports the same [`MatchStats`] as a fresh context per query
+/// — arena reuse changes allocation traffic, not the work counted.
+#[test]
+fn pooled_context_counters_match_fresh_context_counters() {
+    for (ds, queries) in figure16_workload() {
+        let mut pooled = EvalContext::new();
+        for nq in &queries {
+            let plan = IndexedPlan::compute(
+                &nq.gtp,
+                &ds.index,
+                ds.doc.labels(),
+                PruningPolicy::Enabled,
+            );
+            let cancel = gtpquery::CancelToken::never();
+            let (_, fresh_stats) = try_match_indexed(
+                &ds.doc,
+                &ds.index,
+                &nq.gtp,
+                MatchOptions::default(),
+                &plan,
+                None,
+                &cancel,
+            )
+            .expect("in-memory evaluation");
+            let (tm, pooled_stats) = try_match_indexed(
+                &ds.doc,
+                &ds.index,
+                &nq.gtp,
+                MatchOptions::default(),
+                &plan,
+                Some(&mut pooled),
+                &cancel,
+            )
+            .expect("in-memory evaluation");
+            assert_eq!(
+                pooled_stats, fresh_stats,
+                "[{}] pooled context must not change the counted work",
+                nq.name
+            );
+            pooled.recycle(tm);
+        }
+    }
+}
