@@ -20,6 +20,13 @@ cargo run --release -q -p twigbench --bin twigfuzz -- \
 cargo run --release -q -p twigbench --bin experiments -- --quick figS \
     > /dev/null
 
+# Figure M smoke: the mapped (v3) index vs the heap index on every
+# dataset; the driver asserts per dataset that the two arms return
+# identical result sets and identical stream counters (scanned, pruned,
+# skips), so this fails on any zero-copy read-path divergence.
+cargo run --release -q -p twigbench --bin experiments -- --quick figM \
+    > /dev/null
+
 # Serve smoke: the fixed-workload query service sweep (threads 1/2/4,
 # plan cache off/on). The driver asserts per cell that concurrent cached
 # results equal serial evaluation, zero requests were rejected, the

@@ -14,7 +14,7 @@ use crate::pathjoin::PathSolutions;
 use gtpquery::{Axis, Gtp, NodeTest, SummaryFeasibility};
 use twigobs::Counter;
 use xmlindex::{
-    ElemStream, ElementIndex, IndexedElement, PrunedStream, PruningPolicy, RegionCover,
+    ElemStream, IndexView, IndexedElement, PrunedStream, PruningPolicy, RegionCover,
 };
 use xmldom::{LabelTable, NodeId};
 
@@ -32,7 +32,11 @@ pub struct PathStackStats {
 /// Materialized per-query-node element lists (document order), including
 /// wildcard support (all labels merged). Stream construction is the "IO"
 /// phase; run it outside any timed query-processing region.
-pub fn build_streams(index: &ElementIndex, labels: &LabelTable, gtp: &Gtp) -> Vec<Vec<IndexedElement>> {
+pub fn build_streams<I: IndexView>(
+    index: &I,
+    labels: &LabelTable,
+    gtp: &Gtp,
+) -> Vec<Vec<IndexedElement>> {
     gtp.iter()
         .map(|q| match gtp.test(q) {
             NodeTest::Name(n) => labels
@@ -56,8 +60,8 @@ pub fn build_streams(index: &ElementIndex, labels: &LabelTable, gtp: &Gtp) -> Ve
 /// the index's label partitions; wildcard nodes materialize the merged
 /// label lists with infeasible elements dropped up front (counted as
 /// pruned). Shared by every `*_indexed` baseline driver.
-pub fn build_pruned_streams<'a>(
-    index: &'a ElementIndex,
+pub fn build_pruned_streams<'a, I: IndexView>(
+    index: &'a I,
     labels: &LabelTable,
     gtp: &Gtp,
     feas: Option<&'a SummaryFeasibility>,
@@ -180,11 +184,11 @@ pub fn path_stack<S: ElemStream>(
     PathSolutions { path, solutions }
 }
 
-/// [`path_stack`] driven from an [`ElementIndex`] with path-summary
+/// [`path_stack`] driven from an [`xmlindex::ElementIndex`] with path-summary
 /// pruning per `policy`. Results are identical to the unpruned run; an
 /// unsatisfiable query short-circuits without reading any stream element.
-pub fn path_stack_indexed(
-    index: &ElementIndex,
+pub fn path_stack_indexed<I: IndexView>(
+    index: &I,
     labels: &LabelTable,
     gtp: &Gtp,
     policy: PruningPolicy,
@@ -244,7 +248,7 @@ fn expand(
 mod tests {
     use super::*;
     use gtpquery::parse_twig;
-    use xmlindex::SliceStream;
+    use xmlindex::{ElementIndex, SliceStream};
     use xmldom::parse;
 
     fn run(xml: &str, query: &str) -> (PathSolutions<NodeId>, PathStackStats) {

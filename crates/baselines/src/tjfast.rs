@@ -17,7 +17,7 @@ use crate::pathjoin::{merge_join, root_to_leaf_paths, JoinStats, PathSolutions};
 use gtpquery::{Axis, Cell, Gtp, NodeTest, QueryAnalysis, ResultSet, Role, SummaryFeasibility};
 use std::collections::HashMap;
 use twigobs::Counter;
-use xmlindex::{DeweyIndex, PathSummary, PruningPolicy};
+use xmlindex::{DeweyIndex, PruningPolicy, SummaryRef};
 use xmldom::{LabelTable, NodeId};
 
 /// Statistics from a TJFast run.
@@ -81,7 +81,7 @@ fn solutions_pruned(
     gtp: &Gtp,
     index: &DeweyIndex,
     labels: &LabelTable,
-    pruner: Option<(&PathSummary, &SummaryFeasibility)>,
+    pruner: Option<(SummaryRef<'_>, &SummaryFeasibility)>,
     stats: &mut TJFastStats,
 ) -> Vec<PathSolutions<DeweyKey>> {
     assert!(
@@ -290,7 +290,7 @@ pub fn tj_fast(
 pub fn tj_fast_indexed(
     gtp: &Gtp,
     index: &DeweyIndex,
-    summary: &PathSummary,
+    summary: SummaryRef<'_>,
     labels: &LabelTable,
     resolver: &DeweyResolver,
     policy: PruningPolicy,

@@ -19,7 +19,7 @@ use crate::pathstack::build_pruned_streams;
 use gtpquery::{
     Axis, Cell, Gtp, QNodeId, QueryAnalysis, QueryError, ResultSet, Role, SummaryFeasibility,
 };
-use xmlindex::{ElemStream, ElementIndex, IndexedElement, PruningPolicy};
+use xmlindex::{ElemStream, IndexView, IndexedElement, PruningPolicy};
 use xmldom::{LabelTable, NodeId};
 
 /// Statistics from a TwigStack run.
@@ -359,13 +359,13 @@ pub fn try_twig_stack_with<S: ElemStream>(
     Ok(rs)
 }
 
-/// [`twig_stack`] driven from an [`ElementIndex`] with path-summary
+/// [`twig_stack`] driven from an [`xmlindex::ElementIndex`] with path-summary
 /// pruning per `policy`: per-query-node streams restricted to each node's
 /// feasible summary ids, galloping past regions no candidate root spans.
 /// Results are identical to the unpruned run; an unsatisfiable query
 /// short-circuits without reading any stream element.
-pub fn twig_stack_indexed(
-    index: &ElementIndex,
+pub fn twig_stack_indexed<I: IndexView>(
+    index: &I,
     labels: &LabelTable,
     gtp: &Gtp,
     policy: PruningPolicy,

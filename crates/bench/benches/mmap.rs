@@ -1,0 +1,115 @@
+//! Criterion bench for the zero-copy mapped (v3) index: cold start to
+//! first answer — heap build vs map-and-verify — at quick and scaled
+//! (~100× quick, XMark s=32) document sizes.
+//!
+//! Besides the console report, the run exports `BENCH_mmap.json` at the
+//! repo root (schema `twig2stack.bench/v1`) with both profiles' Figure M
+//! rows — cold-start wall time per arm, heap vs file vs resident bytes,
+//! and the pruned-stream counters (asserted identical between arms by
+//! `figm` itself) — so future changes have a recorded trajectory:
+//!
+//! ```text
+//! cargo bench -p twigbench --bench mmap
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use twig2stack::evaluate_indexed;
+use twigbench::workload::{documents, Profile};
+use twigbench::{figm, FigMRow};
+use xmlindex::{write_mapped_index, ElementIndex, MappedIndex, PruningPolicy};
+
+/// Cold start per arm under the criterion harness: quick-profile
+/// documents only (the scaled rows come from `figm` in `export_json`,
+/// best-of-3, to keep the harness run in seconds).
+fn cold_start(c: &mut Criterion) {
+    for (name, doc) in &documents(Profile::Quick) {
+        let path = std::env::temp_dir().join(format!(
+            "t2s-bench-mmap-{}-{name}.t2sidx",
+            std::process::id()
+        ));
+        write_mapped_index(doc, &path).unwrap();
+        let first = first_query(name);
+
+        let mut group = c.benchmark_group(format!("mmap/cold_start/{name}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(100))
+            .measurement_time(Duration::from_millis(400));
+        group.bench_with_input(BenchmarkId::new("arm", "heap_build"), doc, |b, doc| {
+            b.iter(|| {
+                let index = ElementIndex::build(doc);
+                evaluate_indexed(doc, &index, &first, PruningPolicy::Enabled).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arm", "mapped_open"), doc, |b, doc| {
+            b.iter(|| {
+                let mapped = MappedIndex::open(&path).unwrap();
+                evaluate_indexed(doc, &mapped, &first, PruningPolicy::Enabled).len()
+            })
+        });
+        group.finish();
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The dataset's first Figure 15 query (the one `figm` boots with).
+fn first_query(dataset: &str) -> gtpquery::Gtp {
+    use twigbench::workload::{dblp_queries, treebank_queries, xmark_queries};
+    let set = match dataset {
+        "DBLP" => dblp_queries(),
+        "XMark" => xmark_queries(),
+        _ => treebank_queries(),
+    };
+    set[0].gtp.clone()
+}
+
+fn push_rows(json: &mut String, rows: &[FigMRow]) {
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"elements\": {}, \"heap_cold_ns\": {}, \"mapped_cold_ns\": {}, \"heap_bytes\": {}, \"file_bytes\": {}, \"resident_bytes\": {}, \"scanned\": {}, \"stream_skips\": {}, \"results\": {}}}{}\n",
+            r.dataset,
+            r.elements,
+            r.heap_cold.as_nanos(),
+            r.mapped_cold.as_nanos(),
+            r.heap_bytes,
+            r.file_bytes,
+            r.resident_bytes,
+            r.scanned_mapped,
+            r.skips_mapped,
+            r.results,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+}
+
+/// Export `BENCH_mmap.json` at the repo root: the Figure M rows at both
+/// the quick and the scaled (~100×) profile. `figm` asserts inside that
+/// the mapped arm's results and stream counters are byte-identical to
+/// the heap arm's, so every number below describes verified-equivalent
+/// executions.
+fn export_json(_c: &mut Criterion) {
+    let mut json = String::from("{\n  \"schema\": \"twig2stack.bench/v1\",\n");
+    json.push_str("  \"name\": \"mmap\",\n");
+
+    json.push_str("  \"quick\": [\n");
+    let (quick_rows, _) = figm(Profile::Quick);
+    push_rows(&mut json, &quick_rows);
+    json.push_str("  ],\n");
+
+    json.push_str("  \"scaled\": [\n");
+    let (scaled_rows, _) = figm(Profile::Scaled);
+    push_rows(&mut json, &scaled_rows);
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_mmap.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, cold_start, export_json);
+criterion_main!(benches);

@@ -2,11 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|figS|figT|table1|all]
+//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figM|figP|figS|figT|table1|all]
 //! ```
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
-//! uses laptop-scale documents comparable in spirit to the paper's setup.
+//! uses laptop-scale documents comparable in spirit to the paper's setup;
+//! `--scaled` grows every dataset ~100× past quick (XMark at s=32,
+//! millions of elements) for the figM/figS boot-cost and skip-scan runs.
 //!
 //! Every figure/table run also writes an observability sidecar
 //! `target/metrics/<name>.<run-id>.metrics.json` (schema
@@ -20,9 +22,8 @@ use twigbench::workload::Profile;
 
 /// Drain this run's obs metrics into
 /// `target/metrics/<name>.<run-id>.metrics.json`.
-fn emit_sidecar(name: &str, quick: bool) {
-    let profile = if quick { "quick" } else { "full" };
-    match twigbench::write_sidecar(name, profile) {
+fn emit_sidecar(name: &str, profile: Profile) {
+    match twigbench::write_sidecar(name, profile.name()) {
         Ok(path) => println!("metrics sidecar: {}\n", path.display()),
         Err(e) => eprintln!("warning: no metrics sidecar for {name}: {e}"),
     }
@@ -31,7 +32,12 @@ fn emit_sidecar(name: &str, quick: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let scaled = args.iter().any(|a| a == "--scaled");
+    let profile = match (quick, scaled) {
+        (true, _) => Profile::Quick,
+        (false, true) => Profile::Scaled,
+        (false, false) => Profile::Full,
+    };
     let what: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -45,58 +51,63 @@ fn main() {
     if !what.iter().all(|w| {
         matches!(
             *w,
-            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figP" | "figS"
-                | "figT" | "table1"
+            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figM" | "figP"
+                | "figS" | "figT" | "table1"
         )
     }) {
         eprintln!(
-            "usage: experiments [--quick] [fig14|fig15|fig16|fig17|fig18|fig19|figP|figS|figT|table1|all]"
+            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figM|figP|figS|figT|table1|all]"
         );
         std::process::exit(2);
     }
 
     println!(
         "Twig2Stack reproduction — evaluation harness (profile: {})\n",
-        if quick { "quick" } else { "full" }
+        profile.name()
     );
 
     if wants("fig14") {
         println!("{}", twigbench::fig14(profile));
-        emit_sidecar("fig14", quick);
+        emit_sidecar("fig14", profile);
     }
     if wants("fig15") {
         println!("{}", twigbench::fig15());
-        emit_sidecar("fig15", quick);
+        emit_sidecar("fig15", profile);
     }
     if wants("fig16") {
         let (_, report) = twigbench::fig16(profile);
         println!("{report}");
-        emit_sidecar("fig16", quick);
+        emit_sidecar("fig16", profile);
     }
     if wants("fig17") {
         let (_, report) = twigbench::fig17(profile, &[1, 2, 3, 4, 5]);
         println!("{report}");
-        emit_sidecar("fig17", quick);
+        emit_sidecar("fig17", profile);
     }
     if wants("fig18") {
         let (_, report) = twigbench::fig18(profile);
         println!("{report}");
-        emit_sidecar("fig18", quick);
+        emit_sidecar("fig18", profile);
     }
     if wants("fig19") {
         let (_, report) = twigbench::fig19(profile);
         println!("{report}");
-        emit_sidecar("fig19", quick);
+        emit_sidecar("fig19", profile);
+    }
+    if wants("figM") {
+        let (_, report) = twigbench::figm(profile);
+        println!("{report}");
+        emit_sidecar("figM", profile);
     }
     if wants("figP") {
         let (_, report) = twigbench::figp(profile, &[1, 2, 3, 4], &[1, 2, 3, 4, 5, 6, 7, 8]);
         println!("{report}");
-        emit_sidecar("figP", quick);
+        emit_sidecar("figP", profile);
     }
     if wants("figS") {
         let (_, report) = twigbench::figs(profile);
         println!("{report}");
-        emit_sidecar("figS", quick);
+        emit_sidecar("figS", profile);
     }
     if wants("figT") {
         let (_, report) = twigbench::figt(profile, &[1, 2, 4]);
@@ -104,11 +115,11 @@ fn main() {
         // Named "serve": the sidecar carries the service-layer counters
         // (plan_cache_hits/misses/evictions, queries_admitted/rejected,
         // deadline_exceeded) next to the engine counters.
-        emit_sidecar("serve", quick);
+        emit_sidecar("serve", profile);
     }
     if wants("table1") {
         let (_, report) = twigbench::table1(profile);
         println!("{report}");
-        emit_sidecar("table1", quick);
+        emit_sidecar("table1", profile);
     }
 }

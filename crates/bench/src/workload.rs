@@ -74,40 +74,83 @@ impl Dataset {
 }
 
 /// Size profile: `Quick` for test suites and CI, `Full` for the paper-shape
-/// experiment runs.
+/// experiment runs, `Scaled` for the ~100× mmap cold-start study (Fig M).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {
     /// Small documents (~5k elements): seconds for the whole suite.
     Quick,
     /// Laptop-scale documents (~100-400k elements).
     Full,
+    /// ~100× the quick documents (XMark at s≥32, DBLP/TreeBank grown to
+    /// match, millions of elements): large enough that index boot cost —
+    /// parse-and-build vs map-and-verify — dominates the first query.
+    Scaled,
+}
+
+impl Profile {
+    /// Lower-case name used in sidecars and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+            Profile::Scaled => "scaled",
+        }
+    }
+}
+
+/// The generator configuration behind [`dblp`].
+pub fn dblp_config(profile: Profile) -> DblpConfig {
+    match profile {
+        Profile::Quick => DblpConfig { inproceedings: 260, articles: 200, seed: 0x1db1 },
+        Profile::Full => DblpConfig { inproceedings: 16000, articles: 12000, seed: 0x1db1 },
+        Profile::Scaled => DblpConfig { inproceedings: 26000, articles: 20000, seed: 0x1db1 },
+    }
 }
 
 /// The DBLP stand-in dataset.
 pub fn dblp(profile: Profile) -> Dataset {
-    let cfg = match profile {
-        Profile::Quick => DblpConfig { inproceedings: 260, articles: 200, seed: 0x1db1 },
-        Profile::Full => DblpConfig { inproceedings: 16000, articles: 12000, seed: 0x1db1 },
-    };
-    Dataset::new("DBLP", generate_dblp(&cfg))
+    Dataset::new("DBLP", generate_dblp(&dblp_config(profile)))
+}
+
+/// The generator configuration behind [`treebank`].
+pub fn treebank_config(profile: Profile) -> TreebankConfig {
+    match profile {
+        Profile::Quick => TreebankConfig { sentences: 120, max_depth: 30, seed: 0x7b },
+        Profile::Full => TreebankConfig { sentences: 7000, max_depth: 36, seed: 0x7b },
+        Profile::Scaled => TreebankConfig { sentences: 12000, max_depth: 36, seed: 0x7b },
+    }
 }
 
 /// The TreeBank stand-in dataset.
 pub fn treebank(profile: Profile) -> Dataset {
-    let cfg = match profile {
-        Profile::Quick => TreebankConfig { sentences: 120, max_depth: 30, seed: 0x7b },
-        Profile::Full => TreebankConfig { sentences: 7000, max_depth: 36, seed: 0x7b },
-    };
-    Dataset::new("TreeBank", generate_treebank(&cfg))
+    Dataset::new("TreeBank", generate_treebank(&treebank_config(profile)))
+}
+
+/// The generator configuration behind [`xmark`].
+pub fn xmark_config(profile: Profile, scale: usize) -> XmarkConfig {
+    match profile {
+        Profile::Quick => XmarkConfig { scale, ..XmarkConfig::tiny(0xa0c) },
+        Profile::Full => XmarkConfig::at_scale(scale),
+        // The scaled profile pins s ≥ 32 regardless of the requested
+        // scale: Fig M's point is boot cost at ~100× quick size.
+        Profile::Scaled => XmarkConfig::at_scale(scale.max(32)),
+    }
 }
 
 /// The XMark stand-in dataset at a given scale factor.
 pub fn xmark(profile: Profile, scale: usize) -> Dataset {
-    let cfg = match profile {
-        Profile::Quick => XmarkConfig { scale, ..XmarkConfig::tiny(0xa0c) },
-        Profile::Full => XmarkConfig::at_scale(scale),
-    };
-    Dataset::new(format!("XMark(s={scale})"), generate_xmark(&cfg))
+    Dataset::new(format!("XMark(s={scale})"), generate_xmark(&xmark_config(profile, scale)))
+}
+
+/// Generate only the documents of the three Figure 14 datasets (XMark at
+/// scale 1, or s=32 under [`Profile::Scaled`]), without building any
+/// index — for experiments that time index construction itself (Fig M).
+pub fn documents(profile: Profile) -> Vec<(String, Document)> {
+    vec![
+        ("DBLP".to_string(), generate_dblp(&dblp_config(profile))),
+        ("XMark".to_string(), generate_xmark(&xmark_config(profile, 1))),
+        ("TreeBank".to_string(), generate_treebank(&treebank_config(profile))),
+    ]
 }
 
 /// One named query of Figure 15.

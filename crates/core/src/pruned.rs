@@ -1,6 +1,6 @@
 //! Index-backed, path-summary-pruned Twig²Stack evaluation.
 //!
-//! [`evaluate_indexed`] drives the [`Matcher`] from an [`ElementIndex`]
+//! [`evaluate_indexed`] drives the [`Matcher`] from an [`xmlindex::ElementIndex`]
 //! instead of a DOM walk. The planner side lives in
 //! [`gtpquery::SummaryFeasibility`]: the GTP is evaluated over the
 //! document's path summary (strong DataGuide), yielding per query node the
@@ -49,7 +49,9 @@ use crate::enumerate::enumerate;
 use crate::matcher::{MatchOptions, MatchStats, Matcher, TwigMatch};
 use gtpquery::{CancelToken, Gtp, LabelDispatch, QueryError, ResultSet, SummaryFeasibility};
 use xmldom::{Document, Label, LabelTable, NodeId, Region};
-use xmlindex::{ElemStream, ElementIndex, PruningPolicy, RegionCover, SummarySet};
+use xmlindex::{
+    filter_worthwhile, ElemStream, IndexView, PruningPolicy, RegionCover, SummarySet,
+};
 
 /// A reusable, document-lifetime-free evaluation plan for one (query,
 /// index) pair: per-label summary filters plus the candidate-root region
@@ -66,9 +68,9 @@ impl IndexedPlan {
     /// Analyze `gtp` against `index`'s path summary and build the stream
     /// plan. With [`PruningPolicy::Disabled`] the plan still lists the
     /// labels to scan but carries no filters or cover (the A/B baseline).
-    pub fn compute(
+    pub fn compute<I: IndexView>(
         gtp: &Gtp,
-        index: &ElementIndex,
+        index: &I,
         labels: &LabelTable,
         policy: PruningPolicy,
     ) -> Self {
@@ -87,13 +89,25 @@ impl IndexedPlan {
             .map(Label::from_index)
             .filter(|&l| !dispatch.query_nodes(l).is_empty())
             .map(|l| {
-                let filter = feas.as_ref().map(|f| {
-                    let mut set = SummarySet::empty(summary.len());
-                    for &q in dispatch.query_nodes(l) {
-                        set.union(f.feasible(q));
-                    }
-                    set
-                });
+                let filter = feas
+                    .as_ref()
+                    .map(|f| {
+                        let mut set = SummarySet::empty(summary.len());
+                        for &q in dispatch.query_nodes(l) {
+                            set.union(f.feasible(q));
+                        }
+                        set
+                    })
+                    // A filter that admits (nearly) every posting of the
+                    // label prunes nothing yet taxes every element with a
+                    // sid lookup — drop it (widening a filter is always
+                    // sound: supersets never change a matcher's output).
+                    .filter(|set| {
+                        filter_worthwhile(
+                            set.element_count(summary),
+                            index.count(l) as u64,
+                        )
+                    });
                 (l, filter)
             })
             .collect();
@@ -125,9 +139,9 @@ impl IndexedPlan {
 /// [`match_document`](crate::match_document) (same stacks, same result
 /// edges), but reads only summary-feasible elements inside candidate root
 /// regions when pruning is enabled.
-pub fn match_indexed<'g>(
+pub fn match_indexed<'g, I: IndexView>(
     doc: &'g Document,
-    index: &ElementIndex,
+    index: &I,
     gtp: &'g Gtp,
     options: MatchOptions,
     policy: PruningPolicy,
@@ -141,9 +155,9 @@ pub fn match_indexed<'g>(
 /// [`IndexedPlan`], optionally drawing matcher arenas from a pooled
 /// [`EvalContext`] (pass `Some` and [`EvalContext::recycle`] the returned
 /// encoding to stop touching the allocator in steady state).
-pub fn try_match_indexed<'g>(
+pub fn try_match_indexed<'g, I: IndexView>(
     doc: &'g Document,
-    index: &ElementIndex,
+    index: &I,
     gtp: &'g Gtp,
     options: MatchOptions,
     plan: &IndexedPlan,
@@ -202,9 +216,9 @@ pub fn try_match_streams<'g, S: ElemStream>(
 /// (matcher dispatch ignores foreign labels, and a superset of feasible
 /// elements never changes a matcher's output). Unsatisfiable members cost
 /// nothing and return empty encodings.
-pub fn try_match_indexed_group<'g>(
+pub fn try_match_indexed_group<'g, I: IndexView>(
     doc: &'g Document,
-    index: &ElementIndex,
+    index: &I,
     queries: &[(&'g Gtp, &IndexedPlan)],
     options: MatchOptions,
     cancel: &CancelToken,
@@ -313,9 +327,9 @@ fn try_drive<'g, S: ElemStream>(
 /// With [`PruningPolicy::Enabled`] this is the fully pruned pipeline; with
 /// [`PruningPolicy::Disabled`] it reads the full label streams (the A/B
 /// baseline) — both return exactly [`evaluate`](crate::evaluate)'s result.
-pub fn evaluate_indexed(
+pub fn evaluate_indexed<I: IndexView>(
     doc: &Document,
-    index: &ElementIndex,
+    index: &I,
     gtp: &Gtp,
     policy: PruningPolicy,
 ) -> ResultSet {
@@ -329,6 +343,7 @@ mod tests {
     use crate::evaluate;
     use gtpquery::parse_twig;
     use xmldom::parse;
+    use xmlindex::ElementIndex;
 
     #[test]
     fn indexed_matches_dom_walk_on_and_off() {
@@ -355,6 +370,40 @@ mod tests {
         for policy in [PruningPolicy::Enabled, PruningPolicy::Disabled] {
             assert_eq!(evaluate_indexed(&doc, &index, &gtp, policy), expected);
         }
+    }
+
+    #[test]
+    fn full_coverage_filter_is_dropped() {
+        // Every <b> lies on a feasible path for //a//b, so a summary
+        // filter would admit 100% of the label's postings while taxing
+        // each with a sid lookup (the XMark-Q2 regression: pruned slower
+        // than full scan with elements_pruned == 0). The plan must drop
+        // such a filter: zero pruning ⇒ zero per-element extra work.
+        let doc = parse("<a><b/><b/><b/><c><b/></c></a>").unwrap();
+        let index = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let gtp = parse_twig("//a//b").unwrap();
+        let plan = IndexedPlan::compute(&gtp, &index, doc.labels(), PruningPolicy::Enabled);
+        for (l, filter) in plan.stream_plan() {
+            if *l == b {
+                assert!(filter.is_none(), "full-coverage filter must be dropped");
+            }
+        }
+        assert_eq!(
+            evaluate_indexed(&doc, &index, &gtp, PruningPolicy::Enabled),
+            evaluate(&doc, &gtp)
+        );
+        // A selective query (1 of 4 b's feasible) must keep its filter.
+        let gtp2 = parse_twig("//c/b").unwrap();
+        let plan2 = IndexedPlan::compute(&gtp2, &index, doc.labels(), PruningPolicy::Enabled);
+        assert!(
+            plan2.stream_plan().iter().any(|(l, f)| *l == b && f.is_some()),
+            "selective filter must be kept"
+        );
+        assert_eq!(
+            evaluate_indexed(&doc, &index, &gtp2, PruningPolicy::Enabled),
+            evaluate(&doc, &gtp2)
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The seven metamorphic invariants checked per (document, query) pair.
+//! The eight metamorphic invariants checked per (document, query) pair.
 //!
 //! Each invariant encodes a correctness claim of the paper (references
 //! per variant below; the full table lives in DESIGN.md §8). An
@@ -22,7 +22,7 @@ use twigbaselines::{
     TwigStackStats,
 };
 use xmldom::{write, Document, Indent};
-use xmlindex::{DeweyIndex, ElementIndex, PruningPolicy, SliceStream};
+use xmlindex::{DeweyIndex, ElementIndex, MappedIndex, PruningPolicy, SliceStream};
 
 /// The metamorphic invariants, in report order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,11 +51,15 @@ pub enum Invariant {
     /// pruning soundness claim; feasible sets over-approximate match
     /// projections).
     PrunedVsUnpruned,
+    /// The zero-copy mapped (v3) index is indistinguishable from the
+    /// heap index: byte-equal results, equal matcher work, and equal
+    /// scan/skip counters, pruned and unpruned.
+    MappedVsHeap,
 }
 
 impl Invariant {
     /// Every invariant, in report order.
-    pub const ALL: [Invariant; 7] = [
+    pub const ALL: [Invariant; 8] = [
         Invariant::CrossEngine,
         Invariant::CountConsistency,
         Invariant::ExistenceConsistency,
@@ -63,6 +67,7 @@ impl Invariant {
         Invariant::SerialVsParallel,
         Invariant::PredicateWeakening,
         Invariant::PrunedVsUnpruned,
+        Invariant::MappedVsHeap,
     ];
 
     /// Stable snake_case name (used in `.t2s` corpus files and the obs
@@ -76,6 +81,7 @@ impl Invariant {
             Invariant::SerialVsParallel => "serial_vs_parallel",
             Invariant::PredicateWeakening => "predicate_weakening",
             Invariant::PrunedVsUnpruned => "pruned_vs_unpruned",
+            Invariant::MappedVsHeap => "mapped_vs_heap",
         }
     }
 
@@ -142,6 +148,7 @@ pub fn check(doc: &Document, gtp: &Gtp, inv: Invariant) -> Outcome {
         Invariant::SerialVsParallel => serial_vs_parallel(doc, gtp),
         Invariant::PredicateWeakening => predicate_weakening(doc, gtp, &analysis),
         Invariant::PrunedVsUnpruned => pruned_vs_unpruned(doc, gtp),
+        Invariant::MappedVsHeap => mapped_vs_heap(doc, gtp),
     }
 }
 
@@ -436,6 +443,98 @@ fn pruned_vs_unpruned(doc: &Document, gtp: &Gtp) -> Outcome {
         }
     }
     Outcome::Passed
+}
+
+/// Zero-copy equivalence: round-trip the document through the v3 mapped
+/// format and re-evaluate — results must be byte-identical to the heap
+/// index's, the matcher must do identical work, and (when the obs layer
+/// is compiled in) the streams must scan and skip exactly the same
+/// element counts. Catches any divergence between the two backends'
+/// postings, block-max tables, or summaries.
+fn mapped_vs_heap(doc: &Document, gtp: &Gtp) -> Outcome {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    let expected = evaluate(doc, gtp);
+    if expected.len() > MAX_ROWS {
+        return Outcome::Skipped("result set too large for the smoke budget");
+    }
+    let path = std::env::temp_dir().join(format!(
+        "t2s-fuzz-mapped-{}-{}.t2sidx",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if let Err(e) = xmlindex::write_mapped_index(doc, &path) {
+        return Outcome::Failed(format!("v3 write failed: {e}"));
+    }
+    let mapped = match MappedIndex::open(&path) {
+        Ok(m) => m,
+        Err(e) => {
+            std::fs::remove_file(&path).ok();
+            return Outcome::Failed(format!("v3 open failed: {e}"));
+        }
+    };
+    let index = ElementIndex::build(doc);
+    // Bracket each arm's counters with take(), accumulating into a local
+    // carry that is re-absorbed once at the end — absorbing between
+    // iterations would leak one arm's counts into the next comparison.
+    let mut carried = twigobs::take();
+    let mut failure = None;
+    for policy in [PruningPolicy::Enabled, PruningPolicy::Disabled] {
+        let (tm, hs) = twig2stack::match_indexed(doc, &index, gtp, MatchOptions::default(), policy);
+        let heap_rs = enumerate(&tm);
+        let heap_obs = twigobs::take();
+        let (tm, ms) = twig2stack::match_indexed(doc, &mapped, gtp, MatchOptions::default(), policy);
+        let mapped_rs = enumerate(&tm);
+        let mapped_obs = twigobs::take();
+        carried.merge(&heap_obs);
+        carried.merge(&mapped_obs);
+        if mapped_rs != heap_rs {
+            failure = Some(format!(
+                "mapped != heap results under {policy:?}: {} vs {} rows",
+                mapped_rs.len(),
+                heap_rs.len()
+            ));
+            break;
+        }
+        if mapped_rs != expected {
+            failure = Some(format!(
+                "mapped != oracle under {policy:?}: {} vs {} rows",
+                mapped_rs.len(),
+                expected.len()
+            ));
+            break;
+        }
+        if ms != hs {
+            failure = Some(format!(
+                "matcher work differs under {policy:?}: {ms:?} vs {hs:?}"
+            ));
+            break;
+        }
+        for c in [
+            twigobs::Counter::ElementsScanned,
+            twigobs::Counter::ElementsPruned,
+            twigobs::Counter::StreamSkips,
+        ] {
+            if mapped_obs.get(c) != heap_obs.get(c) {
+                failure = Some(format!(
+                    "counter {c:?} differs under {policy:?}: {} vs {}",
+                    mapped_obs.get(c),
+                    heap_obs.get(c)
+                ));
+                break;
+            }
+        }
+        if failure.is_some() {
+            break;
+        }
+    }
+    twigobs::absorb(&carried);
+    std::fs::remove_file(&path).ok();
+    match failure {
+        Some(msg) => Outcome::Failed(msg),
+        None => Outcome::Passed,
+    }
 }
 
 #[cfg(test)]

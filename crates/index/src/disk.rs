@@ -527,6 +527,69 @@ mod tests {
     }
 
     #[test]
+    fn disk_skip_to_keeps_record_ending_exactly_at_target() {
+        // Equal boundary: skip_to discards only right < left, so a
+        // record with right == target must survive — same semantics the
+        // in-memory galloping streams pin in stream.rs.
+        let doc = parse("<a><b><c/></b><b/><d/></a>").unwrap();
+        let path = tmpfile("regions-eq.idx");
+        write_region_index(&doc, &path).unwrap();
+        let disk = DiskRegionIndex::open(&path).unwrap();
+        let mem = ElementIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let first_b = mem.elements(b)[0];
+        let mut s = disk.stream("b").unwrap();
+        assert_eq!(s.skip_to(first_b.region.right), 0, "right == target is kept");
+        assert_eq!(s.next_elem().unwrap(), first_b);
+        // One past the boundary discards it.
+        let mut s = disk.stream("b").unwrap();
+        assert_eq!(s.skip_to(first_b.region.right + 1), 1);
+        assert_eq!(s.next_elem().unwrap(), mem.elements(b)[1]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_skip_to_after_exhaustion_is_a_noop() {
+        let doc = parse("<a><b/><b/></a>").unwrap();
+        let path = tmpfile("regions-eof.idx");
+        write_region_index(&doc, &path).unwrap();
+        let disk = DiskRegionIndex::open(&path).unwrap();
+        let mut s = disk.stream("b").unwrap();
+        assert_eq!(s.skip_to(u32::MAX), 2, "everything bypassed");
+        assert!(s.is_eof());
+        assert_eq!(s.skip_to(u32::MAX), 0, "post-exhaustion skip is a no-op");
+        assert_eq!(s.skip_to(0), 0);
+        assert!(s.next_elem().is_none());
+        assert!(s.error().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_skip_to_crosses_multiple_blocks_like_memory_stream() {
+        // A stream long enough to span several in-memory skip blocks:
+        // the sequential disk skip and the galloping heap skip must
+        // bypass the same count and surface the same head.
+        let n = 3 * crate::stream::SKIP_BLOCK + 7;
+        let mut xml = String::from("<a>");
+        for _ in 0..n {
+            xml.push_str("<b/>");
+        }
+        xml.push_str("<c/></a>");
+        let doc = parse(&xml).unwrap();
+        let path = tmpfile("regions-blocks.idx");
+        write_region_index(&doc, &path).unwrap();
+        let disk = DiskRegionIndex::open(&path).unwrap();
+        let mem = ElementIndex::build(&doc);
+        let (b, c) = (doc.labels().get("b").unwrap(), doc.labels().get("c").unwrap());
+        let target = mem.elements(c)[0].region.left;
+        let mut ds = disk.stream("b").unwrap();
+        let mut ms = mem.stream(b);
+        assert_eq!(ds.skip_to(target), ms.skip_to(target));
+        assert_eq!(ds.next_elem(), ms.next_elem());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn absent_label_yields_empty_stream() {
         let doc = parse("<a><b/></a>").unwrap();
         let path = tmpfile("regions2.idx");

@@ -13,8 +13,14 @@
 //!   (TJFast's access path: leaf streams only, fatter records);
 //! * [`summary`] — the structural path summary (strong DataGuide): a tiny
 //!   tree of distinct label paths with a summary id per element, the basis
-//!   for query-pruned streams and region skip-scan.
-#![forbid(unsafe_code)]
+//!   for query-pruned streams and region skip-scan;
+//! * [`v3`] — the zero-copy mapped index format: one aligned checksummed
+//!   file whose sections *are* the in-memory arrays, opened by `mmap`
+//!   instead of parsing.
+//!
+//! Unsafe code is denied crate-wide with one audited exception: the
+//! plain-old-data cast module inside [`v3`] (see its safety notes).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dewey;
@@ -22,6 +28,7 @@ pub mod disk;
 pub mod schema;
 pub mod stream;
 pub mod summary;
+pub mod v3;
 
 pub use dewey::{is_dewey_ancestor, is_dewey_parent, DeweyElement, DeweyIndex};
 pub use disk::{
@@ -30,7 +37,10 @@ pub use disk::{
 };
 pub use schema::Schema;
 pub use stream::{
-    ElemStream, ElementIndex, EmptyStream, IndexedElement, PrunedStream, PruningPolicy, ScanCost,
-    SliceStream, StreamError,
+    filter_worthwhile, ElemStream, ElementIndex, EmptyStream, IndexView, IndexedElement,
+    PrunedStream, PruningPolicy, ScanCost, SliceStream, StreamError,
 };
-pub use summary::{PathSummary, RegionCover, SummaryNode, SummarySet};
+pub use summary::{PathSummary, RegionCover, SummaryNode, SummaryRef, SummarySet};
+pub use v3::{
+    write_mapped_index, write_mapped_index_from, MappedIndex, MappedOpenError, SectionId,
+};

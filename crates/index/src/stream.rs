@@ -7,7 +7,7 @@
 //! the stream abstraction and the in-memory index; [`crate::disk`] provides
 //! the same streams from an on-disk file with IO accounting.
 
-use crate::summary::{PathSummary, RegionCover, SummarySet};
+use crate::summary::{PathSummary, RegionCover, SummaryRef, SummarySet};
 use std::fmt;
 use std::io;
 use twigobs::Counter;
@@ -50,7 +50,13 @@ impl std::error::Error for StreamError {
 }
 
 /// One element as stored in an index: identity + region encoding.
+///
+/// `#[repr(C)]` with four `u32` fields (id, left, right, level) in
+/// declaration order: exactly the 16-byte little-endian record the v3
+/// mapped index stores, so a mapped elements section casts directly to
+/// `&[IndexedElement]` (see [`crate::v3`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct IndexedElement {
     /// Document node id (pre-order ordinal).
     pub id: NodeId,
@@ -61,6 +67,10 @@ pub struct IndexedElement {
 /// Size of one serialized element record: id, left, right, level, and the
 /// element's path-summary id (see [`crate::disk`]).
 pub const ELEMENT_RECORD_BYTES: usize = 20;
+
+/// Size of one mapped element record (v3): id, left, right, level — the
+/// summary id lives in a parallel array there.
+pub const ELEMENT_MAPPED_BYTES: usize = 16;
 
 /// Elements per skip block: [`ElementIndex`] keeps the max `right` of each
 /// aligned block of this many elements, so [`ElemStream::skip_to`] can
@@ -276,8 +286,14 @@ impl ElementIndex {
         self.by_label.len()
     }
 
-    /// The document's path summary.
-    pub fn summary(&self) -> &PathSummary {
+    /// Borrowed view of the document's path summary.
+    pub fn summary(&self) -> SummaryRef<'_> {
+        self.summary.view()
+    }
+
+    /// The owned path summary (the view in [`summary`](Self::summary) is
+    /// what consumers want; this is for serialization).
+    pub fn path_summary(&self) -> &PathSummary {
         &self.summary
     }
 
@@ -285,6 +301,21 @@ impl ElementIndex {
     /// [`elements`](Self::elements).
     pub fn sids(&self, label: Label) -> &[u32] {
         self.sids.get(label.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Per-block max-`right` table for `label` ([`SKIP_BLOCK`]-element
+    /// blocks), parallel to [`elements`](Self::elements).
+    pub fn blocks(&self, label: Label) -> &[u32] {
+        self.blocks.get(label.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total heap bytes held by the index's posting, sid, and block
+    /// arrays (the payload a mapped v3 index avoids materializing).
+    pub fn heap_bytes(&self) -> usize {
+        let elems: usize = self.by_label.iter().map(|v| v.len() * ELEMENT_MAPPED_BYTES).sum();
+        let sids: usize = self.sids.iter().map(|v| v.len() * 4).sum();
+        let blocks: usize = self.blocks.iter().map(|v| v.len() * 4).sum();
+        elems + sids + blocks
     }
 
     /// A pruned, skip-capable stream over the elements with `label`.
@@ -304,6 +335,104 @@ impl ElementIndex {
         };
         PrunedStream::borrowed(items, sids, blocks, filter, cover)
     }
+}
+
+/// Read-only access-path surface shared by the heap [`ElementIndex`] and
+/// the zero-copy [`MappedIndex`](crate::v3::MappedIndex).
+///
+/// Everything the engines need — label-partitioned posting slices, the
+/// parallel summary-id and block-max arrays, and the path-summary view —
+/// is exposed as borrowed slices, so a generic driver cannot tell whether
+/// the bytes live on the heap or in a mapped file. The stream
+/// constructors are provided methods: both backends produce the *same*
+/// [`SliceStream`]/[`PrunedStream`] types over their slices, which is the
+/// whole trick behind "all four engines run zero-copy".
+pub trait IndexView {
+    /// All elements with `label`, in document order.
+    fn elements(&self, label: Label) -> &[IndexedElement];
+
+    /// Summary ids of the elements with `label`, parallel to
+    /// [`elements`](Self::elements).
+    fn sids(&self, label: Label) -> &[u32];
+
+    /// Per-block max-`right` table for `label` ([`SKIP_BLOCK`]-element
+    /// blocks), parallel to [`elements`](Self::elements).
+    fn blocks(&self, label: Label) -> &[u32];
+
+    /// Borrowed view of the document's path summary.
+    fn summary(&self) -> SummaryRef<'_>;
+
+    /// Number of labels the index covers.
+    fn label_count(&self) -> usize;
+
+    /// Number of elements stored for `label`.
+    fn count(&self, label: Label) -> usize {
+        self.elements(label).len()
+    }
+
+    /// A stream over the elements with `label`.
+    fn stream(&self, label: Label) -> SliceStream<'_> {
+        SliceStream::new(self.elements(label))
+    }
+
+    /// Total elements that a scan of the given labels would read, and the
+    /// number of bytes that scan would cost in the on-disk record format.
+    fn scan_cost(&self, labels: &[Label]) -> ScanCost {
+        let elements: usize = labels.iter().map(|&l| self.count(l)).sum();
+        ScanCost {
+            elements,
+            bytes: elements * ELEMENT_RECORD_BYTES,
+        }
+    }
+
+    /// A pruned, skip-capable stream over the elements with `label` (see
+    /// [`ElementIndex::pruned_stream`]).
+    fn pruned_stream<'a>(
+        &'a self,
+        label: Label,
+        filter: Option<&'a SummarySet>,
+        cover: Option<&'a RegionCover>,
+    ) -> PrunedStream<'a> {
+        PrunedStream::borrowed(
+            self.elements(label),
+            self.sids(label),
+            self.blocks(label),
+            filter,
+            cover,
+        )
+    }
+}
+
+impl IndexView for ElementIndex {
+    fn elements(&self, label: Label) -> &[IndexedElement] {
+        ElementIndex::elements(self, label)
+    }
+    fn sids(&self, label: Label) -> &[u32] {
+        ElementIndex::sids(self, label)
+    }
+    fn blocks(&self, label: Label) -> &[u32] {
+        ElementIndex::blocks(self, label)
+    }
+    fn summary(&self) -> SummaryRef<'_> {
+        ElementIndex::summary(self)
+    }
+    fn label_count(&self) -> usize {
+        ElementIndex::label_count(self)
+    }
+}
+
+/// True iff a summary filter that keeps `covered` of a label's `total`
+/// postings is worth applying.
+///
+/// When the feasible paths cover (nearly) all of a label's postings, the
+/// per-element sid test costs more than the handful of elements it drops
+/// — the XMark-Q2 regression: every `person` path was feasible, yet every
+/// element still paid the bitset probe. Since feasible sets are
+/// over-approximations, *widening* a filter (up to dropping it entirely)
+/// never changes results, so planners skip the filter unless it prunes at
+/// least 1/16 of the postings.
+pub fn filter_worthwhile(covered: u64, total: u64) -> bool {
+    covered.saturating_mul(16) <= total.saturating_mul(15)
 }
 
 /// Max `right` of each aligned [`SKIP_BLOCK`]-element block of `items`.
@@ -491,30 +620,97 @@ impl ElemStream for PrunedStream<'_> {
     /// Gallop to the first element with `region.right >= left`, bypassing
     /// whole blocks via the per-block max-right table. Bypassed elements
     /// count as pruned, not scanned.
+    ///
+    /// Two-level branchless search: a chunked scan of the block-max table
+    /// first (the table is *not* monotonic, so this is a linear scan — but
+    /// eight comparisons per iteration with no early exit, which LLVM
+    /// autovectorizes), then within the first candidate block a binary
+    /// search by `left` caps the range (`e.left >= left ⇒ e.right > left`)
+    /// and the same chunked scan finds the first qualifying `right`. The
+    /// cursor's partial first block is probed by its block max too — the
+    /// max over the whole block bounds the max over its suffix — and a
+    /// candidate block may turn up empty when all its qualifying elements
+    /// lie before the cursor, in which case the search resumes at the next
+    /// block.
     fn skip_to(&mut self, left: u32) -> usize {
         let items = self.backing.items();
         let blocks = self.backing.blocks();
         let start = self.pos;
         let mut pos = self.pos;
         while pos < items.len() {
-            if items[pos].region.right >= left {
+            let b = first_block_with_max_ge(blocks, pos / SKIP_BLOCK, left);
+            if b >= blocks.len() {
+                pos = items.len();
                 break;
             }
-            if pos.is_multiple_of(SKIP_BLOCK) {
-                if let Some(&bmax) = blocks.get(pos / SKIP_BLOCK) {
-                    if bmax < left {
-                        pos = (pos + SKIP_BLOCK).min(items.len());
-                        continue;
-                    }
-                }
+            let lo = pos.max(b * SKIP_BLOCK);
+            let hi = ((b + 1) * SKIP_BLOCK).min(items.len());
+            if let Some(j) = first_right_ge(&items[lo..hi], left) {
+                pos = lo + j;
+                break;
             }
-            pos += 1;
+            pos = hi;
         }
         let skipped = pos - start;
         self.pos = pos;
         record_skip(skipped);
         skipped
     }
+}
+
+/// Width of the branchless comparison chunks in the two-level skip scan:
+/// each iteration folds this many `u32` comparisons into a bitmask with no
+/// data-dependent branch, so LLVM vectorizes the loop body.
+const SKIP_CHUNK: usize = 8;
+
+/// First index `>= from` whose block max is `>= left`, or `blocks.len()`.
+#[inline]
+fn first_block_with_max_ge(blocks: &[u32], from: usize, left: u32) -> usize {
+    let mut i = from.min(blocks.len());
+    while i + SKIP_CHUNK <= blocks.len() {
+        let mut mask = 0u32;
+        for k in 0..SKIP_CHUNK {
+            mask |= u32::from(blocks[i + k] >= left) << k;
+        }
+        if mask != 0 {
+            return i + mask.trailing_zeros() as usize;
+        }
+        i += SKIP_CHUNK;
+    }
+    while i < blocks.len() && blocks[i] < left {
+        i += 1;
+    }
+    i
+}
+
+/// First index of `items` with `region.right >= left`, if any.
+///
+/// `items` is one block's (suffix of) elements, ordered by `left`. The
+/// binary search by `left` bounds the scan: every element at or past the
+/// partition has `left >= left`, hence `right > left`, so the partition
+/// point itself qualifies if it is in range and only the (non-monotonic)
+/// rights before it need scanning.
+#[inline]
+fn first_right_ge(items: &[IndexedElement], left: u32) -> Option<usize> {
+    let cap = items.partition_point(|e| e.region.left < left);
+    let mut i = 0;
+    while i + SKIP_CHUNK <= cap {
+        let mut mask = 0u32;
+        for k in 0..SKIP_CHUNK {
+            mask |= u32::from(items[i + k].region.right >= left) << k;
+        }
+        if mask != 0 {
+            return Some(i + mask.trailing_zeros() as usize);
+        }
+        i += SKIP_CHUNK;
+    }
+    while i < cap {
+        if items[i].region.right >= left {
+            return Some(i);
+        }
+        i += 1;
+    }
+    (cap < items.len()).then_some(cap)
 }
 
 /// Cost of scanning a set of element streams.

@@ -14,20 +14,35 @@
 //! node; streams then filter by those sets (see [`crate::stream`]), which
 //! is where the "stop reading elements the query can never match" win of
 //! this index comes from.
+//!
+//! The summary is stored *flat*: fixed-width [`SummaryNode`] records with
+//! child lists packed into one shared `u32` array. Consumers read it
+//! through the borrowed [`SummaryRef`] view, which the heap-built
+//! [`PathSummary`] and the memory-mapped v3 index (see [`crate::v3`])
+//! produce identically — feasibility analysis cannot tell whether the
+//! records live on the heap or in a mapped file.
 
 use std::collections::HashMap;
 use twigobs::Counter;
 use xmldom::{Document, Label, NodeId, Region};
 
 /// One node of the path summary: a distinct root-to-node label path.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A fixed-width, little-endian-safe record (`#[repr(C)]`, all-`u32`
+/// fields) so a mapped v3 index can overlay a `&[SummaryNode]` directly on
+/// file bytes. Child sids live in the summary's shared child array; use
+/// [`SummaryRef::children`] (or [`PathSummary::children`]) to read them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct SummaryNode {
     /// Label of the last step of the path.
     pub label: Label,
-    /// Parent path, `None` for depth-1 paths.
-    pub parent: Option<u32>,
-    /// Child paths, in first-encountered order.
-    pub children: Vec<u32>,
+    /// Parent sid, or `u32::MAX` for depth-1 paths (see [`Self::parent`]).
+    parent: u32,
+    /// First index of this node's child list in the shared child array.
+    children_start: u32,
+    /// Length of this node's child list.
+    children_len: u32,
     /// Path length; the document root element's path has depth 1.
     pub depth: u32,
     /// Number of document elements on this path.
@@ -36,6 +51,108 @@ pub struct SummaryNode {
     pub min_left: u32,
     /// Largest `right` over the path's elements.
     pub max_right: u32,
+}
+
+impl SummaryNode {
+    /// Parent path, `None` for depth-1 paths.
+    #[inline]
+    pub fn parent(&self) -> Option<u32> {
+        (self.parent != u32::MAX).then_some(self.parent)
+    }
+
+    /// `(start, len)` of this node's child list in the shared child
+    /// array — exposed so the v3 open path can bounds-check every node
+    /// before any [`SummaryRef`] accessor trusts the ranges.
+    #[inline]
+    pub fn child_range(&self) -> (u32, u32) {
+        (self.children_start, self.children_len)
+    }
+}
+
+/// Borrowed view of a path summary: flat node records, the shared child
+/// array, and the per-element sid map.
+///
+/// `Copy`, so it is passed by value. Both [`PathSummary::view`] (heap) and
+/// the mapped v3 index produce this same type, which is what lets every
+/// summary consumer run zero-copy over a mapped file.
+#[derive(Debug, Clone, Copy)]
+pub struct SummaryRef<'a> {
+    nodes: &'a [SummaryNode],
+    children: &'a [u32],
+    sid_of: &'a [u32],
+}
+
+impl<'a> SummaryRef<'a> {
+    /// Assemble a view from raw parts (the mapped-index entry point).
+    ///
+    /// `children` must contain every node's `[children_start,
+    /// children_start + children_len)` range and `sid_of` must map every
+    /// document node to a valid sid. [`PathSummary`] guarantees this by
+    /// construction; the v3 open path verifies it (via
+    /// [`SummaryNode::child_range`]) before handing out a view, so no
+    /// assertion lives here — corrupt files must surface as typed open
+    /// errors, not panics.
+    pub fn from_raw_parts(
+        nodes: &'a [SummaryNode],
+        children: &'a [u32],
+        sid_of: &'a [u32],
+    ) -> Self {
+        SummaryRef { nodes, children, sid_of }
+    }
+
+    /// Number of distinct label paths.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the summary is empty (only for an empty document).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The summary node for `sid`.
+    #[inline]
+    pub fn node(&self, sid: u32) -> &'a SummaryNode {
+        &self.nodes[sid as usize]
+    }
+
+    /// All summary nodes, indexed by sid.
+    #[inline]
+    pub fn nodes(&self) -> &'a [SummaryNode] {
+        self.nodes
+    }
+
+    /// Child sids of `sid`, in first-encountered order.
+    #[inline]
+    pub fn children(&self, sid: u32) -> &'a [u32] {
+        let n = &self.nodes[sid as usize];
+        &self.children[n.children_start as usize..(n.children_start + n.children_len) as usize]
+    }
+
+    /// Summary id of a document element.
+    #[inline]
+    pub fn sid(&self, node: NodeId) -> u32 {
+        self.sid_of[node.index()]
+    }
+
+    /// Summary ids of all document elements, indexed by `NodeId::index()`.
+    #[inline]
+    pub fn sids(&self) -> &'a [u32] {
+        self.sid_of
+    }
+
+    /// True iff `anc` is a proper ancestor path of `desc`.
+    pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
+        let mut cur = self.nodes[desc as usize].parent();
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.nodes[p as usize].parent();
+        }
+        false
+    }
 }
 
 /// Strong DataGuide over a document: distinct label paths plus the mapping
@@ -53,14 +170,19 @@ pub struct SummaryNode {
 #[derive(Debug, Clone, Default)]
 pub struct PathSummary {
     nodes: Vec<SummaryNode>,
+    /// All child lists, packed; each node addresses its slice by
+    /// `children_start`/`children_len`.
+    children: Vec<u32>,
     /// Summary id per document node, indexed by `NodeId::index()`.
     sid_of: Vec<u32>,
 }
 
 impl PathSummary {
-    /// Build the summary in one pre-order pass over `doc`.
+    /// Build the summary in one pre-order pass over `doc` (plus a final
+    /// flattening of the per-node child lists into the shared array).
     pub fn build(doc: &Document) -> Self {
         let mut nodes: Vec<SummaryNode> = Vec::new();
+        let mut kids: Vec<Vec<u32>> = Vec::new();
         let mut sid_of = vec![0u32; doc.len()];
         // (parent sid or u32::MAX for roots, label) -> sid
         let mut edge: HashMap<(u32, Label), u32> = HashMap::new();
@@ -73,15 +195,17 @@ impl PathSummary {
                 let sid = nodes.len() as u32;
                 nodes.push(SummaryNode {
                     label,
-                    parent: parent_sid,
-                    children: Vec::new(),
+                    parent: parent_sid.unwrap_or(u32::MAX),
+                    children_start: 0,
+                    children_len: 0,
                     depth: region.level,
                     count: 0,
                     min_left: region.left,
                     max_right: region.right,
                 });
+                kids.push(Vec::new());
                 if let Some(p) = parent_sid {
-                    nodes[p as usize].children.push(sid);
+                    kids[p as usize].push(sid);
                 }
                 sid
             });
@@ -91,8 +215,24 @@ impl PathSummary {
             node.max_right = node.max_right.max(region.right);
             sid_of[n.index()] = sid;
         }
+        let mut children = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for (node, k) in nodes.iter_mut().zip(&kids) {
+            node.children_start = children.len() as u32;
+            node.children_len = k.len() as u32;
+            children.extend_from_slice(k);
+        }
         twigobs::add(Counter::SummaryNodes, nodes.len() as u64);
-        PathSummary { nodes, sid_of }
+        PathSummary { nodes, children, sid_of }
+    }
+
+    /// Borrowed view over the summary's flat arrays.
+    #[inline]
+    pub fn view(&self) -> SummaryRef<'_> {
+        SummaryRef {
+            nodes: &self.nodes,
+            children: &self.children,
+            sid_of: &self.sid_of,
+        }
     }
 
     /// Number of distinct label paths.
@@ -115,6 +255,11 @@ impl PathSummary {
         &self.nodes
     }
 
+    /// Child sids of `sid`, in first-encountered order.
+    pub fn children(&self, sid: u32) -> &[u32] {
+        self.view().children(sid)
+    }
+
     /// Summary id of a document element.
     #[inline]
     pub fn sid(&self, node: NodeId) -> u32 {
@@ -128,14 +273,7 @@ impl PathSummary {
 
     /// True iff `anc` is a proper ancestor path of `desc`.
     pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
-        let mut cur = self.nodes[desc as usize].parent;
-        while let Some(p) = cur {
-            if p == anc {
-                return true;
-            }
-            cur = self.nodes[p as usize].parent;
-        }
-        false
+        self.view().is_ancestor(anc, desc)
     }
 }
 
@@ -213,7 +351,7 @@ impl SummarySet {
     }
 
     /// Total element count of the set's paths under `summary`.
-    pub fn element_count(&self, summary: &PathSummary) -> u64 {
+    pub fn element_count(&self, summary: SummaryRef<'_>) -> u64 {
         self.iter().map(|sid| summary.node(sid).count as u64).sum()
     }
 }
@@ -327,6 +465,27 @@ mod tests {
         for n in doc.iter() {
             assert_eq!(s.node(s.sid(n)).depth, doc.region(n).level);
         }
+    }
+
+    #[test]
+    fn flattened_children_match_tree_structure() {
+        let doc = parse("<a><b><c/></b><b><c/><d/></b><c/></a>").unwrap();
+        let s = PathSummary::build(&doc);
+        let root = s.sid(doc.root());
+        // Root's children: /a/b and /a/c, in first-encountered order.
+        let root_kids = s.children(root);
+        assert_eq!(root_kids.len(), 2);
+        for &k in root_kids {
+            assert_eq!(s.node(k).parent(), Some(root));
+        }
+        // The view agrees with the owned accessors everywhere.
+        let v = s.view();
+        assert_eq!(v.len(), s.len());
+        for sid in 0..s.len() as u32 {
+            assert_eq!(v.children(sid), s.children(sid));
+            assert_eq!(v.node(sid), s.node(sid));
+        }
+        assert_eq!(v.sids(), s.sids());
     }
 
     #[test]

@@ -1,0 +1,799 @@
+//! Format v3: the zero-copy, memory-mapped region index.
+//!
+//! v2 ([`crate::disk`]) is a *streaming* format: 20-byte interleaved
+//! records that a reader parses element by element. v3 is a *mapping*
+//! format: one aligned, little-endian file whose payload sections are laid
+//! out exactly like the in-memory arrays of [`ElementIndex`], so opening
+//! an index is `mmap` + checksum verification — no parse, no allocation
+//! proportional to the document. A [`MappedIndex`] then hands out the very
+//! same `&[IndexedElement]`/`&[u32]` slices (and the same
+//! [`SummaryRef`] view) as the heap index, which is why every engine and
+//! the query service run over it unchanged via [`IndexView`].
+//!
+//! ## Layout
+//!
+//! ```text
+//! offset 0   magic  "T2SRIDX3"                              8 bytes
+//!        8   endianness probe 0x1A2B3C4D (LE)               4 bytes
+//!       12   section count                                  4 bytes
+//!       16   label count                                    4 bytes
+//!       20   reserved (zero)                                4 bytes
+//!       24   TOC: per section {id, reserved, offset, len,
+//!            fnv1a64 checksum}                              32 bytes each
+//!       ...  sections, each 8-byte aligned, zero-padded
+//! ```
+//!
+//! Sections (all little-endian, fixed-width):
+//!
+//! | id | section          | element type        | bytes |
+//! |----|------------------|---------------------|-------|
+//! | 1  | label names      | UTF-8 blob          | —     |
+//! | 2  | label directory  | [`LabelDirEntry`]   | 24    |
+//! | 3  | elements         | [`IndexedElement`]  | 16    |
+//! | 4  | summary ids      | `u32`               | 4     |
+//! | 5  | block maxima     | `u32`               | 4     |
+//! | 6  | summary nodes    | [`SummaryNode`]     | 32    |
+//! | 7  | summary children | `u32`               | 4     |
+//! | 8  | element sid map  | `u32`               | 4     |
+//!
+//! Posting arrays of all labels are concatenated (elements, parallel
+//! summary ids, block maxima); the label directory holds each label's
+//! `(start, len)` ranges plus its name slice in the name blob.
+//!
+//! ## Integrity
+//!
+//! Every section carries a word-stride FNV-1a-64 checksum (one u64 word
+//! folded per multiply, then the tail bytes and the length) verified at
+//! open; a flipped
+//! byte anywhere in a section surfaces as a typed
+//! [`MappedOpenError::ChecksumMismatch`] naming the section — never a
+//! silently wrong answer. A v2 file is recognized by its magic and
+//! reported as [`MappedOpenError::VersionMismatch`] (v3 readers do not
+//! parse v2; [`crate::disk::DiskRegionIndex`] still does).
+
+use crate::stream::{ElementIndex, IndexView, IndexedElement};
+use crate::summary::{SummaryNode, SummaryRef};
+use memmap2::Mmap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::ops::Range;
+use std::path::Path;
+use xmldom::{Document, Label, LabelTable};
+
+/// Magic bytes of a v3 mapped region index.
+pub const MAGIC_V3: &[u8; 8] = b"T2SRIDX3";
+/// Endianness probe value stored after the magic, little-endian.
+const ENDIAN_PROBE: u32 = 0x1A2B_3C4D;
+/// Header bytes before the TOC.
+const HEADER_BYTES: usize = 24;
+/// Bytes per TOC entry.
+const TOC_ENTRY_BYTES: usize = 32;
+/// Section payload alignment.
+const SECTION_ALIGN: usize = 8;
+
+/// Identifies one payload section of a v3 file (TOC `id` values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionId {
+    /// Concatenated UTF-8 label names.
+    LabelNames = 1,
+    /// Per-label directory ([`LabelDirEntry`] records).
+    LabelDir = 2,
+    /// All labels' posting arrays, concatenated ([`IndexedElement`]).
+    Elements = 3,
+    /// Summary id per posting, parallel to `Elements`.
+    Sids = 4,
+    /// Per-block max-`right` tables, concatenated.
+    Blocks = 5,
+    /// Flat path-summary nodes ([`SummaryNode`]).
+    SummaryNodes = 6,
+    /// The summary's shared child-sid array.
+    SummaryChildren = 7,
+    /// Summary id per document node (`NodeId::index()`-indexed).
+    SidOf = 8,
+}
+
+impl SectionId {
+    /// All sections, in file order.
+    pub const ALL: [SectionId; 8] = [
+        SectionId::LabelNames,
+        SectionId::LabelDir,
+        SectionId::Elements,
+        SectionId::Sids,
+        SectionId::Blocks,
+        SectionId::SummaryNodes,
+        SectionId::SummaryChildren,
+        SectionId::SidOf,
+    ];
+
+    /// Stable lowercase name (used in error messages and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionId::LabelNames => "label_names",
+            SectionId::LabelDir => "label_dir",
+            SectionId::Elements => "elements",
+            SectionId::Sids => "sids",
+            SectionId::Blocks => "blocks",
+            SectionId::SummaryNodes => "summary_nodes",
+            SectionId::SummaryChildren => "summary_children",
+            SectionId::SidOf => "sid_of",
+        }
+    }
+
+    fn from_raw(raw: u32) -> Option<SectionId> {
+        SectionId::ALL.into_iter().find(|&s| s as u32 == raw)
+    }
+
+    fn slot(self) -> usize {
+        self as usize - 1
+    }
+}
+
+/// One label's entry in the v3 label directory: where its name lives in
+/// the name blob and where its posting/block ranges live in the shared
+/// arrays. Fixed-width `#[repr(C)]`, cast directly from the mapped file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct LabelDirEntry {
+    /// Byte offset of the label's name in the name blob.
+    pub name_start: u32,
+    /// Byte length of the label's name.
+    pub name_len: u32,
+    /// First posting of this label in the elements/sids sections.
+    pub elem_start: u32,
+    /// Number of postings.
+    pub elem_len: u32,
+    /// First block-max entry of this label in the blocks section.
+    pub block_start: u32,
+    /// Number of block-max entries.
+    pub block_len: u32,
+}
+
+/// Why a v3 file failed to open. Every variant is a hard error: a file
+/// that does not verify end to end is never partially served.
+#[derive(Debug)]
+pub enum MappedOpenError {
+    /// The file could not be read or mapped.
+    Io(io::Error),
+    /// The magic bytes match no known index format.
+    BadMagic,
+    /// The file is a valid *other* version of the region index (e.g. the
+    /// streaming v2 format); open it with that version's reader instead.
+    VersionMismatch {
+        /// Magic of the version found.
+        found: [u8; 8],
+    },
+    /// The file was written on a platform with different endianness.
+    Endianness,
+    /// The file ends before the named structure is complete.
+    Truncated {
+        /// What was being read when the file ran out.
+        what: &'static str,
+    },
+    /// A section's offset or length violates the required alignment.
+    Misaligned {
+        /// The offending section.
+        section: SectionId,
+    },
+    /// A section's bytes do not match its TOC checksum — the file is
+    /// corrupt (e.g. a flipped bit) and must not be served.
+    ChecksumMismatch {
+        /// The corrupt section.
+        section: SectionId,
+    },
+    /// A required section is absent from the TOC.
+    MissingSection {
+        /// The absent section.
+        section: SectionId,
+    },
+    /// Cross-section structure is inconsistent (counts or ranges).
+    Malformed {
+        /// What failed to validate.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for MappedOpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappedOpenError::Io(e) => write!(f, "mapped index io error: {e}"),
+            MappedOpenError::BadMagic => write!(f, "not a region index (bad magic)"),
+            MappedOpenError::VersionMismatch { found } => write!(
+                f,
+                "region index version mismatch: found {:?}, want {:?}",
+                String::from_utf8_lossy(found),
+                String::from_utf8_lossy(MAGIC_V3),
+            ),
+            MappedOpenError::Endianness => {
+                write!(f, "mapped index written with foreign endianness")
+            }
+            MappedOpenError::Truncated { what } => {
+                write!(f, "mapped index truncated ({what})")
+            }
+            MappedOpenError::Misaligned { section } => {
+                write!(f, "mapped index section '{}' misaligned", section.name())
+            }
+            MappedOpenError::ChecksumMismatch { section } => write!(
+                f,
+                "mapped index section '{}' failed checksum verification",
+                section.name()
+            ),
+            MappedOpenError::MissingSection { section } => {
+                write!(f, "mapped index section '{}' missing", section.name())
+            }
+            MappedOpenError::Malformed { what } => {
+                write!(f, "mapped index malformed ({what})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappedOpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MappedOpenError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MappedOpenError {
+    fn from(e: io::Error) -> Self {
+        MappedOpenError::Io(e)
+    }
+}
+
+/// Word-stride FNV-1a 64-bit, the per-section checksum of the v3 format.
+///
+/// Classic FNV-1a folds one *byte* per multiply, which caps verification
+/// at ~1 GB/s and would make checksumming — not mapping — the dominant
+/// open cost. The v3 checksum instead folds one little-endian u64 word
+/// per multiply (then the `< 8` byte tail, then the length, so sections
+/// differing only in trailing zero-padding still differ in hash). Any
+/// single flipped byte changes the folded word and therefore the hash;
+/// `tests/fault_injection.rs` exercises exactly that per section.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for w in &mut chunks {
+        h ^= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h ^= bytes.len() as u64;
+    h.wrapping_mul(PRIME)
+}
+
+/// Plain-old-data casting: the only unsafe code in this crate.
+///
+/// The crate-wide lint is `deny(unsafe_code)`; this module is the audited
+/// exception. Soundness rests on three checks per cast — size
+/// divisibility, pointer alignment, and `Pod` types for which every bit
+/// pattern is a valid value (all-`u32` `#[repr(C)]`/`#[repr(transparent)]`
+/// records with no padding).
+#[allow(unsafe_code)]
+mod pod {
+    use super::{IndexedElement, LabelDirEntry, SummaryNode};
+
+    /// Marker for types safely reinterpretable from arbitrary bytes.
+    ///
+    /// # Safety
+    /// Implementors must have no padding, no invalid bit patterns, and a
+    /// stable `#[repr(C)]`/`#[repr(transparent)]` layout.
+    pub(super) unsafe trait Pod: Copy + 'static {}
+
+    unsafe impl Pod for u32 {}
+    unsafe impl Pod for IndexedElement {}
+    unsafe impl Pod for SummaryNode {}
+    unsafe impl Pod for LabelDirEntry {}
+
+    /// Reinterpret `bytes` as a slice of `T`, or `None` when the length
+    /// is not a multiple of `size_of::<T>()` or the pointer is not
+    /// aligned for `T`.
+    pub(super) fn cast_slice<T: Pod>(bytes: &[u8]) -> Option<&[T]> {
+        let size = std::mem::size_of::<T>();
+        debug_assert!(size > 0);
+        if !bytes.len().is_multiple_of(size)
+            || bytes.as_ptr().align_offset(std::mem::align_of::<T>()) != 0
+        {
+            return None;
+        }
+        // SAFETY: length and alignment verified above; `T: Pod`
+        // guarantees any byte content is a valid `T`; the lifetime is
+        // tied to `bytes`, which outlives the returned slice.
+        Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) })
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialize `index` (with its label names from `labels`) into the v3
+/// mapped format at `path`. The write is atomic enough for our purposes:
+/// build in memory, then one `write_all`.
+pub fn write_mapped_index_from(
+    index: &ElementIndex,
+    labels: &LabelTable,
+    path: &Path,
+) -> io::Result<()> {
+    let mut names = Vec::new();
+    let mut dir = Vec::new();
+    let mut elements = Vec::new();
+    let mut sids = Vec::new();
+    let mut blocks = Vec::new();
+    let mut elem_total: u32 = 0;
+    let mut block_total: u32 = 0;
+    for (label, name) in labels.iter() {
+        let es = index.elements(label);
+        let ss = index.sids(label);
+        let bs = index.blocks(label);
+        let name_start = names.len() as u32;
+        names.extend_from_slice(name.as_bytes());
+        push_u32(&mut dir, name_start);
+        push_u32(&mut dir, name.len() as u32);
+        push_u32(&mut dir, elem_total);
+        push_u32(&mut dir, es.len() as u32);
+        push_u32(&mut dir, block_total);
+        push_u32(&mut dir, bs.len() as u32);
+        elem_total += es.len() as u32;
+        block_total += bs.len() as u32;
+        for e in es {
+            push_u32(&mut elements, e.id.index() as u32);
+            push_u32(&mut elements, e.region.left);
+            push_u32(&mut elements, e.region.right);
+            push_u32(&mut elements, e.region.level);
+        }
+        for &s in ss {
+            push_u32(&mut sids, s);
+        }
+        for &b in bs {
+            push_u32(&mut blocks, b);
+        }
+    }
+
+    let summary = index.summary();
+    // Rebuild the shared child array in node order, recording each node's
+    // (start, len) range as it is laid down; the node records then carry
+    // exactly those ranges — writer-side self-consistency instead of
+    // trusting any internal offsets of the in-memory representation.
+    let mut schildren = Vec::new();
+    let mut child_ranges = Vec::with_capacity(summary.len());
+    for sid in 0..summary.len() as u32 {
+        let kids = summary.children(sid);
+        child_ranges.push(((schildren.len() / 4) as u32, kids.len() as u32));
+        for &c in kids {
+            push_u32(&mut schildren, c);
+        }
+    }
+    let mut snodes = Vec::new();
+    for (sid, n) in summary.nodes().iter().enumerate() {
+        let (kids_start, kids_len) = child_ranges[sid];
+        push_u32(&mut snodes, n.label.index() as u32);
+        push_u32(&mut snodes, n.parent().map_or(u32::MAX, |p| p));
+        push_u32(&mut snodes, kids_start);
+        push_u32(&mut snodes, kids_len);
+        push_u32(&mut snodes, n.depth);
+        push_u32(&mut snodes, n.count);
+        push_u32(&mut snodes, n.min_left);
+        push_u32(&mut snodes, n.max_right);
+    }
+    let mut sid_of = Vec::new();
+    for &s in summary.sids() {
+        push_u32(&mut sid_of, s);
+    }
+
+    let sections: [(SectionId, Vec<u8>); 8] = [
+        (SectionId::LabelNames, names),
+        (SectionId::LabelDir, dir),
+        (SectionId::Elements, elements),
+        (SectionId::Sids, sids),
+        (SectionId::Blocks, blocks),
+        (SectionId::SummaryNodes, snodes),
+        (SectionId::SummaryChildren, schildren),
+        (SectionId::SidOf, sid_of),
+    ];
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_V3);
+    push_u32(&mut out, ENDIAN_PROBE);
+    push_u32(&mut out, sections.len() as u32);
+    push_u32(&mut out, labels.len() as u32);
+    push_u32(&mut out, 0); // reserved
+    debug_assert_eq!(out.len(), HEADER_BYTES);
+
+    // Lay the sections out after the TOC, 8-byte aligned.
+    let toc_at = out.len();
+    let mut cursor = toc_at + sections.len() * TOC_ENTRY_BYTES;
+    let mut toc = Vec::new();
+    let mut payload = Vec::new();
+    for (id, bytes) in &sections {
+        cursor = cursor.next_multiple_of(SECTION_ALIGN);
+        push_u32(&mut toc, *id as u32);
+        push_u32(&mut toc, 0); // reserved
+        toc.extend_from_slice(&(cursor as u64).to_le_bytes());
+        toc.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        toc.extend_from_slice(&fnv1a64(bytes).to_le_bytes());
+        let pad = cursor - (toc_at + sections.len() * TOC_ENTRY_BYTES + payload.len());
+        payload.resize(payload.len() + pad, 0);
+        payload.extend_from_slice(bytes);
+        cursor += bytes.len();
+    }
+    out.extend_from_slice(&toc);
+    out.extend_from_slice(&payload);
+
+    let mut f = File::create(path)?;
+    f.write_all(&out)?;
+    f.sync_all()
+}
+
+/// A zero-copy region index over a memory-mapped v3 file.
+///
+/// Opening is `mmap` + header/TOC validation + one checksum pass; no
+/// parsing, no per-element allocation. All accessors cast stored ranges
+/// of the mapping on demand — the ranges were validated at open, so the
+/// casts cannot fail afterwards.
+pub struct MappedIndex {
+    map: Mmap,
+    /// Byte range of each section, indexed by [`SectionId::slot`].
+    sections: [Range<usize>; 8],
+    label_count: usize,
+}
+
+impl fmt::Debug for MappedIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedIndex")
+            .field("file_bytes", &self.map.len())
+            .field("labels", &self.label_count)
+            .finish()
+    }
+}
+
+impl MappedIndex {
+    /// Map and verify the v3 index at `path`.
+    pub fn open(path: &Path) -> Result<MappedIndex, MappedOpenError> {
+        let _span = twigobs::span(twigobs::Phase::IndexOpen);
+        let file = File::open(path)?;
+        let map = Mmap::map(&file)?;
+        if map.len() < HEADER_BYTES {
+            return Err(MappedOpenError::Truncated { what: "header" });
+        }
+        if &map[..8] != MAGIC_V3 {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&map[..8]);
+            return if found[..7] == MAGIC_V3[..7] || found.starts_with(b"T2S") {
+                Err(MappedOpenError::VersionMismatch { found })
+            } else {
+                Err(MappedOpenError::BadMagic)
+            };
+        }
+        let probe = u32::from_le_bytes(map[8..12].try_into().expect("4 bytes"));
+        if probe != ENDIAN_PROBE {
+            return Err(MappedOpenError::Endianness);
+        }
+        let section_count =
+            u32::from_le_bytes(map[12..16].try_into().expect("4 bytes")) as usize;
+        let label_count = u32::from_le_bytes(map[16..20].try_into().expect("4 bytes")) as usize;
+        let toc_end = HEADER_BYTES + section_count * TOC_ENTRY_BYTES;
+        if map.len() < toc_end {
+            return Err(MappedOpenError::Truncated { what: "table of contents" });
+        }
+
+        const EMPTY: Range<usize> = 0..0;
+        let mut sections: [Range<usize>; 8] = [EMPTY; 8];
+        let mut seen = [false; 8];
+        for i in 0..section_count {
+            let at = HEADER_BYTES + i * TOC_ENTRY_BYTES;
+            let entry = &map[at..at + TOC_ENTRY_BYTES];
+            let raw_id = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
+            let Some(id) = SectionId::from_raw(raw_id) else {
+                // Unknown sections are ignored for forward compatibility.
+                continue;
+            };
+            let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes")) as usize;
+            let len = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes")) as usize;
+            let checksum = u64::from_le_bytes(entry[24..32].try_into().expect("8 bytes"));
+            if !offset.is_multiple_of(SECTION_ALIGN) {
+                return Err(MappedOpenError::Misaligned { section: id });
+            }
+            let Some(end) = offset.checked_add(len).filter(|&e| e <= map.len()) else {
+                return Err(MappedOpenError::Truncated { what: id.name() });
+            };
+            if fnv1a64(&map[offset..end]) != checksum {
+                return Err(MappedOpenError::ChecksumMismatch { section: id });
+            }
+            sections[id.slot()] = offset..end;
+            seen[id.slot()] = true;
+        }
+        for id in SectionId::ALL {
+            if !seen[id.slot()] {
+                return Err(MappedOpenError::MissingSection { section: id });
+            }
+        }
+
+        let this = MappedIndex { map, sections, label_count };
+        this.validate_structure()?;
+        Ok(this)
+    }
+
+    /// Cross-section structural validation, run once at open so that the
+    /// accessors' casts and range lookups can never fail afterwards.
+    fn validate_structure(&self) -> Result<(), MappedOpenError> {
+        fn typed_len<T: pod::Pod>(
+            bytes: &[u8],
+            section: SectionId,
+        ) -> Result<usize, MappedOpenError> {
+            pod::cast_slice::<T>(bytes)
+                .map(<[T]>::len)
+                .ok_or(MappedOpenError::Misaligned { section })
+        }
+        let dir_len = typed_len::<LabelDirEntry>(
+            self.section(SectionId::LabelDir),
+            SectionId::LabelDir,
+        )?;
+        if dir_len != self.label_count {
+            return Err(MappedOpenError::Malformed { what: "label directory count" });
+        }
+        let elems = typed_len::<IndexedElement>(
+            self.section(SectionId::Elements),
+            SectionId::Elements,
+        )?;
+        let sids = typed_len::<u32>(self.section(SectionId::Sids), SectionId::Sids)?;
+        if sids != elems {
+            return Err(MappedOpenError::Malformed { what: "sids/elements count" });
+        }
+        let blocks = typed_len::<u32>(self.section(SectionId::Blocks), SectionId::Blocks)?;
+        let names_len = self.section(SectionId::LabelNames).len();
+        for d in self.label_dir() {
+            let name_ok = (d.name_start as usize + d.name_len as usize) <= names_len;
+            let elem_ok = (d.elem_start as usize + d.elem_len as usize) <= elems;
+            let block_ok = (d.block_start as usize + d.block_len as usize) <= blocks;
+            if !(name_ok && elem_ok && block_ok) {
+                return Err(MappedOpenError::Malformed { what: "label directory range" });
+            }
+        }
+        let snodes = pod::cast_slice::<SummaryNode>(self.section(SectionId::SummaryNodes))
+            .ok_or(MappedOpenError::Misaligned { section: SectionId::SummaryNodes })?;
+        let schildren = pod::cast_slice::<u32>(self.section(SectionId::SummaryChildren))
+            .ok_or(MappedOpenError::Misaligned { section: SectionId::SummaryChildren })?;
+        let sid_of = pod::cast_slice::<u32>(self.section(SectionId::SidOf))
+            .ok_or(MappedOpenError::Misaligned { section: SectionId::SidOf })?;
+        for n in snodes {
+            let (start, len) = n.child_range();
+            if start as usize + len as usize > schildren.len() {
+                return Err(MappedOpenError::Malformed { what: "summary child range" });
+            }
+            if n.parent().is_some_and(|p| p as usize >= snodes.len()) {
+                return Err(MappedOpenError::Malformed { what: "summary parent id" });
+            }
+        }
+        if schildren.iter().any(|&c| c as usize >= snodes.len()) {
+            return Err(MappedOpenError::Malformed { what: "summary child id" });
+        }
+        if sid_of.iter().any(|&s| s as usize >= snodes.len()) {
+            return Err(MappedOpenError::Malformed { what: "sid map entry" });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn section(&self, id: SectionId) -> &[u8] {
+        &self.map[self.sections[id.slot()].clone()]
+    }
+
+    #[inline]
+    fn cast<T: pod::Pod>(&self, id: SectionId) -> &[T] {
+        pod::cast_slice(self.section(id)).expect("section validated at open")
+    }
+
+    #[inline]
+    fn label_dir(&self) -> &[LabelDirEntry] {
+        self.cast(SectionId::LabelDir)
+    }
+
+    /// All elements with `label`, in document order.
+    pub fn elements(&self, label: Label) -> &[IndexedElement] {
+        match self.label_dir().get(label.index()) {
+            Some(d) => {
+                &self.cast::<IndexedElement>(SectionId::Elements)
+                    [d.elem_start as usize..(d.elem_start + d.elem_len) as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// Summary ids of the elements with `label`.
+    pub fn sids(&self, label: Label) -> &[u32] {
+        match self.label_dir().get(label.index()) {
+            Some(d) => {
+                &self.cast::<u32>(SectionId::Sids)
+                    [d.elem_start as usize..(d.elem_start + d.elem_len) as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// Per-block max-`right` table for `label`.
+    pub fn blocks(&self, label: Label) -> &[u32] {
+        match self.label_dir().get(label.index()) {
+            Some(d) => {
+                &self.cast::<u32>(SectionId::Blocks)
+                    [d.block_start as usize..(d.block_start + d.block_len) as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// The name of `label` as stored in the file.
+    pub fn label_name(&self, label: Label) -> Option<&str> {
+        let d = self.label_dir().get(label.index())?;
+        let names = self.section(SectionId::LabelNames);
+        std::str::from_utf8(&names[d.name_start as usize..(d.name_start + d.name_len) as usize])
+            .ok()
+    }
+
+    /// Borrowed view of the document's path summary — the same
+    /// [`SummaryRef`] a heap [`ElementIndex`] produces, read straight from
+    /// the mapping.
+    pub fn summary(&self) -> SummaryRef<'_> {
+        SummaryRef::from_raw_parts(
+            self.cast(SectionId::SummaryNodes),
+            self.cast(SectionId::SummaryChildren),
+            self.cast(SectionId::SidOf),
+        )
+    }
+
+    /// Number of labels the index covers.
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// Total size of the mapped file in bytes.
+    pub fn file_bytes(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Bytes of the mapping currently resident in memory — the
+    /// "bytes-resident" gauge of the mmap-vs-heap experiments.
+    pub fn resident_bytes(&self) -> usize {
+        self.map.resident_bytes()
+    }
+}
+
+impl IndexView for MappedIndex {
+    fn elements(&self, label: Label) -> &[IndexedElement] {
+        MappedIndex::elements(self, label)
+    }
+    fn sids(&self, label: Label) -> &[u32] {
+        MappedIndex::sids(self, label)
+    }
+    fn blocks(&self, label: Label) -> &[u32] {
+        MappedIndex::blocks(self, label)
+    }
+    fn summary(&self) -> SummaryRef<'_> {
+        MappedIndex::summary(self)
+    }
+    fn label_count(&self) -> usize {
+        MappedIndex::label_count(self)
+    }
+}
+
+/// Build and serialize the v3 mapped index of `doc` at `path`.
+pub fn write_mapped_index(doc: &Document, path: &Path) -> io::Result<()> {
+    let index = ElementIndex::build(doc);
+    write_mapped_index_from(&index, doc.labels(), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{ElemStream, SKIP_BLOCK};
+    use std::mem::{align_of, size_of};
+    use xmldom::{parse, NodeId, Region};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("t2s-v3-{}-{name}", std::process::id()))
+    }
+
+    /// Satellite: the layout guard. Every record type the v3 format casts
+    /// from file bytes must have exactly the written size and a
+    /// `u32`-compatible alignment — layout drift fails here, not in a
+    /// misbehaving mapped query.
+    #[test]
+    fn record_layout_matches_written_format() {
+        assert_eq!(size_of::<IndexedElement>(), 16);
+        assert_eq!(align_of::<IndexedElement>(), 4);
+        assert_eq!(size_of::<SummaryNode>(), 32);
+        assert_eq!(align_of::<SummaryNode>(), 4);
+        assert_eq!(size_of::<LabelDirEntry>(), 24);
+        assert_eq!(align_of::<LabelDirEntry>(), 4);
+        assert_eq!(size_of::<Region>(), 12);
+        assert_eq!(size_of::<NodeId>(), 4);
+        assert_eq!(size_of::<Label>(), 4);
+        // Little-endian in-memory integers are a prerequisite for the
+        // cast; the open-time probe enforces this at runtime too.
+        assert_eq!(u32::from_le_bytes(1u32.to_ne_bytes()), 1, "little-endian platform");
+    }
+
+    #[test]
+    fn mapped_equals_heap_on_every_label() {
+        let doc =
+            parse("<a><b><c/></b><b><c/><d/></b><c/><a><b/></a></a>").unwrap();
+        let index = ElementIndex::build(&doc);
+        let path = tmp("roundtrip");
+        write_mapped_index(&doc, &path).unwrap();
+        let mapped = MappedIndex::open(&path).unwrap();
+        assert_eq!(mapped.label_count(), index.label_count());
+        for (label, name) in doc.labels().iter() {
+            assert_eq!(mapped.elements(label), index.elements(label), "{name}");
+            assert_eq!(mapped.sids(label), index.sids(label), "{name}");
+            assert_eq!(mapped.blocks(label), index.blocks(label), "{name}");
+            assert_eq!(mapped.label_name(label), Some(name));
+        }
+        let hv = index.summary();
+        let mv = mapped.summary();
+        assert_eq!(mv.len(), hv.len());
+        assert_eq!(mv.sids(), hv.sids());
+        for sid in 0..hv.len() as u32 {
+            assert_eq!(mv.node(sid), hv.node(sid), "sid {sid}");
+            assert_eq!(mv.children(sid), hv.children(sid), "sid {sid}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_streams_skip_like_heap_streams() {
+        let mut xml = String::from("<a>");
+        for _ in 0..(2 * SKIP_BLOCK) {
+            xml.push_str("<b/>");
+        }
+        xml.push_str("</a>");
+        let doc = parse(&xml).unwrap();
+        let index = ElementIndex::build(&doc);
+        let path = tmp("skip");
+        write_mapped_index(&doc, &path).unwrap();
+        let mapped = MappedIndex::open(&path).unwrap();
+        let b = doc.labels().get("b").unwrap();
+        let boundary = index.elements(b)[SKIP_BLOCK - 1];
+        let mut heap = IndexView::pruned_stream(&index, b, None, None);
+        let mut zc = IndexView::pruned_stream(&mapped, b, None, None);
+        assert_eq!(
+            heap.skip_to(boundary.region.right),
+            zc.skip_to(boundary.region.right)
+        );
+        assert_eq!(heap.peek(), zc.peek());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_file_reports_version_mismatch() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let path = tmp("v2");
+        crate::disk::write_region_index(&doc, &path).unwrap();
+        match MappedIndex::open(&path) {
+            Err(MappedOpenError::VersionMismatch { found }) => {
+                assert_eq!(&found, b"T2SRIDX2");
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_reports_bad_magic_and_short_reports_truncated() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not an index file").unwrap();
+        assert!(matches!(MappedIndex::open(&path), Err(MappedOpenError::BadMagic)));
+        std::fs::write(&path, b"T2S").unwrap();
+        assert!(matches!(
+            MappedIndex::open(&path),
+            Err(MappedOpenError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

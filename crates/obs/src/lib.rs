@@ -206,7 +206,7 @@ impl Counter {
 ///
 /// ```
 /// use twigobs::Phase;
-/// assert_eq!(Phase::ALL.len(), 6);
+/// assert_eq!(Phase::ALL.len(), 7);
 /// assert_eq!(Phase::IndexBuild.name(), "index_build");
 /// assert_eq!(Phase::Serve.name(), "serve");
 /// ```
@@ -225,17 +225,21 @@ pub enum Phase {
     /// Whole-request service time in the query service (admission wait,
     /// plan lookup, evaluation, enumeration); `match` nests inside it.
     Serve,
+    /// Opening a mapped (v3) index: `mmap` plus checksum verification —
+    /// the zero-copy counterpart of `index_build`.
+    IndexOpen,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Parse,
         Phase::IndexBuild,
         Phase::Match,
         Phase::Enumerate,
         Phase::Splice,
         Phase::Serve,
+        Phase::IndexOpen,
     ];
 
     /// The phase's snake_case report key (stable: JSON sidecar schema).
@@ -247,6 +251,7 @@ impl Phase {
             Phase::Enumerate => "enumerate",
             Phase::Splice => "splice",
             Phase::Serve => "serve",
+            Phase::IndexOpen => "index_open",
         }
     }
 
@@ -259,6 +264,46 @@ impl Phase {
             Phase::Enumerate => 3,
             Phase::Splice => 4,
             Phase::Serve => 5,
+            Phase::IndexOpen => 6,
+        }
+    }
+}
+
+/// Typed gauge ids — point-in-time *levels* (not accumulating counts),
+/// recorded with [`gauge`]: the most recent set wins within a thread, and
+/// merging across threads takes the maximum.
+///
+/// ```
+/// use twigobs::Gauge;
+/// assert_eq!(Gauge::ALL.len(), 2);
+/// assert_eq!(Gauge::BytesResident.name(), "bytes_resident");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Bytes of index payload resident in memory: heap array bytes for
+    /// the built index, `mincore`-reported mapped bytes for the v3 index.
+    BytesResident,
+    /// Total bytes of the index backing store (heap arrays or file).
+    IndexBytes,
+}
+
+impl Gauge {
+    /// Every gauge, in report order.
+    pub const ALL: [Gauge; 2] = [Gauge::BytesResident, Gauge::IndexBytes];
+
+    /// The gauge's snake_case report key (stable: JSON sidecar schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::BytesResident => "bytes_resident",
+            Gauge::IndexBytes => "index_bytes",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Gauge::BytesResident => 0,
+            Gauge::IndexBytes => 1,
         }
     }
 }
@@ -286,6 +331,7 @@ pub struct Metrics {
     counters: [u64; Counter::ALL.len()],
     span_nanos: [u64; Phase::ALL.len()],
     span_entries: [u64; Phase::ALL.len()],
+    gauges: [u64; Gauge::ALL.len()],
 }
 
 impl Metrics {
@@ -304,6 +350,11 @@ impl Metrics {
         self.span_entries[p.index()]
     }
 
+    /// Current level of gauge `g`.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g.index()]
+    }
+
     /// Fold `other` into `self` (counters and span totals add).
     pub fn merge(&mut self, other: &Metrics) {
         for i in 0..self.counters.len() {
@@ -313,6 +364,10 @@ impl Metrics {
             self.span_nanos[i] += other.span_nanos[i];
             self.span_entries[i] += other.span_entries[i];
         }
+        for i in 0..self.gauges.len() {
+            // Gauges are levels: the merged level is the high-water mark.
+            self.gauges[i] = self.gauges[i].max(other.gauges[i]);
+        }
     }
 
     /// True iff nothing was recorded (the state [`take`] leaves behind,
@@ -321,12 +376,13 @@ impl Metrics {
         self.counters.iter().all(|&c| c == 0)
             && self.span_nanos.iter().all(|&n| n == 0)
             && self.span_entries.iter().all(|&n| n == 0)
+            && self.gauges.iter().all(|&g| g == 0)
     }
 }
 
 #[cfg(feature = "enabled")]
 mod imp {
-    use super::{Counter, Metrics, Phase};
+    use super::{Counter, Gauge, Metrics, Phase};
     use std::cell::RefCell;
     use std::time::{Duration, Instant};
 
@@ -337,6 +393,11 @@ mod imp {
     #[inline]
     pub fn add(c: Counter, n: u64) {
         LOCAL.with(|m| m.borrow_mut().counters[c.index()] += n);
+    }
+
+    #[inline]
+    pub fn gauge(g: Gauge, level: u64) {
+        LOCAL.with(|m| m.borrow_mut().gauges[g.index()] = level);
     }
 
     pub fn record_span(p: Phase, elapsed: Duration) {
@@ -375,11 +436,14 @@ mod imp {
 
 #[cfg(not(feature = "enabled"))]
 mod imp {
-    use super::{Counter, Metrics, Phase};
+    use super::{Counter, Gauge, Metrics, Phase};
     use std::time::Duration;
 
     #[inline(always)]
     pub fn add(_c: Counter, _n: u64) {}
+
+    #[inline(always)]
+    pub fn gauge(_g: Gauge, _level: u64) {}
 
     #[inline(always)]
     pub fn record_span(_p: Phase, _elapsed: Duration) {}
@@ -434,6 +498,20 @@ pub fn add(c: Counter, n: u64) {
 #[inline]
 pub fn bump(c: Counter) {
     imp::add(c, 1);
+}
+
+/// Set gauge `g` to `level` in this thread's accumulator (a level, not an
+/// increment: the latest set wins).
+///
+/// ```
+/// use twigobs::{gauge, take, Gauge};
+/// gauge(Gauge::BytesResident, 4096);
+/// let expect = if twigobs::ENABLED { 4096 } else { 0 };
+/// assert_eq!(take().gauge(Gauge::BytesResident), expect);
+/// ```
+#[inline]
+pub fn gauge(g: Gauge, level: u64) {
+    imp::gauge(g, level);
 }
 
 /// Record a pre-measured duration for phase `p` (for callers that cannot

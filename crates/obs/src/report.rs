@@ -8,7 +8,7 @@
 //! crate. The workspace vendors no serde, so serialization is a small
 //! hand-rolled writer with full string escaping.
 
-use crate::{Counter, Metrics, Phase};
+use crate::{Counter, Gauge, Metrics, Phase};
 
 /// Identifies the sidecar layout; bumped only on breaking schema changes.
 pub const SCHEMA: &str = "twig2stack.metrics/v1";
@@ -67,6 +67,7 @@ impl RunReport {
     ///   "obs_enabled": true,
     ///   "context": { "profile": "quick" },
     ///   "counters": { "elements_scanned": 123, ... },
+    ///   "gauges": { "bytes_resident": 4096, ... },
     ///   "spans": { "match": { "nanos": 456, "entries": 9 }, ... }
     /// }
     /// ```
@@ -96,6 +97,18 @@ impl RunReport {
                 "\n    {}: {}",
                 json_string(c.name()),
                 self.metrics.get(*c)
+            ));
+        }
+        out.push_str("\n  },\n");
+        out.push_str("  \"gauges\": {");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {}",
+                json_string(g.name()),
+                self.metrics.gauge(*g)
             ));
         }
         out.push_str("\n  },\n");
@@ -267,6 +280,9 @@ mod tests {
         }
         for p in Phase::ALL {
             assert!(json.contains(&format!("\"{}\"", p.name())), "{}", p.name());
+        }
+        for g in Gauge::ALL {
+            assert!(json.contains(&format!("\"{}\"", g.name())), "{}", g.name());
         }
     }
 

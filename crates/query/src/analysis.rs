@@ -18,7 +18,7 @@
 
 use crate::gtp::{Axis, Gtp, NodeTest, QNodeId, Role};
 use xmldom::{Label, LabelTable};
-use xmlindex::summary::{PathSummary, RegionCover, SummarySet};
+use xmlindex::summary::{RegionCover, SummaryRef, SummarySet};
 
 /// Precomputed per-node facts about a [`Gtp`].
 #[derive(Debug, Clone)]
@@ -293,7 +293,7 @@ pub struct SummaryFeasibility {
 impl SummaryFeasibility {
     /// Evaluate `gtp` against `summary`. `labels` is the document's label
     /// table (summary nodes store interned labels).
-    pub fn compute(gtp: &Gtp, summary: &PathSummary, labels: &LabelTable) -> Self {
+    pub fn compute(gtp: &Gtp, summary: SummaryRef<'_>, labels: &LabelTable) -> Self {
         let ns = summary.len();
         let nq = gtp.len();
         let mut up: Vec<SummarySet> = vec![SummarySet::empty(ns); nq];
@@ -327,13 +327,13 @@ impl SummaryFeasibility {
                 }
                 let mut reach = SummarySet::empty(ns);
                 for s in up[m.index()].iter() {
-                    let mut cur = summary.node(s).parent;
+                    let mut cur = summary.node(s).parent();
                     while let Some(p) = cur {
                         reach.insert(p);
                         if edge.axis == Axis::Child {
                             break;
                         }
-                        cur = summary.node(p).parent;
+                        cur = summary.node(p).parent();
                     }
                 }
                 let gid = gtp.or_group(m);
@@ -379,7 +379,7 @@ impl SummaryFeasibility {
     /// Cover of every document region that could contain a match: the
     /// merged region hulls of the root node's feasible paths. Built from
     /// the summary alone — no element is read.
-    pub fn root_cover(&self, gtp: &Gtp, summary: &PathSummary) -> RegionCover {
+    pub fn root_cover(&self, gtp: &Gtp, summary: SummaryRef<'_>) -> RegionCover {
         let spans = self
             .feasible(gtp.root())
             .iter()
@@ -393,8 +393,8 @@ impl SummaryFeasibility {
 }
 
 /// Insert the summary children (or all proper descendants) of `s`.
-fn descend(summary: &PathSummary, s: u32, axis: Axis, out: &mut SummarySet) {
-    for &c in &summary.node(s).children {
+fn descend(summary: SummaryRef<'_>, s: u32, axis: Axis, out: &mut SummarySet) {
+    for &c in summary.children(s) {
         out.insert(c);
         if axis == Axis::Descendant {
             descend(summary, c, axis, out);
@@ -455,6 +455,7 @@ mod tests {
     use super::*;
     use crate::gtp::{Axis, GtpBuilder};
     use crate::parse::parse_twig;
+    use xmlindex::summary::PathSummary;
 
     #[test]
     fn existence_checking_matches_paper_figure8() {
@@ -583,7 +584,7 @@ mod tests {
         let doc = xmldom::parse(xml).unwrap();
         let gtp = parse_twig(query).unwrap();
         let summary = PathSummary::build(&doc);
-        let f = SummaryFeasibility::compute(&gtp, &summary, doc.labels());
+        let f = SummaryFeasibility::compute(&gtp, summary.view(), doc.labels());
         (doc, gtp, summary, f)
     }
 
@@ -597,7 +598,7 @@ mod tests {
         assert_eq!(set.len(), 1);
         let good = summary.sid(xmldom::NodeId::from_index(2)); // the b under a
         assert!(set.contains(good));
-        assert_eq!(set.element_count(&summary), 1);
+        assert_eq!(set.element_count(summary.view()), 1);
         drop(doc);
     }
 
@@ -638,9 +639,9 @@ mod tests {
         };
         let doc = xmldom::parse("<a><b/></a>").unwrap();
         let summary = PathSummary::build(&doc);
-        let ok = SummaryFeasibility::compute(&build(["b", "z"]), &summary, doc.labels());
+        let ok = SummaryFeasibility::compute(&build(["b", "z"]), summary.view(), doc.labels());
         assert!(!ok.is_unsatisfiable(), "one OR branch is enough");
-        let bad = SummaryFeasibility::compute(&build(["y", "z"]), &summary, doc.labels());
+        let bad = SummaryFeasibility::compute(&build(["y", "z"]), summary.view(), doc.labels());
         assert!(bad.is_unsatisfiable(), "no OR branch is feasible");
     }
 
@@ -652,7 +653,7 @@ mod tests {
             feas("<r><a><b><c/></b></a><x><c/></x></r>", "//a//b[c]");
         let c = gtp.find("c").unwrap();
         assert_eq!(f.feasible(c).len(), 1);
-        assert_eq!(f.feasible(c).element_count(&summary), 1);
+        assert_eq!(f.feasible(c).element_count(summary.view()), 1);
     }
 
     #[test]
@@ -671,7 +672,7 @@ mod tests {
     #[test]
     fn root_cover_spans_candidate_regions() {
         let (doc, gtp, summary, f) = feas("<r><a><b/></a><x/><a><b/></a></r>", "//a/b");
-        let cover = f.root_cover(&gtp, &summary);
+        let cover = f.root_cover(&gtp, summary.view());
         assert_eq!(cover.spans().len(), 1, "both a's share one summary path hull");
         let (l, r) = cover.spans()[0];
         let first_a = doc.region(xmldom::NodeId::from_index(1));

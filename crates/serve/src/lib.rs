@@ -62,8 +62,9 @@ use twig2stack::{
     enumerate, try_match_indexed, try_match_indexed_group, EvalContext, IndexedPlan,
     MatchOptions,
 };
+use std::path::Path;
 use xmldom::{Document, Label};
-use xmlindex::{ElementIndex, PruningPolicy};
+use xmlindex::{ElementIndex, IndexView, MappedIndex, MappedOpenError, PruningPolicy};
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -261,15 +262,20 @@ impl Drop for Permit<'_> {
 
 /// A concurrent query service over one immutable document + index.
 ///
+/// Generic over the index backend: the default `I = ElementIndex` serves
+/// from heap-built arrays, while `QueryService<MappedIndex>` (see
+/// [`QueryService::open_mapped`]) serves zero-copy from a mapped v3 file
+/// — same plans, same results, byte for byte.
+///
 /// The service is `Sync`: share it by reference across scoped threads
 /// (or wrap it in an [`Arc`]) and call
 /// [`execute`](QueryService::execute) from as many threads as you like —
 /// the gate bounds actual concurrency, the plan cache and context pool
 /// are internally synchronized, and results are byte-identical to
 /// serial, uncached evaluation (pinned by `tests/serve_differential.rs`).
-pub struct QueryService {
+pub struct QueryService<I: IndexView = ElementIndex> {
     doc: Document,
-    index: ElementIndex,
+    index: I,
     config: ServiceConfig,
     cache: PlanCache,
     contexts: Mutex<Vec<EvalContext>>,
@@ -278,9 +284,32 @@ pub struct QueryService {
 }
 
 impl QueryService {
+    /// Build the element index for `doc` and wrap it.
+    pub fn build(doc: Document, config: ServiceConfig) -> Self {
+        let index = ElementIndex::build(&doc);
+        QueryService::new(doc, index, config)
+    }
+}
+
+impl QueryService<MappedIndex> {
+    /// Serve `doc` from the mapped v3 index at `path`: boot is `mmap` +
+    /// checksum verification instead of an index build, and queries read
+    /// postings straight out of the page cache. The file must describe
+    /// the same document (`write_mapped_index` from the same parse).
+    pub fn open_mapped(
+        doc: Document,
+        path: &Path,
+        config: ServiceConfig,
+    ) -> Result<Self, MappedOpenError> {
+        let index = MappedIndex::open(path)?;
+        Ok(QueryService::new(doc, index, config))
+    }
+}
+
+impl<I: IndexView> QueryService<I> {
     /// Wrap an already-built index. `index` must have been built from
     /// `doc` (the constructor does not verify the pairing).
-    pub fn new(doc: Document, index: ElementIndex, config: ServiceConfig) -> Self {
+    pub fn new(doc: Document, index: I, config: ServiceConfig) -> Self {
         let gate = Gate::new(config.max_concurrency, config.max_waiting);
         let cache = PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards);
         QueryService {
@@ -294,19 +323,13 @@ impl QueryService {
         }
     }
 
-    /// Build the element index for `doc` and wrap it.
-    pub fn build(doc: Document, config: ServiceConfig) -> Self {
-        let index = ElementIndex::build(&doc);
-        QueryService::new(doc, index, config)
-    }
-
     /// The served document.
     pub fn doc(&self) -> &Document {
         &self.doc
     }
 
-    /// The shared element index.
-    pub fn index(&self) -> &ElementIndex {
+    /// The shared index backend.
+    pub fn index(&self) -> &I {
         &self.index
     }
 
@@ -712,6 +735,27 @@ mod tests {
         // //a/b[c] and //b/c scan {b, c}; the duplicate //a/b[c] joins
         // them, so at least one shared scan formed.
         assert!(svc.stats().queries_admitted >= 5);
+    }
+
+    #[test]
+    fn mapped_service_matches_heap_service() {
+        let path = std::env::temp_dir()
+            .join(format!("twigserve-mapped-{}.t2s", std::process::id()));
+        xmlindex::write_mapped_index(&xmldom::parse(DOC).unwrap(), &path).unwrap();
+        let heap = service(ServiceConfig::default());
+        let mapped = QueryService::open_mapped(
+            xmldom::parse(DOC).unwrap(),
+            &path,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        for q in ["//a/b[c]", "//a//b", "//b/y", "//a/b[y='2006']", "//*[b]/c"] {
+            assert_eq!(mapped.execute(q).unwrap(), heap.execute(q).unwrap(), "{q}");
+        }
+        let s = mapped.stats();
+        assert_eq!(s.plan_cache_misses, 5);
+        assert!(mapped.index().file_bytes() > 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

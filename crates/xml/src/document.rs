@@ -16,6 +16,7 @@ use std::fmt;
 /// Ids are assigned in document order: `a.index() < b.index()` iff `a`'s
 /// start tag precedes `b`'s.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)] // a bare u32: castable inside `#[repr(C)]` index records
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -14,6 +14,7 @@ use std::fmt;
 /// them. Two labels from the same table are equal iff their tag names are
 /// equal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)] // a bare u32: castable inside `#[repr(C)]` index records
 pub struct Label(u32);
 
 impl Label {

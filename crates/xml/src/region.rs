@@ -19,6 +19,7 @@ use std::fmt;
 /// Ordering is by `left` (document order of start tags), which for regions
 /// from a single document is a total order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)] // three little u32 fields in declaration order: castable from index bytes
 pub struct Region {
     /// Position of the start tag in the global tag sequence.
     pub left: u32,

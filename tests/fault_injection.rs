@@ -14,7 +14,10 @@ use gtpquery::{parse_twig, CancelToken, NodeTest, QueryError};
 use twig2stack::MatchOptions;
 use twigbaselines::{try_twig_stack_with, TwigStackStats};
 use xmldom::{parse, Document, Label};
-use xmlindex::{write_region_index, DiskRegionIndex, DiskRegionStream, PruningPolicy};
+use xmlindex::{
+    write_mapped_index, write_region_index, DiskRegionIndex, DiskRegionStream, MappedIndex,
+    MappedOpenError, PruningPolicy, SectionId,
+};
 
 /// A document whose `b` segment is large enough that chopping the file
 /// tail lands mid-record inside it (`b` is interned after `a`, so its
@@ -108,6 +111,55 @@ fn twig2stack_reports_truncated_disk_stream() {
         }
         other => panic!("expected QueryError::Stream, got {other}"),
     }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Flip one byte in the middle of every v3 section in turn: each flip
+/// must surface at open as a typed [`MappedOpenError::ChecksumMismatch`]
+/// naming exactly the corrupted section — a mapped index never serves a
+/// silently wrong byte.
+#[test]
+fn mapped_index_byte_flip_names_the_corrupt_section() {
+    let doc = sample_doc();
+    let path = std::env::temp_dir().join(format!("t2s-fault-v3-{}", std::process::id()));
+    write_mapped_index(&doc, &path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    // Recover each section's byte range from the TOC (header 24 bytes,
+    // then 32-byte entries: id u32, reserved u32, offset u64, len u64,
+    // checksum u64).
+    let section_count = u32::from_le_bytes(pristine[12..16].try_into().unwrap()) as usize;
+    assert_eq!(section_count, SectionId::ALL.len());
+    let mut flipped_sections = 0;
+    for i in 0..section_count {
+        let at = 24 + i * 32;
+        let raw_id = u32::from_le_bytes(pristine[at..at + 4].try_into().unwrap());
+        let offset =
+            u64::from_le_bytes(pristine[at + 8..at + 16].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(pristine[at + 16..at + 24].try_into().unwrap()) as usize;
+        if len == 0 {
+            continue; // nothing to corrupt (a checksum of zero bytes)
+        }
+        let mut corrupt = pristine.clone();
+        corrupt[offset + len / 2] ^= 0x40;
+        std::fs::write(&path, &corrupt).unwrap();
+        match MappedIndex::open(&path) {
+            Err(MappedOpenError::ChecksumMismatch { section }) => {
+                assert_eq!(
+                    section as u32, raw_id,
+                    "error must name the flipped section, not another"
+                );
+            }
+            other => panic!(
+                "flip in section id {raw_id} must fail its checksum, got {other:?}"
+            ),
+        }
+        flipped_sections += 1;
+    }
+    assert!(flipped_sections >= 6, "most sections are non-empty and were exercised");
+    // The pristine bytes still open cleanly — the failures above came
+    // from the injected flips alone.
+    std::fs::write(&path, &pristine).unwrap();
+    MappedIndex::open(&path).expect("pristine file verifies");
     std::fs::remove_file(&path).ok();
 }
 

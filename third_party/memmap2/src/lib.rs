@@ -1,0 +1,258 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the one API it uses: read-only shared file mappings
+//! (`Mmap::map`, `Deref<Target = [u8]>`), implemented directly over the
+//! platform `mmap`/`munmap` calls (declared here; `std` already links
+//! libc, so no external crate is needed).
+//!
+//! Two extensions beyond the upstream surface, used by the workspace's
+//! zero-copy index experiments:
+//!
+//! * [`Mmap::resident_bytes`] — how many bytes of the mapping are
+//!   currently in page cache (`mincore`), the "bytes-resident" gauge of
+//!   the mmap-vs-heap benchmarks;
+//! * [`page_size`] — the system page size.
+//!
+//! On non-Unix platforms the type degrades to a heap copy of the file
+//! (correct, just not zero-copy); `resident_bytes` then reports the full
+//! length.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory map of an entire file.
+///
+/// The mapping is private (copy-on-write semantics are irrelevant: no
+/// writes happen) and lives until drop. An empty file maps to an empty
+/// slice without touching `mmap`, which rejects zero-length mappings.
+#[derive(Debug)]
+pub struct Mmap {
+    imp: imp::Map,
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        Ok(Mmap { imp: imp::Map::new(file, len as usize)? })
+    }
+
+    /// Bytes of this mapping currently resident in memory (page cache),
+    /// rounded up to whole pages. Best-effort: errors degrade to 0.
+    pub fn resident_bytes(&self) -> usize {
+        self.imp.resident_bytes()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.imp.as_slice()
+    }
+}
+
+/// The system page size in bytes.
+pub fn page_size() -> usize {
+    imp::page_size()
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::raw::{c_int, c_long, c_uchar, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    const _SC_PAGESIZE: c_int = 30;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn mincore(addr: *mut c_void, len: usize, vec: *mut c_uchar) -> c_int;
+        fn sysconf(name: c_int) -> c_long;
+    }
+
+    /// Raw mapping: base pointer + length. Zero length ⇒ no mapping.
+    #[derive(Debug)]
+    pub(super) struct Map {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and owned; the aliasing rules for
+    // `&[u8]` handed out by `as_slice` are upheld because nothing in this
+    // process writes through the mapping.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub(super) fn new(file: &File, len: usize) -> io::Result<Map> {
+            if len == 0 {
+                return Ok(Map { ptr: std::ptr::null_mut(), len: 0 });
+            }
+            // SAFETY: requests a fresh private read-only mapping of a file
+            // descriptor we hold open; the kernel picks the address.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Map { ptr, len })
+        }
+
+        #[inline]
+        pub(super) fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `munmap` in Drop, and never written.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+
+        pub(super) fn resident_bytes(&self) -> usize {
+            if self.len == 0 {
+                return 0;
+            }
+            let page = super::page_size();
+            let pages = self.len.div_ceil(page);
+            let mut vec = vec![0u8; pages];
+            // SAFETY: `[ptr, ptr+len)` is a live mapping and `vec` holds
+            // one byte per page of it, as `mincore` requires.
+            let rc = unsafe { mincore(self.ptr, self.len, vec.as_mut_ptr()) };
+            if rc != 0 {
+                return 0;
+            }
+            vec.iter().filter(|&&b| b & 1 != 0).count() * page
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // SAFETY: unmapping the exact region mapped in `new`; the
+                // pointer is never used after drop.
+                unsafe { munmap(self.ptr, self.len) };
+            }
+        }
+    }
+
+    pub(super) fn page_size() -> usize {
+        // SAFETY: sysconf is async-signal-safe and takes no pointers.
+        let n = unsafe { sysconf(_SC_PAGESIZE) };
+        if n <= 0 {
+            4096
+        } else {
+            n as usize
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    /// Portable fallback: a heap copy of the file.
+    #[derive(Debug)]
+    pub(super) struct Map {
+        data: Vec<u8>,
+    }
+
+    impl Map {
+        pub(super) fn new(file: &File, len: usize) -> io::Result<Map> {
+            let mut data = Vec::with_capacity(len);
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut data)?;
+            Ok(Map { data })
+        }
+
+        #[inline]
+        pub(super) fn as_slice(&self) -> &[u8] {
+            &self.data
+        }
+
+        pub(super) fn resident_bytes(&self) -> usize {
+            self.data.len()
+        }
+    }
+
+    pub(super) fn page_size() -> usize {
+        4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("memmap2-test-{}-{name}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let p = tmp("contents", b"hello mapping");
+        let m = Mmap::map(&File::open(&p).unwrap()).unwrap();
+        assert_eq!(&m[..], b"hello mapping");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let p = tmp("empty", b"");
+        let m = Mmap::map(&File::open(&p).unwrap()).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.resident_bytes(), 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn resident_bytes_after_touch() {
+        let p = tmp("resident", &vec![7u8; 3 * 4096]);
+        let m = Mmap::map(&File::open(&p).unwrap()).unwrap();
+        // Touch every page, then residency must cover the whole mapping
+        // (pages were just faulted in).
+        let sum: u64 = m.iter().map(|&b| b as u64).sum();
+        assert_eq!(sum, 7 * 3 * 4096);
+        assert!(m.resident_bytes() >= m.len());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn page_size_is_sane() {
+        let p = page_size();
+        assert!(p >= 512 && p.is_power_of_two());
+    }
+}
