@@ -35,6 +35,19 @@ cargo run --release -q -p twigbench --bin experiments -- --quick figM \
 cargo run --release -q -p twigbench --bin experiments -- --quick figT \
     > /dev/null
 
+# Figure A smoke: the cost-based planner over every figure-16 query on
+# all three datasets. The driver asserts per cell that the adaptive arm
+# is byte-equal to all four forced arms, that adaptive wall clock stays
+# within 1.1x of the best forced arm, and that the planner disables
+# pruning on XMark-Q2 (the measured pruning-hurts case) — so this fails
+# on any cost-model or decision regression.
+cargo run --release -q -p twigbench --bin experiments -- --quick figA \
+    > /dev/null
+
+# Docs freshness: every crates/... path ARCHITECTURE.md cites must exist
+# and every workspace crate must be mentioned there.
+sh scripts/check_docs.sh
+
 # Documentation: the public API must be fully documented (the in-repo
 # crates set `#![warn(missing_docs)]`; -D warnings turns that fatal) and
 # every doc example must run. Third-party stubs are excluded — they are

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figM|figP|figS|figT|table1|all]
+//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figM|figP|figS|figT|table1|all]
 //! ```
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
@@ -51,12 +51,12 @@ fn main() {
     if !what.iter().all(|w| {
         matches!(
             *w,
-            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figM" | "figP"
-                | "figS" | "figT" | "table1"
+            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figA" | "figM"
+                | "figP" | "figS" | "figT" | "table1"
         )
     }) {
         eprintln!(
-            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figM|figP|figS|figT|table1|all]"
+            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figM|figP|figS|figT|table1|all]"
         );
         std::process::exit(2);
     }
@@ -93,6 +93,13 @@ fn main() {
         let (_, report) = twigbench::fig19(profile);
         println!("{report}");
         emit_sidecar("fig19", profile);
+    }
+    if wants("figA") {
+        let (_, report) = twigbench::figa(profile);
+        println!("{report}");
+        // Named "planner": the sidecar carries the plan_choices_* and
+        // prediction counters next to the engines' actual counters.
+        emit_sidecar("planner", profile);
     }
     if wants("figM") {
         let (_, report) = twigbench::figm(profile);

@@ -1,4 +1,4 @@
-//! The eight metamorphic invariants checked per (document, query) pair.
+//! The nine metamorphic invariants checked per (document, query) pair.
 //!
 //! Each invariant encodes a correctness claim of the paper (references
 //! per variant below; the full table lives in DESIGN.md §8). An
@@ -55,11 +55,16 @@ pub enum Invariant {
     /// heap index: byte-equal results, equal matcher work, and equal
     /// scan/skip counters, pruned and unpruned.
     MappedVsHeap,
+    /// The service's cost-based adaptive planner returns the same rows
+    /// as every forced-engine arm (inapplicable engines fall back to
+    /// Twig²Stack) — the planner re-routes queries, it never changes
+    /// their answers.
+    AdaptiveVsForced,
 }
 
 impl Invariant {
     /// Every invariant, in report order.
-    pub const ALL: [Invariant; 8] = [
+    pub const ALL: [Invariant; 9] = [
         Invariant::CrossEngine,
         Invariant::CountConsistency,
         Invariant::ExistenceConsistency,
@@ -68,6 +73,7 @@ impl Invariant {
         Invariant::PredicateWeakening,
         Invariant::PrunedVsUnpruned,
         Invariant::MappedVsHeap,
+        Invariant::AdaptiveVsForced,
     ];
 
     /// Stable snake_case name (used in `.t2s` corpus files and the obs
@@ -82,6 +88,7 @@ impl Invariant {
             Invariant::PredicateWeakening => "predicate_weakening",
             Invariant::PrunedVsUnpruned => "pruned_vs_unpruned",
             Invariant::MappedVsHeap => "mapped_vs_heap",
+            Invariant::AdaptiveVsForced => "adaptive_vs_forced",
         }
     }
 
@@ -149,6 +156,7 @@ pub fn check(doc: &Document, gtp: &Gtp, inv: Invariant) -> Outcome {
         Invariant::PredicateWeakening => predicate_weakening(doc, gtp, &analysis),
         Invariant::PrunedVsUnpruned => pruned_vs_unpruned(doc, gtp),
         Invariant::MappedVsHeap => mapped_vs_heap(doc, gtp),
+        Invariant::AdaptiveVsForced => adaptive_vs_forced(doc, gtp),
     }
 }
 
@@ -535,6 +543,67 @@ fn mapped_vs_heap(doc: &Document, gtp: &Gtp) -> Outcome {
         Some(msg) => Outcome::Failed(msg),
         None => Outcome::Passed,
     }
+}
+
+/// Planner soundness end to end: the same query answered through a
+/// [`twigserve::QueryService`] in adaptive mode and in every forced-arm
+/// mode must produce the same rows (sorted — the baseline engines'
+/// document-order canonicalization is part of the service contract).
+/// This also exercises the forced-mode fallback: a GTP-extension query
+/// forced onto a decomposition baseline must still be answered (by
+/// Twig²Stack), never rejected or miscomputed.
+fn adaptive_vs_forced(doc: &Document, gtp: &Gtp) -> Outcome {
+    use twigserve::{PlanEngine, PlannerMode, QueryService, ServiceConfig};
+
+    // The service takes query *text*; the canonical serialization
+    // round-trips every generated GTP, but re-parsing renumbers query
+    // nodes (and with them the result schema), so the oracle must
+    // evaluate the round-tripped form, not the original.
+    let query = gtpquery::serialize(gtp);
+    let canonical = match gtpquery::parse_twig(&query) {
+        Ok(g) => g,
+        Err(e) => {
+            return Outcome::Failed(format!(
+                "canonical serialization failed to re-parse ({query}): {e}"
+            ))
+        }
+    };
+    let expected = evaluate(doc, &canonical);
+    if expected.len() > MAX_ROWS {
+        return Outcome::Skipped("result set too large for the smoke budget");
+    }
+    let expected = expected.sorted();
+    let index = ElementIndex::build(doc);
+    let modes = [
+        ("adaptive", PlannerMode::Adaptive),
+        ("forced(twig2stack)", PlannerMode::Forced(PlanEngine::Twig2Stack)),
+        ("forced(twigstack)", PlannerMode::Forced(PlanEngine::TwigStack)),
+        ("forced(pathstack)", PlannerMode::Forced(PlanEngine::PathStack)),
+        ("forced(tjfast)", PlannerMode::Forced(PlanEngine::TJFast)),
+    ];
+    for (label, mode) in modes {
+        let svc = QueryService::new(
+            doc.clone(),
+            index.clone(),
+            ServiceConfig { planner: mode, ..ServiceConfig::default() },
+        );
+        match svc.execute(&query) {
+            Ok(rs) => {
+                let got = rs.sorted();
+                if got != expected {
+                    return Outcome::Failed(format!(
+                        "service({label}) differs from oracle: {} vs {} rows",
+                        got.len(),
+                        expected.len()
+                    ));
+                }
+            }
+            Err(e) => {
+                return Outcome::Failed(format!("service({label}) failed: {e}"));
+            }
+        }
+    }
+    Outcome::Passed
 }
 
 #[cfg(test)]

@@ -69,9 +69,10 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 ///
 /// ```
 /// use twigobs::Counter;
-/// assert_eq!(Counter::ALL.len(), 19);
+/// assert_eq!(Counter::ALL.len(), 26);
 /// assert_eq!(Counter::EdgesCreated.name(), "edges_created");
 /// assert_eq!(Counter::PlanCacheHits.name(), "plan_cache_hits");
+/// assert_eq!(Counter::PlanMispredictions.name(), "plan_mispredictions");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
@@ -118,11 +119,30 @@ pub enum Counter {
     QueriesRejected,
     /// Admitted queries aborted because their deadline expired mid-scan.
     DeadlineExceeded,
+    /// Plans the service's planner pointed at the Twig²Stack engine
+    /// (bumped once per planning event, i.e. per plan-cache miss).
+    PlanChoicesTwig2Stack,
+    /// Plans pointed at the TwigStack baseline engine.
+    PlanChoicesTwigStack,
+    /// Plans pointed at the PathStack baseline engine.
+    PlanChoicesPathStack,
+    /// Plans pointed at the TJFast baseline engine.
+    PlanChoicesTJFast,
+    /// Adaptive executions whose actual scan or output count landed
+    /// outside the planner's tolerance window (DESIGN.md §14) — nonzero
+    /// means the cost model mis-estimated, visibly.
+    PlanMispredictions,
+    /// Sum of the planner's *predicted* elements-to-scan over adaptive
+    /// executions — compare with `elements_scanned` in the same sidecar.
+    PlanPredictedScan,
+    /// Sum of the planner's *predicted* result rows over adaptive
+    /// executions — compare with `results_enumerated`.
+    PlanPredictedResults,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 26] = [
         Counter::ElementsScanned,
         Counter::StackPushes,
         Counter::Merges,
@@ -142,6 +162,13 @@ impl Counter {
         Counter::QueriesAdmitted,
         Counter::QueriesRejected,
         Counter::DeadlineExceeded,
+        Counter::PlanChoicesTwig2Stack,
+        Counter::PlanChoicesTwigStack,
+        Counter::PlanChoicesPathStack,
+        Counter::PlanChoicesTJFast,
+        Counter::PlanMispredictions,
+        Counter::PlanPredictedScan,
+        Counter::PlanPredictedResults,
     ];
 
     /// The counter's snake_case report key (stable: it is the JSON
@@ -167,6 +194,13 @@ impl Counter {
             Counter::QueriesAdmitted => "queries_admitted",
             Counter::QueriesRejected => "queries_rejected",
             Counter::DeadlineExceeded => "deadline_exceeded",
+            Counter::PlanChoicesTwig2Stack => "plan_choices_twig2stack",
+            Counter::PlanChoicesTwigStack => "plan_choices_twigstack",
+            Counter::PlanChoicesPathStack => "plan_choices_pathstack",
+            Counter::PlanChoicesTJFast => "plan_choices_tjfast",
+            Counter::PlanMispredictions => "plan_mispredictions",
+            Counter::PlanPredictedScan => "plan_predicted_scan",
+            Counter::PlanPredictedResults => "plan_predicted_results",
         }
     }
 
@@ -192,6 +226,13 @@ impl Counter {
             Counter::QueriesAdmitted => 16,
             Counter::QueriesRejected => 17,
             Counter::DeadlineExceeded => 18,
+            Counter::PlanChoicesTwig2Stack => 19,
+            Counter::PlanChoicesTwigStack => 20,
+            Counter::PlanChoicesPathStack => 21,
+            Counter::PlanChoicesTJFast => 22,
+            Counter::PlanMispredictions => 23,
+            Counter::PlanPredictedScan => 24,
+            Counter::PlanPredictedResults => 25,
         }
     }
 }
@@ -565,9 +606,11 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+        // Lowercase, digits (twig2stack), and underscores only: the
+        // names are the JSON sidecar schema.
         assert!(names
             .iter()
-            .all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c == '_')));
+            .all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! win measured by Fig T is hit-vs-miss analysis cost, not eviction
 //! precision.
 
+use crate::planner::PlanDecision;
 use gtpquery::Gtp;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
@@ -28,8 +29,14 @@ use twig2stack::IndexedPlan;
 pub struct CachedPlan {
     /// The parsed query (node ids align with `plan`).
     pub gtp: Gtp,
-    /// The summary-feasibility stream plan for the service's index.
+    /// The summary-feasibility stream plan for the service's index,
+    /// computed with the decision's [`PruningPolicy`].
+    ///
+    /// [`PruningPolicy`]: xmlindex::PruningPolicy
     pub plan: IndexedPlan,
+    /// The planner's verdict: engine, pruning policy, enumeration
+    /// strategy, and (in adaptive mode) the predictions behind them.
+    pub decision: PlanDecision,
 }
 
 #[derive(Debug)]
@@ -121,7 +128,7 @@ mod tests {
         let index = ElementIndex::build(&doc);
         let gtp = parse_twig(q).unwrap();
         let plan = IndexedPlan::compute(&gtp, &index, doc.labels(), PruningPolicy::Enabled);
-        Arc::new(CachedPlan { gtp, plan })
+        Arc::new(CachedPlan { gtp, plan, decision: PlanDecision::default() })
     }
 
     #[test]

@@ -27,7 +27,21 @@
 //!   queries that scan the same label set and feeds them from **one**
 //!   merged stream scan ([`twig2stack::try_match_indexed_group`]),
 //!   falling back to per-query evaluation when a shared scan fails so
-//!   each query still reports its own typed error.
+//!   each query still reports its own typed error;
+//! * **planner** — a cost-based [`planner`] picks engine (Twig²Stack /
+//!   TwigStack / PathStack / TJFast), [`PruningPolicy`], and
+//!   early-vs-full enumeration per cached plan from path-summary
+//!   statistics ([`gtpquery::cost`], DESIGN.md §14), recording its
+//!   predictions next to the actual counters so mispredictions are
+//!   visible. Off by default: [`PlannerMode`] defaults to
+//!   `Forced(Twig2Stack)`, the exact pre-planner behaviour.
+//!
+//! Engine caveats under a non-default [`PlannerMode`]: the baseline
+//! engines are not cancellable mid-scan (the [`CancelToken`] is checked
+//! once before they run), and their result rows are canonicalized into
+//! document order ([`ResultSet::sorted`]) so every engine returns
+//! byte-identical rows for the same full-twig query — asserted per query
+//! by the Fig A experiment and the `adaptive_vs_forced` fuzz invariant.
 //!
 //! ```
 //! use twigserve::{QueryService, ServiceConfig};
@@ -45,26 +59,35 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod planner;
 
 pub use cache::CachedPlan;
+pub use gtpquery::cost::PlanEngine;
+pub use planner::{PlanDecision, PlannerMode};
 
 use cache::PlanCache;
 use gtpquery::{
-    parse_twig, serialize, CancelToken, Gtp, QueryError, QueryParseError, ResultSet,
+    parse_twig, serialize, CancelToken, Cell, Gtp, QueryError, QueryParseError, ResultSet,
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::sync::Arc;
 use std::time::Duration;
 use twig2stack::{
-    enumerate, try_match_indexed, try_match_indexed_group, EvalContext, IndexedPlan,
-    MatchOptions,
+    enumerate, evaluate_early, try_match_indexed, try_match_indexed_group, EvalContext,
+    IndexedPlan, MatchOptions,
+};
+use twigbaselines::{
+    path_stack_indexed, tj_fast_indexed, twig_stack_indexed, DeweyResolver, PathStackStats,
+    TJFastStats, TwigStackStats,
 };
 use std::path::Path;
 use xmldom::{Document, Label};
-use xmlindex::{ElementIndex, IndexView, MappedIndex, MappedOpenError, PruningPolicy};
+use xmlindex::{
+    DeweyIndex, ElementIndex, IndexView, MappedIndex, MappedOpenError, PruningPolicy,
+};
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -84,8 +107,13 @@ pub struct ServiceConfig {
     /// `None` means no implicit deadline.
     pub default_deadline: Option<Duration>,
     /// Whether plans use path-summary pruning (on for production; off
-    /// only for A/B measurement).
+    /// only for A/B measurement). Under [`PlannerMode::Adaptive`] this is
+    /// only the fallback: the planner picks pruning per query.
     pub pruning: PruningPolicy,
+    /// How queries are planned: `Forced(engine)` (the default pins
+    /// Twig²Stack — the exact pre-planner behaviour) or `Adaptive`
+    /// cost-based selection (see [`planner`]).
+    pub planner: PlannerMode,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +125,7 @@ impl Default for ServiceConfig {
             plan_cache_shards: 8,
             default_deadline: None,
             pruning: PruningPolicy::Enabled,
+            planner: PlannerMode::default(),
         }
     }
 }
@@ -185,6 +214,12 @@ pub struct ServiceStats {
     /// Requests that drew a pooled [`EvalContext`] instead of
     /// allocating a fresh one.
     pub contexts_reused: u64,
+    /// Plans decided by the cost model (a subset of `analyses_run`;
+    /// zero under a forced planner).
+    pub plans_adaptive: u64,
+    /// Adaptive executions whose actual stream scan fell outside the
+    /// prediction tolerance ([`planner::scan_within_tolerance`]).
+    pub plan_mispredictions: u64,
 }
 
 #[derive(Debug, Default)]
@@ -198,6 +233,8 @@ struct StatsCell {
     cancelled: AtomicU64,
     analyses: AtomicU64,
     ctx_reused: AtomicU64,
+    adaptive: AtomicU64,
+    mispredict: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -281,6 +318,9 @@ pub struct QueryService<I: IndexView = ElementIndex> {
     contexts: Mutex<Vec<EvalContext>>,
     gate: Gate,
     stats: StatsCell,
+    /// TJFast's Dewey machinery, built lazily on the first plan that
+    /// selects that engine (most services never pay for it).
+    dewey: OnceLock<(DeweyIndex, DeweyResolver)>,
 }
 
 impl QueryService {
@@ -320,6 +360,7 @@ impl<I: IndexView> QueryService<I> {
             contexts: Mutex::new(Vec::new()),
             gate,
             stats: StatsCell::default(),
+            dewey: OnceLock::new(),
         }
     }
 
@@ -346,7 +387,16 @@ impl<I: IndexView> QueryService<I> {
             cancelled: s.cancelled.load(Ordering::Relaxed),
             analyses_run: s.analyses.load(Ordering::Relaxed),
             contexts_reused: s.ctx_reused.load(Ordering::Relaxed),
+            plans_adaptive: s.adaptive.load(Ordering::Relaxed),
+            plan_mispredictions: s.mispredict.load(Ordering::Relaxed),
         }
+    }
+
+    /// Plan `query` (through the cache, without admission or
+    /// evaluation) and return the planner's decision for it — the
+    /// introspection hook the pinned planner tests and Fig A use.
+    pub fn planned(&self, query: &str) -> Result<PlanDecision, ServeError> {
+        Ok(self.lookup_plan(query)?.decision)
     }
 
     /// Evaluate one query under the config's default deadline (if any).
@@ -383,16 +433,25 @@ impl<I: IndexView> QueryService<I> {
             }
         }
         // Group by scanned label set: equal sets share one merged scan.
+        // Only full-enumeration Twig²Stack plans can join a shared scan;
+        // anything the planner routed elsewhere evaluates on its own.
         type Group = (Vec<Label>, Vec<(usize, Arc<CachedPlan>)>);
         let mut groups: Vec<Group> = Vec::new();
+        let mut singles: Vec<Group> = Vec::new();
         for (i, p) in prepared {
+            let groupable =
+                p.decision.engine == PlanEngine::Twig2Stack && !p.decision.early;
+            if !groupable {
+                singles.push((Vec::new(), vec![(i, p)]));
+                continue;
+            }
             let key = p.plan.labels();
             match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, members)) => members.push((i, p)),
                 None => groups.push((key, vec![(i, p)])),
             }
         }
-        for (_, members) in groups {
+        for (_, members) in groups.into_iter().chain(singles) {
             let cancel = self.default_cancel();
             let permit = match self.admit(members.len() as u64) {
                 Ok(p) => p,
@@ -477,8 +536,18 @@ impl<I: IndexView> QueryService<I> {
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         twigobs::bump(twigobs::Counter::PlanCacheMisses);
         self.stats.analyses.fetch_add(1, Ordering::Relaxed);
-        let plan = IndexedPlan::compute(&gtp, &self.index, self.doc.labels(), self.config.pruning);
-        let cached = Arc::new(CachedPlan { gtp, plan });
+        let decision = planner::decide(
+            &gtp,
+            &self.index,
+            self.doc.labels(),
+            self.config.planner,
+            self.config.pruning,
+        );
+        if decision.adaptive {
+            self.stats.adaptive.fetch_add(1, Ordering::Relaxed);
+        }
+        let plan = IndexedPlan::compute(&gtp, &self.index, self.doc.labels(), decision.policy);
+        let cached = Arc::new(CachedPlan { gtp, plan, decision });
         let evicted = self.cache.insert(key, Arc::clone(&cached));
         if evicted > 0 {
             self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -518,7 +587,63 @@ impl<I: IndexView> QueryService<I> {
         }
     }
 
+    /// After a successful adaptive execution: mirror the predictions
+    /// into the sidecar counters (next to the engines' actual counters)
+    /// and flag the execution as mispredicted when the actual stream
+    /// scan left the tolerance window. `actual_scan` is `None` for
+    /// executions with no stream-scan proxy (early enumeration walks
+    /// parse events, not streams) — those record predictions but are
+    /// never alarmed.
+    fn record_outcome(&self, decision: &PlanDecision, actual_scan: Option<u64>) {
+        if !decision.adaptive {
+            return;
+        }
+        twigobs::add(twigobs::Counter::PlanPredictedScan, decision.predicted_scan);
+        twigobs::add(twigobs::Counter::PlanPredictedResults, decision.predicted_results);
+        if let Some(actual) = actual_scan {
+            if !planner::scan_within_tolerance(decision.predicted_scan, actual) {
+                self.stats.mispredict.fetch_add(1, Ordering::Relaxed);
+                twigobs::bump(twigobs::Counter::PlanMispredictions);
+            }
+        }
+    }
+
+    /// Per-query evaluation, dispatched on the plan's engine decision.
     fn eval_single(&self, plan: &CachedPlan, cancel: &CancelToken) -> Result<ResultSet, ServeError> {
+        match plan.decision.engine {
+            PlanEngine::Twig2Stack => self.eval_twig2stack(plan, cancel),
+            engine => self.eval_baseline(engine, plan, cancel),
+        }
+    }
+
+    /// The Twig²Stack path: early enumeration if the decision asked for
+    /// it (falling back to the full pipeline when the query shape is
+    /// unsupported), else the pooled-context match-then-enumerate
+    /// pipeline.
+    fn eval_twig2stack(
+        &self,
+        plan: &CachedPlan,
+        cancel: &CancelToken,
+    ) -> Result<ResultSet, ServeError> {
+        if plan.decision.early {
+            if let Err(e) = cancel.check() {
+                self.note_query_error(&e);
+                return Err(ServeError::Query(e));
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                evaluate_early(&self.doc, &plan.gtp, MatchOptions::default())
+            }));
+            match outcome {
+                Ok(Ok((rs, _stats))) => {
+                    self.record_outcome(&plan.decision, None);
+                    return Ok(rs);
+                }
+                // Shape outside the early fragment: run the full
+                // pipeline below instead.
+                Ok(Err(_unsupported)) => {}
+                Err(payload) => return Err(ServeError::Panicked(panic_message(payload))),
+            }
+        }
         let mut ctx = self.pop_context();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             try_match_indexed(
@@ -530,12 +655,13 @@ impl<I: IndexView> QueryService<I> {
                 Some(&mut ctx),
                 cancel,
             )
-            .map(|(tm, _stats)| (enumerate(&tm), tm))
+            .map(|(tm, stats)| (enumerate(&tm), tm, stats.elements_considered as u64))
         }));
         match outcome {
-            Ok(Ok((rs, tm))) => {
+            Ok(Ok((rs, tm, scanned))) => {
                 ctx.recycle(tm);
                 self.push_context(ctx);
+                self.record_outcome(&plan.decision, Some(scanned));
                 Ok(rs)
             }
             Ok(Err(e)) => {
@@ -547,6 +673,68 @@ impl<I: IndexView> QueryService<I> {
             }
             // A panicked evaluation may have left `ctx` mid-surgery:
             // drop it instead of pooling.
+            Err(payload) => Err(ServeError::Panicked(panic_message(payload))),
+        }
+    }
+
+    /// A decomposition baseline (TwigStack / PathStack / TJFast). These
+    /// engines do not poll the [`CancelToken`] mid-scan, so the token is
+    /// checked once up front; results are canonicalized into document
+    /// order so every engine agrees byte-for-byte.
+    fn eval_baseline(
+        &self,
+        engine: PlanEngine,
+        plan: &CachedPlan,
+        cancel: &CancelToken,
+    ) -> Result<ResultSet, ServeError> {
+        if let Err(e) = cancel.check() {
+            self.note_query_error(&e);
+            return Err(ServeError::Query(e));
+        }
+        let policy = plan.decision.policy;
+        let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
+            PlanEngine::TwigStack => {
+                let mut st = TwigStackStats::default();
+                let rs = twig_stack_indexed(&self.index, self.doc.labels(), &plan.gtp, policy, &mut st);
+                (rs.sorted(), st.elements_scanned as u64)
+            }
+            PlanEngine::PathStack => {
+                let mut st = PathStackStats::default();
+                let sols =
+                    path_stack_indexed(&self.index, self.doc.labels(), &plan.gtp, policy, &mut st);
+                let mut rs = ResultSet::new(sols.path.clone());
+                for row in sols.solutions {
+                    rs.push(row.into_iter().map(Cell::Node).collect());
+                }
+                (rs.sorted(), st.elements_scanned as u64)
+            }
+            PlanEngine::TJFast => {
+                let (dewey, resolver) = self
+                    .dewey
+                    .get_or_init(|| {
+                        let dewey = DeweyIndex::build(&self.doc);
+                        let resolver = DeweyResolver::build(&dewey, self.doc.labels());
+                        (dewey, resolver)
+                    });
+                let mut st = TJFastStats::default();
+                let rs = tj_fast_indexed(
+                    &plan.gtp,
+                    dewey,
+                    self.index.summary(),
+                    self.doc.labels(),
+                    resolver,
+                    policy,
+                    &mut st,
+                );
+                (rs.sorted(), st.elements_scanned as u64)
+            }
+            PlanEngine::Twig2Stack => unreachable!("dispatched by eval_single"),
+        }));
+        match outcome {
+            Ok((rs, scanned)) => {
+                self.record_outcome(&plan.decision, Some(scanned));
+                Ok(rs)
+            }
             Err(payload) => Err(ServeError::Panicked(panic_message(payload))),
         }
     }
@@ -735,6 +923,73 @@ mod tests {
         // //a/b[c] and //b/c scan {b, c}; the duplicate //a/b[c] joins
         // them, so at least one shared scan formed.
         assert!(svc.stats().queries_admitted >= 5);
+    }
+
+    #[test]
+    fn forced_engines_agree_with_the_default_service() {
+        let default_svc = service(ServiceConfig::default());
+        // Full-twig queries every decomposition baseline can run; the
+        // service canonicalizes baseline rows into document order, so
+        // compare sorted row sets.
+        let queries = ["//a/b[c]", "//a//b", "//b/c", "//d//c"];
+        for engine in PlanEngine::ALL {
+            let svc = service(ServiceConfig {
+                planner: PlannerMode::Forced(engine),
+                ..ServiceConfig::default()
+            });
+            for q in queries {
+                let expected = default_svc.execute(q).unwrap().sorted();
+                let got = svc.execute(q).unwrap().sorted();
+                assert_eq!(got, expected, "{engine:?} {q}");
+                let d = svc.planned(q).unwrap();
+                assert!(!d.adaptive);
+                assert_eq!(d.engine, engine, "{engine:?} is applicable to {q}");
+            }
+            // A GTP-extension query is outside every baseline's fragment:
+            // the forced service falls back to Twig²Stack and still answers.
+            let gtp_only = "//a/b!/c";
+            assert_eq!(
+                svc.execute(gtp_only).unwrap().sorted(),
+                default_svc.execute(gtp_only).unwrap().sorted(),
+                "{engine:?} fallback"
+            );
+            assert_eq!(svc.planned(gtp_only).unwrap().engine, PlanEngine::Twig2Stack);
+        }
+    }
+
+    #[test]
+    fn adaptive_service_matches_the_default_service() {
+        let default_svc = service(ServiceConfig::default());
+        let svc = service(ServiceConfig {
+            planner: PlannerMode::Adaptive,
+            ..ServiceConfig::default()
+        });
+        for q in ["//a/b[c]", "//a//b", "//b/y", "//a/b[y='2006']", "//a/b!/c"] {
+            assert_eq!(
+                svc.execute(q).unwrap().sorted(),
+                default_svc.execute(q).unwrap().sorted(),
+                "{q}"
+            );
+            let d = svc.planned(q).unwrap();
+            assert!(d.adaptive);
+        }
+        let s = svc.stats();
+        assert_eq!(s.plans_adaptive, s.analyses_run, "every analysis was cost-based");
+    }
+
+    #[test]
+    fn adaptive_batches_mix_shared_scans_with_singletons() {
+        let svc = service(ServiceConfig {
+            planner: PlannerMode::Adaptive,
+            ..ServiceConfig::default()
+        });
+        let queries = ["//a/b[c]", "//b/c", "//a/b!/c", "//d//c"];
+        let batch = svc.execute_batch(&queries);
+        for (q, r) in queries.iter().zip(&batch) {
+            let gtp = parse_twig(q).unwrap();
+            let expected = twig2stack::evaluate(svc.doc(), &gtp).sorted();
+            assert_eq!(r.as_ref().unwrap().clone().sorted(), expected, "{q}");
+        }
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! The cost-based planner: engine + pruning + enumeration selection.
+//!
+//! `twigserve` can execute every engine in the workspace — Twig²Stack
+//! (full or early enumeration), TwigStack, PathStack, and TJFast — each
+//! with pruning on or off. No single configuration wins everywhere
+//! (EXPERIMENTS.md Fig S: pruning helps 7/9 figure-16 queries but *hurts*
+//! XMark-Q2), so the service decides per query, once per canonical form,
+//! and stores the [`PlanDecision`] in the cached plan.
+//!
+//! Two modes ([`PlannerMode`]):
+//!
+//! * **`Forced(engine)`** — the escape hatch and the default: always use
+//!   `engine` with the config's [`PruningPolicy`] and full enumeration,
+//!   exactly the pre-planner behaviour (every pinned test keeps its
+//!   engine). An engine forced outside its applicability gate (a
+//!   decomposition baseline on a GTP-extension query, PathStack on a
+//!   branchy twig) falls back to Twig²Stack, which handles everything.
+//! * **`Adaptive`** — estimate stream sizes, skip-scan savings, and
+//!   output selectivities from the path summary
+//!   ([`gtpquery::cost::QueryEstimate`]) and apply the DESIGN.md §14
+//!   decision table.
+//!
+//! Adaptive decisions carry their *predictions* (elements to scan,
+//! expected results). The service records them next to the actual
+//! counters on every execution (`plan_predicted_scan` vs
+//! `elements_scanned` in the metrics sidecar) and bumps
+//! `plan_mispredictions` when the actual scan leaves the tolerance window
+//! ([`scan_within_tolerance`]) — a wrong cost model is a counter you can
+//! alert on, not a silent slowdown.
+
+use gtpquery::cost::{is_full_twig, is_linear, PlanEngine, QueryEstimate};
+use gtpquery::Gtp;
+use xmldom::LabelTable;
+use xmlindex::{IndexView, PruningPolicy};
+
+/// How the service plans queries. The default is
+/// `Forced(PlanEngine::Twig2Stack)` — the exact pre-planner behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Cost-based per-query decisions from the path summary (DESIGN.md
+    /// §14 decision table).
+    Adaptive,
+    /// Always use this engine, with the config's [`PruningPolicy`] and
+    /// full enumeration. Falls back to Twig²Stack when the query is
+    /// outside the engine's fragment (see [`applicable`]).
+    Forced(PlanEngine),
+}
+
+impl Default for PlannerMode {
+    fn default() -> Self {
+        PlannerMode::Forced(PlanEngine::Twig2Stack)
+    }
+}
+
+/// The planner's verdict for one cached plan: which engine runs it, with
+/// which pruning policy and enumeration strategy, plus the predictions
+/// the verdict was derived from (zero in forced mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanDecision {
+    /// Engine that evaluates this plan.
+    pub engine: PlanEngine,
+    /// Pruning policy the plan's streams were built with.
+    pub policy: PruningPolicy,
+    /// Early (streaming, bounded-memory) enumeration instead of the
+    /// full match-then-enumerate pipeline (Twig²Stack only; falls back
+    /// to full enumeration when the query shape does not support it).
+    pub early: bool,
+    /// True iff this decision came from the cost model (predictions are
+    /// recorded and checked only for adaptive decisions).
+    pub adaptive: bool,
+    /// Predicted elements delivered by the plan's streams per execution.
+    pub predicted_scan: u64,
+    /// Predicted result rows per execution (a lower-bound estimate: the
+    /// most selective output node's feasible element count).
+    pub predicted_results: u64,
+}
+
+impl Default for PlanDecision {
+    fn default() -> Self {
+        PlanDecision {
+            engine: PlanEngine::Twig2Stack,
+            policy: PruningPolicy::Enabled,
+            early: false,
+            adaptive: false,
+            predicted_scan: 0,
+            predicted_results: 0,
+        }
+    }
+}
+
+/// True iff `engine` can evaluate `gtp` at all. Twig²Stack handles every
+/// GTP; the decomposition baselines handle full twigs only, and PathStack
+/// additionally requires a single chain.
+pub fn applicable(engine: PlanEngine, gtp: &Gtp) -> bool {
+    match engine {
+        PlanEngine::Twig2Stack => true,
+        PlanEngine::TwigStack | PlanEngine::TJFast => is_full_twig(gtp),
+        PlanEngine::PathStack => is_full_twig(gtp) && is_linear(gtp),
+    }
+}
+
+/// Decide how to run `gtp`, per `mode`. Called once per plan-cache miss;
+/// the result lives in the cached plan.
+pub fn decide<I: IndexView>(
+    gtp: &Gtp,
+    index: &I,
+    labels: &LabelTable,
+    mode: PlannerMode,
+    config_policy: PruningPolicy,
+) -> PlanDecision {
+    let decision = match mode {
+        PlannerMode::Forced(engine) => {
+            let engine = if applicable(engine, gtp) {
+                engine
+            } else {
+                PlanEngine::Twig2Stack
+            };
+            PlanDecision { engine, policy: config_policy, ..PlanDecision::default() }
+        }
+        PlannerMode::Adaptive => {
+            let est = QueryEstimate::compute(gtp, index.summary(), labels);
+            let rec = est.recommend(gtp);
+            let engine = if applicable(rec.engine, gtp) {
+                rec.engine
+            } else {
+                PlanEngine::Twig2Stack
+            };
+            let policy = if rec.pruning {
+                PruningPolicy::Enabled
+            } else {
+                PruningPolicy::Disabled
+            };
+            let predicted_scan = match engine {
+                PlanEngine::TJFast => est.leaf_scan,
+                _ if policy.is_enabled() => est.scan_pruned,
+                _ => est.scan_full,
+            };
+            PlanDecision {
+                engine,
+                policy,
+                early: rec.early,
+                adaptive: true,
+                predicted_scan,
+                predicted_results: est.expected_results,
+            }
+        }
+    };
+    twigobs::bump(match decision.engine {
+        PlanEngine::Twig2Stack => twigobs::Counter::PlanChoicesTwig2Stack,
+        PlanEngine::TwigStack => twigobs::Counter::PlanChoicesTwigStack,
+        PlanEngine::PathStack => twigobs::Counter::PlanChoicesPathStack,
+        PlanEngine::TJFast => twigobs::Counter::PlanChoicesTJFast,
+    });
+    decision
+}
+
+/// The misprediction tolerance window: an adaptive execution whose actual
+/// stream scan lands outside a factor-4 band (plus a small absolute slack
+/// for tiny queries) around the prediction counts as a misprediction.
+/// Factor 4 separates "estimate noise" (feasible sets over-approximate,
+/// uniform-density cover scaling) from "the model is wrong" (an engine
+/// picked on a cardinality that was off by orders of magnitude).
+pub fn scan_within_tolerance(predicted: u64, actual: u64) -> bool {
+    actual <= predicted.saturating_mul(4).saturating_add(16)
+        && predicted <= actual.saturating_mul(4).saturating_add(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtpquery::parse_twig;
+    use xmlindex::ElementIndex;
+
+    fn fixture() -> (xmldom::Document, ElementIndex) {
+        let doc = xmldom::parse("<a><b><c/></b><b/><d><b><c/></b></d></a>").unwrap();
+        let index = ElementIndex::build(&doc);
+        (doc, index)
+    }
+
+    #[test]
+    fn default_mode_is_forced_twig2stack() {
+        assert_eq!(PlannerMode::default(), PlannerMode::Forced(PlanEngine::Twig2Stack));
+    }
+
+    #[test]
+    fn forced_mode_keeps_the_config_policy_and_engine() {
+        let (doc, index) = fixture();
+        let gtp = parse_twig("//a/b[c]").unwrap();
+        let d = decide(
+            &gtp,
+            &index,
+            doc.labels(),
+            PlannerMode::Forced(PlanEngine::TwigStack),
+            PruningPolicy::Disabled,
+        );
+        assert_eq!(d.engine, PlanEngine::TwigStack);
+        assert_eq!(d.policy, PruningPolicy::Disabled);
+        assert!(!d.adaptive);
+        assert_eq!(d.predicted_scan, 0, "forced mode predicts nothing");
+    }
+
+    #[test]
+    fn forcing_an_inapplicable_engine_falls_back_to_twig2stack() {
+        let (doc, index) = fixture();
+        // `b!` is non-return: outside every decomposition baseline.
+        let gtp = parse_twig("//a/b!/c").unwrap();
+        for engine in [PlanEngine::TwigStack, PlanEngine::PathStack, PlanEngine::TJFast] {
+            let d = decide(
+                &gtp,
+                &index,
+                doc.labels(),
+                PlannerMode::Forced(engine),
+                PruningPolicy::Enabled,
+            );
+            assert_eq!(d.engine, PlanEngine::Twig2Stack, "{engine:?}");
+        }
+        // A branchy (non-linear) full twig is out of PathStack's fragment.
+        let branchy = parse_twig("//a[b]/d").unwrap();
+        let d = decide(
+            &branchy,
+            &index,
+            doc.labels(),
+            PlannerMode::Forced(PlanEngine::PathStack),
+            PruningPolicy::Enabled,
+        );
+        assert_eq!(d.engine, PlanEngine::Twig2Stack);
+    }
+
+    #[test]
+    fn adaptive_mode_records_predictions() {
+        let (doc, index) = fixture();
+        let gtp = parse_twig("/a/b/c").unwrap();
+        let d = decide(&gtp, &index, doc.labels(), PlannerMode::Adaptive, PruningPolicy::Enabled);
+        assert!(d.adaptive);
+        assert!(d.predicted_scan > 0);
+        assert!(!d.early, "tiny results never trigger early enumeration");
+    }
+
+    #[test]
+    fn tolerance_window_is_a_factor_four_band() {
+        assert!(scan_within_tolerance(100, 100));
+        assert!(scan_within_tolerance(100, 400));
+        assert!(scan_within_tolerance(100, 25));
+        assert!(!scan_within_tolerance(100, 500));
+        assert!(!scan_within_tolerance(1000, 100));
+        // Absolute slack keeps tiny queries out of the alarm.
+        assert!(scan_within_tolerance(0, 16));
+        assert!(scan_within_tolerance(16, 0));
+    }
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Docs-freshness guard for the architecture handbook.
+#
+# Two-way check between ARCHITECTURE.md and the source tree:
+#   1. every `crates/...` (or scripts/.github) path the handbook cites
+#      must exist on disk — a crate move or file rename that orphans a
+#      reference fails CI instead of silently rotting the docs;
+#   2. every workspace crate directory under crates/ must be mentioned
+#      at least once — adding a crate without documenting it also fails.
+#
+# Run from anywhere; the script cd's to the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+doc=ARCHITECTURE.md
+if [ ! -f "$doc" ]; then
+    echo "check_docs: $doc is missing" >&2
+    exit 1
+fi
+
+status=0
+
+# 1. Cited paths must exist. Pull path-like tokens out of prose and
+# backticks, stripping trailing sentence punctuation.
+for p in $(grep -oE '(crates|scripts|\.github)/[A-Za-z0-9_./-]+' "$doc" \
+        | sed 's/[.,;:)]*$//' | sort -u); do
+    if [ ! -e "$p" ]; then
+        echo "check_docs: $doc references a missing path: $p" >&2
+        status=1
+    fi
+done
+
+# 2. Every workspace crate must be documented.
+for d in crates/*/; do
+    c=${d%/}
+    if ! grep -q "$c" "$doc"; then
+        echo "check_docs: $doc does not mention workspace crate $c" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_docs: ARCHITECTURE.md is in sync with the source tree"
+fi
+exit "$status"
