@@ -14,6 +14,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -q -p twigbench --bin twigfuzz -- \
     --seed 0xC1 --cases 400 --profile ci-smoke
 
+# Edit-script fuzz smoke: the edited_vs_rebuilt invariant alone over 175
+# pairs per dataset (700 seeded edit scripts — the floor is 500). Each
+# script chains random inserts/deletes/replaces (root-adjacent and
+# empty-document edges included) and asserts the incrementally
+# maintained index stays byte-equal to a rebuild after every step.
+cargo run --release -q -p twigbench --bin twigfuzz -- \
+    --seed 0xED17 --cases 175 --invariant edited_vs_rebuilt \
+    --profile ci-edit-smoke
+
 # Figure S smoke: every figure-16 query through every algorithm's indexed
 # driver with pruning on and off; the driver asserts the result sets are
 # identical per cell, so this fails on any pruning soundness regression.
@@ -42,6 +51,17 @@ cargo run --release -q -p twigbench --bin experiments -- --quick figT \
 # pruning on XMark-Q2 (the measured pruning-hurts case) — so this fails
 # on any cost-model or decision regression.
 cargo run --release -q -p twigbench --bin experiments -- --quick figA \
+    > /dev/null
+
+# Figure E smoke: the incremental edit chain vs rebuild-from-scratch on
+# every dataset. The driver asserts per step that a patched apply
+# reindexes no more than the document size, per cell that the
+# incremental and rebuilt indexes return identical result sets, per
+# dataset that total incremental reindex work stays at or below the
+# rebuild arm's, and that rotation never blocked or shed a concurrent
+# reader — so this fails on any edit-path correctness or cost
+# regression.
+cargo run --release -q -p twigbench --bin experiments -- --quick figE \
     > /dev/null
 
 # Docs freshness: every crates/... path ARCHITECTURE.md cites must exist

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figM|figP|figS|figT|table1|all]
+//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|table1|all]
 //! ```
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
@@ -51,12 +51,12 @@ fn main() {
     if !what.iter().all(|w| {
         matches!(
             *w,
-            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figA" | "figM"
-                | "figP" | "figS" | "figT" | "table1"
+            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figA" | "figE"
+                | "figM" | "figP" | "figS" | "figT" | "table1"
         )
     }) {
         eprintln!(
-            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figM|figP|figS|figT|table1|all]"
+            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|table1|all]"
         );
         std::process::exit(2);
     }
@@ -100,6 +100,15 @@ fn main() {
         // Named "planner": the sidecar carries the plan_choices_* and
         // prediction counters next to the engines' actual counters.
         emit_sidecar("planner", profile);
+    }
+    if wants("figE") {
+        let (_, report) = twigbench::fige(profile);
+        println!("{report}");
+        // Named "edits": the sidecar carries the edit-path counters
+        // (edits_applied, snapshot_rotations, renumber_events,
+        // edit_elements_reindexed, plan_cache_invalidations) next to the
+        // engine counters.
+        emit_sidecar("edits", profile);
     }
     if wants("figM") {
         let (_, report) = twigbench::figm(profile);

@@ -4,7 +4,7 @@
 //! Usage:
 //! ```text
 //! twigfuzz [--seed N] [--cases N] [--dataset NAME]... [--max-query-nodes N]
-//!          [--corpus-out DIR] [--no-shrink] [--profile NAME]
+//!          [--corpus-out DIR] [--no-shrink] [--profile NAME] [--invariant NAME]
 //! ```
 //!
 //! Runs [`twigfuzz::run_session`] over the selected dataset generators
@@ -26,7 +26,8 @@ use twigfuzz::{write_case, Dataset, GenConfig, SessionConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: twigfuzz [--seed N] [--cases N] [--dataset random|dblp|treebank|xmark]...\n\
-         \x20               [--max-query-nodes N] [--corpus-out DIR] [--no-shrink] [--profile NAME]"
+         \x20               [--max-query-nodes N] [--corpus-out DIR] [--no-shrink] [--profile NAME]\n\
+         \x20               [--invariant NAME]"
     );
     std::process::exit(2);
 }
@@ -74,6 +75,16 @@ fn main() -> ExitCode {
                     usage();
                 }
             }
+            "--invariant" => {
+                let v = value("--invariant");
+                match twigfuzz::Invariant::from_name(&v) {
+                    Some(inv) => cfg.only = Some(inv),
+                    None => {
+                        eprintln!("unknown invariant {v:?}");
+                        usage();
+                    }
+                }
+            }
             "--corpus-out" => corpus_out = value("--corpus-out"),
             "--no-shrink" => cfg.shrink_failures = false,
             "--profile" => profile = value("--profile"),
@@ -86,11 +97,12 @@ fn main() -> ExitCode {
     cfg.gen = gen;
 
     println!(
-        "twigfuzz: seed={:#x} cases/dataset={} datasets=[{}] shrink={}",
+        "twigfuzz: seed={:#x} cases/dataset={} datasets=[{}] shrink={}{}",
         cfg.seed,
         cfg.cases_per_dataset,
         cfg.datasets.iter().map(|d| d.name()).collect::<Vec<_>>().join(", "),
         cfg.shrink_failures,
+        cfg.only.map(|i| format!(" invariant={}", i.name())).unwrap_or_default(),
     );
 
     let report = twigfuzz::run_session(&cfg);

@@ -22,8 +22,8 @@ pub mod sidecar;
 pub mod workload;
 
 pub use experiments::{
-    fig14, fig15, fig16, fig17, fig18, fig19, figa, figm, figp, figs, figt, table1, Algo,
-    FigARow, FigMRow, FigSRow, FigTRow,
+    fig14, fig15, fig16, fig17, fig18, fig19, figa, fige, figm, figp, figs, figt, table1, Algo,
+    FigARow, FigERow, FigMRow, FigSRow, FigTRow,
 };
 pub use metrics::{run_tjfast, run_twig2stack, run_twigstack, QueryCost};
 pub use sidecar::{latest_sidecar, run_id, write_sidecar};

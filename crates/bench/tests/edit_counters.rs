@@ -1,0 +1,79 @@
+//! Pinned edit-path observability (obs is compiled in under twigbench's
+//! default `obs` feature, so the counters are live here).
+//!
+//! Two things are pinned: the renumber-on-overflow fix — repeated
+//! same-slot inserts must exhaust the stride-16 gap budget and surface
+//! as `renumber_events`, with the renumbered snapshot still correct —
+//! and the service-level edit counters (`edits_applied`,
+//! `snapshot_rotations`, `edit_elements_reindexed`,
+//! `plan_cache_invalidations`) that Fig E reads.
+
+use twigobs::Counter;
+use twigserve::{QueryService, ServiceConfig};
+use xmldom::{apply_op, parse, EditOp, NodeId};
+
+#[test]
+fn gap_exhaustion_renumbers_and_counts_renumber_events() {
+    twigobs::take(); // isolate this thread's counters
+    let mut doc = parse("<a><b/><c/></a>").unwrap();
+    let root = NodeId::from_index(0);
+    // Same-slot inserts between the root's start tag and its first
+    // child: the first insert renumbers a dense document, and the
+    // stride-16 gap it leaves is exhausted again within a handful of
+    // single-element grafts into the same shrinking interval.
+    const INSERTS: usize = 24;
+    for _ in 0..INSERTS {
+        let op = EditOp::InsertSubtree {
+            parent: Some(root),
+            position: 0,
+            subtree: parse("<b/>").unwrap(),
+        };
+        let (next, _) = apply_op(&doc, &op).expect("insert applies");
+        doc = next;
+    }
+    let m = twigobs::take();
+    assert_eq!(m.get(Counter::EditsApplied), INSERTS as u64);
+    assert!(
+        m.get(Counter::RenumberEvents) >= 2,
+        "expected the gap budget to exhaust repeatedly, saw {} renumber(s)",
+        m.get(Counter::RenumberEvents)
+    );
+    // The renumbered snapshot is correct: every graft landed, order intact.
+    assert_eq!(doc.len(), 3 + INSERTS);
+    let gtp = gtpquery::parse_twig("//a/b").unwrap();
+    assert_eq!(twig2stack::evaluate(&doc, &gtp).len(), INSERTS + 1);
+}
+
+#[test]
+fn service_edits_report_rotation_and_invalidation_counters() {
+    twigobs::take();
+    let svc = QueryService::build(
+        parse("<a><b><c/></b><d/></a>").unwrap(),
+        ServiceConfig::default(),
+    );
+    svc.execute("//b/c").unwrap();
+    svc.execute("//d").unwrap();
+    let root = svc.snapshot().doc().root();
+    // Dense document: the first edit renumbers, rebuilds, and drops
+    // both cached plans.
+    svc.apply_edit(&EditOp::InsertSubtree {
+        parent: Some(root),
+        position: 0,
+        subtree: parse("<b><c/></b>").unwrap(),
+    })
+    .unwrap();
+    let m = twigobs::take();
+    assert_eq!(m.get(Counter::EditsApplied), 1);
+    assert_eq!(m.get(Counter::SnapshotRotations), 1);
+    assert_eq!(m.get(Counter::RenumberEvents), 1);
+    assert_eq!(m.get(Counter::PlanCacheInvalidations), 2);
+    assert!(
+        m.get(Counter::EditElementsReindexed) >= 5,
+        "a rebuild reindexes the whole edited document"
+    );
+    // The obs counters and the always-live ServiceStats agree.
+    let stats = svc.stats();
+    assert_eq!(stats.edits_applied, 1);
+    assert_eq!(stats.snapshot_rotations, 1);
+    assert_eq!(stats.plan_cache_invalidations, 2);
+}

@@ -9,17 +9,23 @@
 //! invariant = cross_engine
 //! query = //a[b! or c!]/d
 //! xml = <a><b/><d/></a>
+//! edits = delete 1 ; insert 0 0 <b/> (optional)
 //! note = found by twigfuzz --seed 42 (optional)
 //! ```
 //!
 //! `invariant = all` (or omitting the key) replays every invariant.
+//! The optional `edits` key carries a serialized
+//! [`EditScript`]; when present, the `edited_vs_rebuilt` invariant
+//! replays that exact script (via [`check_script`]) instead of
+//! deriving one from the pair — other invariants ignore the key.
 //! The XML value is a single line (`xmldom::write` with
 //! [`Indent::None`]); keys may appear in any order; `#` starts a
 //! comment line. Files live under `corpus/` at the workspace root and
 //! are replayed by `tests/corpus_replay.rs` on every `cargo test` run.
 //! The convention is also documented in DESIGN.md §8.
 
-use crate::invariants::{check, Invariant, Outcome};
+use crate::edits::EditScript;
+use crate::invariants::{check, check_script, Invariant, Outcome};
 use gtpquery::parse_twig;
 use std::fs;
 use std::io;
@@ -35,6 +41,9 @@ pub struct CaseFile {
     pub query: String,
     /// The document, as single-line XML.
     pub xml: String,
+    /// A serialized edit script replayed by the `edited_vs_rebuilt`
+    /// invariant (other invariants ignore it).
+    pub edits: Option<String>,
     /// Free-form provenance note.
     pub note: Option<String>,
 }
@@ -46,6 +55,7 @@ impl CaseFile {
             invariant: Some(inv),
             query: gtpquery::serialize(gtp),
             xml: write(doc, Indent::None),
+            edits: None,
             note: if note.is_empty() { None } else { Some(note.to_string()) },
         }
     }
@@ -55,6 +65,7 @@ impl CaseFile {
         let mut invariant = None;
         let mut query = None;
         let mut xml = None;
+        let mut edits = None;
         let mut note = None;
         for (lineno, raw) in input.lines().enumerate() {
             let line = raw.trim();
@@ -77,6 +88,11 @@ impl CaseFile {
                 }
                 "query" => query = Some(value.to_string()),
                 "xml" => xml = Some(value.to_string()),
+                "edits" => {
+                    EditScript::parse(value)
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    edits = Some(value.to_string());
+                }
                 "note" => note = Some(value.to_string()),
                 other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
             }
@@ -85,6 +101,7 @@ impl CaseFile {
             invariant,
             query: query.ok_or("missing `query` line")?,
             xml: xml.ok_or("missing `xml` line")?,
+            edits,
             note,
         })
     }
@@ -101,6 +118,11 @@ impl CaseFile {
         out.push_str("xml = ");
         out.push_str(&self.xml);
         out.push('\n');
+        if let Some(e) = &self.edits {
+            out.push_str("edits = ");
+            out.push_str(e);
+            out.push('\n');
+        }
         if let Some(n) = &self.note {
             out.push_str("note = ");
             out.push_str(n);
@@ -120,7 +142,15 @@ impl CaseFile {
         };
         let mut failures = Vec::new();
         for &inv in invariants {
-            if let Outcome::Failed(msg) = check(&doc, &gtp, inv) {
+            let outcome = match (&self.edits, inv) {
+                (Some(text), Invariant::EditedVsRebuilt) => {
+                    let script = EditScript::parse(text)
+                        .map_err(|e| format!("edit script does not parse: {e}"))?;
+                    check_script(&doc, &gtp, &script)
+                }
+                _ => check(&doc, &gtp, inv),
+            };
+            if let Outcome::Failed(msg) = outcome {
                 failures.push((inv, msg));
             }
         }
@@ -180,6 +210,23 @@ mod tests {
         assert!(CaseFile::parse("xml = <a/>\n").is_err()); // missing query
         assert!(CaseFile::parse("query = //a\nxml = <a/>\nbogus = 1\n").is_err());
         assert!(CaseFile::parse("query = //a\nxml = <a/>\ninvariant = nope\n").is_err());
+        assert!(CaseFile::parse("query = //a\nxml = <a/>\nedits = explode 3\n").is_err());
+    }
+
+    #[test]
+    fn edits_key_round_trips_and_replays_the_stored_script() {
+        let text = "invariant = edited_vs_rebuilt\nquery = //a/b\nxml = <a><b/><c/></a>\n\
+                    edits = delete 0 ; insert - 0 <a><b/></a>\n";
+        let case = CaseFile::parse(text).unwrap();
+        assert_eq!(case.edits.as_deref(), Some("delete 0 ; insert - 0 <a><b/></a>"));
+        assert_eq!(CaseFile::parse(&case.serialize()).unwrap(), case);
+        assert_eq!(case.replay().unwrap(), vec![]);
+        // A stored script that no longer applies is a replay error, not
+        // a silent pass.
+        let broken = CaseFile { edits: Some("delete 99".to_string()), ..case };
+        let failures = broken.replay().unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].1.contains("not applicable"), "{failures:?}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The nine metamorphic invariants checked per (document, query) pair.
+//! The ten metamorphic invariants checked per (document, query) pair.
 //!
 //! Each invariant encodes a correctness claim of the paper (references
 //! per variant below; the full table lives in DESIGN.md §8). An
@@ -9,6 +9,7 @@
 //! invariant's own soundness gate, is wrong — both are worth a corpus
 //! entry.
 
+use crate::edits::{derive_script, EditScript};
 use crate::gen::group_members;
 use crate::shrink::copy_without;
 use gtpquery::{Cell, Gtp, QueryAnalysis, ResultSet, Role};
@@ -21,8 +22,8 @@ use twigbaselines::{
     tj_fast_indexed, twig_stack_indexed, DeweyResolver, PathStackStats, TJFastStats,
     TwigStackStats,
 };
-use xmldom::{write, Document, Indent};
-use xmlindex::{DeweyIndex, ElementIndex, MappedIndex, PruningPolicy, SliceStream};
+use xmldom::{write, Document, Indent, Label};
+use xmlindex::{DeweyIndex, EditApply, ElementIndex, MappedIndex, PruningPolicy, SliceStream};
 
 /// The metamorphic invariants, in report order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,11 +61,17 @@ pub enum Invariant {
     /// Twig²Stack) — the planner re-routes queries, it never changes
     /// their answers.
     AdaptiveVsForced,
+    /// Incremental index maintenance is invisible: chaining
+    /// `ElementIndex::apply_edit` across a derived random edit script
+    /// yields, at every step, an index structurally identical to one
+    /// rebuilt from scratch (elements, sid tags, skip blocks, path
+    /// summary), and byte-equal query results on the final document.
+    EditedVsRebuilt,
 }
 
 impl Invariant {
     /// Every invariant, in report order.
-    pub const ALL: [Invariant; 9] = [
+    pub const ALL: [Invariant; 10] = [
         Invariant::CrossEngine,
         Invariant::CountConsistency,
         Invariant::ExistenceConsistency,
@@ -74,6 +81,7 @@ impl Invariant {
         Invariant::PrunedVsUnpruned,
         Invariant::MappedVsHeap,
         Invariant::AdaptiveVsForced,
+        Invariant::EditedVsRebuilt,
     ];
 
     /// Stable snake_case name (used in `.t2s` corpus files and the obs
@@ -89,6 +97,7 @@ impl Invariant {
             Invariant::PrunedVsUnpruned => "pruned_vs_unpruned",
             Invariant::MappedVsHeap => "mapped_vs_heap",
             Invariant::AdaptiveVsForced => "adaptive_vs_forced",
+            Invariant::EditedVsRebuilt => "edited_vs_rebuilt",
         }
     }
 
@@ -157,6 +166,7 @@ pub fn check(doc: &Document, gtp: &Gtp, inv: Invariant) -> Outcome {
         Invariant::PrunedVsUnpruned => pruned_vs_unpruned(doc, gtp),
         Invariant::MappedVsHeap => mapped_vs_heap(doc, gtp),
         Invariant::AdaptiveVsForced => adaptive_vs_forced(doc, gtp),
+        Invariant::EditedVsRebuilt => check_script(doc, gtp, &derive_script(doc, gtp)),
     }
 }
 
@@ -606,6 +616,90 @@ fn adaptive_vs_forced(doc: &Document, gtp: &Gtp) -> Outcome {
     Outcome::Passed
 }
 
+/// The harness behind [`Invariant::EditedVsRebuilt`], shared with corpus
+/// replay (a `.t2s` file's `edits =` key routes here with the stored
+/// script instead of the derived one).
+///
+/// Replays `script` against `doc`, maintaining **one** index
+/// incrementally across the whole chain while rebuilding a fresh index
+/// at every step, and demands the two be structurally identical —
+/// element partitions, sid tags, skip-block tables, and the path
+/// summary — whether the step was patched in place or fell back to a
+/// rebuild. On the final document the incrementally-maintained index
+/// must also produce byte-equal query results to the rebuilt one and to
+/// the naive oracle, pruned and unpruned: structural equality proves
+/// the encoding, the query pass proves the index is actually usable.
+pub fn check_script(doc: &Document, gtp: &Gtp, script: &EditScript) -> Outcome {
+    let steps = match script.apply(doc) {
+        Ok(s) => s,
+        Err(e) => return Outcome::Failed(format!("edit script is not applicable: {e}")),
+    };
+    if steps.is_empty() {
+        return Outcome::Skipped("empty edit script");
+    }
+    let mut patched = ElementIndex::build(doc);
+    for (step, (edited, delta)) in steps.iter().enumerate() {
+        let (next, how) = patched.apply_edit(edited, delta);
+        patched = next;
+        let rebuilt = ElementIndex::build(edited);
+        if let Some(msg) = index_diff(&patched, &rebuilt, edited) {
+            let how = match how {
+                EditApply::Patched => "patched",
+                EditApply::Rebuilt => "rebuilt",
+            };
+            return Outcome::Failed(format!("step {step} ({how}): {msg}"));
+        }
+    }
+    let (last, _) = steps.last().expect("non-empty steps");
+    let analysis = QueryAnalysis::new(gtp);
+    if !last.is_empty() && analysis.enumerable() && !analysis.columns().is_empty() {
+        let expected = naive_evaluate(last, gtp);
+        if expected.len() > MAX_ROWS {
+            return Outcome::Skipped("result set too large for the smoke budget");
+        }
+        let rebuilt = ElementIndex::build(last);
+        for policy in [PruningPolicy::Enabled, PruningPolicy::Disabled] {
+            let inc = evaluate_indexed(last, &patched, gtp, policy);
+            let fresh = evaluate_indexed(last, &rebuilt, gtp, policy);
+            if inc != fresh {
+                return diff("edited index", &inc, &fresh);
+            }
+            if inc != expected {
+                return diff("edited index vs naive oracle", &inc, &expected);
+            }
+        }
+    }
+    Outcome::Passed
+}
+
+/// First structural difference between an incrementally-patched index
+/// and a rebuilt one, or `None` when they are identical.
+fn index_diff(patched: &ElementIndex, rebuilt: &ElementIndex, doc: &Document) -> Option<String> {
+    if patched.label_count() != rebuilt.label_count() {
+        return Some(format!(
+            "label_count {} vs rebuilt {}",
+            patched.label_count(),
+            rebuilt.label_count()
+        ));
+    }
+    for ix in 0..doc.labels().len() {
+        let l = Label::from_index(ix);
+        if patched.elements(l) != rebuilt.elements(l) {
+            return Some(format!("label {ix}: element partition differs"));
+        }
+        if patched.sids(l) != rebuilt.sids(l) {
+            return Some(format!("label {ix}: sid tags differ"));
+        }
+        if patched.blocks(l) != rebuilt.blocks(l) {
+            return Some(format!("label {ix}: skip-block table differs"));
+        }
+    }
+    if patched.path_summary() != rebuilt.path_summary() {
+        return Some("path summary differs".to_string());
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +755,37 @@ mod tests {
                 "{q}"
             );
         }
+    }
+
+    #[test]
+    fn edited_vs_rebuilt_passes_on_known_pairs() {
+        for (xml, q) in [
+            ("<a><b><c/></b><b/></a>", "//a/b//c"),
+            ("<a><b>x</b><b>y</b></a>", "//a/b='x'"),
+            ("<a><b/><c/></a>", "//a[b! or d!]"),
+        ] {
+            let doc = parse(xml).unwrap();
+            let gtp = parse_twig(q).unwrap();
+            assert_eq!(check(&doc, &gtp, Invariant::EditedVsRebuilt), Outcome::Passed, "{q}");
+        }
+    }
+
+    #[test]
+    fn check_script_covers_root_delete_and_revive() {
+        let doc = parse("<a><b/><c/></a>").unwrap();
+        let gtp = parse_twig("//a/b").unwrap();
+        let script =
+            EditScript::parse("delete 0 ; insert - 0 <a><b/></a> ; insert 0 1 <c><b/></c>")
+                .unwrap();
+        assert_eq!(check_script(&doc, &gtp, &script), Outcome::Passed);
+    }
+
+    #[test]
+    fn check_script_fails_on_inapplicable_scripts() {
+        let doc = parse("<a/>").unwrap();
+        let gtp = parse_twig("//a").unwrap();
+        let script = EditScript::parse("delete 99").unwrap();
+        assert!(matches!(check_script(&doc, &gtp, &script), Outcome::Failed(_)));
     }
 
     #[test]

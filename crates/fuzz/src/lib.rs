@@ -10,13 +10,20 @@
 //!   roles, optional edges, OR-groups, and value predicates. Every
 //!   generated query round-trips `gtpquery::serialize` ∘
 //!   `gtpquery::parse_twig` losslessly.
-//! * [`invariants`] — seven metamorphic invariants checked per (document,
+//! * [`invariants`] — ten metamorphic invariants checked per (document,
 //!   query) pair: cross-engine agreement, count/enumerate consistency,
 //!   existence consistency, early-vs-full equality, serial-vs-parallel
-//!   equality, and predicate-weakening monotonicity. See DESIGN.md §8
-//!   for the mapping to paper sections.
+//!   equality, predicate-weakening monotonicity, pruned-vs-unpruned and
+//!   mapped-vs-heap equivalence, adaptive-vs-forced planning, and
+//!   edited-vs-rebuilt index maintenance. See DESIGN.md §8 for the
+//!   mapping to paper sections.
+//! * [`edits`] — seeded random edit scripts (insert/delete/replace
+//!   subtrees, including root deletion and empty-document revival) that
+//!   drive the `edited_vs_rebuilt` invariant and ride in the `edits =`
+//!   key of corpus files.
 //! * [`mod@shrink`] — greedy minimization of failing pairs (prune query
-//!   nodes, delete document subtrees) so regressions are readable.
+//!   nodes, delete document subtrees, drop edit-script ops) so
+//!   regressions are readable.
 //! * [`corpus`] — self-contained `.t2s` case files under `corpus/`,
 //!   replayed by `tests/corpus_replay.rs` on every build.
 //! * [`session`] — the seeded fuzzing loop used by both the
@@ -28,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod edits;
 pub mod gen;
 pub mod invariants;
 pub mod session;
@@ -35,8 +43,9 @@ pub mod shrink;
 pub mod vocab;
 
 pub use corpus::{write_case, CaseFile};
+pub use edits::{derive_script, EditScript, ScriptOp, DERIVED_STEPS};
 pub use gen::{generate_query, GenConfig};
-pub use invariants::{check, check_case, CaseOutcome, Invariant, Outcome};
+pub use invariants::{check, check_case, check_script, CaseOutcome, Invariant, Outcome};
 pub use session::{run_session, Dataset, FailureCase, SessionConfig, SessionReport};
-pub use shrink::{copy_without, shrink};
+pub use shrink::{copy_without, shrink, shrink_script};
 pub use vocab::Vocabulary;

@@ -11,9 +11,10 @@
 //! experiment run.
 
 use crate::corpus::{fnv1a, CaseFile};
+use crate::edits::derive_script;
 use crate::gen::{generate_query, GenConfig};
-use crate::invariants::{check_case, Invariant};
-use crate::shrink::shrink;
+use crate::invariants::{check, check_case, CaseOutcome, Invariant};
+use crate::shrink::{shrink, shrink_script};
 use crate::vocab::Vocabulary;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -97,6 +98,11 @@ pub struct SessionConfig {
     pub gen: GenConfig,
     /// Minimize failing pairs before reporting them.
     pub shrink_failures: bool,
+    /// Restrict the session to one invariant (`None` runs all ten).
+    /// Used by the dedicated CI edit-script smoke, which needs a
+    /// guaranteed count of `edited_vs_rebuilt` checks without paying
+    /// for the other nine on every pair.
+    pub only: Option<Invariant>,
 }
 
 impl Default for SessionConfig {
@@ -107,6 +113,7 @@ impl Default for SessionConfig {
             datasets: Dataset::ALL.to_vec(),
             gen: GenConfig::default(),
             shrink_failures: true,
+            only: None,
         }
     }
 }
@@ -161,7 +168,20 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
 
             twigobs::bump(twigobs::Counter::FuzzCases);
             report.cases += 1;
-            let out = check_case(d, &gtp);
+            let out = match cfg.only {
+                None => check_case(d, &gtp),
+                Some(inv) => {
+                    let mut out = CaseOutcome::default();
+                    match check(d, &gtp, inv) {
+                        crate::invariants::Outcome::Passed => out.passed += 1,
+                        crate::invariants::Outcome::Skipped(_) => out.skipped += 1,
+                        crate::invariants::Outcome::Failed(msg) => {
+                            out.failures.push((inv, msg))
+                        }
+                    }
+                    out
+                }
+            };
             report.passed += out.passed;
             report.skipped += out.skipped;
             twigobs::add(
@@ -181,11 +201,23 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
                     cfg.seed,
                     i
                 );
+                let mut case = CaseFile::from_failure(&sdoc, &sgtp, inv, &note);
+                if inv == Invariant::EditedVsRebuilt {
+                    // Pin the exact script: replay must not depend on
+                    // the derivation staying stable across releases.
+                    let script = derive_script(&sdoc, &sgtp);
+                    let script = if cfg.shrink_failures {
+                        shrink_script(&sdoc, &sgtp, script)
+                    } else {
+                        script
+                    };
+                    case.edits = Some(script.serialize());
+                }
                 report.failures.push(FailureCase {
                     dataset,
                     invariant: inv,
                     message,
-                    case: CaseFile::from_failure(&sdoc, &sgtp, inv, &note),
+                    case,
                 });
             }
         }
@@ -216,6 +248,21 @@ mod tests {
                 doc.len()
             );
         }
+    }
+
+    #[test]
+    fn only_filter_runs_exactly_one_invariant_per_pair() {
+        let cfg = SessionConfig {
+            cases_per_dataset: 8,
+            datasets: vec![Dataset::Dblp],
+            only: Some(Invariant::EditedVsRebuilt),
+            ..Default::default()
+        };
+        let r = run_session(&cfg);
+        assert_eq!(r.cases, 8);
+        assert_eq!(r.passed + r.skipped, 8, "one check per pair, no more");
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        assert!(r.passed > 0, "at least one pair must exercise an edit script");
     }
 
     #[test]

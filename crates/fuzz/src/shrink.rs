@@ -8,7 +8,8 @@
 //! round cap — each accepted step strictly shrinks the pair, so the
 //! loop terminates.
 
-use crate::invariants::{check, Invariant, Outcome};
+use crate::edits::EditScript;
+use crate::invariants::{check, check_script, Invariant, Outcome};
 use gtpquery::{Gtp, GtpBuilder, NodeTest, QNodeId, QueryAnalysis};
 use xmldom::Document;
 use xmlgen::{extract_subtree, remove_subtree};
@@ -138,6 +139,40 @@ pub fn shrink(mut doc: Document, mut gtp: Gtp, inv: Invariant) -> (Document, Gtp
     (doc, gtp)
 }
 
+/// Minimize a failing edit script under the `edited_vs_rebuilt`
+/// invariant by greedily dropping ops, keeping a candidate only when it
+/// still *applies cleanly* and still fails [`check_script`] — dropping
+/// an op can strand a later op's preorder target, and an inapplicable
+/// script is a useless regression case. If the script does not actually
+/// fail, it is returned unchanged.
+pub fn shrink_script(doc: &Document, gtp: &Gtp, mut script: EditScript) -> EditScript {
+    let fails = |s: &EditScript| {
+        s.apply(doc).is_ok() && matches!(check_script(doc, gtp, s), Outcome::Failed(_))
+    };
+    if !fails(&script) {
+        return script;
+    }
+    loop {
+        let mut progress = false;
+        for i in 0..script.ops.len() {
+            if script.ops.len() == 1 {
+                break;
+            }
+            let mut cand = script.clone();
+            cand.ops.remove(i);
+            if fails(&cand) {
+                script = cand;
+                progress = true;
+                break;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    script
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +201,13 @@ mod tests {
     fn copy_without_root_is_none() {
         let g = parse_twig("//a/b").unwrap();
         assert!(copy_without(&g, g.root()).is_none());
+    }
+
+    #[test]
+    fn shrink_script_returns_passing_scripts_unchanged() {
+        let doc = xmldom::parse("<a><b/><c/></a>").unwrap();
+        let gtp = parse_twig("//a/b").unwrap();
+        let script = EditScript::parse("delete 2 ; insert 0 0 <b/>").unwrap();
+        assert_eq!(shrink_script(&doc, &gtp, script.clone()), script);
     }
 }

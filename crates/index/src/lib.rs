@@ -37,8 +37,8 @@ pub use disk::{
 };
 pub use schema::Schema;
 pub use stream::{
-    filter_worthwhile, ElemStream, ElementIndex, EmptyStream, IndexView, IndexedElement,
-    PrunedStream, PruningPolicy, ScanCost, SliceStream, StreamError,
+    filter_worthwhile, EditApply, ElemStream, ElementIndex, EmptyStream, IndexView,
+    IndexedElement, PrunedStream, PruningPolicy, ScanCost, SliceStream, StreamError,
 };
 pub use summary::{PathSummary, RegionCover, SummaryNode, SummaryRef, SummarySet};
 pub use v3::{

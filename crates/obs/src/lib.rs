@@ -69,10 +69,11 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 ///
 /// ```
 /// use twigobs::Counter;
-/// assert_eq!(Counter::ALL.len(), 26);
+/// assert_eq!(Counter::ALL.len(), 31);
 /// assert_eq!(Counter::EdgesCreated.name(), "edges_created");
 /// assert_eq!(Counter::PlanCacheHits.name(), "plan_cache_hits");
 /// assert_eq!(Counter::PlanMispredictions.name(), "plan_mispredictions");
+/// assert_eq!(Counter::EditsApplied.name(), "edits_applied");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
@@ -138,11 +139,28 @@ pub enum Counter {
     /// Sum of the planner's *predicted* result rows over adaptive
     /// executions — compare with `results_enumerated`.
     PlanPredictedResults,
+    /// Document edit operations (insert/delete/replace subtree) applied
+    /// successfully by `xmldom::edit::apply_op`.
+    EditsApplied,
+    /// Query-service snapshot rotations: each counts one batch of edits
+    /// swapped in behind the readers' `Arc`.
+    SnapshotRotations,
+    /// Whole-document region renumberings forced by an exhausted gap
+    /// budget between two adjacent tag positions (DESIGN.md §15).
+    RenumberEvents,
+    /// Elements rewritten into label partitions by incremental index
+    /// maintenance — the work a full rebuild would spend on *every*
+    /// element (the Fig E incremental-vs-rebuild cost axis).
+    EditElementsReindexed,
+    /// Cached plans dropped by snapshot rotation because their label set
+    /// intersected the edit's changed labels (or the summary was
+    /// rebuilt).
+    PlanCacheInvalidations,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 31] = [
         Counter::ElementsScanned,
         Counter::StackPushes,
         Counter::Merges,
@@ -169,6 +187,11 @@ impl Counter {
         Counter::PlanMispredictions,
         Counter::PlanPredictedScan,
         Counter::PlanPredictedResults,
+        Counter::EditsApplied,
+        Counter::SnapshotRotations,
+        Counter::RenumberEvents,
+        Counter::EditElementsReindexed,
+        Counter::PlanCacheInvalidations,
     ];
 
     /// The counter's snake_case report key (stable: it is the JSON
@@ -201,6 +224,11 @@ impl Counter {
             Counter::PlanMispredictions => "plan_mispredictions",
             Counter::PlanPredictedScan => "plan_predicted_scan",
             Counter::PlanPredictedResults => "plan_predicted_results",
+            Counter::EditsApplied => "edits_applied",
+            Counter::SnapshotRotations => "snapshot_rotations",
+            Counter::RenumberEvents => "renumber_events",
+            Counter::EditElementsReindexed => "edit_elements_reindexed",
+            Counter::PlanCacheInvalidations => "plan_cache_invalidations",
         }
     }
 
@@ -233,6 +261,11 @@ impl Counter {
             Counter::PlanMispredictions => 23,
             Counter::PlanPredictedScan => 24,
             Counter::PlanPredictedResults => 25,
+            Counter::EditsApplied => 26,
+            Counter::SnapshotRotations => 27,
+            Counter::RenumberEvents => 28,
+            Counter::EditElementsReindexed => 29,
+            Counter::PlanCacheInvalidations => 30,
         }
     }
 }

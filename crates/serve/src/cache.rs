@@ -14,6 +14,16 @@
 //! win measured by Fig T is hit-vs-miss analysis cost, not eviction
 //! precision.
 
+//! Snapshot rotation (document edits) adds a second dimension: every
+//! entry carries the snapshot version it was computed against, and only
+//! entries whose version matches the caller's current snapshot count as
+//! hits. `PlanCache::rotate` (crate-private) moves the cache from one
+//! version to the
+//! next: entries whose scanned label set intersects the edit's changed
+//! labels are dropped (their filters, covers, and sid hulls may be
+//! stale), the rest are re-stamped to the new version — the analysis
+//! amortization survives edits that don't touch a plan's labels.
+
 use crate::planner::PlanDecision;
 use gtpquery::Gtp;
 use std::collections::HashMap;
@@ -21,6 +31,7 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use twig2stack::IndexedPlan;
+use xmldom::Label;
 
 /// A cached, immutable evaluation plan: the parsed query and its
 /// index-specific stream plan. Shared by `Arc` so a hit never copies and
@@ -43,6 +54,9 @@ pub struct CachedPlan {
 struct Entry {
     plan: Arc<CachedPlan>,
     stamp: u64,
+    /// Snapshot version the plan was computed against; valid only while
+    /// it equals the service's current snapshot version.
+    version: u64,
 }
 
 /// Sharded LRU map from canonical query text to [`CachedPlan`].
@@ -72,27 +86,34 @@ impl PlanCache {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Look `key` up, refreshing its recency stamp on a hit.
-    pub(crate) fn get(&self, key: &str) -> Option<Arc<CachedPlan>> {
+    /// Look `key` up against snapshot `version`, refreshing its recency
+    /// stamp on a hit. An entry computed against a different snapshot
+    /// (it raced a rotation) is dropped and reported as a miss.
+    pub(crate) fn get(&self, key: &str, version: u64) -> Option<Arc<CachedPlan>> {
         if self.per_shard_capacity == 0 {
             return None;
         }
         let mut shard = self.shard(key).lock().expect("plan cache poisoned");
         let entry = shard.get_mut(key)?;
+        if entry.version != version {
+            shard.remove(key);
+            return None;
+        }
         entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         Some(Arc::clone(&entry.plan))
     }
 
-    /// Insert (or refresh) `key`, evicting least-recently-used entries in
-    /// the key's shard while it is over capacity. Returns how many
-    /// entries were evicted (0 or 1 in steady state).
-    pub(crate) fn insert(&self, key: String, plan: Arc<CachedPlan>) -> u64 {
+    /// Insert (or refresh) `key` for snapshot `version`, evicting
+    /// least-recently-used entries in the key's shard while it is over
+    /// capacity. Returns how many entries were evicted (0 or 1 in steady
+    /// state).
+    pub(crate) fn insert(&self, key: String, plan: Arc<CachedPlan>, version: u64) -> u64 {
         if self.per_shard_capacity == 0 {
             return 0;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(&key).lock().expect("plan cache poisoned");
-        shard.insert(key, Entry { plan, stamp });
+        shard.insert(key, Entry { plan, stamp, version });
         let mut evicted = 0;
         while shard.len() > self.per_shard_capacity {
             let oldest = shard
@@ -104,6 +125,33 @@ impl PlanCache {
             evicted += 1;
         }
         evicted
+    }
+
+    /// Move the cache from the snapshot preceding `new_version` to
+    /// `new_version` after an edit. Entries survive (re-stamped to the
+    /// new version) only if they were valid for the previous snapshot
+    /// and, when `changed` is `Some`, their scanned label set is disjoint
+    /// from the edit's changed labels; `changed = None` means the index
+    /// was rebuilt (sid numbering may have moved) and every entry is
+    /// stale. Returns how many entries were invalidated.
+    pub(crate) fn rotate(&self, changed: Option<&[Label]>, new_version: u64) -> u64 {
+        let mut invalidated = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan cache poisoned");
+            shard.retain(|_, e| {
+                let keep = e.version + 1 == new_version
+                    && changed.is_some_and(|c| {
+                        e.plan.plan.labels().iter().all(|l| !c.contains(l))
+                    });
+                if keep {
+                    e.version = new_version;
+                } else {
+                    invalidated += 1;
+                }
+                keep
+            });
+        }
+        invalidated
     }
 
     /// Number of cached plans across all shards (test/diagnostic aid).
@@ -134,17 +182,17 @@ mod tests {
     #[test]
     fn get_after_insert_hits() {
         let cache = PlanCache::new(8, 2);
-        assert!(cache.get("//a").is_none());
-        cache.insert("//a".into(), plan_for("//a"));
-        assert!(cache.get("//a").is_some());
+        assert!(cache.get("//a", 0).is_none());
+        cache.insert("//a".into(), plan_for("//a"), 0);
+        assert!(cache.get("//a", 0).is_some());
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
     fn zero_capacity_disables_the_cache() {
         let cache = PlanCache::new(0, 4);
-        assert_eq!(cache.insert("//a".into(), plan_for("//a")), 0);
-        assert!(cache.get("//a").is_none());
+        assert_eq!(cache.insert("//a".into(), plan_for("//a"), 0), 0);
+        assert!(cache.get("//a", 0).is_none());
         assert_eq!(cache.len(), 0);
     }
 
@@ -152,26 +200,67 @@ mod tests {
     fn lru_evicts_the_stalest_entry_per_shard() {
         // One shard so recency order is total and the test deterministic.
         let cache = PlanCache::new(2, 1);
-        cache.insert("//a".into(), plan_for("//a"));
-        cache.insert("//b".into(), plan_for("//b"));
+        cache.insert("//a".into(), plan_for("//a"), 0);
+        cache.insert("//b".into(), plan_for("//b"), 0);
         // Touch //a so //b becomes the LRU victim.
-        assert!(cache.get("//a").is_some());
-        let evicted = cache.insert("//c".into(), plan_for("//c"));
+        assert!(cache.get("//a", 0).is_some());
+        let evicted = cache.insert("//c".into(), plan_for("//c"), 0);
         assert_eq!(evicted, 1);
-        assert!(cache.get("//a").is_some(), "recently used entry survives");
-        assert!(cache.get("//b").is_none(), "LRU entry was evicted");
-        assert!(cache.get("//c").is_some());
+        assert!(cache.get("//a", 0).is_some(), "recently used entry survives");
+        assert!(cache.get("//b", 0).is_none(), "LRU entry was evicted");
+        assert!(cache.get("//c", 0).is_some());
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn an_evicted_plan_stays_usable_while_referenced() {
         let cache = PlanCache::new(1, 1);
-        cache.insert("//a".into(), plan_for("//a"));
-        let held = cache.get("//a").unwrap();
-        cache.insert("//b".into(), plan_for("//b"));
-        assert!(cache.get("//a").is_none());
+        cache.insert("//a".into(), plan_for("//a"), 0);
+        let held = cache.get("//a", 0).unwrap();
+        cache.insert("//b".into(), plan_for("//b"), 0);
+        assert!(cache.get("//a", 0).is_none());
         // The Arc keeps the evicted plan alive for the in-flight request.
         assert!(!held.plan.is_unsatisfiable());
+    }
+
+    #[test]
+    fn version_mismatch_is_a_dropping_miss() {
+        let cache = PlanCache::new(8, 1);
+        cache.insert("//a".into(), plan_for("//a"), 0);
+        assert!(cache.get("//a", 1).is_none(), "stale-version entry is not served");
+        assert_eq!(cache.len(), 0, "and it is dropped on the way out");
+    }
+
+    #[test]
+    fn rotate_keeps_disjoint_plans_and_drops_touched_ones() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let b = doc.labels().get("b").unwrap();
+        let cache = PlanCache::new(8, 2);
+        cache.insert("//a/b".into(), plan_for("//a/b"), 0);
+        cache.insert("//c".into(), plan_for("//c"), 0);
+        let invalidated = cache.rotate(Some(&[b]), 1);
+        assert_eq!(invalidated, 1, "only the plan scanning b is stale");
+        assert!(cache.get("//a/b", 1).is_none());
+        assert!(cache.get("//c", 1).is_some(), "disjoint plan re-stamped to the new version");
+    }
+
+    #[test]
+    fn rotate_after_a_rebuild_clears_everything() {
+        let cache = PlanCache::new(8, 2);
+        cache.insert("//a/b".into(), plan_for("//a/b"), 0);
+        cache.insert("//c".into(), plan_for("//c"), 0);
+        assert_eq!(cache.rotate(None, 1), 2);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn rotate_drops_entries_that_skipped_a_version() {
+        let cache = PlanCache::new(8, 1);
+        // Raced insert: computed against snapshot 0, lands while the
+        // service is already rotating 1 -> 2. Its validity for version 2
+        // is unknown even with disjoint labels, so it must go.
+        cache.insert("//c".into(), plan_for("//c"), 0);
+        assert_eq!(cache.rotate(Some(&[]), 2), 1);
+        assert_eq!(cache.len(), 0);
     }
 }

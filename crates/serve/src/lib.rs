@@ -2,9 +2,10 @@
 //!
 //! Every engine in this workspace answers one query over one document.
 //! This crate is the serving layer above them: a [`QueryService`] owns
-//! one immutable [`ElementIndex`] (plus its path summary) and evaluates
-//! many GTP queries against it concurrently, the way a twig-join engine
-//! would sit inside an XML database. Four mechanisms, per DESIGN.md §12:
+//! an immutable [`Snapshot`] (document + index + path summary) and
+//! evaluates many GTP queries against it concurrently, the way a
+//! twig-join engine would sit inside an XML database. Four mechanisms,
+//! per DESIGN.md §12:
 //!
 //! * **plan cache** — parsing is cheap but the summary-feasibility
 //!   analysis behind the pruned streams is per-(query, index) work worth
@@ -35,6 +36,18 @@
 //!   predictions next to the actual counters so mispredictions are
 //!   visible. Off by default: [`PlannerMode`] defaults to
 //!   `Forced(Twig2Stack)`, the exact pre-planner behaviour.
+//!
+//! A fifth mechanism (DESIGN.md §15) makes the served document mutable
+//! without ever making a snapshot mutable: [`QueryService::apply_edit`]
+//! takes an [`xmldom::EditOp`], derives the post-edit document and index
+//! (incrementally patched when the edit fits existing region gaps, fully
+//! rebuilt otherwise), and **rotates** the result in as a new
+//! [`Snapshot`] behind an [`Arc`] swap. In-flight queries keep reading
+//! the snapshot they were admitted under — rotation never blocks or
+//! tears a reader — and cached plans are invalidated precisely: a plan
+//! survives an edit iff the index was patched (summary-id numbering
+//! preserved) and the plan's scanned label set is disjoint from the
+//! edit's changed labels.
 //!
 //! Engine caveats under a non-default [`PlannerMode`]: the baseline
 //! engines are not cancellable mid-scan (the [`CancelToken`] is checked
@@ -72,7 +85,7 @@ use gtpquery::{
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock, RwLock};
 use std::sync::Arc;
 use std::time::Duration;
 use twig2stack::{
@@ -84,9 +97,10 @@ use twigbaselines::{
     TJFastStats, TwigStackStats,
 };
 use std::path::Path;
-use xmldom::{Document, Label};
+use xmldom::{apply_op, Document, EditDelta, EditError, EditOp, Label};
 use xmlindex::{
-    DeweyIndex, ElementIndex, IndexView, MappedIndex, MappedOpenError, PruningPolicy,
+    DeweyIndex, EditApply, ElementIndex, IndexView, IndexedElement, MappedIndex, MappedOpenError,
+    PruningPolicy, SummaryRef,
 };
 
 /// Tuning knobs for a [`QueryService`].
@@ -150,6 +164,9 @@ pub enum ServeError {
     /// The engine panicked; the panic was contained to this request and
     /// its message captured.
     Panicked(String),
+    /// A document edit was rejected before anything changed: the current
+    /// snapshot is untouched and keeps serving.
+    Edit(EditError),
 }
 
 impl fmt::Display for ServeError {
@@ -162,6 +179,7 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Query(e) => write!(f, "{e}"),
             ServeError::Panicked(msg) => write!(f, "evaluation panicked: {msg}"),
+            ServeError::Edit(e) => write!(f, "edit rejected: {e}"),
         }
     }
 }
@@ -171,6 +189,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Parse(e) => Some(e),
             ServeError::Query(e) => Some(e),
+            ServeError::Edit(e) => Some(e),
             _ => None,
         }
     }
@@ -185,6 +204,12 @@ impl From<QueryParseError> for ServeError {
 impl From<QueryError> for ServeError {
     fn from(e: QueryError) -> Self {
         ServeError::Query(e)
+    }
+}
+
+impl From<EditError> for ServeError {
+    fn from(e: EditError) -> Self {
+        ServeError::Edit(e)
     }
 }
 
@@ -220,6 +245,15 @@ pub struct ServiceStats {
     /// Adaptive executions whose actual stream scan fell outside the
     /// prediction tolerance ([`planner::scan_within_tolerance`]).
     pub plan_mispredictions: u64,
+    /// Document edits applied through [`QueryService::apply_edit`]
+    /// (rejected edits do not count).
+    pub edits_applied: u64,
+    /// Snapshot rotations completed (== `edits_applied`: every applied
+    /// edit publishes exactly one new snapshot).
+    pub snapshot_rotations: u64,
+    /// Cached plans invalidated by snapshot rotations (the complement of
+    /// the plans whose analysis survived an edit).
+    pub plan_cache_invalidations: u64,
 }
 
 #[derive(Debug, Default)]
@@ -235,6 +269,9 @@ struct StatsCell {
     ctx_reused: AtomicU64,
     adaptive: AtomicU64,
     mispredict: AtomicU64,
+    edits: AtomicU64,
+    rotations: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -297,12 +334,117 @@ impl Drop for Permit<'_> {
     }
 }
 
-/// A concurrent query service over one immutable document + index.
+/// The index backend behind a [`Snapshot`]: heap-built arrays or a
+/// zero-copy mapped v3 file — same plans, same results, byte for byte.
 ///
-/// Generic over the index backend: the default `I = ElementIndex` serves
-/// from heap-built arrays, while `QueryService<MappedIndex>` (see
-/// [`QueryService::open_mapped`]) serves zero-copy from a mapped v3 file
-/// — same plans, same results, byte for byte.
+/// The two arms converge on the first applied edit: a mapped file is
+/// read-only, so editing a mapped service materializes the post-edit
+/// index on the heap and every later snapshot is `Heap`.
+pub enum ServeIndex {
+    /// In-memory [`ElementIndex`].
+    Heap(ElementIndex),
+    /// Mapped v3 file ([`MappedIndex`]), served from the page cache.
+    Mapped(MappedIndex),
+}
+
+impl ServeIndex {
+    /// The mapped backend, if this snapshot still serves from a file.
+    pub fn as_mapped(&self) -> Option<&MappedIndex> {
+        match self {
+            ServeIndex::Mapped(m) => Some(m),
+            ServeIndex::Heap(_) => None,
+        }
+    }
+}
+
+impl IndexView for ServeIndex {
+    fn elements(&self, label: Label) -> &[IndexedElement] {
+        match self {
+            ServeIndex::Heap(i) => i.elements(label),
+            ServeIndex::Mapped(i) => i.elements(label),
+        }
+    }
+    fn sids(&self, label: Label) -> &[u32] {
+        match self {
+            ServeIndex::Heap(i) => i.sids(label),
+            ServeIndex::Mapped(i) => i.sids(label),
+        }
+    }
+    fn blocks(&self, label: Label) -> &[u32] {
+        match self {
+            ServeIndex::Heap(i) => i.blocks(label),
+            ServeIndex::Mapped(i) => i.blocks(label),
+        }
+    }
+    fn summary(&self) -> SummaryRef<'_> {
+        match self {
+            ServeIndex::Heap(i) => i.summary(),
+            ServeIndex::Mapped(i) => IndexView::summary(i),
+        }
+    }
+    fn label_count(&self) -> usize {
+        match self {
+            ServeIndex::Heap(i) => IndexView::label_count(i),
+            ServeIndex::Mapped(i) => IndexView::label_count(i),
+        }
+    }
+    fn snapshot_version(&self) -> u64 {
+        match self {
+            ServeIndex::Heap(i) => i.version(),
+            ServeIndex::Mapped(_) => 0,
+        }
+    }
+}
+
+/// One immutable generation of the served document: the document, its
+/// index, and the lazily built TJFast Dewey machinery, all frozen at a
+/// version. Queries evaluate against the snapshot they were admitted
+/// under; edits never mutate a snapshot, they publish the next one.
+pub struct Snapshot {
+    doc: Document,
+    index: ServeIndex,
+    version: u64,
+    /// TJFast's Dewey machinery, built lazily on the first plan that
+    /// selects that engine (most snapshots never pay for it).
+    dewey: OnceLock<(DeweyIndex, DeweyResolver)>,
+}
+
+impl Snapshot {
+    /// The served document at this version.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The index backend at this version.
+    pub fn index(&self) -> &ServeIndex {
+        &self.index
+    }
+
+    /// Service-level snapshot version: 0 at construction, +1 per applied
+    /// edit. Cached plans are valid only for the version they were
+    /// computed against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// What one applied edit did, returned by [`QueryService::apply_edit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditReceipt {
+    /// Version of the snapshot the edit published.
+    pub version: u64,
+    /// The document-layer delta: splice coordinates, changed labels,
+    /// whether the whole document was renumbered.
+    pub delta: EditDelta,
+    /// True when the index was rebuilt from scratch instead of patched
+    /// (renumbering, a new path, an emptied path, or a mapped backend).
+    pub rebuilt: bool,
+    /// Cached plans this rotation invalidated.
+    pub invalidated_plans: u64,
+}
+
+/// A concurrent query service over an edit-rotated sequence of immutable
+/// snapshots.
 ///
 /// The service is `Sync`: share it by reference across scoped threads
 /// (or wrap it in an [`Arc`]) and call
@@ -310,17 +452,20 @@ impl Drop for Permit<'_> {
 /// the gate bounds actual concurrency, the plan cache and context pool
 /// are internally synchronized, and results are byte-identical to
 /// serial, uncached evaluation (pinned by `tests/serve_differential.rs`).
-pub struct QueryService<I: IndexView = ElementIndex> {
-    doc: Document,
-    index: I,
+/// [`apply_edit`](QueryService::apply_edit) may run concurrently with
+/// readers: each request pins one [`Snapshot`] for its whole evaluation,
+/// so a rotation mid-request is invisible to it (pinned by
+/// `tests/serve_rotation.rs`).
+pub struct QueryService {
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// Serializes writers; readers never take it. Held across the whole
+    /// derive-and-rotate sequence so concurrent edits see each other.
+    edit_lock: Mutex<()>,
     config: ServiceConfig,
     cache: PlanCache,
     contexts: Mutex<Vec<EvalContext>>,
     gate: Gate,
     stats: StatsCell,
-    /// TJFast's Dewey machinery, built lazily on the first plan that
-    /// selects that engine (most services never pay for it).
-    dewey: OnceLock<(DeweyIndex, DeweyResolver)>,
 }
 
 impl QueryService {
@@ -329,9 +474,7 @@ impl QueryService {
         let index = ElementIndex::build(&doc);
         QueryService::new(doc, index, config)
     }
-}
 
-impl QueryService<MappedIndex> {
     /// Serve `doc` from the mapped v3 index at `path`: boot is `mmap` +
     /// checksum verification instead of an index build, and queries read
     /// postings straight out of the page cache. The file must describe
@@ -342,36 +485,75 @@ impl QueryService<MappedIndex> {
         config: ServiceConfig,
     ) -> Result<Self, MappedOpenError> {
         let index = MappedIndex::open(path)?;
-        Ok(QueryService::new(doc, index, config))
+        Ok(QueryService::with_backend(doc, ServeIndex::Mapped(index), config))
     }
-}
 
-impl<I: IndexView> QueryService<I> {
     /// Wrap an already-built index. `index` must have been built from
     /// `doc` (the constructor does not verify the pairing).
-    pub fn new(doc: Document, index: I, config: ServiceConfig) -> Self {
+    pub fn new(doc: Document, index: ElementIndex, config: ServiceConfig) -> Self {
+        QueryService::with_backend(doc, ServeIndex::Heap(index), config)
+    }
+
+    fn with_backend(doc: Document, index: ServeIndex, config: ServiceConfig) -> Self {
         let gate = Gate::new(config.max_concurrency, config.max_waiting);
         let cache = PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards);
+        let snapshot = Arc::new(Snapshot { doc, index, version: 0, dewey: OnceLock::new() });
         QueryService {
-            doc,
-            index,
+            snapshot: RwLock::new(snapshot),
+            edit_lock: Mutex::new(()),
             config,
             cache,
             contexts: Mutex::new(Vec::new()),
             gate,
             stats: StatsCell::default(),
-            dewey: OnceLock::new(),
         }
     }
 
-    /// The served document.
-    pub fn doc(&self) -> &Document {
-        &self.doc
+    /// Pin the current snapshot. The `Arc` keeps the whole generation
+    /// (document, index, Dewey) alive for as long as the caller holds it,
+    /// no matter how many rotations happen meanwhile.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
     }
 
-    /// The shared index backend.
-    pub fn index(&self) -> &I {
-        &self.index
+    /// Apply one subtree edit and rotate the resulting snapshot in.
+    ///
+    /// The new document and index are derived outside the snapshot lock
+    /// (readers are never blocked by the derivation, only by the final
+    /// pointer swap), then cached plans are invalidated: all of them if
+    /// the index was rebuilt (summary-id numbering may have moved —
+    /// always the case for a mapped backend, which is materialized to a
+    /// heap index by its first edit), otherwise exactly the plans whose
+    /// scanned labels intersect the edit's changed labels. Concurrent
+    /// edits serialize; a rejected edit changes nothing.
+    pub fn apply_edit(&self, op: &EditOp) -> Result<EditReceipt, ServeError> {
+        let _writer = self.edit_lock.lock().expect("edit lock poisoned");
+        let old = self.snapshot();
+        let (doc, delta) = apply_op(&old.doc, op)?;
+        let (index, how) = match &old.index {
+            ServeIndex::Heap(ix) => {
+                let (ix, how) = ix.apply_edit(&doc, &delta);
+                (ServeIndex::Heap(ix), how)
+            }
+            // v3 files are read-only; materialize the post-edit index on
+            // the heap. A rebuild, so every cached plan is stale.
+            ServeIndex::Mapped(_) => {
+                twigobs::add(twigobs::Counter::EditElementsReindexed, doc.len() as u64);
+                (ServeIndex::Heap(ElementIndex::build(&doc)), EditApply::Rebuilt)
+            }
+        };
+        let version = old.version + 1;
+        let next = Arc::new(Snapshot { doc, index, version, dewey: OnceLock::new() });
+        *self.snapshot.write().expect("snapshot lock poisoned") = next;
+        let rebuilt = how == EditApply::Rebuilt;
+        let changed = (!rebuilt).then_some(delta.changed_labels.as_slice());
+        let invalidated = self.cache.rotate(changed, version);
+        self.stats.edits.fetch_add(1, Ordering::Relaxed);
+        self.stats.rotations.fetch_add(1, Ordering::Relaxed);
+        self.stats.invalidations.fetch_add(invalidated, Ordering::Relaxed);
+        twigobs::bump(twigobs::Counter::SnapshotRotations);
+        twigobs::add(twigobs::Counter::PlanCacheInvalidations, invalidated);
+        Ok(EditReceipt { version, delta, rebuilt, invalidated_plans: invalidated })
     }
 
     /// Snapshot the service counters.
@@ -389,6 +571,9 @@ impl<I: IndexView> QueryService<I> {
             contexts_reused: s.ctx_reused.load(Ordering::Relaxed),
             plans_adaptive: s.adaptive.load(Ordering::Relaxed),
             plan_mispredictions: s.mispredict.load(Ordering::Relaxed),
+            edits_applied: s.edits.load(Ordering::Relaxed),
+            snapshot_rotations: s.rotations.load(Ordering::Relaxed),
+            plan_cache_invalidations: s.invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -396,7 +581,7 @@ impl<I: IndexView> QueryService<I> {
     /// evaluation) and return the planner's decision for it — the
     /// introspection hook the pinned planner tests and Fig A use.
     pub fn planned(&self, query: &str) -> Result<PlanDecision, ServeError> {
-        Ok(self.lookup_plan(query)?.decision)
+        Ok(self.lookup_plan(&self.snapshot(), query)?.decision)
     }
 
     /// Evaluate one query under the config's default deadline (if any).
@@ -407,11 +592,14 @@ impl<I: IndexView> QueryService<I> {
     /// Evaluate one query under an explicit cancellation token. The
     /// token is polled at stream-advance granularity, so cancellation
     /// and deadlines take effect mid-scan, not just between requests.
+    /// The snapshot is pinned at admission: a concurrent edit never
+    /// tears this evaluation across generations.
     pub fn execute_with(&self, query: &str, cancel: CancelToken) -> Result<ResultSet, ServeError> {
         let _span = twigobs::span(twigobs::Phase::Serve);
         let permit = self.admit(1)?;
-        let plan = self.lookup_plan(query)?;
-        let out = self.eval_single(&plan, &cancel);
+        let snap = self.snapshot();
+        let plan = self.lookup_plan(&snap, query)?;
+        let out = self.eval_single(&snap, &plan, &cancel);
         drop(permit);
         out
     }
@@ -420,14 +608,16 @@ impl<I: IndexView> QueryService<I> {
     /// queries whose plans read the same label set. Returns one result
     /// per input query, in input order; each query fails independently
     /// (a shared-scan failure falls back to per-query evaluation so
-    /// every member reports its own typed error).
+    /// every member reports its own typed error). The whole batch runs
+    /// against one pinned snapshot.
     pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<ResultSet, ServeError>> {
         let _span = twigobs::span(twigobs::Phase::Serve);
+        let snap = self.snapshot();
         let mut out: Vec<Option<Result<ResultSet, ServeError>>> =
             (0..queries.len()).map(|_| None).collect();
         let mut prepared: Vec<(usize, Arc<CachedPlan>)> = Vec::new();
         for (i, q) in queries.iter().enumerate() {
-            match self.lookup_plan(q) {
+            match self.lookup_plan(&snap, q) {
                 Ok(p) => prepared.push((i, p)),
                 Err(e) => out[i] = Some(Err(e)),
             }
@@ -473,9 +663,9 @@ impl<I: IndexView> QueryService<I> {
                 }
             };
             match members.as_slice() {
-                [(i, plan)] => out[*i] = Some(self.eval_single(plan, &cancel)),
+                [(i, plan)] => out[*i] = Some(self.eval_single(&snap, plan, &cancel)),
                 _ => {
-                    match self.eval_group(&members, &cancel) {
+                    match self.eval_group(&snap, &members, &cancel) {
                         Some(results) => {
                             for ((i, _), rs) in members.iter().zip(results) {
                                 out[*i] = Some(Ok(rs));
@@ -488,7 +678,7 @@ impl<I: IndexView> QueryService<I> {
                             // member unaffected by a per-query fault
                             // still succeeds.
                             for (i, plan) in &members {
-                                out[*i] = Some(self.eval_single(plan, &cancel));
+                                out[*i] = Some(self.eval_single(&snap, plan, &cancel));
                             }
                         }
                     }
@@ -524,11 +714,13 @@ impl<I: IndexView> QueryService<I> {
         }
     }
 
-    /// Parse `query`, canonicalize it, and fetch-or-compute its plan.
-    fn lookup_plan(&self, query: &str) -> Result<Arc<CachedPlan>, ServeError> {
+    /// Parse `query`, canonicalize it, and fetch-or-compute its plan for
+    /// `snap`'s generation (a cached plan from another generation is a
+    /// miss, never served).
+    fn lookup_plan(&self, snap: &Snapshot, query: &str) -> Result<Arc<CachedPlan>, ServeError> {
         let gtp = parse_twig(query)?;
         let key = serialize(&gtp);
-        if let Some(hit) = self.cache.get(&key) {
+        if let Some(hit) = self.cache.get(&key, snap.version) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             twigobs::bump(twigobs::Counter::PlanCacheHits);
             return Ok(hit);
@@ -538,17 +730,17 @@ impl<I: IndexView> QueryService<I> {
         self.stats.analyses.fetch_add(1, Ordering::Relaxed);
         let decision = planner::decide(
             &gtp,
-            &self.index,
-            self.doc.labels(),
+            snap.index(),
+            snap.doc.labels(),
             self.config.planner,
             self.config.pruning,
         );
         if decision.adaptive {
             self.stats.adaptive.fetch_add(1, Ordering::Relaxed);
         }
-        let plan = IndexedPlan::compute(&gtp, &self.index, self.doc.labels(), decision.policy);
+        let plan = IndexedPlan::compute(&gtp, snap.index(), snap.doc.labels(), decision.policy);
         let cached = Arc::new(CachedPlan { gtp, plan, decision });
-        let evicted = self.cache.insert(key, Arc::clone(&cached));
+        let evicted = self.cache.insert(key, Arc::clone(&cached), snap.version);
         if evicted > 0 {
             self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
             twigobs::add(twigobs::Counter::PlanCacheEvictions, evicted);
@@ -609,10 +801,15 @@ impl<I: IndexView> QueryService<I> {
     }
 
     /// Per-query evaluation, dispatched on the plan's engine decision.
-    fn eval_single(&self, plan: &CachedPlan, cancel: &CancelToken) -> Result<ResultSet, ServeError> {
+    fn eval_single(
+        &self,
+        snap: &Snapshot,
+        plan: &CachedPlan,
+        cancel: &CancelToken,
+    ) -> Result<ResultSet, ServeError> {
         match plan.decision.engine {
-            PlanEngine::Twig2Stack => self.eval_twig2stack(plan, cancel),
-            engine => self.eval_baseline(engine, plan, cancel),
+            PlanEngine::Twig2Stack => self.eval_twig2stack(snap, plan, cancel),
+            engine => self.eval_baseline(snap, engine, plan, cancel),
         }
     }
 
@@ -622,6 +819,7 @@ impl<I: IndexView> QueryService<I> {
     /// pipeline.
     fn eval_twig2stack(
         &self,
+        snap: &Snapshot,
         plan: &CachedPlan,
         cancel: &CancelToken,
     ) -> Result<ResultSet, ServeError> {
@@ -631,7 +829,7 @@ impl<I: IndexView> QueryService<I> {
                 return Err(ServeError::Query(e));
             }
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                evaluate_early(&self.doc, &plan.gtp, MatchOptions::default())
+                evaluate_early(&snap.doc, &plan.gtp, MatchOptions::default())
             }));
             match outcome {
                 Ok(Ok((rs, _stats))) => {
@@ -647,8 +845,8 @@ impl<I: IndexView> QueryService<I> {
         let mut ctx = self.pop_context();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             try_match_indexed(
-                &self.doc,
-                &self.index,
+                &snap.doc,
+                snap.index(),
                 &plan.gtp,
                 MatchOptions::default(),
                 &plan.plan,
@@ -683,6 +881,7 @@ impl<I: IndexView> QueryService<I> {
     /// order so every engine agrees byte-for-byte.
     fn eval_baseline(
         &self,
+        snap: &Snapshot,
         engine: PlanEngine,
         plan: &CachedPlan,
         cancel: &CancelToken,
@@ -695,13 +894,14 @@ impl<I: IndexView> QueryService<I> {
         let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
             PlanEngine::TwigStack => {
                 let mut st = TwigStackStats::default();
-                let rs = twig_stack_indexed(&self.index, self.doc.labels(), &plan.gtp, policy, &mut st);
+                let rs =
+                    twig_stack_indexed(snap.index(), snap.doc.labels(), &plan.gtp, policy, &mut st);
                 (rs.sorted(), st.elements_scanned as u64)
             }
             PlanEngine::PathStack => {
                 let mut st = PathStackStats::default();
                 let sols =
-                    path_stack_indexed(&self.index, self.doc.labels(), &plan.gtp, policy, &mut st);
+                    path_stack_indexed(snap.index(), snap.doc.labels(), &plan.gtp, policy, &mut st);
                 let mut rs = ResultSet::new(sols.path.clone());
                 for row in sols.solutions {
                     rs.push(row.into_iter().map(Cell::Node).collect());
@@ -709,19 +909,17 @@ impl<I: IndexView> QueryService<I> {
                 (rs.sorted(), st.elements_scanned as u64)
             }
             PlanEngine::TJFast => {
-                let (dewey, resolver) = self
-                    .dewey
-                    .get_or_init(|| {
-                        let dewey = DeweyIndex::build(&self.doc);
-                        let resolver = DeweyResolver::build(&dewey, self.doc.labels());
-                        (dewey, resolver)
-                    });
+                let (dewey, resolver) = snap.dewey.get_or_init(|| {
+                    let dewey = DeweyIndex::build(&snap.doc);
+                    let resolver = DeweyResolver::build(&dewey, snap.doc.labels());
+                    (dewey, resolver)
+                });
                 let mut st = TJFastStats::default();
                 let rs = tj_fast_indexed(
                     &plan.gtp,
                     dewey,
-                    self.index.summary(),
-                    self.doc.labels(),
+                    snap.index().summary(),
+                    snap.doc.labels(),
                     resolver,
                     policy,
                     &mut st,
@@ -744,13 +942,14 @@ impl<I: IndexView> QueryService<I> {
     /// accurate per-query errors.
     fn eval_group(
         &self,
+        snap: &Snapshot,
         members: &[(usize, Arc<CachedPlan>)],
         cancel: &CancelToken,
     ) -> Option<Vec<ResultSet>> {
         let refs: Vec<(&Gtp, &IndexedPlan)> =
             members.iter().map(|(_, p)| (&p.gtp, &p.plan)).collect();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            try_match_indexed_group(&self.doc, &self.index, &refs, MatchOptions::default(), cancel)
+            try_match_indexed_group(&snap.doc, snap.index(), &refs, MatchOptions::default(), cancel)
                 .map(|v| v.into_iter().map(|(tm, _)| enumerate(&tm)).collect::<Vec<_>>())
         }));
         match outcome {
@@ -792,7 +991,7 @@ mod tests {
         let svc = service(ServiceConfig::default());
         for q in ["//a/b[c]", "//a//b", "//b/y", "//a/b[y='2006']"] {
             let gtp = parse_twig(q).unwrap();
-            let expected = twig2stack::evaluate(svc.doc(), &gtp);
+            let expected = twig2stack::evaluate(svc.snapshot().doc(), &gtp);
             assert_eq!(svc.execute(q).unwrap(), expected, "{q}");
         }
     }
@@ -915,7 +1114,7 @@ mod tests {
                 "bogus[" => assert!(matches!(r, Err(ServeError::Parse(_)))),
                 q => {
                     let gtp = parse_twig(q).unwrap();
-                    let expected = twig2stack::evaluate(svc.doc(), &gtp);
+                    let expected = twig2stack::evaluate(svc.snapshot().doc(), &gtp);
                     assert_eq!(*r.as_ref().unwrap(), expected, "{q}");
                 }
             }
@@ -987,7 +1186,7 @@ mod tests {
         let batch = svc.execute_batch(&queries);
         for (q, r) in queries.iter().zip(&batch) {
             let gtp = parse_twig(q).unwrap();
-            let expected = twig2stack::evaluate(svc.doc(), &gtp).sorted();
+            let expected = twig2stack::evaluate(svc.snapshot().doc(), &gtp).sorted();
             assert_eq!(r.as_ref().unwrap().clone().sorted(), expected, "{q}");
         }
     }
@@ -1009,7 +1208,8 @@ mod tests {
         }
         let s = mapped.stats();
         assert_eq!(s.plan_cache_misses, 5);
-        assert!(mapped.index().file_bytes() > 0);
+        let snap = mapped.snapshot();
+        assert!(snap.index().as_mapped().expect("still file-backed").file_bytes() > 0);
         std::fs::remove_file(&path).ok();
     }
 
@@ -1019,7 +1219,7 @@ mod tests {
         let queries = ["//a/b[c]", "//a//b", "//b/y", "//a/b[y='2006']"];
         let expected: Vec<ResultSet> = queries
             .iter()
-            .map(|q| twig2stack::evaluate(svc.doc(), &parse_twig(q).unwrap()))
+            .map(|q| twig2stack::evaluate(svc.snapshot().doc(), &parse_twig(q).unwrap()))
             .collect();
         std::thread::scope(|scope| {
             for t in 0..8 {
@@ -1038,5 +1238,130 @@ mod tests {
         assert_eq!(s.queries_rejected, 0, "waiters queue; nothing sheds at this load");
         assert_eq!(s.analyses_run + s.plan_cache_hits, 8 * 20);
         assert!(s.plan_cache_hits >= 8 * 20 - 4 * 8, "most lookups hit");
+    }
+
+    #[test]
+    fn apply_edit_rotates_and_queries_see_the_new_document() {
+        let svc = service(ServiceConfig::default());
+        let before = svc.execute("//a/b").unwrap();
+        let root = svc.snapshot().doc().root();
+        let receipt = svc
+            .apply_edit(&EditOp::InsertSubtree {
+                parent: Some(root),
+                position: 0,
+                subtree: xmldom::parse("<b><c/></b>").unwrap(),
+            })
+            .unwrap();
+        assert_eq!(receipt.version, 1);
+        assert!(receipt.delta.renumbered, "first insert into a dense document renumbers");
+        assert!(receipt.rebuilt);
+        let after = svc.execute("//a/b").unwrap();
+        assert_eq!(after.len(), before.len() + 1);
+        let snap = svc.snapshot();
+        assert_eq!(snap.version(), 1);
+        let gtp = parse_twig("//a/b").unwrap();
+        assert_eq!(after, twig2stack::evaluate(snap.doc(), &gtp), "index agrees with a DOM walk");
+        let s = svc.stats();
+        assert_eq!(s.edits_applied, 1);
+        assert_eq!(s.snapshot_rotations, 1);
+    }
+
+    #[test]
+    fn rotation_invalidates_touched_plans_and_keeps_disjoint_ones() {
+        let svc = service(ServiceConfig::default());
+        let root = svc.snapshot().doc().root();
+        // First edit renumbers (rebuild) and leaves stride-16 gaps, so
+        // the second edit below can take the incremental patch path.
+        svc.apply_edit(&EditOp::InsertSubtree {
+            parent: Some(root),
+            position: 0,
+            subtree: xmldom::parse("<b><c/></b>").unwrap(),
+        })
+        .unwrap();
+        svc.execute("//d").unwrap();
+        svc.execute("//b/c").unwrap();
+        assert_eq!(svc.cached_plans(), 2);
+        let snap = svc.snapshot();
+        let new_b = snap.doc().children(snap.doc().root()).next().unwrap();
+        let receipt = svc
+            .apply_edit(&EditOp::InsertSubtree {
+                parent: Some(new_b),
+                position: 1,
+                subtree: xmldom::parse("<c/>").unwrap(),
+            })
+            .unwrap();
+        assert!(!receipt.rebuilt, "gap-fitting insert on a known path patches");
+        assert_eq!(receipt.delta.changed_labels.len(), 1, "only c changed");
+        assert_eq!(receipt.invalidated_plans, 1, "//b/c scans c; //d is disjoint");
+        let before = svc.stats();
+        svc.execute("//d").unwrap();
+        assert_eq!(svc.stats().plan_cache_hits, before.plan_cache_hits + 1, "//d survived");
+        svc.execute("//b/c").unwrap();
+        assert_eq!(svc.stats().plan_cache_misses, before.plan_cache_misses + 1, "//b/c re-planned");
+        let gtp = parse_twig("//b/c").unwrap();
+        let snap = svc.snapshot();
+        assert_eq!(svc.execute("//b/c").unwrap(), twig2stack::evaluate(snap.doc(), &gtp));
+        assert_eq!(svc.stats().plan_cache_invalidations, 1);
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_rotation() {
+        let svc = service(ServiceConfig::default());
+        let pinned = svc.snapshot();
+        let gtp = parse_twig("//a/b").unwrap();
+        let old_rows = twig2stack::evaluate(pinned.doc(), &gtp);
+        let root = pinned.doc().root();
+        svc.apply_edit(&EditOp::DeleteSubtree {
+            target: pinned.doc().children(root).nth(1).unwrap(),
+        })
+        .unwrap();
+        // The pinned generation is untouched: same document, same rows.
+        assert_eq!(pinned.version(), 0);
+        assert_eq!(twig2stack::evaluate(pinned.doc(), &gtp), old_rows);
+        assert_ne!(svc.execute("//a/b").unwrap().len(), old_rows.len());
+    }
+
+    #[test]
+    fn editing_a_mapped_service_materializes_a_heap_snapshot() {
+        let path = std::env::temp_dir()
+            .join(format!("twigserve-mapped-edit-{}.t2s", std::process::id()));
+        xmlindex::write_mapped_index(&xmldom::parse(DOC).unwrap(), &path).unwrap();
+        let svc = QueryService::open_mapped(
+            xmldom::parse(DOC).unwrap(),
+            &path,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        svc.execute("//a/b[c]").unwrap();
+        let root = svc.snapshot().doc().root();
+        let receipt = svc
+            .apply_edit(&EditOp::InsertSubtree {
+                parent: Some(root),
+                position: 0,
+                subtree: xmldom::parse("<b><c/></b>").unwrap(),
+            })
+            .unwrap();
+        assert!(receipt.rebuilt, "a read-only mapped index is always rebuilt to the heap");
+        assert_eq!(receipt.invalidated_plans, 1);
+        let snap = svc.snapshot();
+        assert!(snap.index().as_mapped().is_none(), "post-edit snapshot is heap-backed");
+        let gtp = parse_twig("//a/b[c]").unwrap();
+        assert_eq!(svc.execute("//a/b[c]").unwrap(), twig2stack::evaluate(snap.doc(), &gtp));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejected_edits_change_nothing() {
+        let svc = service(ServiceConfig::default());
+        svc.execute("//a/b[c]").unwrap();
+        let missing = xmldom::NodeId::from_index(9_999);
+        let err = svc.apply_edit(&EditOp::DeleteSubtree { target: missing }).unwrap_err();
+        assert!(matches!(err, ServeError::Edit(xmldom::EditError::InvalidNode(_))));
+        assert!(err.to_string().contains("edit rejected"));
+        let s = svc.stats();
+        assert_eq!(s.edits_applied, 0);
+        assert_eq!(s.snapshot_rotations, 0);
+        assert_eq!(svc.snapshot().version(), 0);
+        assert_eq!(svc.cached_plans(), 1, "the cached plan is still there");
     }
 }

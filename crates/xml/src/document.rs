@@ -40,16 +40,16 @@ impl fmt::Display for NodeId {
     }
 }
 
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 #[derive(Debug, Clone)]
-struct NodeData {
-    label: Label,
-    region: Region,
-    parent: u32,
-    first_child: u32,
-    last_child: u32,
-    next_sibling: u32,
+pub(crate) struct NodeData {
+    pub(crate) label: Label,
+    pub(crate) region: Region,
+    pub(crate) parent: u32,
+    pub(crate) first_child: u32,
+    pub(crate) last_child: u32,
+    pub(crate) next_sibling: u32,
 }
 
 /// An immutable XML document: element tree + interned labels + optional
@@ -59,12 +59,12 @@ struct NodeData {
 /// (see [`crate::parser::parse`]).
 #[derive(Debug, Clone, Default)]
 pub struct Document {
-    nodes: Vec<NodeData>,
-    labels: LabelTable,
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) labels: LabelTable,
     /// Concatenated character data per node, only for nodes that have any.
-    text: HashMap<u32, String>,
+    pub(crate) text: HashMap<u32, String>,
     /// Attributes per node, only for nodes that have any.
-    attrs: HashMap<u32, Vec<(String, String)>>,
+    pub(crate) attrs: HashMap<u32, Vec<(String, String)>>,
 }
 
 impl Document {

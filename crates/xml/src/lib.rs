@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod document;
+pub mod edit;
 pub mod event;
 pub mod label;
 pub mod parser;
@@ -24,6 +25,7 @@ pub mod stats;
 pub mod writer;
 
 pub use document::{BuildError, Document, DocumentBuilder, NodeId};
+pub use edit::{apply_op, EditDelta, EditError, EditOp, RENUMBER_STRIDE};
 pub use event::{DocEvents, Event, EventParser};
 pub use label::{Label, LabelTable};
 pub use parser::{parse, ParseError, ParseErrorKind};

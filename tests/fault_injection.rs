@@ -13,7 +13,8 @@
 use gtpquery::{parse_twig, CancelToken, NodeTest, QueryError};
 use twig2stack::MatchOptions;
 use twigbaselines::{try_twig_stack_with, TwigStackStats};
-use xmldom::{parse, Document, Label};
+use twigserve::{QueryService, ServeError, ServiceConfig};
+use xmldom::{parse, Document, EditError, EditOp, Label};
 use xmlindex::{
     write_mapped_index, write_region_index, DiskRegionIndex, DiskRegionStream, MappedIndex,
     MappedOpenError, PruningPolicy, SectionId,
@@ -160,6 +161,68 @@ fn mapped_index_byte_flip_names_the_corrupt_section() {
     // from the injected flips alone.
     std::fs::write(&path, &pristine).unwrap();
     MappedIndex::open(&path).expect("pristine file verifies");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Editing a mapped (v3, read-only) service under an injected disk
+/// fault: the first edit materializes a heap snapshot, after which the
+/// backing file is dead weight — corrupting or deleting it must not
+/// perturb the edited service, and a rejected edit must surface as a
+/// typed [`ServeError::Edit`] with the mapped snapshot still serving.
+#[test]
+fn edited_mapped_service_survives_backing_file_corruption() {
+    let doc = sample_doc();
+    let path = std::env::temp_dir().join(format!("t2s-fault-map-edit-{}", std::process::id()));
+    write_mapped_index(&doc, &path).unwrap();
+    let svc = QueryService::open_mapped(doc, &path, ServiceConfig::default()).unwrap();
+    let gtp = parse_twig("//a/b").unwrap();
+    assert_eq!(svc.execute("//a/b").unwrap().len(), 40, "mapped baseline");
+
+    // A rejected edit is a typed error, not a panic, and changes
+    // nothing: the snapshot still serves from the map.
+    let bogus = EditOp::DeleteSubtree { target: xmldom::NodeId::from_index(999) };
+    match svc.apply_edit(&bogus) {
+        Err(ServeError::Edit(EditError::InvalidNode(_))) => {}
+        other => panic!("expected ServeError::Edit(InvalidNode), got {other:?}"),
+    }
+    let snap = svc.snapshot();
+    assert_eq!(snap.version(), 0, "rejected edit must not rotate");
+    assert!(snap.index().as_mapped().is_some(), "snapshot still mapped");
+
+    // A real edit on the read-only backend rebuilds to the heap.
+    let root = snap.doc().root();
+    let receipt = svc
+        .apply_edit(&EditOp::InsertSubtree {
+            parent: Some(root),
+            position: 0,
+            subtree: parse("<b/>").unwrap(),
+        })
+        .unwrap();
+    assert!(receipt.rebuilt, "v3 is read-only; the edit must materialize a heap index");
+    let snap = svc.snapshot();
+    assert!(snap.index().as_mapped().is_none(), "post-edit snapshot is heap-backed");
+    drop(snap);
+
+    // Kill the backing file outright: the heap snapshot owes it nothing.
+    std::fs::write(&path, b"garbage").unwrap();
+    let rows = svc.execute("//a/b").unwrap();
+    assert_eq!(rows.len(), 41, "heap snapshot serves the edited document");
+    let snap = svc.snapshot();
+    assert_eq!(rows, twig2stack::evaluate(snap.doc(), &gtp));
+
+    // Further edits keep patching the heap lineage with the file gone.
+    std::fs::remove_file(&path).unwrap();
+    let receipt = svc
+        .apply_edit(&EditOp::DeleteSubtree {
+            target: snap.doc().children(snap.doc().root()).next().unwrap(),
+        })
+        .unwrap();
+    assert_eq!(receipt.version, 2);
+    assert_eq!(svc.execute("//a/b").unwrap().len(), 40);
+
+    // And the corrupted bytes themselves can only fail typed at open.
+    std::fs::write(&path, b"garbage").unwrap();
+    assert!(MappedIndex::open(&path).is_err(), "corrupt file must not open");
     std::fs::remove_file(&path).ok();
 }
 
