@@ -64,6 +64,16 @@ cargo run --release -q -p twigbench --bin experiments -- --quick figA \
 cargo run --release -q -p twigbench --bin experiments -- --quick figE \
     > /dev/null
 
+# Figure U smoke: the sharded catalog under mixed traffic (240 fixed-
+# seed documents at --quick). The driver asserts per query that
+# scatter-gather results are byte-equal to serial per-document
+# iteration and that no matching document was dropped by the Bloom
+# router, plus the skip-rate, schema-plan-amortization, and >=2x
+# 4-worker throughput contracts — so this fails on any routing,
+# merge-order, or catalog performance regression.
+cargo run --release -q -p twigbench --bin experiments -- --quick figU \
+    > /dev/null
+
 # Docs freshness: every crates/... path ARCHITECTURE.md cites must exist
 # and every workspace crate must be mentioned there.
 sh scripts/check_docs.sh

@@ -1,0 +1,150 @@
+//! Criterion bench for the multi-document catalog: scatter-gather vs
+//! serial per-document iteration, and the Bloom router's skip path.
+//!
+//! Besides the console report, the run exports `BENCH_catalog.json` at
+//! the repo root (schema `twig2stack.bench/v1`) with best-of-3
+//! wall-clock numbers plus the Figure U arms at quick scale, so future
+//! changes have a recorded trajectory to compare against:
+//!
+//! ```text
+//! cargo bench -p twigbench --bench catalog
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use twigbench::workload::{catalog_docs, catalog_queries, Profile};
+use twigbench::{figu, FigURow};
+use twigserve::{CatalogConfig, CatalogService};
+
+fn catalog(shards: usize) -> CatalogService {
+    CatalogService::build_heap(
+        catalog_docs(Profile::Quick),
+        CatalogConfig { shards, workers: shards, ..CatalogConfig::default() },
+    )
+}
+
+/// One mixed-traffic pass (every catalog query once) through the given
+/// execution path.
+fn traffic(cat: &CatalogService, serial: bool) -> usize {
+    catalog_queries()
+        .iter()
+        .map(|nq| {
+            let hits = if serial {
+                cat.execute_serial(nq.text).expect("serial request")
+            } else {
+                cat.execute(nq.text).expect("scatter-gather request")
+            };
+            hits.iter().map(|h| h.rows.len()).sum::<usize>()
+        })
+        .sum()
+}
+
+/// Scatter-gather at 1/2/4 shard workers vs serial iteration, same
+/// mixed traffic.
+fn scatter_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog/traffic");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let serial_cat = catalog(1);
+    group.bench_function("serial", |b| b.iter(|| traffic(&serial_cat, true)));
+    for shards in [1usize, 2, 4] {
+        let cat = catalog(shards);
+        group.bench_with_input(BenchmarkId::new("scatter", shards), &cat, |b, cat| {
+            b.iter(|| traffic(cat, false))
+        });
+    }
+    group.finish();
+}
+
+/// The router alone: feasibility + Bloom membership over the whole
+/// catalog for a family query (routes 1/4) and a miss query (routes 0).
+fn routing(c: &mut Criterion) {
+    let cat = catalog(4);
+    let mut group = c.benchmark_group("catalog/route");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    group.bench_function("family", |b| {
+        b.iter(|| cat.routed_docs("//rec0[a0/d0]/b0").expect("family routing").len())
+    });
+    group.bench_function("miss", |b| {
+        b.iter(|| cat.routed_docs("//zzz/qqq").expect("miss routing").len())
+    });
+    group.finish();
+}
+
+fn best_of_3(mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Export `BENCH_catalog.json` at the repo root: best-of-3 traffic-pass
+/// latencies plus the quick-scale Figure U rows.
+fn export_json(_c: &mut Criterion) {
+    let mut json = String::from("{\n  \"schema\": \"twig2stack.bench/v1\",\n");
+    json.push_str("  \"name\": \"catalog\",\n  \"profile\": \"quick\",\n");
+
+    let serial_cat = catalog(1);
+    let scatter_cat = catalog(4);
+    let serial = best_of_3(|| {
+        std::hint::black_box(traffic(&serial_cat, true));
+    });
+    let scatter = best_of_3(|| {
+        std::hint::black_box(traffic(&scatter_cat, false));
+    });
+    json.push_str(&format!(
+        "  \"traffic_pass\": {{\"docs\": {}, \"serial_ns\": {}, \"scatter4_ns\": {}}},\n",
+        serial_cat.doc_count(),
+        serial.as_nanos(),
+        scatter.as_nanos()
+    ));
+
+    json.push_str("  \"figU\": [\n");
+    let (rows, _) = figu(Profile::Quick);
+    for (i, r) in rows.iter().enumerate() {
+        let FigURow {
+            arm,
+            shards,
+            queries_run,
+            qps,
+            speedup,
+            docs_routed,
+            docs_skipped,
+            skip_rate,
+            p50,
+            p99,
+            deadline_misses,
+            ..
+        } = r;
+        json.push_str(&format!(
+            "    {{\"arm\": \"{arm}\", \"shards\": {shards}, \"queries\": {queries_run}, \
+             \"qps\": {qps:.0}, \"speedup\": {speedup:.2}, \"routed\": {docs_routed}, \
+             \"skipped\": {docs_skipped}, \"skip_rate\": {skip_rate:.3}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"deadline_misses\": {deadline_misses}}}{}\n",
+            p50.as_nanos(),
+            p99.as_nanos(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_catalog.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, scatter_vs_serial, routing, export_json);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|table1|all]
+//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|figU|table1|all]
 //! ```
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
@@ -52,11 +52,11 @@ fn main() {
         matches!(
             *w,
             "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figA" | "figE"
-                | "figM" | "figP" | "figS" | "figT" | "table1"
+                | "figM" | "figP" | "figS" | "figT" | "figU" | "table1"
         )
     }) {
         eprintln!(
-            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|table1|all]"
+            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|figU|table1|all]"
         );
         std::process::exit(2);
     }
@@ -132,6 +132,14 @@ fn main() {
         // (plan_cache_hits/misses/evictions, queries_admitted/rejected,
         // deadline_exceeded) next to the engine counters.
         emit_sidecar("serve", profile);
+    }
+    if wants("figU") {
+        let (_, report) = twigbench::figu(profile);
+        println!("{report}");
+        // Named "catalog": the sidecar carries the catalog counters
+        // (catalog_docs_routed/skipped, shard_queries, catalog_batches)
+        // next to the engine counters.
+        emit_sidecar("catalog", profile);
     }
     if wants("table1") {
         let (_, report) = twigbench::table1(profile);

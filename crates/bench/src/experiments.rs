@@ -10,8 +10,9 @@ use crate::metrics::{
     twig2stack_indexed_once, twig2stack_query, twigstack_indexed_once, QueryCost,
 };
 use crate::workload::{
-    dblp, dblp_queries, documents, fig18_variants, fig19_variants, treebank, treebank_queries,
-    xmark, xmark_queries, Dataset, NamedQuery, Profile,
+    catalog_docs, catalog_queries, dblp, dblp_queries, documents, fig18_variants, fig19_variants,
+    treebank, treebank_queries, xmark, xmark_queries, Dataset, NamedQuery, Profile,
+    CATALOG_FAMILIES,
 };
 use gtpquery::{Gtp, ResultSet};
 use std::time::{Duration, Instant};
@@ -1529,6 +1530,293 @@ pub fn fige(profile: Profile) -> (Vec<FigERow>, String) {
     (out, report)
 }
 
+/// One measured arm of Figure U.
+#[derive(Debug, Clone)]
+pub struct FigURow {
+    /// Arm name ("serial", "1 shard", …, "4 shards + deadlines").
+    pub arm: String,
+    /// Shard workers (0 on the serial arm).
+    pub shards: usize,
+    /// Requests issued by the arm.
+    pub queries_run: u64,
+    /// Wall time for the whole traffic run.
+    pub elapsed: Duration,
+    /// Sustained throughput, requests per second.
+    pub qps: f64,
+    /// Throughput relative to the serial arm.
+    pub speedup: f64,
+    /// (query, document) pairs the router sent to shards.
+    pub docs_routed: u64,
+    /// (query, document) pairs the router proved irrelevant.
+    pub docs_skipped: u64,
+    /// `docs_skipped / (docs_routed + docs_skipped)` (0 on the serial
+    /// arm, which never routes).
+    pub skip_rate: f64,
+    /// Median request latency.
+    pub p50: Duration,
+    /// 99th-percentile request latency — the tail the deadline arm caps.
+    pub p99: Duration,
+    /// Requests cut by their deadline (deadline arm only).
+    pub deadline_misses: u64,
+}
+
+/// Sorted-latency percentile (nearest-rank).
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// Figure U (not in the paper): the sharded multi-document catalog under
+/// mixed query traffic — the repo's first tail-latency experiment.
+///
+/// The catalog holds [`catalog_docs`] (10,000 documents at full scale,
+/// 240 at quick) drawn from [`CATALOG_FAMILIES`] label-disjoint schema
+/// families; the traffic is [`catalog_queries`] round-robin. The driver
+/// asserts, before timing anything:
+///
+/// 1. **merge contract** — scatter-gather over 4 shards returns results
+///    byte-equal to serial iteration over all documents, per query;
+/// 2. **zero routing false negatives** — every document with a hit was
+///    routed;
+/// 3. **routing selectivity** — the Bloom router skips documents (the
+///    families are label-disjoint, so it must), reported as skip-rate;
+/// 4. **once-per-schema planning** — the schema-plan count stays a small
+///    constant while routed (query, document) pairs grow with the
+///    catalog.
+///
+/// Then the throughput grid runs the same traffic serially (the full
+/// per-document pipeline on every document, no routing) and at 1/2/4
+/// shard workers, asserting **≥ 2× throughput at 4 workers vs serial**
+/// — on a single-core machine that margin comes from routing skips,
+/// shared schema plans, and unsatisfiability short-circuits, not thread
+/// parallelism. A final arm replays the 4-worker traffic under a cycling
+/// per-request deadline distribution (expired-on-arrival / 1ms / 5ms /
+/// ∞) and reports p50/p99 latency with the deadline-missed count —
+/// deadline-cut requests fail with `DeadlineExceeded`, they are never
+/// silently truncated.
+pub fn figu(profile: Profile) -> (Vec<FigURow>, String) {
+    use gtpquery::{CancelToken, QueryError};
+    use twigserve::{CatalogConfig, CatalogService, ServeError};
+
+    let docs = catalog_docs(profile);
+    let queries = catalog_queries();
+    let rounds = match profile {
+        Profile::Quick => 8,
+        Profile::Full | Profile::Scaled => 2,
+    };
+    let build = |shards: usize| {
+        CatalogService::build_heap(
+            docs.clone(),
+            CatalogConfig { shards, workers: shards, ..CatalogConfig::default() },
+        )
+    };
+
+    // Correctness pass (untimed): merge contract, routing guarantee,
+    // selectivity, and schema-plan amortization on a 4-shard catalog.
+    let cat = build(4);
+    for nq in &queries {
+        let serial = cat.execute_serial(nq.text).expect("figU serial oracle");
+        let scattered = cat.execute(nq.text).expect("figU scatter-gather");
+        assert_eq!(
+            scattered, serial,
+            "scatter-gather broke the serial merge contract on {}",
+            nq.name
+        );
+        let routed = cat.routed_docs(nq.text).expect("figU routing");
+        for hit in &serial {
+            assert!(
+                routed.contains(&hit.doc),
+                "routing false negative: doc {} matches {} but was not routed",
+                hit.doc,
+                nq.name
+            );
+        }
+    }
+    let s = cat.stats();
+    assert!(
+        s.docs_skipped > s.docs_routed,
+        "label-disjoint families must make the router skip most of the catalog \
+         (routed {}, skipped {})",
+        s.docs_routed,
+        s.docs_skipped
+    );
+    assert!(
+        s.schema_plans <= (queries.len() * CATALOG_FAMILIES) as u64,
+        "schema plans must stay bounded by queries × families, got {}",
+        s.schema_plans
+    );
+    assert!(
+        s.schema_plans < s.docs_routed,
+        "once-per-schema planning must amortize across routed documents"
+    );
+
+    let mut out: Vec<FigURow> = Vec::new();
+    #[allow(clippy::too_many_arguments)]
+    fn push_arm(
+        out: &mut Vec<FigURow>,
+        arm: String,
+        shards: usize,
+        elapsed: Duration,
+        lat: &mut [Duration],
+        routed: u64,
+        skipped: u64,
+        misses: u64,
+        serial_qps: f64,
+    ) {
+        lat.sort();
+        let queries_run = lat.len() as u64;
+        let qps = queries_run as f64 / elapsed.as_secs_f64().max(1e-9);
+        out.push(FigURow {
+            arm,
+            shards,
+            queries_run,
+            elapsed,
+            qps,
+            speedup: if serial_qps > 0.0 { qps / serial_qps } else { 1.0 },
+            docs_routed: routed,
+            docs_skipped: skipped,
+            skip_rate: skipped as f64 / ((routed + skipped) as f64).max(1.0),
+            p50: percentile(lat, 50),
+            p99: percentile(lat, 99),
+            deadline_misses: misses,
+        });
+    }
+
+    // Serial baseline: the full per-document pipeline over every
+    // document on every request — what serving N documents costs
+    // without the catalog's routing and schema reuse.
+    let serial_cat = build(1);
+    let mut lat = Vec::new();
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        for nq in &queries {
+            let _ = r;
+            let q0 = Instant::now();
+            std::hint::black_box(
+                serial_cat.execute_serial(nq.text).expect("figU serial request"),
+            );
+            lat.push(q0.elapsed());
+        }
+    }
+    let serial_elapsed = t0.elapsed();
+    let serial_qps = lat.len() as f64 / serial_elapsed.as_secs_f64().max(1e-9);
+    push_arm(&mut out, "serial".into(), 0, serial_elapsed, &mut lat, 0, 0, 0, serial_qps);
+
+    // The shard-count grid under the same traffic.
+    for shards in [1usize, 2, 4] {
+        let cat = build(shards);
+        let mut lat = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for nq in &queries {
+                let q0 = Instant::now();
+                std::hint::black_box(cat.execute(nq.text).expect("figU grid request"));
+                lat.push(q0.elapsed());
+            }
+        }
+        let elapsed = t0.elapsed();
+        let s = cat.stats();
+        push_arm(
+            &mut out,
+            format!("{shards} shard{}", if shards == 1 { "" } else { "s" }),
+            shards,
+            elapsed,
+            &mut lat,
+            s.docs_routed,
+            s.docs_skipped,
+            0,
+            serial_qps,
+        );
+    }
+    let four = out.last().expect("4-shard arm just pushed");
+    assert!(
+        four.qps >= 2.0 * serial_qps,
+        "4 shard workers must sustain >= 2x serial throughput \
+         ({:.0} qps vs {:.0} qps serial)",
+        four.qps,
+        serial_qps
+    );
+
+    // Tail-latency arm: same traffic, per-request deadlines cycling
+    // through a budget distribution. Misses must surface as
+    // DeadlineExceeded — a cut scatter is an error, not a short answer.
+    let budgets = [
+        Some(Duration::ZERO),
+        Some(Duration::from_millis(1)),
+        Some(Duration::from_millis(5)),
+        None,
+    ];
+    let cat = build(4);
+    let mut lat = Vec::new();
+    let mut misses = 0u64;
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        for (qi, nq) in queries.iter().enumerate() {
+            let token = match budgets[(round * queries.len() + qi) % budgets.len()] {
+                Some(budget) => CancelToken::with_deadline(budget),
+                None => CancelToken::never(),
+            };
+            let q0 = Instant::now();
+            match cat.execute_with(nq.text, token) {
+                Ok(hits) => {
+                    std::hint::black_box(hits);
+                }
+                Err(ServeError::Query(QueryError::DeadlineExceeded)) => misses += 1,
+                Err(e) => panic!("figU deadline arm failed on {}: {e}", nq.name),
+            }
+            lat.push(q0.elapsed());
+        }
+    }
+    let elapsed = t0.elapsed();
+    let s = cat.stats();
+    push_arm(
+        &mut out,
+        "4 shards + deadlines".into(),
+        4,
+        elapsed,
+        &mut lat,
+        s.docs_routed,
+        s.docs_skipped,
+        misses,
+        serial_qps,
+    );
+
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.clone(),
+                format!("{}", r.queries_run),
+                ms(r.elapsed),
+                format!("{:.0}", r.qps),
+                format!("{:.1}x", r.speedup),
+                format!("{}", r.docs_routed),
+                format!("{}", r.docs_skipped),
+                format!("{:.0}%", 100.0 * r.skip_rate),
+                ms(r.p50),
+                ms(r.p99),
+                format!("{}", r.deadline_misses),
+            ]
+        })
+        .collect();
+    let report = format!(
+        "Figure U — sharded catalog scatter-gather: throughput and tail latency \
+         ({} documents, {} families)\n{}",
+        docs.len(),
+        CATALOG_FAMILIES,
+        render_table(
+            &[
+                "arm", "requests", "elapsed", "qps", "speedup", "routed", "skipped",
+                "skip rate", "p50", "p99", "deadline misses",
+            ],
+            &rows
+        )
+    );
+    (out, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1711,6 +1999,32 @@ mod tests {
             assert!(on.analyses_run < off.analyses_run);
             assert_eq!(off.rejected + on.rejected, 0);
         }
+    }
+
+    #[test]
+    fn figu_catalog_contracts_hold_at_quick_scale() {
+        // figu() itself asserts the merge contract, zero routing false
+        // negatives, routing selectivity, schema-plan amortization, and
+        // the ≥2× four-worker throughput margin; this pins the row
+        // shape on top.
+        let (rows, report) = figu(Profile::Quick);
+        assert_eq!(rows.len(), 5, "serial + 3 grid arms + deadline arm");
+        assert!(report.contains("Figure U"));
+        let serial = &rows[0];
+        assert_eq!((serial.shards, serial.docs_routed, serial.docs_skipped), (0, 0, 0));
+        assert!((serial.speedup - 1.0).abs() < 1e-9);
+        for r in &rows[1..] {
+            assert_eq!(r.queries_run, serial.queries_run);
+            assert!(r.docs_skipped > r.docs_routed, "{}: router must skip most docs", r.arm);
+            assert!(r.p99 >= r.p50, "{}: percentiles out of order", r.arm);
+        }
+        let four = &rows[3];
+        assert!(four.speedup >= 2.0, "4 workers at {:.1}x", four.speedup);
+        // The deadline arm runs the same traffic; the expired-on-arrival
+        // budget must cut every scatter that routes any work.
+        let dl = &rows[4];
+        assert!(dl.deadline_misses > 0, "expired budgets must cut some scatters");
+        assert!(dl.deadline_misses < dl.queries_run, "∞ budgets must all land");
     }
 
     #[test]

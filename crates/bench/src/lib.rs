@@ -22,12 +22,13 @@ pub mod sidecar;
 pub mod workload;
 
 pub use experiments::{
-    fig14, fig15, fig16, fig17, fig18, fig19, figa, fige, figm, figp, figs, figt, table1, Algo,
-    FigARow, FigERow, FigMRow, FigSRow, FigTRow,
+    fig14, fig15, fig16, fig17, fig18, fig19, figa, fige, figm, figp, figs, figt, figu, table1,
+    Algo, FigARow, FigERow, FigMRow, FigSRow, FigTRow, FigURow,
 };
 pub use metrics::{run_tjfast, run_twig2stack, run_twigstack, QueryCost};
 pub use sidecar::{latest_sidecar, run_id, write_sidecar};
 pub use workload::{
-    dblp, dblp_queries, documents, fig18_variants, fig19_variants, treebank, treebank_queries,
-    xmark, xmark_queries, Dataset, NamedQuery, Profile,
+    catalog_docs, catalog_queries, dblp, dblp_queries, documents, fig18_variants, fig19_variants,
+    treebank, treebank_queries, xmark, xmark_queries, Dataset, NamedQuery, Profile,
+    CATALOG_FAMILIES,
 };

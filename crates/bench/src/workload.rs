@@ -242,9 +242,80 @@ pub fn fig19_variants() -> Vec<NamedQuery> {
     ]
 }
 
+/// Record-template families in the Figure U catalog. Family `f` suffixes
+/// every label with `f`, so the families' label alphabets are pairwise
+/// disjoint — the Bloom router can (and must) skip 3/4 of the catalog
+/// for any single-family query.
+pub const CATALOG_FAMILIES: usize = 4;
+
+/// One Figure U catalog member: `records` copies of family `f`'s fixed
+/// record template under a family root. Repeating the template never
+/// adds root-to-leaf paths, so every member of a family shares one path
+/// summary (one fingerprint) regardless of its record count — the
+/// property the catalog's once-per-schema planning amortizes over.
+fn catalog_member(family: usize, records: usize) -> Document {
+    let f = family;
+    let mut xml = format!("<cat{f}>");
+    for _ in 0..records {
+        xml.push_str(&format!(
+            "<rec{f}><a{f}><d{f}/></a{f}><b{f}>v</b{f}><c{f}/></rec{f}>"
+        ));
+    }
+    xml.push_str(&format!("</cat{f}>"));
+    xmldom::parse(&xml).expect("catalog member template parses")
+}
+
+/// The Figure U document catalog: small documents drawn round-robin from
+/// the [`CATALOG_FAMILIES`] families, with record counts cycling 3–7 so
+/// document *contents* vary while each family keeps a single schema.
+/// Quick profile: 240 documents; full/scaled: 10,000.
+pub fn catalog_docs(profile: Profile) -> Vec<Document> {
+    let n = match profile {
+        Profile::Quick => 240,
+        Profile::Full | Profile::Scaled => 10_000,
+    };
+    (0..n)
+        .map(|i| catalog_member(i % CATALOG_FAMILIES, 3 + i % 5))
+        .collect()
+}
+
+/// The Figure U mixed query traffic: one satisfiable twig per family
+/// (routes to 1/4 of the catalog), one query over family-0 labels in a
+/// structurally impossible arrangement (`c0` never contains `d0` — it
+/// Bloom-routes but the shared schema analysis short-circuits it), and
+/// one query whose labels exist nowhere (the router must skip the whole
+/// catalog).
+pub fn catalog_queries() -> Vec<NamedQuery> {
+    vec![
+        q("CAT-F0", "//rec0[a0/d0]/b0"),
+        q("CAT-F1", "//rec1[a1/d1]/b1"),
+        q("CAT-F2", "//rec2[a2/d2]/b2"),
+        q("CAT-F3", "//rec3[a3/d3]/b3"),
+        q("CAT-UNSAT", "//rec0/c0/d0"),
+        q("CAT-MISS", "//zzz/qqq"),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn catalog_workload_is_family_shaped() {
+        let docs = catalog_docs(Profile::Quick);
+        assert_eq!(docs.len() % CATALOG_FAMILIES, 0);
+        let queries = catalog_queries();
+        for (i, doc) in docs.iter().take(2 * CATALOG_FAMILIES).enumerate() {
+            for nq in &queries {
+                let rs = twig2stack::evaluate(doc, &nq.gtp);
+                // Each document answers exactly its own family query —
+                // the alphabets are pairwise disjoint, CAT-UNSAT is
+                // schema-infeasible and CAT-MISS names no family.
+                let own = nq.name == format!("CAT-F{}", i % CATALOG_FAMILIES);
+                assert_eq!(!rs.is_empty(), own, "doc {i} vs {}", nq.name);
+            }
+        }
+    }
 
     #[test]
     fn all_queries_parse_and_match_their_datasets() {

@@ -18,6 +18,11 @@
 //! [`EditScript`]; when present, the `edited_vs_rebuilt` invariant
 //! replays that exact script (via [`check_script`]) instead of
 //! deriving one from the pair — other invariants ignore the key.
+//! The optional `docs` key carries a `|`-separated list of single-line
+//! member XMLs; when present, the `catalog_vs_serial` invariant checks
+//! exactly that catalog (via [`check_catalog`]) instead of the derived
+//! three-member one — other invariants ignore the key, and member XML
+//! must not contain a literal `|`.
 //! The XML value is a single line (`xmldom::write` with
 //! [`Indent::None`]); keys may appear in any order; `#` starts a
 //! comment line. Files live under `corpus/` at the workspace root and
@@ -25,7 +30,7 @@
 //! The convention is also documented in DESIGN.md §8.
 
 use crate::edits::EditScript;
-use crate::invariants::{check, check_script, Invariant, Outcome};
+use crate::invariants::{check, check_catalog, check_script, Invariant, Outcome};
 use gtpquery::parse_twig;
 use std::fs;
 use std::io;
@@ -35,7 +40,7 @@ use xmldom::{parse, write, Document, Indent};
 /// One parsed `.t2s` case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseFile {
-    /// The invariant to replay; `None` replays all seven.
+    /// The invariant to replay; `None` replays every invariant.
     pub invariant: Option<Invariant>,
     /// The query, in `gtpquery::parse_twig` syntax.
     pub query: String,
@@ -44,6 +49,10 @@ pub struct CaseFile {
     /// A serialized edit script replayed by the `edited_vs_rebuilt`
     /// invariant (other invariants ignore it).
     pub edits: Option<String>,
+    /// `|`-separated single-line member XMLs replayed as the exact
+    /// catalog by the `catalog_vs_serial` invariant (other invariants
+    /// ignore it).
+    pub docs: Option<String>,
     /// Free-form provenance note.
     pub note: Option<String>,
 }
@@ -56,6 +65,7 @@ impl CaseFile {
             query: gtpquery::serialize(gtp),
             xml: write(doc, Indent::None),
             edits: None,
+            docs: None,
             note: if note.is_empty() { None } else { Some(note.to_string()) },
         }
     }
@@ -66,6 +76,7 @@ impl CaseFile {
         let mut query = None;
         let mut xml = None;
         let mut edits = None;
+        let mut docs = None;
         let mut note = None;
         for (lineno, raw) in input.lines().enumerate() {
             let line = raw.trim();
@@ -93,6 +104,14 @@ impl CaseFile {
                         .map_err(|e| format!("line {}: {e}", lineno + 1))?;
                     edits = Some(value.to_string());
                 }
+                "docs" => {
+                    for member in value.split('|') {
+                        parse(member.trim()).map_err(|e| {
+                            format!("line {}: catalog member does not parse: {e}", lineno + 1)
+                        })?;
+                    }
+                    docs = Some(value.to_string());
+                }
                 "note" => note = Some(value.to_string()),
                 other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
             }
@@ -102,6 +121,7 @@ impl CaseFile {
             query: query.ok_or("missing `query` line")?,
             xml: xml.ok_or("missing `xml` line")?,
             edits,
+            docs,
             note,
         })
     }
@@ -123,6 +143,11 @@ impl CaseFile {
             out.push_str(e);
             out.push('\n');
         }
+        if let Some(d) = &self.docs {
+            out.push_str("docs = ");
+            out.push_str(d);
+            out.push('\n');
+        }
         if let Some(n) = &self.note {
             out.push_str("note = ");
             out.push_str(n);
@@ -142,11 +167,21 @@ impl CaseFile {
         };
         let mut failures = Vec::new();
         for &inv in invariants {
-            let outcome = match (&self.edits, inv) {
-                (Some(text), Invariant::EditedVsRebuilt) => {
+            let outcome = match inv {
+                Invariant::EditedVsRebuilt if self.edits.is_some() => {
+                    let text = self.edits.as_deref().expect("checked above");
                     let script = EditScript::parse(text)
                         .map_err(|e| format!("edit script does not parse: {e}"))?;
                     check_script(&doc, &gtp, &script)
+                }
+                Invariant::CatalogVsSerial if self.docs.is_some() => {
+                    let text = self.docs.as_deref().expect("checked above");
+                    let members = text
+                        .split('|')
+                        .map(|m| parse(m.trim()))
+                        .collect::<Result<Vec<Document>, _>>()
+                        .map_err(|e| format!("catalog member does not parse: {e}"))?;
+                    check_catalog(&members, &gtp)
                 }
                 _ => check(&doc, &gtp, inv),
             };
@@ -211,6 +246,20 @@ mod tests {
         assert!(CaseFile::parse("query = //a\nxml = <a/>\nbogus = 1\n").is_err());
         assert!(CaseFile::parse("query = //a\nxml = <a/>\ninvariant = nope\n").is_err());
         assert!(CaseFile::parse("query = //a\nxml = <a/>\nedits = explode 3\n").is_err());
+        assert!(CaseFile::parse("query = //a\nxml = <a/>\ndocs = <a/>|<b\n").is_err());
+    }
+
+    #[test]
+    fn docs_key_round_trips_and_replays_the_stored_catalog() {
+        let text = "invariant = catalog_vs_serial\nquery = //a/b\nxml = <a><b/></a>\n\
+                    docs = <a><b/></a> | <x><y/></x> | <a><b/><b/></a>\n";
+        let case = CaseFile::parse(text).unwrap();
+        assert_eq!(
+            case.docs.as_deref(),
+            Some("<a><b/></a> | <x><y/></x> | <a><b/><b/></a>")
+        );
+        assert_eq!(CaseFile::parse(&case.serialize()).unwrap(), case);
+        assert_eq!(case.replay().unwrap(), vec![]);
     }
 
     #[test]

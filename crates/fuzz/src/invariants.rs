@@ -1,4 +1,4 @@
-//! The ten metamorphic invariants checked per (document, query) pair.
+//! The eleven metamorphic invariants checked per (document, query) pair.
 //!
 //! Each invariant encodes a correctness claim of the paper (references
 //! per variant below; the full table lives in DESIGN.md §8). An
@@ -67,11 +67,17 @@ pub enum Invariant {
     /// rebuilt from scratch (elements, sid tags, skip blocks, path
     /// summary), and byte-equal query results on the final document.
     EditedVsRebuilt,
+    /// Sharded scatter-gather over a multi-document catalog equals
+    /// serial per-document evaluation concatenated in doc-id order, the
+    /// Bloom router never drops a matching document, and every hit
+    /// equals the single-document oracle (DESIGN.md §16: the catalog
+    /// merge and zero-false-negative contracts).
+    CatalogVsSerial,
 }
 
 impl Invariant {
     /// Every invariant, in report order.
-    pub const ALL: [Invariant; 10] = [
+    pub const ALL: [Invariant; 11] = [
         Invariant::CrossEngine,
         Invariant::CountConsistency,
         Invariant::ExistenceConsistency,
@@ -82,6 +88,7 @@ impl Invariant {
         Invariant::MappedVsHeap,
         Invariant::AdaptiveVsForced,
         Invariant::EditedVsRebuilt,
+        Invariant::CatalogVsSerial,
     ];
 
     /// Stable snake_case name (used in `.t2s` corpus files and the obs
@@ -98,6 +105,7 @@ impl Invariant {
             Invariant::MappedVsHeap => "mapped_vs_heap",
             Invariant::AdaptiveVsForced => "adaptive_vs_forced",
             Invariant::EditedVsRebuilt => "edited_vs_rebuilt",
+            Invariant::CatalogVsSerial => "catalog_vs_serial",
         }
     }
 
@@ -167,6 +175,7 @@ pub fn check(doc: &Document, gtp: &Gtp, inv: Invariant) -> Outcome {
         Invariant::MappedVsHeap => mapped_vs_heap(doc, gtp),
         Invariant::AdaptiveVsForced => adaptive_vs_forced(doc, gtp),
         Invariant::EditedVsRebuilt => check_script(doc, gtp, &derive_script(doc, gtp)),
+        Invariant::CatalogVsSerial => catalog_vs_serial(doc, gtp),
     }
 }
 
@@ -616,6 +625,110 @@ fn adaptive_vs_forced(doc: &Document, gtp: &Gtp) -> Outcome {
     Outcome::Passed
 }
 
+/// Derive a three-member catalog from the fuzzed pair — the document
+/// twice (identical summary fingerprint, so the shards must share one
+/// schema plan) around a label-disjoint decoy the Bloom router should
+/// skip whenever the query names any required label — and hand it to
+/// [`check_catalog`].
+fn catalog_vs_serial(doc: &Document, gtp: &Gtp) -> Outcome {
+    let decoy = xmldom::parse("<zq9><zq9/></zq9>").expect("static decoy parses");
+    check_catalog(&[doc.clone(), decoy, doc.clone()], gtp)
+}
+
+/// The harness behind [`Invariant::CatalogVsSerial`], shared with corpus
+/// replay (a `.t2s` file's `docs =` key routes here with the stored
+/// member list instead of the derived three-member catalog).
+///
+/// Asserts, for 1-shard and 3-shard partitionings of `members`:
+/// * serial catalog iteration equals the per-member naive-order oracle
+///   (one [`evaluate`] per member, empty members dropped, doc-id order);
+/// * the Bloom router routes every member that has at least one hit
+///   (zero false negatives);
+/// * async scatter-gather over the shard pool returns exactly the
+///   serial hits — same doc ids, same rows, same order.
+pub fn check_catalog(members: &[Document], gtp: &Gtp) -> Outcome {
+    use twigserve::{CatalogConfig, CatalogService};
+
+    if members.is_empty() {
+        return Outcome::Skipped("empty catalog");
+    }
+    // Same round-trip caveat as `adaptive_vs_forced`: the catalog takes
+    // query *text*, and re-parsing the canonical serialization renumbers
+    // query nodes, so the oracle must evaluate the round-tripped form.
+    let query = gtpquery::serialize(gtp);
+    let canonical = match gtpquery::parse_twig(&query) {
+        Ok(g) => g,
+        Err(e) => {
+            return Outcome::Failed(format!(
+                "canonical serialization failed to re-parse ({query}): {e}"
+            ))
+        }
+    };
+    let mut expected: Vec<(u32, ResultSet)> = Vec::new();
+    let mut total_rows = 0usize;
+    for (id, member) in members.iter().enumerate() {
+        let rows = evaluate(member, &canonical);
+        total_rows += rows.len();
+        if total_rows > MAX_ROWS {
+            return Outcome::Skipped("result set too large for the smoke budget");
+        }
+        if !rows.is_empty() {
+            expected.push((id as u32, rows));
+        }
+    }
+    for shards in [1, 3] {
+        let cat = CatalogService::build_heap(
+            members.to_vec(),
+            CatalogConfig { shards, ..CatalogConfig::default() },
+        );
+        let routed = match cat.routed_docs(&query) {
+            Ok(ids) => ids,
+            Err(e) => return Outcome::Failed(format!("routing failed ({shards} shards): {e}")),
+        };
+        for (id, _) in &expected {
+            if !routed.contains(id) {
+                return Outcome::Failed(format!(
+                    "routing false negative: doc {id} has matches but was not \
+                     routed ({shards} shards)"
+                ));
+            }
+        }
+        let serial = match cat.execute_serial(&query) {
+            Ok(hits) => hits,
+            Err(e) => {
+                return Outcome::Failed(format!("serial iteration failed ({shards} shards): {e}"))
+            }
+        };
+        let serial_pairs: Vec<(u32, &ResultSet)> =
+            serial.iter().map(|h| (h.doc, &h.rows)).collect();
+        let expected_pairs: Vec<(u32, &ResultSet)> =
+            expected.iter().map(|(id, rows)| (*id, rows)).collect();
+        if serial_pairs != expected_pairs {
+            return Outcome::Failed(format!(
+                "serial catalog iteration differs from the per-member oracle: \
+                 {} vs {} hits ({shards} shards)",
+                serial.len(),
+                expected.len()
+            ));
+        }
+        let scattered = match cat.execute(&query) {
+            Ok(hits) => hits,
+            Err(e) => {
+                return Outcome::Failed(format!("scatter-gather failed ({shards} shards): {e}"))
+            }
+        };
+        if scattered != serial {
+            return Outcome::Failed(format!(
+                "scatter-gather differs from serial iteration: {} vs {} hits \
+                 ({shards} shards)",
+                scattered.len(),
+                serial.len()
+            ));
+        }
+    }
+    Outcome::Passed
+}
+
 /// The harness behind [`Invariant::EditedVsRebuilt`], shared with corpus
 /// replay (a `.t2s` file's `edits =` key routes here with the stored
 /// script instead of the derived one).
@@ -786,6 +899,31 @@ mod tests {
         let gtp = parse_twig("//a").unwrap();
         let script = EditScript::parse("delete 99").unwrap();
         assert!(matches!(check_script(&doc, &gtp, &script), Outcome::Failed(_)));
+    }
+
+    #[test]
+    fn catalog_vs_serial_passes_on_known_pairs() {
+        for (xml, q) in [
+            ("<a><b><c/></b><b/></a>", "//a/b//c"),
+            ("<a><b>x</b><b>y</b></a>", "//a/b='x'"),
+            ("<a><b/><c/></a>", "//a[b! or d!]"),
+            ("<a><b/></a>", "//q/z"), // no member matches anywhere
+        ] {
+            let doc = parse(xml).unwrap();
+            let gtp = parse_twig(q).unwrap();
+            assert_eq!(check(&doc, &gtp, Invariant::CatalogVsSerial), Outcome::Passed, "{q}");
+        }
+    }
+
+    #[test]
+    fn check_catalog_accepts_heterogeneous_member_lists() {
+        let members: Vec<_> = ["<a><b/></a>", "<x><y/></x>", "<a><b><b/></b></a>", "<a/>"]
+            .iter()
+            .map(|x| parse(x).unwrap())
+            .collect();
+        let gtp = parse_twig("//a/b").unwrap();
+        assert_eq!(check_catalog(&members, &gtp), Outcome::Passed);
+        assert!(matches!(check_catalog(&[], &gtp), Outcome::Skipped(_)));
     }
 
     #[test]

@@ -10,13 +10,14 @@
 //!   roles, optional edges, OR-groups, and value predicates. Every
 //!   generated query round-trips `gtpquery::serialize` ∘
 //!   `gtpquery::parse_twig` losslessly.
-//! * [`invariants`] — ten metamorphic invariants checked per (document,
-//!   query) pair: cross-engine agreement, count/enumerate consistency,
-//!   existence consistency, early-vs-full equality, serial-vs-parallel
-//!   equality, predicate-weakening monotonicity, pruned-vs-unpruned and
-//!   mapped-vs-heap equivalence, adaptive-vs-forced planning, and
-//!   edited-vs-rebuilt index maintenance. See DESIGN.md §8 for the
-//!   mapping to paper sections.
+//! * [`invariants`] — eleven metamorphic invariants checked per
+//!   (document, query) pair: cross-engine agreement, count/enumerate
+//!   consistency, existence consistency, early-vs-full equality,
+//!   serial-vs-parallel equality, predicate-weakening monotonicity,
+//!   pruned-vs-unpruned and mapped-vs-heap equivalence,
+//!   adaptive-vs-forced planning, edited-vs-rebuilt index maintenance,
+//!   and catalog-vs-serial scatter-gather equivalence. See DESIGN.md §8
+//!   for the mapping to paper sections.
 //! * [`edits`] — seeded random edit scripts (insert/delete/replace
 //!   subtrees, including root deletion and empty-document revival) that
 //!   drive the `edited_vs_rebuilt` invariant and ride in the `edits =`
@@ -45,7 +46,7 @@ pub mod vocab;
 pub use corpus::{write_case, CaseFile};
 pub use edits::{derive_script, EditScript, ScriptOp, DERIVED_STEPS};
 pub use gen::{generate_query, GenConfig};
-pub use invariants::{check, check_case, check_script, CaseOutcome, Invariant, Outcome};
+pub use invariants::{check, check_case, check_catalog, check_script, CaseOutcome, Invariant, Outcome};
 pub use session::{run_session, Dataset, FailureCase, SessionConfig, SessionReport};
 pub use shrink::{copy_without, shrink, shrink_script};
 pub use vocab::Vocabulary;

@@ -98,10 +98,10 @@ pub struct SessionConfig {
     pub gen: GenConfig,
     /// Minimize failing pairs before reporting them.
     pub shrink_failures: bool,
-    /// Restrict the session to one invariant (`None` runs all ten).
+    /// Restrict the session to one invariant (`None` runs all eleven).
     /// Used by the dedicated CI edit-script smoke, which needs a
     /// guaranteed count of `edited_vs_rebuilt` checks without paying
-    /// for the other nine on every pair.
+    /// for the other ten on every pair.
     pub only: Option<Invariant>,
 }
 

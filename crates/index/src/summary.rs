@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 use twigobs::Counter;
-use xmldom::{Document, Label, NodeId, Region};
+use xmldom::{Document, Label, LabelTable, NodeId, Region};
 
 /// One node of the path summary: a distinct root-to-node label path.
 ///
@@ -153,6 +153,36 @@ impl<'a> SummaryRef<'a> {
         }
         false
     }
+
+    /// Structural fingerprint: an FNV-1a hash over every node's
+    /// `(label name, parent sid, depth)` in sid order.
+    ///
+    /// Sids are assigned in first-occurrence preorder, so two documents
+    /// with equal fingerprints have the *same* summary tree under the
+    /// *same* sid numbering — schema-level verdicts (feasibility sets,
+    /// unsatisfiability, planner decisions keyed on summary shape) computed
+    /// against one transfer verbatim to the other. Element counts and
+    /// region hulls are deliberately excluded: they vary with document
+    /// size, not schema, and including them would shatter the
+    /// one-plan-per-schema sharing the multi-document catalog relies on.
+    /// Label *names* (not numeric `Label` ids) are hashed so documents
+    /// built with independent label tables still compare.
+    pub fn fingerprint(&self, labels: &LabelTable) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for n in self.nodes {
+            mix(labels.name(n.label).as_bytes());
+            mix(&[0xff]); // name terminator: ("ab","c") != ("a","bc")
+            mix(&n.parent.to_le_bytes());
+            mix(&n.depth.to_le_bytes());
+        }
+        h
+    }
 }
 
 /// Strong DataGuide over a document: distinct label paths plus the mapping
@@ -274,6 +304,11 @@ impl PathSummary {
     /// True iff `anc` is a proper ancestor path of `desc`.
     pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
         self.view().is_ancestor(anc, desc)
+    }
+
+    /// Structural fingerprint (see [`SummaryRef::fingerprint`]).
+    pub fn fingerprint(&self, labels: &LabelTable) -> u64 {
+        self.view().fingerprint(labels)
     }
 
     /// Mutable access to one summary node, for the incremental index
@@ -584,6 +619,36 @@ mod tests {
         let cover = RegionCover::from_spans(vec![(20, 70), (1, 10), (5, 30), (80, 90)]);
         assert_eq!(cover.spans(), &[(1, 70), (80, 90)]);
         assert!(RegionCover::from_spans(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_size() {
+        // Same label paths, different element counts and text: the schema
+        // is identical, so the fingerprints must collide by design.
+        let small = parse("<a><b><c/></b></a>").unwrap();
+        let big = parse("<a><b><c/><c/></b><b><c/></b></a>").unwrap();
+        let fp_small = PathSummary::build(&small).fingerprint(small.labels());
+        let fp_big = PathSummary::build(&big).fingerprint(big.labels());
+        assert_eq!(fp_small, fp_big);
+        // A structural change (new path /a/b/d) moves the fingerprint.
+        let other = parse("<a><b><c/><d/></b></a>").unwrap();
+        assert_ne!(fp_small, PathSummary::build(&other).fingerprint(other.labels()));
+        // So does the same label set arranged differently (/a/c vs /a/b/c).
+        let flat = parse("<a><b/><c/></a>").unwrap();
+        assert_ne!(fp_small, PathSummary::build(&flat).fingerprint(flat.labels()));
+    }
+
+    #[test]
+    fn fingerprint_hashes_label_names_not_ids() {
+        // Identical shape and identical numeric Label ids (0, 1, 2 in
+        // both) — only the leaf *name* differs. Hashing ids would
+        // collide here; hashing names must not.
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let renamed = parse("<a><b><d/></b></a>").unwrap();
+        assert_ne!(
+            PathSummary::build(&doc).fingerprint(doc.labels()),
+            PathSummary::build(&renamed).fingerprint(renamed.labels()),
+        );
     }
 
     #[test]

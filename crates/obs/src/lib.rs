@@ -69,7 +69,7 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 ///
 /// ```
 /// use twigobs::Counter;
-/// assert_eq!(Counter::ALL.len(), 31);
+/// assert_eq!(Counter::ALL.len(), 35);
 /// assert_eq!(Counter::EdgesCreated.name(), "edges_created");
 /// assert_eq!(Counter::PlanCacheHits.name(), "plan_cache_hits");
 /// assert_eq!(Counter::PlanMispredictions.name(), "plan_mispredictions");
@@ -156,11 +156,26 @@ pub enum Counter {
     /// intersected the edit's changed labels (or the summary was
     /// rebuilt).
     PlanCacheInvalidations,
+    /// Catalog documents a routed query actually visited (the Bloom +
+    /// summary-feasibility router could not rule them out).
+    CatalogDocsRouted,
+    /// Catalog documents skipped by routing (a mandatory query label was
+    /// absent from the document's Bloom filter, or the document's schema
+    /// was proven unsatisfiable by summary feasibility). Zero false
+    /// negatives: a skipped document never holds a match.
+    CatalogDocsSkipped,
+    /// Per-shard scatter jobs dispatched by the catalog (one per
+    /// (query, shard-with-routed-documents) pair).
+    ShardQueries,
+    /// Cross-document shared scans formed by the catalog batch path (one
+    /// merged stream scan serving several same-label-set queries on one
+    /// document).
+    CatalogBatches,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 35] = [
         Counter::ElementsScanned,
         Counter::StackPushes,
         Counter::Merges,
@@ -192,6 +207,10 @@ impl Counter {
         Counter::RenumberEvents,
         Counter::EditElementsReindexed,
         Counter::PlanCacheInvalidations,
+        Counter::CatalogDocsRouted,
+        Counter::CatalogDocsSkipped,
+        Counter::ShardQueries,
+        Counter::CatalogBatches,
     ];
 
     /// The counter's snake_case report key (stable: it is the JSON
@@ -229,6 +248,10 @@ impl Counter {
             Counter::RenumberEvents => "renumber_events",
             Counter::EditElementsReindexed => "edit_elements_reindexed",
             Counter::PlanCacheInvalidations => "plan_cache_invalidations",
+            Counter::CatalogDocsRouted => "catalog_docs_routed",
+            Counter::CatalogDocsSkipped => "catalog_docs_skipped",
+            Counter::ShardQueries => "shard_queries",
+            Counter::CatalogBatches => "catalog_batches",
         }
     }
 
@@ -266,6 +289,10 @@ impl Counter {
             Counter::RenumberEvents => 28,
             Counter::EditElementsReindexed => 29,
             Counter::PlanCacheInvalidations => 30,
+            Counter::CatalogDocsRouted => 31,
+            Counter::CatalogDocsSkipped => 32,
+            Counter::ShardQueries => 33,
+            Counter::CatalogBatches => 34,
         }
     }
 }
@@ -400,12 +427,25 @@ impl Gauge {
 /// assert_eq!(a.get(Counter::Merges), 0);
 /// assert_eq!(a.span_total(Phase::Match).as_nanos(), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Metrics {
     counters: [u64; Counter::ALL.len()],
     span_nanos: [u64; Phase::ALL.len()],
     span_entries: [u64; Phase::ALL.len()],
     gauges: [u64; Gauge::ALL.len()],
+}
+
+// Hand-written because `Default` is not derivable for arrays longer than
+// 32 elements and `Counter::ALL` has outgrown that.
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            counters: [0; Counter::ALL.len()],
+            span_nanos: [0; Phase::ALL.len()],
+            span_entries: [0; Phase::ALL.len()],
+            gauges: [0; Gauge::ALL.len()],
+        }
+    }
 }
 
 impl Metrics {

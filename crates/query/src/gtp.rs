@@ -379,6 +379,46 @@ impl Gtp {
     pub fn has_wildcard(&self) -> bool {
         self.nodes.iter().any(|n| n.test == NodeTest::Wildcard)
     }
+
+    /// Label names a document **must** contain to produce any match —
+    /// the zero-false-negative routing set for multi-document catalogs.
+    ///
+    /// A query node is *mandatory* when every edge on its root path is
+    /// solid (non-optional) and no node on that path sits in a
+    /// multi-member OR-group (an OR member can be absent as long as a
+    /// sibling alternative matches). Every mandatory node with a name
+    /// test must bind to some element, so its label must exist in the
+    /// document; optional/OR branches and wildcards contribute nothing.
+    /// Value predicates are irrelevant here — the element's *presence*
+    /// is still required even if its text decides the match.
+    ///
+    /// The result is sorted and deduplicated, like [`Self::label_names`].
+    pub fn required_label_names(&self) -> Vec<&str> {
+        let mut mandatory = vec![false; self.len()];
+        mandatory[self.root().index()] = true;
+        let mut names: Vec<&str> = Vec::new();
+        for q in self.preorder() {
+            let on_solid_path = match self.parent(q) {
+                None => true,
+                Some(p) => {
+                    mandatory[p.index()]
+                        && !self.edge(q).is_some_and(|e| e.optional)
+                        && !self.children(p).iter().any(|&d| {
+                            d != q && self.or_group(d) == self.or_group(q)
+                        })
+                }
+            };
+            mandatory[q.index()] = on_solid_path;
+            if on_solid_path {
+                if let NodeTest::Name(n) = self.test(q) {
+                    names.push(n.as_str());
+                }
+            }
+        }
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
 }
 
 impl fmt::Display for Gtp {
@@ -657,6 +697,36 @@ mod tests {
         let g = b.build();
         assert_eq!(g.label_names(), vec!["a", "b"]);
         assert!(g.has_wildcard());
+    }
+
+    #[test]
+    fn required_labels_follow_solid_paths_only() {
+        // //a/b[//d][/c] — every edge solid and AND-combined: all four
+        // labels are required.
+        let g = figure1_query();
+        assert_eq!(g.required_label_names(), vec!["a", "b", "c", "d"]);
+        // Making the b edge optional severs b's whole subtree from the
+        // required set — a document of bare <a/>s can still match.
+        let mut opt = figure1_query();
+        let bq = opt.find("b").unwrap();
+        opt.set_edge_optional(bq, true);
+        assert_eq!(opt.required_label_names(), vec!["a"]);
+    }
+
+    #[test]
+    fn required_labels_skip_or_group_members_and_wildcards() {
+        // //a[b or c]/*/d! — b/c are OR alternatives (either may be
+        // absent), the wildcard names nothing, but d below the wildcard
+        // is still on an all-solid path.
+        let mut b = GtpBuilder::new("a", false);
+        let a = b.root();
+        let bq = b.child(a, "b", Axis::Child);
+        let cq = b.child(a, "c", Axis::Child);
+        b.same_or_group(&[bq, cq]);
+        let w = b.child(a, "*", Axis::Child);
+        b.add(w, "d", Axis::Child, false, Role::NonReturn);
+        let g = b.build();
+        assert_eq!(g.required_label_names(), vec!["a", "d"]);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::planner::PlanDecision;
 use gtpquery::Gtp;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use twig2stack::IndexedPlan;
 use xmldom::Label;
@@ -36,6 +36,10 @@ use xmldom::Label;
 /// A cached, immutable evaluation plan: the parsed query and its
 /// index-specific stream plan. Shared by `Arc` so a hit never copies and
 /// an eviction never invalidates an in-flight evaluation.
+///
+/// The only mutable state is the misprediction strike counter feeding the
+/// planner feedback loop (DESIGN.md §14): the plan itself never changes —
+/// a re-plan publishes a *new* `CachedPlan` under the same cache key.
 #[derive(Debug)]
 pub struct CachedPlan {
     /// The parsed query (node ids align with `plan`).
@@ -48,6 +52,23 @@ pub struct CachedPlan {
     /// The planner's verdict: engine, pruning policy, enumeration
     /// strategy, and (in adaptive mode) the predictions behind them.
     pub decision: PlanDecision,
+    /// Mispredicted executions observed on this plan (adaptive only).
+    mispredictions: AtomicU32,
+}
+
+impl CachedPlan {
+    /// Wrap a computed plan with a zeroed feedback state.
+    pub fn new(gtp: Gtp, plan: IndexedPlan, decision: PlanDecision) -> Self {
+        CachedPlan { gtp, plan, decision, mispredictions: AtomicU32::new(0) }
+    }
+
+    /// Record one mispredicted execution; returns the total so far
+    /// (including this one). The service re-plans when the total reaches
+    /// its strike threshold — exactly once per plan object, because the
+    /// replacement plan starts from zero.
+    pub(crate) fn note_misprediction(&self) -> u32 {
+        self.mispredictions.fetch_add(1, Ordering::Relaxed) + 1
+    }
 }
 
 #[derive(Debug)]
@@ -176,7 +197,7 @@ mod tests {
         let index = ElementIndex::build(&doc);
         let gtp = parse_twig(q).unwrap();
         let plan = IndexedPlan::compute(&gtp, &index, doc.labels(), PruningPolicy::Enabled);
-        Arc::new(CachedPlan { gtp, plan, decision: PlanDecision::default() })
+        Arc::new(CachedPlan::new(gtp, plan, PlanDecision::default()))
     }
 
     #[test]

@@ -72,9 +72,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod catalog;
 pub mod planner;
 
 pub use cache::CachedPlan;
+pub use catalog::{
+    CatalogConfig, CatalogDoc, CatalogService, CatalogStats, DocHit, LabelBloom,
+};
 pub use gtpquery::cost::PlanEngine;
 pub use planner::{PlanDecision, PlannerMode};
 
@@ -245,6 +249,9 @@ pub struct ServiceStats {
     /// Adaptive executions whose actual stream scan fell outside the
     /// prediction tolerance ([`planner::scan_within_tolerance`]).
     pub plan_mispredictions: u64,
+    /// Cached plans replaced by the feedback loop after repeated
+    /// mispredictions ([`planner::replan`]; DESIGN.md §14).
+    pub plans_replanned: u64,
     /// Document edits applied through [`QueryService::apply_edit`]
     /// (rejected edits do not count).
     pub edits_applied: u64,
@@ -269,6 +276,7 @@ struct StatsCell {
     ctx_reused: AtomicU64,
     adaptive: AtomicU64,
     mispredict: AtomicU64,
+    replans: AtomicU64,
     edits: AtomicU64,
     rotations: AtomicU64,
     invalidations: AtomicU64,
@@ -443,6 +451,22 @@ pub struct EditReceipt {
     pub invalidated_plans: u64,
 }
 
+/// What one applied edit **batch** did, returned by
+/// [`QueryService::apply_edits`]: N ops, one snapshot rotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEditReceipt {
+    /// Version of the snapshot the batch published (unchanged when the
+    /// batch was empty).
+    pub version: u64,
+    /// Edit ops the batch applied.
+    pub ops_applied: usize,
+    /// True when any step rebuilt the index from scratch (the whole
+    /// plan cache was flushed in that case).
+    pub rebuilt: bool,
+    /// Cached plans the batch's single rotation invalidated.
+    pub invalidated_plans: u64,
+}
+
 /// A concurrent query service over an edit-rotated sequence of immutable
 /// snapshots.
 ///
@@ -556,6 +580,82 @@ impl QueryService {
         Ok(EditReceipt { version, delta, rebuilt, invalidated_plans: invalidated })
     }
 
+    /// Apply a batch of subtree edits as **one** snapshot rotation
+    /// (ROADMAP item 1a).
+    ///
+    /// Each op is expressed against the document produced by the ops
+    /// before it — exactly the coordinates N sequential
+    /// [`apply_edit`](Self::apply_edit) calls would use — and the final
+    /// document and index are identical to that sequence's. What differs
+    /// is the publication: readers see either the pre-batch snapshot or
+    /// the fully edited one (never an intermediate), the plan cache pays
+    /// one rotation whose changed-label set is the union over all ops
+    /// (one full flush if any step rebuilt), and `snapshot_rotations`
+    /// advances by exactly 1.
+    ///
+    /// All-or-nothing: a rejected op aborts the whole batch before
+    /// anything is published. An empty batch is a no-op (no rotation).
+    pub fn apply_edits(&self, ops: &[EditOp]) -> Result<BatchEditReceipt, ServeError> {
+        let _writer = self.edit_lock.lock().expect("edit lock poisoned");
+        let old = self.snapshot();
+        if ops.is_empty() {
+            return Ok(BatchEditReceipt {
+                version: old.version,
+                ops_applied: 0,
+                rebuilt: false,
+                invalidated_plans: 0,
+            });
+        }
+        let mut doc_cur: Option<Document> = None;
+        let mut ix_cur: Option<ElementIndex> = None;
+        let mut rebuilt = false;
+        let mut changed: Vec<Label> = Vec::new();
+        for op in ops {
+            let (next_doc, delta) = apply_op(doc_cur.as_ref().unwrap_or(&old.doc), op)?;
+            let (next_ix, how) = match (&ix_cur, &old.index) {
+                (Some(ix), _) => ix.apply_edit(&next_doc, &delta),
+                (None, ServeIndex::Heap(ix)) => ix.apply_edit(&next_doc, &delta),
+                // v3 files are read-only; the first op materializes the
+                // post-edit index on the heap (see apply_edit).
+                (None, ServeIndex::Mapped(_)) => {
+                    twigobs::add(
+                        twigobs::Counter::EditElementsReindexed,
+                        next_doc.len() as u64,
+                    );
+                    (ElementIndex::build(&next_doc), EditApply::Rebuilt)
+                }
+            };
+            rebuilt |= how == EditApply::Rebuilt;
+            for &l in &delta.changed_labels {
+                if !changed.contains(&l) {
+                    changed.push(l);
+                }
+            }
+            doc_cur = Some(next_doc);
+            ix_cur = Some(next_ix);
+        }
+        let version = old.version + 1;
+        let next = Arc::new(Snapshot {
+            doc: doc_cur.expect("non-empty batch"),
+            index: ServeIndex::Heap(ix_cur.expect("non-empty batch")),
+            version,
+            dewey: OnceLock::new(),
+        });
+        *self.snapshot.write().expect("snapshot lock poisoned") = next;
+        let invalidated = self.cache.rotate((!rebuilt).then_some(changed.as_slice()), version);
+        self.stats.edits.fetch_add(ops.len() as u64, Ordering::Relaxed);
+        self.stats.rotations.fetch_add(1, Ordering::Relaxed);
+        self.stats.invalidations.fetch_add(invalidated, Ordering::Relaxed);
+        twigobs::bump(twigobs::Counter::SnapshotRotations);
+        twigobs::add(twigobs::Counter::PlanCacheInvalidations, invalidated);
+        Ok(BatchEditReceipt {
+            version,
+            ops_applied: ops.len(),
+            rebuilt,
+            invalidated_plans: invalidated,
+        })
+    }
+
     /// Snapshot the service counters.
     pub fn stats(&self) -> ServiceStats {
         let s = &self.stats;
@@ -571,6 +671,7 @@ impl QueryService {
             contexts_reused: s.ctx_reused.load(Ordering::Relaxed),
             plans_adaptive: s.adaptive.load(Ordering::Relaxed),
             plan_mispredictions: s.mispredict.load(Ordering::Relaxed),
+            plans_replanned: s.replans.load(Ordering::Relaxed),
             edits_applied: s.edits.load(Ordering::Relaxed),
             snapshot_rotations: s.rotations.load(Ordering::Relaxed),
             plan_cache_invalidations: s.invalidations.load(Ordering::Relaxed),
@@ -739,7 +840,7 @@ impl QueryService {
             self.stats.adaptive.fetch_add(1, Ordering::Relaxed);
         }
         let plan = IndexedPlan::compute(&gtp, snap.index(), snap.doc.labels(), decision.policy);
-        let cached = Arc::new(CachedPlan { gtp, plan, decision });
+        let cached = Arc::new(CachedPlan::new(gtp, plan, decision));
         let evicted = self.cache.insert(key, Arc::clone(&cached), snap.version);
         if evicted > 0 {
             self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -779,6 +880,10 @@ impl QueryService {
         }
     }
 
+    /// Misprediction strikes on one cached plan before the feedback loop
+    /// re-plans it with the measured scan (ROADMAP item 4a).
+    const REPLAN_AFTER: u32 = 3;
+
     /// After a successful adaptive execution: mirror the predictions
     /// into the sidecar counters (next to the engines' actual counters)
     /// and flag the execution as mispredicted when the actual stream
@@ -786,7 +891,14 @@ impl QueryService {
     /// executions with no stream-scan proxy (early enumeration walks
     /// parse events, not streams) — those record predictions but are
     /// never alarmed.
-    fn record_outcome(&self, decision: &PlanDecision, actual_scan: Option<u64>) {
+    ///
+    /// The [`Self::REPLAN_AFTER`]th strike on one plan triggers the
+    /// feedback loop: [`planner::replan`] re-derives the decision with
+    /// the measured scan blended in, and the replacement plan is
+    /// published under the same cache key (for `snap`'s generation), so
+    /// the next lookup serves the corrected decision.
+    fn record_outcome(&self, snap: &Snapshot, plan: &CachedPlan, actual_scan: Option<u64>) {
+        let decision = &plan.decision;
         if !decision.adaptive {
             return;
         }
@@ -796,8 +908,36 @@ impl QueryService {
             if !planner::scan_within_tolerance(decision.predicted_scan, actual) {
                 self.stats.mispredict.fetch_add(1, Ordering::Relaxed);
                 twigobs::bump(twigobs::Counter::PlanMispredictions);
+                if plan.note_misprediction() == Self::REPLAN_AFTER {
+                    self.replan(snap, plan, actual);
+                }
             }
         }
+    }
+
+    /// Publish a feedback-corrected replacement for `plan` (same cache
+    /// key, `snap`'s generation). Races are benign: a concurrent lookup
+    /// either sees the old plan (one more corrected-next-time execution)
+    /// or the new one; whichever insert lands last wins, and both carry
+    /// decisions valid for this snapshot.
+    fn replan(&self, snap: &Snapshot, plan: &CachedPlan, measured_scan: u64) {
+        let decision = planner::replan(
+            &plan.gtp,
+            snap.index(),
+            snap.doc.labels(),
+            &plan.decision,
+            measured_scan,
+        );
+        let gtp = plan.gtp.clone();
+        let revised = IndexedPlan::compute(&gtp, snap.index(), snap.doc.labels(), decision.policy);
+        let key = serialize(&gtp);
+        let evicted =
+            self.cache.insert(key, Arc::new(CachedPlan::new(gtp, revised, decision)), snap.version);
+        if evicted > 0 {
+            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+            twigobs::add(twigobs::Counter::PlanCacheEvictions, evicted);
+        }
+        self.stats.replans.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-query evaluation, dispatched on the plan's engine decision.
@@ -833,7 +973,7 @@ impl QueryService {
             }));
             match outcome {
                 Ok(Ok((rs, _stats))) => {
-                    self.record_outcome(&plan.decision, None);
+                    self.record_outcome(snap, plan, None);
                     return Ok(rs);
                 }
                 // Shape outside the early fragment: run the full
@@ -859,7 +999,7 @@ impl QueryService {
             Ok(Ok((rs, tm, scanned))) => {
                 ctx.recycle(tm);
                 self.push_context(ctx);
-                self.record_outcome(&plan.decision, Some(scanned));
+                self.record_outcome(snap, plan, Some(scanned));
                 Ok(rs)
             }
             Ok(Err(e)) => {
@@ -930,7 +1070,7 @@ impl QueryService {
         }));
         match outcome {
             Ok((rs, scanned)) => {
-                self.record_outcome(&plan.decision, Some(scanned));
+                self.record_outcome(snap, plan, Some(scanned));
                 Ok(rs)
             }
             Err(payload) => Err(ServeError::Panicked(panic_message(payload))),
@@ -1363,5 +1503,122 @@ mod tests {
         assert_eq!(s.snapshot_rotations, 0);
         assert_eq!(svc.snapshot().version(), 0);
         assert_eq!(svc.cached_plans(), 1, "the cached plan is still there");
+    }
+
+    /// A document the cost model organically mispredicts: 240 `a`
+    /// siblings (one holding the only `b` reachable as `//a//b`) plus 30
+    /// `b` elements outside any `a`. The leaf stream looks 1 element
+    /// deep (only one *feasible* `b`), internal streams dominate, and
+    /// pruning saves under 1/8 — so the adaptive planner picks TJFast
+    /// with pruning disabled. But an unpruned leaf stream delivers all
+    /// 31 `b`s, 4×+16 over the prediction: a misprediction per run.
+    fn mispredicted_doc() -> Document {
+        let mut xml = String::from("<r><a><b/></a>");
+        xml.push_str(&"<a/>".repeat(239));
+        xml.push_str(&"<b/>".repeat(30));
+        xml.push_str("</r>");
+        xmldom::parse(&xml).unwrap()
+    }
+
+    #[test]
+    fn feedback_loop_replans_after_repeated_mispredictions() {
+        let svc = QueryService::build(
+            mispredicted_doc(),
+            ServiceConfig { planner: PlannerMode::Adaptive, ..ServiceConfig::default() },
+        );
+        let q = "//a//b";
+        let before = svc.planned(q).unwrap();
+        assert_eq!(before.engine, PlanEngine::TJFast, "the mispredicting choice");
+        assert_eq!(before.predicted_scan, 1, "one feasible leaf predicted");
+        let expected = twig2stack::evaluate(svc.snapshot().doc(), &parse_twig(q).unwrap());
+        // Strikes 1..=REPLAN_AFTER alarm; the third triggers the replan.
+        for i in 1..=3 {
+            assert_eq!(svc.execute(q).unwrap().sorted(), expected.clone().sorted());
+            let s = svc.stats();
+            assert_eq!(s.plan_mispredictions, i, "every TJFast run alarms");
+            assert_eq!(s.plans_replanned, u64::from(i == 3));
+        }
+        // The feedback loop flipped the decision: the measured 31-element
+        // leaf scan, weighted by TJFast's ~16× per-record cost, loses to
+        // the region engine's estimate, and the prediction is recentered
+        // on the full region scan (240 a + 31 b elements).
+        let after = svc.planned(q).unwrap();
+        assert_eq!(after.engine, PlanEngine::Twig2Stack, "decision flipped");
+        assert_eq!(after.predicted_scan, 271);
+        // The corrected plan answers identically and stops alarming.
+        assert_eq!(svc.execute(q).unwrap().sorted(), expected.sorted());
+        let s = svc.stats();
+        assert_eq!(s.plan_mispredictions, 3, "the replacement plan is in tolerance");
+        assert_eq!(s.plans_replanned, 1, "strikes reset with the new plan");
+    }
+
+    #[test]
+    fn apply_edits_batches_n_ops_into_one_rotation() {
+        let batched = service(ServiceConfig::default());
+        let serial = service(ServiceConfig::default());
+        batched.execute("//b/c").unwrap();
+        let ops: Vec<EditOp> = (0..3)
+            .map(|i| EditOp::InsertSubtree {
+                parent: Some(batched.snapshot().doc().root()),
+                position: i,
+                subtree: xmldom::parse("<b><c/></b>").unwrap(),
+            })
+            .collect();
+        let receipt = batched.apply_edits(&ops).unwrap();
+        assert_eq!(receipt.ops_applied, 3);
+        assert_eq!(receipt.version, 1, "one rotation for the whole batch");
+        for op in &ops {
+            serial.apply_edit(op).unwrap();
+        }
+        for q in ["//a/b", "//b/c", "//a//b", "//d//c"] {
+            assert_eq!(
+                batched.execute(q).unwrap(),
+                serial.execute(q).unwrap(),
+                "batch is equivalent to sequential application: {q}"
+            );
+        }
+        let b = batched.stats();
+        assert_eq!(b.edits_applied, 3);
+        assert_eq!(b.snapshot_rotations, 1, "N ops, one snapshot swap");
+        assert_eq!(batched.snapshot().version(), 1);
+        let s = serial.stats();
+        assert_eq!(s.edits_applied, 3);
+        assert_eq!(s.snapshot_rotations, 3, "sequential application rotates per op");
+        assert_eq!(serial.snapshot().version(), 3);
+    }
+
+    #[test]
+    fn apply_edits_is_all_or_nothing() {
+        let svc = service(ServiceConfig::default());
+        let before = svc.execute("//a/b[c]").unwrap();
+        let root = svc.snapshot().doc().root();
+        let ops = [
+            EditOp::InsertSubtree {
+                parent: Some(root),
+                position: 0,
+                subtree: xmldom::parse("<b><c/></b>").unwrap(),
+            },
+            EditOp::DeleteSubtree { target: xmldom::NodeId::from_index(9_999) },
+        ];
+        let err = svc.apply_edits(&ops).unwrap_err();
+        assert!(matches!(err, ServeError::Edit(xmldom::EditError::InvalidNode(_))));
+        let s = svc.stats();
+        assert_eq!(s.edits_applied, 0, "the valid prefix was not published");
+        assert_eq!(s.snapshot_rotations, 0);
+        assert_eq!(svc.snapshot().version(), 0);
+        assert_eq!(svc.execute("//a/b[c]").unwrap(), before);
+    }
+
+    #[test]
+    fn empty_edit_batch_is_a_noop() {
+        let svc = service(ServiceConfig::default());
+        let receipt = svc.apply_edits(&[]).unwrap();
+        assert_eq!(receipt, BatchEditReceipt {
+            version: 0,
+            ops_applied: 0,
+            rebuilt: false,
+            invalidated_plans: 0,
+        });
+        assert_eq!(svc.stats().snapshot_rotations, 0);
     }
 }

@@ -154,6 +154,82 @@ pub fn decide<I: IndexView>(
     decision
 }
 
+/// Re-plan after repeated mispredictions, blending the **measured** scan
+/// into the estimate (the planner feedback loop, ROADMAP item 4a).
+///
+/// The summary estimate is recomputed, but the cost the decision table
+/// held for `prior`'s engine is replaced with `measured_scan` — the
+/// number the alarms said the model got wrong:
+///
+/// * **engine** — if the prior engine was TJFast, the measured leaf scan
+///   (weighted by its ~16× per-record cost) is compared against the
+///   *estimated* region cost, so a leaf stream the model undershot (e.g.
+///   infeasible leaves an unpruned stream still delivers) sends the query
+///   back to the region engine; if the prior engine was a region engine,
+///   the measured region scan is what TJFast's estimate must now beat;
+/// * **pruning** — when the prior plan ran pruned region streams, the
+///   measurement *is* the pruned scan: pruning keeps paying only if it
+///   still leaves ≥ 1/8 of the full scan in savings. Other engine/policy
+///   combinations say nothing new about the filters, so the static
+///   estimate stands;
+/// * **predictions** — recentered on the measurement when the chosen
+///   engine and policy are the ones that produced it (the model was
+///   wrong, the measurement is ground truth), or on the static estimate
+///   for the new configuration when the decision changed — either way a
+///   well-behaved replacement plan stops alarming.
+pub fn replan<I: IndexView>(
+    gtp: &Gtp,
+    index: &I,
+    labels: &LabelTable,
+    prior: &PlanDecision,
+    measured_scan: u64,
+) -> PlanDecision {
+    let est = QueryEstimate::compute(gtp, index.summary(), labels);
+    let (tjfast_cost, region_cost) = if prior.engine == PlanEngine::TJFast {
+        (measured_scan.saturating_mul(16), est.region_cost())
+    } else {
+        (est.tjfast_cost(), measured_scan)
+    };
+    let mut engine = PlanEngine::Twig2Stack;
+    if is_full_twig(gtp) && tjfast_cost.saturating_mul(2) < region_cost {
+        engine = PlanEngine::TJFast;
+    }
+    let pruning_pays = if est.unsatisfiable {
+        true
+    } else if prior.engine != PlanEngine::TJFast && prior.policy.is_enabled() {
+        est.scan_full.saturating_sub(measured_scan) * 8 >= est.scan_full
+    } else {
+        est.pruning_pays()
+    };
+    let policy = if pruning_pays { PruningPolicy::Enabled } else { PruningPolicy::Disabled };
+    let predicted_scan = if (engine, policy) == (prior.engine, prior.policy) {
+        measured_scan
+    } else {
+        match engine {
+            PlanEngine::TJFast => est.leaf_scan,
+            _ if policy.is_enabled() => est.scan_pruned,
+            _ => est.scan_full,
+        }
+    };
+    let decision = PlanDecision {
+        engine,
+        policy,
+        early: engine == PlanEngine::Twig2Stack
+            && est.expected_results > (1 << 20)
+            && est.expected_results > est.scan_full.max(measured_scan),
+        adaptive: true,
+        predicted_scan,
+        predicted_results: est.expected_results,
+    };
+    twigobs::bump(match decision.engine {
+        PlanEngine::Twig2Stack => twigobs::Counter::PlanChoicesTwig2Stack,
+        PlanEngine::TwigStack => twigobs::Counter::PlanChoicesTwigStack,
+        PlanEngine::PathStack => twigobs::Counter::PlanChoicesPathStack,
+        PlanEngine::TJFast => twigobs::Counter::PlanChoicesTJFast,
+    });
+    decision
+}
+
 /// The misprediction tolerance window: an adaptive execution whose actual
 /// stream scan lands outside a factor-4 band (plus a small absolute slack
 /// for tiny queries) around the prediction counts as a misprediction.
