@@ -23,6 +23,17 @@ cargo run --release -q -p twigbench --bin twigfuzz -- \
     --seed 0xED17 --cases 175 --invariant edited_vs_rebuilt \
     --profile ci-edit-smoke
 
+# Subscription fuzz smoke: the subscribed_vs_solo invariant alone over
+# 200 (document, query) pairs per dataset. Each pair derives a small
+# registry (the query, a wildcard sibling, a duplicate registration),
+# runs one shared-automaton pass, and asserts every subscription's
+# results are byte-equal to its solo run on both the DOM and streaming
+# paths, duplicates agree, and matcher feeds stay within the sharing
+# bound.
+cargo run --release -q -p twigbench --bin twigfuzz -- \
+    --seed 0x5B --cases 200 --invariant subscribed_vs_solo \
+    --profile ci-sub-smoke
+
 # Figure S smoke: every figure-16 query through every algorithm's indexed
 # driver with pruning on and off; the driver asserts the result sets are
 # identical per cell, so this fails on any pruning soundness regression.
@@ -72,6 +83,15 @@ cargo run --release -q -p twigbench --bin experiments -- --quick figE \
 # 4-worker throughput contracts — so this fails on any routing,
 # merge-order, or catalog performance regression.
 cargo run --release -q -p twigbench --bin experiments -- --quick figU \
+    > /dev/null
+
+# Figure V smoke: 100 standing subscriptions through one shared
+# prefix-merged automaton vs per-query solo streaming runs. The driver
+# asserts byte-equality for every subscription at every registry size
+# before timing, then the >=4x-over-solo-at-100 and sublinear-growth
+# contracts — so this fails on any shared-dispatch soundness or
+# amortization regression.
+cargo run --release -q -p twigbench --bin experiments -- --quick figV \
     > /dev/null
 
 # Docs freshness: every crates/... path ARCHITECTURE.md cites must exist

@@ -1,0 +1,157 @@
+//! Criterion bench for the continuous-subscription engine: one shared
+//! prefix-merged automaton pass vs solo-per-query streaming.
+//!
+//! Besides the console report, the run exports `BENCH_subscribe.json`
+//! at the repo root (schema `twig2stack.bench/v1`) with best-of-3
+//! wall-clock numbers plus the Figure V arms at quick scale, so future
+//! changes have a recorded trajectory to compare against:
+//!
+//! ```text
+//! cargo bench -p twigbench --bench subscribe
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpquery::Gtp;
+use std::time::{Duration, Instant};
+use twig2stack::{run_subscriptions, MatchOptions, SharedAutomaton};
+use twigbench::workload::Profile;
+use twigbench::{figv, subscription_queries, FigVRow};
+use xmlgen::{generate_random_tree, RandomTreeConfig};
+
+fn stream() -> String {
+    let doc = generate_random_tree(&RandomTreeConfig {
+        nodes: 2_000,
+        alphabet: 12,
+        max_depth: 10,
+        depth_bias: 50,
+        seed: 0xF165,
+        text_vocab: 0,
+    });
+    xmldom::write(&doc, xmldom::Indent::None)
+}
+
+fn gtps(count: usize) -> Vec<Gtp> {
+    subscription_queries(count)
+        .iter()
+        .map(|q| gtpquery::parse_twig(q).expect("bench query parses"))
+        .collect()
+}
+
+/// The shared automaton at 1/10/100 registered subscriptions vs running
+/// ten subscriptions solo, same stream.
+fn shared_vs_solo(c: &mut Criterion) {
+    let xml = stream();
+    let mut group = c.benchmark_group("subscribe/stream");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for k in [1usize, 10, 100] {
+        let auto = SharedAutomaton::build(gtps(k));
+        group.bench_with_input(BenchmarkId::new("shared", k), &auto, |b, auto| {
+            b.iter(|| run_subscriptions(&xml, auto, MatchOptions::default()).expect("shared pass"))
+        });
+    }
+    let solo = gtps(10);
+    group.bench_function("solo-10", |b| {
+        b.iter(|| {
+            for gtp in &solo {
+                std::hint::black_box(
+                    twig2stack::evaluate_streaming(&xml, gtp, MatchOptions::default())
+                        .expect("solo pass"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Automaton construction alone — registration-time cost.
+fn build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subscribe/build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for k in [10usize, 100] {
+        let qs = gtps(k);
+        group.bench_with_input(BenchmarkId::new("automaton", k), &qs, |b, qs| {
+            b.iter(|| SharedAutomaton::build(qs.clone()).state_count())
+        });
+    }
+    group.finish();
+}
+
+fn best_of_3(mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Export `BENCH_subscribe.json` at the repo root: best-of-3 shared-pass
+/// latencies plus the quick-scale Figure V rows.
+fn export_json(_c: &mut Criterion) {
+    let mut json = String::from("{\n  \"schema\": \"twig2stack.bench/v1\",\n");
+    json.push_str("  \"name\": \"subscribe\",\n  \"profile\": \"quick\",\n");
+
+    let xml = stream();
+    json.push_str("  \"shared_pass\": [\n");
+    let ks = [1usize, 10, 100];
+    for (i, &k) in ks.iter().enumerate() {
+        let auto = SharedAutomaton::build(gtps(k));
+        let best = best_of_3(|| {
+            std::hint::black_box(
+                run_subscriptions(&xml, &auto, MatchOptions::default()).expect("shared pass"),
+            );
+        });
+        json.push_str(&format!(
+            "    {{\"subscriptions\": {k}, \"states\": {}, \"best_ns\": {}}}{}\n",
+            auto.state_count(),
+            best.as_nanos(),
+            if i + 1 < ks.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+
+    json.push_str("  \"figV\": [\n");
+    let (rows, _) = figv(Profile::Quick);
+    for (i, r) in rows.iter().enumerate() {
+        let FigVRow {
+            subscriptions,
+            states,
+            events,
+            shared_elapsed,
+            shared_eps,
+            solo_elapsed,
+            speedup,
+            matcher_feeds,
+            feed_fraction,
+        } = r;
+        json.push_str(&format!(
+            "    {{\"subscriptions\": {subscriptions}, \"states\": {states}, \
+             \"events\": {events}, \"shared_ns\": {}, \"events_per_sec\": {shared_eps:.0}, \
+             \"solo_ns\": {}, \"speedup\": {speedup:.2}, \"matcher_feeds\": {matcher_feeds}, \
+             \"feed_fraction\": {feed_fraction:.4}}}{}\n",
+            shared_elapsed.as_nanos(),
+            solo_elapsed.as_nanos(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_subscribe.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, shared_vs_solo, build, export_json);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|figU|table1|all]
+//! experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|figU|figV|table1|all]
 //! ```
 //!
 //! `--quick` uses small documents (seconds); the default "full" profile
@@ -51,12 +51,26 @@ fn main() {
     if !what.iter().all(|w| {
         matches!(
             *w,
-            "all" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "figA" | "figE"
-                | "figM" | "figP" | "figS" | "figT" | "figU" | "table1"
+            "all"
+                | "fig14"
+                | "fig15"
+                | "fig16"
+                | "fig17"
+                | "fig18"
+                | "fig19"
+                | "figA"
+                | "figE"
+                | "figM"
+                | "figP"
+                | "figS"
+                | "figT"
+                | "figU"
+                | "figV"
+                | "table1"
         )
     }) {
         eprintln!(
-            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|figU|table1|all]"
+            "usage: experiments [--quick|--scaled] [fig14|fig15|fig16|fig17|fig18|fig19|figA|figE|figM|figP|figS|figT|figU|figV|table1|all]"
         );
         std::process::exit(2);
     }
@@ -140,6 +154,14 @@ fn main() {
         // (catalog_docs_routed/skipped, shard_queries, catalog_batches)
         // next to the engine counters.
         emit_sidecar("catalog", profile);
+    }
+    if wants("figV") {
+        let (_, report) = twigbench::figv(profile);
+        println!("{report}");
+        // Named "subscribe": the sidecar carries the subscription
+        // counters (sub_events, sub_matcher_feeds, sub_notifications)
+        // next to the engine counters.
+        emit_sidecar("subscribe", profile);
     }
     if wants("table1") {
         let (_, report) = twigbench::table1(profile);

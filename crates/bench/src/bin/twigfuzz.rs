@@ -70,7 +70,9 @@ fn main() -> ExitCode {
                 }
             }
             "--max-query-nodes" => {
-                gen.max_nodes = value("--max-query-nodes").parse().unwrap_or_else(|_| usage());
+                gen.max_nodes = value("--max-query-nodes")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
                 if gen.max_nodes == 0 {
                     usage();
                 }
@@ -100,9 +102,15 @@ fn main() -> ExitCode {
         "twigfuzz: seed={:#x} cases/dataset={} datasets=[{}] shrink={}{}",
         cfg.seed,
         cfg.cases_per_dataset,
-        cfg.datasets.iter().map(|d| d.name()).collect::<Vec<_>>().join(", "),
+        cfg.datasets
+            .iter()
+            .map(|d| d.name())
+            .collect::<Vec<_>>()
+            .join(", "),
         cfg.shrink_failures,
-        cfg.only.map(|i| format!(" invariant={}", i.name())).unwrap_or_default(),
+        cfg.only
+            .map(|i| format!(" invariant={}", i.name()))
+            .unwrap_or_default(),
     );
 
     let report = twigfuzz::run_session(&cfg);

@@ -148,7 +148,16 @@ pub fn fig16(profile: Profile) -> (Vec<Fig16Row>, String) {
     let report = format!(
         "Figure 16 — full twig query processing\n{}",
         render_table(
-            &["dataset", "query", "algorithm", "query ms", "io ms", "total ms", "io bytes", "results"],
+            &[
+                "dataset",
+                "query",
+                "algorithm",
+                "query ms",
+                "io ms",
+                "total ms",
+                "io bytes",
+                "results"
+            ],
             &rows
         )
     );
@@ -212,7 +221,10 @@ pub fn fig17(profile: Profile, scales: &[usize]) -> (Vec<Fig17Row>, String) {
         .collect();
     let mut report = format!(
         "Figure 17 — scalability (XMark, query processing time)\n{}",
-        render_table(&["scale", "query", "algorithm", "query ms", "results"], &rows)
+        render_table(
+            &["scale", "query", "algorithm", "query ms", "results"],
+            &rows
+        )
     );
     // Companion table: Twig²Stack matching + O(encoding) counting. The
     // output-size blowup of Q1 disappears, leaving the paper's linear
@@ -451,8 +463,7 @@ pub fn figp(profile: Profile, scales: &[usize], threads: &[usize]) -> (Vec<FigPR
                 ParallelPlan::Partitioned { chunks, tasks, .. } => (chunks, tasks),
                 ParallelPlan::Serial(_) => (0, 0),
             };
-            let (_, stats) =
-                match_document_parallel(&ds.doc, &nq.gtp, MatchOptions::default(), t);
+            let (_, stats) = match_document_parallel(&ds.doc, &nq.gtp, MatchOptions::default(), t);
             out.push(FigPRow {
                 scale: s,
                 threads: t,
@@ -483,7 +494,15 @@ pub fn figp(profile: Profile, scales: &[usize], threads: &[usize]) -> (Vec<FigPR
     let report = format!(
         "Figure P — parallel partitioned evaluation (XMark-Q1, {cores} cores available)\n{}",
         render_table(
-            &["scale", "threads", "chunks/tasks", "query ms", "speedup", "peak bytes", "results"],
+            &[
+                "scale",
+                "threads",
+                "chunks/tasks",
+                "query ms",
+                "speedup",
+                "peak bytes",
+                "results"
+            ],
             &rows
         )
     );
@@ -901,7 +920,10 @@ pub fn figa(profile: Profile) -> (Vec<FigARow>, String) {
             QueryService::new(
                 ds.doc.clone(),
                 ds.index.clone(),
-                ServiceConfig { planner: mode, ..ServiceConfig::default() },
+                ServiceConfig {
+                    planner: mode,
+                    ..ServiceConfig::default()
+                },
             )
         };
         let adaptive = svc_for(PlannerMode::Adaptive);
@@ -922,7 +944,8 @@ pub fn figa(profile: Profile) -> (Vec<FigARow>, String) {
                     .expect("figA forced query must not fail")
                     .sorted();
                 assert_eq!(
-                    rs, expected,
+                    rs,
+                    expected,
                     "forced {} diverged from adaptive on {}/{}",
                     engine.name(),
                     ds.name,
@@ -947,9 +970,7 @@ pub fn figa(profile: Profile) -> (Vec<FigARow>, String) {
                 for _ in 0..3 {
                     let t0 = Instant::now();
                     for _ in 0..iters {
-                        std::hint::black_box(
-                            svc.execute(nq.text).expect("timed figA run"),
-                        );
+                        std::hint::black_box(svc.execute(nq.text).expect("timed figA run"));
                     }
                     best = best.min(t0.elapsed() / iters);
                 }
@@ -1107,10 +1128,8 @@ pub fn figm(profile: Profile) -> (Vec<FigMRow>, String) {
             "XMark" => xmark_queries().into_iter().skip(1).collect(),
             _ => treebank_queries(),
         };
-        let path = std::env::temp_dir().join(format!(
-            "t2s-figm-{}-{name}.t2sidx",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("t2s-figm-{}-{name}.t2sidx", std::process::id()));
         xmlindex::write_mapped_index(doc, &path).expect("serialize v3 index");
         let file_bytes = std::fs::metadata(&path).expect("stat v3 index").len();
 
@@ -1129,7 +1148,12 @@ pub fn figm(profile: Profile) -> (Vec<FigMRow>, String) {
 
             let t0 = Instant::now();
             let mapped = MappedIndex::open(&path).expect("open v3 index");
-            std::hint::black_box(evaluate_indexed(doc, &mapped, first, PruningPolicy::Enabled));
+            std::hint::black_box(evaluate_indexed(
+                doc,
+                &mapped,
+                first,
+                PruningPolicy::Enabled,
+            ));
             mapped_cold = mapped_cold.min(t0.elapsed());
         }
 
@@ -1166,7 +1190,10 @@ pub fn figm(profile: Profile) -> (Vec<FigMRow>, String) {
                 twigbaselines::twig_stack_indexed(&mapped, doc.labels(), gtp, policy, &mut stats),
             )
         });
-        twigobs::gauge(twigobs::Gauge::BytesResident, mapped.resident_bytes() as u64);
+        twigobs::gauge(
+            twigobs::Gauge::BytesResident,
+            mapped.resident_bytes() as u64,
+        );
         twigobs::gauge(twigobs::Gauge::IndexBytes, file_bytes);
         let mapped_obs = twigobs::take();
         twigobs::absorb(&ambient);
@@ -1318,7 +1345,9 @@ fn fige_op(k: usize, doc: &xmldom::Document) -> xmldom::EditOp {
         .expect("figE documents are non-empty");
     let records: Vec<_> = doc.children(container).collect();
     if k % 3 == 2 {
-        xmldom::EditOp::DeleteSubtree { target: *records.last().expect("container has records") }
+        xmldom::EditOp::DeleteSubtree {
+            target: *records.last().expect("container has records"),
+        }
     } else {
         xmldom::EditOp::InsertSubtree {
             parent: Some(container),
@@ -1402,7 +1431,10 @@ pub fn fige(profile: Profile) -> (Vec<FigERow>, String) {
             incr = nidx;
             cur = next;
         }
-        assert!(patched >= 1, "[figE {name}] no edit took the incremental patch path");
+        assert!(
+            patched >= 1,
+            "[figE {name}] no edit took the incremental patch path"
+        );
         assert!(
             reindexed_incr <= reindexed_rebuild,
             "[figE {name}] incremental maintenance did more total reindex work \
@@ -1431,7 +1463,11 @@ pub fn fige(profile: Profile) -> (Vec<FigERow>, String) {
         let svc = QueryService::new(
             doc.clone(),
             ElementIndex::build(doc),
-            ServiceConfig { max_concurrency: 4, max_waiting: 64, ..ServiceConfig::default() },
+            ServiceConfig {
+                max_concurrency: 4,
+                max_waiting: 64,
+                ..ServiceConfig::default()
+            },
         );
         let done = AtomicBool::new(false);
         let mut reader_rounds = 0u64;
@@ -1463,11 +1499,17 @@ pub fn fige(profile: Profile) -> (Vec<FigERow>, String) {
                 svc.apply_edit(&op).expect("figE service edit applies");
             }
             done.store(true, Ordering::Release);
-            reader_rounds = readers.into_iter().map(|h| h.join().expect("reader thread")).sum();
+            reader_rounds = readers
+                .into_iter()
+                .map(|h| h.join().expect("reader thread"))
+                .sum();
         });
         let stats = svc.stats();
         assert_eq!(stats.snapshot_rotations, FIGE_EDITS as u64);
-        assert_eq!(stats.queries_rejected, 0, "[figE {name}] rotation shed a reader");
+        assert_eq!(
+            stats.queries_rejected, 0,
+            "[figE {name}] rotation shed a reader"
+        );
         assert!(reader_rounds > 0, "[figE {name}] readers made no progress");
         carry.merge(&twigobs::take());
         twigobs::absorb(&carry);
@@ -1489,7 +1531,10 @@ pub fn fige(profile: Profile) -> (Vec<FigERow>, String) {
         .iter()
         .map(|r| {
             let speedup = if r.incr_total.as_nanos() > 0 {
-                format!("{:.1}x", r.rebuild_total.as_secs_f64() / r.incr_total.as_secs_f64())
+                format!(
+                    "{:.1}x",
+                    r.rebuild_total.as_secs_f64() / r.incr_total.as_secs_f64()
+                )
             } else {
                 "-".to_string()
             };
@@ -1609,7 +1654,11 @@ pub fn figu(profile: Profile) -> (Vec<FigURow>, String) {
     let build = |shards: usize| {
         CatalogService::build_heap(
             docs.clone(),
-            CatalogConfig { shards, workers: shards, ..CatalogConfig::default() },
+            CatalogConfig {
+                shards,
+                workers: shards,
+                ..CatalogConfig::default()
+            },
         )
     };
 
@@ -1674,7 +1723,11 @@ pub fn figu(profile: Profile) -> (Vec<FigURow>, String) {
             queries_run,
             elapsed,
             qps,
-            speedup: if serial_qps > 0.0 { qps / serial_qps } else { 1.0 },
+            speedup: if serial_qps > 0.0 {
+                qps / serial_qps
+            } else {
+                1.0
+            },
             docs_routed: routed,
             docs_skipped: skipped,
             skip_rate: skipped as f64 / ((routed + skipped) as f64).max(1.0),
@@ -1695,14 +1748,26 @@ pub fn figu(profile: Profile) -> (Vec<FigURow>, String) {
             let _ = r;
             let q0 = Instant::now();
             std::hint::black_box(
-                serial_cat.execute_serial(nq.text).expect("figU serial request"),
+                serial_cat
+                    .execute_serial(nq.text)
+                    .expect("figU serial request"),
             );
             lat.push(q0.elapsed());
         }
     }
     let serial_elapsed = t0.elapsed();
     let serial_qps = lat.len() as f64 / serial_elapsed.as_secs_f64().max(1e-9);
-    push_arm(&mut out, "serial".into(), 0, serial_elapsed, &mut lat, 0, 0, 0, serial_qps);
+    push_arm(
+        &mut out,
+        "serial".into(),
+        0,
+        serial_elapsed,
+        &mut lat,
+        0,
+        0,
+        0,
+        serial_qps,
+    );
 
     // The shard-count grid under the same traffic.
     for shards in [1usize, 2, 4] {
@@ -1808,8 +1873,229 @@ pub fn figu(profile: Profile) -> (Vec<FigURow>, String) {
         CATALOG_FAMILIES,
         render_table(
             &[
-                "arm", "requests", "elapsed", "qps", "speedup", "routed", "skipped",
-                "skip rate", "p50", "p99", "deadline misses",
+                "arm",
+                "requests",
+                "elapsed",
+                "qps",
+                "speedup",
+                "routed",
+                "skipped",
+                "skip rate",
+                "p50",
+                "p99",
+                "deadline misses",
+            ],
+            &rows
+        )
+    );
+    (out, report)
+}
+
+/// One subscription-count arm of Figure V.
+#[derive(Debug, Clone)]
+pub struct FigVRow {
+    /// Registered subscriptions driven by the shared automaton.
+    pub subscriptions: usize,
+    /// NFA states in the shared automaton (prefix merging keeps this
+    /// well under total query size).
+    pub states: usize,
+    /// Element events in the stream (one per element close).
+    pub events: u64,
+    /// Wall time for one shared-automaton pass over the stream.
+    pub shared_elapsed: Duration,
+    /// Events per second through the shared automaton.
+    pub shared_eps: f64,
+    /// Wall time to run every subscription solo through
+    /// `evaluate_streaming` (the no-sharing baseline).
+    pub solo_elapsed: Duration,
+    /// `solo_elapsed / shared_elapsed` — the amortization win.
+    pub speedup: f64,
+    /// Per-subscription matcher feeds the NFA let through.
+    pub matcher_feeds: u64,
+    /// `matcher_feeds / (events × subscriptions)` — the fraction of the
+    /// naive per-query work the relevance filter actually performs.
+    pub feed_fraction: f64,
+}
+
+/// Deterministic value-pred-free subscription workload over the random
+/// tree's `a..l` alphabet: child/descendant steps, predicates,
+/// wildcards, OR-groups, optional edges — every GTP feature the
+/// subscription engine resolves at accepting states (value predicates
+/// excluded: the structure-only stream cannot evaluate them).
+pub fn subscription_queries(count: usize) -> Vec<String> {
+    const LABELS: [&str; 12] = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"];
+    (0..count)
+        .map(|i| {
+            let a = LABELS[i % 12];
+            let b = LABELS[(i / 12 + i + 1) % 12];
+            let c = LABELS[(i / 7 + 2 * i + 3) % 12];
+            match i % 6 {
+                0 => format!("//{a}/{b}"),
+                1 => format!("//{a}//{b}"),
+                2 => format!("//{a}[{b}]/{c}"),
+                3 => format!("//{a}/*/{b}"),
+                4 => format!("//{a}[{b}! or {c}!]"),
+                _ => format!("//{a}[?{b}]//{c}"),
+            }
+        })
+        .collect()
+}
+
+/// Figure V (not in the paper): continuous multi-query subscriptions —
+/// per-event cost vs registered-subscription count (DESIGN.md §17).
+///
+/// N standing GTPs are registered into one shared prefix-merged
+/// automaton (`twig2stack::subscribe`) and driven over a single XML
+/// event stream; the baseline runs each subscription solo through
+/// `evaluate_streaming`, re-scanning the stream per query. Before any
+/// timing, the driver asserts **byte-equality**: every subscription's
+/// match set from the shared pass equals its solo run's. The grid then
+/// pins the two scaling claims:
+///
+/// 1. **amortization** — at 100 subscriptions the shared automaton
+///    sustains ≥ 4× the throughput of solo-per-query evaluation;
+/// 2. **sublinear per-event cost** — going 1 → 100 subscriptions grows
+///    the shared pass < 50× (the NFA fires only transitions whose
+///    prefixes are live, and prefix merging shares them), with the
+///    structural `feed fraction` column showing how few of the naive
+///    `events × N` matcher feeds survive the relevance filter.
+pub fn figv(profile: Profile) -> (Vec<FigVRow>, String) {
+    use std::collections::HashMap;
+    use twig2stack::{run_subscriptions, SharedAutomaton};
+    use xmlgen::{generate_random_tree, RandomTreeConfig};
+
+    let nodes = match profile {
+        Profile::Quick => 2_000,
+        Profile::Full | Profile::Scaled => 20_000,
+    };
+    let reps = match profile {
+        Profile::Quick => 3,
+        Profile::Full | Profile::Scaled => 5,
+    };
+    let doc = generate_random_tree(&RandomTreeConfig {
+        nodes,
+        alphabet: 12,
+        max_depth: 10,
+        depth_bias: 50,
+        seed: 0xF165,
+        text_vocab: 0,
+    });
+    let xml = xmldom::write(&doc, xmldom::Indent::None);
+    let queries = subscription_queries(100);
+    let gtps: Vec<Gtp> = queries
+        .iter()
+        .map(|q| gtpquery::parse_twig(q).expect("figV query parses"))
+        .collect();
+    let options = MatchOptions::default();
+
+    // Solo oracle per distinct query text, shared across arms.
+    let mut solo_cache: HashMap<&str, ResultSet> = HashMap::new();
+
+    let mut out = Vec::new();
+    for &k in &[1usize, 10, 50, 100] {
+        let auto = SharedAutomaton::build(gtps[..k].to_vec());
+
+        // Byte-equality first, untimed: every subscription's matches
+        // from the shared pass equal its solo `evaluate_streaming` run.
+        let (results, stats) = run_subscriptions(&xml, &auto, options).expect("figV shared pass");
+        for (i, rs) in results.iter().enumerate() {
+            let solo = solo_cache.entry(queries[i].as_str()).or_insert_with(|| {
+                twig2stack::evaluate_streaming(&xml, &gtps[i], options)
+                    .expect("figV solo oracle")
+                    .0
+            });
+            assert_eq!(
+                rs, solo,
+                "subscription {i} ({}) diverged from its solo run at K={k}",
+                queries[i]
+            );
+        }
+
+        // Timed arms, best-of-`reps` each.
+        let mut shared_elapsed = Duration::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(run_subscriptions(&xml, &auto, options).expect("figV shared arm"));
+            shared_elapsed = shared_elapsed.min(t0.elapsed());
+        }
+        let mut solo_elapsed = Duration::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for gtp in &gtps[..k] {
+                std::hint::black_box(
+                    twig2stack::evaluate_streaming(&xml, gtp, options).expect("figV solo arm"),
+                );
+            }
+            solo_elapsed = solo_elapsed.min(t0.elapsed());
+        }
+
+        let events = stats.elements;
+        out.push(FigVRow {
+            subscriptions: k,
+            states: auto.state_count(),
+            events,
+            shared_elapsed,
+            shared_eps: events as f64 / shared_elapsed.as_secs_f64().max(1e-9),
+            solo_elapsed,
+            speedup: solo_elapsed.as_secs_f64() / shared_elapsed.as_secs_f64().max(1e-9),
+            matcher_feeds: stats.matcher_feeds,
+            feed_fraction: stats.matcher_feeds as f64 / (events * k as u64) as f64,
+        });
+    }
+
+    let one = &out[0];
+    let hundred = out.last().expect("K=100 arm");
+    assert!(
+        hundred.speedup >= 4.0,
+        "the shared automaton must sustain >= 4x solo-per-query throughput at \
+         100 subscriptions, got {:.1}x",
+        hundred.speedup
+    );
+    assert!(
+        hundred.shared_elapsed < one.shared_elapsed * 50,
+        "per-event cost must grow sublinearly in subscriptions: 1 -> 100 subs \
+         grew the shared pass {:?} -> {:?}",
+        one.shared_elapsed,
+        hundred.shared_elapsed
+    );
+    assert!(
+        hundred.feed_fraction < 1.0,
+        "the relevance filter must feed fewer than events x subscriptions \
+         matcher closes, got fraction {:.2}",
+        hundred.feed_fraction
+    );
+
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.subscriptions),
+                format!("{}", r.states),
+                format!("{}", r.events),
+                ms(r.shared_elapsed),
+                format!("{:.0}", r.shared_eps),
+                ms(r.solo_elapsed),
+                format!("{:.1}x", r.speedup),
+                format!("{}", r.matcher_feeds),
+                format!("{:.1}%", 100.0 * r.feed_fraction),
+            ]
+        })
+        .collect();
+    let report = format!(
+        "Figure V — continuous subscriptions: shared automaton vs solo-per-query \
+         streaming ({} element stream, best of {reps})\n{}",
+        doc.len(),
+        render_table(
+            &[
+                "subs",
+                "nfa states",
+                "events",
+                "shared",
+                "events/s",
+                "solo",
+                "speedup",
+                "feeds",
+                "feed fraction",
             ],
             &rows
         )
@@ -1862,7 +2148,10 @@ mod tests {
         assert_eq!(rows.len(), 4);
         // (b) returns as many tuples as (a); (d) groups them into fewer.
         assert_eq!(rows[0].results, rows[1].results);
-        assert!(rows[3].results < rows[1].results, "grouping must shrink tuples");
+        assert!(
+            rows[3].results < rows[1].results,
+            "grouping must shrink tuples"
+        );
         // (c) title-only rows: one per inproceedings with authors.
         assert!(rows[2].results <= rows[0].results);
     }
@@ -1928,10 +2217,7 @@ mod tests {
             }
             // The headline claim: Twig²Stack reads strictly fewer stream
             // elements on most of the Figure 16 workload.
-            let t2s: Vec<_> = rows
-                .iter()
-                .filter(|r| r.algo == Algo::Twig2Stack)
-                .collect();
+            let t2s: Vec<_> = rows.iter().filter(|r| r.algo == Algo::Twig2Stack).collect();
             assert_eq!(t2s.len(), 9);
             let reduced = t2s
                 .iter()
@@ -1955,7 +2241,11 @@ mod tests {
         for r in &rows {
             assert_eq!(r.edits, FIGE_EDITS, "{}", r.dataset);
             assert!(r.patched >= 1, "{}: nothing patched", r.dataset);
-            assert!(r.patched < r.edits, "{}: the priming renumber must rebuild", r.dataset);
+            assert!(
+                r.patched < r.edits,
+                "{}: the priming renumber must rebuild",
+                r.dataset
+            );
             assert!(r.reindexed_incr <= r.reindexed_rebuild, "{}", r.dataset);
             assert!(r.reader_rounds > 0, "{}", r.dataset);
         }
@@ -1978,7 +2268,11 @@ mod tests {
             // TreeBank's quick-profile queries are too selective to
             // guarantee matches; the other two workloads always produce.
             if r.dataset != "TreeBank" {
-                assert!(r.results > 0, "{}: no results over the query set", r.dataset);
+                assert!(
+                    r.results > 0,
+                    "{}: no results over the query set",
+                    r.dataset
+                );
             }
         }
     }
@@ -2011,11 +2305,18 @@ mod tests {
         assert_eq!(rows.len(), 5, "serial + 3 grid arms + deadline arm");
         assert!(report.contains("Figure U"));
         let serial = &rows[0];
-        assert_eq!((serial.shards, serial.docs_routed, serial.docs_skipped), (0, 0, 0));
+        assert_eq!(
+            (serial.shards, serial.docs_routed, serial.docs_skipped),
+            (0, 0, 0)
+        );
         assert!((serial.speedup - 1.0).abs() < 1e-9);
         for r in &rows[1..] {
             assert_eq!(r.queries_run, serial.queries_run);
-            assert!(r.docs_skipped > r.docs_routed, "{}: router must skip most docs", r.arm);
+            assert!(
+                r.docs_skipped > r.docs_routed,
+                "{}: router must skip most docs",
+                r.arm
+            );
             assert!(r.p99 >= r.p50, "{}: percentiles out of order", r.arm);
         }
         let four = &rows[3];
@@ -2023,8 +2324,14 @@ mod tests {
         // The deadline arm runs the same traffic; the expired-on-arrival
         // budget must cut every scatter that routes any work.
         let dl = &rows[4];
-        assert!(dl.deadline_misses > 0, "expired budgets must cut some scatters");
-        assert!(dl.deadline_misses < dl.queries_run, "∞ budgets must all land");
+        assert!(
+            dl.deadline_misses > 0,
+            "expired budgets must cut some scatters"
+        );
+        assert!(
+            dl.deadline_misses < dl.queries_run,
+            "∞ budgets must all land"
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod memory;
 pub mod parallel;
 pub mod pruned;
 pub mod sot;
+pub mod subscribe;
 
 pub use context::EvalContext;
 pub use count::count_results;
@@ -58,11 +59,15 @@ pub use parallel::{
     evaluate_parallel, match_document_parallel, parallel_plan, FallbackReason, ParallelPlan,
 };
 pub use pruned::{
-    evaluate_indexed, match_indexed, try_match_indexed, try_match_indexed_group,
-    try_match_streams, IndexedPlan,
+    evaluate_indexed, match_indexed, try_match_indexed, try_match_indexed_group, try_match_streams,
+    IndexedPlan,
+};
+pub use subscribe::{
+    run_subscriptions, run_subscriptions_doc, try_run_subscriptions, SharedAutomaton, SubRunStats,
+    SubscriptionEngine, SubscriptionId,
 };
 
-use gtpquery::{Gtp, ResultSet};
+use gtpquery::{CancelToken, Gtp, QueryError, ResultSet};
 use xmldom::Document;
 
 /// Match and enumerate in one call with default options.
@@ -79,6 +84,48 @@ pub fn evaluate_streaming(
     gtp: &Gtp,
     options: MatchOptions,
 ) -> Result<(ResultSet, MatchStats), xmldom::ParseError> {
+    match streaming_impl(xml, gtp, options, &CancelToken::never()) {
+        Ok(out) => Ok(out),
+        Err(subscribe::SubscribeAbort::Parse(e)) => Err(e),
+        Err(subscribe::SubscribeAbort::Query(_)) => {
+            unreachable!("the never-token cannot cancel")
+        }
+    }
+}
+
+/// [`evaluate_streaming`] under a cooperative [`CancelToken`], polled at
+/// tag granularity like the indexed drivers behind `gtpquery::exec` —
+/// a deadline or cancellation mid-stream unwinds with the typed
+/// [`QueryError`] instead of running to completion. Malformed XML
+/// surfaces as [`QueryError::Stream`] (the event source died mid-scan).
+///
+/// ```
+/// use gtpquery::{parse_twig, CancelToken, QueryError};
+/// use twig2stack::{try_evaluate_streaming, MatchOptions};
+///
+/// let gtp = parse_twig("//a/b").unwrap();
+/// let token = CancelToken::new();
+/// token.cancel();
+/// let err = try_evaluate_streaming("<a><b/></a>", &gtp, MatchOptions::default(), &token)
+///     .unwrap_err();
+/// assert!(matches!(err, QueryError::Cancelled));
+/// ```
+pub fn try_evaluate_streaming(
+    xml: &str,
+    gtp: &Gtp,
+    options: MatchOptions,
+    cancel: &CancelToken,
+) -> Result<(ResultSet, MatchStats), QueryError> {
+    streaming_impl(xml, gtp, options, cancel).map_err(subscribe::SubscribeAbort::into_query)
+}
+
+fn streaming_impl(
+    xml: &str,
+    gtp: &Gtp,
+    options: MatchOptions,
+    cancel: &CancelToken,
+) -> Result<(ResultSet, MatchStats), subscribe::SubscribeAbort> {
+    use subscribe::SubscribeAbort as Abort;
     assert!(
         !gtp.has_value_preds(),
         "value predicates need element text, which the structure-only \
@@ -91,7 +138,14 @@ pub fn evaluate_streaming(
     let labels = {
         let _span = twigobs::span(twigobs::Phase::Parse);
         let mut pass1 = xmldom::EventParser::new(xml);
-        while pass1.next_event()?.is_some() {}
+        loop {
+            cancel.check().map_err(Abort::Query)?;
+            match pass1.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => return Err(Abort::Parse(e)),
+            }
+        }
         pass1.into_labels()
     };
 
@@ -99,10 +153,18 @@ pub fn evaluate_streaming(
     {
         let _span = twigobs::span(twigobs::Phase::Match);
         let mut pass2 = xmldom::EventParser::new(xml);
-        while let Some(ev) = pass2.next_event()? {
-            if let xmldom::Event::End { elem, label, region } = ev {
+        loop {
+            cancel.check().map_err(Abort::Query)?;
+            match pass2.next_event() {
                 // Both passes intern labels in first-seen order, so ids align.
-                matcher.on_element_close(elem, label, region);
+                Ok(Some(xmldom::Event::End {
+                    elem,
+                    label,
+                    region,
+                })) => matcher.on_element_close(elem, label, region),
+                Ok(Some(xmldom::Event::Start { .. })) => {}
+                Ok(None) => break,
+                Err(e) => return Err(Abort::Parse(e)),
             }
         }
     }
@@ -130,8 +192,7 @@ mod tests {
         let doc = parse(xml).unwrap();
         for q in ["//a/b[c]", "//a//b", "//a!/b[c!]", "//a/b[?c@]"] {
             let gtp = parse_twig(q).unwrap();
-            let (rs, _) =
-                evaluate_streaming(xml, &gtp, MatchOptions::default()).unwrap();
+            let (rs, _) = evaluate_streaming(xml, &gtp, MatchOptions::default()).unwrap();
             assert_eq!(rs, evaluate(&doc, &gtp), "query {q}");
         }
     }

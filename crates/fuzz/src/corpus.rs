@@ -23,6 +23,11 @@
 //! exactly that catalog (via [`check_catalog`]) instead of the derived
 //! three-member one — other invariants ignore the key, and member XML
 //! must not contain a literal `|`.
+//! The optional `subs` key carries a `|`-separated list of query texts;
+//! when present, the `subscribed_vs_solo` invariant registers exactly
+//! that subscription set (via [`check_subscriptions`]) instead of the
+//! derived three-member one — other invariants ignore the key, and
+//! query text must not contain a literal `|`.
 //! The XML value is a single line (`xmldom::write` with
 //! [`Indent::None`]); keys may appear in any order; `#` starts a
 //! comment line. Files live under `corpus/` at the workspace root and
@@ -30,7 +35,9 @@
 //! The convention is also documented in DESIGN.md §8.
 
 use crate::edits::EditScript;
-use crate::invariants::{check, check_catalog, check_script, Invariant, Outcome};
+use crate::invariants::{
+    check, check_catalog, check_script, check_subscriptions, Invariant, Outcome,
+};
 use gtpquery::parse_twig;
 use std::fs;
 use std::io;
@@ -53,6 +60,10 @@ pub struct CaseFile {
     /// catalog by the `catalog_vs_serial` invariant (other invariants
     /// ignore it).
     pub docs: Option<String>,
+    /// `|`-separated query texts registered as the exact subscription
+    /// set by the `subscribed_vs_solo` invariant (other invariants
+    /// ignore it).
+    pub subs: Option<String>,
     /// Free-form provenance note.
     pub note: Option<String>,
 }
@@ -66,7 +77,12 @@ impl CaseFile {
             xml: write(doc, Indent::None),
             edits: None,
             docs: None,
-            note: if note.is_empty() { None } else { Some(note.to_string()) },
+            subs: None,
+            note: if note.is_empty() {
+                None
+            } else {
+                Some(note.to_string())
+            },
         }
     }
 
@@ -77,6 +93,7 @@ impl CaseFile {
         let mut xml = None;
         let mut edits = None;
         let mut docs = None;
+        let mut subs = None;
         let mut note = None;
         for (lineno, raw) in input.lines().enumerate() {
             let line = raw.trim();
@@ -100,8 +117,7 @@ impl CaseFile {
                 "query" => query = Some(value.to_string()),
                 "xml" => xml = Some(value.to_string()),
                 "edits" => {
-                    EditScript::parse(value)
-                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    EditScript::parse(value).map_err(|e| format!("line {}: {e}", lineno + 1))?;
                     edits = Some(value.to_string());
                 }
                 "docs" => {
@@ -111,6 +127,14 @@ impl CaseFile {
                         })?;
                     }
                     docs = Some(value.to_string());
+                }
+                "subs" => {
+                    for sub in value.split('|') {
+                        parse_twig(sub.trim()).map_err(|e| {
+                            format!("line {}: subscription does not parse: {e}", lineno + 1)
+                        })?;
+                    }
+                    subs = Some(value.to_string());
                 }
                 "note" => note = Some(value.to_string()),
                 other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
@@ -122,6 +146,7 @@ impl CaseFile {
             xml: xml.ok_or("missing `xml` line")?,
             edits,
             docs,
+            subs,
             note,
         })
     }
@@ -146,6 +171,11 @@ impl CaseFile {
         if let Some(d) = &self.docs {
             out.push_str("docs = ");
             out.push_str(d);
+            out.push('\n');
+        }
+        if let Some(q) = &self.subs {
+            out.push_str("subs = ");
+            out.push_str(q);
             out.push('\n');
         }
         if let Some(n) = &self.note {
@@ -183,6 +213,15 @@ impl CaseFile {
                         .map_err(|e| format!("catalog member does not parse: {e}"))?;
                     check_catalog(&members, &gtp)
                 }
+                Invariant::SubscribedVsSolo if self.subs.is_some() => {
+                    let text = self.subs.as_deref().expect("checked above");
+                    let members = text
+                        .split('|')
+                        .map(|q| parse_twig(q.trim()))
+                        .collect::<Result<Vec<gtpquery::Gtp>, _>>()
+                        .map_err(|e| format!("subscription does not parse: {e}"))?;
+                    check_subscriptions(&doc, &members)
+                }
                 _ => check(&doc, &gtp, inv),
             };
             if let Outcome::Failed(msg) = outcome {
@@ -195,7 +234,10 @@ impl CaseFile {
     /// Stable file name: `<invariant>-<content hash>.t2s`.
     pub fn file_name(&self) -> String {
         let tag = self.invariant.map_or("all", Invariant::name);
-        format!("{tag}-{:08x}.t2s", fnv1a(self.serialize().as_bytes()) as u32)
+        format!(
+            "{tag}-{:08x}.t2s",
+            fnv1a(self.serialize().as_bytes()) as u32
+        )
     }
 }
 
@@ -247,6 +289,7 @@ mod tests {
         assert!(CaseFile::parse("query = //a\nxml = <a/>\ninvariant = nope\n").is_err());
         assert!(CaseFile::parse("query = //a\nxml = <a/>\nedits = explode 3\n").is_err());
         assert!(CaseFile::parse("query = //a\nxml = <a/>\ndocs = <a/>|<b\n").is_err());
+        assert!(CaseFile::parse("query = //a\nxml = <a/>\nsubs = //a | //\n").is_err());
     }
 
     #[test]
@@ -263,16 +306,32 @@ mod tests {
     }
 
     #[test]
+    fn subs_key_round_trips_and_replays_the_stored_subscriptions() {
+        let text = "invariant = subscribed_vs_solo\nquery = //a/b\nxml = <a><b><c/></b><b/></a>\n\
+                    subs = //a/b | //* | //b[c] | //a/b\n";
+        let case = CaseFile::parse(text).unwrap();
+        assert_eq!(case.subs.as_deref(), Some("//a/b | //* | //b[c] | //a/b"));
+        assert_eq!(CaseFile::parse(&case.serialize()).unwrap(), case);
+        assert_eq!(case.replay().unwrap(), vec![]);
+    }
+
+    #[test]
     fn edits_key_round_trips_and_replays_the_stored_script() {
         let text = "invariant = edited_vs_rebuilt\nquery = //a/b\nxml = <a><b/><c/></a>\n\
                     edits = delete 0 ; insert - 0 <a><b/></a>\n";
         let case = CaseFile::parse(text).unwrap();
-        assert_eq!(case.edits.as_deref(), Some("delete 0 ; insert - 0 <a><b/></a>"));
+        assert_eq!(
+            case.edits.as_deref(),
+            Some("delete 0 ; insert - 0 <a><b/></a>")
+        );
         assert_eq!(CaseFile::parse(&case.serialize()).unwrap(), case);
         assert_eq!(case.replay().unwrap(), vec![]);
         // A stored script that no longer applies is a replay error, not
         // a silent pass.
-        let broken = CaseFile { edits: Some("delete 99".to_string()), ..case };
+        let broken = CaseFile {
+            edits: Some("delete 99".to_string()),
+            ..case
+        };
         let failures = broken.replay().unwrap();
         assert_eq!(failures.len(), 1);
         assert!(failures[0].1.contains("not applicable"), "{failures:?}");
@@ -288,7 +347,10 @@ mod tests {
     fn file_name_is_stable_and_tagged() {
         let case = CaseFile::parse("invariant = early_vs_full\nquery = //a\nxml = <a/>\n").unwrap();
         let n1 = case.file_name();
-        assert!(n1.starts_with("early_vs_full-") && n1.ends_with(".t2s"), "{n1}");
+        assert!(
+            n1.starts_with("early_vs_full-") && n1.ends_with(".t2s"),
+            "{n1}"
+        );
         assert_eq!(n1, case.file_name());
     }
 }

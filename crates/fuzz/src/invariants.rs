@@ -1,4 +1,4 @@
-//! The eleven metamorphic invariants checked per (document, query) pair.
+//! The twelve metamorphic invariants checked per (document, query) pair.
 //!
 //! Each invariant encodes a correctness claim of the paper (references
 //! per variant below; the full table lives in DESIGN.md §8). An
@@ -73,11 +73,20 @@ pub enum Invariant {
     /// equals the single-document oracle (DESIGN.md §16: the catalog
     /// merge and zero-false-negative contracts).
     CatalogVsSerial,
+    /// Registering the query into a shared prefix-merged subscription
+    /// automaton (alongside a `//*` sibling and a duplicate of itself)
+    /// and driving one pass over the document yields, for every
+    /// subscription, matches byte-equal to running that query solo —
+    /// through the DOM oracle and, for structure-only queries, through
+    /// `evaluate_streaming` over the serialized stream; duplicate
+    /// registrations must stay independent and identical (DESIGN.md §17:
+    /// sharing never changes an answer).
+    SubscribedVsSolo,
 }
 
 impl Invariant {
     /// Every invariant, in report order.
-    pub const ALL: [Invariant; 11] = [
+    pub const ALL: [Invariant; 12] = [
         Invariant::CrossEngine,
         Invariant::CountConsistency,
         Invariant::ExistenceConsistency,
@@ -89,6 +98,7 @@ impl Invariant {
         Invariant::AdaptiveVsForced,
         Invariant::EditedVsRebuilt,
         Invariant::CatalogVsSerial,
+        Invariant::SubscribedVsSolo,
     ];
 
     /// Stable snake_case name (used in `.t2s` corpus files and the obs
@@ -106,6 +116,7 @@ impl Invariant {
             Invariant::AdaptiveVsForced => "adaptive_vs_forced",
             Invariant::EditedVsRebuilt => "edited_vs_rebuilt",
             Invariant::CatalogVsSerial => "catalog_vs_serial",
+            Invariant::SubscribedVsSolo => "subscribed_vs_solo",
         }
     }
 
@@ -176,6 +187,7 @@ pub fn check(doc: &Document, gtp: &Gtp, inv: Invariant) -> Outcome {
         Invariant::AdaptiveVsForced => adaptive_vs_forced(doc, gtp),
         Invariant::EditedVsRebuilt => check_script(doc, gtp, &derive_script(doc, gtp)),
         Invariant::CatalogVsSerial => catalog_vs_serial(doc, gtp),
+        Invariant::SubscribedVsSolo => subscribed_vs_solo(doc, gtp),
     }
 }
 
@@ -189,9 +201,9 @@ fn diff(engine: &str, got: &ResultSet, expected: &ResultSet) -> Outcome {
 
 /// `gtp` is a "full twig": the shape the classic baselines accept.
 fn is_full_twig(gtp: &Gtp) -> bool {
-    gtp.iter().all(|q| {
-        gtp.role(q) == Role::Return && gtp.edge(q).is_none_or(|e| !e.optional)
-    }) && !gtp.has_or_groups()
+    gtp.iter()
+        .all(|q| gtp.role(q) == Role::Return && gtp.edge(q).is_none_or(|e| !e.optional))
+        && !gtp.has_or_groups()
         && !gtp.has_value_preds()
 }
 
@@ -213,7 +225,11 @@ fn cross_engine(doc: &Document, gtp: &Gtp) -> Outcome {
         let got = enumerate(&tm);
         if got != expected {
             return diff(
-                if existence_opt { "twig2stack(existence_opt)" } else { "twig2stack" },
+                if existence_opt {
+                    "twig2stack(existence_opt)"
+                } else {
+                    "twig2stack"
+                },
                 &got,
                 &expected,
             );
@@ -251,8 +267,7 @@ fn cross_engine(doc: &Document, gtp: &Gtp) -> Outcome {
             return diff("tjfast", &got, &expected_sorted);
         }
         if is_linear(gtp) {
-            let streams: Vec<SliceStream<'_>> =
-                owned.iter().map(|v| SliceStream::new(v)).collect();
+            let streams: Vec<SliceStream<'_>> = owned.iter().map(|v| SliceStream::new(v)).collect();
             let mut ps = PathStackStats::default();
             let sols = path_stack(gtp, streams, &mut ps);
             let mut got = ResultSet::new(sols.path.clone());
@@ -434,8 +449,8 @@ fn pruned_vs_unpruned(doc: &Document, gtp: &Gtp) -> Outcome {
     if is_full_twig(gtp) {
         let expected_sorted = expected.clone().sorted();
         let mut ts = TwigStackStats::default();
-        let got = twig_stack_indexed(&index, doc.labels(), gtp, PruningPolicy::Enabled, &mut ts)
-            .sorted();
+        let got =
+            twig_stack_indexed(&index, doc.labels(), gtp, PruningPolicy::Enabled, &mut ts).sorted();
         if got != expected_sorted {
             return diff("twigstack(pruned)", &got, &expected_sorted);
         }
@@ -511,7 +526,8 @@ fn mapped_vs_heap(doc: &Document, gtp: &Gtp) -> Outcome {
         let (tm, hs) = twig2stack::match_indexed(doc, &index, gtp, MatchOptions::default(), policy);
         let heap_rs = enumerate(&tm);
         let heap_obs = twigobs::take();
-        let (tm, ms) = twig2stack::match_indexed(doc, &mapped, gtp, MatchOptions::default(), policy);
+        let (tm, ms) =
+            twig2stack::match_indexed(doc, &mapped, gtp, MatchOptions::default(), policy);
         let mapped_rs = enumerate(&tm);
         let mapped_obs = twigobs::take();
         carried.merge(&heap_obs);
@@ -595,16 +611,28 @@ fn adaptive_vs_forced(doc: &Document, gtp: &Gtp) -> Outcome {
     let index = ElementIndex::build(doc);
     let modes = [
         ("adaptive", PlannerMode::Adaptive),
-        ("forced(twig2stack)", PlannerMode::Forced(PlanEngine::Twig2Stack)),
-        ("forced(twigstack)", PlannerMode::Forced(PlanEngine::TwigStack)),
-        ("forced(pathstack)", PlannerMode::Forced(PlanEngine::PathStack)),
+        (
+            "forced(twig2stack)",
+            PlannerMode::Forced(PlanEngine::Twig2Stack),
+        ),
+        (
+            "forced(twigstack)",
+            PlannerMode::Forced(PlanEngine::TwigStack),
+        ),
+        (
+            "forced(pathstack)",
+            PlannerMode::Forced(PlanEngine::PathStack),
+        ),
         ("forced(tjfast)", PlannerMode::Forced(PlanEngine::TJFast)),
     ];
     for (label, mode) in modes {
         let svc = QueryService::new(
             doc.clone(),
             index.clone(),
-            ServiceConfig { planner: mode, ..ServiceConfig::default() },
+            ServiceConfig {
+                planner: mode,
+                ..ServiceConfig::default()
+            },
         );
         match svc.execute(&query) {
             Ok(rs) => {
@@ -679,7 +707,10 @@ pub fn check_catalog(members: &[Document], gtp: &Gtp) -> Outcome {
     for shards in [1, 3] {
         let cat = CatalogService::build_heap(
             members.to_vec(),
-            CatalogConfig { shards, ..CatalogConfig::default() },
+            CatalogConfig {
+                shards,
+                ..CatalogConfig::default()
+            },
         );
         let routed = match cat.routed_docs(&query) {
             Ok(ids) => ids,
@@ -724,6 +755,124 @@ pub fn check_catalog(members: &[Document], gtp: &Gtp) -> Outcome {
                 scattered.len(),
                 serial.len()
             ));
+        }
+    }
+    Outcome::Passed
+}
+
+/// Derive a three-member subscription set from the fuzzed pair — the
+/// query itself, a `//*` sibling that keeps every automaton state busy,
+/// and a duplicate of the query (duplicate registrations must stay
+/// independent) — and hand it to [`check_subscriptions`].
+fn subscribed_vs_solo(doc: &Document, gtp: &Gtp) -> Outcome {
+    let wild = gtpquery::parse_twig("//*").expect("static wildcard parses");
+    check_subscriptions(doc, &[gtp.clone(), wild, gtp.clone()])
+}
+
+/// The harness behind [`Invariant::SubscribedVsSolo`], shared with
+/// corpus replay (a `.t2s` file's `subs =` key routes here with the
+/// stored query list instead of the derived three-member set).
+///
+/// Registers `subs` into one shared prefix-merged automaton
+/// (`twig2stack::subscribe`) and asserts:
+/// * **DOM path** — one `run_subscriptions_doc` pass over `doc` yields,
+///   per subscription, rows byte-equal to that query's solo
+///   [`evaluate`] (value predicates included: the document is the text
+///   source);
+/// * **stream path** (only when no subscription has a value predicate —
+///   the structure-only stream drops text) — one `run_subscriptions`
+///   pass over the serialized document equals each query's solo
+///   [`evaluate_streaming`] run, byte for byte;
+/// * **duplicate independence** — subscriptions with identical
+///   canonical serializations produce identical results;
+/// * the NFA's relevance filter never feeds a matcher more closes than
+///   the stream has elements per subscription.
+pub fn check_subscriptions(doc: &Document, subs: &[Gtp]) -> Outcome {
+    use twig2stack::{run_subscriptions, run_subscriptions_doc, SharedAutomaton};
+
+    if subs.is_empty() {
+        return Outcome::Skipped("no subscriptions");
+    }
+    if doc.is_empty() {
+        return Outcome::Skipped("empty document has no event stream");
+    }
+    for (i, sub) in subs.iter().enumerate() {
+        let a = QueryAnalysis::new(sub);
+        if !a.enumerable() || a.columns().is_empty() {
+            return Outcome::Skipped(if i == 0 {
+                "query is not enumerable"
+            } else {
+                "a sibling subscription is not enumerable"
+            });
+        }
+    }
+    let mut total_rows = 0usize;
+    let mut expected = Vec::with_capacity(subs.len());
+    for sub in subs {
+        let rows = evaluate(doc, sub);
+        total_rows += rows.len();
+        if total_rows > MAX_ROWS {
+            return Outcome::Skipped("result set too large for the smoke budget");
+        }
+        expected.push(rows);
+    }
+
+    let auto = SharedAutomaton::build(subs.to_vec());
+    let (dom_results, stats) = run_subscriptions_doc(doc, &auto, MatchOptions::default());
+    for (i, (got, want)) in dom_results.iter().zip(&expected).enumerate() {
+        if got != want {
+            return Outcome::Failed(format!(
+                "subscription {i} diverged from its solo DOM run: {} vs {} rows",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    if stats.matcher_feeds > stats.elements * subs.len() as u64 {
+        return Outcome::Failed(format!(
+            "relevance filter fed {} matcher closes for {} elements x {} \
+             subscriptions",
+            stats.matcher_feeds,
+            stats.elements,
+            subs.len()
+        ));
+    }
+    // Duplicate independence: equal canonical forms, equal results.
+    for i in 0..subs.len() {
+        for j in i + 1..subs.len() {
+            if gtpquery::serialize(&subs[i]) == gtpquery::serialize(&subs[j])
+                && dom_results[i] != dom_results[j]
+            {
+                return Outcome::Failed(format!(
+                    "duplicate registrations {i} and {j} diverged: {} vs {} rows",
+                    dom_results[i].len(),
+                    dom_results[j].len()
+                ));
+            }
+        }
+    }
+
+    if subs.iter().any(Gtp::has_value_preds) {
+        return Outcome::Passed; // stream path cannot see text
+    }
+    let xml = write(doc, Indent::None);
+    let (stream_results, _) = match run_subscriptions(&xml, &auto, MatchOptions::default()) {
+        Ok(out) => out,
+        Err(e) => return Outcome::Failed(format!("shared stream pass failed: {e}")),
+    };
+    for (i, (sub, got)) in subs.iter().zip(&stream_results).enumerate() {
+        match evaluate_streaming(&xml, sub, MatchOptions::default()) {
+            Ok((want, _)) => {
+                if *got != want {
+                    return Outcome::Failed(format!(
+                        "subscription {i} diverged from its solo evaluate_streaming \
+                         run: {} vs {} rows",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+            }
+            Err(e) => return Outcome::Failed(format!("solo stream re-parse failed: {e}")),
         }
     }
     Outcome::Passed
@@ -842,7 +991,11 @@ mod tests {
         let doc = parse("<a><b/></a>").unwrap();
         let gtp = parse_twig("//a!/b!").unwrap();
         for inv in Invariant::ALL {
-            assert!(matches!(check(&doc, &gtp, inv), Outcome::Skipped(_)), "{}", inv.name());
+            assert!(
+                matches!(check(&doc, &gtp, inv), Outcome::Skipped(_)),
+                "{}",
+                inv.name()
+            );
         }
     }
 
@@ -879,7 +1032,11 @@ mod tests {
         ] {
             let doc = parse(xml).unwrap();
             let gtp = parse_twig(q).unwrap();
-            assert_eq!(check(&doc, &gtp, Invariant::EditedVsRebuilt), Outcome::Passed, "{q}");
+            assert_eq!(
+                check(&doc, &gtp, Invariant::EditedVsRebuilt),
+                Outcome::Passed,
+                "{q}"
+            );
         }
     }
 
@@ -898,7 +1055,10 @@ mod tests {
         let doc = parse("<a/>").unwrap();
         let gtp = parse_twig("//a").unwrap();
         let script = EditScript::parse("delete 99").unwrap();
-        assert!(matches!(check_script(&doc, &gtp, &script), Outcome::Failed(_)));
+        assert!(matches!(
+            check_script(&doc, &gtp, &script),
+            Outcome::Failed(_)
+        ));
     }
 
     #[test]
@@ -911,7 +1071,11 @@ mod tests {
         ] {
             let doc = parse(xml).unwrap();
             let gtp = parse_twig(q).unwrap();
-            assert_eq!(check(&doc, &gtp, Invariant::CatalogVsSerial), Outcome::Passed, "{q}");
+            assert_eq!(
+                check(&doc, &gtp, Invariant::CatalogVsSerial),
+                Outcome::Passed,
+                "{q}"
+            );
         }
     }
 
@@ -924,6 +1088,39 @@ mod tests {
         let gtp = parse_twig("//a/b").unwrap();
         assert_eq!(check_catalog(&members, &gtp), Outcome::Passed);
         assert!(matches!(check_catalog(&[], &gtp), Outcome::Skipped(_)));
+    }
+
+    #[test]
+    fn subscribed_vs_solo_passes_on_known_pairs() {
+        for (xml, q) in [
+            ("<a><b><c/></b><b/></a>", "//a/b//c"),
+            ("<a><b>x</b><b>y</b></a>", "//a/b='x'"), // DOM path only
+            ("<a><b/><c/></a>", "//a[b! or d!]"),
+            ("<a><b/><b><c/></b></a>", "//a/b[?c@]"),
+            ("<a><b/></a>", "//q/z"), // matches nothing anywhere
+        ] {
+            let doc = parse(xml).unwrap();
+            let gtp = parse_twig(q).unwrap();
+            assert_eq!(
+                check(&doc, &gtp, Invariant::SubscribedVsSolo),
+                Outcome::Passed,
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_subscriptions_accepts_explicit_query_lists() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        let subs: Vec<_> = ["//a/b", "//b//c", "//*[b]", "//a/b"]
+            .iter()
+            .map(|q| parse_twig(q).unwrap())
+            .collect();
+        assert_eq!(check_subscriptions(&doc, &subs), Outcome::Passed);
+        assert!(matches!(
+            check_subscriptions(&doc, &[]),
+            Outcome::Skipped(_)
+        ));
     }
 
     #[test]

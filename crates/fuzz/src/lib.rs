@@ -46,7 +46,9 @@ pub mod vocab;
 pub use corpus::{write_case, CaseFile};
 pub use edits::{derive_script, EditScript, ScriptOp, DERIVED_STEPS};
 pub use gen::{generate_query, GenConfig};
-pub use invariants::{check, check_case, check_catalog, check_script, CaseOutcome, Invariant, Outcome};
+pub use invariants::{
+    check, check_case, check_catalog, check_script, CaseOutcome, Invariant, Outcome,
+};
 pub use session::{run_session, Dataset, FailureCase, SessionConfig, SessionReport};
 pub use shrink::{copy_without, shrink, shrink_script};
 pub use vocab::Vocabulary;

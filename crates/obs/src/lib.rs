@@ -69,7 +69,7 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 ///
 /// ```
 /// use twigobs::Counter;
-/// assert_eq!(Counter::ALL.len(), 35);
+/// assert_eq!(Counter::ALL.len(), 38);
 /// assert_eq!(Counter::EdgesCreated.name(), "edges_created");
 /// assert_eq!(Counter::PlanCacheHits.name(), "plan_cache_hits");
 /// assert_eq!(Counter::PlanMispredictions.name(), "plan_mispredictions");
@@ -171,11 +171,22 @@ pub enum Counter {
     /// merged stream scan serving several same-label-set queries on one
     /// document).
     CatalogBatches,
+    /// Start/end tag events processed by the shared subscription
+    /// automaton (DESIGN.md §17) — the denominator of the per-event
+    /// amortization argument.
+    SubEvents,
+    /// `(subscription, element)` close deliveries the automaton let
+    /// through to a per-subscription matcher; a solo-per-query sweep
+    /// would pay `subscriptions x elements`.
+    SubMatcherFeeds,
+    /// Per-subscription change notifications emitted by the
+    /// subscription service after an edit's snapshot rotation.
+    SubNotifications,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 38] = [
         Counter::ElementsScanned,
         Counter::StackPushes,
         Counter::Merges,
@@ -211,6 +222,9 @@ impl Counter {
         Counter::CatalogDocsSkipped,
         Counter::ShardQueries,
         Counter::CatalogBatches,
+        Counter::SubEvents,
+        Counter::SubMatcherFeeds,
+        Counter::SubNotifications,
     ];
 
     /// The counter's snake_case report key (stable: it is the JSON
@@ -252,6 +266,9 @@ impl Counter {
             Counter::CatalogDocsSkipped => "catalog_docs_skipped",
             Counter::ShardQueries => "shard_queries",
             Counter::CatalogBatches => "catalog_batches",
+            Counter::SubEvents => "sub_events",
+            Counter::SubMatcherFeeds => "sub_matcher_feeds",
+            Counter::SubNotifications => "sub_notifications",
         }
     }
 
@@ -293,6 +310,9 @@ impl Counter {
             Counter::CatalogDocsSkipped => 32,
             Counter::ShardQueries => 33,
             Counter::CatalogBatches => 34,
+            Counter::SubEvents => 35,
+            Counter::SubMatcherFeeds => 36,
+            Counter::SubNotifications => 37,
         }
     }
 }
@@ -538,7 +558,10 @@ mod imp {
     }
 
     pub fn span(p: Phase) -> SpanGuard {
-        SpanGuard { phase: p, start: Instant::now() }
+        SpanGuard {
+            phase: p,
+            start: Instant::now(),
+        }
     }
 
     impl Drop for SpanGuard {
@@ -681,9 +704,9 @@ mod tests {
         assert_eq!(dedup.len(), names.len());
         // Lowercase, digits (twig2stack), and underscores only: the
         // names are the JSON sidecar schema.
-        assert!(names
-            .iter()
-            .all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')));
+        assert!(names.iter().all(|n| n
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')));
     }
 
     #[test]
@@ -720,7 +743,10 @@ mod tests {
         let m = take();
         assert!(take().is_zero(), "take must drain");
         absorb(&m);
-        assert_eq!(take().get(Counter::EdgesCreated), m.get(Counter::EdgesCreated));
+        assert_eq!(
+            take().get(Counter::EdgesCreated),
+            m.get(Counter::EdgesCreated)
+        );
     }
 
     #[cfg(feature = "enabled")]

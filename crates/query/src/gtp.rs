@@ -268,9 +268,11 @@ impl Gtp {
     /// queries.
     pub fn has_or_groups(&self) -> bool {
         self.iter().any(|q| {
-            self.children(q)
-                .iter()
-                .any(|&c| self.children(q).iter().any(|&d| d != c && self.or_group(d) == self.or_group(c)))
+            self.children(q).iter().any(|&c| {
+                self.children(q)
+                    .iter()
+                    .any(|&d| d != c && self.or_group(d) == self.or_group(c))
+            })
         })
     }
 
@@ -393,6 +395,12 @@ impl Gtp {
     /// is still required even if its text decides the match.
     ///
     /// The result is sorted and deduplicated, like [`Self::label_names`].
+    ///
+    /// The set can legitimately be **empty** — e.g. `//*`, `//*/*`, or a
+    /// named query whose every name sits behind an optional edge or
+    /// OR-group. Empty means "no routing evidence", not "matches
+    /// nothing": consumers (`twigserve::catalog` routing) must treat it
+    /// as route-everywhere.
     pub fn required_label_names(&self) -> Vec<&str> {
         let mut mandatory = vec![false; self.len()];
         mandatory[self.root().index()] = true;
@@ -403,9 +411,10 @@ impl Gtp {
                 Some(p) => {
                     mandatory[p.index()]
                         && !self.edge(q).is_some_and(|e| e.optional)
-                        && !self.children(p).iter().any(|&d| {
-                            d != q && self.or_group(d) == self.or_group(q)
-                        })
+                        && !self
+                            .children(p)
+                            .iter()
+                            .any(|&d| d != q && self.or_group(d) == self.or_group(q))
                 }
             };
             mandatory[q.index()] = on_solid_path;
@@ -573,7 +582,11 @@ impl GtpBuilder {
         let parent = self.gtp.parent(first);
         let group = self.gtp.nodes[first.index()].or_group;
         for &m in rest {
-            assert_eq!(self.gtp.parent(m), parent, "OR-group members must be siblings");
+            assert_eq!(
+                self.gtp.parent(m),
+                parent,
+                "OR-group members must be siblings"
+            );
             self.gtp.nodes[m.index()].or_group = group;
         }
         self
@@ -629,7 +642,10 @@ mod tests {
         assert_eq!(g.parent(bq), Some(root));
         assert_eq!(
             g.edge(bq),
-            Some(Edge { axis: Axis::Child, optional: false })
+            Some(Edge {
+                axis: Axis::Child,
+                optional: false
+            })
         );
         assert_eq!(g.children(bq).len(), 2);
         assert!(!g.is_rooted());

@@ -93,9 +93,7 @@ impl LabelBloom {
         let h1 = h;
         // Odd second hash so the probe stride cycles the whole table.
         let h2 = (h >> 32) | 1;
-        std::array::from_fn(|k| {
-            (h1.wrapping_add((k as u64).wrapping_mul(h2)) % 256) as u32
-        })
+        std::array::from_fn(|k| (h1.wrapping_add((k as u64).wrapping_mul(h2)) % 256) as u32)
     }
 
     /// Add a label name to the set.
@@ -262,7 +260,10 @@ impl WorkerPool {
                     .expect("spawn catalog worker")
             })
             .collect();
-        WorkerPool { tx: Mutex::new(Some(tx)), workers }
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            workers,
+        }
     }
 
     fn submit(&self, job: Job) {
@@ -296,10 +297,7 @@ pub struct CatalogService {
 impl CatalogService {
     /// Build a catalog over `docs` (heap or mapped members). Document
     /// ids are the input positions; shard assignment is `id % shards`.
-    pub fn build(
-        docs: Vec<CatalogDoc>,
-        config: CatalogConfig,
-    ) -> Result<Self, MappedOpenError> {
+    pub fn build(docs: Vec<CatalogDoc>, config: CatalogConfig) -> Result<Self, MappedOpenError> {
         let shard_count = config.shards.max(1);
         let mut shards: Vec<Vec<DocEntry>> = (0..shard_count).map(|_| Vec::new()).collect();
         let doc_count = docs.len();
@@ -318,8 +316,12 @@ impl CatalogService {
                 bloom.insert(name);
             }
             let fingerprint = index.summary().fingerprint(doc.labels());
-            let snap =
-                Arc::new(Snapshot { doc, index, version: 0, dewey: OnceLock::new() });
+            let snap = Arc::new(Snapshot {
+                doc,
+                index,
+                version: 0,
+                dewey: OnceLock::new(),
+            });
             shards[i % shard_count].push(DocEntry {
                 id: i as u32,
                 snap,
@@ -327,7 +329,11 @@ impl CatalogService {
                 fingerprint,
             });
         }
-        let workers = if config.workers == 0 { shard_count } else { config.workers };
+        let workers = if config.workers == 0 {
+            shard_count
+        } else {
+            config.workers
+        };
         let inner = Arc::new(CatalogInner {
             shards: shards
                 .into_iter()
@@ -341,7 +347,10 @@ impl CatalogService {
             plan_capacity: config.plan_cache_capacity,
             stats: CatalogStatsCell::default(),
         });
-        Ok(CatalogService { inner, pool: WorkerPool::new(workers) })
+        Ok(CatalogService {
+            inner,
+            pool: WorkerPool::new(workers),
+        })
     }
 
     /// Build a catalog of heap-indexed documents (the common case).
@@ -468,8 +477,10 @@ impl CatalogService {
         match gathered {
             Ok(shard_outputs) => {
                 for shard_out in shard_outputs {
-                    for (m, result) in
-                        shard_out.expect("batch shard jobs return Ok").into_iter().enumerate()
+                    for (m, result) in shard_out
+                        .expect("batch shard jobs return Ok")
+                        .into_iter()
+                        .enumerate()
                     {
                         match (result, &mut per_query[m]) {
                             (Ok(hits), Ok(acc)) => acc.extend(hits),
@@ -494,7 +505,9 @@ impl CatalogService {
                 hits
             }));
         }
-        out.into_iter().map(|r| r.expect("every query answered")).collect()
+        out.into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
     }
 
     /// The serial oracle and throughput baseline: iterate every document
@@ -521,7 +534,10 @@ impl CatalogService {
             let plan = IndexedPlan::compute(&gtp, snap.index(), labels, decision.policy);
             let rows = eval_entry(snap, &gtp, &plan)?;
             if !rows.is_empty() {
-                hits.push(DocHit { doc: entry.id, rows });
+                hits.push(DocHit {
+                    doc: entry.id,
+                    rows,
+                });
             }
         }
         Ok(hits)
@@ -547,7 +563,10 @@ impl CatalogService {
         let jobs = work.len();
         let (tx, rx) = mpsc::channel();
         for (si, positions) in work {
-            self.inner.stats.shard_queries.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .stats
+                .shard_queries
+                .fetch_add(1, Ordering::Relaxed);
             twigobs::bump(twigobs::Counter::ShardQueries);
             let inner = Arc::clone(&self.inner);
             let run = run.clone();
@@ -579,10 +598,16 @@ impl CatalogInner {
         if let Some(p) = plans.get(&key) {
             return Ok(Arc::clone(p));
         }
-        let required =
-            gtp.required_label_names().into_iter().map(String::from).collect();
-        let plan =
-            Arc::new(CatalogPlan { gtp, required, schemas: Mutex::new(HashMap::new()) });
+        let required = gtp
+            .required_label_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let plan = Arc::new(CatalogPlan {
+            gtp,
+            required,
+            schemas: Mutex::new(HashMap::new()),
+        });
         if plans.len() >= self.plan_capacity.max(1) {
             plans.clear();
         }
@@ -639,7 +664,10 @@ impl CatalogInner {
         );
         let probe =
             IndexedPlan::compute(&plan.gtp, snap.index(), snap.doc.labels(), decision.policy);
-        let verdict = SchemaPlan { decision, unsatisfiable: probe.is_unsatisfiable() };
+        let verdict = SchemaPlan {
+            decision,
+            unsatisfiable: probe.is_unsatisfiable(),
+        };
         schemas.insert(entry.fingerprint, verdict);
         self.stats.schema_plans.fetch_add(1, Ordering::Relaxed);
         (verdict, Some(probe))
@@ -675,7 +703,10 @@ impl CatalogInner {
             });
             let rows = eval_entry_cancellable(&entry.snap, &plan.gtp, &iplan, cancel)?;
             if !rows.is_empty() {
-                out.push(DocHit { doc: entry.id, rows });
+                out.push(DocHit {
+                    doc: entry.id,
+                    rows,
+                });
             }
         }
         Ok(out)
@@ -754,7 +785,9 @@ impl CatalogInner {
                             &CancelToken::never(),
                         )
                         .map(|v| {
-                            v.into_iter().map(|(tm, _)| enumerate(&tm)).collect::<Vec<_>>()
+                            v.into_iter()
+                                .map(|(tm, _)| enumerate(&tm))
+                                .collect::<Vec<_>>()
                         })
                     }));
                     if let Ok(Ok(results)) = shared {
@@ -762,7 +795,10 @@ impl CatalogInner {
                             let m = ready[ri].0;
                             if !rows.is_empty() {
                                 if let Ok(acc) = &mut out[m] {
-                                    acc.push(DocHit { doc: entry.id, rows });
+                                    acc.push(DocHit {
+                                        doc: entry.id,
+                                        rows,
+                                    });
                                 }
                             }
                         }
@@ -777,7 +813,10 @@ impl CatalogInner {
                     match (rows, &mut out[*m]) {
                         (Ok(rows), Ok(acc)) => {
                             if !rows.is_empty() {
-                                acc.push(DocHit { doc: entry.id, rows });
+                                acc.push(DocHit {
+                                    doc: entry.id,
+                                    rows,
+                                });
                             }
                         }
                         (Err(e), slot @ Ok(_)) => *slot = Err(e),
@@ -792,16 +831,24 @@ impl CatalogInner {
 
 impl CatalogPlan {
     /// The routing predicate: every required label may be present.
+    ///
+    /// A label-free plan (all wildcards / every named step optional or
+    /// OR-grouped — `required_label_names()` came back empty) carries
+    /// no routing evidence, so it must route to **every** document,
+    /// never zero. The explicit early return pins that contract even if
+    /// the loop below ever changes quantifier shape; the wildcard-root
+    /// test in `tests/catalog_routing.rs` pins it end to end.
     fn routes_to(&self, entry: &DocEntry) -> bool {
-        self.required.iter().all(|name| entry.bloom.maybe_contains(name))
+        if self.required.is_empty() {
+            return true;
+        }
+        self.required
+            .iter()
+            .all(|name| entry.bloom.maybe_contains(name))
     }
 }
 
-fn eval_entry(
-    snap: &Snapshot,
-    gtp: &Gtp,
-    plan: &IndexedPlan,
-) -> Result<ResultSet, ServeError> {
+fn eval_entry(snap: &Snapshot, gtp: &Gtp, plan: &IndexedPlan) -> Result<ResultSet, ServeError> {
     eval_entry_cancellable(snap, gtp, plan, &CancelToken::never())
 }
 
@@ -852,7 +899,10 @@ mod tests {
     fn catalog(shards: usize) -> CatalogService {
         CatalogService::build_heap(
             docs(),
-            CatalogConfig { shards, ..CatalogConfig::default() },
+            CatalogConfig {
+                shards,
+                ..CatalogConfig::default()
+            },
         )
     }
 
@@ -924,7 +974,11 @@ mod tests {
             "three distinct a-family schemas; the copies reuse the verdict"
         );
         cat.execute("//a/b").unwrap();
-        assert_eq!(cat.stats().schema_plans, 3, "verdicts persist across queries");
+        assert_eq!(
+            cat.stats().schema_plans,
+            3,
+            "verdicts persist across queries"
+        );
     }
 
     #[test]
@@ -966,7 +1020,10 @@ mod tests {
         for (q, r) in queries.iter().zip(&batch) {
             assert_eq!(*r.as_ref().unwrap(), cat.execute(q).unwrap(), "{q}");
         }
-        assert!(cat.stats().batches >= 1, "at least one shared-scan group formed");
+        assert!(
+            cat.stats().batches >= 1,
+            "at least one shared-scan group formed"
+        );
     }
 
     #[test]
@@ -984,7 +1041,10 @@ mod tests {
         )
         .unwrap();
         let heap = CatalogService::build_heap(
-            vec![xmldom::parse(xml).unwrap(), xmldom::parse("<a><b/></a>").unwrap()],
+            vec![
+                xmldom::parse(xml).unwrap(),
+                xmldom::parse("<a><b/></a>").unwrap(),
+            ],
             CatalogConfig::default(),
         );
         for q in ["//a/b", "//b[c]", "//c"] {
@@ -997,7 +1057,10 @@ mod tests {
     fn deadlines_cut_the_scatter() {
         let cat = catalog(2);
         let err = cat
-            .execute_with("//a/b", CancelToken::with_deadline(std::time::Duration::ZERO))
+            .execute_with(
+                "//a/b",
+                CancelToken::with_deadline(std::time::Duration::ZERO),
+            )
             .unwrap_err();
         assert!(matches!(
             err,
@@ -1015,10 +1078,16 @@ mod tests {
     #[test]
     fn hits_arrive_in_ascending_doc_order() {
         // Enough same-vocabulary docs that every shard contributes.
-        let many: Vec<Document> =
-            (0..17).map(|_| xmldom::parse("<a><b/></a>").unwrap()).collect();
-        let cat =
-            CatalogService::build_heap(many, CatalogConfig { shards: 4, ..CatalogConfig::default() });
+        let many: Vec<Document> = (0..17)
+            .map(|_| xmldom::parse("<a><b/></a>").unwrap())
+            .collect();
+        let cat = CatalogService::build_heap(
+            many,
+            CatalogConfig {
+                shards: 4,
+                ..CatalogConfig::default()
+            },
+        );
         let hits = cat.execute("//a/b").unwrap();
         let ids: Vec<u32> = hits.iter().map(|h| h.doc).collect();
         assert_eq!(ids, (0..17).collect::<Vec<u32>>());

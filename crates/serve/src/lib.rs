@@ -74,13 +74,13 @@
 pub mod cache;
 pub mod catalog;
 pub mod planner;
+pub mod subscribe;
 
 pub use cache::CachedPlan;
-pub use catalog::{
-    CatalogConfig, CatalogDoc, CatalogService, CatalogStats, DocHit, LabelBloom,
-};
+pub use catalog::{CatalogConfig, CatalogDoc, CatalogService, CatalogStats, DocHit, LabelBloom};
 pub use gtpquery::cost::PlanEngine;
 pub use planner::{PlanDecision, PlannerMode};
+pub use subscribe::{SubNotification, SubscriptionId, SubscriptionService};
 
 use cache::PlanCache;
 use gtpquery::{
@@ -88,9 +88,10 @@ use gtpquery::{
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock, RwLock};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 use twig2stack::{
     enumerate, evaluate_early, try_match_indexed, try_match_indexed_group, EvalContext,
@@ -100,7 +101,6 @@ use twigbaselines::{
     path_stack_indexed, tj_fast_indexed, twig_stack_indexed, DeweyResolver, PathStackStats,
     TJFastStats, TwigStackStats,
 };
-use std::path::Path;
 use xmldom::{apply_op, Document, EditDelta, EditError, EditOp, Label};
 use xmlindex::{
     DeweyIndex, EditApply, ElementIndex, IndexView, IndexedElement, MappedIndex, MappedOpenError,
@@ -321,7 +321,10 @@ impl Gate {
             return Ok(Permit { gate: self });
         }
         if st.waiting >= self.max_waiting {
-            return Err(ServeError::Overloaded { running: st.running, waiting: st.waiting });
+            return Err(ServeError::Overloaded {
+                running: st.running,
+                waiting: st.waiting,
+            });
         }
         st.waiting += 1;
         while st.running >= self.max_running {
@@ -465,6 +468,11 @@ pub struct BatchEditReceipt {
     pub rebuilt: bool,
     /// Cached plans the batch's single rotation invalidated.
     pub invalidated_plans: u64,
+    /// One document-layer delta per applied op, in application order —
+    /// delta `i` maps node ids of intermediate state `i` to state
+    /// `i + 1`, so composing all of them carries a pre-batch id into the
+    /// published snapshot (the subscription layer relies on this).
+    pub deltas: Vec<EditDelta>,
 }
 
 /// A concurrent query service over an edit-rotated sequence of immutable
@@ -509,7 +517,11 @@ impl QueryService {
         config: ServiceConfig,
     ) -> Result<Self, MappedOpenError> {
         let index = MappedIndex::open(path)?;
-        Ok(QueryService::with_backend(doc, ServeIndex::Mapped(index), config))
+        Ok(QueryService::with_backend(
+            doc,
+            ServeIndex::Mapped(index),
+            config,
+        ))
     }
 
     /// Wrap an already-built index. `index` must have been built from
@@ -521,7 +533,12 @@ impl QueryService {
     fn with_backend(doc: Document, index: ServeIndex, config: ServiceConfig) -> Self {
         let gate = Gate::new(config.max_concurrency, config.max_waiting);
         let cache = PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards);
-        let snapshot = Arc::new(Snapshot { doc, index, version: 0, dewey: OnceLock::new() });
+        let snapshot = Arc::new(Snapshot {
+            doc,
+            index,
+            version: 0,
+            dewey: OnceLock::new(),
+        });
         QueryService {
             snapshot: RwLock::new(snapshot),
             edit_lock: Mutex::new(()),
@@ -563,21 +580,36 @@ impl QueryService {
             // the heap. A rebuild, so every cached plan is stale.
             ServeIndex::Mapped(_) => {
                 twigobs::add(twigobs::Counter::EditElementsReindexed, doc.len() as u64);
-                (ServeIndex::Heap(ElementIndex::build(&doc)), EditApply::Rebuilt)
+                (
+                    ServeIndex::Heap(ElementIndex::build(&doc)),
+                    EditApply::Rebuilt,
+                )
             }
         };
         let version = old.version + 1;
-        let next = Arc::new(Snapshot { doc, index, version, dewey: OnceLock::new() });
+        let next = Arc::new(Snapshot {
+            doc,
+            index,
+            version,
+            dewey: OnceLock::new(),
+        });
         *self.snapshot.write().expect("snapshot lock poisoned") = next;
         let rebuilt = how == EditApply::Rebuilt;
         let changed = (!rebuilt).then_some(delta.changed_labels.as_slice());
         let invalidated = self.cache.rotate(changed, version);
         self.stats.edits.fetch_add(1, Ordering::Relaxed);
         self.stats.rotations.fetch_add(1, Ordering::Relaxed);
-        self.stats.invalidations.fetch_add(invalidated, Ordering::Relaxed);
+        self.stats
+            .invalidations
+            .fetch_add(invalidated, Ordering::Relaxed);
         twigobs::bump(twigobs::Counter::SnapshotRotations);
         twigobs::add(twigobs::Counter::PlanCacheInvalidations, invalidated);
-        Ok(EditReceipt { version, delta, rebuilt, invalidated_plans: invalidated })
+        Ok(EditReceipt {
+            version,
+            delta,
+            rebuilt,
+            invalidated_plans: invalidated,
+        })
     }
 
     /// Apply a batch of subtree edits as **one** snapshot rotation
@@ -604,12 +636,14 @@ impl QueryService {
                 ops_applied: 0,
                 rebuilt: false,
                 invalidated_plans: 0,
+                deltas: Vec::new(),
             });
         }
         let mut doc_cur: Option<Document> = None;
         let mut ix_cur: Option<ElementIndex> = None;
         let mut rebuilt = false;
         let mut changed: Vec<Label> = Vec::new();
+        let mut deltas: Vec<EditDelta> = Vec::with_capacity(ops.len());
         for op in ops {
             let (next_doc, delta) = apply_op(doc_cur.as_ref().unwrap_or(&old.doc), op)?;
             let (next_ix, how) = match (&ix_cur, &old.index) {
@@ -633,6 +667,7 @@ impl QueryService {
             }
             doc_cur = Some(next_doc);
             ix_cur = Some(next_ix);
+            deltas.push(delta);
         }
         let version = old.version + 1;
         let next = Arc::new(Snapshot {
@@ -642,10 +677,16 @@ impl QueryService {
             dewey: OnceLock::new(),
         });
         *self.snapshot.write().expect("snapshot lock poisoned") = next;
-        let invalidated = self.cache.rotate((!rebuilt).then_some(changed.as_slice()), version);
-        self.stats.edits.fetch_add(ops.len() as u64, Ordering::Relaxed);
+        let invalidated = self
+            .cache
+            .rotate((!rebuilt).then_some(changed.as_slice()), version);
+        self.stats
+            .edits
+            .fetch_add(ops.len() as u64, Ordering::Relaxed);
         self.stats.rotations.fetch_add(1, Ordering::Relaxed);
-        self.stats.invalidations.fetch_add(invalidated, Ordering::Relaxed);
+        self.stats
+            .invalidations
+            .fetch_add(invalidated, Ordering::Relaxed);
         twigobs::bump(twigobs::Counter::SnapshotRotations);
         twigobs::add(twigobs::Counter::PlanCacheInvalidations, invalidated);
         Ok(BatchEditReceipt {
@@ -653,6 +694,7 @@ impl QueryService {
             ops_applied: ops.len(),
             rebuilt,
             invalidated_plans: invalidated,
+            deltas,
         })
     }
 
@@ -730,8 +772,7 @@ impl QueryService {
         let mut groups: Vec<Group> = Vec::new();
         let mut singles: Vec<Group> = Vec::new();
         for (i, p) in prepared {
-            let groupable =
-                p.decision.engine == PlanEngine::Twig2Stack && !p.decision.early;
+            let groupable = p.decision.engine == PlanEngine::Twig2Stack && !p.decision.early;
             if !groupable {
                 singles.push((Vec::new(), vec![(i, p)]));
                 continue;
@@ -758,7 +799,10 @@ impl QueryService {
                     let (first, rest) = members.split_first().expect("non-empty group");
                     out[first.0] = Some(Err(e));
                     for (i, _) in rest {
-                        out[*i] = Some(Err(ServeError::Overloaded { running: 0, waiting: 0 }));
+                        out[*i] = Some(Err(ServeError::Overloaded {
+                            running: 0,
+                            waiting: 0,
+                        }));
                     }
                     continue;
                 }
@@ -903,7 +947,10 @@ impl QueryService {
             return;
         }
         twigobs::add(twigobs::Counter::PlanPredictedScan, decision.predicted_scan);
-        twigobs::add(twigobs::Counter::PlanPredictedResults, decision.predicted_results);
+        twigobs::add(
+            twigobs::Counter::PlanPredictedResults,
+            decision.predicted_results,
+        );
         if let Some(actual) = actual_scan {
             if !planner::scan_within_tolerance(decision.predicted_scan, actual) {
                 self.stats.mispredict.fetch_add(1, Ordering::Relaxed);
@@ -931,8 +978,11 @@ impl QueryService {
         let gtp = plan.gtp.clone();
         let revised = IndexedPlan::compute(&gtp, snap.index(), snap.doc.labels(), decision.policy);
         let key = serialize(&gtp);
-        let evicted =
-            self.cache.insert(key, Arc::new(CachedPlan::new(gtp, revised, decision)), snap.version);
+        let evicted = self.cache.insert(
+            key,
+            Arc::new(CachedPlan::new(gtp, revised, decision)),
+            snap.version,
+        );
         if evicted > 0 {
             self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
             twigobs::add(twigobs::Counter::PlanCacheEvictions, evicted);
@@ -1089,8 +1139,18 @@ impl QueryService {
         let refs: Vec<(&Gtp, &IndexedPlan)> =
             members.iter().map(|(_, p)| (&p.gtp, &p.plan)).collect();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            try_match_indexed_group(&snap.doc, snap.index(), &refs, MatchOptions::default(), cancel)
-                .map(|v| v.into_iter().map(|(tm, _)| enumerate(&tm)).collect::<Vec<_>>())
+            try_match_indexed_group(
+                &snap.doc,
+                snap.index(),
+                &refs,
+                MatchOptions::default(),
+                cancel,
+            )
+            .map(|v| {
+                v.into_iter()
+                    .map(|(tm, _)| enumerate(&tm))
+                    .collect::<Vec<_>>()
+            })
         }));
         match outcome {
             Ok(Ok(results)) => Some(results),
@@ -1147,7 +1207,10 @@ mod tests {
         assert_eq!(s.plan_cache_hits, 1);
         assert_eq!(s.analyses_run, 1, "the hit skipped the analysis");
         assert_eq!(s.queries_admitted, 2);
-        assert_eq!(s.contexts_reused, 1, "second request reused the pooled context");
+        assert_eq!(
+            s.contexts_reused, 1,
+            "second request reused the pooled context"
+        );
         assert_eq!(svc.cached_plans(), 1);
     }
 
@@ -1170,7 +1233,10 @@ mod tests {
 
     #[test]
     fn cache_off_reruns_the_analysis() {
-        let svc = service(ServiceConfig { plan_cache_capacity: 0, ..ServiceConfig::default() });
+        let svc = service(ServiceConfig {
+            plan_cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
         svc.execute("//a/b[c]").unwrap();
         svc.execute("//a/b[c]").unwrap();
         let s = svc.stats();
@@ -1195,7 +1261,10 @@ mod tests {
         let err = svc
             .execute_with("//a/b[c]", CancelToken::with_deadline(Duration::ZERO))
             .unwrap_err();
-        assert!(matches!(err, ServeError::Query(QueryError::DeadlineExceeded)));
+        assert!(matches!(
+            err,
+            ServeError::Query(QueryError::DeadlineExceeded)
+        ));
         assert_eq!(svc.stats().deadline_exceeded, 1);
     }
 
@@ -1239,7 +1308,8 @@ mod tests {
         // The waiter is blocked until the slot frees.
         assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
         drop(permit);
-        rx.recv_timeout(Duration::from_secs(5)).expect("waiter admitted");
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("waiter admitted");
         waiter.join().unwrap();
     }
 
@@ -1292,7 +1362,10 @@ mod tests {
                 default_svc.execute(gtp_only).unwrap().sorted(),
                 "{engine:?} fallback"
             );
-            assert_eq!(svc.planned(gtp_only).unwrap().engine, PlanEngine::Twig2Stack);
+            assert_eq!(
+                svc.planned(gtp_only).unwrap().engine,
+                PlanEngine::Twig2Stack
+            );
         }
     }
 
@@ -1313,7 +1386,10 @@ mod tests {
             assert!(d.adaptive);
         }
         let s = svc.stats();
-        assert_eq!(s.plans_adaptive, s.analyses_run, "every analysis was cost-based");
+        assert_eq!(
+            s.plans_adaptive, s.analyses_run,
+            "every analysis was cost-based"
+        );
     }
 
     #[test]
@@ -1333,29 +1409,35 @@ mod tests {
 
     #[test]
     fn mapped_service_matches_heap_service() {
-        let path = std::env::temp_dir()
-            .join(format!("twigserve-mapped-{}.t2s", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("twigserve-mapped-{}.t2s", std::process::id()));
         xmlindex::write_mapped_index(&xmldom::parse(DOC).unwrap(), &path).unwrap();
         let heap = service(ServiceConfig::default());
-        let mapped = QueryService::open_mapped(
-            xmldom::parse(DOC).unwrap(),
-            &path,
-            ServiceConfig::default(),
-        )
-        .unwrap();
+        let mapped =
+            QueryService::open_mapped(xmldom::parse(DOC).unwrap(), &path, ServiceConfig::default())
+                .unwrap();
         for q in ["//a/b[c]", "//a//b", "//b/y", "//a/b[y='2006']", "//*[b]/c"] {
             assert_eq!(mapped.execute(q).unwrap(), heap.execute(q).unwrap(), "{q}");
         }
         let s = mapped.stats();
         assert_eq!(s.plan_cache_misses, 5);
         let snap = mapped.snapshot();
-        assert!(snap.index().as_mapped().expect("still file-backed").file_bytes() > 0);
+        assert!(
+            snap.index()
+                .as_mapped()
+                .expect("still file-backed")
+                .file_bytes()
+                > 0
+        );
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn concurrent_hammering_is_deterministic() {
-        let svc = service(ServiceConfig { max_concurrency: 4, ..ServiceConfig::default() });
+        let svc = service(ServiceConfig {
+            max_concurrency: 4,
+            ..ServiceConfig::default()
+        });
         let queries = ["//a/b[c]", "//a//b", "//b/y", "//a/b[y='2006']"];
         let expected: Vec<ResultSet> = queries
             .iter()
@@ -1375,7 +1457,10 @@ mod tests {
         });
         let s = svc.stats();
         assert_eq!(s.queries_admitted, 8 * 20);
-        assert_eq!(s.queries_rejected, 0, "waiters queue; nothing sheds at this load");
+        assert_eq!(
+            s.queries_rejected, 0,
+            "waiters queue; nothing sheds at this load"
+        );
         assert_eq!(s.analyses_run + s.plan_cache_hits, 8 * 20);
         assert!(s.plan_cache_hits >= 8 * 20 - 4 * 8, "most lookups hit");
     }
@@ -1393,14 +1478,21 @@ mod tests {
             })
             .unwrap();
         assert_eq!(receipt.version, 1);
-        assert!(receipt.delta.renumbered, "first insert into a dense document renumbers");
+        assert!(
+            receipt.delta.renumbered,
+            "first insert into a dense document renumbers"
+        );
         assert!(receipt.rebuilt);
         let after = svc.execute("//a/b").unwrap();
         assert_eq!(after.len(), before.len() + 1);
         let snap = svc.snapshot();
         assert_eq!(snap.version(), 1);
         let gtp = parse_twig("//a/b").unwrap();
-        assert_eq!(after, twig2stack::evaluate(snap.doc(), &gtp), "index agrees with a DOM walk");
+        assert_eq!(
+            after,
+            twig2stack::evaluate(snap.doc(), &gtp),
+            "index agrees with a DOM walk"
+        );
         let s = svc.stats();
         assert_eq!(s.edits_applied, 1);
         assert_eq!(s.snapshot_rotations, 1);
@@ -1430,17 +1522,34 @@ mod tests {
                 subtree: xmldom::parse("<c/>").unwrap(),
             })
             .unwrap();
-        assert!(!receipt.rebuilt, "gap-fitting insert on a known path patches");
+        assert!(
+            !receipt.rebuilt,
+            "gap-fitting insert on a known path patches"
+        );
         assert_eq!(receipt.delta.changed_labels.len(), 1, "only c changed");
-        assert_eq!(receipt.invalidated_plans, 1, "//b/c scans c; //d is disjoint");
+        assert_eq!(
+            receipt.invalidated_plans, 1,
+            "//b/c scans c; //d is disjoint"
+        );
         let before = svc.stats();
         svc.execute("//d").unwrap();
-        assert_eq!(svc.stats().plan_cache_hits, before.plan_cache_hits + 1, "//d survived");
+        assert_eq!(
+            svc.stats().plan_cache_hits,
+            before.plan_cache_hits + 1,
+            "//d survived"
+        );
         svc.execute("//b/c").unwrap();
-        assert_eq!(svc.stats().plan_cache_misses, before.plan_cache_misses + 1, "//b/c re-planned");
+        assert_eq!(
+            svc.stats().plan_cache_misses,
+            before.plan_cache_misses + 1,
+            "//b/c re-planned"
+        );
         let gtp = parse_twig("//b/c").unwrap();
         let snap = svc.snapshot();
-        assert_eq!(svc.execute("//b/c").unwrap(), twig2stack::evaluate(snap.doc(), &gtp));
+        assert_eq!(
+            svc.execute("//b/c").unwrap(),
+            twig2stack::evaluate(snap.doc(), &gtp)
+        );
         assert_eq!(svc.stats().plan_cache_invalidations, 1);
     }
 
@@ -1463,15 +1572,12 @@ mod tests {
 
     #[test]
     fn editing_a_mapped_service_materializes_a_heap_snapshot() {
-        let path = std::env::temp_dir()
-            .join(format!("twigserve-mapped-edit-{}.t2s", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("twigserve-mapped-edit-{}.t2s", std::process::id()));
         xmlindex::write_mapped_index(&xmldom::parse(DOC).unwrap(), &path).unwrap();
-        let svc = QueryService::open_mapped(
-            xmldom::parse(DOC).unwrap(),
-            &path,
-            ServiceConfig::default(),
-        )
-        .unwrap();
+        let svc =
+            QueryService::open_mapped(xmldom::parse(DOC).unwrap(), &path, ServiceConfig::default())
+                .unwrap();
         svc.execute("//a/b[c]").unwrap();
         let root = svc.snapshot().doc().root();
         let receipt = svc
@@ -1481,12 +1587,21 @@ mod tests {
                 subtree: xmldom::parse("<b><c/></b>").unwrap(),
             })
             .unwrap();
-        assert!(receipt.rebuilt, "a read-only mapped index is always rebuilt to the heap");
+        assert!(
+            receipt.rebuilt,
+            "a read-only mapped index is always rebuilt to the heap"
+        );
         assert_eq!(receipt.invalidated_plans, 1);
         let snap = svc.snapshot();
-        assert!(snap.index().as_mapped().is_none(), "post-edit snapshot is heap-backed");
+        assert!(
+            snap.index().as_mapped().is_none(),
+            "post-edit snapshot is heap-backed"
+        );
         let gtp = parse_twig("//a/b[c]").unwrap();
-        assert_eq!(svc.execute("//a/b[c]").unwrap(), twig2stack::evaluate(snap.doc(), &gtp));
+        assert_eq!(
+            svc.execute("//a/b[c]").unwrap(),
+            twig2stack::evaluate(snap.doc(), &gtp)
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -1495,8 +1610,13 @@ mod tests {
         let svc = service(ServiceConfig::default());
         svc.execute("//a/b[c]").unwrap();
         let missing = xmldom::NodeId::from_index(9_999);
-        let err = svc.apply_edit(&EditOp::DeleteSubtree { target: missing }).unwrap_err();
-        assert!(matches!(err, ServeError::Edit(xmldom::EditError::InvalidNode(_))));
+        let err = svc
+            .apply_edit(&EditOp::DeleteSubtree { target: missing })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Edit(xmldom::EditError::InvalidNode(_))
+        ));
         assert!(err.to_string().contains("edit rejected"));
         let s = svc.stats();
         assert_eq!(s.edits_applied, 0);
@@ -1524,11 +1644,18 @@ mod tests {
     fn feedback_loop_replans_after_repeated_mispredictions() {
         let svc = QueryService::build(
             mispredicted_doc(),
-            ServiceConfig { planner: PlannerMode::Adaptive, ..ServiceConfig::default() },
+            ServiceConfig {
+                planner: PlannerMode::Adaptive,
+                ..ServiceConfig::default()
+            },
         );
         let q = "//a//b";
         let before = svc.planned(q).unwrap();
-        assert_eq!(before.engine, PlanEngine::TJFast, "the mispredicting choice");
+        assert_eq!(
+            before.engine,
+            PlanEngine::TJFast,
+            "the mispredicting choice"
+        );
         assert_eq!(before.predicted_scan, 1, "one feasible leaf predicted");
         let expected = twig2stack::evaluate(svc.snapshot().doc(), &parse_twig(q).unwrap());
         // Strikes 1..=REPLAN_AFTER alarm; the third triggers the replan.
@@ -1548,7 +1675,10 @@ mod tests {
         // The corrected plan answers identically and stops alarming.
         assert_eq!(svc.execute(q).unwrap().sorted(), expected.sorted());
         let s = svc.stats();
-        assert_eq!(s.plan_mispredictions, 3, "the replacement plan is in tolerance");
+        assert_eq!(
+            s.plan_mispredictions, 3,
+            "the replacement plan is in tolerance"
+        );
         assert_eq!(s.plans_replanned, 1, "strikes reset with the new plan");
     }
 
@@ -1583,7 +1713,10 @@ mod tests {
         assert_eq!(batched.snapshot().version(), 1);
         let s = serial.stats();
         assert_eq!(s.edits_applied, 3);
-        assert_eq!(s.snapshot_rotations, 3, "sequential application rotates per op");
+        assert_eq!(
+            s.snapshot_rotations, 3,
+            "sequential application rotates per op"
+        );
         assert_eq!(serial.snapshot().version(), 3);
     }
 
@@ -1598,10 +1731,15 @@ mod tests {
                 position: 0,
                 subtree: xmldom::parse("<b><c/></b>").unwrap(),
             },
-            EditOp::DeleteSubtree { target: xmldom::NodeId::from_index(9_999) },
+            EditOp::DeleteSubtree {
+                target: xmldom::NodeId::from_index(9_999),
+            },
         ];
         let err = svc.apply_edits(&ops).unwrap_err();
-        assert!(matches!(err, ServeError::Edit(xmldom::EditError::InvalidNode(_))));
+        assert!(matches!(
+            err,
+            ServeError::Edit(xmldom::EditError::InvalidNode(_))
+        ));
         let s = svc.stats();
         assert_eq!(s.edits_applied, 0, "the valid prefix was not published");
         assert_eq!(s.snapshot_rotations, 0);
@@ -1613,12 +1751,16 @@ mod tests {
     fn empty_edit_batch_is_a_noop() {
         let svc = service(ServiceConfig::default());
         let receipt = svc.apply_edits(&[]).unwrap();
-        assert_eq!(receipt, BatchEditReceipt {
-            version: 0,
-            ops_applied: 0,
-            rebuilt: false,
-            invalidated_plans: 0,
-        });
+        assert_eq!(
+            receipt,
+            BatchEditReceipt {
+                version: 0,
+                ops_applied: 0,
+                rebuilt: false,
+                invalidated_plans: 0,
+                deltas: Vec::new(),
+            }
+        );
         assert_eq!(svc.stats().snapshot_rotations, 0);
     }
 }

@@ -150,6 +150,25 @@ impl EditDelta {
     pub fn id_shift(&self) -> i64 {
         self.inserted as i64 - self.removed as i64
     }
+
+    /// Where a pre-edit node id lands after this edit: ids before the
+    /// splice are unchanged, ids inside the removed range are gone
+    /// (`None` — the node no longer exists), ids at or after the splice
+    /// end shift by [`id_shift`](EditDelta::id_shift). Composing
+    /// `map_id` across a sequence of deltas carries an id through a
+    /// whole edit chain — note this tracks *ids*, which renumbering
+    /// never touches, so it stays exact across a whole-document
+    /// renumber (the subscription layer's cross-snapshot row identity
+    /// is built on it).
+    pub fn map_id(&self, id: u32) -> Option<u32> {
+        if id < self.at {
+            Some(id)
+        } else if id < self.at + self.removed {
+            None
+        } else {
+            Some((i64::from(id) + self.id_shift()) as u32)
+        }
+    }
 }
 
 /// First arena index past the subtree rooted at `n` (subtrees are
@@ -778,5 +797,32 @@ mod tests {
         assert_eq!(edited.len(), 4001);
         assert!(delta.renumbered);
         assert_eq!(edited.region(NodeId::from_index(4000)).level, 4001);
+    }
+
+    #[test]
+    fn map_id_tracks_ids_through_a_splice() {
+        // Delete <b><c/></b> (ids 1..3) from <a><b><c/></b><d/></a>.
+        let base = doc("<a><b><c/></b><d/></a>");
+        let (edited, delta) =
+            apply_op(&base, &EditOp::DeleteSubtree { target: NodeId::from_index(1) }).unwrap();
+        assert_eq!(delta.at, 1);
+        assert_eq!(delta.removed, 2);
+        assert_eq!(delta.id_shift(), -2);
+        // Before the splice: unchanged. Inside: gone. After: shifted.
+        assert_eq!(delta.map_id(0), Some(0));
+        assert_eq!(delta.map_id(1), None);
+        assert_eq!(delta.map_id(2), None);
+        assert_eq!(delta.map_id(3), Some(1));
+        // The mapped id binds the same element in the edited document.
+        assert_eq!(edited.labels().name(edited.label(NodeId::from_index(1))), "d");
+
+        // Composing across a second edit stays exact: <e/> takes id 1,
+        // pushing d from 1 to 2 (ids ignore tag positions throughout).
+        let (_, delta2) = apply_op(
+            &edited,
+            &EditOp::InsertSubtree { parent: Some(edited.root()), position: 0, subtree: doc("<e/>") },
+        )
+        .unwrap();
+        assert_eq!(delta.map_id(3).and_then(|i| delta2.map_id(i)), Some(2));
     }
 }

@@ -10,8 +10,8 @@
 //! land on shards, the gather must read back in serial doc-id order.
 
 use twigserve::{CatalogConfig, CatalogService};
-use xmlgen::{generate_random_tree, RandomTreeConfig};
 use xmldom::Document;
+use xmlgen::{generate_random_tree, RandomTreeConfig};
 
 /// A seeded catalog of small random documents over `a..` alphabets —
 /// dense twig matches, plenty of shared and disjoint label sets.
@@ -33,7 +33,10 @@ fn seeded_docs(seed: u64, count: usize, alphabet: usize) -> Vec<Document> {
 fn catalog(docs: &[Document], shards: usize) -> CatalogService {
     CatalogService::build_heap(
         docs.to_vec(),
-        CatalogConfig { shards, ..CatalogConfig::default() },
+        CatalogConfig {
+            shards,
+            ..CatalogConfig::default()
+        },
     )
 }
 
@@ -97,6 +100,93 @@ fn bloom_false_positive_rate_stays_under_the_documented_ceiling() {
 }
 
 #[test]
+fn label_free_queries_route_to_every_document() {
+    // Satellite bugfix pin (ISSUE 10a): a query whose mandatory path is
+    // all wildcards / optional / OR-grouped has an empty
+    // `required_label_names()` — no routing evidence. The catalog must
+    // then route to ALL documents, never zero, or matches silently
+    // vanish. Answers must also stay byte-equal to the serial oracle.
+    let docs = seeded_docs(11, 24, 6);
+    let label_free = ["//*", "//*/*", "//*[?a]", "//*[a! or b!]", "//*//*[?c@]"];
+    for q in label_free {
+        let gtp = gtpquery::parse_twig(q).expect("label-free query parses");
+        assert!(
+            gtp.required_label_names().is_empty(),
+            "{q}: expected an empty required-label set"
+        );
+    }
+    for shards in [1usize, 3] {
+        let cat = catalog(&docs, shards);
+        for q in label_free {
+            let routed = cat.routed_docs(q).expect("routing succeeds");
+            assert_eq!(
+                routed.len(),
+                docs.len(),
+                "{shards} shards, {q}: a label-free query must route everywhere"
+            );
+            let serial = cat.execute_serial(q).expect("serial oracle");
+            let scattered = cat.execute(q).expect("scatter-gather");
+            assert_eq!(scattered, serial, "{shards} shards, {q}: answers diverged");
+        }
+    }
+}
+
+#[test]
+fn saturated_bloom_keeps_zero_false_negatives_and_routes_everything() {
+    // Satellite bugfix pin (ISSUE 10c): LabelBloom is 256 bits with
+    // k = 4 probes. A document with hundreds of distinct labels drives
+    // the filter to (near-)full saturation — the failure mode to guard
+    // against is a saturated filter *mis-skipping*. The contract is the
+    // opposite: a full Bloom answers "maybe" for every name, degrading
+    // to route-everything while staying zero-false-negative.
+    let wide: String = {
+        let mut s = String::from("<r>");
+        for i in 0..600 {
+            s.push_str(&format!("<l{i}/>"));
+        }
+        s.push_str("</r>");
+        s
+    };
+    let saturated = xmldom::parse(&wide).expect("saturated doc parses");
+    assert!(
+        saturated.labels().len() > 64,
+        "need >64 distinct labels to saturate the Bloom"
+    );
+    let mut docs = seeded_docs(13, 7, 4);
+    docs.push(saturated);
+    let sat_id = (docs.len() - 1) as u32;
+    let cat = catalog(&docs, 3);
+    // Zero false negatives: every present label still routes to the
+    // saturated document, and its answers survive end to end.
+    for q in ["//r/l0", "//l17", "//r[l599]/l300", "//r//l123"] {
+        let routed = cat.routed_docs(q).expect("routing succeeds");
+        assert!(
+            routed.contains(&sat_id),
+            "{q}: saturated Bloom mis-skipped its own document"
+        );
+        let serial = cat.execute_serial(q).expect("serial oracle");
+        assert_eq!(cat.execute(q).expect("scatter-gather"), serial, "{q}");
+        assert!(
+            serial.iter().any(|h| h.doc == sat_id),
+            "{q}: the saturated document's matches were lost"
+        );
+    }
+    // Degrade-to-route-everything: 600 distinct labels × 4 probes set
+    // every bit (deterministic for this fixed label set), so names the
+    // document does NOT contain still answer "maybe" — the saturated
+    // document is routed for any probe, it can only be over-routed.
+    for i in 0..50 {
+        let probe = format!("//zz{i}");
+        let routed = cat.routed_docs(&probe).expect("probe routes");
+        assert!(
+            routed.contains(&sat_id),
+            "{probe}: a saturated Bloom must degrade to route-everything, \
+             not report absence"
+        );
+    }
+}
+
+#[test]
 fn cross_shard_merge_returns_serial_doc_id_order() {
     let docs = seeded_docs(3, 30, 6);
     for shards in [2usize, 3, 5] {
@@ -112,10 +202,16 @@ fn cross_shard_merge_returns_serial_doc_id_order() {
             let mut sorted = ids.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(ids, sorted, "{shards} shards, {q}: doc ids not strictly ascending");
+            assert_eq!(
+                ids, sorted,
+                "{shards} shards, {q}: doc ids not strictly ascending"
+            );
             let routed = cat.routed_docs(q).expect("routing succeeds");
             for id in &ids {
-                assert!(routed.contains(id), "{shards} shards, {q}: hit {id} was not routed");
+                assert!(
+                    routed.contains(id),
+                    "{shards} shards, {q}: hit {id} was not routed"
+                );
             }
         }
     }

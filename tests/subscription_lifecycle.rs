@@ -1,0 +1,268 @@
+//! Subscription lifecycle under edits (DESIGN.md §17): register →
+//! mutate the document through the service → assert every notification
+//! agrees with re-running the registered query on the rotated snapshot.
+//!
+//! Also pins the streaming-cancellation satellite fix: a deadline or
+//! cancellation mid-stream must surface as a typed `QueryError`, never
+//! run to completion.
+
+use gtpquery::{parse_twig, CancelToken, QueryError};
+use std::sync::Arc;
+use std::time::Duration;
+use twigserve::{QueryService, ServiceConfig, SubscriptionService};
+use xmldom::{parse, EditOp, NodeId};
+use xmlindex::ElementIndex;
+
+fn service(xml: &str) -> Arc<QueryService> {
+    let doc = parse(xml).unwrap();
+    let index = ElementIndex::build(&doc);
+    Arc::new(QueryService::new(doc, index, ServiceConfig::default()))
+}
+
+/// The registered query re-run solo on the service's current snapshot —
+/// the oracle every notification pass must agree with.
+fn solo(subs: &SubscriptionService, query: &str) -> gtpquery::ResultSet {
+    let snap = subs.service().snapshot();
+    twig2stack::evaluate(snap.doc(), &parse_twig(query).unwrap())
+}
+
+#[test]
+fn notifications_track_created_and_deleted_subtrees() {
+    let subs = SubscriptionService::new(service("<lib><shelf><book/></shelf></lib>"));
+    let query = "//shelf/book";
+    let id = subs.register(query).unwrap();
+    assert_eq!(subs.matches(id).unwrap().len(), 1);
+
+    // Create a matching subtree: a second shelf with two books.
+    let shelf = parse("<shelf><book/><book/></shelf>").unwrap();
+    let lib = subs.service().snapshot().doc().root();
+    let (receipt, notes) = subs
+        .apply_edit(&EditOp::InsertSubtree {
+            parent: Some(lib),
+            position: 1,
+            subtree: shelf,
+        })
+        .unwrap();
+    assert_eq!(notes.len(), 1, "one subscription changed");
+    assert_eq!(notes[0].sub, id);
+    assert_eq!(notes[0].version, receipt.version);
+    assert_eq!(notes[0].added.len(), 2, "two new books matched");
+    assert!(notes[0].removed.is_empty());
+    // The published match set equals re-running the query on the
+    // rotated snapshot.
+    assert_eq!(subs.matches(id).unwrap(), solo(&subs, query));
+    assert_eq!(subs.matches(id).unwrap().len(), 3);
+
+    // Delete the original shelf: its book leaves the match set.
+    let first_shelf = {
+        let snap = subs.service().snapshot();
+        snap.doc().children(snap.doc().root()).next().unwrap()
+    };
+    let (_, notes) = subs
+        .apply_edit(&EditOp::DeleteSubtree {
+            target: first_shelf,
+        })
+        .unwrap();
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].removed.len(), 1);
+    assert!(notes[0].added.is_empty());
+    assert_eq!(subs.matches(id).unwrap(), solo(&subs, query));
+    assert_eq!(subs.matches(id).unwrap().len(), 2);
+
+    // An edit that cannot affect the query produces no notification.
+    let snap = subs.service().snapshot();
+    let shelf_node = snap.doc().children(snap.doc().root()).next().unwrap();
+    drop(snap);
+    let pamphlet = parse("<pamphlet/>").unwrap();
+    let (_, notes) = subs
+        .apply_edit(&EditOp::InsertSubtree {
+            parent: Some(shelf_node),
+            position: 0,
+            subtree: pamphlet,
+        })
+        .unwrap();
+    assert!(notes.is_empty(), "irrelevant edit must not notify");
+    assert_eq!(subs.matches(id).unwrap(), solo(&subs, query));
+}
+
+#[test]
+fn batched_edits_notify_once_with_the_net_delta() {
+    let subs = SubscriptionService::new(service("<a><b/></a>"));
+    let id = subs.register("//a/b").unwrap();
+    let root = subs.service().snapshot().doc().root();
+    let ops = vec![
+        EditOp::InsertSubtree {
+            parent: Some(root),
+            position: 1,
+            subtree: parse("<b/>").unwrap(),
+        },
+        EditOp::InsertSubtree {
+            parent: Some(root),
+            position: 2,
+            subtree: parse("<b/>").unwrap(),
+        },
+    ];
+    let (receipt, notes) = subs.apply_edits(&ops).unwrap();
+    assert_eq!(receipt.ops_applied, 2);
+    assert_eq!(notes.len(), 1, "one notification for the whole batch");
+    assert_eq!(notes[0].sub, id);
+    assert_eq!(
+        notes[0].added.len(),
+        2,
+        "the batch's net delta, not per-op deltas"
+    );
+    assert_eq!(subs.matches(id).unwrap(), solo(&subs, "//a/b"));
+}
+
+#[test]
+fn multiple_subscriptions_notify_independently() {
+    let subs = SubscriptionService::new(service("<a><b/><c/></a>"));
+    let b_sub = subs.register("//a/b").unwrap();
+    let c_sub = subs.register("//a/c").unwrap();
+    let value_sub = subs.register("//a/d='x'").unwrap();
+    assert_eq!(subs.matches(value_sub).unwrap().len(), 0);
+
+    // One edit adds a matching `d='x'` but neither a `b` nor a `c`.
+    let root = subs.service().snapshot().doc().root();
+    let (_, notes) = subs
+        .apply_edit(&EditOp::InsertSubtree {
+            parent: Some(root),
+            position: 2,
+            subtree: parse("<d>x</d>").unwrap(),
+        })
+        .unwrap();
+    // Only the value-predicate subscription fires (the DOM-driven
+    // notification pass resolves text against the rotated snapshot).
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].sub, value_sub);
+    assert_eq!(notes[0].added.len(), 1);
+    assert_eq!(subs.matches(b_sub).unwrap(), solo(&subs, "//a/b"));
+    assert_eq!(subs.matches(c_sub).unwrap(), solo(&subs, "//a/c"));
+    assert_eq!(subs.matches(value_sub).unwrap(), solo(&subs, "//a/d='x'"));
+    assert!(subs.unregister(c_sub));
+    assert_eq!(subs.len(), 2);
+}
+
+#[test]
+fn poll_catches_edits_applied_behind_the_wrapper() {
+    let subs = SubscriptionService::new(service("<a><b/></a>"));
+    let id = subs.register("//a/b").unwrap();
+    // Rotate the snapshot directly on the wrapped service.
+    let root = subs.service().snapshot().doc().root();
+    subs.service()
+        .apply_edit(&EditOp::InsertSubtree {
+            parent: Some(root),
+            position: 1,
+            subtree: parse("<b/>").unwrap(),
+        })
+        .unwrap();
+    // The wrapper has not noticed yet; poll() reconciles.
+    let notes = subs.poll();
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].sub, id);
+    assert_eq!(notes[0].added.len(), 1);
+    assert_eq!(subs.matches(id).unwrap(), solo(&subs, "//a/b"));
+    assert!(subs.poll().is_empty(), "second poll sees no further change");
+}
+
+/// Satellite bugfix pin (ISSUE 10b): `evaluate_streaming` gained
+/// tag-granularity cancellation — a deadline mid-stream returns the
+/// typed `QueryError` instead of running to completion.
+#[test]
+fn streaming_deadline_mid_stream_returns_query_error() {
+    let gtp = parse_twig("//a/b").unwrap();
+    // Large enough that the expired deadline is observed mid-stream.
+    let mut xml = String::from("<a>");
+    for _ in 0..2_000 {
+        xml.push_str("<b/>");
+    }
+    xml.push_str("</a>");
+
+    // An already-expired deadline: the first poll aborts the scan.
+    let expired = CancelToken::with_deadline(Duration::ZERO);
+    let err = twig2stack::try_evaluate_streaming(
+        &xml,
+        &gtp,
+        twig2stack::MatchOptions::default(),
+        &expired,
+    )
+    .unwrap_err();
+    assert!(matches!(err, QueryError::DeadlineExceeded), "got {err:?}");
+
+    // Explicit cancellation takes the other abort arm.
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    let err = twig2stack::try_evaluate_streaming(
+        &xml,
+        &gtp,
+        twig2stack::MatchOptions::default(),
+        &cancelled,
+    )
+    .unwrap_err();
+    assert!(matches!(err, QueryError::Cancelled), "got {err:?}");
+
+    // A never-token still runs to completion with the same answer as
+    // the uncancellable entry point.
+    let (rs, _) = twig2stack::try_evaluate_streaming(
+        &xml,
+        &gtp,
+        twig2stack::MatchOptions::default(),
+        &CancelToken::never(),
+    )
+    .unwrap();
+    let (plain, _) =
+        twig2stack::evaluate_streaming(&xml, &gtp, twig2stack::MatchOptions::default()).unwrap();
+    assert_eq!(rs, plain);
+    assert_eq!(rs.len(), 2_000);
+}
+
+/// Subscription runs are cancellable through the same token (the serve
+/// layer's rotation hook).
+#[test]
+fn subscription_stream_honors_cancellation() {
+    let auto = twig2stack::SharedAutomaton::build(vec![parse_twig("//a/b").unwrap()]);
+    let token = CancelToken::new();
+    token.cancel();
+    let err = twig2stack::try_run_subscriptions(
+        "<a><b/></a>",
+        &auto,
+        twig2stack::MatchOptions::default(),
+        &token,
+    )
+    .unwrap_err();
+    assert!(matches!(err, QueryError::Cancelled), "got {err:?}");
+}
+
+/// `NodeId`s in notifications refer to the rotated snapshot's document,
+/// so consumers can resolve them against `service().snapshot()`.
+#[test]
+fn notification_nodes_resolve_against_the_rotated_snapshot() {
+    let subs = SubscriptionService::new(service("<a><b/></a>"));
+    let id = subs.register("//a/b").unwrap();
+    let root = subs.service().snapshot().doc().root();
+    let (_, notes) = subs
+        .apply_edit(&EditOp::InsertSubtree {
+            parent: Some(root),
+            position: 1,
+            subtree: parse("<b/>").unwrap(),
+        })
+        .unwrap();
+    let snap = subs.service().snapshot();
+    let added: Vec<NodeId> = notes[0]
+        .added
+        .rows
+        .iter()
+        .flat_map(|row| row.iter())
+        .filter_map(|c| match c {
+            gtpquery::Cell::Node(n) => Some(*n),
+            _ => None,
+        })
+        .collect();
+    assert!(!added.is_empty());
+    // `//a/b` returns (a, b) pairs; every cell must resolve cleanly.
+    for node in added {
+        let name = snap.doc().labels().name(snap.doc().label(node));
+        assert!(name == "a" || name == "b", "unexpected label {name}");
+    }
+    let _ = id;
+}
